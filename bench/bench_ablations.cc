@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Ablation studies of the design choices DESIGN.md calls out:
+ *
+ *  (a) FR-FCFS vs FCFS scheduling and all-bank vs per-bank refresh
+ *      under refresh pressure (the memory-controller design space the
+ *      paper's Table 2 system sits in);
+ *  (b) the retention-tail power-law exponent p -> the false-positive
+ *      rate of the paper's +250 ms reach operating point;
+ *  (c) the VRT dwell time -> steady-state failing-set stability
+ *      (Fig. 3's "arrivals balance retreats" observation);
+ *  (d) the sparse weak-cell representation -> population size and
+ *      memory as capacity scales (what makes simulating a 2 GB chip
+ *      feasible at all).
+ */
+
+#include <cmath>
+#include <iostream>
+#include <set>
+#include <vector>
+
+#include "bench_util.h"
+
+using namespace reaper;
+
+namespace {
+
+// ---------------- (a) controller design space ----------------
+
+void
+controllerAblation()
+{
+    printBanner(std::cout, "(a) scheduler x refresh granularity");
+    auto mixes = workload::makeMixes(1, 4242);
+    auto traces = workload::tracesForMix(
+        mixes[0], reaper::bench::scaled(40000, 15000), 1);
+    sim::Cycle cycles = reaper::bench::scaled(500000, 200000);
+
+    TablePrinter table({"scheduler", "refresh", "IPC sum",
+                        "row hit rate", "vs FR-FCFS/REFab"});
+    double base = 0.0;
+    for (auto sched : {sim::SchedulerPolicy::FrFcfs,
+                       sim::SchedulerPolicy::Fcfs}) {
+        for (auto gran : {sim::RefreshGranularity::AllBank,
+                          sim::RefreshGranularity::PerBank}) {
+            sim::SystemConfig cfg;
+            cfg.channels = 2;
+            cfg.llc.sizeBytes = 1ull << 20;
+            cfg.setDram(64, 0.064);
+            cfg.ctrl.scheduler = sched;
+            cfg.ctrl.refreshGranularity = gran;
+            sim::System sys(cfg, traces);
+            sys.run(cycles);
+            sim::SystemStats stats = sys.stats();
+            if (base == 0.0)
+                base = stats.ipcSum();
+            table.addRow(
+                {sched == sim::SchedulerPolicy::FrFcfs ? "FR-FCFS"
+                                                       : "FCFS",
+                 gran == sim::RefreshGranularity::AllBank ? "REFab"
+                                                          : "REFpb",
+                 fmtF(stats.ipcSum(), 3),
+                 fmtPct(stats.channels.rowHitRate()),
+                 fmtPct(stats.ipcSum() / base - 1.0)});
+        }
+    }
+    table.print(std::cout);
+    std::cout << "Expected: FR-FCFS > FCFS (row-hit batching); REFpb "
+                 ">= REFab at 64 Gb (only one bank blocked per "
+                 "refresh).\n";
+}
+
+// ---------------- (b) tail exponent -> reach FPR ----------------
+
+void
+tailExponentAblation()
+{
+    printBanner(std::cout,
+                "(b) retention-tail exponent -> +250 ms reach FPR");
+    TablePrinter table({"tail exponent p", "coverage", "FPR",
+                        "FPR (closed form)"});
+    for (double p_exp : {2.2, 2.8, 3.4}) {
+        dram::ModuleConfig mc = reaper::bench::characterizationModule(
+            dram::Vendor::B, 9090, {2.0, 48.0},
+            2ull * 1024 * 1024 * 1024);
+        mc.hasParamOverride = true;
+        mc.paramOverride = dram::vendorParams(dram::Vendor::B);
+        mc.paramOverride.tailExponent = p_exp;
+        mc.chipVariation = 0.0;
+        dram::DramModule module(mc);
+        testbed::SoftMcHost host(module,
+                                 reaper::bench::instantHost());
+        profiling::ReachConfig cfg;
+        cfg.target = {1.024, 45.0};
+        cfg.deltaRefreshInterval = 0.250;
+        cfg.iterations = 4;
+        profiling::ProfilingResult r =
+            profiling::ReachProfiler{}.run(host, cfg);
+        auto truth = module.trueFailingSet(1.024, 45.0);
+        profiling::ProfileMetrics m =
+            profiling::scoreProfile(r.profile, truth, r.runtime);
+        // Closed form: FP fraction ~ 1 - (t / (t + dt))^p.
+        double analytic =
+            1.0 - std::pow(1.024 / 1.274, p_exp);
+        table.addRow({fmtF(p_exp, 1), fmtPct(m.coverage),
+                      fmtPct(m.falsePositiveRate), fmtPct(analytic)});
+    }
+    table.print(std::cout);
+    std::cout << "The +250 ms FPR is a direct function of the tail "
+                 "exponent; p ~ 2.8 is what makes the paper's\n"
+                 "'<50% false positives' operating point work.\n";
+}
+
+// ---------------- (c) VRT dwell -> set stability ----------------
+
+void
+vrtDwellAblation()
+{
+    printBanner(std::cout, "(c) VRT dwell time -> failing-set churn");
+    TablePrinter table({"dwell (h)", "steady new cells/h",
+                        "active VRT at end", "churn ratio"});
+    for (double dwell_h : {0.5, 3.0, 12.0}) {
+        dram::ModuleConfig mc = reaper::bench::characterizationModule(
+            dram::Vendor::B, 8080, {2.3, 46.0},
+            2ull * 1024 * 1024 * 1024);
+        mc.hasParamOverride = true;
+        mc.paramOverride = dram::vendorParams(dram::Vendor::B);
+        mc.paramOverride.vrtDwellMeanHours = dwell_h;
+        mc.chipVariation = 0.0;
+        dram::DramModule module(mc);
+        testbed::SoftMcHost host(module,
+                                 reaper::bench::instantHost());
+        host.setAmbient(45.0);
+
+        std::set<dram::ChipFailure> seen;
+        int rounds = reaper::bench::scaled(36, 18);
+        double fresh_total = 0;
+        for (int round = 0; round < rounds; ++round) {
+            Seconds start = host.now();
+            profiling::BruteForceConfig cfg;
+            cfg.test = {2.048, 45.0};
+            cfg.iterations = 1;
+            cfg.patterns = dram::basePatterns();
+            cfg.setTemperature = false;
+            auto r = profiling::BruteForceProfiler{}.run(host, cfg);
+            size_t fresh = 0;
+            for (const auto &f : r.profile.cells())
+                fresh += seen.insert(f).second ? 1 : 0;
+            if (round >= rounds / 2)
+                fresh_total += static_cast<double>(fresh);
+            Seconds used = host.now() - start;
+            if (used < hoursToSec(1.0))
+                host.wait(hoursToSec(1.0) - used);
+        }
+        double hours = rounds / 2.0;
+        size_t active = module.chip(0).activeVrtCount();
+        double rate = fresh_total / hours;
+        // Churn: how much of the steady active set turns over hourly.
+        double churn =
+            active > 0 ? rate / static_cast<double>(active) : 0.0;
+        table.addRow({fmtF(dwell_h, 1), fmtF(rate, 1),
+                      std::to_string(active), fmtF(churn, 2)});
+    }
+    table.print(std::cout);
+    std::cout << "Short dwells shrink the steady active set AND let "
+                 "arrivals escape between hourly profiling rounds\n"
+                 "(discovery rate < arrival rate), raising churn: the "
+                 "faster VRT cells move, the more often a profile\n"
+                 "must be refreshed - the effect Eq. 7's accumulation "
+                 "rate A summarizes.\n";
+}
+
+// ---------------- (d) sparse representation scaling ----------------
+
+void
+sparsePopulationAblation()
+{
+    printBanner(std::cout,
+                "(d) sparse weak-cell population vs chip capacity");
+    TablePrinter table({"capacity", "total cells", "weak cells tracked",
+                        "fraction", "approx memory"});
+    for (uint64_t mb : {64ull, 256ull, 1024ull, 2048ull}) {
+        if (reaper::bench::quickMode() && mb > 256)
+            break;
+        dram::DeviceConfig cfg;
+        cfg.capacityBits = mb * 1024 * 1024 * 8;
+        cfg.seed = 1;
+        cfg.envelope = {2.3, 48.0};
+        dram::DramDevice device(cfg);
+        double frac = static_cast<double>(device.weakCellCount()) /
+                      static_cast<double>(cfg.capacityBits);
+        double mem_mb = static_cast<double>(device.weakCellCount()) *
+                        sizeof(dram::WeakCell) / 1e6;
+        table.addRow({std::to_string(mb) + "MB",
+                      fmtG(static_cast<double>(cfg.capacityBits), 3),
+                      std::to_string(device.weakCellCount()),
+                      fmtG(frac, 2), fmtF(mem_mb, 2) + "MB"});
+    }
+    table.print(std::cout);
+    std::cout << "Only the ~1e-5 fraction of cells that can ever fail "
+                 "inside the test envelope is materialized; a dense\n"
+                 "bit-per-cell array for a 2 GB chip would need 2 GB+ "
+                 "of simulator memory before any statistics.\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    reaper::bench::benchHeader("Ablation studies",
+                               "DESIGN.md section 6 design choices");
+    controllerAblation();
+    tailExponentAblation();
+    vrtDwellAblation();
+    sparsePopulationAblation();
+    return 0;
+}

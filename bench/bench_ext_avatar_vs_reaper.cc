@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Extension experiment: AVATAR's passive upgrade loop vs REAPER's
+ * active reach reprofiling, head to head over three days of online
+ * operation at a 1024 ms target.
+ *
+ * This quantifies the Section 3.2 argument the paper makes
+ * qualitatively (and uses to exclude ECC-scrubbing mechanisms from
+ * Fig. 13): a passive mechanism only observes failures under the data
+ * the workload happens to store, so worst-case (DPD) failures stay
+ * uncovered indefinitely, while reach profiling actively tests
+ * adversarial patterns and re-covers the set at every round.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+
+using namespace reaper;
+
+namespace {
+
+struct Snapshot
+{
+    double day;
+    size_t uncovered_avatar;
+    size_t uncovered_reaper;
+    size_t avatar_rows;
+    size_t reaper_cells;
+};
+
+} // namespace
+
+int
+main()
+{
+    bench::benchHeader(
+        "Extension - AVATAR vs REAPER over 3 days online",
+        "Section 3.2 passive-vs-active argument, quantified");
+
+    uint64_t capacity = bench::quickMode()
+                            ? 1ull * 1024 * 1024 * 1024  // 128 MB
+                            : 2ull * 1024 * 1024 * 1024; // 256 MB
+    profiling::Conditions target{1.024, 45.0};
+
+    // Two identical chips (same seed), one per mechanism.
+    auto make_module = [&]() {
+        dram::ModuleConfig mc = bench::characterizationModule(
+            dram::Vendor::B, 321, {1.6, 48.0}, capacity);
+        mc.chipVariation = 0.0;
+        return mc;
+    };
+    dram::DramModule avatar_module(make_module());
+    dram::DramModule reaper_module(make_module());
+    testbed::SoftMcHost avatar_host(avatar_module,
+                                    bench::instantHost());
+    testbed::SoftMcHost reaper_host(reaper_module,
+                                    bench::instantHost());
+    avatar_host.setAmbient(45.0);
+
+    // AVATAR: one-time initial profile, then 2-hourly passive scrubs.
+    mitigation::AvatarConfig ac;
+    ac.totalRows = avatar_module.capacityBits() / (2048 * 8);
+    ac.slowInterval = target.refreshInterval;
+    mitigation::Avatar avatar(ac);
+    {
+        profiling::BruteForceConfig bf;
+        bf.test = target;
+        bf.iterations = 8;
+        bf.setTemperature = false;
+        avatar.applyProfile(
+            profiling::BruteForceProfiler{}.run(avatar_host, bf)
+                .profile);
+    }
+
+    // REAPER: reach reprofiling on the longevity schedule.
+    mitigation::ArchShieldConfig shield_cfg;
+    shield_cfg.capacityBits = reaper_module.capacityBits();
+    mitigation::ArchShield shield(shield_cfg);
+    firmware::OnlineReaperConfig rc;
+    rc.target = target;
+    firmware::OnlineReaper reaper(reaper_host, shield, rc);
+
+    auto uncovered = [&](dram::DramModule &module,
+                         mitigation::MitigationMechanism &mech) {
+        size_t count = 0;
+        for (const auto &cell : module.trueFailingSet(
+                 target.refreshInterval, target.temperature)) {
+            count += !mech.covers(cell);
+        }
+        return count;
+    };
+
+    std::vector<Snapshot> snapshots;
+    const double total_days = 3.0;
+    const double scrub_hours = 2.0;
+    double reaper_next_round = 0.0; // profile immediately
+    int steps = static_cast<int>(total_days * 24.0 / scrub_hours);
+    for (int step = 0; step <= steps; ++step) {
+        // --- AVATAR side: operate + scrub. ---
+        if (step > 0) {
+            avatar_host.wait(hoursToSec(scrub_hours));
+            avatar_host.writeAll(dram::DataPattern::Random);
+            avatar_host.disableRefresh();
+            avatar_host.wait(ac.slowInterval);
+            avatar_host.enableRefresh();
+            for (const auto &f : avatar_host.readAndCompareAll()) {
+                if (!avatar.covers(f))
+                    avatar.observeScrubCorrection(f);
+            }
+            avatar_host.restoreAll();
+        }
+        // --- REAPER side: operate; reprofile when scheduled. ---
+        if (step > 0)
+            reaper_host.wait(hoursToSec(scrub_hours));
+        if (secToHours(reaper_host.now()) >= reaper_next_round) {
+            firmware::ReaperEvent e = reaper.profileOnce();
+            reaper_next_round =
+                secToHours(reaper_host.now() + e.reprofileIn);
+        }
+
+        if (step % (steps / 6) == 0 || step == steps) {
+            snapshots.push_back(
+                {secToHours(avatar_host.now()) / 24.0,
+                 uncovered(avatar_module, avatar),
+                 uncovered(reaper_module, shield),
+                 avatar.upgradedRows(), shield.installedEntries()});
+        }
+    }
+
+    double tolerable = ecc::tolerableBitErrors(
+        ecc::kConsumerUber, ecc::EccConfig::secded(),
+        avatar_module.capacityBits());
+
+    TablePrinter table({"day", "uncovered (AVATAR)",
+                        "uncovered (REAPER)", "AVATAR fast rows",
+                        "REAPER FaultMap words"});
+    for (const Snapshot &s : snapshots) {
+        table.addRow({fmtF(s.day, 2),
+                      std::to_string(s.uncovered_avatar),
+                      std::to_string(s.uncovered_reaper),
+                      std::to_string(s.avatar_rows),
+                      std::to_string(s.reaper_cells)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nSECDED budget for this module: "
+              << fmtF(tolerable, 1) << " uncovered cells.\n"
+              << "Shape check: REAPER's uncovered count stays near "
+                 "zero across reprofiling rounds; AVATAR's falls as\n"
+              << "upgrades accumulate but floors above zero on "
+                 "DPD-elusive cells its stored-data scrubs never "
+                 "trigger.\n"
+              << "AVATAR refresh work: "
+              << fmtPct(avatar.refreshWorkRelative())
+              << " of default (rows permanently upgraded accumulate "
+                 "forever - the cost of passive coverage).\n";
+    return 0;
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Fig. 13: end-to-end system performance improvement (top) and DRAM
+ * power reduction (bottom) over the 64 ms baseline, for brute-force
+ * profiling, REAPER, and ideal (zero-overhead) profiling, across
+ * refresh intervals and chip sizes, on multiprogrammed 4-core
+ * SPEC-like mixes.
+ *
+ * Box rows report min / Q1 / median / Q3 / max / mean over the
+ * workload mixes, as the paper's boxplots do.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+
+using namespace reaper;
+
+namespace {
+
+std::string
+boxString(const BoxStats &b)
+{
+    if (b.n == 0)
+        return "-";
+    return fmtPct(b.lo) + "/" + fmtPct(b.q1) + "/" + fmtPct(b.median) +
+           "/" + fmtPct(b.q3) + "/" + fmtPct(b.hi) +
+           " mean=" + fmtPct(b.mean);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::benchHeader("Fig. 13 - end-to-end performance and power",
+                       "Section 7.3.2");
+
+    eval::EndToEndConfig cfg;
+    cfg.refreshIntervals = {0.128, 0.256, 0.512, 1.024, 1.280, 1.536};
+    cfg.includeNoRefresh = true;
+    cfg.chipGbits = {8, 64};
+    cfg.numMixes = bench::scaled(20, 6);
+    cfg.accessesPerCore = bench::scaled(60000, 20000);
+    cfg.runCycles = bench::scaled(1000000, 300000);
+    cfg.seed = 1;
+    if (bench::quickMode()) {
+        cfg.refreshIntervals = {0.512, 1.280};
+        cfg.chipGbits = {64};
+    }
+
+    eval::EndToEndEvaluator evaluator(cfg);
+    std::cout << "Simulating " << cfg.numMixes
+              << " 4-core mixes per configuration (parallelized)...\n";
+    std::vector<eval::SweepPoint> points = evaluator.run();
+
+    for (unsigned chip : cfg.chipGbits) {
+        std::cout << "\n==== " << chip << " Gb chips (32-chip module) "
+                  << "====\n\n";
+        for (bool power_view : {false, true}) {
+            std::cout << (power_view
+                              ? "DRAM power reduction vs 64 ms"
+                              : "Performance improvement vs 64 ms")
+                      << " (min/Q1/median/Q3/max mean):\n";
+            TablePrinter table({"tREFI", "brute-force", "REAPER",
+                                "ideal"});
+            for (const auto &pt : points) {
+                if (pt.chipGbit != chip)
+                    continue;
+                std::string label =
+                    pt.noRefresh ? "no refresh" : fmtTime(pt.interval);
+                auto box = [&](eval::ProfilerKind k) {
+                    return power_view ? pt.powerBox(k) : pt.perfBox(k);
+                };
+                table.addRow(
+                    {label,
+                     boxString(box(eval::ProfilerKind::BruteForce)),
+                     boxString(box(eval::ProfilerKind::Reaper)),
+                     boxString(box(eval::ProfilerKind::Ideal))});
+            }
+            table.print(std::cout);
+            std::cout << "\n";
+        }
+        // Profiling overhead detail at the interesting intervals.
+        TablePrinter detail({"tREFI", "round (brute)", "reprofile every",
+                             "overhead brute", "overhead REAPER"});
+        for (const auto &pt : points) {
+            if (pt.chipGbit != chip || pt.noRefresh)
+                continue;
+            const auto &ob = pt.overhead[static_cast<size_t>(
+                eval::profilerIndex(eval::ProfilerKind::BruteForce))];
+            const auto &orp = pt.overhead[static_cast<size_t>(
+                eval::profilerIndex(eval::ProfilerKind::Reaper))];
+            detail.addRow({fmtTime(pt.interval), fmtTime(ob.roundTime),
+                           fmtTime(ob.reprofileInterval),
+                           fmtPct(ob.overheadFraction),
+                           fmtPct(orp.overheadFraction)});
+        }
+        std::cout << "Online-profiling overhead detail:\n";
+        detail.print(std::cout);
+    }
+
+    std::cout
+        << "\nShape checks vs the paper: gains grow with interval and "
+           "chip size; REAPER ~= ideal through 512 ms;\n"
+        << "brute-force collapses (can go negative) at >= 1280 ms "
+           "while REAPER retains most of the ideal benefit;\n"
+        << "power reduction is large and barely affected by profiling "
+           "energy.\n";
+    return 0;
+}

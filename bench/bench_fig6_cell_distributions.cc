@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Fig. 6: individual DRAM cells fail with normally-distributed CDFs
+ * with respect to the refresh interval (a), and the standard
+ * deviations of those per-cell CDFs follow a tight lognormal
+ * distribution with most mass below 200 ms (b).
+ *
+ * Methodology: brute-force test a chip at 40 C over a grid of refresh
+ * intervals, record each cell's failure frequency per interval, fit a
+ * normal CDF per cell by probit regression, and analyze the fitted
+ * (mu, sigma) population.
+ */
+
+#include <cmath>
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "bench_util.h"
+
+using namespace reaper;
+
+int
+main()
+{
+    bench::benchHeader("Fig. 6 - per-cell failure CDFs",
+                       "Section 5.5, Observation 4");
+
+    uint64_t capacity = bench::quickMode()
+                            ? 1ull * 1024 * 1024 * 1024  // 128 MB
+                            : 2ull * 1024 * 1024 * 1024; // 256 MB
+    int iters = bench::scaled(16, 8);
+
+    dram::ModuleConfig mc = bench::characterizationModule(
+        dram::Vendor::B, 21, {2.6, 46.0}, capacity);
+    mc.chipVariation = 0.0;
+    dram::DramModule module(mc);
+    testbed::SoftMcHost host(module, bench::instantHost());
+    host.setAmbient(40.0);
+
+    std::vector<Seconds> grid;
+    for (Seconds t = 0.45; t <= 2.45; t += 0.06)
+        grid.push_back(t);
+
+    // fail_counts[addr][interval index] = observed failures. A single
+    // data pattern is used throughout: mixing patterns would overlay
+    // DPD-shifted CDFs and inflate the apparent per-cell spread.
+    std::map<uint64_t, std::vector<int>> fail_counts;
+    for (size_t gi = 0; gi < grid.size(); ++gi) {
+        for (int it = 0; it < iters; ++it) {
+            host.writeAll(dram::DataPattern::Solid0);
+            host.disableRefresh();
+            host.wait(grid[gi]);
+            host.enableRefresh();
+            for (const auto &f : host.readAndCompareAll()) {
+                auto &v = fail_counts[f.addr];
+                v.resize(grid.size(), 0);
+                v[gi] += 1;
+            }
+        }
+    }
+
+    // Fit a normal CDF per cell (iters trials per grid point).
+    int trials = iters;
+    std::vector<double> mus, sigmas, residuals;
+    for (const auto &[addr, counts] : fail_counts) {
+        std::vector<double> x, pr;
+        bool interior = false;
+        for (size_t gi = 0; gi < counts.size(); ++gi) {
+            double p = static_cast<double>(counts[gi]) / trials;
+            x.push_back(grid[gi]);
+            pr.push_back(p);
+            if (p > 0.1 && p < 0.9)
+                interior = true;
+        }
+        if (!interior)
+            continue; // saturated inside the grid: no usable CDF shape
+        NormalCdfFit fit = normalCdfFit(x, pr, trials);
+        if (!fit.valid || fit.mu < grid.front() ||
+            fit.mu > grid.back())
+            continue;
+        mus.push_back(fit.mu);
+        sigmas.push_back(fit.sigma);
+        // Normality check: mean absolute residual of the fit.
+        double res = 0;
+        for (size_t gi = 0; gi < x.size(); ++gi)
+            res += std::fabs(pr[gi] -
+                             normalCdf(x[gi], fit.mu, fit.sigma));
+        residuals.push_back(res / static_cast<double>(x.size()));
+    }
+
+    std::cout << "Fitted " << mus.size()
+              << " per-cell normal CDFs (cells with measurable "
+                 "transition regions).\n\n";
+
+    RunningStats res_stats;
+    for (double r : residuals)
+        res_stats.add(r);
+    std::cout << "(a) Normality: mean |residual| of the normal-CDF fit "
+              << "= " << fmtF(res_stats.mean(), 4)
+              << " (0 = perfectly normal)\n\n";
+
+    std::cout << "(b) Distribution of per-cell CDF standard "
+                 "deviations:\n";
+    Histogram hist(0.005, 0.5, 10, /*logarithmic=*/true);
+    for (double s : sigmas)
+        hist.add(s);
+    TablePrinter table({"sigma range", "cells", "fraction"});
+    for (size_t b = 0; b < hist.numBins(); ++b) {
+        table.addRow({fmtTime(hist.binLo(b)) + " - " +
+                          fmtTime(hist.binHi(b)),
+                      std::to_string(hist.binCount(b)),
+                      fmtPct(hist.binFraction(b))});
+    }
+    table.print(std::cout);
+
+    LognormalFit logfit = lognormalFit(sigmas);
+    KsResult ks = ksTestLognormal(sigmas, logfit.muLog,
+                                  logfit.sigmaLog);
+    size_t below_200ms = 0;
+    for (double s : sigmas)
+        below_200ms += s < 0.2;
+    std::cout << "\nKS distance to the fitted lognormal: D = "
+              << fmtF(ks.statistic, 3) << " (5% critical "
+              << fmtF(ks.critical, 3)
+              << "; 16-trial probit estimation noise broadens the "
+                 "tails -\n the underlying model sigma population is "
+                 "exactly lognormal, see test_properties_retention)"
+              << "\nLognormal fit of sigma: median = "
+              << fmtTime(logfit.median())
+              << ", ln-space spread = " << fmtF(logfit.sigmaLog, 2)
+              << "\nFraction of cells with sigma < 200 ms: "
+              << fmtPct(static_cast<double>(below_200ms) /
+                        static_cast<double>(sigmas.size()))
+              << " (paper: the majority)\n";
+    return 0;
+}

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) of the library's hot paths: the
+ * sparse-device read path, profiler iterations, the SECDED codec, the
+ * memory-controller tick loop, cache accesses, trace generation, and
+ * the RNG/statistics primitives that everything sits on.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "reaper/reaper.h"
+
+using namespace reaper;
+
+namespace {
+
+dram::DeviceConfig
+deviceConfig(uint64_t capacity_bits)
+{
+    dram::DeviceConfig cfg;
+    cfg.capacityBits = capacity_bits;
+    cfg.seed = 1;
+    cfg.envelope = {2.3, 50.0};
+    return cfg;
+}
+
+void
+BM_RngUniform(benchmark::State &state)
+{
+    Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.uniform());
+}
+BENCHMARK(BM_RngUniform);
+
+void
+BM_RngNormal(benchmark::State &state)
+{
+    Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.normal());
+}
+BENCHMARK(BM_RngNormal);
+
+void
+BM_NormalQuantile(benchmark::State &state)
+{
+    double p = 0.0001;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(normalQuantile(p));
+        p += 1e-7;
+        if (p >= 1.0)
+            p = 0.0001;
+    }
+}
+BENCHMARK(BM_NormalQuantile);
+
+void
+BM_DevicePopulationSampling(benchmark::State &state)
+{
+    uint64_t capacity = 512ull * 1024 * 1024
+                        << static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        dram::DramDevice device(deviceConfig(capacity));
+        benchmark::DoNotOptimize(device.weakCellCount());
+    }
+    state.SetLabel(std::to_string(capacity / (8 * 1024 * 1024)) + "MB");
+}
+BENCHMARK(BM_DevicePopulationSampling)->DenseRange(0, 3);
+
+void
+BM_DeviceReadAndCompare(benchmark::State &state)
+{
+    dram::DramDevice device(deviceConfig(4ull * 1024 * 1024 * 1024));
+    for (auto _ : state) {
+        device.writePattern(dram::DataPattern::Random);
+        device.disableRefresh();
+        device.wait(1.024);
+        device.enableRefresh();
+        benchmark::DoNotOptimize(device.readAndCompare());
+    }
+    state.counters["weak_cells"] =
+        static_cast<double>(device.weakCellCount());
+}
+BENCHMARK(BM_DeviceReadAndCompare);
+
+void
+BM_ProfilerIteration(benchmark::State &state)
+{
+    dram::ModuleConfig mc;
+    mc.numChips = 1;
+    mc.chipCapacityBits = 4ull * 1024 * 1024 * 1024;
+    mc.seed = 2;
+    mc.envelope = {2.3, 50.0};
+    dram::DramModule module(mc);
+    testbed::HostConfig hc;
+    hc.useChamber = false;
+    testbed::SoftMcHost host(module, hc);
+    profiling::BruteForceProfiler profiler;
+    for (auto _ : state) {
+        profiling::BruteForceConfig cfg;
+        cfg.test = {1.024, 45.0};
+        cfg.iterations = 1;
+        cfg.setTemperature = false;
+        benchmark::DoNotOptimize(profiler.run(host, cfg));
+    }
+}
+BENCHMARK(BM_ProfilerIteration);
+
+void
+BM_SecdedEncode(benchmark::State &state)
+{
+    ecc::Secded72 codec;
+    uint64_t word = 0x0123456789ABCDEFull;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(codec.encode(word));
+        word = word * 6364136223846793005ull + 1;
+    }
+}
+BENCHMARK(BM_SecdedEncode);
+
+void
+BM_SecdedDecodeWithError(benchmark::State &state)
+{
+    ecc::Secded72 codec;
+    uint64_t word = 0xA5A5A5A5DEADBEEFull;
+    uint8_t check = codec.encode(word);
+    int bit = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            codec.decode(word ^ (1ull << bit), check));
+        bit = (bit + 1) & 63;
+    }
+}
+BENCHMARK(BM_SecdedDecodeWithError);
+
+void
+BM_MemCtrlTickStreaming(benchmark::State &state)
+{
+    sim::MemCtrlConfig cfg;
+    cfg.timing = sim::lpddr4_3200(16);
+    cfg.rowsPerBank = 32768;
+    sim::MemoryController mc(cfg);
+    uint64_t addr = 0;
+    for (auto _ : state) {
+        if (mc.readQueueSize() < 32) {
+            sim::MemRequest req;
+            req.addr = addr;
+            sim::DramAddr d{0, static_cast<uint32_t>(addr / 2048 % 8),
+                            addr / 16384 % 32768,
+                            static_cast<uint32_t>(addr % 2048 / 64)};
+            mc.enqueue(req, d);
+            addr += 64;
+        }
+        mc.tick();
+    }
+    state.counters["reads"] =
+        static_cast<double>(mc.stats().readsServed);
+}
+BENCHMARK(BM_MemCtrlTickStreaming);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    sim::Cache cache(sim::CacheConfig{});
+    Rng rng(3);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.access(rng.uniformInt(1ull << 28) * 64, false));
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    const workload::BenchmarkSpec &spec =
+        workload::benchmarkByName("mcf");
+    uint64_t seed = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            workload::generateTrace(spec, 10000, ++seed));
+    }
+    state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_TraceGeneration);
+
+void
+BM_SystemTick(benchmark::State &state)
+{
+    auto mixes = workload::makeMixes(1, 7);
+    auto traces = workload::tracesForMix(mixes[0], 20000, 1);
+    sim::SystemConfig cfg;
+    cfg.channels = 4;
+    cfg.setDram(16, 0.064);
+    sim::System system(cfg, traces);
+    for (auto _ : state)
+        system.tick();
+}
+BENCHMARK(BM_SystemTick);
+
+void
+BM_UberSolve(benchmark::State &state)
+{
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            ecc::tolerableRber(1e-15, ecc::EccConfig::secded()));
+    }
+}
+BENCHMARK(BM_UberSolve);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction benches.
+ *
+ * Every bench prints the rows/series of one paper table or figure.
+ * Setting REAPER_BENCH_QUICK=1 in the environment shrinks the
+ * statistical work (fewer chips/iterations) for smoke runs.
+ */
+
+#ifndef REAPER_BENCH_BENCH_UTIL_H
+#define REAPER_BENCH_BENCH_UTIL_H
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "reaper/reaper.h"
+
+namespace reaper {
+namespace bench {
+
+/** Whether the quick (smoke) mode is requested. */
+inline bool
+quickMode()
+{
+    const char *env = std::getenv("REAPER_BENCH_QUICK");
+    return env != nullptr && std::string(env) != "0";
+}
+
+/** Scale a count down in quick mode. */
+inline int
+scaled(int full, int quick)
+{
+    return quickMode() ? quick : full;
+}
+
+/** Standard characterization chip (fraction of the 2 GB reference). */
+inline dram::ModuleConfig
+characterizationModule(dram::Vendor vendor, uint64_t seed,
+                       dram::TestEnvelope envelope,
+                       uint64_t capacity_bits = 4ull * 1024 * 1024 *
+                                                1024 /* 512 MB */)
+{
+    dram::ModuleConfig mc;
+    mc.numChips = 1;
+    mc.chipCapacityBits = capacity_bits;
+    mc.vendor = vendor;
+    mc.seed = seed;
+    mc.envelope = envelope;
+    return mc;
+}
+
+/** Instant-temperature host (the chamber is exercised in fig9/fig10). */
+inline testbed::HostConfig
+instantHost()
+{
+    testbed::HostConfig h;
+    h.useChamber = false;
+    return h;
+}
+
+/** Print the standard bench header. */
+inline void
+benchHeader(const std::string &experiment, const std::string &paper_ref)
+{
+    std::cout << "REAPER reproduction: " << experiment << "\n"
+              << "Paper reference: " << paper_ref << "\n";
+    if (quickMode())
+        std::cout << "(REAPER_BENCH_QUICK=1: reduced statistics)\n";
+    std::cout << "\n";
+}
+
+} // namespace bench
+} // namespace reaper
+
+#endif // REAPER_BENCH_BENCH_UTIL_H

@@ -1,0 +1,74 @@
+#include "common/ks_test.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace reaper {
+
+double
+ksStatistic(std::vector<double> samples,
+            const std::function<double(double)> &cdf)
+{
+    if (samples.empty())
+        panic("ksStatistic: need at least one sample");
+    std::sort(samples.begin(), samples.end());
+    double n = static_cast<double>(samples.size());
+    double d = 0.0;
+    for (size_t i = 0; i < samples.size(); ++i) {
+        double f = cdf(samples[i]);
+        double lo = static_cast<double>(i) / n;
+        double hi = static_cast<double>(i + 1) / n;
+        d = std::max(d, std::max(std::fabs(f - lo),
+                                 std::fabs(hi - f)));
+    }
+    return d;
+}
+
+double
+ksCriticalValue(size_t n, double alpha)
+{
+    if (n == 0)
+        panic("ksCriticalValue: n must be > 0");
+    double c;
+    if (alpha <= 0.01 + 1e-12) {
+        c = 1.628;
+    } else if (alpha <= 0.05 + 1e-12) {
+        c = 1.358;
+    } else {
+        c = 1.224; // alpha = 0.10
+    }
+    return c / std::sqrt(static_cast<double>(n));
+}
+
+KsResult
+ksTestNormal(const std::vector<double> &samples, double mu,
+             double sigma, double alpha)
+{
+    KsResult r;
+    r.statistic = ksStatistic(samples, [&](double x) {
+        return normalCdf(x, mu, sigma);
+    });
+    r.critical = ksCriticalValue(samples.size(), alpha);
+    r.accepted = r.statistic <= r.critical;
+    return r;
+}
+
+KsResult
+ksTestLognormal(const std::vector<double> &samples, double mu_log,
+                double sigma_log, double alpha)
+{
+    KsResult r;
+    r.statistic = ksStatistic(samples, [&](double x) {
+        if (x <= 0)
+            return 0.0;
+        return normalCdf(std::log(x), mu_log, sigma_log);
+    });
+    r.critical = ksCriticalValue(samples.size(), alpha);
+    r.accepted = r.statistic <= r.critical;
+    return r;
+}
+
+} // namespace reaper

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Kolmogorov-Smirnov goodness-of-fit testing, used by the
+ * characterization benches to back the paper's distributional claims
+ * (per-cell failure CDFs are normal, their spreads lognormal)
+ * quantitatively rather than by eyeball.
+ */
+
+#ifndef REAPER_COMMON_KS_TEST_H
+#define REAPER_COMMON_KS_TEST_H
+
+#include <functional>
+#include <vector>
+
+namespace reaper {
+
+/**
+ * One-sample KS statistic: sup_x |F_emp(x) - F(x)| for the empirical
+ * CDF of `samples` against the reference CDF `cdf`. Needs at least
+ * one sample (fatal otherwise).
+ */
+double ksStatistic(std::vector<double> samples,
+                   const std::function<double(double)> &cdf);
+
+/**
+ * Approximate critical value c(alpha)/sqrt(n) of the one-sample KS
+ * test for alpha in {0.10, 0.05, 0.01} (asymptotic form; good for
+ * n >= ~35).
+ */
+double ksCriticalValue(size_t n, double alpha);
+
+/** Result of a distribution test. */
+struct KsResult
+{
+    double statistic = 0.0;
+    double critical = 0.0;
+    bool accepted = false; ///< statistic <= critical
+
+    double margin() const { return critical - statistic; }
+};
+
+/** Test samples against Normal(mu, sigma). */
+KsResult ksTestNormal(const std::vector<double> &samples, double mu,
+                      double sigma, double alpha = 0.05);
+
+/** Test positive samples against LogNormal(mu_log, sigma_log). */
+KsResult ksTestLognormal(const std::vector<double> &samples,
+                         double mu_log, double sigma_log,
+                         double alpha = 0.05);
+
+} // namespace reaper
+
+#endif // REAPER_COMMON_KS_TEST_H

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Logging and error-reporting helpers.
+ *
+ * Follows the gem5 convention: fatal() for user/configuration errors that
+ * make continuing impossible, panic() for internal invariant violations,
+ * warn()/inform() for non-fatal status messages.
+ */
+
+#ifndef REAPER_COMMON_LOGGING_H
+#define REAPER_COMMON_LOGGING_H
+
+#include <cstdarg>
+#include <string>
+
+namespace reaper {
+
+/** Verbosity levels for status messages. */
+enum class LogLevel { Silent = 0, Warn = 1, Inform = 2, Debug = 3 };
+
+/** Set the global log verbosity. Messages above this level are dropped. */
+void setLogLevel(LogLevel level);
+
+/** Current global log verbosity. */
+LogLevel logLevel();
+
+/**
+ * Report an unrecoverable user-facing error (bad configuration, invalid
+ * arguments) and exit with status 1.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an internal invariant violation (a bug in this library) and
+ * abort(), so a core dump / debugger can capture state.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Warn about suspicious but survivable conditions. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Informative progress/status message. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Format a printf-style message into a std::string. */
+std::string vformat(const char *fmt, va_list args);
+
+} // namespace reaper
+
+#endif // REAPER_COMMON_LOGGING_H

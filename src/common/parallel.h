@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Minimal parallel-for helper for embarrassingly parallel evaluation
+ * sweeps (independent simulator runs in the end-to-end benches).
+ */
+
+#ifndef REAPER_COMMON_PARALLEL_H
+#define REAPER_COMMON_PARALLEL_H
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace reaper {
+
+/**
+ * Run fn(i) for i in [0, count) across up to `threads` worker threads
+ * (0 = hardware concurrency). fn must be safe to call concurrently for
+ * distinct i. Blocks until all iterations finish.
+ */
+template <typename Fn>
+void
+parallelFor(size_t count, Fn fn, unsigned threads = 0)
+{
+    if (count == 0)
+        return;
+    unsigned hw = std::thread::hardware_concurrency();
+    unsigned n = threads ? threads : (hw ? hw : 4);
+    n = static_cast<unsigned>(
+        std::min<size_t>(n, count));
+    if (n <= 1) {
+        for (size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+    std::atomic<size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(n);
+    for (unsigned t = 0; t < n; ++t) {
+        pool.emplace_back([&]() {
+            for (;;) {
+                size_t i = next.fetch_add(1);
+                if (i >= count)
+                    return;
+                fn(i);
+            }
+        });
+    }
+    for (auto &th : pool)
+        th.join();
+}
+
+} // namespace reaper
+
+#endif // REAPER_COMMON_PARALLEL_H

@@ -1,0 +1,199 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace reaper {
+
+uint64_t
+splitmix64(uint64_t &state)
+{
+    uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+hashCombine(uint64_t a, uint64_t b)
+{
+    // Mix both words through SplitMix64 so nearby inputs decorrelate.
+    uint64_t state = a ^ (b + 0x9E3779B97F4A7C15ull + (a << 6) + (a >> 2));
+    return splitmix64(state);
+}
+
+namespace {
+
+inline uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &s : s_)
+        s = splitmix64(sm);
+    // xoshiro must not be seeded with all zeros; SplitMix64 of any seed
+    // cannot produce four zero words, but guard anyway.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0)
+        s_[0] = 0x9E3779B97F4A7C15ull;
+}
+
+uint64_t
+Rng::operator()()
+{
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+Rng
+Rng::fork()
+{
+    return Rng((*this)());
+}
+
+double
+Rng::uniform()
+{
+    // 53 high-quality bits -> double in [0, 1).
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+uint64_t
+Rng::uniformInt(uint64_t n)
+{
+    if (n == 0)
+        panic("uniformInt: n must be > 0");
+    // Rejection sampling to avoid modulo bias.
+    uint64_t threshold = (0 - n) % n;
+    for (;;) {
+        uint64_t r = (*this)();
+        if (r >= threshold)
+            return r % n;
+    }
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+double
+Rng::normal()
+{
+    if (hasSpare_) {
+        hasSpare_ = false;
+        return spare_;
+    }
+    double u1, u2;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    u2 = uniform();
+    double mag = std::sqrt(-2.0 * std::log(u1));
+    spare_ = mag * std::sin(2.0 * M_PI * u2);
+    hasSpare_ = true;
+    return mag * std::cos(2.0 * M_PI * u2);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+double
+Rng::lognormal(double mu_log, double sigma_log)
+{
+    return std::exp(normal(mu_log, sigma_log));
+}
+
+double
+Rng::exponentialMean(double mean)
+{
+    if (mean <= 0.0)
+        panic("exponentialMean: mean must be > 0 (got %g)", mean);
+    double u;
+    do {
+        u = uniform();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+}
+
+uint64_t
+Rng::poisson(double mean)
+{
+    if (mean <= 0.0)
+        return 0;
+    if (mean < 30.0) {
+        // Knuth inversion in log space to avoid underflow.
+        double l = std::exp(-mean);
+        uint64_t k = 0;
+        double p = 1.0;
+        do {
+            ++k;
+            p *= uniform();
+        } while (p > l);
+        return k - 1;
+    }
+    // Normal approximation with continuity correction; adequate for the
+    // large-population sampling (weak-cell counts) this is used for.
+    double x = normal(mean, std::sqrt(mean));
+    return x < 0.5 ? 0 : static_cast<uint64_t>(std::llround(x));
+}
+
+uint64_t
+Rng::binomial(uint64_t n, double p)
+{
+    if (n == 0 || p <= 0.0)
+        return 0;
+    if (p >= 1.0)
+        return n;
+    double np = static_cast<double>(n) * p;
+    if (np < 30.0 && n < 100000) {
+        if (np < 10.0 && static_cast<double>(n) * (1 - p) > 30.0) {
+            // Poisson limit is cheap and accurate in the rare-event regime
+            // that dominates our use (weak cells out of billions of bits).
+            uint64_t k = poisson(np);
+            return std::min(k, n);
+        }
+        uint64_t count = 0;
+        for (uint64_t i = 0; i < n; ++i)
+            count += bernoulli(p) ? 1 : 0;
+        return count;
+    }
+    double mean = np;
+    double sd = std::sqrt(np * (1.0 - p));
+    double x = normal(mean, sd);
+    if (x < 0.0)
+        return 0;
+    if (x > static_cast<double>(n))
+        return n;
+    return static_cast<uint64_t>(std::llround(x));
+}
+
+} // namespace reaper

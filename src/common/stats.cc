@@ -1,0 +1,147 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace reaper {
+
+void
+RunningStats::add(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    double na = static_cast<double>(n_);
+    double nb = static_cast<double>(other.n_);
+    double delta = other.mean_ - mean_;
+    double n_total = na + nb;
+    mean_ += delta * nb / n_total;
+    m2_ += other.m2_ + delta * delta * na * nb / n_total;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    n_ += other.n_;
+}
+
+double
+RunningStats::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+percentile(std::vector<double> values, double q)
+{
+    if (values.empty())
+        return 0.0;
+    q = std::min(std::max(q, 0.0), 1.0);
+    std::sort(values.begin(), values.end());
+    double pos = q * static_cast<double>(values.size() - 1);
+    size_t lo = static_cast<size_t>(pos);
+    size_t hi = std::min(lo + 1, values.size() - 1);
+    double frac = pos - static_cast<double>(lo);
+    return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+BoxStats
+BoxStats::fromSamples(const std::vector<double> &samples)
+{
+    BoxStats b;
+    if (samples.empty())
+        return b;
+    b.n = samples.size();
+    b.lo = percentile(samples, 0.0);
+    b.q1 = percentile(samples, 0.25);
+    b.median = percentile(samples, 0.5);
+    b.q3 = percentile(samples, 0.75);
+    b.hi = percentile(samples, 1.0);
+    RunningStats rs;
+    for (double s : samples)
+        rs.add(s);
+    b.mean = rs.mean();
+    return b;
+}
+
+Histogram::Histogram(double lo, double hi, size_t bins, bool logarithmic)
+    : lo_(lo), hi_(hi), log_(logarithmic), counts_(bins, 0)
+{
+    if (bins == 0)
+        panic("Histogram: bins must be > 0");
+    if (hi <= lo)
+        panic("Histogram: hi (%g) must exceed lo (%g)", hi, lo);
+    if (log_ && lo <= 0.0)
+        panic("Histogram: logarithmic bins require lo > 0 (got %g)", lo);
+}
+
+void
+Histogram::add(double x, uint64_t weight)
+{
+    double pos;
+    if (log_) {
+        double xl = std::max(x, lo_);
+        pos = (std::log(xl) - std::log(lo_)) /
+              (std::log(hi_) - std::log(lo_));
+    } else {
+        pos = (x - lo_) / (hi_ - lo_);
+    }
+    double scaled = pos * static_cast<double>(counts_.size());
+    long idx = static_cast<long>(std::floor(scaled));
+    idx = std::max(0l, std::min(idx, static_cast<long>(counts_.size()) - 1));
+    counts_[static_cast<size_t>(idx)] += weight;
+    total_ += weight;
+}
+
+double
+Histogram::binLo(size_t i) const
+{
+    double f = static_cast<double>(i) / static_cast<double>(counts_.size());
+    if (log_)
+        return lo_ * std::pow(hi_ / lo_, f);
+    return lo_ + (hi_ - lo_) * f;
+}
+
+double
+Histogram::binCenter(size_t i) const
+{
+    if (log_)
+        return std::sqrt(binLo(i) * binHi(i));
+    return 0.5 * (binLo(i) + binHi(i));
+}
+
+double
+Histogram::binFraction(size_t i) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(counts_.at(i)) /
+           static_cast<double>(total_);
+}
+
+} // namespace reaper

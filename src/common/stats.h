@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Descriptive statistics: streaming moments (Welford), percentiles,
+ * box-plot summaries, and histograms (linear and logarithmic binning).
+ */
+
+#ifndef REAPER_COMMON_STATS_H
+#define REAPER_COMMON_STATS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace reaper {
+
+/** Streaming mean/variance/min/max accumulator (Welford's algorithm). */
+class RunningStats
+{
+  public:
+    void add(double x);
+
+    /** Merge another accumulator into this one. */
+    void merge(const RunningStats &other);
+
+    uint64_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    /** Sample variance (n-1 denominator); 0 for n < 2. */
+    double variance() const;
+    double stddev() const;
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+  private:
+    uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Linear-interpolated percentile of a sample (q in [0, 1]).
+ * The input vector is copied and sorted; empty input returns 0.
+ */
+double percentile(std::vector<double> values, double q);
+
+/** Five-number box-plot summary plus the mean (as in the paper's Fig 13). */
+struct BoxStats
+{
+    double lo = 0.0;  ///< minimum (lower whisker)
+    double q1 = 0.0;  ///< 25th percentile
+    double median = 0.0;
+    double q3 = 0.0;  ///< 75th percentile
+    double hi = 0.0;  ///< maximum (upper whisker)
+    double mean = 0.0;
+    size_t n = 0;
+
+    static BoxStats fromSamples(const std::vector<double> &samples);
+};
+
+/** Fixed-bin histogram over [lo, hi); out-of-range samples clamp to ends. */
+class Histogram
+{
+  public:
+    /**
+     * @param lo inclusive lower edge of the first bin
+     * @param hi exclusive upper edge of the last bin (must be > lo)
+     * @param bins number of bins (must be > 0)
+     * @param logarithmic if true, bin edges are geometric (lo must be > 0)
+     */
+    Histogram(double lo, double hi, size_t bins, bool logarithmic = false);
+
+    void add(double x, uint64_t weight = 1);
+
+    size_t numBins() const { return counts_.size(); }
+    uint64_t binCount(size_t i) const { return counts_.at(i); }
+    uint64_t totalCount() const { return total_; }
+    /** Lower edge of bin i. */
+    double binLo(size_t i) const;
+    /** Upper edge of bin i. */
+    double binHi(size_t i) const { return binLo(i + 1); }
+    /** Geometric/arithmetic center of bin i. */
+    double binCenter(size_t i) const;
+    /** Fraction of all samples in bin i (0 if empty histogram). */
+    double binFraction(size_t i) const;
+
+  private:
+    double lo_;
+    double hi_;
+    bool log_;
+    std::vector<uint64_t> counts_;
+    uint64_t total_ = 0;
+};
+
+} // namespace reaper
+
+#endif // REAPER_COMMON_STATS_H

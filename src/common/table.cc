@@ -1,0 +1,105 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iomanip>
+
+namespace reaper {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    cells.resize(header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+TablePrinter::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(header_.size(), 0);
+    for (size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(widths[c]))
+               << row[c];
+            if (c + 1 < row.size())
+                os << "  ";
+        }
+        os << "\n";
+    };
+
+    print_row(header_);
+    size_t total = 0;
+    for (size_t w : widths)
+        total += w;
+    total += 2 * (widths.size() - 1);
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+std::string
+fmtG(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    return buf;
+}
+
+std::string
+fmtF(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+fmtPct(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+    return buf;
+}
+
+std::string
+fmtTime(double seconds)
+{
+    char buf[64];
+    double s = std::fabs(seconds);
+    if (s < 1e-6)
+        std::snprintf(buf, sizeof(buf), "%.1fns", seconds * 1e9);
+    else if (s < 1e-3)
+        std::snprintf(buf, sizeof(buf), "%.1fus", seconds * 1e6);
+    else if (s < 1.0)
+        std::snprintf(buf, sizeof(buf), "%.1fms", seconds * 1e3);
+    else if (s < 120.0)
+        std::snprintf(buf, sizeof(buf), "%.2fs", seconds);
+    else if (s < 7200.0)
+        std::snprintf(buf, sizeof(buf), "%.2fmin", seconds / 60.0);
+    else if (s < 2.0 * 86400.0)
+        std::snprintf(buf, sizeof(buf), "%.2fh", seconds / 3600.0);
+    else
+        std::snprintf(buf, sizeof(buf), "%.2fdays", seconds / 86400.0);
+    return buf;
+}
+
+void
+printBanner(std::ostream &os, const std::string &title)
+{
+    os << "\n=== " << title << " ===\n";
+}
+
+} // namespace reaper

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * ASCII table and data-series printers used by the benchmark harnesses to
+ * emit the rows/series of the paper's tables and figures.
+ */
+
+#ifndef REAPER_COMMON_TABLE_H
+#define REAPER_COMMON_TABLE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace reaper {
+
+/**
+ * Column-aligned text table. Usage:
+ *   TablePrinter t({"tREFI", "BER"});
+ *   t.addRow({"64ms", "1.2e-10"});
+ *   t.print(std::cout);
+ */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::vector<std::string> header);
+
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with a header separator and 2-space column padding. */
+    void print(std::ostream &os) const;
+
+    size_t numRows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with %.*g-style compact precision. */
+std::string fmtG(double v, int precision = 4);
+
+/** Format a double as fixed-precision. */
+std::string fmtF(double v, int precision = 2);
+
+/** Format a fraction as a percentage string ("12.3%"). */
+std::string fmtPct(double fraction, int precision = 1);
+
+/** Format seconds with an auto unit (ns/us/ms/s/min/h/days). */
+std::string fmtTime(double seconds);
+
+/** Print a "# <title>" banner used to delimit figure output sections. */
+void printBanner(std::ostream &os, const std::string &title);
+
+} // namespace reaper
+
+#endif // REAPER_COMMON_TABLE_H

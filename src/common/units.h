@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Unit conventions and conversion helpers used throughout the library.
+ *
+ * All times are carried as double seconds, temperatures as double degrees
+ * Celsius, capacities as uint64_t bits/bytes. The helpers below make call
+ * sites self-documenting (e.g. msToSec(64.0)).
+ */
+
+#ifndef REAPER_COMMON_UNITS_H
+#define REAPER_COMMON_UNITS_H
+
+#include <cstdint>
+
+namespace reaper {
+
+/** Time in seconds. */
+using Seconds = double;
+/** Temperature in degrees Celsius. */
+using Celsius = double;
+
+constexpr Seconds msToSec(double ms) { return ms / 1e3; }
+constexpr Seconds usToSec(double us) { return us / 1e6; }
+constexpr Seconds nsToSec(double ns) { return ns / 1e9; }
+constexpr double secToMs(Seconds s) { return s * 1e3; }
+constexpr double secToHours(Seconds s) { return s / 3600.0; }
+constexpr double secToDays(Seconds s) { return s / 86400.0; }
+constexpr Seconds hoursToSec(double h) { return h * 3600.0; }
+constexpr Seconds daysToSec(double d) { return d * 86400.0; }
+constexpr Seconds minutesToSec(double m) { return m * 60.0; }
+
+constexpr uint64_t kKiB = 1024ull;
+constexpr uint64_t kMiB = 1024ull * kKiB;
+constexpr uint64_t kGiB = 1024ull * kMiB;
+
+/** Capacity in bits for a chip denoted in Gib (e.g. 8Gb chip -> 8). */
+constexpr uint64_t gibitToBits(uint64_t gibit) { return gibit * kGiB; }
+
+/** Bytes to bits. */
+constexpr uint64_t bytesToBits(uint64_t bytes) { return bytes * 8ull; }
+
+/** JEDEC default refresh interval (tREFW in this paper's terminology). */
+constexpr Seconds kJedecRefreshInterval = msToSec(64.0);
+
+/** JEDEC refresh command count per refresh window. */
+constexpr int kRefreshCommandsPerWindow = 8192;
+
+} // namespace reaper
+
+#endif // REAPER_COMMON_UNITS_H

@@ -1,0 +1,125 @@
+#include "dram/data_pattern.h"
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace reaper {
+namespace dram {
+
+std::string
+toString(DataPattern p)
+{
+    switch (p) {
+      case DataPattern::Solid0: return "solid0";
+      case DataPattern::Solid1: return "solid1";
+      case DataPattern::Checkerboard: return "checker";
+      case DataPattern::CheckerboardInv: return "checker_inv";
+      case DataPattern::RowStripe: return "rowstripe";
+      case DataPattern::RowStripeInv: return "rowstripe_inv";
+      case DataPattern::ColStripe: return "colstripe";
+      case DataPattern::ColStripeInv: return "colstripe_inv";
+      case DataPattern::Walk0: return "walk0";
+      case DataPattern::Walk1: return "walk1";
+      case DataPattern::Random: return "random";
+      case DataPattern::RandomInv: return "random_inv";
+    }
+    return "unknown";
+}
+
+bool
+isRandomPattern(DataPattern p)
+{
+    return p == DataPattern::Random || p == DataPattern::RandomInv;
+}
+
+DataPattern
+inverseOf(DataPattern p)
+{
+    switch (p) {
+      case DataPattern::Solid0: return DataPattern::Solid1;
+      case DataPattern::Solid1: return DataPattern::Solid0;
+      case DataPattern::Checkerboard: return DataPattern::CheckerboardInv;
+      case DataPattern::CheckerboardInv: return DataPattern::Checkerboard;
+      case DataPattern::RowStripe: return DataPattern::RowStripeInv;
+      case DataPattern::RowStripeInv: return DataPattern::RowStripe;
+      case DataPattern::ColStripe: return DataPattern::ColStripeInv;
+      case DataPattern::ColStripeInv: return DataPattern::ColStripe;
+      case DataPattern::Walk0: return DataPattern::Walk1;
+      case DataPattern::Walk1: return DataPattern::Walk0;
+      case DataPattern::Random: return DataPattern::RandomInv;
+      case DataPattern::RandomInv: return DataPattern::Random;
+    }
+    panic("inverseOf: bad pattern");
+}
+
+int
+patternClass(DataPattern p)
+{
+    if (isRandomPattern(p))
+        return static_cast<int>(DataPattern::Random);
+    return static_cast<int>(p);
+}
+
+const std::vector<DataPattern> &
+allDataPatterns()
+{
+    static const std::vector<DataPattern> all = {
+        DataPattern::Solid0,       DataPattern::Solid1,
+        DataPattern::Checkerboard, DataPattern::CheckerboardInv,
+        DataPattern::RowStripe,    DataPattern::RowStripeInv,
+        DataPattern::ColStripe,    DataPattern::ColStripeInv,
+        DataPattern::Walk0,        DataPattern::Walk1,
+        DataPattern::Random,       DataPattern::RandomInv,
+    };
+    return all;
+}
+
+const std::vector<DataPattern> &
+basePatterns()
+{
+    static const std::vector<DataPattern> base = {
+        DataPattern::Solid0,    DataPattern::Checkerboard,
+        DataPattern::RowStripe, DataPattern::ColStripe,
+        DataPattern::Walk0,     DataPattern::Random,
+    };
+    return base;
+}
+
+bool
+patternBit(DataPattern p, const Geometry &g, uint64_t flat_bit,
+           uint64_t nonce)
+{
+    CellCoord c = g.decode(flat_bit);
+    switch (p) {
+      case DataPattern::Solid0:
+        return false;
+      case DataPattern::Solid1:
+        return true;
+      case DataPattern::Checkerboard:
+        return ((c.row + c.col) & 1) != 0;
+      case DataPattern::CheckerboardInv:
+        return ((c.row + c.col) & 1) == 0;
+      case DataPattern::RowStripe:
+        return (c.row & 1) != 0;
+      case DataPattern::RowStripeInv:
+        return (c.row & 1) == 0;
+      case DataPattern::ColStripe:
+        return (c.col & 1) != 0;
+      case DataPattern::ColStripeInv:
+        return (c.col & 1) == 0;
+      case DataPattern::Walk0:
+        // A walking 0 through a background of 1s: one 0 per byte,
+        // position advancing with the column index.
+        return (c.bit != (c.col & 7));
+      case DataPattern::Walk1:
+        return (c.bit == (c.col & 7));
+      case DataPattern::Random:
+        return (hashCombine(nonce, flat_bit) & 1) != 0;
+      case DataPattern::RandomInv:
+        return (hashCombine(nonce, flat_bit) & 1) == 0;
+    }
+    panic("patternBit: bad pattern");
+}
+
+} // namespace dram
+} // namespace reaper

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Retention-test data patterns (Section 3.2 of the paper): solids,
+ * checkerboards, row/column stripes, walking 1s/0s, random data, and
+ * their inverses.
+ */
+
+#ifndef REAPER_DRAM_DATA_PATTERN_H
+#define REAPER_DRAM_DATA_PATTERN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dram/geometry.h"
+
+namespace reaper {
+namespace dram {
+
+/** The data-pattern classes used for retention testing. */
+enum class DataPattern : uint8_t
+{
+    Solid0 = 0,
+    Solid1,
+    Checkerboard,
+    CheckerboardInv,
+    RowStripe,
+    RowStripeInv,
+    ColStripe,
+    ColStripeInv,
+    Walk0,
+    Walk1,
+    Random,
+    RandomInv,
+};
+
+/** Number of distinct pattern classes. */
+constexpr int kNumDataPatterns = 12;
+
+/** Human-readable pattern name. */
+std::string toString(DataPattern p);
+
+/** True for Random / RandomInv, whose content changes every write. */
+bool isRandomPattern(DataPattern p);
+
+/** The inverse pattern of p (Solid0 <-> Solid1, etc.). */
+DataPattern inverseOf(DataPattern p);
+
+/**
+ * The DPD "class" index of a pattern: a pattern and its inverse stress
+ * different cells, so each of the 12 patterns is its own class except
+ * that Random/RandomInv share class behaviour (fresh draw per write).
+ */
+int patternClass(DataPattern p);
+
+/**
+ * The standard test set: six base patterns and their inverses
+ * (Section 5.3: "six data patterns and their inverses").
+ */
+const std::vector<DataPattern> &allDataPatterns();
+
+/** The six base patterns without inverses (Section 7.3.1 overhead model). */
+const std::vector<DataPattern> &basePatterns();
+
+/**
+ * The logical bit value the pattern stores at a cell. For Random
+ * patterns the value is a deterministic function of (nonce, flat_bit) so
+ * a written pattern can be re-derived at read time.
+ */
+bool patternBit(DataPattern p, const Geometry &g, uint64_t flat_bit,
+                uint64_t nonce);
+
+} // namespace dram
+} // namespace reaper
+
+#endif // REAPER_DRAM_DATA_PATTERN_H

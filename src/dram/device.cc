@@ -1,0 +1,247 @@
+#include "dram/device.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace reaper {
+namespace dram {
+
+namespace {
+
+inline double
+toUniform(uint64_t h)
+{
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+} // namespace
+
+DramDevice::DramDevice(const DeviceConfig &config)
+    : config_(config),
+      model_(config.hasParamOverride ? config.paramOverride
+                                     : vendorParams(config.vendor)),
+      geometry_(Geometry::forCapacityBits(config.capacityBits)),
+      rng_(config.seed),
+      temp_(config.initialTemp)
+{
+    weak_ = model_.sampleWeakPopulation(config.capacityBits,
+                                        config.envelope, rng_);
+    for (uint32_t i = 0; i < weak_.size(); ++i) {
+        if (weak_[i].togglesVrt) {
+            double dwell = model_.params().weakVrtDwellMeanHours * 3600.0;
+            weak_[i].nextToggle = rng_.exponentialMean(dwell);
+            toggleQueue_.emplace(weak_[i].nextToggle, i);
+        }
+    }
+    muCapVrt_ = model_.envelopeMuCap(config.envelope);
+    vrtRate_ = model_.vrtCumulativeRate(muCapVrt_, config.capacityBits);
+}
+
+void
+DramDevice::setTemperature(Celsius temp)
+{
+    temp_ = temp;
+    if (temp > config_.envelope.maxTemperature + 1e-9) {
+        fatal("DramDevice: temperature %.1f exceeds test envelope max "
+              "%.1f; construct the device with a wider envelope",
+              temp, config_.envelope.maxTemperature);
+    }
+}
+
+void
+DramDevice::writePattern(DataPattern p)
+{
+    pattern_ = p;
+    ++writeNonce_;
+    ++exposureNonce_;
+    dataValid_ = true;
+    exposureEquiv_ = 0.0;
+}
+
+void
+DramDevice::restoreData()
+{
+    if (!dataValid_) {
+        warn("DramDevice::restoreData before any write; nothing to "
+             "restore");
+        return;
+    }
+    // Same stored content (same writeNonce_, so DPD factors persist),
+    // fresh charge and a fresh stochastic draw for the next window.
+    ++exposureNonce_;
+    exposureEquiv_ = 0.0;
+}
+
+void
+DramDevice::disableRefresh()
+{
+    refreshEnabled_ = false;
+}
+
+void
+DramDevice::enableRefresh()
+{
+    refreshEnabled_ = true;
+}
+
+void
+DramDevice::wait(Seconds dt)
+{
+    if (dt < 0)
+        panic("DramDevice::wait: negative dt %g", dt);
+    evolveDynamics(now_, now_ + dt);
+    if (!refreshEnabled_ && dataValid_) {
+        exposureEquiv_ += dt * model_.equivalentExposureScale(temp_);
+        double max_equiv = config_.envelope.maxInterval *
+                           model_.equivalentExposureScale(
+                               config_.envelope.maxTemperature);
+        if (exposureEquiv_ > max_equiv * 1.0001) {
+            fatal("DramDevice: unrefreshed exposure %.3fs (equivalent) "
+                  "exceeds the test envelope (%.3fs); construct the "
+                  "device with a wider envelope",
+                  exposureEquiv_, max_equiv);
+        }
+    }
+    now_ += dt;
+}
+
+void
+DramDevice::evolveDynamics(Seconds from, Seconds to)
+{
+    // Weak-cell two-state VRT toggling.
+    double dwell = model_.params().weakVrtDwellMeanHours * 3600.0;
+    while (!toggleQueue_.empty() && toggleQueue_.top().first <= to) {
+        auto [when, idx] = toggleQueue_.top();
+        toggleQueue_.pop();
+        weak_[idx].vrtState ^= 1;
+        double next = when + rng_.exponentialMean(dwell);
+        weak_[idx].nextToggle = next;
+        toggleQueue_.emplace(next, idx);
+    }
+
+    // Expire VRT arrivals that retreated during the window.
+    std::erase_if(vrtActive_, [to](const VrtActive &a) {
+        return a.expiry <= to;
+    });
+
+    // New VRT arrivals (Poisson in time).
+    double window = to - from;
+    if (window <= 0 || vrtRate_ <= 0)
+        return;
+    uint64_t n = rng_.poisson(vrtRate_ * window);
+    double arr_dwell = model_.params().vrtDwellMeanHours * 3600.0;
+    for (uint64_t i = 0; i < n; ++i) {
+        VrtActive a;
+        a.cell = model_.sampleVrtArrival(muCapVrt_, rng_);
+        a.cell.addr = rng_.uniformInt(config_.capacityBits);
+        double arrive = from + rng_.uniform() * window;
+        a.expiry = arrive + rng_.exponentialMean(arr_dwell);
+        if (a.expiry > to)
+            vrtActive_.push_back(a);
+    }
+}
+
+double
+DramDevice::latentFailureTime(const WeakCell &cell) const
+{
+    double factor = model_.dpdFactor(cell, pattern_, writeNonce_);
+    double state_factor = cell.vrtState ? cell.vrtFactor : 1.0;
+    double mu_eff = static_cast<double>(cell.mu) * factor * state_factor;
+    double sigma = static_cast<double>(cell.mu) * cell.sigmaRel *
+                   model_.sigmaNarrowScale(temp_);
+    double u = toUniform(hashCombine(
+        hashCombine(cell.dpdSeed, exposureNonce_ * 0x9E3779B97F4A7C15ull),
+        cell.addr));
+    u = clampTo(u, 1e-12, 1.0 - 1e-12);
+    return mu_eff + sigma * normalQuantile(u);
+}
+
+void
+DramDevice::collectIfFailed(const WeakCell &cell,
+                            std::vector<uint64_t> &out) const
+{
+    // Fast reject: even at the worst-case factor (1.0), a cell more than
+    // ~5 sigma above the exposure cannot have failed.
+    double sigma = static_cast<double>(cell.mu) * cell.sigmaRel;
+    if (static_cast<double>(cell.mu) - 5.0 * sigma > exposureEquiv_)
+        return;
+    if (exposureEquiv_ >= latentFailureTime(cell))
+        out.push_back(cell.addr);
+}
+
+std::vector<uint64_t>
+DramDevice::readAndCompare()
+{
+    std::vector<uint64_t> out;
+    if (!dataValid_) {
+        warn("DramDevice::readAndCompare before any write; no reference "
+             "data to compare against");
+        return out;
+    }
+    if (exposureEquiv_ <= 0)
+        return out;
+
+    // Candidate window: mu <= exposure / (1 - 5 * maxSigmaRel), clamped
+    // to "everything" if the spread cap makes the bound meaningless.
+    double max_rel = model_.params().maxSigmaRel;
+    double denom = 1.0 - 5.0 * max_rel;
+    double mu_bound = denom > 0.05
+                          ? exposureEquiv_ / denom
+                          : std::numeric_limits<double>::infinity();
+
+    auto end = std::upper_bound(
+        weak_.begin(), weak_.end(), mu_bound,
+        [](double bound, const WeakCell &c) {
+            return bound < static_cast<double>(c.mu);
+        });
+    for (auto it = weak_.begin(); it != end; ++it)
+        collectIfFailed(*it, out);
+    for (const auto &a : vrtActive_)
+        collectIfFailed(a.cell, out);
+
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+std::vector<uint64_t>
+DramDevice::trueFailingSet(Seconds t_refi, Celsius temp, double pmin) const
+{
+    std::vector<uint64_t> out;
+    double t_equiv = t_refi * model_.equivalentExposureScale(temp);
+    double max_rel = model_.params().maxSigmaRel;
+    double denom = 1.0 - 5.0 * max_rel;
+    double mu_bound = denom > 0.05
+                          ? t_equiv / denom
+                          : std::numeric_limits<double>::infinity();
+
+    auto consider = [&](const WeakCell &c) {
+        if (model_.failureProbability(c, t_equiv, temp, 1.0) >= pmin)
+            out.push_back(c.addr);
+    };
+    auto end = std::upper_bound(
+        weak_.begin(), weak_.end(), mu_bound,
+        [](double bound, const WeakCell &c) {
+            return bound < static_cast<double>(c.mu);
+        });
+    for (auto it = weak_.begin(); it != end; ++it)
+        consider(*it);
+    for (const auto &a : vrtActive_)
+        consider(a.cell);
+
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+double
+DramDevice::expectedBer(Seconds t, Celsius temp) const
+{
+    return model_.berAt(t, temp);
+}
+
+} // namespace dram
+} // namespace reaper

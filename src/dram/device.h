@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Functional model of a single DRAM chip for retention testing.
+ *
+ * The device exposes exactly the host-visible operations a SoftMC-style
+ * testing platform provides (write a data pattern, enable/disable
+ * refresh, let time pass, read back and compare), plus an oracle
+ * interface used ONLY by the evaluation harness to compute ground-truth
+ * failing sets for coverage / false-positive metrics. Profilers must not
+ * touch the oracle; the testbed::SoftMcHost wrapper enforces that
+ * separation.
+ *
+ * Time is virtual: wait() advances a simulated clock, so a "6-day"
+ * characterization (Fig. 3) completes in seconds of wall-clock time.
+ *
+ * Failure semantics: per (write, cell) the device derives a latent
+ * failure time tau = mu_eff + sigma * z from a deterministic hash, where
+ * z is standard normal. A cell's stored bit is lost once the accumulated
+ * unrefreshed exposure (scaled to the reference temperature) reaches
+ * tau. This makes repeated reads consistent and failure monotone in
+ * exposure, while the marginal failure probability at exposure t is
+ * exactly the paper's per-cell normal CDF (Fig. 6a).
+ */
+
+#ifndef REAPER_DRAM_DEVICE_H
+#define REAPER_DRAM_DEVICE_H
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "dram/data_pattern.h"
+#include "dram/geometry.h"
+#include "dram/retention_model.h"
+#include "dram/vendor_model.h"
+
+namespace reaper {
+namespace dram {
+
+/** Construction parameters of one simulated chip. */
+struct DeviceConfig
+{
+    /** Chip capacity in bits (default: 2 GB = 16 Gib reference chip). */
+    uint64_t capacityBits = 16ull * 1024 * 1024 * 1024;
+    Vendor vendor = Vendor::B;
+    uint64_t seed = 1;
+    /** Conditions the chip must support being tested at. */
+    TestEnvelope envelope{};
+    /** Initial DRAM temperature. */
+    Celsius initialTemp = kReferenceTemp;
+    /**
+     * Optional parameter override; when set, used instead of
+     * vendorParams(vendor) (for chip-to-chip variation).
+     */
+    bool hasParamOverride = false;
+    RetentionParams paramOverride{};
+};
+
+/** One DRAM chip with a sparse stochastic weak-cell population. */
+class DramDevice
+{
+  public:
+    explicit DramDevice(const DeviceConfig &config);
+
+    // ---- Host-visible operations (the SoftMC surface) ----
+
+    /** Set the chip temperature (thermal chamber control). */
+    void setTemperature(Celsius temp);
+    Celsius temperature() const { return temp_; }
+
+    /** Write the whole chip with a data pattern (restores all cells). */
+    void writePattern(DataPattern p);
+
+    /**
+     * Restore the currently stored data in every cell (the effect of an
+     * ECC scrub pass that reads, corrects, and writes back): unrefreshed
+     * exposure resets while the stored data pattern stays the same, and
+     * the stochastic per-cell failure draw is refreshed for the next
+     * exposure window.
+     */
+    void restoreData();
+
+    void disableRefresh();
+    void enableRefresh();
+    bool refreshEnabled() const { return refreshEnabled_; }
+
+    /** Advance virtual time by dt seconds. */
+    void wait(Seconds dt);
+
+    /**
+     * Read the whole chip and compare against the last written pattern.
+     * @return flat bit addresses whose stored value was lost (sorted).
+     */
+    std::vector<uint64_t> readAndCompare();
+
+    /** Current virtual time in seconds since construction. */
+    Seconds now() const { return now_; }
+
+    /** Unrefreshed exposure since the last write, in equivalent seconds
+     *  at the reference temperature. */
+    Seconds exposureEquivalent() const { return exposureEquiv_; }
+
+    // ---- Oracle interface (evaluation harness only) ----
+
+    const RetentionModel &model() const { return model_; }
+    const Geometry &geometry() const { return geometry_; }
+    const DeviceConfig &config() const { return config_; }
+
+    /**
+     * Ground truth: addresses of all cells whose worst-case-pattern
+     * failure probability at (t_refi, temp) is at least pmin, including
+     * currently active VRT arrivals. This is "the set of all possible
+     * failing cells at the target conditions" of Section 1.
+     */
+    std::vector<uint64_t> trueFailingSet(Seconds t_refi, Celsius temp,
+                                         double pmin = 0.05) const;
+
+    /** Expected BER at (t, temp) from the closed-form model. */
+    double expectedBer(Seconds t, Celsius temp) const;
+
+    size_t weakCellCount() const { return weak_.size(); }
+    size_t activeVrtCount() const { return vrtActive_.size(); }
+    uint64_t writeCount() const { return writeNonce_; }
+    DataPattern lastPattern() const { return pattern_; }
+
+  private:
+    struct VrtActive
+    {
+        WeakCell cell;
+        double expiry; ///< absolute time at which the cell retreats
+    };
+
+    /** Advance VRT arrival/expiry and weak-cell toggling to now_. */
+    void evolveDynamics(Seconds from, Seconds to);
+
+    /** Latent failure exposure (equivalent s) of a cell for this write. */
+    double latentFailureTime(const WeakCell &cell) const;
+
+    /** Append failing addresses from a candidate cell if exposed. */
+    void collectIfFailed(const WeakCell &cell,
+                         std::vector<uint64_t> &out) const;
+
+    DeviceConfig config_;
+    RetentionModel model_;
+    Geometry geometry_;
+    Rng rng_;
+
+    std::vector<WeakCell> weak_; ///< sorted by mu
+    std::vector<VrtActive> vrtActive_;
+    /** Toggle-event queue: (time, index into weak_), min-heap. */
+    using ToggleEvent = std::pair<double, uint32_t>;
+    std::priority_queue<ToggleEvent, std::vector<ToggleEvent>,
+                        std::greater<ToggleEvent>>
+        toggleQueue_;
+
+    Seconds muCapVrt_;   ///< envelope cap for VRT arrival mus
+    double vrtRate_;     ///< total arrival rate (cells/s) within the cap
+
+    Seconds now_ = 0.0;
+    Celsius temp_;
+    bool refreshEnabled_ = true;
+    bool dataValid_ = false;
+    Seconds exposureEquiv_ = 0.0;
+    DataPattern pattern_ = DataPattern::Solid0;
+    uint64_t writeNonce_ = 0;    ///< identifies the written content
+    uint64_t exposureNonce_ = 0; ///< identifies the exposure window
+};
+
+} // namespace dram
+} // namespace reaper
+
+#endif // REAPER_DRAM_DEVICE_H

@@ -1,0 +1,66 @@
+#include "dram/geometry.h"
+
+#include "common/logging.h"
+
+namespace reaper {
+namespace dram {
+
+Geometry::Geometry(uint32_t banks, uint32_t rows, uint32_t row_bytes)
+    : banks_(banks), rows_(rows), rowBytes_(row_bytes)
+{
+    if (banks == 0 || rows == 0 || row_bytes == 0)
+        panic("Geometry: all dimensions must be nonzero (%u, %u, %u)",
+              banks, rows, row_bytes);
+    capacityBits_ = uint64_t{banks_} * rows_ * rowBytes_ * 8;
+}
+
+Geometry
+Geometry::forCapacityBits(uint64_t capacity_bits)
+{
+    // LPDDR4 organization: 8 banks, 2 KiB rows; scale row count.
+    constexpr uint32_t banks = 8;
+    constexpr uint32_t row_bytes = 2048;
+    uint64_t row_bits = uint64_t{row_bytes} * 8;
+    uint64_t rows = capacity_bits / (banks * row_bits);
+    if (rows == 0 || rows * banks * row_bits != capacity_bits)
+        panic("Geometry::forCapacityBits: capacity %llu is not a multiple "
+              "of %llu bits (8 banks x 2KiB rows)",
+              static_cast<unsigned long long>(capacity_bits),
+              static_cast<unsigned long long>(banks * row_bits));
+    if (rows > 0xFFFFFFFFull)
+        panic("Geometry::forCapacityBits: too many rows");
+    return Geometry(banks, static_cast<uint32_t>(rows), row_bytes);
+}
+
+CellCoord
+Geometry::decode(uint64_t flat_bit) const
+{
+    if (flat_bit >= capacityBits_)
+        panic("Geometry::decode: flat bit %llu out of range",
+              static_cast<unsigned long long>(flat_bit));
+    CellCoord c;
+    uint64_t row_bits = rowBits();
+    uint64_t bit_in_row = flat_bit % row_bits;
+    uint64_t row_flat = flat_bit / row_bits;
+    c.bit = static_cast<uint32_t>(bit_in_row % 8);
+    c.col = static_cast<uint32_t>(bit_in_row / 8);
+    c.row = static_cast<uint32_t>(row_flat % rows_);
+    c.bank = static_cast<uint32_t>(row_flat / rows_);
+    return c;
+}
+
+uint64_t
+Geometry::encode(const CellCoord &c) const
+{
+    uint64_t row_flat = uint64_t{c.bank} * rows_ + c.row;
+    return row_flat * rowBits() + uint64_t{c.col} * 8 + c.bit;
+}
+
+uint64_t
+Geometry::rowIndexOf(uint64_t flat_bit) const
+{
+    return flat_bit / rowBits();
+}
+
+} // namespace dram
+} // namespace reaper

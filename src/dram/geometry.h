@@ -1,0 +1,77 @@
+/**
+ * @file
+ * DRAM device geometry and cell addressing.
+ *
+ * Cells are identified by a flat bit index within a chip; Geometry decodes
+ * a flat index into (bank, row, column, bit) coordinates, mirroring the
+ * 2-D array organization of Section 2.1 of the paper.
+ */
+
+#ifndef REAPER_DRAM_GEOMETRY_H
+#define REAPER_DRAM_GEOMETRY_H
+
+#include <cstdint>
+
+namespace reaper {
+namespace dram {
+
+/** Decoded coordinates of a single DRAM cell. */
+struct CellCoord
+{
+    uint32_t bank = 0;
+    uint32_t row = 0;
+    uint32_t col = 0;  ///< column (byte) within the row
+    uint32_t bit = 0;  ///< bit within the column byte
+
+    bool
+    operator==(const CellCoord &o) const
+    {
+        return bank == o.bank && row == o.row && col == o.col &&
+               bit == o.bit;
+    }
+};
+
+/**
+ * Physical organization of one DRAM chip: banks x rows x rowBytes bytes.
+ * Capacity in bits is banks * rows * rowBytes * 8.
+ */
+class Geometry
+{
+  public:
+    /**
+     * @param banks number of banks (LPDDR4: 8)
+     * @param rows rows per bank
+     * @param row_bytes bytes per row (LPDDR4: 2 KiB row buffer)
+     */
+    Geometry(uint32_t banks, uint32_t rows, uint32_t row_bytes);
+
+    /** Build a geometry for a chip of the given capacity in bits. */
+    static Geometry forCapacityBits(uint64_t capacity_bits);
+
+    uint32_t banks() const { return banks_; }
+    uint32_t rowsPerBank() const { return rows_; }
+    uint32_t rowBytes() const { return rowBytes_; }
+    uint64_t rowBits() const { return uint64_t{rowBytes_} * 8; }
+    uint64_t capacityBits() const { return capacityBits_; }
+    uint64_t totalRows() const { return uint64_t{banks_} * rows_; }
+
+    /** Decode a flat bit index into cell coordinates. */
+    CellCoord decode(uint64_t flat_bit) const;
+
+    /** Encode cell coordinates back into a flat bit index. */
+    uint64_t encode(const CellCoord &c) const;
+
+    /** Flat index of the row containing a flat bit (bank-major). */
+    uint64_t rowIndexOf(uint64_t flat_bit) const;
+
+  private:
+    uint32_t banks_;
+    uint32_t rows_;
+    uint32_t rowBytes_;
+    uint64_t capacityBits_;
+};
+
+} // namespace dram
+} // namespace reaper
+
+#endif // REAPER_DRAM_GEOMETRY_H

@@ -1,0 +1,53 @@
+#include "dram/vendor_model.h"
+
+#include "common/logging.h"
+
+namespace reaper {
+namespace dram {
+
+std::string
+toString(Vendor v)
+{
+    switch (v) {
+      case Vendor::A: return "A";
+      case Vendor::B: return "B";
+      case Vendor::C: return "C";
+    }
+    return "?";
+}
+
+RetentionParams
+vendorParams(Vendor v)
+{
+    RetentionParams p; // defaults are vendor B (the paper's representative)
+    switch (v) {
+      case Vendor::A:
+        p.berAt1024ms = 1.15e-7;
+        p.tailExponent = 2.7;
+        p.tempCoeff = 0.22;
+        p.vrtRateAt1024ms = 0.55;
+        p.vrtExponent = 7.5;
+        p.dpdMaxFactor = 1.30;
+        break;
+      case Vendor::B:
+        p.berAt1024ms = 1.434e-7;
+        p.tailExponent = 2.8;
+        p.tempCoeff = 0.20;
+        p.vrtRateAt1024ms = 0.73;
+        p.vrtExponent = 7.9;
+        p.dpdMaxFactor = 1.35;
+        break;
+      case Vendor::C:
+        p.berAt1024ms = 1.80e-7;
+        p.tailExponent = 2.9;
+        p.tempCoeff = 0.26;
+        p.vrtRateAt1024ms = 1.05;
+        p.vrtExponent = 8.3;
+        p.dpdMaxFactor = 1.40;
+        break;
+    }
+    return p;
+}
+
+} // namespace dram
+} // namespace reaper

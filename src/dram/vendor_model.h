@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Per-vendor retention model parameters.
+ *
+ * The paper characterizes LPDDR4 chips from three anonymized vendors
+ * (A, B, C) and reports vendor-specific temperature coefficients (Eq. 1)
+ * and VRT failure-accumulation fits (Fig. 4). The constants here are
+ * calibrated to the quantitative anchors the paper publishes:
+ *
+ *  - failure rate scales as exp(k dT) with k = 0.22/0.20/0.26 per degC
+ *    for vendors A/B/C (Eq. 1), i.e. roughly 10x per 10 degC;
+ *  - a 2 GB device at tREFI = 1024 ms, 45 degC shows ~2464 failures
+ *    (Section 6.2.3, vendor B reference);
+ *  - the VRT new-failure accumulation rate is ~0.73 cells/hour at
+ *    1024 ms and ~1 cell / 20 s at 2048 ms (Fig. 3, Section 6.2.3),
+ *    fixing the power-law exponent near 7.9 (Fig. 4);
+ *  - per-cell failure-CDF spreads are lognormal with most mass below
+ *    200 ms at the characterized conditions (Fig. 6b);
+ *  - profiling +250 ms above target yields > 99% coverage at < 50%
+ *    false-positive rate (Section 6.1.2), fixing the retention-tail
+ *    power-law exponent near 2.8.
+ */
+
+#ifndef REAPER_DRAM_VENDOR_MODEL_H
+#define REAPER_DRAM_VENDOR_MODEL_H
+
+#include <string>
+
+#include "common/units.h"
+
+namespace reaper {
+namespace dram {
+
+/** Anonymized DRAM vendor, as in the paper. */
+enum class Vendor { A = 0, B = 1, C = 2 };
+
+constexpr int kNumVendors = 3;
+
+std::string toString(Vendor v);
+
+/** Reference temperature at which model parameters are expressed. */
+constexpr Celsius kReferenceTemp = 45.0;
+
+/** Bits in the 2 GB reference device used for per-chip calibration. */
+constexpr double kBitsPer2GB = 2.0 * 1024.0 * 1024.0 * 1024.0 * 8.0;
+
+/**
+ * All statistical parameters of one vendor's retention behaviour.
+ * See RetentionModel for how each parameter enters the model.
+ */
+struct RetentionParams
+{
+    /** Tail CDF of retention means at 1024 ms, 45 degC (per bit). */
+    double berAt1024ms = 1.434e-7;
+    /** Power-law exponent of the retention-time tail CDF. */
+    double tailExponent = 2.8;
+    /** Failure-rate temperature coefficient k (Eq. 1), per degC. */
+    double tempCoeff = 0.20;
+
+    /** Per-cell CDF spread: sigma = mu * LogNormal(lnSigmaRel, spread). */
+    double lnSigmaRel = -3.0; // exp(-3.0) ~ 0.05 relative spread
+    double sigmaRelSpread = 0.5;
+    double maxSigmaRel = 0.20;
+    /** Additional CDF narrowing per degC above reference (Fig. 7). */
+    double sigmaTempNarrow = 0.012;
+
+    /** Largest DPD retention multiplier for a non-worst-case pattern. */
+    double dpdMaxFactor = 1.35;
+    /** Fraction of cells whose worst-case pattern is not a static one. */
+    double randomOnlyFraction = 0.10;
+    /** Bias of the random pattern toward low factors: 1+(max-1)*u^bias. */
+    double randomBiasExponent = 2.0;
+
+    /** VRT arrival rate at 1024 ms, 45 degC, per 2 GB, per hour. */
+    double vrtRateAt1024ms = 0.73;
+    /** VRT accumulation power-law exponent (Fig. 4). */
+    double vrtExponent = 7.9;
+    /** Interval beyond which the VRT power law saturates to ~t^2. */
+    Seconds vrtKnee = 2.2;
+    /** Mean active dwell of a VRT arrival before it retreats (hours). */
+    double vrtDwellMeanHours = 3.0;
+
+    /** Fraction of weak cells that toggle between two retention states. */
+    double weakVrtFraction = 0.02;
+    /** Toggle retention multiplier: LogNormal(ln, spread), >= 1. */
+    double weakVrtFactorLn = 0.45; // exp(0.45) ~ 1.57
+    double weakVrtFactorSpread = 0.25;
+    /** Mean dwell in each state for toggling weak cells (hours). */
+    double weakVrtDwellMeanHours = 6.0;
+};
+
+/** Calibrated parameters for each vendor. */
+RetentionParams vendorParams(Vendor v);
+
+} // namespace dram
+} // namespace reaper
+
+#endif // REAPER_DRAM_VENDOR_MODEL_H

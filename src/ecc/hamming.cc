@@ -1,0 +1,121 @@
+#include "ecc/hamming.h"
+
+#include <array>
+
+#include "common/logging.h"
+
+namespace reaper {
+namespace ecc {
+
+namespace {
+
+/**
+ * Codeword layout: positions 1..71 form a (71,64) Hamming code with
+ * parity bits at power-of-two positions (1,2,4,8,16,32,64); the overall
+ * parity bit is kept separately (check bit 7), extending the code to
+ * SECDED. Data bits fill the 64 non-power-of-two positions in order.
+ */
+struct Layout
+{
+    std::array<int, 64> dataPos{};  ///< codeword position of data bit i
+    std::array<int, 72> posData{};  ///< data bit at position (or -1)
+
+    Layout()
+    {
+        posData.fill(-1);
+        int d = 0;
+        for (int pos = 1; pos <= 71; ++pos) {
+            if ((pos & (pos - 1)) == 0)
+                continue; // parity position
+            dataPos[d] = pos;
+            posData[pos] = d;
+            ++d;
+        }
+        if (d != 64)
+            panic("Secded72 layout: expected 64 data positions, got %d", d);
+    }
+};
+
+const Layout &
+layout()
+{
+    static const Layout l;
+    return l;
+}
+
+/** XOR of data bits whose codeword position has syndrome bit `i` set. */
+uint8_t
+parityOverData(uint64_t data, int i)
+{
+    const Layout &l = layout();
+    uint8_t p = 0;
+    for (int d = 0; d < 64; ++d) {
+        if ((l.dataPos[d] >> i) & 1)
+            p ^= static_cast<uint8_t>((data >> d) & 1);
+    }
+    return p;
+}
+
+} // namespace
+
+uint8_t
+Secded72::encode(uint64_t data) const
+{
+    uint8_t check = 0;
+    for (int i = 0; i < 7; ++i)
+        check |= static_cast<uint8_t>(parityOverData(data, i) << i);
+    // Overall parity over all data and the 7 positional check bits.
+    uint8_t overall = static_cast<uint8_t>(__builtin_popcountll(data) & 1);
+    overall ^= static_cast<uint8_t>(__builtin_popcount(check & 0x7F) & 1);
+    check |= static_cast<uint8_t>(overall << 7);
+    return check;
+}
+
+DecodeResult
+Secded72::decode(uint64_t data, uint8_t check) const
+{
+    DecodeResult res;
+    res.data = data;
+
+    int syndrome = 0;
+    for (int i = 0; i < 7; ++i) {
+        uint8_t computed = parityOverData(data, i);
+        uint8_t stored = static_cast<uint8_t>((check >> i) & 1);
+        if (computed != stored)
+            syndrome |= 1 << i;
+    }
+    uint8_t overall = static_cast<uint8_t>(__builtin_popcountll(data) & 1);
+    overall ^= static_cast<uint8_t>(__builtin_popcount(check & 0x7F) & 1);
+    bool overall_mismatch = overall != ((check >> 7) & 1);
+
+    if (syndrome == 0 && !overall_mismatch) {
+        res.status = DecodeStatus::Ok;
+        return res;
+    }
+    if (syndrome != 0 && overall_mismatch) {
+        // Single-bit error at codeword position `syndrome`.
+        res.status = DecodeStatus::CorrectedSingle;
+        if (syndrome <= 71) {
+            int d = layout().posData[syndrome];
+            if (d >= 0)
+                res.data = data ^ (1ull << d);
+            // else: the error was in a check bit; data is intact.
+        } else {
+            // Syndrome points outside the codeword: treat as detected
+            // uncorrectable (cannot happen with <= 1 flipped bit).
+            res.status = DecodeStatus::DetectedDouble;
+        }
+        return res;
+    }
+    if (syndrome == 0 && overall_mismatch) {
+        // The overall parity bit itself flipped.
+        res.status = DecodeStatus::CorrectedSingle;
+        return res;
+    }
+    // syndrome != 0 && overall parity consistent: double-bit error.
+    res.status = DecodeStatus::DetectedDouble;
+    return res;
+}
+
+} // namespace ecc
+} // namespace reaper

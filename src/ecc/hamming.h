@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Hamming SECDED (72,64) codec.
+ *
+ * A concrete single-error-correcting, double-error-detecting code over
+ * 64-bit data words with 8 check bits — the "SECDED" strength the paper's
+ * ECC analysis (Section 6.2.2) and the AVATAR-style scrubbing profiler
+ * assume. Implemented as an extended Hamming code: check bits at
+ * power-of-two codeword positions plus one overall parity bit.
+ */
+
+#ifndef REAPER_ECC_HAMMING_H
+#define REAPER_ECC_HAMMING_H
+
+#include <cstdint>
+
+namespace reaper {
+namespace ecc {
+
+/** Outcome of decoding one codeword. */
+enum class DecodeStatus : uint8_t
+{
+    Ok,              ///< no error detected
+    CorrectedSingle, ///< single-bit error corrected (data or check bit)
+    DetectedDouble,  ///< uncorrectable double-bit error detected
+};
+
+/** Result of a decode: possibly-corrected data plus the status. */
+struct DecodeResult
+{
+    uint64_t data = 0;
+    DecodeStatus status = DecodeStatus::Ok;
+};
+
+/** SECDED (72,64) encoder/decoder. Stateless; all methods are const. */
+class Secded72
+{
+  public:
+    /** Compute the 8 check bits for a 64-bit data word. */
+    uint8_t encode(uint64_t data) const;
+
+    /**
+     * Decode a (data, check) pair, correcting a single flipped bit in
+     * either the data or the check bits, and detecting double errors.
+     */
+    DecodeResult decode(uint64_t data, uint8_t check) const;
+
+    /** Number of data bits per codeword. */
+    static constexpr int kDataBits = 64;
+    /** Number of check bits per codeword. */
+    static constexpr int kCheckBits = 8;
+    /** Total codeword length. */
+    static constexpr int kCodewordBits = kDataBits + kCheckBits;
+};
+
+} // namespace ecc
+} // namespace reaper
+
+#endif // REAPER_ECC_HAMMING_H

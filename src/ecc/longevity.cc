@@ -1,0 +1,42 @@
+#include "ecc/longevity.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace reaper {
+namespace ecc {
+
+Seconds
+profileLongevity(const LongevityInputs &in)
+{
+    double headroom = in.tolerableFailures - in.missedFailures;
+    if (headroom <= 0)
+        return 0.0;
+    if (in.accumulationPerHour <= 0)
+        return std::numeric_limits<double>::infinity();
+    return hoursToSec(headroom / in.accumulationPerHour);
+}
+
+LongevityResult
+computeLongevity(const LongevityScenario &s)
+{
+    if (s.capacityBits == 0)
+        panic("computeLongevity: capacityBits must be > 0");
+    LongevityResult r;
+    r.tolerableFailures =
+        tolerableBitErrors(s.targetUber, s.eccStrength, s.capacityBits);
+    r.expectedFailures =
+        s.berAtTarget * static_cast<double>(s.capacityBits);
+    r.missedFailures = (1.0 - s.profilingCoverage) * r.expectedFailures;
+    LongevityInputs in;
+    in.tolerableFailures = r.tolerableFailures;
+    in.missedFailures = r.missedFailures;
+    in.accumulationPerHour = s.accumulationPerHour;
+    r.longevity = profileLongevity(in);
+    return r;
+}
+
+} // namespace ecc
+} // namespace reaper

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Profile longevity model (Section 6.2.3, Eq. 7).
+ *
+ * Given the maximum tolerable number of retention failures N (from the
+ * UBER model), the number of failures C missed by profiling due to
+ * imperfect coverage, and the steady-state new-failure accumulation rate
+ * A (cells/hour, from the VRT characterization of Section 5.3), the time
+ * before reprofiling becomes necessary is T = (N - C) / A.
+ */
+
+#ifndef REAPER_ECC_LONGEVITY_H
+#define REAPER_ECC_LONGEVITY_H
+
+#include <cstdint>
+
+#include "common/units.h"
+#include "ecc/uber.h"
+
+namespace reaper {
+namespace ecc {
+
+/** Inputs of the longevity computation. */
+struct LongevityInputs
+{
+    double tolerableFailures = 0; ///< N: max tolerable failing cells
+    double missedFailures = 0;    ///< C: failures escaping the profile
+    double accumulationPerHour = 0; ///< A: new failures per hour
+};
+
+/**
+ * Eq. 7: T = (N - C) / A, in seconds. Returns +infinity when no new
+ * failures accumulate, and 0 when the profile is already insufficient
+ * (C >= N).
+ */
+Seconds profileLongevity(const LongevityInputs &in);
+
+/** Everything needed to evaluate longevity for a concrete system. */
+struct LongevityScenario
+{
+    uint64_t capacityBits = 0;   ///< protected DRAM capacity
+    EccConfig eccStrength = EccConfig::secded();
+    double targetUber = kConsumerUber;
+    double berAtTarget = 0;      ///< RBER at the target refresh interval
+    double profilingCoverage = 0.99; ///< fraction of failures found
+    double accumulationPerHour = 0;  ///< VRT accumulation (cells/hour)
+};
+
+/** Derived longevity results for a scenario. */
+struct LongevityResult
+{
+    double tolerableFailures = 0; ///< N
+    double expectedFailures = 0;  ///< failing cells at target conditions
+    double missedFailures = 0;    ///< C = (1 - coverage) * expected
+    Seconds longevity = 0;        ///< T
+};
+
+/** Compute Eq. 7 end to end from a system scenario. */
+LongevityResult computeLongevity(const LongevityScenario &s);
+
+} // namespace ecc
+} // namespace reaper
+
+#endif // REAPER_ECC_LONGEVITY_H

@@ -1,0 +1,110 @@
+#include "ecc/protected_memory.h"
+
+#include <vector>
+
+#include "common/logging.h"
+
+namespace reaper {
+namespace ecc {
+
+EccProtectedMemory::EccProtectedMemory(uint64_t capacity_bits)
+    : capacityBits_(capacity_bits)
+{
+    if (capacity_bits == 0 || capacity_bits % 64 != 0)
+        panic("EccProtectedMemory: capacity must be a positive "
+              "multiple of 64 bits");
+}
+
+void
+EccProtectedMemory::writeWord(uint64_t word_index, uint64_t value)
+{
+    if (word_index >= numWords())
+        panic("EccProtectedMemory::writeWord: index %llu out of range",
+              static_cast<unsigned long long>(word_index));
+    words_[word_index] = {value, codec_.encode(value)};
+    // Rewriting restores full charge: clear this word's faults.
+    for (int bit = 0; bit < 64; ++bit)
+        flipped_.erase(word_index * 64 + static_cast<uint64_t>(bit));
+}
+
+uint64_t
+EccProtectedMemory::corruptedData(uint64_t word_index,
+                                  const StoredWord &w) const
+{
+    uint64_t data = w.data;
+    if (flipped_.empty())
+        return data;
+    for (int bit = 0; bit < 64; ++bit) {
+        if (flipped_.count(word_index * 64 +
+                           static_cast<uint64_t>(bit)))
+            data ^= 1ull << bit;
+    }
+    return data;
+}
+
+EccProtectedMemory::ReadResult
+EccProtectedMemory::readWord(uint64_t word_index) const
+{
+    if (word_index >= numWords())
+        panic("EccProtectedMemory::readWord: index %llu out of range",
+              static_cast<unsigned long long>(word_index));
+    auto it = words_.find(word_index);
+    if (it == words_.end())
+        return {0, DecodeStatus::Ok};
+    DecodeResult d =
+        codec_.decode(corruptedData(word_index, it->second),
+                      it->second.check);
+    return {d.data, d.status};
+}
+
+void
+EccProtectedMemory::injectFailure(uint64_t flat_bit_addr)
+{
+    if (flat_bit_addr >= capacityBits_)
+        panic("EccProtectedMemory::injectFailure: bit %llu out of "
+              "range",
+              static_cast<unsigned long long>(flat_bit_addr));
+    flipped_.insert(flat_bit_addr);
+}
+
+void
+EccProtectedMemory::injectFailures(
+    const std::vector<uint64_t> &flat_bit_addrs)
+{
+    for (uint64_t a : flat_bit_addrs)
+        injectFailure(a);
+}
+
+EccProtectedMemory::ScrubReport
+EccProtectedMemory::scrub()
+{
+    ScrubReport report;
+    std::vector<uint64_t> repaired;
+    for (auto &[index, stored] : words_) {
+        ++report.scanned;
+        uint64_t data = corruptedData(index, stored);
+        DecodeResult d = codec_.decode(data, stored.check);
+        switch (d.status) {
+          case DecodeStatus::Ok:
+            ++report.clean;
+            break;
+          case DecodeStatus::CorrectedSingle:
+            ++report.corrected;
+            // Write back the corrected word, clearing its fault.
+            stored = {d.data, codec_.encode(d.data)};
+            repaired.push_back(index);
+            break;
+          case DecodeStatus::DetectedDouble:
+            ++report.uncorrectable;
+            break;
+        }
+    }
+    for (uint64_t index : repaired) {
+        for (int bit = 0; bit < 64; ++bit)
+            flipped_.erase(index * 64 + static_cast<uint64_t>(bit));
+    }
+    return report;
+}
+
+} // namespace ecc
+} // namespace reaper

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * SECDED-protected memory with fault injection.
+ *
+ * Connects the ECC codec to the retention-failure world: data words
+ * are stored with their SECDED check bits, retention failures are
+ * injected as stuck bit flips at flat bit addresses (the same
+ * addresses profiles carry), and reads decode through the codec. A
+ * scrubber pass corrects and rewrites correctable words — the
+ * mechanism the AVATAR-style profiler and the Section 6.2 analysis
+ * ("failures escaping the profile must fit the ECC budget") rely on.
+ */
+
+#ifndef REAPER_ECC_PROTECTED_MEMORY_H
+#define REAPER_ECC_PROTECTED_MEMORY_H
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ecc/hamming.h"
+
+namespace reaper {
+namespace ecc {
+
+/** Sparse SECDED(72,64)-protected word store with fault injection. */
+class EccProtectedMemory
+{
+  public:
+    /** @param capacity_bits addressable data bits (64 per word). */
+    explicit EccProtectedMemory(uint64_t capacity_bits);
+
+    uint64_t capacityBits() const { return capacityBits_; }
+    uint64_t numWords() const { return capacityBits_ / 64; }
+
+    /** Write (and encode) one 64-bit data word. */
+    void writeWord(uint64_t word_index, uint64_t value);
+
+    /** Result of a decoded read. */
+    struct ReadResult
+    {
+        uint64_t value = 0;
+        DecodeStatus status = DecodeStatus::Ok;
+    };
+
+    /** Read (and decode) one word; unwritten words read as zero. */
+    ReadResult readWord(uint64_t word_index) const;
+
+    /**
+     * Inject a retention failure: the stored bit at the flat DATA bit
+     * address flips and stays flipped until the word is rewritten or
+     * scrubbed.
+     */
+    void injectFailure(uint64_t flat_bit_addr);
+    void injectFailures(const std::vector<uint64_t> &flat_bit_addrs);
+
+    /** Currently corrupted (injected, not yet repaired) bits. */
+    size_t activeFaults() const { return flipped_.size(); }
+
+    /** Outcome of one scrub pass over all written words. */
+    struct ScrubReport
+    {
+        uint64_t scanned = 0;
+        uint64_t clean = 0;
+        uint64_t corrected = 0;     ///< single-bit errors repaired
+        uint64_t uncorrectable = 0; ///< double-bit errors detected
+    };
+
+    /**
+     * Scrub: read every written word, write back corrected data for
+     * single-bit errors (clearing their injected faults), and report
+     * uncorrectable words (their faults remain).
+     */
+    ScrubReport scrub();
+
+  private:
+    struct StoredWord
+    {
+        uint64_t data = 0;
+        uint8_t check = 0;
+    };
+
+    /** Apply injected flips to a stored word's data bits. */
+    uint64_t corruptedData(uint64_t word_index,
+                           const StoredWord &w) const;
+
+    uint64_t capacityBits_;
+    Secded72 codec_;
+    std::unordered_map<uint64_t, StoredWord> words_;
+    /** Injected (active) bit faults, as flat data-bit addresses. */
+    std::unordered_set<uint64_t> flipped_;
+};
+
+} // namespace ecc
+} // namespace reaper
+
+#endif // REAPER_ECC_PROTECTED_MEMORY_H

@@ -1,0 +1,66 @@
+#include "ecc/uber.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace reaper {
+namespace ecc {
+
+double
+uberForRber(double rber, const EccConfig &cfg)
+{
+    if (cfg.wordBits <= 0 || cfg.correctableBits < 0)
+        panic("uberForRber: bad ECC config (k=%d, w=%d)",
+              cfg.correctableBits, cfg.wordBits);
+    uint64_t w = static_cast<uint64_t>(cfg.wordBits);
+    uint64_t k = static_cast<uint64_t>(cfg.correctableBits);
+    if (k >= w)
+        return 0.0;
+    return binomialTailAbove(w, k, rber) / static_cast<double>(w);
+}
+
+double
+tolerableRber(double target_uber, const EccConfig &cfg)
+{
+    if (target_uber <= 0 || target_uber >= 1)
+        panic("tolerableRber: target UBER must be in (0,1), got %g",
+              target_uber);
+    // UBER is monotonically increasing in RBER; bisect in log space for
+    // precision across the ~15 orders of magnitude involved.
+    auto f = [&](double log_r) {
+        return std::log(std::max(uberForRber(std::exp(log_r), cfg),
+                                 1e-300));
+    };
+    double lo = std::log(1e-20), hi = std::log(0.5);
+    double target = std::log(target_uber);
+    if (f(lo) > target)
+        return 1e-20; // even the smallest probe exceeds the target
+    double log_r = bisectIncreasing(f, target, lo, hi, 1e-12);
+    return std::exp(log_r);
+}
+
+double
+tolerableBitErrors(double target_uber, const EccConfig &cfg,
+                   uint64_t capacity_bits)
+{
+    return tolerableRber(target_uber, cfg) *
+           static_cast<double>(capacity_bits);
+}
+
+double
+minimumRequiredCoverage(double rber_at_target, double target_uber,
+                        const EccConfig &cfg)
+{
+    if (rber_at_target <= 0)
+        return 0.0;
+    double tol = tolerableRber(target_uber, cfg);
+    if (tol >= rber_at_target)
+        return 0.0;
+    return 1.0 - tol / rber_at_target;
+}
+
+} // namespace ecc
+} // namespace reaper

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Uncorrectable-bit-error-rate (UBER) model of Section 6.2.2.
+ *
+ * Implements Eqs. 2-6 of the paper: given a raw bit error rate R (the
+ * fraction of failing DRAM cells), the UBER of a system protected by
+ * k-bit-correcting ECC over w-bit words is
+ *
+ *   UBER = (1/w) * sum_{n=k+1}^{w} C(w,n) R^n (1-R)^(w-n)
+ *
+ * assuming independent, randomly distributed retention failures. The
+ * inverse problem — the maximum tolerable RBER for a target UBER —
+ * is solved by bisection (Table 1).
+ */
+
+#ifndef REAPER_ECC_UBER_H
+#define REAPER_ECC_UBER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+
+namespace reaper {
+namespace ecc {
+
+/** ECC configuration: correction strength and word size. */
+struct EccConfig
+{
+    int correctableBits = 1; ///< k: 0 = none, 1 = SECDED, 2 = ECC-2, ...
+    int wordBits = 72;       ///< w: total ECC word size in bits
+
+    /** No ECC over 64-bit words. */
+    static EccConfig none() { return {0, 64}; }
+    /** SECDED: 64 data + 8 check bits. */
+    static EccConfig secded() { return {1, 72}; }
+    /** Double-error-correcting code over 80-bit words. */
+    static EccConfig ecc2() { return {2, 80}; }
+};
+
+/** Target UBER for consumer applications (Section 6.2.2). */
+constexpr double kConsumerUber = 1e-15;
+/** Target UBER for enterprise applications (Section 6.2.2). */
+constexpr double kEnterpriseUber = 1e-17;
+
+/** UBER as a function of RBER (Eq. 6). */
+double uberForRber(double rber, const EccConfig &cfg);
+
+/**
+ * Maximum tolerable RBER such that UBER <= target_uber (Table 1).
+ * Solved by bisection on the monotone Eq. 6.
+ */
+double tolerableRber(double target_uber, const EccConfig &cfg);
+
+/**
+ * Maximum tolerable number of failing cells in a memory of
+ * capacity_bits for the given target UBER (Table 1's lower half):
+ * tolerableRber * capacity.
+ */
+double tolerableBitErrors(double target_uber, const EccConfig &cfg,
+                          uint64_t capacity_bits);
+
+/**
+ * Minimum profiling coverage required so the failures escaping the
+ * profile stay within the ECC's tolerable RBER (Section 6.2.2):
+ * 1 - tolerableRber / rber_at_target. Returns 0 when the ECC already
+ * tolerates the full failure rate.
+ */
+double minimumRequiredCoverage(double rber_at_target, double target_uber,
+                               const EccConfig &cfg);
+
+} // namespace ecc
+} // namespace reaper
+
+#endif // REAPER_ECC_UBER_H

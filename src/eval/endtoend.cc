@@ -1,0 +1,234 @@
+#include "eval/endtoend.h"
+
+#include <cmath>
+#include <map>
+#include <tuple>
+#include <mutex>
+#include <set>
+
+#include "common/logging.h"
+#include "common/parallel.h"
+
+namespace reaper {
+namespace eval {
+
+int
+profilerIndex(ProfilerKind k)
+{
+    return static_cast<int>(k);
+}
+
+BoxStats
+SweepPoint::perfBox(ProfilerKind k) const
+{
+    return BoxStats::fromSamples(
+        perfImprovement[static_cast<size_t>(profilerIndex(k))]);
+}
+
+BoxStats
+SweepPoint::powerBox(ProfilerKind k) const
+{
+    return BoxStats::fromSamples(
+        powerReduction[static_cast<size_t>(profilerIndex(k))]);
+}
+
+EndToEndEvaluator::EndToEndEvaluator(const EndToEndConfig &cfg)
+    : cfg_(cfg)
+{
+    if (cfg_.numMixes < 1)
+        panic("EndToEndEvaluator: numMixes must be >= 1");
+    mixes_ = workload::makeMixes(cfg_.numMixes, cfg_.seed);
+}
+
+EndToEndEvaluator::RunStats
+EndToEndEvaluator::simulateMix(const std::vector<sim::Trace> &traces,
+                               unsigned chip_gbit,
+                               Seconds interval) const
+{
+    sim::SystemConfig sys = cfg_.system;
+    sys.setDram(chip_gbit, interval);
+    sim::System system(sys, traces);
+    system.run(cfg_.runCycles);
+    sim::SystemStats stats = system.stats();
+    RunStats r;
+    r.coreIpc = stats.coreIpc;
+    r.counts = stats.channels.commands;
+    r.simSeconds = stats.simulatedSeconds;
+    return r;
+}
+
+std::vector<SweepPoint>
+EndToEndEvaluator::run()
+{
+    // Pre-generate traces for every mix and the set of distinct
+    // benchmarks (for IPC_alone divisors).
+    std::vector<std::vector<sim::Trace>> mix_traces;
+    for (const auto &mix : mixes_) {
+        mix_traces.push_back(workload::tracesForMix(
+            mix, cfg_.accessesPerCore, cfg_.seed));
+    }
+    std::set<int> bench_set;
+    for (const auto &mix : mixes_)
+        bench_set.insert(mix.benchmarks.begin(), mix.benchmarks.end());
+    std::vector<int> benchmarks(bench_set.begin(), bench_set.end());
+
+    // All evaluated intervals: baseline first, then the sweep, then
+    // (optionally) no refresh, per chip size.
+    std::vector<Seconds> intervals;
+    intervals.push_back(kJedecRefreshInterval);
+    for (Seconds t : cfg_.refreshIntervals) {
+        if (t != kJedecRefreshInterval)
+            intervals.push_back(t);
+    }
+    if (cfg_.includeNoRefresh)
+        intervals.push_back(0.0); // 0 encodes "no refresh"
+
+    struct Job
+    {
+        unsigned chip;
+        size_t intervalIdx;
+        int mix;   ///< mix index, or -1 for an "alone" run
+        int bench; ///< benchmark index for alone runs
+    };
+    std::vector<Job> jobs;
+    for (unsigned chip : cfg_.chipGbits) {
+        // Alone runs: only at the 64 ms baseline (fixed divisors).
+        for (int b : benchmarks)
+            jobs.push_back({chip, 0, -1, b});
+        for (size_t ti = 0; ti < intervals.size(); ++ti) {
+            for (int m = 0; m < static_cast<int>(mixes_.size()); ++m)
+                jobs.push_back({chip, ti, m, -1});
+        }
+    }
+
+    // Results keyed by (chip, interval index, mix) and alone IPCs
+    // keyed by (chip, benchmark).
+    std::map<std::tuple<unsigned, size_t, int>, RunStats> mix_runs;
+    std::map<std::pair<unsigned, int>, double> alone_ipc;
+    std::mutex mtx;
+
+    parallelFor(
+        jobs.size(),
+        [&](size_t i) {
+            const Job &job = jobs[i];
+            if (job.mix < 0) {
+                const auto &spec =
+                    workload::specBenchmarks().at(
+                        static_cast<size_t>(job.bench));
+                std::vector<sim::Trace> alone = {workload::generateTrace(
+                    spec, cfg_.accessesPerCore,
+                    hashCombine(cfg_.seed, 0), 1ull << 32)};
+                RunStats r = simulateMix(alone, job.chip,
+                                         kJedecRefreshInterval);
+                std::lock_guard<std::mutex> lock(mtx);
+                alone_ipc[{job.chip, job.bench}] = r.coreIpc.at(0);
+            } else {
+                RunStats r = simulateMix(
+                    mix_traces[static_cast<size_t>(job.mix)], job.chip,
+                    intervals[job.intervalIdx]);
+                std::lock_guard<std::mutex> lock(mtx);
+                mix_runs[{job.chip, job.intervalIdx, job.mix}] =
+                    std::move(r);
+            }
+        },
+        cfg_.threads);
+
+    // Assemble sweep points.
+    std::vector<SweepPoint> points;
+    for (unsigned chip : cfg_.chipGbits) {
+        power::DramPowerModel power_model(power::EnergyParams::lpddr4(),
+                                          chip, cfg_.overhead.numChips,
+                                          cfg_.system.channels);
+
+        // Per-mix baseline weighted speedup and power.
+        std::vector<double> base_ws(mixes_.size());
+        std::vector<double> base_power(mixes_.size());
+        for (size_t m = 0; m < mixes_.size(); ++m) {
+            const RunStats &r =
+                mix_runs.at({chip, 0, static_cast<int>(m)});
+            std::vector<double> alone;
+            for (int b : mixes_[m].benchmarks)
+                alone.push_back(alone_ipc.at({chip, b}));
+            base_ws[m] = workload::weightedSpeedup(r.coreIpc, alone);
+            base_power[m] =
+                power_model.fromCounts(r.counts, r.simSeconds).total();
+        }
+
+        for (size_t ti = 1; ti < intervals.size(); ++ti) {
+            SweepPoint pt;
+            pt.chipGbit = chip;
+            pt.noRefresh = intervals[ti] <= 0;
+            pt.interval = pt.noRefresh ? 0.0 : intervals[ti];
+
+            OverheadConfig ocfg = cfg_.overhead;
+            ocfg.chipGbit = chip;
+            ocfg.targetRefreshInterval =
+                pt.noRefresh ? 0.0 : pt.interval;
+            for (ProfilerKind kind :
+                 {ProfilerKind::BruteForce, ProfilerKind::Reaper,
+                  ProfilerKind::Ideal}) {
+                size_t ki =
+                    static_cast<size_t>(profilerIndex(kind));
+                if (pt.noRefresh) {
+                    // "No refresh" is the profiling-free upper bound:
+                    // only the ideal column is meaningful.
+                    pt.overhead[ki] = OverheadResult{};
+                    continue;
+                }
+                pt.overhead[ki] = computeOverhead(ocfg, kind);
+            }
+
+            for (size_t m = 0; m < mixes_.size(); ++m) {
+                const RunStats &r =
+                    mix_runs.at({chip, ti, static_cast<int>(m)});
+                std::vector<double> alone;
+                for (int b : mixes_[m].benchmarks)
+                    alone.push_back(alone_ipc.at({chip, b}));
+                double ws =
+                    workload::weightedSpeedup(r.coreIpc, alone);
+                double ideal_gain = ws / base_ws[m] - 1.0;
+                double p_total =
+                    power_model.fromCounts(r.counts, r.simSeconds)
+                        .total();
+
+                for (ProfilerKind kind :
+                     {ProfilerKind::BruteForce, ProfilerKind::Reaper,
+                      ProfilerKind::Ideal}) {
+                    size_t ki =
+                        static_cast<size_t>(profilerIndex(kind));
+                    if (pt.noRefresh &&
+                        kind != ProfilerKind::Ideal)
+                        continue;
+                    double ov = pt.overhead[ki].overheadFraction;
+                    // Eq. 8 applied to the throughput ratio.
+                    double perf =
+                        (1.0 + ideal_gain) * (1.0 - ov) - 1.0;
+                    pt.perfImprovement[ki].push_back(perf);
+
+                    double p_prof = 0.0;
+                    if (!pt.noRefresh &&
+                        kind != ProfilerKind::Ideal &&
+                        pt.overhead[ki].reprofileInterval > 0 &&
+                        std::isfinite(
+                            pt.overhead[ki].reprofileInterval)) {
+                        double round_energy =
+                            power_model.profilingRoundEnergy(
+                                ocfg.iterations, ocfg.numPatterns);
+                        if (kind == ProfilerKind::Reaper)
+                            round_energy /= ocfg.reaperSpeedup;
+                        p_prof =
+                            round_energy /
+                            pt.overhead[ki].reprofileInterval;
+                    }
+                    pt.powerReduction[ki].push_back(
+                        1.0 - (p_total + p_prof) / base_power[m]);
+                }
+            }
+            points.push_back(std::move(pt));
+        }
+    }
+    return points;
+}
+
+} // namespace eval
+} // namespace reaper

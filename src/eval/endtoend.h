@@ -1,0 +1,105 @@
+/**
+ * @file
+ * End-to-end evaluation harness (Section 7.3.2, Fig. 13): simulate the
+ * multiprogrammed workload mixes at each refresh interval, convert to
+ * weighted speedup against the 64 ms baseline, apply each profiler's
+ * online-profiling overhead (Eq. 8), and evaluate DRAM power with the
+ * command-level power model.
+ */
+
+#ifndef REAPER_EVAL_ENDTOEND_H
+#define REAPER_EVAL_ENDTOEND_H
+
+#include <array>
+#include <vector>
+
+#include "common/stats.h"
+#include "eval/overhead.h"
+#include "power/drampower.h"
+#include "sim/system.h"
+#include "workload/synthetic.h"
+
+namespace reaper {
+namespace eval {
+
+/** Sweep configuration. */
+struct EndToEndConfig
+{
+    /** Extended refresh intervals to evaluate (the 64 ms baseline is
+     *  always run). */
+    std::vector<Seconds> refreshIntervals = {0.128, 0.256, 0.512,
+                                             1.024, 1.280, 1.536};
+    /** Also evaluate the no-refresh upper bound. */
+    bool includeNoRefresh = true;
+    std::vector<unsigned> chipGbits = {8, 64};
+    int numMixes = 20;
+    size_t accessesPerCore = 100000;
+    sim::Cycle runCycles = 1500000;
+    uint64_t seed = 1;
+    unsigned threads = 0; ///< 0 = hardware concurrency
+    /** Profiling-overhead scenario (interval/chip fields overwritten
+     *  per sweep point). */
+    OverheadConfig overhead{};
+    /** Base system configuration (DRAM fields overwritten). */
+    sim::SystemConfig system{};
+};
+
+/** Index profiler kinds in result arrays. */
+constexpr int kNumProfilerKinds = 3;
+int profilerIndex(ProfilerKind k);
+
+/** Results for one (chip size, refresh interval) sweep point. */
+struct SweepPoint
+{
+    unsigned chipGbit = 0;
+    /** Evaluated refresh interval; <= 0 encodes "no refresh". */
+    Seconds interval = 0;
+    bool noRefresh = false;
+
+    /** Per-mix relative performance improvement over the 64 ms
+     *  baseline, per profiler kind. */
+    std::array<std::vector<double>, kNumProfilerKinds> perfImprovement;
+    /** Per-mix relative DRAM power reduction vs the baseline. */
+    std::array<std::vector<double>, kNumProfilerKinds> powerReduction;
+    /** Profiling overhead details per kind. */
+    std::array<OverheadResult, kNumProfilerKinds> overhead;
+
+    BoxStats perfBox(ProfilerKind k) const;
+    BoxStats powerBox(ProfilerKind k) const;
+};
+
+/** The Fig. 13 evaluator. */
+class EndToEndEvaluator
+{
+  public:
+    explicit EndToEndEvaluator(const EndToEndConfig &cfg);
+
+    /** Run the full sweep (parallelized across simulator runs). */
+    std::vector<SweepPoint> run();
+
+    /** The workload mixes in use. */
+    const std::vector<workload::WorkloadMix> &mixes() const
+    {
+        return mixes_;
+    }
+
+  private:
+    struct RunStats
+    {
+        std::vector<double> coreIpc;
+        sim::CommandCounts counts;
+        Seconds simSeconds = 0;
+    };
+
+    /** Simulate one mix at one configuration. */
+    RunStats simulateMix(const std::vector<sim::Trace> &traces,
+                         unsigned chip_gbit, Seconds interval) const;
+
+    EndToEndConfig cfg_;
+    std::vector<workload::WorkloadMix> mixes_;
+};
+
+} // namespace eval
+} // namespace reaper
+
+#endif // REAPER_EVAL_ENDTOEND_H

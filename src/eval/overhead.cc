@@ -1,0 +1,130 @@
+#include "eval/overhead.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "dram/retention_model.h"
+
+namespace reaper {
+namespace eval {
+
+const char *
+toString(ProfilerKind k)
+{
+    switch (k) {
+      case ProfilerKind::BruteForce: return "brute-force";
+      case ProfilerKind::Reaper: return "REAPER";
+      case ProfilerKind::Ideal: return "ideal";
+    }
+    return "?";
+}
+
+uint64_t
+moduleCapacityBits(const OverheadConfig &cfg)
+{
+    return gibitToBits(cfg.chipGbit) * cfg.numChips;
+}
+
+namespace {
+
+/** Eq. 9 round time for the brute-force profiler. */
+Seconds
+bruteForceRoundTime(const OverheadConfig &cfg)
+{
+    profiling::RuntimeModelInputs in;
+    in.profilingRefreshInterval = cfg.targetRefreshInterval;
+    in.numDataPatterns = cfg.numPatterns;
+    in.iterations = cfg.iterations;
+    in.moduleGB = static_cast<double>(moduleCapacityBits(cfg)) / 8.0 /
+                  static_cast<double>(kGiB);
+    return profiling::profilingRoundTime(in);
+}
+
+Seconds
+roundTimeFor(const OverheadConfig &cfg, ProfilerKind kind)
+{
+    switch (kind) {
+      case ProfilerKind::Ideal:
+        return 0.0;
+      case ProfilerKind::BruteForce:
+        return bruteForceRoundTime(cfg);
+      case ProfilerKind::Reaper:
+        return bruteForceRoundTime(cfg) / cfg.reaperSpeedup;
+    }
+    panic("roundTimeFor: bad profiler kind");
+}
+
+} // namespace
+
+OverheadResult
+computeOverhead(const OverheadConfig &cfg, ProfilerKind kind)
+{
+    OverheadResult r;
+    r.roundTime = roundTimeFor(cfg, kind);
+
+    dram::RetentionModel model{dram::vendorParams(cfg.vendor)};
+    uint64_t capacity = moduleCapacityBits(cfg);
+
+    ecc::LongevityScenario scenario;
+    scenario.capacityBits = capacity;
+    scenario.eccStrength = cfg.eccStrength;
+    scenario.targetUber = cfg.targetUber;
+    scenario.berAtTarget =
+        model.berAt(cfg.targetRefreshInterval, cfg.temperature);
+    scenario.profilingCoverage = cfg.coverage;
+    scenario.accumulationPerHour =
+        model.vrtCumulativeRate(cfg.targetRefreshInterval, capacity) *
+        3600.0 *
+        std::exp(model.params().tempCoeff *
+                 (cfg.temperature - model.referenceTemp()));
+    ecc::LongevityResult longevity = ecc::computeLongevity(scenario);
+
+    r.longevity = longevity.longevity;
+    r.tolerableFailures = longevity.tolerableFailures;
+    r.accumulationPerHour = scenario.accumulationPerHour;
+
+    if (kind == ProfilerKind::Ideal) {
+        // Prior works assume offline profiling suffices: no runtime
+        // cost is charged (Section 7.3.2's comparison point).
+        r.reprofileInterval = r.longevity;
+        r.overheadFraction = 0.0;
+        return r;
+    }
+
+    if (cfg.longevityGuardband < 1.0)
+        panic("computeOverhead: guardband must be >= 1");
+    r.reprofileInterval = r.longevity / cfg.longevityGuardband;
+    if (!(r.reprofileInterval > 0) ||
+        std::isinf(r.reprofileInterval)) {
+        r.overheadFraction =
+            r.reprofileInterval > 0 ? 0.0 : 1.0;
+        return r;
+    }
+    // Fig. 11 semantics: the fraction of total system time spent
+    // profiling with one round every reprofileInterval.
+    r.overheadFraction = clampTo(
+        r.roundTime / std::max(r.reprofileInterval, r.roundTime), 0.0,
+        1.0);
+    return r;
+}
+
+double
+overheadForInterval(const OverheadConfig &cfg, ProfilerKind kind,
+                    Seconds reprofile_interval)
+{
+    if (reprofile_interval <= 0)
+        panic("overheadForInterval: interval must be > 0");
+    Seconds round = roundTimeFor(cfg, kind);
+    return clampTo(round / reprofile_interval, 0.0, 1.0);
+}
+
+double
+applyOverhead(double ideal_metric, double overhead_fraction)
+{
+    return ideal_metric * (1.0 - clampTo(overhead_fraction, 0.0, 1.0));
+}
+
+} // namespace eval
+} // namespace reaper

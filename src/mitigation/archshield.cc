@@ -1,0 +1,83 @@
+#include "mitigation/archshield.h"
+
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace reaper {
+namespace mitigation {
+
+namespace {
+/** Row size of the LPDDR4 organization (2 KiB rows). */
+constexpr uint64_t kRowBits = 2048ull * 8;
+} // namespace
+
+ArchShield::ArchShield(const ArchShieldConfig &cfg) : cfg_(cfg)
+{
+    if (cfg.wordBits == 0 || cfg.entryBits == 0)
+        panic("ArchShield: word and entry sizes must be nonzero");
+}
+
+uint64_t
+ArchShield::wordKey(const dram::ChipFailure &f, uint32_t word_bits)
+{
+    return (static_cast<uint64_t>(f.chip) << 48) ^ (f.addr / word_bits);
+}
+
+uint64_t
+ArchShield::faultMapCapacityEntries() const
+{
+    double budget_bits =
+        static_cast<double>(cfg_.capacityBits) * cfg_.faultMapFraction;
+    return static_cast<uint64_t>(budget_bits /
+                                 static_cast<double>(cfg_.entryBits));
+}
+
+void
+ArchShield::applyProfile(const profiling::RetentionProfile &p)
+{
+    words_.clear();
+    overflowed_ = false;
+    protectedCells_ = 0;
+    std::unordered_set<uint64_t> rows;
+    uint64_t capacity = faultMapCapacityEntries();
+    for (const auto &f : p.cells()) {
+        words_.insert(wordKey(f, cfg_.wordBits));
+        if (words_.size() > capacity) {
+            // The profile (true failures plus false positives) no longer
+            // fits the reserved FaultMap; the system must fall back to a
+            // shorter refresh interval or a stronger mechanism. This is
+            // exactly the false-positive cost of Section 6.1.2.
+            overflowed_ = true;
+            warn("ArchShield: FaultMap overflow (%zu words > %llu "
+                 "entries)",
+                 words_.size(),
+                 static_cast<unsigned long long>(capacity));
+            break;
+        }
+        ++protectedCells_;
+        rows.insert((static_cast<uint64_t>(f.chip) << 48) ^
+                    (f.addr / kRowBits));
+    }
+    protectedRows_ = rows.size();
+}
+
+bool
+ArchShield::covers(const dram::ChipFailure &f) const
+{
+    return words_.count(wordKey(f, cfg_.wordBits)) != 0;
+}
+
+MitigationStats
+ArchShield::stats() const
+{
+    MitigationStats s;
+    s.protectedCells = protectedCells_;
+    s.protectedRows = protectedRows_;
+    s.capacityOverhead = cfg_.faultMapFraction;
+    s.refreshWorkRelative = 1.0; // ArchShield does not add refreshes
+    return s;
+}
+
+} // namespace mitigation
+} // namespace reaper

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * ArchShield-like mitigation (Section 7.1.1).
+ *
+ * ArchShield reserves a segment of DRAM (the FaultMap, ~4% of capacity)
+ * that stores the addresses of known-faulty words and replicates their
+ * contents. The memory controller checks accesses against the FaultMap
+ * and redirects faulty words to their replicas. Here we model the
+ * FaultMap as a word-granularity remap table with a fixed capacity
+ * budget; REAPER periodically refills it from a fresh profile.
+ */
+
+#ifndef REAPER_MITIGATION_ARCHSHIELD_H
+#define REAPER_MITIGATION_ARCHSHIELD_H
+
+#include <unordered_set>
+
+#include "mitigation/mitigation.h"
+
+namespace reaper {
+namespace mitigation {
+
+/** ArchShield configuration. */
+struct ArchShieldConfig
+{
+    /** Total DRAM capacity in bits (for overhead accounting). */
+    uint64_t capacityBits = 16ull * 1024 * 1024 * 1024;
+    /** Fraction of DRAM reserved for the FaultMap (paper: 4%). */
+    double faultMapFraction = 0.04;
+    /** Word size at which faulty cells are replicated (bits). */
+    uint32_t wordBits = 64;
+    /** FaultMap entry size in bits (address + replica + metadata). */
+    uint32_t entryBits = 160;
+};
+
+/** Word-granularity remapping with a bounded FaultMap. */
+class ArchShield : public MitigationMechanism
+{
+  public:
+    explicit ArchShield(const ArchShieldConfig &cfg);
+
+    std::string name() const override { return "ArchShield"; }
+
+    void applyProfile(const profiling::RetentionProfile &p) override;
+    bool covers(const dram::ChipFailure &f) const override;
+    MitigationStats stats() const override;
+
+    /** Maximum number of faulty words the FaultMap can hold. */
+    uint64_t faultMapCapacityEntries() const;
+    /** Number of remapped words currently installed. */
+    size_t installedEntries() const { return words_.size(); }
+    /** Whether the last applyProfile overflowed the FaultMap. */
+    bool overflowed() const { return overflowed_; }
+
+  private:
+    /** Key of a faulty word: (chip, word index). */
+    static uint64_t wordKey(const dram::ChipFailure &f, uint32_t word_bits);
+
+    ArchShieldConfig cfg_;
+    std::unordered_set<uint64_t> words_;
+    size_t protectedCells_ = 0;
+    size_t protectedRows_ = 0;
+    bool overflowed_ = false;
+};
+
+} // namespace mitigation
+} // namespace reaper
+
+#endif // REAPER_MITIGATION_ARCHSHIELD_H

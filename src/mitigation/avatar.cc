@@ -1,0 +1,82 @@
+#include "mitigation/avatar.h"
+
+#include "common/logging.h"
+
+namespace reaper {
+namespace mitigation {
+
+Avatar::Avatar(const AvatarConfig &cfg) : cfg_(cfg)
+{
+    if (cfg.totalRows == 0 || cfg.rowBits == 0)
+        panic("Avatar: totalRows and rowBits must be > 0");
+    if (cfg.fastInterval >= cfg.slowInterval)
+        panic("Avatar: fastInterval must be shorter than slowInterval");
+}
+
+uint64_t
+Avatar::rowKeyOf(const dram::ChipFailure &f) const
+{
+    return (static_cast<uint64_t>(f.chip) << 48) ^
+           (f.addr / cfg_.rowBits);
+}
+
+void
+Avatar::applyProfile(const profiling::RetentionProfile &p)
+{
+    upgraded_.clear();
+    runtimeUpgrades_ = 0;
+    protectedCells_ = p.size();
+    for (const auto &f : p.cells())
+        upgraded_.insert(rowKeyOf(f));
+    initialRows_ = upgraded_.size();
+}
+
+bool
+Avatar::observeScrubCorrection(const dram::ChipFailure &f)
+{
+    bool fresh = upgraded_.insert(rowKeyOf(f)).second;
+    if (fresh)
+        ++runtimeUpgrades_;
+    return fresh;
+}
+
+bool
+Avatar::covers(const dram::ChipFailure &f) const
+{
+    return upgraded_.count(rowKeyOf(f)) != 0;
+}
+
+Seconds
+Avatar::rowInterval(uint32_t chip, uint64_t row) const
+{
+    uint64_t key = (static_cast<uint64_t>(chip) << 48) ^ row;
+    return upgraded_.count(key) ? cfg_.fastInterval
+                                : cfg_.slowInterval;
+}
+
+double
+Avatar::refreshWorkRelative() const
+{
+    double base = static_cast<double>(cfg_.totalRows) /
+                  kJedecRefreshInterval;
+    double fast_rows = static_cast<double>(upgraded_.size());
+    double slow_rows =
+        static_cast<double>(cfg_.totalRows) - fast_rows;
+    double actual = fast_rows / cfg_.fastInterval +
+                    slow_rows / cfg_.slowInterval;
+    return actual / base;
+}
+
+MitigationStats
+Avatar::stats() const
+{
+    MitigationStats s;
+    s.protectedCells = protectedCells_ + runtimeUpgrades_;
+    s.protectedRows = upgraded_.size();
+    s.capacityOverhead = 0.0;
+    s.refreshWorkRelative = refreshWorkRelative();
+    return s;
+}
+
+} // namespace mitigation
+} // namespace reaper

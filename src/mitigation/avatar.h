@@ -1,0 +1,84 @@
+/**
+ * @file
+ * AVATAR-style VRT-aware multirate refresh (Qureshi et al., DSN'15;
+ * the paper's Section 3.2 comparator).
+ *
+ * AVATAR starts from a one-time profile: rows with known failures are
+ * refreshed at the fast (default) rate and all other rows at the
+ * extended rate. At runtime, a periodic ECC scrub watches for
+ * corrected errors in slow rows — each one is a VRT cell (or a
+ * profiling escape) announcing itself — and permanently *upgrades*
+ * its row to the fast rate. The paper's critique (which our extension
+ * bench quantifies) is that this passive loop only sees failures under
+ * the currently stored data, so it cannot bound coverage against
+ * data-pattern changes the way active reach profiling can.
+ */
+
+#ifndef REAPER_MITIGATION_AVATAR_H
+#define REAPER_MITIGATION_AVATAR_H
+
+#include <unordered_set>
+
+#include "mitigation/mitigation.h"
+
+namespace reaper {
+namespace mitigation {
+
+/** AVATAR configuration. */
+struct AvatarConfig
+{
+    uint64_t totalRows = 0;
+    uint64_t rowBits = 2048ull * 8;
+    /** Extended refresh interval for non-upgraded rows. */
+    Seconds slowInterval = 1.024;
+    /** Default interval for upgraded (failing) rows. */
+    Seconds fastInterval = kJedecRefreshInterval;
+};
+
+/** Row-upgrade multirate refresh. */
+class Avatar : public MitigationMechanism
+{
+  public:
+    explicit Avatar(const AvatarConfig &cfg);
+
+    std::string name() const override { return "AVATAR"; }
+
+    /**
+     * Install the initial (one-time) profile: rows containing
+     * profiled cells start upgraded. Runtime upgrades accumulate on
+     * top until the next applyProfile.
+     */
+    void applyProfile(const profiling::RetentionProfile &p) override;
+
+    /**
+     * Runtime path: the ECC scrubber corrected an error at this cell;
+     * upgrade its row. Returns true if the row was newly upgraded.
+     */
+    bool observeScrubCorrection(const dram::ChipFailure &f);
+
+    /** Whether this row refreshes at the fast rate. */
+    bool covers(const dram::ChipFailure &f) const override;
+
+    Seconds rowInterval(uint32_t chip, uint64_t row) const;
+
+    size_t upgradedRows() const { return upgraded_.size(); }
+    /** Rows upgraded at runtime (vs the initial profile). */
+    size_t runtimeUpgrades() const { return runtimeUpgrades_; }
+
+    double refreshWorkRelative() const;
+    MitigationStats stats() const override;
+
+  private:
+    uint64_t rowKeyOf(const dram::ChipFailure &f) const;
+
+    AvatarConfig cfg_;
+    std::unordered_set<uint64_t> upgraded_;
+    size_t initialRows_ = 0;
+    size_t runtimeUpgrades_ = 0;
+    size_t protectedCells_ = 0;
+};
+
+} // namespace mitigation
+} // namespace reaper
+
+#endif // REAPER_MITIGATION_AVATAR_H

@@ -1,0 +1,93 @@
+#include "mitigation/bloom.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace reaper {
+namespace mitigation {
+
+BloomFilter::BloomFilter(size_t bits, int hashes, uint64_t seed)
+    : bits_((std::max<size_t>(bits, 64) + 63) / 64 * 64),
+      hashes_(hashes),
+      seed_(seed),
+      words_(bits_ / 64, 0)
+{
+    if (hashes < 1)
+        panic("BloomFilter: need at least one hash function");
+}
+
+BloomFilter
+BloomFilter::forCapacity(size_t expected_elements, double fp_rate,
+                         uint64_t seed)
+{
+    if (expected_elements == 0)
+        expected_elements = 1;
+    if (fp_rate <= 0.0 || fp_rate >= 1.0)
+        panic("BloomFilter: fp_rate must be in (0,1), got %g", fp_rate);
+    double n = static_cast<double>(expected_elements);
+    double ln2 = std::log(2.0);
+    double m = -n * std::log(fp_rate) / (ln2 * ln2);
+    int k = std::max(1, static_cast<int>(std::lround(m / n * ln2)));
+    return BloomFilter(static_cast<size_t>(std::ceil(m)), k, seed);
+}
+
+uint64_t
+BloomFilter::hashOf(uint64_t key, int i) const
+{
+    // Kirsch-Mitzenmacher double hashing: h_i = h1 + i * h2.
+    uint64_t h1 = hashCombine(seed_, key);
+    uint64_t h2 = hashCombine(seed_ ^ 0x9E3779B97F4A7C15ull, key) | 1;
+    return h1 + static_cast<uint64_t>(i) * h2;
+}
+
+void
+BloomFilter::insert(uint64_t key)
+{
+    for (int i = 0; i < hashes_; ++i) {
+        uint64_t bit = hashOf(key, i) % bits_;
+        words_[bit / 64] |= 1ull << (bit % 64);
+    }
+    ++inserted_;
+}
+
+bool
+BloomFilter::mayContain(uint64_t key) const
+{
+    for (int i = 0; i < hashes_; ++i) {
+        uint64_t bit = hashOf(key, i) % bits_;
+        if (!((words_[bit / 64] >> (bit % 64)) & 1))
+            return false;
+    }
+    return true;
+}
+
+void
+BloomFilter::clear()
+{
+    std::fill(words_.begin(), words_.end(), 0);
+    inserted_ = 0;
+}
+
+double
+BloomFilter::expectedFpRate() const
+{
+    double k = static_cast<double>(hashes_);
+    double n = static_cast<double>(inserted_);
+    double m = static_cast<double>(bits_);
+    return std::pow(1.0 - std::exp(-k * n / m), k);
+}
+
+double
+BloomFilter::fillRatio() const
+{
+    size_t set = 0;
+    for (uint64_t w : words_)
+        set += static_cast<size_t>(__builtin_popcountll(w));
+    return static_cast<double>(set) / static_cast<double>(bits_);
+}
+
+} // namespace mitigation
+} // namespace reaper

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Bloom filter, as used by RAIDR [Liu et al., ISCA'12] to store its
+ * refresh-rate bins in a few kilobytes of controller SRAM. False
+ * positives are safe by construction: a row wrongly believed to be in
+ * a faster-refresh bin is merely refreshed more often than needed.
+ */
+
+#ifndef REAPER_MITIGATION_BLOOM_H
+#define REAPER_MITIGATION_BLOOM_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace reaper {
+namespace mitigation {
+
+/** Standard k-hash Bloom filter over 64-bit keys. */
+class BloomFilter
+{
+  public:
+    /**
+     * @param bits filter size in bits (rounded up to a word multiple)
+     * @param hashes number of hash functions (k)
+     * @param seed hash-family seed
+     */
+    BloomFilter(size_t bits, int hashes, uint64_t seed = 0);
+
+    /**
+     * Size a filter for an expected number of elements and a target
+     * false-positive rate, using the standard optimal formulas
+     * m = -n ln(p) / (ln 2)^2 and k = (m/n) ln 2.
+     */
+    static BloomFilter forCapacity(size_t expected_elements,
+                                   double fp_rate, uint64_t seed = 0);
+
+    void insert(uint64_t key);
+
+    /** No false negatives; false positives at the configured rate. */
+    bool mayContain(uint64_t key) const;
+
+    void clear();
+
+    size_t sizeBits() const { return bits_; }
+    int numHashes() const { return hashes_; }
+    size_t insertedCount() const { return inserted_; }
+
+    /** Predicted false-positive rate at the current load:
+     *  (1 - e^(-k n / m))^k. */
+    double expectedFpRate() const;
+
+    /** Fraction of filter bits set. */
+    double fillRatio() const;
+
+  private:
+    uint64_t hashOf(uint64_t key, int i) const;
+
+    size_t bits_;
+    int hashes_;
+    uint64_t seed_;
+    std::vector<uint64_t> words_;
+    size_t inserted_ = 0;
+};
+
+} // namespace mitigation
+} // namespace reaper
+
+#endif // REAPER_MITIGATION_BLOOM_H

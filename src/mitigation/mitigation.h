@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Retention failure mitigation interface.
+ *
+ * REAPER (Section 7.1) is a profiling mechanism that *enables* a family
+ * of previously proposed mitigation mechanisms. A mitigation mechanism
+ * consumes a retention failure profile and guarantees correct operation
+ * at the extended refresh interval for all profiled cells; its overhead
+ * (capacity, refresh work, or remapping state) grows with the number of
+ * profiled cells — which is why false positives matter.
+ */
+
+#ifndef REAPER_MITIGATION_MITIGATION_H
+#define REAPER_MITIGATION_MITIGATION_H
+
+#include <cstdint>
+#include <string>
+
+#include "profiling/profile.h"
+
+namespace reaper {
+namespace mitigation {
+
+/** Summary of a mitigation mechanism's state after applying a profile. */
+struct MitigationStats
+{
+    size_t protectedCells = 0;   ///< cells the mechanism handles
+    size_t protectedRows = 0;    ///< distinct rows affected
+    double capacityOverhead = 0; ///< fraction of DRAM consumed
+    double refreshWorkRelative = 1.0; ///< refresh ops vs all-rows-default
+};
+
+/** Common interface of retention failure mitigation mechanisms. */
+class MitigationMechanism
+{
+  public:
+    virtual ~MitigationMechanism() = default;
+
+    /** Mechanism name for reports. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Install a new failure profile (e.g. after a REAPER round).
+     * Replaces any previously installed profile.
+     */
+    virtual void applyProfile(const profiling::RetentionProfile &p) = 0;
+
+    /**
+     * Whether the mechanism protects this cell at the extended refresh
+     * interval (remapped, rebinned to a faster refresh rate, or mapped
+     * out of the address space).
+     */
+    virtual bool covers(const dram::ChipFailure &f) const = 0;
+
+    /** Current overhead statistics. */
+    virtual MitigationStats stats() const = 0;
+};
+
+} // namespace mitigation
+} // namespace reaper
+
+#endif // REAPER_MITIGATION_MITIGATION_H

@@ -1,0 +1,179 @@
+#include "mitigation/raidr.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace reaper {
+namespace mitigation {
+
+Raidr::Raidr(const RaidrConfig &cfg) : cfg_(cfg)
+{
+    if (cfg.totalRows == 0)
+        panic("Raidr: totalRows must be > 0");
+    if (cfg.binIntervals.size() < 2)
+        panic("Raidr: need at least two bins (fast + default)");
+    if (!std::is_sorted(cfg.binIntervals.begin(), cfg.binIntervals.end()))
+        panic("Raidr: binIntervals must be sorted fastest-first");
+    if (cfg.rowBits == 0)
+        panic("Raidr: rowBits must be > 0");
+}
+
+uint64_t
+Raidr::rowKey(uint32_t chip, uint64_t row) const
+{
+    return (static_cast<uint64_t>(chip) << 48) ^ row;
+}
+
+uint64_t
+Raidr::rowOfCell(const dram::ChipFailure &f) const
+{
+    return f.addr / cfg_.rowBits;
+}
+
+void
+Raidr::rebuildFilters()
+{
+    filters_.clear();
+    if (!cfg_.useBloomFilters)
+        return;
+    for (size_t i = 0; i + 1 < cfg_.binIntervals.size(); ++i) {
+        filters_.push_back(BloomFilter::forCapacity(
+            cfg_.bloomExpectedRows, cfg_.bloomFpRate,
+            0xB100Full + i));
+    }
+    for (const auto &[key, bin] : demoted_)
+        filters_.at(bin).insert(key);
+}
+
+void
+Raidr::applyProfile(const profiling::RetentionProfile &p)
+{
+    demoted_.clear();
+    protectedCells_ = p.size();
+    // Conservative single-profile policy: every row containing a cell
+    // that fails at the operating (last-bin) interval is refreshed at
+    // the fastest rate.
+    for (const auto &f : p.cells())
+        demoted_[rowKey(f.chip, rowOfCell(f))] = 0;
+    rebuildFilters();
+}
+
+void
+Raidr::applyBinnedProfiles(
+    const std::vector<profiling::RetentionProfile> &profiles)
+{
+    if (profiles.size() != cfg_.binIntervals.size() - 1)
+        panic("Raidr::applyBinnedProfiles: expected %zu profiles, got %zu",
+              cfg_.binIntervals.size() - 1, profiles.size());
+    demoted_.clear();
+    protectedCells_ = 0;
+    // profiles[i] = failures at binIntervals[i+1]; walk from the
+    // longest interval down so rows end in the fastest bin they need.
+    for (size_t i = profiles.size(); i-- > 0;) {
+        protectedCells_ += profiles[i].size();
+        for (const auto &f : profiles[i].cells())
+            demoted_[rowKey(f.chip, rowOfCell(f))] =
+                static_cast<uint32_t>(i);
+    }
+    rebuildFilters();
+}
+
+bool
+Raidr::covers(const dram::ChipFailure &f) const
+{
+    uint64_t key = rowKey(f.chip, rowOfCell(f));
+    if (cfg_.useBloomFilters) {
+        for (const BloomFilter &filter : filters_) {
+            if (filter.mayContain(key))
+                return true;
+        }
+        return false;
+    }
+    return demoted_.count(key) != 0;
+}
+
+std::vector<RefreshBin>
+Raidr::bins() const
+{
+    std::vector<RefreshBin> out;
+    out.reserve(cfg_.binIntervals.size());
+    for (Seconds t : cfg_.binIntervals)
+        out.push_back({t, 0});
+    uint64_t default_bin = cfg_.binIntervals.size() - 1;
+    for (const auto &[key, bin] : demoted_) {
+        (void)key;
+        out.at(bin).rowCount += 1;
+    }
+    uint64_t demoted_total = demoted_.size();
+    out[default_bin].rowCount =
+        cfg_.totalRows >= demoted_total ? cfg_.totalRows - demoted_total
+                                        : 0;
+    return out;
+}
+
+double
+Raidr::refreshWorkRelative() const
+{
+    // Refresh operations per second if every row were refreshed at the
+    // JEDEC default.
+    double base = static_cast<double>(cfg_.totalRows) /
+                  kJedecRefreshInterval;
+    double actual = 0.0;
+    std::vector<RefreshBin> all = bins();
+    for (const RefreshBin &b : all)
+        actual += static_cast<double>(b.rowCount) / b.interval;
+    if (cfg_.useBloomFilters && !filters_.empty()) {
+        // Bloom false positives pull default-bin rows into the
+        // fastest bin; charge the expected extra refresh work.
+        double default_rows =
+            static_cast<double>(all.back().rowCount);
+        double fp = filters_.front().expectedFpRate();
+        actual += default_rows * fp *
+                  (1.0 / cfg_.binIntervals.front() -
+                   1.0 / cfg_.binIntervals.back());
+    }
+    return actual / base;
+}
+
+Seconds
+Raidr::rowInterval(uint32_t chip, uint64_t row) const
+{
+    uint64_t key = rowKey(chip, row);
+    if (cfg_.useBloomFilters) {
+        // Fastest bin whose filter claims the row; false positives
+        // only ever demote toward faster (safe) refresh.
+        for (size_t i = 0; i < filters_.size(); ++i) {
+            if (filters_[i].mayContain(key))
+                return cfg_.binIntervals.at(i);
+        }
+        return cfg_.binIntervals.back();
+    }
+    auto it = demoted_.find(key);
+    if (it == demoted_.end())
+        return cfg_.binIntervals.back();
+    return cfg_.binIntervals.at(it->second);
+}
+
+size_t
+Raidr::bloomStorageBits() const
+{
+    size_t bits = 0;
+    for (const BloomFilter &filter : filters_)
+        bits += filter.sizeBits();
+    return bits;
+}
+
+MitigationStats
+Raidr::stats() const
+{
+    MitigationStats s;
+    s.protectedCells = protectedCells_;
+    s.protectedRows = demoted_.size();
+    s.capacityOverhead = 0.0; // bins live in a small bloom/bitvector
+    s.refreshWorkRelative = refreshWorkRelative();
+    return s;
+}
+
+} // namespace mitigation
+} // namespace reaper

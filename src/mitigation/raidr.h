@@ -1,0 +1,115 @@
+/**
+ * @file
+ * RAIDR-like multi-rate refresh mitigation (Section 7.1.2).
+ *
+ * RAIDR groups DRAM rows into bins by the retention time of each row's
+ * weakest cell and refreshes each bin at a different rate. REAPER
+ * enables RAIDR by re-binning rows from each fresh profile: any row
+ * containing a profiled failing cell is demoted to a faster refresh
+ * bin. The refresh-work statistic quantifies the refresh reduction
+ * relative to refreshing every row at the default 64 ms interval.
+ */
+
+#ifndef REAPER_MITIGATION_RAIDR_H
+#define REAPER_MITIGATION_RAIDR_H
+
+#include <unordered_map>
+#include <vector>
+
+#include "mitigation/bloom.h"
+#include "mitigation/mitigation.h"
+
+namespace reaper {
+namespace mitigation {
+
+/** One refresh-rate bin. */
+struct RefreshBin
+{
+    Seconds interval;  ///< refresh interval of rows in this bin
+    uint64_t rowCount; ///< rows currently assigned
+};
+
+/** RAIDR configuration. */
+struct RaidrConfig
+{
+    /** Total rows across the protected module. */
+    uint64_t totalRows = 0;
+    /**
+     * Bin refresh intervals, fastest first; rows with profiled failures
+     * at bin i's interval but none at bin i-1's go into bin i-1... more
+     * precisely each row goes into the fastest bin whose interval is
+     * safe for it. The last bin is the default for failure-free rows.
+     */
+    std::vector<Seconds> binIntervals = {0.064, 0.256, 1.024};
+    /** Bits per row (for cell-to-row mapping). */
+    uint64_t rowBits = 2048ull * 8;
+    /**
+     * Store bins in Bloom filters, as the RAIDR hardware does (a few
+     * KB of controller SRAM instead of an exact table). False
+     * positives are safe: a misclassified row is refreshed faster
+     * than necessary, costing a little extra refresh work.
+     */
+    bool useBloomFilters = false;
+    double bloomFpRate = 1e-3;
+    /** Expected rows per bin filter (sizes the filters). */
+    size_t bloomExpectedRows = 4096;
+};
+
+/**
+ * Multi-rate refresh binning. Profiles are applied per target interval:
+ * applyProfile assigns any row containing a profiled cell to the
+ * fastest bin (conservative single-profile policy), while
+ * applyBinnedProfiles performs full multi-interval binning from one
+ * profile per bin interval.
+ */
+class Raidr : public MitigationMechanism
+{
+  public:
+    explicit Raidr(const RaidrConfig &cfg);
+
+    std::string name() const override { return "RAIDR"; }
+
+    void applyProfile(const profiling::RetentionProfile &p) override;
+
+    /**
+     * Full binning: profiles[i] holds the failing cells at
+     * binIntervals[i+1] (cells that must be refreshed faster than bin
+     * i+1 allows, i.e. belong in bin i or faster). profiles.size()
+     * must equal binIntervals.size() - 1.
+     */
+    void applyBinnedProfiles(
+        const std::vector<profiling::RetentionProfile> &profiles);
+
+    bool covers(const dram::ChipFailure &f) const override;
+    MitigationStats stats() const override;
+
+    /** Current bin assignment summary. */
+    std::vector<RefreshBin> bins() const;
+
+    /** Refresh operations per second relative to all-rows at 64 ms. */
+    double refreshWorkRelative() const;
+
+    /** The refresh interval applied to a given row (by row key). */
+    Seconds rowInterval(uint32_t chip, uint64_t row) const;
+
+    /** Total Bloom-filter storage in bits (0 without filters). */
+    size_t bloomStorageBits() const;
+
+  private:
+    uint64_t rowKey(uint32_t chip, uint64_t row) const;
+    uint64_t rowOfCell(const dram::ChipFailure &f) const;
+
+    void rebuildFilters();
+
+    RaidrConfig cfg_;
+    /** Rows demoted from the default bin: rowKey -> bin index. */
+    std::unordered_map<uint64_t, uint32_t> demoted_;
+    /** One filter per non-default bin (when useBloomFilters). */
+    std::vector<BloomFilter> filters_;
+    size_t protectedCells_ = 0;
+};
+
+} // namespace mitigation
+} // namespace reaper
+
+#endif // REAPER_MITIGATION_RAIDR_H

@@ -1,0 +1,155 @@
+#include "mitigation/rapid.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace reaper {
+namespace mitigation {
+
+Rapid::Rapid(const RapidConfig &cfg) : cfg_(cfg)
+{
+    if (cfg.totalRows == 0 || cfg.rowBits == 0)
+        panic("Rapid: totalRows and rowBits must be > 0");
+    if (cfg.profiledIntervals.empty())
+        panic("Rapid: need at least one profiled interval");
+    if (!std::is_sorted(cfg.profiledIntervals.begin(),
+                        cfg.profiledIntervals.end()))
+        panic("Rapid: profiledIntervals must be ascending");
+}
+
+uint64_t
+Rapid::rowKey(const dram::ChipFailure &f) const
+{
+    return (static_cast<uint64_t>(f.chip) << 48) ^
+           (f.addr / cfg_.rowBits);
+}
+
+void
+Rapid::applyProfile(const profiling::RetentionProfile &p)
+{
+    rowClass_.clear();
+    current_ = Allocation{};
+    protectedCells_ = p.size();
+    uint32_t worst =
+        static_cast<uint32_t>(cfg_.profiledIntervals.size());
+    for (const auto &f : p.cells())
+        rowClass_[rowKey(f)] = worst;
+}
+
+void
+Rapid::applyRankedProfiles(
+    const std::vector<profiling::RetentionProfile> &profiles)
+{
+    if (profiles.size() != cfg_.profiledIntervals.size())
+        panic("Rapid::applyRankedProfiles: expected %zu profiles, got "
+              "%zu",
+              cfg_.profiledIntervals.size(), profiles.size());
+    rowClass_.clear();
+    current_ = Allocation{};
+    protectedCells_ = 0;
+    size_t n = profiles.size();
+    // profiles[i] = failures at profiledIntervals[i] (ascending).
+    // Class = n - i for the SMALLEST failing interval i, so walk from
+    // the longest interval down and let shorter intervals overwrite.
+    for (size_t i = n; i-- > 0;) {
+        protectedCells_ += profiles[i].size();
+        uint32_t cls = static_cast<uint32_t>(n - i);
+        for (const auto &f : profiles[i].cells())
+            rowClass_[rowKey(f)] = cls;
+    }
+}
+
+std::vector<uint64_t>
+Rapid::classCensus() const
+{
+    std::vector<uint64_t> census(cfg_.profiledIntervals.size() + 1, 0);
+    for (const auto &[key, cls] : rowClass_) {
+        (void)key;
+        census.at(cls) += 1;
+    }
+    uint64_t failing = rowClass_.size();
+    census[0] = cfg_.totalRows >= failing ? cfg_.totalRows - failing
+                                          : 0;
+    return census;
+}
+
+Rapid::Allocation
+Rapid::plan(uint64_t rows_needed) const
+{
+    Allocation a;
+    a.feasible = rows_needed <= cfg_.totalRows;
+    if (!a.feasible)
+        return a;
+    std::vector<uint64_t> census = classCensus();
+    a.rowsPerClass.assign(census.size(), 0);
+    uint64_t remaining = rows_needed;
+    size_t worst_used = 0;
+    for (size_t cls = 0; cls < census.size() && remaining > 0; ++cls) {
+        uint64_t take = std::min(remaining, census[cls]);
+        a.rowsPerClass[cls] = take;
+        remaining -= take;
+        if (take > 0)
+            worst_used = cls;
+    }
+    a.rowsAllocated = rows_needed;
+    // Safe interval: clean rows support the longest profiled
+    // interval; class c rows are only proven at the next-shorter
+    // profiled interval; rows failing at the shortest profiled
+    // interval force the JEDEC default.
+    size_t n = cfg_.profiledIntervals.size();
+    if (worst_used == 0) {
+        a.refreshInterval = cfg_.profiledIntervals.back();
+    } else if (worst_used < n) {
+        a.refreshInterval =
+            cfg_.profiledIntervals[n - worst_used - 1];
+    } else {
+        a.refreshInterval = kJedecRefreshInterval;
+    }
+    return a;
+}
+
+Rapid::Allocation
+Rapid::allocate(uint64_t rows_needed)
+{
+    current_ = plan(rows_needed);
+    return current_;
+}
+
+Seconds
+Rapid::refreshIntervalFor(uint64_t rows_needed) const
+{
+    Allocation a = plan(rows_needed);
+    return a.feasible ? a.refreshInterval : 0.0;
+}
+
+bool
+Rapid::covers(const dram::ChipFailure &f) const
+{
+    auto it = rowClass_.find(rowKey(f));
+    if (it == rowClass_.end())
+        return false; // unknown cell: not a profiled failure
+    if (current_.rowsPerClass.empty())
+        return true; // nothing allocated: failing rows hold no data
+    uint32_t cls = it->second;
+    // Covered when the allocation never reached this row's class.
+    return current_.rowsPerClass.at(cls) == 0;
+}
+
+MitigationStats
+Rapid::stats() const
+{
+    MitigationStats s;
+    s.protectedCells = protectedCells_;
+    s.protectedRows = rowClass_.size();
+    s.capacityOverhead = 0.0; // placement, not reservation
+    Seconds interval = current_.feasible && current_.rowsAllocated > 0
+                           ? current_.refreshInterval
+                           : cfg_.profiledIntervals.back();
+    s.refreshWorkRelative = kJedecRefreshInterval / interval;
+    return s;
+}
+
+} // namespace mitigation
+} // namespace reaper

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * RAPID-like retention-aware placement (Venkatesan et al., HPCA'06;
+ * discussed in Section 3.1 of the paper).
+ *
+ * RAPID is a software approach: allocate data to the rows with the
+ * longest retention first, and choose the refresh interval supported
+ * by the worst row actually allocated — so a partially filled memory
+ * can refresh far more slowly than its weakest unused rows would
+ * demand. REAPER supplies the per-interval failing-row profiles that
+ * rank rows into retention classes.
+ */
+
+#ifndef REAPER_MITIGATION_RAPID_H
+#define REAPER_MITIGATION_RAPID_H
+
+#include <unordered_map>
+#include <vector>
+
+#include "mitigation/mitigation.h"
+
+namespace reaper {
+namespace mitigation {
+
+/** RAPID configuration. */
+struct RapidConfig
+{
+    uint64_t totalRows = 0;
+    uint64_t rowBits = 2048ull * 8;
+    /**
+     * Refresh intervals the chip was profiled at, ascending. Rows
+     * failing at intervals[i] (but not at intervals[i-1]) have
+     * retention class i; clean rows have the best class and support
+     * intervals.back().
+     */
+    std::vector<Seconds> profiledIntervals = {0.256, 1.024};
+};
+
+/** Retention-ranked allocation with interval selection. */
+class Rapid : public MitigationMechanism
+{
+  public:
+    explicit Rapid(const RapidConfig &cfg);
+
+    std::string name() const override { return "RAPID"; }
+
+    /**
+     * Single-profile shortcut: rows failing at the profile's
+     * conditions get the worst retention class; all others are clean.
+     */
+    void applyProfile(const profiling::RetentionProfile &p) override;
+
+    /**
+     * Full ranking: profiles[i] holds the failing cells at
+     * cfg.profiledIntervals[i]; must match that vector's size. Rows
+     * are classed by the smallest interval at which they fail.
+     */
+    void applyRankedProfiles(
+        const std::vector<profiling::RetentionProfile> &profiles);
+
+    /** Result of an allocation request. */
+    struct Allocation
+    {
+        uint64_t rowsAllocated = 0;
+        /** Rows taken from each retention class, best class first
+         *  (index 0 = clean rows). */
+        std::vector<uint64_t> rowsPerClass;
+        /** Longest refresh interval safe for every allocated row. */
+        Seconds refreshInterval = 0;
+        bool feasible = false; ///< rows_needed <= totalRows
+    };
+
+    /**
+     * Allocate best-retention-first (the RAPID policy) and return the
+     * refresh interval the allocation supports. The allocation is
+     * remembered for covers()/stats().
+     */
+    Allocation allocate(uint64_t rows_needed);
+
+    /** The interval an allocation of the given size would support,
+     *  without committing it. */
+    Seconds refreshIntervalFor(uint64_t rows_needed) const;
+
+    /**
+     * A failing cell is covered when its row is left unallocated by
+     * the current allocation (data is simply never placed there).
+     * With no allocation committed, all profiled rows are covered.
+     */
+    bool covers(const dram::ChipFailure &f) const override;
+
+    MitigationStats stats() const override;
+
+    /** Rows in each retention class (clean first). */
+    std::vector<uint64_t> classCensus() const;
+
+  private:
+    uint64_t rowKey(const dram::ChipFailure &f) const;
+    Allocation plan(uint64_t rows_needed) const;
+
+    RapidConfig cfg_;
+    /** Known-failing rows: rowKey -> retention class (1 = fails only
+     *  at the longest profiled interval, ..., N = fails at the
+     *  shortest). Class 0 (clean) is implicit. */
+    std::unordered_map<uint64_t, uint32_t> rowClass_;
+    size_t protectedCells_ = 0;
+    Allocation current_;
+};
+
+} // namespace mitigation
+} // namespace reaper
+
+#endif // REAPER_MITIGATION_RAPID_H

@@ -1,0 +1,67 @@
+#include "mitigation/rowmap.h"
+
+#include "common/logging.h"
+
+namespace reaper {
+namespace mitigation {
+
+namespace {
+
+uint64_t
+rowKeyOf(const dram::ChipFailure &f, uint64_t row_bits)
+{
+    return (static_cast<uint64_t>(f.chip) << 48) ^ (f.addr / row_bits);
+}
+
+} // namespace
+
+RowMapOut::RowMapOut(const RowMapConfig &cfg) : cfg_(cfg)
+{
+    if (cfg.totalRows == 0 || cfg.rowBits == 0)
+        panic("RowMapOut: totalRows and rowBits must be > 0");
+}
+
+void
+RowMapOut::applyProfile(const profiling::RetentionProfile &p)
+{
+    rows_.clear();
+    exceeded_ = false;
+    protectedCells_ = p.size();
+    for (const auto &f : p.cells())
+        rows_.insert(rowKeyOf(f, cfg_.rowBits));
+    double frac = static_cast<double>(rows_.size()) /
+                  static_cast<double>(cfg_.totalRows);
+    if (frac > cfg_.maxMappedFraction) {
+        exceeded_ = true;
+        warn("RowMapOut: %.3f%% of rows mapped out exceeds the %.3f%% "
+             "budget",
+             frac * 100.0, cfg_.maxMappedFraction * 100.0);
+    }
+}
+
+bool
+RowMapOut::covers(const dram::ChipFailure &f) const
+{
+    return rows_.count(rowKeyOf(f, cfg_.rowBits)) != 0;
+}
+
+double
+RowMapOut::capacityLoss() const
+{
+    return static_cast<double>(rows_.size()) /
+           static_cast<double>(cfg_.totalRows);
+}
+
+MitigationStats
+RowMapOut::stats() const
+{
+    MitigationStats s;
+    s.protectedCells = protectedCells_;
+    s.protectedRows = rows_.size();
+    s.capacityOverhead = capacityLoss();
+    s.refreshWorkRelative = 1.0 - capacityLoss();
+    return s;
+}
+
+} // namespace mitigation
+} // namespace reaper

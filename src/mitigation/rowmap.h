@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Row map-out mitigation: the simple scheme sketched in Section 1 of
+ * the paper, where the memory controller removes addresses containing
+ * failing cells from the system address space entirely. Zero runtime
+ * overhead per access, but capacity overhead grows with every profiled
+ * cell's row — the mechanism most intolerant to false positives.
+ */
+
+#ifndef REAPER_MITIGATION_ROWMAP_H
+#define REAPER_MITIGATION_ROWMAP_H
+
+#include <unordered_set>
+
+#include "mitigation/mitigation.h"
+
+namespace reaper {
+namespace mitigation {
+
+/** Row map-out configuration. */
+struct RowMapConfig
+{
+    uint64_t totalRows = 0;
+    uint64_t rowBits = 2048ull * 8;
+    /**
+     * Fraction of rows that may be mapped out before the configuration
+     * is considered failed (capacity loss becomes unacceptable).
+     */
+    double maxMappedFraction = 0.01;
+};
+
+/** Map rows containing failing cells out of the address space. */
+class RowMapOut : public MitigationMechanism
+{
+  public:
+    explicit RowMapOut(const RowMapConfig &cfg);
+
+    std::string name() const override { return "RowMapOut"; }
+
+    void applyProfile(const profiling::RetentionProfile &p) override;
+    bool covers(const dram::ChipFailure &f) const override;
+    MitigationStats stats() const override;
+
+    size_t mappedRows() const { return rows_.size(); }
+    /** Whether the mapped-row budget was exceeded. */
+    bool budgetExceeded() const { return exceeded_; }
+    /** Fraction of capacity lost to mapped-out rows. */
+    double capacityLoss() const;
+
+  private:
+    RowMapConfig cfg_;
+    std::unordered_set<uint64_t> rows_;
+    size_t protectedCells_ = 0;
+    bool exceeded_ = false;
+};
+
+} // namespace mitigation
+} // namespace reaper
+
+#endif // REAPER_MITIGATION_ROWMAP_H

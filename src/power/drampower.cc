@@ -1,0 +1,105 @@
+#include "power/drampower.h"
+
+#include "common/logging.h"
+
+namespace reaper {
+namespace power {
+
+namespace {
+constexpr uint64_t kRowBytes = 2048;
+} // namespace
+
+DramPowerModel::DramPowerModel(const EnergyParams &params,
+                               unsigned chip_gbit, unsigned num_chips,
+                               unsigned channels)
+    : params_(params), chipGbit_(chip_gbit), numChips_(num_chips),
+      channels_(channels)
+{
+    if (chip_gbit == 0 || num_chips == 0)
+        panic("DramPowerModel: chip_gbit and num_chips must be > 0");
+    if (channels == 0 || num_chips % channels != 0)
+        panic("DramPowerModel: num_chips must be a positive multiple "
+              "of channels");
+    rowsPerChip_ = gibitToBits(chip_gbit) / (kRowBytes * 8);
+}
+
+PowerBreakdown
+DramPowerModel::fromCounts(const sim::CommandCounts &counts,
+                           Seconds window) const
+{
+    if (window <= 0)
+        panic("DramPowerModel::fromCounts: window must be > 0");
+    PowerBreakdown p;
+    p.activate =
+        static_cast<double>(counts.act) * params_.eActPre / window;
+    p.readWrite = (static_cast<double>(counts.rd) * params_.eRdLine +
+                   static_cast<double>(counts.wr) * params_.eWrLine) /
+                  window;
+    // One REFab refreshes rows/8192 rows in every chip of its
+    // channel's rank (numChips_/channels_ chips).
+    double rows_per_ref = static_cast<double>(rowsPerChip_) /
+                          kRefreshCommandsPerWindow;
+    double chips_per_rank =
+        static_cast<double>(numChips_) / channels_;
+    // A REFpb covers 1/banks of a REFab's rows (8 banks in the
+    // modeled organization).
+    double ref_rows = (static_cast<double>(counts.refab) +
+                       static_cast<double>(counts.refpb) / 8.0) *
+                      rows_per_ref;
+    p.refresh =
+        ref_rows * chips_per_rank * params_.eRefRow / window;
+    p.background = backgroundPower();
+    return p;
+}
+
+double
+DramPowerModel::refreshPower(Seconds interval) const
+{
+    if (interval <= 0)
+        return 0.0;
+    // Every row of every chip refreshed once per interval.
+    return static_cast<double>(rowsPerChip_) *
+           static_cast<double>(numChips_) * params_.eRefRow / interval;
+}
+
+uint64_t
+DramPowerModel::moduleBytes() const
+{
+    return gibitToBits(chipGbit_) / 8 * numChips_;
+}
+
+double
+DramPowerModel::profilingRoundEnergy(int iterations,
+                                     int num_patterns) const
+{
+    if (iterations < 1 || num_patterns < 1)
+        panic("profilingRoundEnergy: iterations and patterns must be "
+              ">= 1");
+    double lines =
+        static_cast<double>(moduleBytes()) / 64.0;
+    double per_pass = lines * (params_.eWrLine + params_.eRdLine) +
+                      // each line touch opens its row once per pass
+                      lines / (kRowBytes / 64.0) * 2.0 *
+                          params_.eActPre;
+    return per_pass * static_cast<double>(iterations) *
+           static_cast<double>(num_patterns);
+}
+
+double
+DramPowerModel::profilingPower(int iterations, int num_patterns,
+                               Seconds reprofile_interval) const
+{
+    if (reprofile_interval <= 0)
+        panic("profilingPower: reprofile_interval must be > 0");
+    return profilingRoundEnergy(iterations, num_patterns) /
+           reprofile_interval;
+}
+
+double
+DramPowerModel::backgroundPower() const
+{
+    return params_.pBackground * static_cast<double>(numChips_);
+}
+
+} // namespace power
+} // namespace reaper

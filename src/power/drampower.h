@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Command-level DRAM power model, standing in for the DRAMPower tool
+ * the paper uses (Section 7.2).
+ *
+ * Energy is attributed per DRAM command: row activations (ACT+PRE
+ * pair), column accesses (RD/WR per cache line), all-bank refreshes
+ * (every row slice of every chip in the rank), plus a static background
+ * term per chip. The per-command constants are calibrated so refresh
+ * consumes the large fraction of DRAM power at high densities that
+ * motivates the paper (up to ~50% of total DRAM power [63]).
+ */
+
+#ifndef REAPER_POWER_DRAMPOWER_H
+#define REAPER_POWER_DRAMPOWER_H
+
+#include <cstdint>
+
+#include "common/units.h"
+#include "sim/memctrl.h"
+
+namespace reaper {
+namespace power {
+
+/** Per-command energies and static power. */
+struct EnergyParams
+{
+    double eActPre = 1.5e-9;   ///< J per row activation (ACT+PRE)
+    double eRdLine = 10e-9;    ///< J per 64 B read burst
+    double eWrLine = 11e-9;    ///< J per 64 B write burst
+    double eRefRow = 1.2e-9;   ///< J to refresh one 2 KiB row
+    double pBackground = 0.070; ///< W static per chip
+
+    /** Nominal LPDDR4 calibration. */
+    static EnergyParams lpddr4() { return {}; }
+};
+
+/** Power decomposition in watts. */
+struct PowerBreakdown
+{
+    double activate = 0;
+    double readWrite = 0;
+    double refresh = 0;
+    double background = 0;
+
+    double
+    total() const
+    {
+        return activate + readWrite + refresh + background;
+    }
+    double
+    refreshFraction() const
+    {
+        double t = total();
+        return t > 0 ? refresh / t : 0.0;
+    }
+};
+
+/** Module-level DRAM power model. */
+class DramPowerModel
+{
+  public:
+    /**
+     * @param params per-command energies
+     * @param chip_gbit chip density (determines rows per chip)
+     * @param num_chips chips in the module
+     * @param channels memory channels the module is split across:
+     *        one REFab command refreshes only the num_chips/channels
+     *        chips of its own channel's rank
+     */
+    DramPowerModel(const EnergyParams &params, unsigned chip_gbit,
+                   unsigned num_chips, unsigned channels = 1);
+
+    /** Rows per chip (2 KiB rows). */
+    uint64_t rowsPerChip() const { return rowsPerChip_; }
+
+    /**
+     * Average power over a simulated window, from the controller
+     * command counts. A REFab command refreshes rows/8192 rows in
+     * every chip of the rank simultaneously.
+     */
+    PowerBreakdown fromCounts(const sim::CommandCounts &counts,
+                              Seconds window) const;
+
+    /** Analytic refresh power when refreshing every row each
+     *  `interval` (0 = refresh disabled -> 0 W). */
+    double refreshPower(Seconds interval) const;
+
+    /**
+     * Energy of one full profiling round (Fig. 12): each tested
+     * pattern is one full-module write plus one full-module read, for
+     * iterations x patterns rounds. Refresh is paused during the wait,
+     * so no refresh energy is consumed by profiling itself.
+     */
+    double profilingRoundEnergy(int iterations, int num_patterns) const;
+
+    /**
+     * Average extra power due to online profiling: round energy
+     * amortized over the reprofiling interval (Fig. 12's y-axis).
+     */
+    double profilingPower(int iterations, int num_patterns,
+                          Seconds reprofile_interval) const;
+
+    double backgroundPower() const;
+    uint64_t moduleBytes() const;
+
+  private:
+    EnergyParams params_;
+    unsigned chipGbit_;
+    unsigned numChips_;
+    unsigned channels_;
+    uint64_t rowsPerChip_;
+};
+
+} // namespace power
+} // namespace reaper
+
+#endif // REAPER_POWER_DRAMPOWER_H

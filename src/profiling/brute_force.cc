@@ -1,0 +1,43 @@
+#include "profiling/brute_force.h"
+
+#include "common/logging.h"
+
+namespace reaper {
+namespace profiling {
+
+ProfilingResult
+BruteForceProfiler::run(testbed::SoftMcHost &host,
+                        const BruteForceConfig &cfg) const
+{
+    if (cfg.iterations < 1)
+        panic("BruteForceProfiler: iterations must be >= 1");
+    if (cfg.patterns.empty())
+        panic("BruteForceProfiler: need at least one data pattern");
+
+    if (cfg.setTemperature)
+        host.setAmbient(cfg.test.temperature);
+
+    ProfilingResult result;
+    result.profile.setConditions(cfg.test);
+    Seconds start = host.now();
+
+    for (int it = 0; it < cfg.iterations; ++it) {
+        for (dram::DataPattern dp : cfg.patterns) {
+            host.writeAll(dp);
+            host.disableRefresh();
+            host.wait(cfg.test.refreshInterval);
+            host.enableRefresh();
+            result.profile.add(host.readAndCompareAll());
+        }
+        result.iterationsRun = it + 1;
+        result.discoveryCurve.push_back(result.profile.size());
+        if (cfg.onIteration &&
+            !cfg.onIteration(it, result.profile))
+            break;
+    }
+    result.runtime = host.now() - start;
+    return result;
+}
+
+} // namespace profiling
+} // namespace reaper

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Brute-force retention failure profiling (Algorithm 1 of the paper).
+ *
+ * Each iteration writes a data pattern to all of DRAM, disables refresh
+ * for the test refresh interval, re-enables refresh, and reads the data
+ * back to collect retention failures. Multiple iterations over multiple
+ * data patterns approximate the worst-case pattern (Section 3.2).
+ */
+
+#ifndef REAPER_PROFILING_BRUTE_FORCE_H
+#define REAPER_PROFILING_BRUTE_FORCE_H
+
+#include <functional>
+#include <vector>
+
+#include "profiling/profile.h"
+#include "testbed/softmc_host.h"
+
+namespace reaper {
+namespace profiling {
+
+/** Configuration of one profiling round. */
+struct BruteForceConfig
+{
+    /** Conditions to test at (the refresh interval refresh is paused
+     *  for, and the ambient temperature). */
+    Conditions test{};
+    /** Number of iterations over the pattern set. */
+    int iterations = 16;
+    /** The data patterns tested each iteration. Defaults to the six
+     *  base patterns and their inverses. */
+    std::vector<dram::DataPattern> patterns = dram::allDataPatterns();
+    /** Whether to command the chamber to the test temperature first. */
+    bool setTemperature = true;
+    /**
+     * Optional per-iteration observer: called with (iteration index,
+     * profile so far); returning false stops the round early. Used by
+     * the evaluation harness to measure discovery curves and find the
+     * iteration count needed for a coverage target.
+     */
+    std::function<bool(int, const RetentionProfile &)> onIteration;
+};
+
+/** Result of one profiling round. */
+struct ProfilingResult
+{
+    RetentionProfile profile;
+    Seconds runtime = 0.0;  ///< virtual time the round consumed
+    int iterationsRun = 0;
+    /** Profile size after each completed iteration (discovery curve). */
+    std::vector<size_t> discoveryCurve;
+};
+
+/** Algorithm 1. */
+class BruteForceProfiler
+{
+  public:
+    /** Run one profiling round on the host's module. */
+    ProfilingResult run(testbed::SoftMcHost &host,
+                        const BruteForceConfig &cfg) const;
+};
+
+} // namespace profiling
+} // namespace reaper
+
+#endif // REAPER_PROFILING_BRUTE_FORCE_H

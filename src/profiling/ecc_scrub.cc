@@ -1,0 +1,46 @@
+#include "profiling/ecc_scrub.h"
+
+#include "common/logging.h"
+
+namespace reaper {
+namespace profiling {
+
+ProfilingResult
+EccScrubProfiler::run(testbed::SoftMcHost &host,
+                      const EccScrubConfig &cfg) const
+{
+    if (cfg.scrubRounds < 1)
+        panic("EccScrubProfiler: scrubRounds must be >= 1");
+    if (cfg.roundsPerDataChange < 1)
+        panic("EccScrubProfiler: roundsPerDataChange must be >= 1");
+
+    if (cfg.setTemperature)
+        host.setAmbient(cfg.target.temperature);
+
+    ProfilingResult result;
+    result.profile.setConditions(cfg.target);
+    Seconds start = host.now();
+
+    for (int round = 0; round < cfg.scrubRounds; ++round) {
+        if (round % cfg.roundsPerDataChange == 0) {
+            // The workload overwrote this memory with new content;
+            // model it as fresh random data.
+            host.writeAll(dram::DataPattern::Random);
+        }
+        // One refresh period of operation at the extended interval.
+        host.disableRefresh();
+        host.wait(cfg.target.refreshInterval);
+        host.enableRefresh();
+        // Scrub pass: ECC flags the cells that lost data, corrects
+        // them, and writes the corrected words back.
+        result.profile.add(host.readAndCompareAll());
+        host.restoreAll();
+        result.iterationsRun = round + 1;
+        result.discoveryCurve.push_back(result.profile.size());
+    }
+    result.runtime = host.now() - start;
+    return result;
+}
+
+} // namespace profiling
+} // namespace reaper

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * ECC-scrubbing profiler (the AVATAR-style comparator of Section 3.2).
+ *
+ * A passive profiling approach: the system operates at the extended
+ * refresh interval with whatever data the workload stores, and a
+ * periodic scrubber walks memory checking ECC, recording cells whose
+ * errors ECC corrected. Because it only ever observes failures under
+ * the *currently stored* data pattern, it cannot bound what fraction of
+ * all possible (data-pattern-dependent) failures it has found — the
+ * paper's argument for why active profiling is required. This
+ * implementation exists to reproduce that coverage gap quantitatively.
+ */
+
+#ifndef REAPER_PROFILING_ECC_SCRUB_H
+#define REAPER_PROFILING_ECC_SCRUB_H
+
+#include "profiling/brute_force.h"
+#include "profiling/profile.h"
+#include "testbed/softmc_host.h"
+
+namespace reaper {
+namespace profiling {
+
+/** Scrubbing configuration. */
+struct EccScrubConfig
+{
+    /** Conditions the system operates at (also the test conditions —
+     *  scrubbing cannot reach beyond them). */
+    Conditions target{};
+    /** Number of scrub periods to observe. */
+    int scrubRounds = 16;
+    /**
+     * How many scrub periods elapse between workload data changes; the
+     * stored data is modeled as fresh random content each change.
+     */
+    int roundsPerDataChange = 4;
+    bool setTemperature = true;
+};
+
+/** Passive ECC-scrubbing profiler. */
+class EccScrubProfiler
+{
+  public:
+    ProfilingResult run(testbed::SoftMcHost &host,
+                        const EccScrubConfig &cfg) const;
+};
+
+} // namespace profiling
+} // namespace reaper
+
+#endif // REAPER_PROFILING_ECC_SCRUB_H

@@ -1,0 +1,78 @@
+#include "profiling/profile.h"
+
+#include <algorithm>
+
+namespace reaper {
+namespace profiling {
+
+void
+RetentionProfile::add(const std::vector<dram::ChipFailure> &failures)
+{
+    if (failures.empty())
+        return;
+    std::vector<dram::ChipFailure> sorted = failures;
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    std::vector<dram::ChipFailure> merged;
+    merged.reserve(cells_.size() + sorted.size());
+    std::set_union(cells_.begin(), cells_.end(), sorted.begin(),
+                   sorted.end(), std::back_inserter(merged));
+    cells_ = std::move(merged);
+}
+
+void
+RetentionProfile::merge(const RetentionProfile &other)
+{
+    add(other.cells_);
+}
+
+bool
+RetentionProfile::contains(const dram::ChipFailure &f) const
+{
+    return std::binary_search(cells_.begin(), cells_.end(), f);
+}
+
+size_t
+RetentionProfile::intersectionSize(
+    const std::vector<dram::ChipFailure> &other) const
+{
+    size_t count = 0;
+    auto it = cells_.begin();
+    auto jt = other.begin();
+    while (it != cells_.end() && jt != other.end()) {
+        if (*it < *jt) {
+            ++it;
+        } else if (*jt < *it) {
+            ++jt;
+        } else {
+            ++count;
+            ++it;
+            ++jt;
+        }
+    }
+    return count;
+}
+
+ProfileMetrics
+scoreProfile(const RetentionProfile &profile,
+             const std::vector<dram::ChipFailure> &truth, Seconds runtime)
+{
+    ProfileMetrics m;
+    m.runtime = runtime;
+    m.discovered = profile.size();
+    m.truthSize = truth.size();
+    m.truePositives = profile.intersectionSize(truth);
+    m.falsePositives = m.discovered - m.truePositives;
+    m.coverage = truth.empty()
+                     ? 1.0
+                     : static_cast<double>(m.truePositives) /
+                           static_cast<double>(truth.size());
+    m.falsePositiveRate =
+        m.discovered == 0 ? 0.0
+                          : static_cast<double>(m.falsePositives) /
+                                static_cast<double>(m.discovered);
+    return m;
+}
+
+} // namespace profiling
+} // namespace reaper

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * A retention failure profile: the set of failing cells a profiling
+ * round discovered, with the conditions it was collected at.
+ */
+
+#ifndef REAPER_PROFILING_PROFILE_H
+#define REAPER_PROFILING_PROFILE_H
+
+#include <cstddef>
+#include <vector>
+
+#include "common/units.h"
+#include "dram/module.h"
+
+namespace reaper {
+namespace profiling {
+
+/** Refresh interval + temperature pair ("conditions" in the paper). */
+struct Conditions
+{
+    Seconds refreshInterval = kJedecRefreshInterval;
+    Celsius temperature = dram::kReferenceTemp;
+};
+
+/** A set of failing cells, kept sorted and unique. */
+class RetentionProfile
+{
+  public:
+    RetentionProfile() = default;
+    explicit RetentionProfile(Conditions cond) : conditions_(cond) {}
+
+    /** Conditions the profile was collected at. */
+    const Conditions &conditions() const { return conditions_; }
+    void setConditions(Conditions c) { conditions_ = c; }
+
+    /** Merge a batch of failures into the profile. */
+    void add(const std::vector<dram::ChipFailure> &failures);
+
+    /** Merge another profile's cells. */
+    void merge(const RetentionProfile &other);
+
+    bool contains(const dram::ChipFailure &f) const;
+    size_t size() const { return cells_.size(); }
+    bool empty() const { return cells_.empty(); }
+
+    /** Number of cells present in both this profile and `other`. */
+    size_t intersectionSize(const std::vector<dram::ChipFailure> &other)
+        const;
+
+    /** Sorted, unique failing cells. */
+    const std::vector<dram::ChipFailure> &cells() const { return cells_; }
+
+  private:
+    Conditions conditions_;
+    std::vector<dram::ChipFailure> cells_;
+};
+
+/** The three key profiling metrics of Section 1. */
+struct ProfileMetrics
+{
+    double coverage = 0.0;          ///< found true / all true
+    double falsePositiveRate = 0.0; ///< found false / found
+    Seconds runtime = 0.0;          ///< virtual profiling time
+
+    size_t discovered = 0;     ///< cells in the profile
+    size_t truePositives = 0;  ///< discovered and in truth
+    size_t falsePositives = 0; ///< discovered but not in truth
+    size_t truthSize = 0;      ///< all possible failing cells
+};
+
+/**
+ * Score a profile against the ground-truth failing set at the target
+ * conditions. `truth` must be sorted (as DramModule::trueFailingSet
+ * returns it).
+ */
+ProfileMetrics scoreProfile(const RetentionProfile &profile,
+                            const std::vector<dram::ChipFailure> &truth,
+                            Seconds runtime);
+
+} // namespace profiling
+} // namespace reaper
+
+#endif // REAPER_PROFILING_PROFILE_H

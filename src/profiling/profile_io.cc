@@ -1,0 +1,131 @@
+#include "profiling/profile_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace reaper {
+namespace profiling {
+
+namespace {
+constexpr const char *kMagic = "REAPER-PROFILE";
+constexpr int kVersion = 1;
+
+bool
+fail(std::string *error, const std::string &msg)
+{
+    if (error)
+        *error = msg;
+    return false;
+}
+} // namespace
+
+void
+saveProfile(const RetentionProfile &profile, std::ostream &os)
+{
+    os << kMagic << " v" << kVersion << "\n";
+    os << "refresh_interval_ms "
+       << secToMs(profile.conditions().refreshInterval) << "\n";
+    os << "temperature_c " << profile.conditions().temperature << "\n";
+    os << "cells " << profile.size() << "\n";
+    for (const dram::ChipFailure &f : profile.cells())
+        os << f.chip << " " << f.addr << "\n";
+}
+
+void
+saveProfileFile(const RetentionProfile &profile, const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("saveProfileFile: cannot open '%s' for writing",
+              path.c_str());
+    saveProfile(profile, os);
+    if (!os)
+        fatal("saveProfileFile: write to '%s' failed", path.c_str());
+}
+
+bool
+tryLoadProfile(std::istream &is, RetentionProfile *out,
+               std::string *error)
+{
+    if (!out)
+        panic("tryLoadProfile: out must not be null");
+    std::string magic, version;
+    if (!(is >> magic >> version))
+        return fail(error, "missing header");
+    if (magic != kMagic)
+        return fail(error, "bad magic '" + magic + "'");
+    if (version != "v1")
+        return fail(error, "unsupported version '" + version + "'");
+
+    std::string key;
+    double refi_ms = 0, temp = 0;
+    size_t count = 0;
+    bool have_refi = false, have_temp = false, have_count = false;
+    while (is >> key) {
+        if (key == "refresh_interval_ms") {
+            if (!(is >> refi_ms) || refi_ms <= 0)
+                return fail(error, "bad refresh_interval_ms");
+            have_refi = true;
+        } else if (key == "temperature_c") {
+            if (!(is >> temp))
+                return fail(error, "bad temperature_c");
+            have_temp = true;
+        } else if (key == "cells") {
+            if (!(is >> count))
+                return fail(error, "bad cell count");
+            have_count = true;
+            break; // cell list follows
+        } else {
+            return fail(error, "unknown key '" + key + "'");
+        }
+    }
+    if (!have_refi || !have_temp || !have_count)
+        return fail(error, "incomplete header");
+
+    std::vector<dram::ChipFailure> cells;
+    cells.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+        uint64_t chip, addr;
+        if (!(is >> chip >> addr))
+            return fail(error, "truncated cell list (expected " +
+                                   std::to_string(count) + " cells)");
+        if (chip > 0xFFFFFFFFull)
+            return fail(error, "chip index out of range");
+        cells.push_back({static_cast<uint32_t>(chip), addr});
+    }
+
+    RetentionProfile profile(
+        Conditions{msToSec(refi_ms), temp});
+    profile.add(cells);
+    *out = std::move(profile);
+    return true;
+}
+
+RetentionProfile
+loadProfile(std::istream &is)
+{
+    RetentionProfile profile;
+    std::string error;
+    if (!tryLoadProfile(is, &profile, &error))
+        fatal("loadProfile: %s", error.c_str());
+    return profile;
+}
+
+RetentionProfile
+loadProfileFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        fatal("loadProfileFile: cannot open '%s'", path.c_str());
+    RetentionProfile profile;
+    std::string error;
+    if (!tryLoadProfile(is, &profile, &error))
+        fatal("loadProfileFile: '%s': %s", path.c_str(), error.c_str());
+    return profile;
+}
+
+} // namespace profiling
+} // namespace reaper

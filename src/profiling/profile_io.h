@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Retention-profile serialization.
+ *
+ * Real deployments persist failure profiles (e.g. the memory
+ * controller stores them in the ArchShield FaultMap region or flash)
+ * so the system can restore relaxed-refresh operation after a reboot
+ * and only reprofile when the longevity model says so. The format is
+ * a small line-oriented text file with a version header, so profiles
+ * are diffable and forward-compatible.
+ */
+
+#ifndef REAPER_PROFILING_PROFILE_IO_H
+#define REAPER_PROFILING_PROFILE_IO_H
+
+#include <iosfwd>
+#include <string>
+
+#include "profiling/profile.h"
+
+namespace reaper {
+namespace profiling {
+
+/** Serialize a profile (conditions + sorted cell list). */
+void saveProfile(const RetentionProfile &profile, std::ostream &os);
+
+/** Save to a file path; fatal() on I/O failure. */
+void saveProfileFile(const RetentionProfile &profile,
+                     const std::string &path);
+
+/**
+ * Parse a serialized profile.
+ * @param is input stream
+ * @param out parsed profile (valid only when true is returned)
+ * @param error filled with a diagnostic on failure (may be null)
+ * @return whether parsing succeeded
+ */
+bool tryLoadProfile(std::istream &is, RetentionProfile *out,
+                    std::string *error = nullptr);
+
+/** Load from a stream; fatal() with a diagnostic on malformed input. */
+RetentionProfile loadProfile(std::istream &is);
+
+/** Load from a file path; fatal() on I/O or parse failure. */
+RetentionProfile loadProfileFile(const std::string &path);
+
+} // namespace profiling
+} // namespace reaper
+
+#endif // REAPER_PROFILING_PROFILE_IO_H

@@ -1,0 +1,42 @@
+#include "profiling/reach.h"
+
+#include "common/logging.h"
+
+namespace reaper {
+namespace profiling {
+
+Conditions
+ReachProfiler::reachConditions(const ReachConfig &cfg)
+{
+    Conditions reach;
+    reach.refreshInterval =
+        cfg.target.refreshInterval + cfg.deltaRefreshInterval;
+    reach.temperature = cfg.target.temperature + cfg.deltaTemperature;
+    return reach;
+}
+
+ProfilingResult
+ReachProfiler::run(testbed::SoftMcHost &host, const ReachConfig &cfg) const
+{
+    if (cfg.deltaRefreshInterval < 0 || cfg.deltaTemperature < 0) {
+        panic("ReachProfiler: reach conditions must not be below the "
+              "target conditions (dt=%g, dT=%g)",
+              cfg.deltaRefreshInterval, cfg.deltaTemperature);
+    }
+
+    BruteForceConfig bf;
+    bf.test = reachConditions(cfg);
+    bf.iterations = cfg.iterations;
+    bf.patterns = cfg.patterns;
+    bf.setTemperature = cfg.setTemperature;
+    bf.onIteration = cfg.onIteration;
+
+    BruteForceProfiler inner;
+    ProfilingResult result = inner.run(host, bf);
+    // The profile is *for* the target conditions; record them.
+    result.profile.setConditions(cfg.target);
+    return result;
+}
+
+} // namespace profiling
+} // namespace reaper

@@ -1,0 +1,26 @@
+#include "profiling/runtime_model.h"
+
+#include "common/logging.h"
+
+namespace reaper {
+namespace profiling {
+
+Seconds
+moduleIoTime(const RuntimeModelInputs &in)
+{
+    return in.rwSecondsPerGB * in.moduleGB;
+}
+
+Seconds
+profilingRoundTime(const RuntimeModelInputs &in)
+{
+    if (in.numDataPatterns < 1 || in.iterations < 1)
+        panic("profilingRoundTime: patterns and iterations must be >= 1");
+    Seconds io = moduleIoTime(in);
+    return (in.profilingRefreshInterval + 2.0 * io) *
+           static_cast<double>(in.numDataPatterns) *
+           static_cast<double>(in.iterations);
+}
+
+} // namespace profiling
+} // namespace reaper

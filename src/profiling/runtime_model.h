@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Analytic profiling-runtime model (Section 7.3.1, Eq. 9):
+ *
+ *   T_profile = (T_REFI + T_wr + T_rd) * N_dp * N_it
+ *
+ * where T_REFI is the profiling refresh interval, T_wr/T_rd the time to
+ * write/read all of DRAM (scaled with capacity: 0.125 s per 2 GB each
+ * way, per the paper's empirical measurement), N_dp the number of data
+ * patterns, and N_it the iteration count.
+ */
+
+#ifndef REAPER_PROFILING_RUNTIME_MODEL_H
+#define REAPER_PROFILING_RUNTIME_MODEL_H
+
+#include "common/units.h"
+
+namespace reaper {
+namespace profiling {
+
+/** Inputs of Eq. 9. */
+struct RuntimeModelInputs
+{
+    Seconds profilingRefreshInterval = 1.024;
+    int numDataPatterns = 6;
+    int iterations = 16;
+    /** Total module capacity in GB. */
+    double moduleGB = 2.0;
+    /** One-way full-module I/O cost per GB (paper: 0.0625 s/GB). */
+    double rwSecondsPerGB = 0.0625;
+};
+
+/** Eq. 9: duration of one full profiling round. */
+Seconds profilingRoundTime(const RuntimeModelInputs &in);
+
+/** T_wr (= T_rd): one-way full-module I/O time. */
+Seconds moduleIoTime(const RuntimeModelInputs &in);
+
+} // namespace profiling
+} // namespace reaper
+
+#endif // REAPER_PROFILING_RUNTIME_MODEL_H

@@ -1,0 +1,125 @@
+#include "reaper/firmware.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace reaper {
+namespace firmware {
+
+OnlineReaper::OnlineReaper(testbed::SoftMcHost &host,
+                           mitigation::MitigationMechanism &mitigation,
+                           const OnlineReaperConfig &cfg)
+    : host_(host), mitigation_(mitigation), cfg_(cfg)
+{
+    if (cfg_.longevityGuardband < 1.0)
+        fatal("OnlineReaper: longevityGuardband must be >= 1");
+}
+
+Seconds
+OnlineReaper::scheduledReprofileInterval() const
+{
+    // The firmware plans from the vendor characterization data
+    // (Section 6.3: per-chip characterization feeds the estimates),
+    // not from the oracle.
+    const dram::DramModule &module = host_.module();
+    const dram::RetentionModel &model = module.chip(0).model();
+
+    ecc::LongevityScenario s;
+    s.capacityBits = module.capacityBits();
+    s.eccStrength = cfg_.eccStrength;
+    s.targetUber = cfg_.targetUber;
+    s.berAtTarget = model.berAt(cfg_.target.refreshInterval,
+                                cfg_.target.temperature);
+    s.profilingCoverage = cfg_.assumedCoverage;
+    s.accumulationPerHour =
+        model.vrtCumulativeRate(cfg_.target.refreshInterval,
+                                s.capacityBits) *
+        3600.0 *
+        std::exp(model.params().tempCoeff *
+                 (cfg_.target.temperature - model.referenceTemp()));
+
+    Seconds longevity = ecc::computeLongevity(s).longevity;
+    if (longevity <= 0) {
+        fatal("OnlineReaper: the ECC budget cannot sustain the target "
+              "refresh interval %.3fs even right after profiling; "
+              "choose a shorter interval or stronger ECC",
+              cfg_.target.refreshInterval);
+    }
+    if (std::isinf(longevity))
+        return cfg_.maxOperatingChunk;
+    return longevity / cfg_.longevityGuardband;
+}
+
+ReaperEvent
+OnlineReaper::profileOnce()
+{
+    profiling::ReachConfig rc;
+    rc.target = cfg_.target;
+    rc.deltaRefreshInterval = cfg_.reachDeltaInterval;
+    rc.deltaTemperature = cfg_.reachDeltaTemperature;
+    rc.iterations = cfg_.reachIterations;
+    rc.patterns = cfg_.patterns;
+
+    profiling::ReachProfiler profiler;
+    profiling::ProfilingResult result = profiler.run(host_, rc);
+    mitigation_.applyProfile(result.profile);
+
+    ReaperEvent event;
+    event.time = host_.now();
+    event.roundTime = result.runtime;
+    event.profileSize = result.profile.size();
+    event.reprofileIn = scheduledReprofileInterval();
+    profilingTime_ += result.runtime;
+    log_.push_back(event);
+    return event;
+}
+
+void
+OnlineReaper::runFor(Seconds duration)
+{
+    Seconds end = host_.now() + duration;
+    // Restore the operating temperature between profiling rounds.
+    while (host_.now() < end) {
+        ReaperEvent event = profileOnce();
+        host_.setAmbient(cfg_.target.temperature);
+        Seconds operate_until =
+            std::min(end, host_.now() + event.reprofileIn);
+        while (host_.now() < operate_until) {
+            Seconds chunk = std::min(cfg_.maxOperatingChunk,
+                                     operate_until - host_.now());
+            host_.wait(chunk);
+            operatingTime_ += chunk;
+        }
+    }
+}
+
+double
+OnlineReaper::overheadFraction() const
+{
+    Seconds total = profilingTime_ + operatingTime_;
+    return total > 0 ? profilingTime_ / total : 0.0;
+}
+
+OnlineReaper::SafetyAudit
+OnlineReaper::auditSafety(double pmin) const
+{
+    SafetyAudit audit;
+    auto truth = host_.module().trueFailingSet(
+        cfg_.target.refreshInterval, cfg_.target.temperature, pmin);
+    audit.truthSize = truth.size();
+    for (const auto &cell : truth) {
+        if (!mitigation_.covers(cell))
+            ++audit.uncovered;
+    }
+    audit.tolerable = ecc::tolerableBitErrors(
+        cfg_.targetUber, cfg_.eccStrength,
+        host_.module().capacityBits());
+    audit.safe =
+        static_cast<double>(audit.uncovered) <= audit.tolerable;
+    return audit;
+}
+
+} // namespace firmware
+} // namespace reaper

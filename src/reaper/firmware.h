@@ -1,0 +1,118 @@
+/**
+ * @file
+ * REAPER firmware (Section 7.1): the memory-controller firmware that
+ * periodically runs reach profiling, installs the resulting failure
+ * profile into a retention failure mitigation mechanism, and schedules
+ * reprofiling from the profile-longevity model so the system operates
+ * reliably at an extended refresh interval.
+ *
+ * The implementation mirrors the paper's naive-but-robust REAPER: each
+ * profiling round takes exclusive DRAM access (a full system pause)
+ * and its runtime is charged against operation time.
+ */
+
+#ifndef REAPER_REAPER_FIRMWARE_H
+#define REAPER_REAPER_FIRMWARE_H
+
+#include <vector>
+
+#include "ecc/longevity.h"
+#include "ecc/uber.h"
+#include "mitigation/mitigation.h"
+#include "profiling/reach.h"
+#include "testbed/softmc_host.h"
+
+namespace reaper {
+namespace firmware {
+
+/** Online-REAPER configuration. */
+struct OnlineReaperConfig
+{
+    /** Target operating conditions. */
+    profiling::Conditions target{1.024, dram::kReferenceTemp};
+    /** Reach deltas (Section 6.1.2 default: +250 ms). */
+    Seconds reachDeltaInterval = 0.250;
+    Celsius reachDeltaTemperature = 0.0;
+    int reachIterations = 4;
+    std::vector<dram::DataPattern> patterns = dram::allDataPatterns();
+
+    /** ECC protecting the module (determines the failure budget). */
+    ecc::EccConfig eccStrength = ecc::EccConfig::secded();
+    double targetUber = ecc::kConsumerUber;
+    /** Coverage assumed when estimating profile longevity. */
+    double assumedCoverage = 0.99;
+    /** Reprofile at longevity / guardband. */
+    double longevityGuardband = 4.0;
+    /** Never wait longer than this between schedule re-evaluations. */
+    Seconds maxOperatingChunk = hoursToSec(6.0);
+};
+
+/** One entry of the firmware's activity log. */
+struct ReaperEvent
+{
+    Seconds time = 0;        ///< virtual time at round completion
+    Seconds roundTime = 0;   ///< profiling runtime consumed
+    size_t profileSize = 0;  ///< cells installed into the mitigation
+    Seconds reprofileIn = 0; ///< scheduled time until the next round
+};
+
+/** The online REAPER controller. */
+class OnlineReaper
+{
+  public:
+    /**
+     * @param host the DRAM test/host interface (borrowed)
+     * @param mitigation mechanism receiving profiles (borrowed)
+     * @param cfg configuration
+     */
+    OnlineReaper(testbed::SoftMcHost &host,
+                 mitigation::MitigationMechanism &mitigation,
+                 const OnlineReaperConfig &cfg);
+
+    /**
+     * Operate the system for `duration` virtual seconds: profile
+     * immediately, then alternate operation and reprofiling rounds.
+     */
+    void runFor(Seconds duration);
+
+    /** Run exactly one profiling round and install the profile. */
+    ReaperEvent profileOnce();
+
+    const std::vector<ReaperEvent> &log() const { return log_; }
+    size_t roundsRun() const { return log_.size(); }
+    Seconds totalProfilingTime() const { return profilingTime_; }
+    Seconds totalOperatingTime() const { return operatingTime_; }
+    /** Fraction of total time spent profiling (Eq. 8's overhead). */
+    double overheadFraction() const;
+
+    /** The reprofiling interval derived from the longevity model. */
+    Seconds scheduledReprofileInterval() const;
+
+    /** Result of an oracle-based safety audit. */
+    struct SafetyAudit
+    {
+        size_t truthSize = 0;   ///< failing cells at target conditions
+        size_t uncovered = 0;   ///< of those, not covered by mitigation
+        double tolerable = 0;   ///< ECC failure budget N
+        bool safe = false;      ///< uncovered <= tolerable
+    };
+
+    /**
+     * EVALUATION ONLY: audit, against the device oracle, whether the
+     * cells escaping the installed mitigation fit the ECC budget.
+     */
+    SafetyAudit auditSafety(double pmin = 0.05) const;
+
+  private:
+    testbed::SoftMcHost &host_;
+    mitigation::MitigationMechanism &mitigation_;
+    OnlineReaperConfig cfg_;
+    std::vector<ReaperEvent> log_;
+    Seconds profilingTime_ = 0;
+    Seconds operatingTime_ = 0;
+};
+
+} // namespace firmware
+} // namespace reaper
+
+#endif // REAPER_REAPER_FIRMWARE_H

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Umbrella public header of the REAPER library.
+ *
+ * Pulls in the full public API:
+ *  - dram::        statistical LPDDR4 retention device model
+ *  - thermal::     thermally-controlled test chamber
+ *  - testbed::     SoftMC-like host test interface
+ *  - profiling::   brute-force, reach (REAPER), ECC-scrub profilers
+ *  - ecc::         SECDED codec, UBER/RBER model, profile longevity
+ *  - mitigation::  ArchShield / RAIDR / row map-out mechanisms
+ *  - sim::         cycle-level multicore + LPDDR4 memory system
+ *  - power::       command-level DRAM power model
+ *  - workload::    synthetic SPEC-like trace generation
+ *  - eval::        profiling overhead + end-to-end evaluation
+ *  - firmware::    online REAPER orchestration
+ */
+
+#ifndef REAPER_REAPER_H
+#define REAPER_REAPER_H
+
+#include "common/fit.h"
+#include "common/ks_test.h"
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "common/units.h"
+
+#include "dram/data_pattern.h"
+#include "dram/device.h"
+#include "dram/geometry.h"
+#include "dram/module.h"
+#include "dram/retention_model.h"
+#include "dram/vendor_model.h"
+
+#include "thermal/chamber.h"
+
+#include "testbed/softmc_host.h"
+
+#include "ecc/hamming.h"
+#include "ecc/longevity.h"
+#include "ecc/protected_memory.h"
+#include "ecc/uber.h"
+
+#include "profiling/brute_force.h"
+#include "profiling/ecc_scrub.h"
+#include "profiling/profile.h"
+#include "profiling/profile_io.h"
+#include "profiling/reach.h"
+#include "profiling/runtime_model.h"
+
+#include "mitigation/archshield.h"
+#include "mitigation/avatar.h"
+#include "mitigation/bloom.h"
+#include "mitigation/mitigation.h"
+#include "mitigation/raidr.h"
+#include "mitigation/rapid.h"
+#include "mitigation/rowmap.h"
+
+#include "sim/cache.h"
+#include "sim/core.h"
+#include "sim/memctrl.h"
+#include "sim/system.h"
+#include "sim/timing.h"
+#include "sim/trace.h"
+#include "sim/trace_io.h"
+
+#include "power/drampower.h"
+
+#include "workload/synthetic.h"
+
+#include "eval/endtoend.h"
+#include "eval/overhead.h"
+
+#include "reaper/firmware.h"
+
+#endif // REAPER_REAPER_H

@@ -1,0 +1,87 @@
+#include "sim/cache.h"
+
+#include "common/logging.h"
+
+namespace reaper {
+namespace sim {
+
+Cache::Cache(const CacheConfig &cfg) : cfg_(cfg)
+{
+    if (cfg.lineBytes == 0 || cfg.ways == 0)
+        panic("Cache: lineBytes and ways must be > 0");
+    uint64_t lines = cfg.sizeBytes / cfg.lineBytes;
+    if (lines == 0 || lines % cfg.ways != 0)
+        panic("Cache: size must be a multiple of ways * lineBytes");
+    sets_ = lines / cfg.ways;
+    lines_.resize(lines);
+}
+
+uint64_t
+Cache::setOf(uint64_t addr) const
+{
+    return (addr / cfg_.lineBytes) % sets_;
+}
+
+uint64_t
+Cache::tagOf(uint64_t addr) const
+{
+    return (addr / cfg_.lineBytes) / sets_;
+}
+
+bool
+Cache::probe(uint64_t addr) const
+{
+    uint64_t set = setOf(addr);
+    uint64_t tag = tagOf(addr);
+    for (uint32_t w = 0; w < cfg_.ways; ++w) {
+        const Line &l = lines_[set * cfg_.ways + w];
+        if (l.valid && l.tag == tag)
+            return true;
+    }
+    return false;
+}
+
+CacheAccess
+Cache::access(uint64_t addr, bool is_write)
+{
+    CacheAccess result;
+    uint64_t set = setOf(addr);
+    uint64_t tag = tagOf(addr);
+    for (uint32_t w = 0; w < cfg_.ways; ++w) {
+        Line &l = lines_[set * cfg_.ways + w];
+        if (l.valid && l.tag == tag) {
+            result.hit = true;
+            l.lruStamp = ++stamp_;
+            l.dirty = l.dirty || is_write;
+            ++stats_.hits;
+            return result;
+        }
+    }
+    ++stats_.misses;
+    // Victim: first invalid way, otherwise least-recently used.
+    Line *victim = nullptr;
+    for (uint32_t w = 0; w < cfg_.ways; ++w) {
+        Line &l = lines_[set * cfg_.ways + w];
+        if (!l.valid) {
+            victim = &l;
+            break;
+        }
+        if (!victim || l.lruStamp < victim->lruStamp)
+            victim = &l;
+    }
+    // Allocate over the LRU (or an invalid) way.
+    if (victim->valid && victim->dirty) {
+        result.writeback = true;
+        result.writebackAddr =
+            (victim->tag * sets_ + set) * cfg_.lineBytes;
+        ++stats_.writebacks;
+    }
+    victim->valid = true;
+    victim->dirty = is_write;
+    victim->tag = tag;
+    victim->lruStamp = ++stamp_;
+    return result;
+}
+
+} // namespace sim
+} // namespace reaper

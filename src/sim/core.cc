@@ -1,0 +1,127 @@
+#include "sim/core.h"
+
+#include "common/logging.h"
+
+namespace reaper {
+namespace sim {
+
+Core::Core(const CoreConfig &cfg, const Trace &trace, bool loop)
+    : cfg_(cfg), trace_(trace), loop_(loop), ready_(cfg.windowSize, 0)
+{
+    if (cfg.windowSize == 0 || cfg.issueWidth == 0)
+        panic("Core: windowSize and issueWidth must be > 0");
+    if (cfg.cpuPerMemCycle <= 0)
+        panic("Core: cpuPerMemCycle must be > 0");
+    if (trace_.entries.empty()) {
+        done_ = true;
+    } else {
+        bubblesLeft_ = trace_.entries.front().bubbles;
+    }
+}
+
+double
+Core::ipc() const
+{
+    return cpuCycles_ ? static_cast<double>(retired_) /
+                            static_cast<double>(cpuCycles_)
+                      : 0.0;
+}
+
+bool
+Core::traceDone() const
+{
+    return done_ && windowLoad_ == 0;
+}
+
+void
+Core::windowInsert(bool ready)
+{
+    ready_[windowTail_] = ready ? 1 : 0;
+    windowTail_ = (windowTail_ + 1) % cfg_.windowSize;
+    ++windowLoad_;
+}
+
+void
+Core::windowRetire()
+{
+    uint32_t retired_now = 0;
+    while (windowLoad_ > 0 && retired_now < cfg_.issueWidth &&
+           ready_[windowHead_]) {
+        windowHead_ = (windowHead_ + 1) % cfg_.windowSize;
+        --windowLoad_;
+        ++retired_;
+        ++retired_now;
+    }
+}
+
+void
+Core::cpuCycle(const SendFn &send)
+{
+    ++cpuCycles_;
+    windowRetire();
+
+    uint32_t issued = 0;
+    while (issued < cfg_.issueWidth && !done_) {
+        if (bubblesLeft_ > 0) {
+            if (windowFull())
+                break;
+            windowInsert(true);
+            --bubblesLeft_;
+            ++issued;
+            continue;
+        }
+
+        const TraceEntry &e = trace_.entries[tracePos_];
+        if (e.isWrite) {
+            MemRequest req;
+            req.addr = e.addr;
+            req.isWrite = true;
+            req.coreId = cfg_.id;
+            if (!send(req))
+                break; // write queue full: stall this cycle
+            ++retired_; // stores are posted and retire immediately
+        } else {
+            if (windowFull() || outstandingReads_ >= cfg_.mshrs)
+                break;
+            uint32_t slot = windowTail_;
+            MemRequest req;
+            req.addr = e.addr;
+            req.isWrite = false;
+            req.coreId = cfg_.id;
+            req.onComplete = [this, slot]() {
+                ready_[slot] = 1;
+                --outstandingReads_;
+            };
+            if (!send(req))
+                break;
+            windowInsert(false);
+            ++outstandingReads_;
+        }
+        ++issued;
+
+        // Advance to the next trace record.
+        ++tracePos_;
+        if (tracePos_ >= trace_.entries.size()) {
+            if (loop_) {
+                tracePos_ = 0;
+            } else {
+                done_ = true;
+                break;
+            }
+        }
+        bubblesLeft_ = trace_.entries[tracePos_].bubbles;
+    }
+}
+
+void
+Core::tick(const SendFn &send)
+{
+    cpuCredit_ += cfg_.cpuPerMemCycle;
+    while (cpuCredit_ >= 1.0) {
+        cpuCredit_ -= 1.0;
+        cpuCycle(send);
+    }
+}
+
+} // namespace sim
+} // namespace reaper

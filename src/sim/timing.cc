@@ -1,0 +1,35 @@
+#include "sim/timing.h"
+
+#include "common/logging.h"
+
+namespace reaper {
+namespace sim {
+
+TimingParams
+lpddr4_3200(unsigned chip_gbit)
+{
+    TimingParams t; // defaults are the 16 Gb part
+    switch (chip_gbit) {
+      case 8:
+        t.tRFCab = 448; // 280 ns
+        break;
+      case 16:
+        t.tRFCab = 608; // 380 ns
+        break;
+      case 32:
+        t.tRFCab = 880; // 550 ns
+        break;
+      case 64:
+        t.tRFCab = 1600; // 1000 ns
+        break;
+      default:
+        fatal("lpddr4_3200: unsupported chip density %u Gb "
+              "(supported: 8, 16, 32, 64)",
+              chip_gbit);
+    }
+    t.tRFCpb = t.tRFCab * 55 / 100; // JEDEC: per-bank ~55% of all-bank
+    return t;
+}
+
+} // namespace sim
+} // namespace reaper

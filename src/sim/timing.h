@@ -1,0 +1,67 @@
+/**
+ * @file
+ * LPDDR4 timing parameters for the cycle-level memory-system model.
+ *
+ * All values are in memory-controller clock cycles (LPDDR4-3200:
+ * tCK = 0.625 ns, 1600 MHz command clock). tRFCab scales with chip
+ * density, which is what makes refresh overhead grow with capacity
+ * (Section 7.3 of the paper evaluates 8-64 Gb chips).
+ */
+
+#ifndef REAPER_SIM_TIMING_H
+#define REAPER_SIM_TIMING_H
+
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace reaper {
+namespace sim {
+
+/** Memory-controller clock cycle count. */
+using Cycle = uint64_t;
+
+/** DRAM timing constraints in controller cycles. */
+struct TimingParams
+{
+    double tCKns = 0.625; ///< controller clock period (ns)
+
+    Cycle tRCD = 29;  ///< ACT -> RD/WR
+    Cycle tRP = 34;   ///< PRE -> ACT
+    Cycle tRAS = 68;  ///< ACT -> PRE
+    Cycle tRC = 102;  ///< ACT -> ACT (same bank)
+    Cycle tRL = 28;   ///< read latency (RD -> first data)
+    Cycle tWL = 14;   ///< write latency
+    Cycle tBURST = 8; ///< data burst occupancy (BL16, DDR)
+    Cycle tCCD = 8;   ///< CAS -> CAS
+    Cycle tRRD = 16;  ///< ACT -> ACT (different banks)
+    Cycle tFAW = 64;  ///< four-activate window
+    Cycle tWR = 29;   ///< write recovery (end of write -> PRE)
+    Cycle tWTR = 16;  ///< write -> read turnaround
+    Cycle tRTP = 12;  ///< read -> PRE
+    Cycle tRFCab = 608; ///< all-bank refresh cycle time (density-dep.)
+    Cycle tRFCpb = 336; ///< per-bank refresh cycle time (~55% of ab)
+    Cycle tREFI = 12500; ///< refresh command interval at the default
+                         ///< 64 ms window (64 ms / 8192 commands)
+
+    /** Convert controller cycles to seconds. */
+    Seconds cyclesToSec(Cycle c) const { return c * tCKns * 1e-9; }
+    /** Convert seconds to controller cycles (rounded down). */
+    Cycle secToCycles(Seconds s) const
+    {
+        return static_cast<Cycle>(s / (tCKns * 1e-9));
+    }
+};
+
+/**
+ * LPDDR4-3200 timings for a chip of the given density.
+ * tRFCab values follow the JEDEC density scaling trend (280 ns at
+ * 8 Gb) extended to the hypothetical larger densities the paper
+ * evaluates (Section 7.3: 8 Gb to 64 Gb chips).
+ */
+TimingParams lpddr4_3200(unsigned chip_gbit);
+
+} // namespace sim
+} // namespace reaper
+
+#endif // REAPER_SIM_TIMING_H

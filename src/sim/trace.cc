@@ -1,0 +1,26 @@
+#include "sim/trace.h"
+
+namespace reaper {
+namespace sim {
+
+uint64_t
+Trace::instructionCount() const
+{
+    uint64_t total = 0;
+    for (const TraceEntry &e : entries)
+        total += uint64_t{e.bubbles} + 1;
+    return total;
+}
+
+double
+Trace::apki() const
+{
+    uint64_t insts = instructionCount();
+    if (insts == 0)
+        return 0.0;
+    return 1000.0 * static_cast<double>(entries.size()) /
+           static_cast<double>(insts);
+}
+
+} // namespace sim
+} // namespace reaper

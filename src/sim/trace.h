@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Trace format for the trace-driven cores (Ramulator-style): each entry
+ * is a number of non-memory "bubble" instructions followed by one
+ * memory access that reaches the cache hierarchy.
+ */
+
+#ifndef REAPER_SIM_TRACE_H
+#define REAPER_SIM_TRACE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace reaper {
+namespace sim {
+
+/** One trace record. */
+struct TraceEntry
+{
+    uint32_t bubbles = 0; ///< non-memory instructions before the access
+    uint64_t addr = 0;    ///< physical byte address
+    bool isWrite = false;
+};
+
+/** A named instruction/memory trace. */
+struct Trace
+{
+    std::string name;
+    std::vector<TraceEntry> entries;
+
+    /** Total instructions represented (bubbles + memory ops). */
+    uint64_t instructionCount() const;
+
+    /** Memory accesses per kilo-instruction. */
+    double apki() const;
+};
+
+} // namespace sim
+} // namespace reaper
+
+#endif // REAPER_SIM_TRACE_H

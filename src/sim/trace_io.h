@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Trace serialization in a Ramulator-style text format, so externally
+ * collected traces can drive the simulator and generated synthetic
+ * traces can be inspected or reused:
+ *
+ *   # trace: <name>
+ *   <bubbles> R|W <hex address>
+ */
+
+#ifndef REAPER_SIM_TRACE_IO_H
+#define REAPER_SIM_TRACE_IO_H
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/trace.h"
+
+namespace reaper {
+namespace sim {
+
+/** Serialize a trace. */
+void saveTrace(const Trace &trace, std::ostream &os);
+
+/** Save to a file path; fatal() on I/O failure. */
+void saveTraceFile(const Trace &trace, const std::string &path);
+
+/**
+ * Parse a serialized trace.
+ * @return whether parsing succeeded (error diagnostic optional)
+ */
+bool tryLoadTrace(std::istream &is, Trace *out,
+                  std::string *error = nullptr);
+
+/** Load from a stream; fatal() on malformed input. */
+Trace loadTrace(std::istream &is);
+
+/** Load from a file path; fatal() on I/O or parse failure. */
+Trace loadTraceFile(const std::string &path);
+
+} // namespace sim
+} // namespace reaper
+
+#endif // REAPER_SIM_TRACE_IO_H

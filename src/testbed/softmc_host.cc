@@ -1,0 +1,139 @@
+#include "testbed/softmc_host.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace reaper {
+namespace testbed {
+
+SoftMcHost::SoftMcHost(dram::DramModule &module, const HostConfig &cfg)
+    : module_(module),
+      cfg_(cfg),
+      chamber_(cfg.chamber),
+      ambient_(cfg.chamber.roomTemp)
+{
+    if (!cfg_.useChamber) {
+        ambient_ = module_.config().initialTemp;
+    }
+}
+
+void
+SoftMcHost::record(CommandKind kind, double param)
+{
+    if (cfg_.recordTrace)
+        trace_.push_back({kind, now(), param});
+}
+
+void
+SoftMcHost::setAmbient(Celsius ambient)
+{
+    record(CommandKind::SetAmbient, ambient);
+    ambient_ = ambient;
+    if (!cfg_.useChamber) {
+        module_.setTemperature(ambient);
+        return;
+    }
+    chamber_.setSetpoint(ambient);
+    // Step chamber and module together until the chamber settles.
+    Seconds elapsed = 0.0;
+    Seconds in_band = 0.0;
+    const Seconds timeout = 3600.0;
+    while (elapsed < timeout) {
+        chamber_.step(1.0);
+        module_.setTemperature(chamber_.ambient());
+        module_.wait(1.0);
+        elapsed += 1.0;
+        if (chamber_.settled(0.25)) {
+            in_band += 1.0;
+            if (in_band >= 10.0)
+                return;
+        } else {
+            in_band = 0.0;
+        }
+    }
+    fatal("SoftMcHost: chamber failed to settle to %.2f degC", ambient);
+}
+
+void
+SoftMcHost::advance(Seconds dt)
+{
+    if (dt < 0)
+        panic("SoftMcHost::advance: negative dt %g", dt);
+    if (!cfg_.useChamber) {
+        module_.wait(dt);
+        return;
+    }
+    while (dt > 0) {
+        // Fine-grained steps near setpoint transitions; coarser once
+        // the chamber is settled (it only jitters within the band).
+        Seconds chunk = chamber_.settled(0.3) ? std::min(dt, 30.0)
+                                              : std::min(dt, 1.0);
+        chamber_.step(chunk);
+        module_.setTemperature(chamber_.ambient());
+        module_.wait(chunk);
+        dt -= chunk;
+    }
+}
+
+Seconds
+SoftMcHost::fullModuleIoTime() const
+{
+    double gb = static_cast<double>(module_.capacityBits()) / 8.0 /
+                static_cast<double>(kGiB);
+    return cfg_.rwSecondsPerGB * gb;
+}
+
+void
+SoftMcHost::writeAll(dram::DataPattern p)
+{
+    record(CommandKind::WritePattern, static_cast<double>(p));
+    Seconds t = fullModuleIoTime();
+    advance(t);
+    ioTime_ += t;
+    module_.writePattern(p);
+}
+
+void
+SoftMcHost::restoreAll()
+{
+    record(CommandKind::Restore, 0);
+    Seconds t = fullModuleIoTime();
+    advance(t);
+    ioTime_ += t;
+    module_.restoreData();
+}
+
+void
+SoftMcHost::disableRefresh()
+{
+    record(CommandKind::DisableRefresh, 0);
+    module_.disableRefresh();
+}
+
+void
+SoftMcHost::enableRefresh()
+{
+    record(CommandKind::EnableRefresh, 0);
+    module_.enableRefresh();
+}
+
+void
+SoftMcHost::wait(Seconds t)
+{
+    record(CommandKind::Wait, t);
+    advance(t);
+}
+
+std::vector<dram::ChipFailure>
+SoftMcHost::readAndCompareAll()
+{
+    record(CommandKind::ReadCompare, 0);
+    Seconds t = fullModuleIoTime();
+    advance(t);
+    ioTime_ += t;
+    return module_.readAndCompare();
+}
+
+} // namespace testbed
+} // namespace reaper

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Host-side DRAM testing interface, modeled after the SoftMC platform
+ * the paper's infrastructure builds on (Section 4).
+ *
+ * SoftMcHost is the ONLY surface profilers may use: it exposes write /
+ * refresh-control / wait / read-and-compare plus thermal-chamber control,
+ * and it accounts the virtual time every operation costs (full-module
+ * reads and writes cost 62.5 ms per GB each, matching the paper's
+ * empirical 0.125 s per 2 GB figure scaled by capacity). A command trace
+ * records every host operation, standing in for the logic-analyzer
+ * verification of the command bus described in Section 4.
+ */
+
+#ifndef REAPER_TESTBED_SOFTMC_HOST_H
+#define REAPER_TESTBED_SOFTMC_HOST_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+#include "dram/data_pattern.h"
+#include "dram/module.h"
+#include "thermal/chamber.h"
+
+namespace reaper {
+namespace testbed {
+
+/** Kinds of host commands recorded in the trace. */
+enum class CommandKind : uint8_t
+{
+    SetAmbient,
+    WritePattern,
+    Restore,
+    DisableRefresh,
+    EnableRefresh,
+    Wait,
+    ReadCompare,
+};
+
+/** One entry of the host command trace. */
+struct HostCommand
+{
+    CommandKind kind;
+    Seconds startTime; ///< virtual time at which the command was issued
+    double param;      ///< temperature, pattern id, or wait length
+};
+
+/** Host configuration. */
+struct HostConfig
+{
+    /** Full-module read or write cost, seconds per GB (each way). */
+    double rwSecondsPerGB = 0.0625;
+    /** Model the thermal chamber (realistic settle times and jitter);
+     *  when false, temperature changes apply instantly. */
+    bool useChamber = true;
+    thermal::ChamberConfig chamber{};
+    /** Record the host command trace. */
+    bool recordTrace = false;
+};
+
+/** The host controller of one DRAM module under test. */
+class SoftMcHost
+{
+  public:
+    /** The module is borrowed; it must outlive the host. */
+    SoftMcHost(dram::DramModule &module, const HostConfig &cfg = {});
+
+    /**
+     * Command the chamber to a new ambient setpoint and wait until the
+     * temperature settles (instant when the chamber model is disabled).
+     */
+    void setAmbient(Celsius ambient);
+    Celsius ambient() const { return ambient_; }
+
+    /** Write the whole module with a pattern (costs write time). */
+    void writeAll(dram::DataPattern p);
+
+    /**
+     * Scrub write-back: restore the stored data in place (costs one
+     * full-module write). Models an ECC scrubber correcting and
+     * rewriting every word.
+     */
+    void restoreAll();
+
+    void disableRefresh();
+    void enableRefresh();
+
+    /** Let the retention window elapse. */
+    void wait(Seconds t);
+
+    /** Read the whole module and compare (costs read time). */
+    std::vector<dram::ChipFailure> readAndCompareAll();
+
+    /** Virtual time since host construction. */
+    Seconds now() const { return module_.now(); }
+
+    /** Total time spent transferring data (reads + writes). */
+    Seconds ioTime() const { return ioTime_; }
+
+    dram::DramModule &module() { return module_; }
+    const dram::DramModule &module() const { return module_; }
+
+    const std::vector<HostCommand> &trace() const { return trace_; }
+    void clearTrace() { trace_.clear(); }
+
+    /** Per-GB read/write cost in effect. */
+    double rwSecondsPerGB() const { return cfg_.rwSecondsPerGB; }
+
+    /** One full-module write (or read) cost for this module's size. */
+    Seconds fullModuleIoTime() const;
+
+  private:
+    /** Advance virtual time, stepping the chamber alongside. */
+    void advance(Seconds dt);
+
+    void record(CommandKind kind, double param);
+
+    dram::DramModule &module_;
+    HostConfig cfg_;
+    thermal::ThermalChamber chamber_;
+    Celsius ambient_;
+    Seconds ioTime_ = 0.0;
+    std::vector<HostCommand> trace_;
+};
+
+} // namespace testbed
+} // namespace reaper
+
+#endif // REAPER_TESTBED_SOFTMC_HOST_H

@@ -1,0 +1,125 @@
+#include "thermal/chamber.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace reaper {
+namespace thermal {
+
+PidController::PidController(const PidConfig &cfg) : cfg_(cfg) {}
+
+double
+PidController::update(double setpoint, double measurement, Seconds dt)
+{
+    double error = setpoint - measurement;
+    double derivative = 0.0;
+    if (hasPrev_ && dt > 0)
+        derivative = (error - prevError_) / dt;
+    prevError_ = error;
+    hasPrev_ = true;
+
+    integral_ += error * dt;
+    double out = cfg_.kp * error + cfg_.ki * integral_ +
+                 cfg_.kd * derivative;
+    if (out > cfg_.outputMax) {
+        out = cfg_.outputMax;
+        integral_ -= error * dt; // anti-windup: undo the accumulation
+    } else if (out < cfg_.outputMin) {
+        out = cfg_.outputMin;
+        integral_ -= error * dt;
+    }
+    return out;
+}
+
+void
+PidController::reset()
+{
+    integral_ = 0.0;
+    prevError_ = 0.0;
+    hasPrev_ = false;
+}
+
+ThermalChamber::ThermalChamber(const ChamberConfig &cfg)
+    : cfg_(cfg),
+      pid_(cfg.pid),
+      rng_(cfg.seed),
+      setpoint_(cfg.minSetpoint),
+      ambient_(cfg.roomTemp),
+      dram_(cfg.roomTemp + cfg.dramOffset)
+{
+}
+
+void
+ThermalChamber::setSetpoint(Celsius setpoint)
+{
+    if (setpoint < cfg_.minSetpoint - 1e-9 ||
+        setpoint > cfg_.maxSetpoint + 1e-9) {
+        fatal("ThermalChamber: setpoint %.2f outside reliable range "
+              "[%.1f, %.1f]",
+              setpoint, cfg_.minSetpoint, cfg_.maxSetpoint);
+    }
+    setpoint_ = setpoint;
+}
+
+void
+ThermalChamber::substep(Seconds dt)
+{
+    double measured = ambient_ + rng_.normal(0.0, cfg_.sensorNoiseSigma);
+    double u = pid_.update(setpoint_, measured, dt);
+    // First-order plant: heater/fan authority pulls toward
+    // room + authority * u with time constant tau.
+    double target = cfg_.roomTemp + cfg_.heaterAuthority * std::max(u, 0.0)
+                    - 5.0 * std::max(-u, 0.0); // fans can undershoot room
+    double alpha = 1.0 - std::exp(-dt / cfg_.plantTauSeconds);
+    ambient_ += (target - ambient_) * alpha;
+
+    double dram_target = ambient_ + cfg_.dramOffset;
+    double beta = 1.0 - std::exp(-dt / cfg_.dramTauSeconds);
+    dram_ += (dram_target - dram_) * beta;
+}
+
+void
+ThermalChamber::step(Seconds dt)
+{
+    if (dt < 0)
+        panic("ThermalChamber::step: negative dt %g", dt);
+    const Seconds sub = 1.0;
+    while (dt > 0) {
+        Seconds s = std::min(dt, sub);
+        substep(s);
+        dt -= s;
+    }
+}
+
+bool
+ThermalChamber::settled(double tol) const
+{
+    return std::fabs(ambient_ - setpoint_) <= tol;
+}
+
+Seconds
+ThermalChamber::settle(Seconds timeout, double tol)
+{
+    Seconds elapsed = 0.0;
+    // Require the chamber to stay in-band briefly so we don't declare
+    // victory on a transient crossing.
+    Seconds in_band = 0.0;
+    while (elapsed < timeout) {
+        step(1.0);
+        elapsed += 1.0;
+        if (settled(tol)) {
+            in_band += 1.0;
+            if (in_band >= 10.0)
+                return elapsed;
+        } else {
+            in_band = 0.0;
+        }
+    }
+    fatal("ThermalChamber: failed to settle to %.2f degC within %.0fs",
+          setpoint_, timeout);
+}
+
+} // namespace thermal
+} // namespace reaper

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Thermally-controlled test chamber model (Section 4 of the paper).
+ *
+ * The paper's infrastructure maintains ambient temperature with heaters
+ * and fans under a microcontroller PID loop to within 0.25 degC over a
+ * reliable range of 40-55 degC, and holds DRAM temperature 15 degC above
+ * ambient with a separate local heater. This module reproduces that
+ * setup as a first-order thermal plant driven by a PID controller, with
+ * sensor noise, so profiling experiments see the same small temperature
+ * jitter the paper cites as a source of contour roughness (Fig. 9).
+ */
+
+#ifndef REAPER_THERMAL_CHAMBER_H
+#define REAPER_THERMAL_CHAMBER_H
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace reaper {
+namespace thermal {
+
+/** PID controller gains and limits. */
+struct PidConfig
+{
+    double kp = 0.8;
+    double ki = 0.02;
+    double kd = 2.0;
+    double outputMin = -1.0; ///< full fan
+    double outputMax = 1.0;  ///< full heater
+};
+
+/** Discrete-time PID controller with anti-windup clamping. */
+class PidController
+{
+  public:
+    explicit PidController(const PidConfig &cfg);
+
+    /** One control step; returns actuation in [outputMin, outputMax]. */
+    double update(double setpoint, double measurement, Seconds dt);
+
+    void reset();
+
+  private:
+    PidConfig cfg_;
+    double integral_ = 0.0;
+    double prevError_ = 0.0;
+    bool hasPrev_ = false;
+};
+
+/** Chamber configuration. */
+struct ChamberConfig
+{
+    Celsius roomTemp = 22.0;      ///< unconditioned lab temperature
+    Celsius minSetpoint = 40.0;   ///< reliable range lower bound
+    Celsius maxSetpoint = 55.0;   ///< reliable range upper bound
+    double plantTauSeconds = 90.0; ///< thermal time constant
+    double heaterAuthority = 60.0; ///< degC of drive at full actuation
+    Celsius dramOffset = 15.0;    ///< DRAM held above ambient
+    double dramTauSeconds = 20.0; ///< local-heater smoothing
+    double sensorNoiseSigma = 0.08; ///< degC of measurement noise
+    PidConfig pid{};
+    uint64_t seed = 7;
+};
+
+/** First-order chamber plant + PID + DRAM local heating. */
+class ThermalChamber
+{
+  public:
+    explicit ThermalChamber(const ChamberConfig &cfg);
+
+    /**
+     * Command a new ambient setpoint. Setpoints outside the reliable
+     * range are a configuration error (fatal), matching the testbed's
+     * documented 40-55 degC range.
+     */
+    void setSetpoint(Celsius setpoint);
+    Celsius setpoint() const { return setpoint_; }
+
+    /** Advance the chamber by dt (internally sub-stepped at 1 s). */
+    void step(Seconds dt);
+
+    /** Current true ambient temperature. */
+    Celsius ambient() const { return ambient_; }
+
+    /** Current DRAM temperature (ambient + offset, smoothed). */
+    Celsius dramTemp() const { return dram_; }
+
+    /** Whether ambient is within tol of the setpoint. */
+    bool settled(double tol = 0.25) const;
+
+    /**
+     * Step until settled (or the timeout elapses); returns the time
+     * taken. Fails fatally on timeout: a chamber that cannot reach its
+     * setpoint indicates an impossible configuration.
+     */
+    Seconds settle(Seconds timeout = 3600.0, double tol = 0.25);
+
+  private:
+    void substep(Seconds dt);
+
+    ChamberConfig cfg_;
+    PidController pid_;
+    Rng rng_;
+    Celsius setpoint_;
+    Celsius ambient_;
+    Celsius dram_;
+};
+
+} // namespace thermal
+} // namespace reaper
+
+#endif // REAPER_THERMAL_CHAMBER_H

@@ -1,0 +1,156 @@
+#include "workload/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace reaper {
+namespace workload {
+
+const std::vector<BenchmarkSpec> &
+specBenchmarks()
+{
+    // APKI / locality / working-set figures follow published SPEC
+    // CPU2006 memory characterizations (high-MPKI benchmarks like mcf
+    // and lbm down to compute-bound gamess/povray).
+    static const std::vector<BenchmarkSpec> specs = {
+        {"mcf",        45.0, 0.20, 0.80, 256ull << 20, false},
+        {"lbm",        30.0, 0.85, 0.55, 128ull << 20, true},
+        {"libquantum", 28.0, 0.90, 0.85, 64ull << 20,  true},
+        {"soplex",     25.0, 0.60, 0.85, 64ull << 20,  false},
+        {"milc",       22.0, 0.50, 0.75, 128ull << 20, false},
+        {"GemsFDTD",   20.0, 0.75, 0.65, 128ull << 20, true},
+        {"omnetpp",    18.0, 0.30, 0.70, 128ull << 20, false},
+        {"leslie3d",   15.0, 0.80, 0.70, 64ull << 20,  true},
+        {"bwaves",     12.0, 0.85, 0.80, 128ull << 20, true},
+        {"astar",       8.0, 0.35, 0.75, 32ull << 20,  false},
+        {"gcc",         6.0, 0.50, 0.70, 16ull << 20,  false},
+        {"bzip2",       4.0, 0.60, 0.65, 8ull << 20,   false},
+        {"hmmer",       1.5, 0.70, 0.60, 4ull << 20,   false},
+        {"calculix",    0.8, 0.70, 0.75, 4ull << 20,   false},
+        {"gamess",      0.3, 0.80, 0.80, 2ull << 20,   false},
+        {"povray",      0.2, 0.80, 0.70, 1ull << 20,   false},
+    };
+    return specs;
+}
+
+const BenchmarkSpec &
+benchmarkByName(const std::string &name)
+{
+    for (const BenchmarkSpec &s : specBenchmarks()) {
+        if (s.name == name)
+            return s;
+    }
+    fatal("benchmarkByName: unknown benchmark '%s'", name.c_str());
+}
+
+sim::Trace
+generateTrace(const BenchmarkSpec &spec, size_t accesses, uint64_t seed,
+              uint64_t addr_base)
+{
+    if (spec.apki <= 0)
+        panic("generateTrace: apki must be > 0 for '%s'",
+              spec.name.c_str());
+    sim::Trace trace;
+    trace.name = spec.name;
+    trace.entries.reserve(accesses);
+
+    Rng rng(hashCombine(seed, std::hash<std::string>{}(spec.name)));
+    constexpr uint64_t kLine = 64;
+    constexpr uint64_t kRowBytes = 2048;
+    uint64_t ws_lines = std::max<uint64_t>(spec.workingSetBytes / kLine,
+                                           64);
+    double mean_bubbles = 1000.0 / spec.apki - 1.0;
+    uint64_t cursor = rng.uniformInt(ws_lines);
+
+    for (size_t i = 0; i < accesses; ++i) {
+        sim::TraceEntry e;
+        // Geometric bubble count with the target mean keeps APKI exact
+        // in expectation while varying inter-access distance.
+        double g = rng.exponentialMean(std::max(mean_bubbles, 0.01));
+        e.bubbles = static_cast<uint32_t>(
+            std::min(g, 200000.0));
+        e.isWrite = !rng.bernoulli(spec.readFraction);
+
+        if (rng.bernoulli(spec.rowLocality)) {
+            // Stay within the current row: next line (streaming) or a
+            // random line of the same 2 KiB row.
+            uint64_t lines_per_row = kRowBytes / kLine;
+            uint64_t row_start = cursor - cursor % lines_per_row;
+            if (spec.streaming) {
+                cursor = row_start + (cursor + 1) % lines_per_row;
+            } else {
+                cursor = row_start + rng.uniformInt(lines_per_row);
+            }
+        } else if (spec.streaming) {
+            // Stream into the next row.
+            uint64_t lines_per_row = kRowBytes / kLine;
+            cursor = (cursor - cursor % lines_per_row + lines_per_row) %
+                     ws_lines;
+        } else {
+            cursor = rng.uniformInt(ws_lines);
+        }
+        e.addr = addr_base + cursor * kLine;
+        trace.entries.push_back(e);
+    }
+    return trace;
+}
+
+std::vector<WorkloadMix>
+makeMixes(int count, uint64_t seed, int cores_per_mix)
+{
+    if (count < 1 || cores_per_mix < 1)
+        panic("makeMixes: count and cores_per_mix must be >= 1");
+    Rng rng(seed);
+    std::vector<WorkloadMix> mixes;
+    int num_benchmarks = static_cast<int>(specBenchmarks().size());
+    for (int m = 0; m < count; ++m) {
+        WorkloadMix mix;
+        mix.name = "mix" + std::to_string(m);
+        for (int c = 0; c < cores_per_mix; ++c) {
+            int idx = static_cast<int>(
+                rng.uniformInt(static_cast<uint64_t>(num_benchmarks)));
+            mix.benchmarks.push_back(idx);
+            mix.name += "." + specBenchmarks()[idx].name;
+        }
+        mixes.push_back(std::move(mix));
+    }
+    return mixes;
+}
+
+std::vector<sim::Trace>
+tracesForMix(const WorkloadMix &mix, size_t accesses_per_core,
+             uint64_t seed)
+{
+    std::vector<sim::Trace> traces;
+    for (size_t core = 0; core < mix.benchmarks.size(); ++core) {
+        const BenchmarkSpec &spec =
+            specBenchmarks().at(
+                static_cast<size_t>(mix.benchmarks[core]));
+        // 4 GiB-aligned private ranges keep cores from sharing lines.
+        uint64_t base = (core + 1) << 32;
+        traces.push_back(generateTrace(spec, accesses_per_core,
+                                       hashCombine(seed, core), base));
+    }
+    return traces;
+}
+
+double
+weightedSpeedup(const std::vector<double> &shared_ipc,
+                const std::vector<double> &alone_ipc)
+{
+    if (shared_ipc.size() != alone_ipc.size())
+        panic("weightedSpeedup: size mismatch (%zu vs %zu)",
+              shared_ipc.size(), alone_ipc.size());
+    double ws = 0.0;
+    for (size_t i = 0; i < shared_ipc.size(); ++i) {
+        if (alone_ipc[i] <= 0)
+            panic("weightedSpeedup: alone IPC must be > 0");
+        ws += shared_ipc[i] / alone_ipc[i];
+    }
+    return ws;
+}
+
+} // namespace workload
+} // namespace reaper

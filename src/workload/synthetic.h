@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Synthetic SPEC-CPU2006-like workload generation.
+ *
+ * The paper simulates 20 multiprogrammed heterogeneous mixes of 4
+ * randomly selected SPEC CPU2006 benchmarks (Section 7.2). SPEC traces
+ * are proprietary, so this module generates synthetic LLC-access
+ * traces whose memory intensity (accesses per kilo-instruction), row
+ * locality, read/write balance, and working-set size are matched to
+ * published characterizations of the SPEC benchmarks. The end-to-end
+ * results only depend on these aggregate properties (they determine
+ * refresh/bank contention), which is what makes the substitution sound.
+ */
+
+#ifndef REAPER_WORKLOAD_SYNTHETIC_H
+#define REAPER_WORKLOAD_SYNTHETIC_H
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/trace.h"
+
+namespace reaper {
+namespace workload {
+
+/** Aggregate behavioural parameters of one benchmark archetype. */
+struct BenchmarkSpec
+{
+    std::string name;
+    double apki;          ///< LLC accesses per kilo-instruction
+    double rowLocality;   ///< P(next access stays in the current row)
+    double readFraction;  ///< fraction of accesses that are reads
+    uint64_t workingSetBytes;
+    bool streaming;       ///< sequential (streaming) vs random access
+};
+
+/** The 16 SPEC-like archetypes used to build mixes. */
+const std::vector<BenchmarkSpec> &specBenchmarks();
+
+/** Look up an archetype by name (fatal if unknown). */
+const BenchmarkSpec &benchmarkByName(const std::string &name);
+
+/**
+ * Generate a synthetic trace for one benchmark.
+ * @param spec the archetype
+ * @param accesses number of memory accesses to generate
+ * @param seed RNG seed (same seed -> same trace)
+ * @param addr_base added to every address (to give each core of a
+ *        multiprogrammed mix a private address range)
+ */
+sim::Trace generateTrace(const BenchmarkSpec &spec, size_t accesses,
+                         uint64_t seed, uint64_t addr_base = 0);
+
+/** A multiprogrammed mix: one benchmark per core. */
+struct WorkloadMix
+{
+    std::string name;
+    std::vector<int> benchmarks; ///< indices into specBenchmarks()
+};
+
+/**
+ * Build `count` random 4-benchmark mixes (Section 7.2: 20 mixes of 4
+ * randomly selected benchmarks).
+ */
+std::vector<WorkloadMix> makeMixes(int count, uint64_t seed,
+                                   int cores_per_mix = 4);
+
+/** Traces for one mix, with per-core disjoint address bases. */
+std::vector<sim::Trace> tracesForMix(const WorkloadMix &mix,
+                                     size_t accesses_per_core,
+                                     uint64_t seed);
+
+/**
+ * Multiprogrammed performance metric of Section 7.2:
+ * weighted speedup = sum_i IPC_shared_i / IPC_alone_i.
+ */
+double weightedSpeedup(const std::vector<double> &shared_ipc,
+                       const std::vector<double> &alone_ipc);
+
+} // namespace workload
+} // namespace reaper
+
+#endif // REAPER_WORKLOAD_SYNTHETIC_H

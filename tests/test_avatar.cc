@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests for the AVATAR-style row-upgrade mechanism, including its
+ * online behaviour against a live simulated module.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mitigation/avatar.h"
+#include "profiling/brute_force.h"
+#include "testbed/softmc_host.h"
+
+namespace reaper {
+namespace mitigation {
+namespace {
+
+constexpr uint64_t kRowBits = 2048ull * 8;
+
+profiling::RetentionProfile
+profileOf(std::vector<dram::ChipFailure> cells)
+{
+    profiling::RetentionProfile p;
+    p.add(cells);
+    return p;
+}
+
+AvatarConfig
+config()
+{
+    AvatarConfig cfg;
+    cfg.totalRows = 10000;
+    return cfg;
+}
+
+TEST(Avatar, InitialProfileUpgradesRows)
+{
+    Avatar avatar(config());
+    avatar.applyProfile(profileOf({{0, 5}, {0, kRowBits + 3}}));
+    EXPECT_EQ(avatar.upgradedRows(), 2u);
+    EXPECT_EQ(avatar.runtimeUpgrades(), 0u);
+    EXPECT_TRUE(avatar.covers({0, 6}));
+    EXPECT_FALSE(avatar.covers({0, 2 * kRowBits}));
+    EXPECT_DOUBLE_EQ(avatar.rowInterval(0, 0), 0.064);
+    EXPECT_DOUBLE_EQ(avatar.rowInterval(0, 2), 1.024);
+}
+
+TEST(Avatar, ScrubCorrectionUpgradesAtRuntime)
+{
+    Avatar avatar(config());
+    avatar.applyProfile(profileOf({}));
+    EXPECT_TRUE(avatar.observeScrubCorrection({0, 7 * kRowBits}));
+    EXPECT_FALSE(avatar.observeScrubCorrection({0, 7 * kRowBits + 9}));
+    EXPECT_EQ(avatar.runtimeUpgrades(), 1u);
+    EXPECT_TRUE(avatar.covers({0, 7 * kRowBits + 100}));
+}
+
+TEST(Avatar, ReprofileResetsRuntimeUpgrades)
+{
+    Avatar avatar(config());
+    avatar.observeScrubCorrection({0, 0});
+    avatar.applyProfile(profileOf({{0, kRowBits}}));
+    EXPECT_EQ(avatar.runtimeUpgrades(), 0u);
+    EXPECT_FALSE(avatar.covers({0, 0}));
+    EXPECT_TRUE(avatar.covers({0, kRowBits}));
+}
+
+TEST(Avatar, RefreshWorkGrowsWithUpgrades)
+{
+    Avatar avatar(config());
+    avatar.applyProfile(profileOf({}));
+    double clean = avatar.refreshWorkRelative();
+    EXPECT_NEAR(clean, 0.064 / 1.024, 1e-9);
+    for (uint64_t r = 0; r < 100; ++r)
+        avatar.observeScrubCorrection({0, r * kRowBits});
+    EXPECT_GT(avatar.refreshWorkRelative(), clean);
+    EXPECT_LT(avatar.refreshWorkRelative(), 1.0);
+}
+
+TEST(Avatar, Validation)
+{
+    AvatarConfig cfg = config();
+    cfg.totalRows = 0;
+    EXPECT_DEATH(Avatar a(cfg), "totalRows");
+    cfg = config();
+    cfg.fastInterval = cfg.slowInterval;
+    EXPECT_DEATH(Avatar a(cfg), "fastInterval");
+}
+
+TEST(Avatar, OnlineLoopCatchesVrtArrivals)
+{
+    // Live loop: initial brute-force profile, then periodic scrubs
+    // over a day of operation; VRT arrivals appear as corrected
+    // errors and get their rows upgraded.
+    dram::ModuleConfig mc;
+    mc.numChips = 1;
+    mc.chipCapacityBits = 2ull * 1024 * 1024 * 1024; // 256 MB
+    mc.seed = 12;
+    mc.envelope = {1.6, 48.0};
+    mc.chipVariation = 0.0;
+    dram::DramModule module(mc);
+    testbed::HostConfig hc;
+    hc.useChamber = false;
+    testbed::SoftMcHost host(module, hc);
+    host.setAmbient(45.0);
+
+    AvatarConfig ac;
+    ac.totalRows = module.capacityBits() / kRowBits;
+    Avatar avatar(ac);
+
+    // One-time initial profile (AVATAR's assumption).
+    profiling::BruteForceConfig bf;
+    bf.test = {1.024, 45.0};
+    bf.iterations = 8;
+    bf.setTemperature = false;
+    avatar.applyProfile(
+        profiling::BruteForceProfiler{}.run(host, bf).profile);
+    size_t initial = avatar.upgradedRows();
+    ASSERT_GT(initial, 0u);
+
+    // A day of operation with 2-hourly scrubs: each scrub is one
+    // retention window at the slow interval; corrected errors in
+    // non-upgraded rows trigger upgrades.
+    for (int scrub = 0; scrub < 12; ++scrub) {
+        host.wait(hoursToSec(2.0));
+        host.writeAll(dram::DataPattern::Random);
+        host.disableRefresh();
+        host.wait(ac.slowInterval);
+        host.enableRefresh();
+        for (const auto &f : host.readAndCompareAll()) {
+            if (!avatar.covers(f))
+                avatar.observeScrubCorrection(f);
+        }
+        host.restoreAll();
+    }
+    EXPECT_GT(avatar.runtimeUpgrades(), 0u);
+    EXPECT_GT(avatar.upgradedRows(), initial);
+}
+
+} // namespace
+} // namespace mitigation
+} // namespace reaper

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Tests for the Bloom filter and its RAIDR integration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "mitigation/bloom.h"
+#include "mitigation/raidr.h"
+
+namespace reaper {
+namespace mitigation {
+namespace {
+
+TEST(BloomFilter, NoFalseNegatives)
+{
+    BloomFilter f(4096, 4);
+    Rng rng(1);
+    std::vector<uint64_t> keys;
+    for (int i = 0; i < 200; ++i)
+        keys.push_back(rng());
+    for (uint64_t k : keys)
+        f.insert(k);
+    for (uint64_t k : keys)
+        EXPECT_TRUE(f.mayContain(k));
+    EXPECT_EQ(f.insertedCount(), 200u);
+}
+
+TEST(BloomFilter, FalsePositiveRateNearTarget)
+{
+    size_t n = 2000;
+    double target = 0.01;
+    BloomFilter f = BloomFilter::forCapacity(n, target);
+    Rng rng(2);
+    for (size_t i = 0; i < n; ++i)
+        f.insert(rng());
+    // Probe keys that were never inserted.
+    int fps = 0;
+    const int probes = 50000;
+    Rng probe_rng(3);
+    for (int i = 0; i < probes; ++i)
+        fps += f.mayContain(probe_rng());
+    double rate = static_cast<double>(fps) / probes;
+    EXPECT_LT(rate, target * 3.0);
+    EXPECT_NEAR(rate, f.expectedFpRate(), target * 2.0);
+}
+
+TEST(BloomFilter, SizingFormulas)
+{
+    BloomFilter f = BloomFilter::forCapacity(1000, 0.01);
+    // m ~ 9585 bits, k ~ 7 for 1% at n=1000.
+    EXPECT_NEAR(static_cast<double>(f.sizeBits()), 9585.0, 100.0);
+    EXPECT_EQ(f.numHashes(), 7);
+}
+
+TEST(BloomFilter, ClearResets)
+{
+    BloomFilter f(1024, 3);
+    f.insert(42);
+    ASSERT_TRUE(f.mayContain(42));
+    f.clear();
+    EXPECT_FALSE(f.mayContain(42));
+    EXPECT_EQ(f.insertedCount(), 0u);
+    EXPECT_EQ(f.fillRatio(), 0.0);
+}
+
+TEST(BloomFilter, EmptyContainsNothing)
+{
+    BloomFilter f(1024, 3);
+    Rng rng(4);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_FALSE(f.mayContain(rng()));
+}
+
+TEST(BloomFilter, FillRatioGrowsWithInserts)
+{
+    BloomFilter f(1024, 3);
+    double prev = 0.0;
+    Rng rng(5);
+    for (int batch = 0; batch < 5; ++batch) {
+        for (int i = 0; i < 20; ++i)
+            f.insert(rng());
+        EXPECT_GT(f.fillRatio(), prev);
+        prev = f.fillRatio();
+    }
+    EXPECT_LT(f.fillRatio(), 1.0);
+}
+
+TEST(BloomFilter, SeedsGiveIndependentFamilies)
+{
+    // Small, loaded filters with different hash-family seeds must
+    // produce (mostly) different false positives for the same
+    // inserted key set.
+    BloomFilter a(256, 4, /*seed=*/1), b(256, 4, /*seed=*/2);
+    Rng keys(6);
+    for (int i = 0; i < 30; ++i) {
+        uint64_t k = keys();
+        a.insert(k);
+        b.insert(k);
+    }
+    int disagree = 0, fps = 0;
+    Rng probe(7);
+    for (int i = 0; i < 5000; ++i) {
+        uint64_t k = probe();
+        bool in_a = a.mayContain(k);
+        bool in_b = b.mayContain(k);
+        disagree += in_a != in_b;
+        fps += in_a || in_b;
+    }
+    ASSERT_GT(fps, 10);      // the filters are loaded enough to err
+    EXPECT_GT(disagree, 10); // ...but err on different keys
+}
+
+TEST(BloomFilter, Validation)
+{
+    EXPECT_DEATH(BloomFilter(128, 0), "hash");
+    EXPECT_DEATH(BloomFilter::forCapacity(10, 0.0), "fp_rate");
+    EXPECT_DEATH(BloomFilter::forCapacity(10, 1.0), "fp_rate");
+}
+
+// ---------------- RAIDR with Bloom filters ----------------
+
+constexpr uint64_t kRowBits = 2048ull * 8;
+
+profiling::RetentionProfile
+profileOf(std::vector<dram::ChipFailure> cells)
+{
+    profiling::RetentionProfile p;
+    p.add(cells);
+    return p;
+}
+
+RaidrConfig
+bloomRaidr()
+{
+    RaidrConfig cfg;
+    cfg.totalRows = 100000;
+    cfg.useBloomFilters = true;
+    cfg.bloomFpRate = 1e-3;
+    cfg.bloomExpectedRows = 1024;
+    return cfg;
+}
+
+TEST(RaidrBloom, NoFalseNegativesOnDemotedRows)
+{
+    Raidr raidr(bloomRaidr());
+    std::vector<dram::ChipFailure> cells;
+    for (uint64_t r = 0; r < 500; ++r)
+        cells.push_back({0, r * 3 * kRowBits});
+    raidr.applyProfile(profileOf(cells));
+    for (const auto &c : cells) {
+        EXPECT_TRUE(raidr.covers(c));
+        EXPECT_DOUBLE_EQ(raidr.rowInterval(0, c.addr / kRowBits),
+                         0.064);
+    }
+}
+
+TEST(RaidrBloom, CleanRowsMostlyStayInDefaultBin)
+{
+    Raidr raidr(bloomRaidr());
+    raidr.applyProfile(profileOf({{0, 0}}));
+    int demoted = 0;
+    for (uint64_t row = 1000; row < 6000; ++row)
+        demoted += raidr.rowInterval(0, row) < 1.0;
+    // ~0.1% false-positive demotions at most (with slack).
+    EXPECT_LT(demoted, 30);
+}
+
+TEST(RaidrBloom, StorageIsCompact)
+{
+    Raidr raidr(bloomRaidr());
+    raidr.applyProfile(profileOf({{0, 0}}));
+    // RAIDR's selling point: a few KB for the bins.
+    EXPECT_GT(raidr.bloomStorageBits(), 0u);
+    EXPECT_LT(raidr.bloomStorageBits(), 64ull * 1024 * 8);
+}
+
+TEST(RaidrBloom, RefreshWorkAccountsForFalsePositives)
+{
+    RaidrConfig exact_cfg = bloomRaidr();
+    exact_cfg.useBloomFilters = false;
+    Raidr exact(exact_cfg);
+    Raidr bloom(bloomRaidr());
+    auto profile = profileOf({{0, 0}, {0, kRowBits * 7}});
+    exact.applyProfile(profile);
+    bloom.applyProfile(profile);
+    EXPECT_GE(bloom.refreshWorkRelative(),
+              exact.refreshWorkRelative());
+    // But only marginally (the fp rate is tiny).
+    EXPECT_LT(bloom.refreshWorkRelative(),
+              exact.refreshWorkRelative() * 1.2 + 0.01);
+}
+
+TEST(RaidrBloom, BinnedProfilesUseFastestClaimingFilter)
+{
+    RaidrConfig cfg = bloomRaidr();
+    Raidr raidr(cfg);
+    profiling::RetentionProfile at_256 = profileOf({{0, 0}});
+    profiling::RetentionProfile at_1024 =
+        profileOf({{0, 0}, {0, kRowBits}});
+    raidr.applyBinnedProfiles({at_256, at_1024});
+    EXPECT_DOUBLE_EQ(raidr.rowInterval(0, 0), 0.064);
+    EXPECT_DOUBLE_EQ(raidr.rowInterval(0, 1), 0.256);
+}
+
+} // namespace
+} // namespace mitigation
+} // namespace reaper

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Tests for brute-force profiling (Algorithm 1): discovery behaviour,
+ * runtime accounting, and early stopping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "profiling/brute_force.h"
+#include "profiling/runtime_model.h"
+
+namespace reaper {
+namespace profiling {
+namespace {
+
+dram::ModuleConfig
+testModule(uint64_t seed = 1)
+{
+    dram::ModuleConfig cfg;
+    cfg.numChips = 1;
+    cfg.chipCapacityBits = 4ull * 1024 * 1024 * 1024; // 512 MB
+    cfg.seed = seed;
+    cfg.envelope = {2.5, 50.0};
+    return cfg;
+}
+
+testbed::HostConfig
+instantHost()
+{
+    testbed::HostConfig h;
+    h.useChamber = false;
+    return h;
+}
+
+TEST(BruteForce, FindsMostOfTruthWithManyIterations)
+{
+    dram::DramModule m(testModule(1));
+    testbed::SoftMcHost host(m, instantHost());
+    BruteForceConfig cfg;
+    cfg.test = {1.024, 45.0};
+    cfg.iterations = 16;
+    BruteForceProfiler bf;
+    ProfilingResult r = bf.run(host, cfg);
+    auto truth = m.trueFailingSet(1.024, 45.0);
+    ProfileMetrics metrics = scoreProfile(r.profile, truth, r.runtime);
+    EXPECT_GT(metrics.coverage, 0.80);
+    // Brute force at the target conditions has few false positives.
+    EXPECT_LT(metrics.falsePositiveRate, 0.30);
+}
+
+TEST(BruteForce, CoverageImprovesWithIterations)
+{
+    auto coverage_after = [](int iters) {
+        dram::DramModule m(testModule(2));
+        testbed::SoftMcHost host(m, instantHost());
+        BruteForceConfig cfg;
+        cfg.test = {1.024, 45.0};
+        cfg.iterations = iters;
+        BruteForceProfiler bf;
+        ProfilingResult r = bf.run(host, cfg);
+        auto truth = m.trueFailingSet(1.024, 45.0);
+        return scoreProfile(r.profile, truth, r.runtime).coverage;
+    };
+    double c1 = coverage_after(1);
+    double c8 = coverage_after(8);
+    EXPECT_GT(c8, c1);
+}
+
+TEST(BruteForce, DiscoveryCurveNonDecreasing)
+{
+    dram::DramModule m(testModule(3));
+    testbed::SoftMcHost host(m, instantHost());
+    BruteForceConfig cfg;
+    cfg.test = {1.024, 45.0};
+    cfg.iterations = 6;
+    BruteForceProfiler bf;
+    ProfilingResult r = bf.run(host, cfg);
+    ASSERT_EQ(r.discoveryCurve.size(), 6u);
+    for (size_t i = 1; i < r.discoveryCurve.size(); ++i)
+        EXPECT_GE(r.discoveryCurve[i], r.discoveryCurve[i - 1]);
+    EXPECT_EQ(r.discoveryCurve.back(), r.profile.size());
+}
+
+TEST(BruteForce, RuntimeMatchesEq9)
+{
+    dram::DramModule m(testModule(4));
+    testbed::SoftMcHost host(m, instantHost());
+    BruteForceConfig cfg;
+    cfg.test = {1.024, 45.0};
+    cfg.iterations = 3;
+    cfg.patterns = dram::basePatterns();
+    cfg.setTemperature = false;
+    BruteForceProfiler bf;
+    ProfilingResult r = bf.run(host, cfg);
+
+    RuntimeModelInputs in;
+    in.profilingRefreshInterval = 1.024;
+    in.numDataPatterns = 6;
+    in.iterations = 3;
+    in.moduleGB = 0.5;
+    EXPECT_NEAR(r.runtime, profilingRoundTime(in), 1e-9);
+}
+
+TEST(BruteForce, EarlyStopViaCallback)
+{
+    dram::DramModule m(testModule(5));
+    testbed::SoftMcHost host(m, instantHost());
+    BruteForceConfig cfg;
+    cfg.test = {1.024, 45.0};
+    cfg.iterations = 50;
+    cfg.onIteration = [](int it, const RetentionProfile &) {
+        return it < 2; // run exactly 3 iterations
+    };
+    BruteForceProfiler bf;
+    ProfilingResult r = bf.run(host, cfg);
+    EXPECT_EQ(r.iterationsRun, 3);
+}
+
+TEST(BruteForce, ProfileTaggedWithTestConditions)
+{
+    dram::DramModule m(testModule(6));
+    testbed::SoftMcHost host(m, instantHost());
+    BruteForceConfig cfg;
+    cfg.test = {0.512, 47.0};
+    cfg.iterations = 1;
+    BruteForceProfiler bf;
+    ProfilingResult r = bf.run(host, cfg);
+    EXPECT_DOUBLE_EQ(r.profile.conditions().refreshInterval, 0.512);
+    EXPECT_DOUBLE_EQ(r.profile.conditions().temperature, 47.0);
+}
+
+TEST(BruteForce, RejectsBadConfig)
+{
+    dram::DramModule m(testModule(7));
+    testbed::SoftMcHost host(m, instantHost());
+    BruteForceProfiler bf;
+    BruteForceConfig cfg;
+    cfg.iterations = 0;
+    EXPECT_DEATH(bf.run(host, cfg), "iterations");
+    cfg.iterations = 1;
+    cfg.patterns.clear();
+    EXPECT_DEATH(bf.run(host, cfg), "pattern");
+}
+
+TEST(BruteForce, MultiplePatternsBeatSinglePattern)
+{
+    // Corollary 3: a robust profiler needs multiple data patterns.
+    auto coverage_with = [](std::vector<dram::DataPattern> pats) {
+        dram::DramModule m(testModule(8));
+        testbed::SoftMcHost host(m, instantHost());
+        BruteForceConfig cfg;
+        cfg.test = {1.5, 45.0};
+        cfg.iterations = 8;
+        cfg.patterns = std::move(pats);
+        BruteForceProfiler bf;
+        ProfilingResult r = bf.run(host, cfg);
+        auto truth = m.trueFailingSet(1.5, 45.0);
+        return scoreProfile(r.profile, truth, r.runtime).coverage;
+    };
+    double solid_only = coverage_with({dram::DataPattern::Solid0});
+    double all = coverage_with(dram::allDataPatterns());
+    EXPECT_GT(all, solid_only + 0.1);
+}
+
+} // namespace
+} // namespace profiling
+} // namespace reaper

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Tests for the trace-driven core model: retirement, window blocking,
+ * MSHR limits, and IPC accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "sim/core.h"
+
+namespace reaper {
+namespace sim {
+namespace {
+
+Trace
+makeTrace(std::vector<TraceEntry> entries)
+{
+    Trace t;
+    t.name = "test";
+    t.entries = std::move(entries);
+    return t;
+}
+
+CoreConfig
+baseCore()
+{
+    CoreConfig cfg;
+    cfg.windowSize = 8;
+    cfg.issueWidth = 2;
+    cfg.mshrs = 2;
+    cfg.cpuPerMemCycle = 1.0; // 1:1 clocks simplify cycle math
+    return cfg;
+}
+
+/** A memory system that answers reads after a fixed latency. */
+struct FakeMemory
+{
+    Cycle latency = 10;
+    Cycle now = 0;
+    std::deque<std::pair<Cycle, std::function<void()>>> pending;
+    int reads = 0;
+    int writes = 0;
+    bool accepting = true;
+
+    SendFn
+    sender()
+    {
+        return [this](const MemRequest &req) {
+            if (!accepting)
+                return false;
+            if (req.isWrite) {
+                ++writes;
+                return true;
+            }
+            ++reads;
+            pending.emplace_back(now + latency, req.onComplete);
+            return true;
+        };
+    }
+
+    void
+    tick()
+    {
+        ++now;
+        while (!pending.empty() && pending.front().first <= now) {
+            pending.front().second();
+            pending.pop_front();
+        }
+    }
+};
+
+TEST(Core, EmptyTraceIsDone)
+{
+    Trace t = makeTrace({});
+    Core core(baseCore(), t, false);
+    EXPECT_TRUE(core.traceDone());
+    EXPECT_EQ(core.retiredInstructions(), 0u);
+}
+
+TEST(Core, BubblesRetireAtIssueWidth)
+{
+    // One record: 10 bubbles + 1 read.
+    Trace t = makeTrace({{10, 0x100, false}});
+    Core core(baseCore(), t, false);
+    FakeMemory mem;
+    auto send = mem.sender();
+    while (!core.traceDone() && mem.now < 1000) {
+        core.tick(send);
+        mem.tick();
+    }
+    EXPECT_TRUE(core.traceDone());
+    EXPECT_EQ(core.retiredInstructions(), 11u);
+    // 11 instructions at width 2 with a 10-cycle load: > 6 cycles.
+    EXPECT_GE(core.cpuCycles(), 6u);
+}
+
+TEST(Core, LoadBlocksRetirementUntilDataReturns)
+{
+    Trace t = makeTrace({{0, 0x100, false}, {6, 0, false}});
+    CoreConfig cfg = baseCore();
+    Core core(cfg, t, false);
+    FakeMemory mem;
+    mem.latency = 50;
+    auto send = mem.sender();
+    // Run well past issue of the first load; with the load blocking
+    // the window head, at most windowSize-1 bubbles can retire... in
+    // fact none retire because the load is the head.
+    for (int i = 0; i < 20; ++i) {
+        core.tick(send);
+        mem.tick();
+    }
+    EXPECT_EQ(core.retiredInstructions(), 0u);
+    while (!core.traceDone() && mem.now < 1000) {
+        core.tick(send);
+        mem.tick();
+    }
+    EXPECT_EQ(core.retiredInstructions(), 8u);
+}
+
+TEST(Core, StoresRetireImmediately)
+{
+    Trace t = makeTrace({{0, 0x100, true}, {0, 0x200, true}});
+    Core core(baseCore(), t, false);
+    FakeMemory mem;
+    auto send = mem.sender();
+    core.tick(send);
+    EXPECT_EQ(core.retiredInstructions(), 2u);
+    EXPECT_EQ(mem.writes, 2);
+    EXPECT_TRUE(core.traceDone());
+}
+
+TEST(Core, MshrLimitThrottlesOutstandingReads)
+{
+    std::vector<TraceEntry> entries;
+    for (int i = 0; i < 6; ++i)
+        entries.push_back({0, static_cast<uint64_t>(i) * 64, false});
+    Trace t = makeTrace(entries);
+    CoreConfig cfg = baseCore();
+    cfg.mshrs = 2;
+    Core core(cfg, t, false);
+    FakeMemory mem;
+    mem.latency = 100;
+    auto send = mem.sender();
+    core.tick(send);
+    core.tick(send);
+    EXPECT_LE(core.outstandingReads(), 2u);
+    EXPECT_EQ(mem.reads, 2);
+}
+
+TEST(Core, StallsWhenMemoryRejects)
+{
+    Trace t = makeTrace({{0, 0x100, false}});
+    Core core(baseCore(), t, false);
+    FakeMemory mem;
+    mem.accepting = false;
+    auto send = mem.sender();
+    for (int i = 0; i < 5; ++i)
+        core.tick(send);
+    EXPECT_EQ(mem.reads, 0);
+    EXPECT_FALSE(core.traceDone());
+    mem.accepting = true;
+    while (!core.traceDone() && mem.now < 1000) {
+        core.tick(send);
+        mem.tick();
+    }
+    EXPECT_TRUE(core.traceDone());
+}
+
+TEST(Core, LoopingTraceNeverEnds)
+{
+    Trace t = makeTrace({{3, 0x100, true}});
+    Core core(baseCore(), t, true);
+    FakeMemory mem;
+    auto send = mem.sender();
+    for (int i = 0; i < 100; ++i) {
+        core.tick(send);
+        mem.tick();
+    }
+    EXPECT_FALSE(core.traceDone());
+    EXPECT_GT(core.retiredInstructions(), 50u);
+}
+
+TEST(Core, CpuClockRatioScalesThroughput)
+{
+    auto retired_with_ratio = [](double ratio) {
+        Trace t = makeTrace({{999, 0x100, true}});
+        CoreConfig cfg = baseCore();
+        cfg.cpuPerMemCycle = ratio;
+        Core core(cfg, t, true);
+        FakeMemory mem;
+        auto send = mem.sender();
+        for (int i = 0; i < 1000; ++i) {
+            core.tick(send);
+            mem.tick();
+        }
+        return core.retiredInstructions();
+    };
+    uint64_t slow = retired_with_ratio(1.0);
+    uint64_t fast = retired_with_ratio(2.5);
+    EXPECT_NEAR(static_cast<double>(fast) / static_cast<double>(slow),
+                2.5, 0.1);
+}
+
+TEST(Core, IpcBoundedByIssueWidth)
+{
+    Trace t = makeTrace({{1000, 0x100, true}});
+    CoreConfig cfg = baseCore();
+    cfg.issueWidth = 3;
+    Core core(cfg, t, true);
+    FakeMemory mem;
+    auto send = mem.sender();
+    for (int i = 0; i < 2000; ++i) {
+        core.tick(send);
+        mem.tick();
+    }
+    EXPECT_LE(core.ipc(), 3.0 + 1e-9);
+    EXPECT_GT(core.ipc(), 2.5); // pure bubbles: near-peak IPC
+}
+
+TEST(Core, ConfigValidation)
+{
+    Trace t = makeTrace({});
+    CoreConfig cfg = baseCore();
+    cfg.windowSize = 0;
+    EXPECT_DEATH(Core core(cfg, t), "windowSize");
+    cfg = baseCore();
+    cfg.cpuPerMemCycle = 0.0;
+    EXPECT_DEATH(Core core(cfg, t), "cpuPerMemCycle");
+}
+
+} // namespace
+} // namespace sim
+} // namespace reaper

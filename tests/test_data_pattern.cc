@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Tests for the retention-test data patterns.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dram/data_pattern.h"
+
+namespace reaper {
+namespace dram {
+namespace {
+
+Geometry
+testGeometry()
+{
+    return Geometry(2, 8, 32);
+}
+
+TEST(DataPattern, TwelvePatterns)
+{
+    EXPECT_EQ(allDataPatterns().size(), 12u);
+    std::set<DataPattern> unique(allDataPatterns().begin(),
+                                 allDataPatterns().end());
+    EXPECT_EQ(unique.size(), 12u);
+}
+
+TEST(DataPattern, SixBasePatterns)
+{
+    EXPECT_EQ(basePatterns().size(), 6u);
+}
+
+TEST(DataPattern, InverseIsInvolution)
+{
+    for (DataPattern p : allDataPatterns())
+        EXPECT_EQ(inverseOf(inverseOf(p)), p) << toString(p);
+}
+
+TEST(DataPattern, InverseDiffersFromSelf)
+{
+    for (DataPattern p : allDataPatterns())
+        EXPECT_NE(inverseOf(p), p) << toString(p);
+}
+
+TEST(DataPattern, NamesAreUnique)
+{
+    std::set<std::string> names;
+    for (DataPattern p : allDataPatterns())
+        names.insert(toString(p));
+    EXPECT_EQ(names.size(), 12u);
+}
+
+TEST(DataPattern, RandomDetection)
+{
+    EXPECT_TRUE(isRandomPattern(DataPattern::Random));
+    EXPECT_TRUE(isRandomPattern(DataPattern::RandomInv));
+    EXPECT_FALSE(isRandomPattern(DataPattern::Solid0));
+    EXPECT_FALSE(isRandomPattern(DataPattern::Checkerboard));
+}
+
+TEST(DataPattern, RandomSharesClass)
+{
+    EXPECT_EQ(patternClass(DataPattern::Random),
+              patternClass(DataPattern::RandomInv));
+    EXPECT_NE(patternClass(DataPattern::Solid0),
+              patternClass(DataPattern::Solid1));
+}
+
+TEST(DataPattern, InverseBitsAreComplementary)
+{
+    Geometry g = testGeometry();
+    for (DataPattern p : allDataPatterns()) {
+        for (uint64_t bit = 0; bit < g.capacityBits(); bit += 7) {
+            EXPECT_NE(patternBit(p, g, bit, 5),
+                      patternBit(inverseOf(p), g, bit, 5))
+                << toString(p) << " bit " << bit;
+        }
+    }
+}
+
+TEST(DataPattern, SolidPatterns)
+{
+    Geometry g = testGeometry();
+    for (uint64_t bit = 0; bit < g.capacityBits(); bit += 13) {
+        EXPECT_FALSE(patternBit(DataPattern::Solid0, g, bit, 0));
+        EXPECT_TRUE(patternBit(DataPattern::Solid1, g, bit, 0));
+    }
+}
+
+TEST(DataPattern, CheckerboardAlternatesWithRowAndCol)
+{
+    Geometry g = testGeometry();
+    CellCoord c{0, 0, 0, 0};
+    bool v00 = patternBit(DataPattern::Checkerboard, g, g.encode(c), 0);
+    c.col = 1;
+    bool v01 = patternBit(DataPattern::Checkerboard, g, g.encode(c), 0);
+    c.col = 0;
+    c.row = 1;
+    bool v10 = patternBit(DataPattern::Checkerboard, g, g.encode(c), 0);
+    EXPECT_NE(v00, v01);
+    EXPECT_NE(v00, v10);
+}
+
+TEST(DataPattern, RowStripeConstantWithinRow)
+{
+    Geometry g = testGeometry();
+    CellCoord a{0, 3, 0, 0}, b{0, 3, 17, 5};
+    EXPECT_EQ(patternBit(DataPattern::RowStripe, g, g.encode(a), 0),
+              patternBit(DataPattern::RowStripe, g, g.encode(b), 0));
+    CellCoord c{0, 4, 0, 0};
+    EXPECT_NE(patternBit(DataPattern::RowStripe, g, g.encode(a), 0),
+              patternBit(DataPattern::RowStripe, g, g.encode(c), 0));
+}
+
+TEST(DataPattern, ColStripeConstantWithinColumn)
+{
+    Geometry g = testGeometry();
+    CellCoord a{0, 0, 5, 2}, b{1, 7, 5, 6};
+    EXPECT_EQ(patternBit(DataPattern::ColStripe, g, g.encode(a), 0),
+              patternBit(DataPattern::ColStripe, g, g.encode(b), 0));
+}
+
+TEST(DataPattern, WalkPatternsOneBitPerByte)
+{
+    Geometry g = testGeometry();
+    // Walk1: exactly one 1 per byte.
+    for (uint32_t col = 0; col < 4; ++col) {
+        int ones = 0;
+        for (uint32_t bit = 0; bit < 8; ++bit) {
+            CellCoord c{0, 0, col, bit};
+            ones += patternBit(DataPattern::Walk1, g, g.encode(c), 0);
+        }
+        EXPECT_EQ(ones, 1) << "col " << col;
+    }
+}
+
+TEST(DataPattern, RandomDeterministicPerNonce)
+{
+    Geometry g = testGeometry();
+    for (uint64_t bit = 0; bit < 64; ++bit) {
+        EXPECT_EQ(patternBit(DataPattern::Random, g, bit, 42),
+                  patternBit(DataPattern::Random, g, bit, 42));
+    }
+}
+
+TEST(DataPattern, RandomChangesWithNonce)
+{
+    Geometry g = testGeometry();
+    int diffs = 0;
+    for (uint64_t bit = 0; bit < 256; ++bit) {
+        diffs += patternBit(DataPattern::Random, g, bit, 1) !=
+                 patternBit(DataPattern::Random, g, bit, 2);
+    }
+    // ~50% of bits should differ between nonces.
+    EXPECT_GT(diffs, 90);
+    EXPECT_LT(diffs, 166);
+}
+
+TEST(DataPattern, RandomIsBalanced)
+{
+    Geometry g = testGeometry();
+    int ones = 0;
+    for (uint64_t bit = 0; bit < g.capacityBits(); ++bit)
+        ones += patternBit(DataPattern::Random, g, bit, 9);
+    double frac =
+        static_cast<double>(ones) / static_cast<double>(g.capacityBits());
+    EXPECT_NEAR(frac, 0.5, 0.05);
+}
+
+} // namespace
+} // namespace dram
+} // namespace reaper

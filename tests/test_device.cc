@@ -1,0 +1,324 @@
+/**
+ * @file
+ * Tests for the functional DRAM device: exposure semantics, failure
+ * sampling, determinism, temperature behaviour, VRT dynamics, and the
+ * oracle interface.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/units.h"
+#include "dram/device.h"
+
+namespace reaper {
+namespace dram {
+namespace {
+
+/** A small chip (64 MB) keeps populations tiny and tests fast. */
+DeviceConfig
+smallConfig(uint64_t seed = 1)
+{
+    DeviceConfig cfg;
+    cfg.capacityBits = 512ull * 1024 * 1024; // 64 MB
+    cfg.seed = seed;
+    cfg.envelope = {2.5, 50.0};
+    return cfg;
+}
+
+/** A larger chip (512 MB) for statistical assertions. */
+DeviceConfig
+statsConfig(uint64_t seed = 1)
+{
+    DeviceConfig cfg;
+    cfg.capacityBits = 4ull * 1024 * 1024 * 1024; // 512 MB
+    cfg.seed = seed;
+    cfg.envelope = {2.5, 50.0};
+    return cfg;
+}
+
+TEST(DramDevice, NoFailuresBeforeWrite)
+{
+    DramDevice d(smallConfig());
+    EXPECT_TRUE(d.readAndCompare().empty());
+}
+
+TEST(DramDevice, NoFailuresWithRefreshEnabled)
+{
+    DramDevice d(smallConfig());
+    d.writePattern(DataPattern::Random);
+    d.wait(10.0); // refresh enabled: no exposure accumulates
+    EXPECT_TRUE(d.readAndCompare().empty());
+    EXPECT_EQ(d.exposureEquivalent(), 0.0);
+}
+
+TEST(DramDevice, FailuresAppearAfterExposure)
+{
+    DramDevice d(statsConfig());
+    d.writePattern(DataPattern::Random);
+    d.disableRefresh();
+    d.wait(2.0);
+    d.enableRefresh();
+    auto fails = d.readAndCompare();
+    EXPECT_GT(fails.size(), 0u);
+}
+
+TEST(DramDevice, RepeatedReadsConsistent)
+{
+    DramDevice d(statsConfig());
+    d.writePattern(DataPattern::Checkerboard);
+    d.disableRefresh();
+    d.wait(2.0);
+    d.enableRefresh();
+    auto a = d.readAndCompare();
+    auto b = d.readAndCompare();
+    EXPECT_EQ(a, b);
+}
+
+TEST(DramDevice, FailuresMonotoneInExposure)
+{
+    DramDevice d(statsConfig());
+    d.writePattern(DataPattern::Random);
+    d.disableRefresh();
+    d.wait(1.0);
+    auto early = d.readAndCompare();
+    d.wait(1.0);
+    auto late = d.readAndCompare();
+    EXPECT_GE(late.size(), early.size());
+    // Every early failure persists (retention loss is not undone).
+    EXPECT_TRUE(std::includes(late.begin(), late.end(), early.begin(),
+                              early.end()));
+}
+
+TEST(DramDevice, FailuresLatchAfterRefreshReenabled)
+{
+    // Algorithm 1 re-enables refresh before reading: refresh restores
+    // the (already wrong) value, so failures must still be visible.
+    DramDevice d(statsConfig());
+    d.writePattern(DataPattern::Random);
+    d.disableRefresh();
+    d.wait(2.0);
+    d.enableRefresh();
+    d.wait(5.0); // refreshed while holding the corrupted data
+    auto fails = d.readAndCompare();
+    EXPECT_GT(fails.size(), 0u);
+}
+
+TEST(DramDevice, WriteResetsExposure)
+{
+    DramDevice d(statsConfig());
+    d.writePattern(DataPattern::Random);
+    d.disableRefresh();
+    d.wait(2.0);
+    d.enableRefresh();
+    ASSERT_GT(d.readAndCompare().size(), 0u);
+    d.writePattern(DataPattern::Random);
+    EXPECT_EQ(d.exposureEquivalent(), 0.0);
+    EXPECT_TRUE(d.readAndCompare().empty());
+}
+
+TEST(DramDevice, DeterministicAcrossInstances)
+{
+    auto run = [](uint64_t seed) {
+        DramDevice d(smallConfig(seed));
+        d.writePattern(DataPattern::Random);
+        d.disableRefresh();
+        d.wait(2.0);
+        d.enableRefresh();
+        return d.readAndCompare();
+    };
+    EXPECT_EQ(run(5), run(5));
+    // Different seeds produce different populations.
+    DramDevice a(smallConfig(1)), b(smallConfig(2));
+    EXPECT_NE(a.weakCellCount(), 0u);
+    // Cell counts may coincide, but addresses will not.
+}
+
+TEST(DramDevice, FailureCountTracksExpectedBer)
+{
+    // Union over many patterns/iterations approaches the true failing
+    // set; a single random-pattern read sees a large fraction of the
+    // cells with mu <= t. Check the order of magnitude band.
+    DramDevice d(statsConfig(3));
+    double t = 2.0;
+    double expected =
+        d.expectedBer(t, 45.0) * static_cast<double>(
+            d.config().capacityBits);
+    ASSERT_GT(expected, 50.0);
+    d.writePattern(DataPattern::Random);
+    d.disableRefresh();
+    d.wait(t);
+    d.enableRefresh();
+    auto fails = d.readAndCompare();
+    EXPECT_GT(static_cast<double>(fails.size()), expected * 0.2);
+    EXPECT_LT(static_cast<double>(fails.size()), expected * 3.0);
+}
+
+TEST(DramDevice, HigherTemperatureMoreFailures)
+{
+    uint64_t f45, f50;
+    {
+        DramDevice d(statsConfig(4));
+        d.setTemperature(45.0);
+        d.writePattern(DataPattern::Random);
+        d.disableRefresh();
+        d.wait(1.5);
+        f45 = d.readAndCompare().size();
+    }
+    {
+        DramDevice d(statsConfig(4));
+        d.setTemperature(50.0);
+        d.writePattern(DataPattern::Random);
+        d.disableRefresh();
+        d.wait(1.5);
+        f50 = d.readAndCompare().size();
+    }
+    ASSERT_GT(f45, 0u);
+    // Eq. 1: ~e (2.7x) more failures for +5 C; allow a wide band.
+    EXPECT_GT(static_cast<double>(f50),
+              1.5 * static_cast<double>(f45));
+}
+
+TEST(DramDevice, TemperatureAboveEnvelopeIsFatal)
+{
+    DramDevice d(smallConfig());
+    EXPECT_EXIT(d.setTemperature(55.0),
+                ::testing::ExitedWithCode(1), "envelope");
+}
+
+TEST(DramDevice, ExposureBeyondEnvelopeIsFatal)
+{
+    DramDevice d(smallConfig());
+    d.writePattern(DataPattern::Solid0);
+    d.disableRefresh();
+    EXPECT_EXIT(d.wait(10.0), ::testing::ExitedWithCode(1), "envelope");
+}
+
+TEST(DramDevice, TrueFailingSetMonotoneInInterval)
+{
+    DramDevice d(statsConfig(5));
+    auto small = d.trueFailingSet(1.0, 45.0);
+    auto large = d.trueFailingSet(2.0, 45.0);
+    EXPECT_GT(large.size(), small.size());
+    EXPECT_TRUE(std::includes(large.begin(), large.end(), small.begin(),
+                              small.end()));
+}
+
+TEST(DramDevice, TrueFailingSetMonotoneInPmin)
+{
+    DramDevice d(statsConfig(6));
+    auto loose = d.trueFailingSet(1.5, 45.0, 0.01);
+    auto strict = d.trueFailingSet(1.5, 45.0, 0.5);
+    EXPECT_GE(loose.size(), strict.size());
+    EXPECT_TRUE(std::includes(loose.begin(), loose.end(), strict.begin(),
+                              strict.end()));
+}
+
+TEST(DramDevice, TrueFailingSetCountNearExpectedBer)
+{
+    DramDevice d(statsConfig(7));
+    double t = 1.5;
+    auto truth = d.trueFailingSet(t, 45.0, 0.5);
+    double expected =
+        d.expectedBer(t, 45.0) *
+        static_cast<double>(d.config().capacityBits);
+    // pmin=0.5 counts cells with mu <= t (the CDF median), which is the
+    // closed-form BER integral; agree within sampling noise.
+    EXPECT_NEAR(static_cast<double>(truth.size()), expected,
+                6.0 * std::sqrt(expected) + 0.05 * expected);
+}
+
+TEST(DramDevice, VrtArrivalsAccumulateOverTime)
+{
+    DramDevice d(statsConfig(8));
+    EXPECT_EQ(d.activeVrtCount(), 0u);
+    d.wait(hoursToSec(12.0));
+    EXPECT_GT(d.activeVrtCount(), 0u);
+}
+
+TEST(DramDevice, VrtPopulationReachesSteadyState)
+{
+    // Arrivals are balanced by expiries: the active count after 2x the
+    // dwell should be within a factor band of the steady state
+    // rate * dwell.
+    DramDevice d(statsConfig(9));
+    double dwell_h = d.model().params().vrtDwellMeanHours;
+    d.wait(hoursToSec(6.0 * dwell_h));
+    double steady =
+        d.model().vrtCumulativeRate(
+            d.model().envelopeMuCap(d.config().envelope),
+            d.config().capacityBits) *
+        3600.0 * dwell_h;
+    ASSERT_GT(steady, 20.0);
+    EXPECT_NEAR(static_cast<double>(d.activeVrtCount()), steady,
+                0.5 * steady);
+}
+
+TEST(DramDevice, NewFailuresDiscoveredOverTime)
+{
+    // Fig. 3's mechanism: profiling rounds separated by hours discover
+    // new (VRT) failures.
+    DramDevice d(statsConfig(10));
+    auto round = [&d]() {
+        std::set<uint64_t> found;
+        d.writePattern(DataPattern::Random);
+        d.disableRefresh();
+        d.wait(2.0);
+        d.enableRefresh();
+        for (uint64_t a : d.readAndCompare())
+            found.insert(a);
+        return found;
+    };
+    auto first = round();
+    d.wait(hoursToSec(24.0));
+    auto second = round();
+    size_t new_cells = 0;
+    for (uint64_t a : second)
+        new_cells += first.count(a) == 0;
+    EXPECT_GT(new_cells, 0u);
+}
+
+TEST(DramDevice, WeakCellCountScalesWithCapacity)
+{
+    DramDevice small(smallConfig(11));
+    DeviceConfig big_cfg = smallConfig(11);
+    big_cfg.capacityBits *= 8;
+    DramDevice big(big_cfg);
+    double ratio = static_cast<double>(big.weakCellCount()) /
+                   static_cast<double>(small.weakCellCount());
+    EXPECT_NEAR(ratio, 8.0, 2.5);
+}
+
+TEST(DramDevice, NegativeWaitPanics)
+{
+    DramDevice d(smallConfig());
+    EXPECT_DEATH(d.wait(-1.0), "negative");
+}
+
+TEST(DramDevice, SolidPatternsSeeFewerFailuresThanUnion)
+{
+    // A single static pattern cannot see cells whose worst pattern is a
+    // different class (DPD, Observation 3).
+    DramDevice d(statsConfig(12));
+    double t = 2.0;
+    std::set<uint64_t> unions;
+    size_t solid0_count = 0;
+    for (DataPattern p : allDataPatterns()) {
+        d.writePattern(p);
+        d.disableRefresh();
+        d.wait(t);
+        d.enableRefresh();
+        auto fails = d.readAndCompare();
+        if (p == DataPattern::Solid0)
+            solid0_count = fails.size();
+        unions.insert(fails.begin(), fails.end());
+    }
+    EXPECT_LT(solid0_count, unions.size());
+}
+
+} // namespace
+} // namespace dram
+} // namespace reaper

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Device dynamics corner cases: data restore (scrub write-back)
+ * semantics, mixed-temperature exposure accounting, and the VRT
+ * rate-scale control knob.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/units.h"
+#include "dram/device.h"
+#include "dram/module.h"
+
+namespace reaper {
+namespace dram {
+namespace {
+
+DeviceConfig
+config(uint64_t seed = 1)
+{
+    DeviceConfig cfg;
+    cfg.capacityBits = 4ull * 1024 * 1024 * 1024; // 512 MB
+    cfg.seed = seed;
+    cfg.envelope = {2.5, 50.0};
+    return cfg;
+}
+
+TEST(DeviceDynamics, RestoreResetsExposureKeepsPattern)
+{
+    DramDevice d(config());
+    d.writePattern(DataPattern::Checkerboard);
+    d.disableRefresh();
+    d.wait(1.5);
+    d.enableRefresh();
+    ASSERT_GT(d.readAndCompare().size(), 0u);
+    d.restoreData();
+    EXPECT_EQ(d.exposureEquivalent(), 0.0);
+    EXPECT_EQ(d.lastPattern(), DataPattern::Checkerboard);
+    EXPECT_TRUE(d.readAndCompare().empty());
+}
+
+TEST(DeviceDynamics, RestoreRedrawsStochasticFailures)
+{
+    // Marginal cells fail in different subsets across restore
+    // windows (fresh sense-amp noise draw), while the DPD factors
+    // stay fixed (same stored content).
+    DramDevice d(config(2));
+    d.writePattern(DataPattern::Solid0);
+    auto window = [&]() {
+        d.disableRefresh();
+        d.wait(1.2);
+        d.enableRefresh();
+        auto fails = d.readAndCompare();
+        d.restoreData();
+        return std::set<uint64_t>(fails.begin(), fails.end());
+    };
+    auto a = window();
+    auto b = window();
+    ASSERT_GT(a.size(), 20u);
+    // Large overlap (same pattern, same cells near threshold)...
+    size_t common = 0;
+    for (uint64_t addr : a)
+        common += b.count(addr);
+    EXPECT_GT(common, a.size() / 2);
+    // ...but not identical: the marginal cells re-rolled.
+    EXPECT_TRUE(a != b);
+}
+
+TEST(DeviceDynamics, RestoreWithoutWriteIsHarmless)
+{
+    DramDevice d(config(3));
+    d.restoreData(); // warns, no crash
+    EXPECT_TRUE(d.readAndCompare().empty());
+}
+
+TEST(DeviceDynamics, MixedTemperatureExposureAccumulatesScaled)
+{
+    DramDevice d(config(4));
+    const RetentionModel &m = d.model();
+    d.writePattern(DataPattern::Solid0);
+    d.disableRefresh();
+    d.setTemperature(45.0);
+    d.wait(0.5);
+    d.setTemperature(50.0);
+    d.wait(0.5);
+    double expected = 0.5 * m.equivalentExposureScale(45.0) +
+                      0.5 * m.equivalentExposureScale(50.0);
+    EXPECT_NEAR(d.exposureEquivalent(), expected, 1e-9);
+    EXPECT_GT(d.exposureEquivalent(), 1.0); // hotter half counts more
+}
+
+TEST(DeviceDynamics, HotterWindowProducesMoreFailuresThanCool)
+{
+    auto count_failures = [](Celsius temp, uint64_t seed) {
+        DramDevice d(config(seed));
+        d.setTemperature(temp);
+        d.writePattern(DataPattern::Random);
+        d.disableRefresh();
+        d.wait(1.2);
+        return d.readAndCompare().size();
+    };
+    EXPECT_GT(count_failures(50.0, 5), count_failures(45.0, 5));
+}
+
+TEST(DeviceDynamics, VrtRateScaleZeroStopsArrivals)
+{
+    ModuleConfig mc;
+    mc.numChips = 1;
+    mc.chipCapacityBits = 4ull * 1024 * 1024 * 1024;
+    mc.seed = 6;
+    mc.envelope = {2.5, 50.0};
+    mc.vrtRateScale = 0.0;
+    DramModule m(mc);
+    m.wait(hoursToSec(24.0));
+    EXPECT_EQ(m.chip(0).activeVrtCount(), 0u);
+}
+
+TEST(DeviceDynamics, VrtRateScaleScalesArrivals)
+{
+    auto actives_with_scale = [](double scale) {
+        ModuleConfig mc;
+        mc.numChips = 1;
+        mc.chipCapacityBits = 4ull * 1024 * 1024 * 1024;
+        mc.seed = 7;
+        mc.envelope = {2.5, 50.0};
+        mc.vrtRateScale = scale;
+        DramModule m(mc);
+        m.wait(hoursToSec(24.0));
+        return m.chip(0).activeVrtCount();
+    };
+    size_t nominal = actives_with_scale(1.0);
+    size_t tripled = actives_with_scale(3.0);
+    ASSERT_GT(nominal, 50u);
+    EXPECT_NEAR(static_cast<double>(tripled) /
+                    static_cast<double>(nominal),
+                3.0, 1.0);
+}
+
+TEST(DeviceDynamics, ParamOverrideIsHonoured)
+{
+    ModuleConfig mc;
+    mc.numChips = 1;
+    mc.chipCapacityBits = 2ull * 1024 * 1024 * 1024;
+    mc.seed = 8;
+    mc.envelope = {2.0, 48.0};
+    mc.hasParamOverride = true;
+    mc.paramOverride = vendorParams(Vendor::B);
+    mc.paramOverride.berAt1024ms *= 4.0;
+    mc.chipVariation = 0.0;
+    DramModule m(mc);
+    EXPECT_NEAR(m.chip(0).model().params().berAt1024ms,
+                vendorParams(Vendor::B).berAt1024ms * 4.0, 1e-12);
+    // ~4x the weak population of a nominal chip.
+    ModuleConfig nominal = mc;
+    nominal.hasParamOverride = false;
+    DramModule n(nominal);
+    double ratio = static_cast<double>(m.chip(0).weakCellCount()) /
+                   static_cast<double>(n.chip(0).weakCellCount());
+    EXPECT_NEAR(ratio, 4.0, 0.6);
+}
+
+TEST(DeviceDynamics, EnableDisableRefreshBetweenWaitsSegments)
+{
+    // Exposure only accumulates over disabled-refresh segments.
+    DramDevice d(config(9));
+    d.writePattern(DataPattern::Solid0);
+    d.disableRefresh();
+    d.wait(0.6);
+    d.enableRefresh();
+    d.wait(5.0); // no accumulation
+    d.disableRefresh();
+    d.wait(0.4);
+    d.enableRefresh();
+    EXPECT_NEAR(d.exposureEquivalent(), 1.0, 1e-9);
+}
+
+} // namespace
+} // namespace dram
+} // namespace reaper

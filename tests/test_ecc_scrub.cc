@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for the ECC-scrubbing (AVATAR-style) profiler and the paper's
+ * argument that passive profiling cannot match active profiling
+ * coverage (Section 3.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "profiling/brute_force.h"
+#include "profiling/ecc_scrub.h"
+
+namespace reaper {
+namespace profiling {
+namespace {
+
+dram::ModuleConfig
+testModule(uint64_t seed = 1)
+{
+    dram::ModuleConfig cfg;
+    cfg.numChips = 1;
+    cfg.chipCapacityBits = 4ull * 1024 * 1024 * 1024; // 512 MB
+    cfg.seed = seed;
+    cfg.envelope = {2.5, 50.0};
+    return cfg;
+}
+
+testbed::HostConfig
+instantHost()
+{
+    testbed::HostConfig h;
+    h.useChamber = false;
+    return h;
+}
+
+TEST(EccScrub, FindsSomeFailures)
+{
+    dram::DramModule m(testModule(1));
+    testbed::SoftMcHost host(m, instantHost());
+    EccScrubConfig cfg;
+    cfg.target = {1.5, 45.0};
+    cfg.scrubRounds = 8;
+    EccScrubProfiler scrub;
+    ProfilingResult r = scrub.run(host, cfg);
+    EXPECT_GT(r.profile.size(), 0u);
+    EXPECT_EQ(r.iterationsRun, 8);
+}
+
+TEST(EccScrub, AsymptoticCoverageBelowActiveProfiling)
+{
+    // The core Section 3.2 result: passive scrubbing only ever observes
+    // the currently stored data, so even with many scrub windows its
+    // coverage of all possible (worst-case-pattern) failures stays
+    // below what active multi-pattern brute force achieves.
+    dram::DramModule scrub_m(testModule(2));
+    testbed::SoftMcHost scrub_host(scrub_m, instantHost());
+    EccScrubConfig scfg;
+    scfg.target = {1.5, 45.0};
+    scfg.scrubRounds = 48;
+    EccScrubProfiler scrub;
+    ProfilingResult sr = scrub.run(scrub_host, scfg);
+    auto struth = scrub_m.trueFailingSet(1.5, 45.0);
+    double scrub_cov = scoreProfile(sr.profile, struth, sr.runtime)
+                           .coverage;
+
+    dram::DramModule bf_m(testModule(2));
+    testbed::SoftMcHost bf_host(bf_m, instantHost());
+    BruteForceConfig bcfg;
+    bcfg.test = {1.5, 45.0};
+    bcfg.iterations = 8;
+    BruteForceProfiler bf;
+    ProfilingResult br = bf.run(bf_host, bcfg);
+    auto btruth = bf_m.trueFailingSet(1.5, 45.0);
+    double bf_cov = scoreProfile(br.profile, btruth, br.runtime).coverage;
+
+    EXPECT_LT(scrub_cov, bf_cov);
+}
+
+TEST(EccScrub, CannotReachHighCoverageEvenWithManyRounds)
+{
+    dram::DramModule m(testModule(3));
+    testbed::SoftMcHost host(m, instantHost());
+    EccScrubConfig cfg;
+    cfg.target = {1.5, 45.0};
+    cfg.scrubRounds = 64;
+    EccScrubProfiler scrub;
+    ProfilingResult r = scrub.run(host, cfg);
+    auto truth = m.trueFailingSet(1.5, 45.0);
+    ProfileMetrics metrics = scoreProfile(r.profile, truth, r.runtime);
+    // Only one data environment per change window: DPD-elusive cells
+    // are missed.
+    EXPECT_LT(metrics.coverage, 0.98);
+}
+
+TEST(EccScrub, DataChangesImproveCoverage)
+{
+    auto coverage_with_changes = [](int rounds_per_change) {
+        dram::DramModule m(testModule(4));
+        testbed::SoftMcHost host(m, instantHost());
+        EccScrubConfig cfg;
+        cfg.target = {1.5, 45.0};
+        cfg.scrubRounds = 32;
+        cfg.roundsPerDataChange = rounds_per_change;
+        EccScrubProfiler scrub;
+        ProfilingResult r = scrub.run(host, cfg);
+        auto truth = m.trueFailingSet(1.5, 45.0);
+        return scoreProfile(r.profile, truth, r.runtime).coverage;
+    };
+    // Frequent data turnover exposes more patterns than a static image.
+    EXPECT_GT(coverage_with_changes(1), coverage_with_changes(32));
+}
+
+TEST(EccScrub, RejectsBadConfig)
+{
+    dram::DramModule m(testModule(5));
+    testbed::SoftMcHost host(m, instantHost());
+    EccScrubProfiler scrub;
+    EccScrubConfig cfg;
+    cfg.scrubRounds = 0;
+    EXPECT_DEATH(scrub.run(host, cfg), "scrubRounds");
+    cfg.scrubRounds = 1;
+    cfg.roundsPerDataChange = 0;
+    EXPECT_DEATH(scrub.run(host, cfg), "roundsPerDataChange");
+}
+
+} // namespace
+} // namespace profiling
+} // namespace reaper

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for the end-to-end evaluation harness (Fig. 13) on a reduced
+ * sweep: shape checks for performance improvement and power reduction
+ * across profilers and refresh intervals.
+ */
+
+#include <gtest/gtest.h>
+
+#include "eval/endtoend.h"
+
+namespace reaper {
+namespace eval {
+namespace {
+
+EndToEndConfig
+tinySweep()
+{
+    EndToEndConfig cfg;
+    cfg.refreshIntervals = {0.512, 1.536};
+    cfg.includeNoRefresh = true;
+    cfg.chipGbits = {64};
+    cfg.numMixes = 4;
+    cfg.accessesPerCore = 20000;
+    cfg.runCycles = 300000;
+    cfg.seed = 3;
+    cfg.system.channels = 2;
+    cfg.system.llc.sizeBytes = 1ull * 1024 * 1024;
+    return cfg;
+}
+
+const SweepPoint &
+pointAt(const std::vector<SweepPoint> &points, Seconds interval,
+        bool no_refresh = false)
+{
+    for (const auto &p : points) {
+        if (no_refresh && p.noRefresh)
+            return p;
+        if (!no_refresh && !p.noRefresh &&
+            std::abs(p.interval - interval) < 1e-9)
+            return p;
+    }
+    ADD_FAILURE() << "sweep point not found";
+    static SweepPoint dummy;
+    return dummy;
+}
+
+class EndToEndFixture : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        EndToEndEvaluator eval(tinySweep());
+        points_ = new std::vector<SweepPoint>(eval.run());
+    }
+    static void
+    TearDownTestSuite()
+    {
+        delete points_;
+        points_ = nullptr;
+    }
+    static std::vector<SweepPoint> *points_;
+};
+
+std::vector<SweepPoint> *EndToEndFixture::points_ = nullptr;
+
+TEST_F(EndToEndFixture, SweepCoversAllPoints)
+{
+    // 2 intervals + no-refresh for one chip size.
+    EXPECT_EQ(points_->size(), 3u);
+    for (const auto &p : *points_)
+        EXPECT_EQ(p.chipGbit, 64u);
+}
+
+TEST_F(EndToEndFixture, IdealGainsPositiveAndGrowWithInterval)
+{
+    const SweepPoint &mid = pointAt(*points_, 0.512);
+    const SweepPoint &high = pointAt(*points_, 1.536);
+    const SweepPoint &noref = pointAt(*points_, 0, true);
+    double g_mid = mid.perfBox(ProfilerKind::Ideal).mean;
+    double g_high = high.perfBox(ProfilerKind::Ideal).mean;
+    double g_noref = noref.perfBox(ProfilerKind::Ideal).mean;
+    EXPECT_GT(g_mid, 0.0);
+    EXPECT_GE(g_high, g_mid);
+    EXPECT_GE(g_noref, g_high - 0.01);
+}
+
+TEST_F(EndToEndFixture, ProfilersNearIdealAtModerateInterval)
+{
+    const SweepPoint &mid = pointAt(*points_, 0.512);
+    double ideal = mid.perfBox(ProfilerKind::Ideal).mean;
+    double brute = mid.perfBox(ProfilerKind::BruteForce).mean;
+    double reaper = mid.perfBox(ProfilerKind::Reaper).mean;
+    EXPECT_NEAR(brute, ideal, 0.02);
+    EXPECT_NEAR(reaper, ideal, 0.01);
+}
+
+TEST_F(EndToEndFixture, BruteForceCollapsesAtLongInterval)
+{
+    // The headline Fig. 13 shape: at very long intervals brute-force
+    // profiling overhead erases (and inverts) the refresh benefit
+    // while REAPER retains a larger share.
+    const SweepPoint &high = pointAt(*points_, 1.536);
+    double ideal = high.perfBox(ProfilerKind::Ideal).mean;
+    double brute = high.perfBox(ProfilerKind::BruteForce).mean;
+    double reaper = high.perfBox(ProfilerKind::Reaper).mean;
+    EXPECT_GT(ideal, 0.0);
+    EXPECT_LT(brute, reaper);
+    EXPECT_LT(brute, 0.0); // net performance loss
+    EXPECT_GT(reaper, brute + 0.05);
+}
+
+TEST_F(EndToEndFixture, PowerReductionPositiveAndGrows)
+{
+    const SweepPoint &mid = pointAt(*points_, 0.512);
+    const SweepPoint &high = pointAt(*points_, 1.536);
+    for (ProfilerKind k : {ProfilerKind::BruteForce,
+                           ProfilerKind::Reaper, ProfilerKind::Ideal}) {
+        EXPECT_GT(mid.powerBox(k).mean, 0.05);
+        EXPECT_GT(high.powerBox(k).mean, 0.05);
+    }
+    // Without profiling energy the saving grows with the interval;
+    // at extreme intervals the near-continuous reprofiling of the
+    // brute-force profiler eats into it (Section 7.3.2's caveat).
+    EXPECT_GT(high.powerBox(ProfilerKind::Ideal).mean,
+              mid.powerBox(ProfilerKind::Ideal).mean);
+    EXPECT_GE(high.powerBox(ProfilerKind::Reaper).mean,
+              high.powerBox(ProfilerKind::BruteForce).mean);
+}
+
+TEST_F(EndToEndFixture, ProfilingPowerNegligibleAtModerateInterval)
+{
+    // Fourth observation of Section 7.3.2: profiling itself barely
+    // moves DRAM power at reasonable reprofiling frequencies.
+    const SweepPoint &mid = pointAt(*points_, 0.512);
+    double ideal = mid.powerBox(ProfilerKind::Ideal).mean;
+    double brute = mid.powerBox(ProfilerKind::BruteForce).mean;
+    EXPECT_NEAR(brute, ideal, 0.02);
+}
+
+TEST_F(EndToEndFixture, NoRefreshOnlyIdealPopulated)
+{
+    const SweepPoint &noref = pointAt(*points_, 0, true);
+    EXPECT_FALSE(
+        noref.perfImprovement[static_cast<size_t>(
+                                  profilerIndex(ProfilerKind::Ideal))]
+            .empty());
+    EXPECT_TRUE(
+        noref
+            .perfImprovement[static_cast<size_t>(
+                profilerIndex(ProfilerKind::BruteForce))]
+            .empty());
+}
+
+TEST(EndToEnd, MixCountValidation)
+{
+    EndToEndConfig cfg = tinySweep();
+    cfg.numMixes = 0;
+    EXPECT_DEATH(EndToEndEvaluator e(cfg), "numMixes");
+}
+
+} // namespace
+} // namespace eval
+} // namespace reaper

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Integration tests for the online REAPER firmware: profiling rounds,
+ * reprofiling schedule, mitigation updates, and oracle-based safety
+ * audits over days of (virtual) operation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mitigation/archshield.h"
+#include "reaper/firmware.h"
+
+namespace reaper {
+namespace firmware {
+namespace {
+
+dram::ModuleConfig
+testModule(uint64_t seed = 1)
+{
+    dram::ModuleConfig cfg;
+    cfg.numChips = 1;
+    cfg.chipCapacityBits = 4ull * 1024 * 1024 * 1024; // 512 MB
+    cfg.seed = seed;
+    cfg.envelope = {2.0, 50.0};
+    cfg.chipVariation = 0.0;
+    return cfg;
+}
+
+testbed::HostConfig
+instantHost()
+{
+    testbed::HostConfig h;
+    h.useChamber = false;
+    return h;
+}
+
+OnlineReaperConfig
+baseConfig()
+{
+    OnlineReaperConfig cfg;
+    cfg.target = {1.024, 45.0};
+    return cfg;
+}
+
+struct Rig
+{
+    dram::DramModule module;
+    testbed::SoftMcHost host;
+    mitigation::ArchShield shield;
+
+    explicit Rig(uint64_t seed,
+                 const dram::ModuleConfig &mc = testModule())
+        : module([&] {
+              dram::ModuleConfig m = mc;
+              m.seed = seed;
+              return m;
+          }()),
+          host(module, instantHost()),
+          shield([&] {
+              mitigation::ArchShieldConfig ac;
+              ac.capacityBits = mc.chipCapacityBits * mc.numChips;
+              return ac;
+          }())
+    {
+    }
+};
+
+TEST(OnlineReaper, ProfileOnceInstallsProfile)
+{
+    Rig rig(1);
+    OnlineReaper reaper(rig.host, rig.shield, baseConfig());
+    ReaperEvent e = reaper.profileOnce();
+    EXPECT_GT(e.profileSize, 0u);
+    EXPECT_GT(e.roundTime, 0.0);
+    EXPECT_GT(e.reprofileIn, 0.0);
+    EXPECT_EQ(rig.shield.installedEntries() > 0, true);
+    EXPECT_EQ(reaper.roundsRun(), 1u);
+}
+
+TEST(OnlineReaper, ScheduleFollowsLongevityModel)
+{
+    Rig rig(2);
+    OnlineReaper reaper(rig.host, rig.shield, baseConfig());
+    Seconds interval = reaper.scheduledReprofileInterval();
+    // 512 MB at 1024 ms, SECDED, guardband 4: hours-to-days scale.
+    EXPECT_GT(interval, hoursToSec(1.0));
+    EXPECT_LT(interval, daysToSec(60.0));
+}
+
+TEST(OnlineReaper, RunForAlternatesProfilingAndOperation)
+{
+    Rig rig(3);
+    OnlineReaper reaper(rig.host, rig.shield, baseConfig());
+    Seconds interval = reaper.scheduledReprofileInterval();
+    reaper.runFor(2.5 * interval);
+    EXPECT_GE(reaper.roundsRun(), 3u); // t=0, t=I, t=2I(+)
+    EXPECT_GT(reaper.totalOperatingTime(), 0.0);
+    EXPECT_GT(reaper.totalProfilingTime(), 0.0);
+    EXPECT_LT(reaper.overheadFraction(), 0.2);
+}
+
+TEST(OnlineReaper, SafetyAuditHoldsAfterOperation)
+{
+    // The end-to-end reliability claim: after profiling + operating,
+    // the failures escaping the mitigation fit the ECC budget.
+    Rig rig(4);
+    OnlineReaper reaper(rig.host, rig.shield, baseConfig());
+    reaper.runFor(hoursToSec(30.0));
+    OnlineReaper::SafetyAudit audit = reaper.auditSafety();
+    EXPECT_GT(audit.truthSize, 100u);
+    EXPECT_TRUE(audit.safe)
+        << audit.uncovered << " uncovered vs budget "
+        << audit.tolerable;
+}
+
+TEST(OnlineReaper, UnprofiledSystemWouldBeUnsafe)
+{
+    // Sanity check that the audit has teeth: without any profiling,
+    // the uncovered failing set exceeds the ECC budget by orders of
+    // magnitude.
+    Rig rig(5);
+    OnlineReaper reaper(rig.host, rig.shield, baseConfig());
+    OnlineReaper::SafetyAudit audit = reaper.auditSafety();
+    EXPECT_FALSE(audit.safe);
+    EXPECT_GT(static_cast<double>(audit.uncovered),
+              audit.tolerable * 10.0);
+}
+
+TEST(OnlineReaper, LogRecordsEveryRound)
+{
+    Rig rig(6);
+    OnlineReaper reaper(rig.host, rig.shield, baseConfig());
+    Seconds interval = reaper.scheduledReprofileInterval();
+    reaper.runFor(1.5 * interval);
+    ASSERT_GE(reaper.log().size(), 2u);
+    EXPECT_LT(reaper.log()[0].time, reaper.log()[1].time);
+}
+
+TEST(OnlineReaper, ImpossibleBudgetIsFatal)
+{
+    Rig rig(7);
+    OnlineReaperConfig cfg = baseConfig();
+    cfg.eccStrength = ecc::EccConfig::none();
+    OnlineReaper reaper(rig.host, rig.shield, cfg);
+    // Without ECC, any escaped failure breaks the UBER target: the
+    // firmware must refuse to schedule relaxed-refresh operation.
+    EXPECT_EXIT(reaper.scheduledReprofileInterval(),
+                ::testing::ExitedWithCode(1), "ECC budget");
+}
+
+TEST(OnlineReaper, GuardbandValidation)
+{
+    Rig rig(8);
+    OnlineReaperConfig cfg = baseConfig();
+    cfg.longevityGuardband = 0.5;
+    EXPECT_EXIT(OnlineReaper(rig.host, rig.shield, cfg),
+                ::testing::ExitedWithCode(1), "uardband");
+}
+
+TEST(OnlineReaper, WorksWithChamberModel)
+{
+    // Full-realism path: thermal chamber enabled.
+    dram::ModuleConfig mc = testModule(9);
+    mc.chipCapacityBits = 512ull * 1024 * 1024; // 64 MB: keep it fast
+    dram::DramModule module(mc);
+    testbed::HostConfig hc;
+    hc.useChamber = true;
+    testbed::SoftMcHost host(module, hc);
+    mitigation::ArchShieldConfig ac;
+    ac.capacityBits = module.capacityBits();
+    mitigation::ArchShield shield(ac);
+    OnlineReaper reaper(host, shield, baseConfig());
+    ReaperEvent e = reaper.profileOnce();
+    EXPECT_GT(e.roundTime, 0.0);
+}
+
+} // namespace
+} // namespace firmware
+} // namespace reaper

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tests for DRAM geometry and cell addressing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/units.h"
+#include "dram/geometry.h"
+
+namespace reaper {
+namespace dram {
+namespace {
+
+TEST(Geometry, CapacityComputation)
+{
+    Geometry g(8, 1024, 2048);
+    EXPECT_EQ(g.capacityBits(), 8ull * 1024 * 2048 * 8);
+    EXPECT_EQ(g.totalRows(), 8ull * 1024);
+    EXPECT_EQ(g.rowBits(), 2048ull * 8);
+}
+
+TEST(Geometry, ForCapacityBits2GB)
+{
+    uint64_t bits = 16ull * 1024 * 1024 * 1024; // 2 GB
+    Geometry g = Geometry::forCapacityBits(bits);
+    EXPECT_EQ(g.capacityBits(), bits);
+    EXPECT_EQ(g.banks(), 8u);
+    EXPECT_EQ(g.rowBytes(), 2048u);
+    EXPECT_EQ(g.rowsPerBank(), bits / (8ull * 2048 * 8));
+}
+
+TEST(Geometry, ForCapacityBitsRejectsNonMultiple)
+{
+    EXPECT_DEATH(Geometry::forCapacityBits(12345), "multiple");
+    EXPECT_DEATH(Geometry::forCapacityBits(0), "multiple");
+}
+
+TEST(Geometry, RejectsZeroDimensions)
+{
+    EXPECT_DEATH(Geometry(0, 10, 10), "nonzero");
+    EXPECT_DEATH(Geometry(8, 0, 10), "nonzero");
+    EXPECT_DEATH(Geometry(8, 10, 0), "nonzero");
+}
+
+TEST(Geometry, DecodeEncodeRoundTrip)
+{
+    Geometry g(4, 64, 256);
+    for (uint64_t bit : std::vector<uint64_t>{0, 1, 2047, 2048, 12345,
+                                              g.capacityBits() - 1}) {
+        CellCoord c = g.decode(bit);
+        EXPECT_EQ(g.encode(c), bit) << "bit=" << bit;
+    }
+}
+
+TEST(Geometry, DecodeFirstAndLast)
+{
+    Geometry g(2, 4, 16);
+    CellCoord first = g.decode(0);
+    EXPECT_EQ(first.bank, 0u);
+    EXPECT_EQ(first.row, 0u);
+    EXPECT_EQ(first.col, 0u);
+    EXPECT_EQ(first.bit, 0u);
+
+    CellCoord last = g.decode(g.capacityBits() - 1);
+    EXPECT_EQ(last.bank, 1u);
+    EXPECT_EQ(last.row, 3u);
+    EXPECT_EQ(last.col, 15u);
+    EXPECT_EQ(last.bit, 7u);
+}
+
+TEST(Geometry, DecodeOutOfRange)
+{
+    Geometry g(2, 4, 16);
+    EXPECT_DEATH(g.decode(g.capacityBits()), "out of range");
+}
+
+TEST(Geometry, RowIndexOf)
+{
+    Geometry g(2, 4, 16);
+    EXPECT_EQ(g.rowIndexOf(0), 0u);
+    EXPECT_EQ(g.rowIndexOf(g.rowBits() - 1), 0u);
+    EXPECT_EQ(g.rowIndexOf(g.rowBits()), 1u);
+    EXPECT_EQ(g.rowIndexOf(g.capacityBits() - 1), g.totalRows() - 1);
+}
+
+TEST(Geometry, BitWithinByteOrdering)
+{
+    Geometry g(2, 4, 16);
+    CellCoord c = g.decode(10); // second byte, bit 2
+    EXPECT_EQ(c.col, 1u);
+    EXPECT_EQ(c.bit, 2u);
+}
+
+} // namespace
+} // namespace dram
+} // namespace reaper

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests for the SECDED (72,64) Hamming codec.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ecc/hamming.h"
+
+namespace reaper {
+namespace ecc {
+namespace {
+
+TEST(Secded72, CleanWordDecodesOk)
+{
+    Secded72 code;
+    for (uint64_t data : {0ull, 1ull, 0xFFFFFFFFFFFFFFFFull,
+                          0xDEADBEEFCAFEBABEull}) {
+        uint8_t check = code.encode(data);
+        DecodeResult r = code.decode(data, check);
+        EXPECT_EQ(r.status, DecodeStatus::Ok);
+        EXPECT_EQ(r.data, data);
+    }
+}
+
+TEST(Secded72, CorrectsEverySingleDataBitFlip)
+{
+    Secded72 code;
+    uint64_t data = 0x0123456789ABCDEFull;
+    uint8_t check = code.encode(data);
+    for (int bit = 0; bit < 64; ++bit) {
+        uint64_t corrupted = data ^ (1ull << bit);
+        DecodeResult r = code.decode(corrupted, check);
+        EXPECT_EQ(r.status, DecodeStatus::CorrectedSingle) << bit;
+        EXPECT_EQ(r.data, data) << bit;
+    }
+}
+
+TEST(Secded72, CorrectsEverySingleCheckBitFlip)
+{
+    Secded72 code;
+    uint64_t data = 0xA5A5A5A5A5A5A5A5ull;
+    uint8_t check = code.encode(data);
+    for (int bit = 0; bit < 8; ++bit) {
+        uint8_t corrupted = check ^ static_cast<uint8_t>(1u << bit);
+        DecodeResult r = code.decode(data, corrupted);
+        EXPECT_EQ(r.status, DecodeStatus::CorrectedSingle) << bit;
+        EXPECT_EQ(r.data, data) << bit;
+    }
+}
+
+TEST(Secded72, DetectsDoubleDataBitFlips)
+{
+    Secded72 code;
+    uint64_t data = 0x13579BDF02468ACEull;
+    uint8_t check = code.encode(data);
+    Rng rng(1);
+    for (int trial = 0; trial < 500; ++trial) {
+        int b1 = static_cast<int>(rng.uniformInt(64));
+        int b2 = static_cast<int>(rng.uniformInt(64));
+        if (b1 == b2)
+            continue;
+        uint64_t corrupted = data ^ (1ull << b1) ^ (1ull << b2);
+        DecodeResult r = code.decode(corrupted, check);
+        EXPECT_EQ(r.status, DecodeStatus::DetectedDouble)
+            << b1 << "," << b2;
+    }
+}
+
+TEST(Secded72, DetectsDataPlusCheckDoubleFlip)
+{
+    Secded72 code;
+    uint64_t data = 0x0F0F0F0F0F0F0F0Full;
+    uint8_t check = code.encode(data);
+    Rng rng(2);
+    for (int trial = 0; trial < 200; ++trial) {
+        int db = static_cast<int>(rng.uniformInt(64));
+        int cb = static_cast<int>(rng.uniformInt(8));
+        uint64_t bad_data = data ^ (1ull << db);
+        uint8_t bad_check = check ^ static_cast<uint8_t>(1u << cb);
+        DecodeResult r = code.decode(bad_data, bad_check);
+        EXPECT_EQ(r.status, DecodeStatus::DetectedDouble)
+            << db << "," << cb;
+    }
+}
+
+TEST(Secded72, RandomizedRoundTrips)
+{
+    Secded72 code;
+    Rng rng(3);
+    for (int trial = 0; trial < 2000; ++trial) {
+        uint64_t data = rng();
+        uint8_t check = code.encode(data);
+        // Clean decode.
+        DecodeResult clean = code.decode(data, check);
+        ASSERT_EQ(clean.status, DecodeStatus::Ok);
+        ASSERT_EQ(clean.data, data);
+        // Single random flip always corrected.
+        int bit = static_cast<int>(rng.uniformInt(72));
+        uint64_t d = data;
+        uint8_t c = check;
+        if (bit < 64)
+            d ^= 1ull << bit;
+        else
+            c ^= static_cast<uint8_t>(1u << (bit - 64));
+        DecodeResult fixed = code.decode(d, c);
+        ASSERT_EQ(fixed.status, DecodeStatus::CorrectedSingle);
+        ASSERT_EQ(fixed.data, data);
+    }
+}
+
+TEST(Secded72, DistinctDataGivesDistinctCheckMostly)
+{
+    // The code is linear; nearby words should rarely share check bits.
+    Secded72 code;
+    uint8_t c0 = code.encode(0);
+    int same = 0;
+    for (int bit = 0; bit < 64; ++bit)
+        same += (code.encode(1ull << bit) == c0);
+    EXPECT_EQ(same, 0); // single-bit words always alter some check bit
+}
+
+} // namespace
+} // namespace ecc
+} // namespace reaper

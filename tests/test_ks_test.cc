@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tests for the Kolmogorov-Smirnov goodness-of-fit utilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/ks_test.h"
+#include "common/math_util.h"
+#include "common/rng.h"
+
+namespace reaper {
+namespace {
+
+std::vector<double>
+normalSamples(double mu, double sigma, size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<double> v;
+    for (size_t i = 0; i < n; ++i)
+        v.push_back(rng.normal(mu, sigma));
+    return v;
+}
+
+TEST(KsStatistic, ZeroForPerfectQuantiles)
+{
+    // Samples placed at the (i+0.5)/n quantiles of the reference CDF
+    // minimize the statistic (~1/(2n)).
+    std::vector<double> v;
+    size_t n = 100;
+    for (size_t i = 0; i < n; ++i)
+        v.push_back(normalQuantile((i + 0.5) / static_cast<double>(n)));
+    double d = ksStatistic(v, [](double x) { return normalCdf(x); });
+    EXPECT_NEAR(d, 0.5 / static_cast<double>(n), 1e-9);
+}
+
+TEST(KsStatistic, OneForTotallyWrongCdf)
+{
+    std::vector<double> v = {1.0, 2.0, 3.0};
+    // Reference CDF saturated at 1 before any sample.
+    double d = ksStatistic(v, [](double) { return 1.0; });
+    EXPECT_NEAR(d, 1.0, 1e-9);
+}
+
+TEST(KsStatistic, RejectsEmpty)
+{
+    EXPECT_DEATH(ksStatistic({}, [](double) { return 0.5; }),
+                 "sample");
+}
+
+TEST(KsCritical, ShrinksWithN)
+{
+    EXPECT_GT(ksCriticalValue(50, 0.05), ksCriticalValue(500, 0.05));
+    EXPECT_NEAR(ksCriticalValue(100, 0.05), 0.1358, 1e-4);
+    EXPECT_GT(ksCriticalValue(100, 0.01), ksCriticalValue(100, 0.05));
+    EXPECT_LT(ksCriticalValue(100, 0.10), ksCriticalValue(100, 0.05));
+}
+
+TEST(KsTestNormal, AcceptsTrueDistribution)
+{
+    auto v = normalSamples(2.0, 0.3, 500, 1);
+    KsResult r = ksTestNormal(v, 2.0, 0.3);
+    EXPECT_TRUE(r.accepted) << r.statistic << " vs " << r.critical;
+}
+
+TEST(KsTestNormal, RejectsShiftedMean)
+{
+    auto v = normalSamples(2.0, 0.3, 500, 2);
+    KsResult r = ksTestNormal(v, 2.5, 0.3);
+    EXPECT_FALSE(r.accepted);
+}
+
+TEST(KsTestNormal, RejectsUniformSamples)
+{
+    Rng rng(3);
+    std::vector<double> v;
+    for (int i = 0; i < 500; ++i)
+        v.push_back(rng.uniform(-3.0, 3.0));
+    KsResult r = ksTestNormal(v, 0.0, 1.0);
+    EXPECT_FALSE(r.accepted);
+}
+
+TEST(KsTestLognormal, AcceptsTrueDistribution)
+{
+    Rng rng(4);
+    std::vector<double> v;
+    for (int i = 0; i < 500; ++i)
+        v.push_back(rng.lognormal(-2.0, 0.6));
+    KsResult r = ksTestLognormal(v, -2.0, 0.6);
+    EXPECT_TRUE(r.accepted);
+}
+
+TEST(KsTestLognormal, RejectsNormalSamples)
+{
+    // Positive-shifted normal samples are not lognormal with these
+    // params.
+    auto v = normalSamples(5.0, 0.2, 500, 5);
+    KsResult r = ksTestLognormal(v, std::log(5.0), 0.6);
+    EXPECT_FALSE(r.accepted);
+}
+
+TEST(KsResult, MarginSign)
+{
+    auto v = normalSamples(0.0, 1.0, 300, 6);
+    KsResult good = ksTestNormal(v, 0.0, 1.0);
+    EXPECT_GT(good.margin(), 0.0);
+    KsResult bad = ksTestNormal(v, 3.0, 1.0);
+    EXPECT_LT(bad.margin(), 0.0);
+}
+
+} // namespace
+} // namespace reaper

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tests for the profile longevity model (Eq. 7, Section 6.2.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/units.h"
+#include "dram/retention_model.h"
+#include "ecc/longevity.h"
+
+namespace reaper {
+namespace ecc {
+namespace {
+
+TEST(ProfileLongevity, PaperExample23Days)
+{
+    // Section 6.2.3: N = 65, C = 25, A = 0.73 cells/hour -> T = 2.3 days.
+    LongevityInputs in;
+    in.tolerableFailures = 65.0;
+    in.missedFailures = 25.0;
+    in.accumulationPerHour = 0.73;
+    Seconds t = profileLongevity(in);
+    EXPECT_NEAR(secToDays(t), 2.3, 0.05);
+}
+
+TEST(ProfileLongevity, ZeroWhenProfileInsufficient)
+{
+    LongevityInputs in;
+    in.tolerableFailures = 10.0;
+    in.missedFailures = 10.0;
+    in.accumulationPerHour = 1.0;
+    EXPECT_EQ(profileLongevity(in), 0.0);
+    in.missedFailures = 20.0;
+    EXPECT_EQ(profileLongevity(in), 0.0);
+}
+
+TEST(ProfileLongevity, InfiniteWithoutAccumulation)
+{
+    LongevityInputs in;
+    in.tolerableFailures = 10.0;
+    in.missedFailures = 0.0;
+    in.accumulationPerHour = 0.0;
+    EXPECT_TRUE(std::isinf(profileLongevity(in)));
+}
+
+TEST(ProfileLongevity, LinearInHeadroom)
+{
+    LongevityInputs a{100.0, 0.0, 2.0};
+    LongevityInputs b{200.0, 0.0, 2.0};
+    EXPECT_NEAR(profileLongevity(b) / profileLongevity(a), 2.0, 1e-9);
+}
+
+TEST(ComputeLongevity, EndToEndScenario)
+{
+    // The Section 6.2.3 scenario rebuilt from first principles: 2 GB,
+    // SECDED, 1024 ms at 45 C, 99% coverage, A = 0.73/hour.
+    LongevityScenario s;
+    s.capacityBits = 16ull * 1024 * 1024 * 1024;
+    s.eccStrength = EccConfig::secded();
+    s.targetUber = kConsumerUber;
+    dram::RetentionModel m{dram::vendorParams(dram::Vendor::B)};
+    s.berAtTarget = m.berAt(1.024, 45.0);
+    s.profilingCoverage = 0.99;
+    s.accumulationPerHour =
+        m.vrtCumulativeRate(1.024, s.capacityBits) * 3600.0;
+
+    LongevityResult r = computeLongevity(s);
+    // ~2464 failing cells at the target (Fig. 2 anchor).
+    EXPECT_NEAR(r.expectedFailures, 2464.0, 60.0);
+    EXPECT_NEAR(r.missedFailures, 24.6, 1.0);
+    // With the w=72 SECDED budget (~91 errors) the longevity is ~3.8
+    // days; with the paper's word size (N=65.3) it is 2.3 days.
+    EXPECT_GT(secToDays(r.longevity), 1.5);
+    EXPECT_LT(secToDays(r.longevity), 6.0);
+}
+
+TEST(ComputeLongevity, HigherCoverageLastsLonger)
+{
+    LongevityScenario s;
+    s.capacityBits = 16ull * 1024 * 1024 * 1024;
+    s.berAtTarget = 1.4e-7;
+    s.accumulationPerHour = 0.73;
+    s.profilingCoverage = 0.99;
+    Seconds hi = computeLongevity(s).longevity;
+    s.profilingCoverage = 0.95;
+    Seconds lo = computeLongevity(s).longevity;
+    EXPECT_GT(hi, lo);
+}
+
+TEST(ComputeLongevity, LongerIntervalShortensLongevity)
+{
+    // Both the failure count and the VRT rate grow with the interval.
+    dram::RetentionModel m{dram::vendorParams(dram::Vendor::B)};
+    auto longevity_at = [&](double t) {
+        LongevityScenario s;
+        s.capacityBits = 16ull * 1024 * 1024 * 1024;
+        s.berAtTarget = m.berAt(t, 45.0);
+        s.profilingCoverage = 1.0; // isolate the accumulation effect
+        s.accumulationPerHour =
+            m.vrtCumulativeRate(t, s.capacityBits) * 3600.0;
+        return computeLongevity(s).longevity;
+    };
+    EXPECT_GT(longevity_at(0.512), longevity_at(1.024));
+    EXPECT_GT(longevity_at(1.024), longevity_at(2.048));
+}
+
+TEST(ComputeLongevity, RejectsZeroCapacity)
+{
+    LongevityScenario s;
+    s.capacityBits = 0;
+    EXPECT_DEATH(computeLongevity(s), "capacityBits");
+}
+
+} // namespace
+} // namespace ecc
+} // namespace reaper

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for the multi-chip DRAM module.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dram/module.h"
+
+namespace reaper {
+namespace dram {
+namespace {
+
+ModuleConfig
+smallModule(uint32_t chips = 4, uint64_t seed = 1)
+{
+    ModuleConfig cfg;
+    cfg.numChips = chips;
+    cfg.chipCapacityBits = 512ull * 1024 * 1024; // 64 MB per chip
+    cfg.seed = seed;
+    cfg.envelope = {2.5, 50.0};
+    return cfg;
+}
+
+TEST(DramModule, RejectsZeroChips)
+{
+    ModuleConfig cfg = smallModule(1);
+    cfg.numChips = 0;
+    EXPECT_DEATH(DramModule m(cfg), "numChips");
+}
+
+TEST(DramModule, CapacityAggregation)
+{
+    DramModule m(smallModule(4));
+    EXPECT_EQ(m.numChips(), 4u);
+    EXPECT_EQ(m.capacityBits(), 4ull * 512 * 1024 * 1024);
+}
+
+TEST(DramModule, ChipsHaveDistinctPopulations)
+{
+    DramModule m(smallModule(2));
+    ASSERT_GT(m.chip(0).weakCellCount(), 0u);
+    ASSERT_GT(m.chip(1).weakCellCount(), 0u);
+    // Chip variation perturbs per-chip parameters; identical
+    // populations would indicate seed reuse.
+    auto t0 = m.chip(0).trueFailingSet(2.0, 45.0);
+    auto t1 = m.chip(1).trueFailingSet(2.0, 45.0);
+    EXPECT_NE(t0, t1);
+}
+
+TEST(DramModule, BroadcastOpsKeepChipsInLockstep)
+{
+    DramModule m(smallModule(3));
+    m.setTemperature(48.0);
+    m.writePattern(DataPattern::Checkerboard);
+    m.disableRefresh();
+    m.wait(1.0);
+    m.enableRefresh();
+    for (uint32_t i = 0; i < m.numChips(); ++i) {
+        EXPECT_EQ(m.chip(i).temperature(), 48.0);
+        EXPECT_EQ(m.chip(i).now(), 1.0);
+        EXPECT_EQ(m.chip(i).lastPattern(), DataPattern::Checkerboard);
+        EXPECT_TRUE(m.chip(i).refreshEnabled());
+    }
+    EXPECT_EQ(m.now(), 1.0);
+}
+
+TEST(DramModule, ReadAndCompareTagsChips)
+{
+    DramModule m(smallModule(4, 2));
+    m.writePattern(DataPattern::Random);
+    m.disableRefresh();
+    m.wait(2.2);
+    m.enableRefresh();
+    auto fails = m.readAndCompare();
+    ASSERT_GT(fails.size(), 0u);
+    EXPECT_TRUE(std::is_sorted(fails.begin(), fails.end()));
+    for (const auto &f : fails) {
+        EXPECT_LT(f.chip, 4u);
+        EXPECT_LT(f.addr, 512ull * 1024 * 1024);
+    }
+}
+
+TEST(DramModule, TrueFailingSetAggregatesAllChips)
+{
+    DramModule m(smallModule(2, 3));
+    auto truth = m.trueFailingSet(2.0, 45.0);
+    size_t per_chip = m.chip(0).trueFailingSet(2.0, 45.0).size() +
+                      m.chip(1).trueFailingSet(2.0, 45.0).size();
+    EXPECT_EQ(truth.size(), per_chip);
+    EXPECT_TRUE(std::is_sorted(truth.begin(), truth.end()));
+}
+
+TEST(DramModule, ChipVariationSpreadsFailureCounts)
+{
+    ModuleConfig cfg = smallModule(8, 4);
+    cfg.chipCapacityBits = 2ull * 1024 * 1024 * 1024; // 256 MB
+    cfg.chipVariation = 0.3;
+    DramModule m(cfg);
+    std::vector<double> counts;
+    for (uint32_t i = 0; i < m.numChips(); ++i)
+        counts.push_back(
+            static_cast<double>(m.chip(i).trueFailingSet(2.0, 45.0)
+                                    .size()));
+    double lo = *std::min_element(counts.begin(), counts.end());
+    double hi = *std::max_element(counts.begin(), counts.end());
+    ASSERT_GT(lo, 0.0);
+    EXPECT_GT(hi / lo, 1.2); // variation should be visible
+}
+
+TEST(DramModule, NoVariationUsesNominalParams)
+{
+    ModuleConfig cfg = smallModule(1, 5);
+    cfg.chipVariation = 0.0;
+    DramModule m(cfg);
+    EXPECT_NEAR(m.chip(0).model().params().berAt1024ms,
+                vendorParams(Vendor::B).berAt1024ms, 1e-12);
+}
+
+TEST(ChipFailure, Ordering)
+{
+    ChipFailure a{0, 5}, b{0, 9}, c{1, 1};
+    EXPECT_LT(a, b);
+    EXPECT_LT(b, c);
+    EXPECT_EQ(a, (ChipFailure{0, 5}));
+}
+
+} // namespace
+} // namespace dram
+} // namespace reaper

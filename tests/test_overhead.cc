@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Tests for the profiling-overhead model (Eqs. 8-9 + longevity-driven
+ * reprofiling), including the paper's quantitative anchors from
+ * Sections 7.3.1 and Fig. 11.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/overhead.h"
+
+namespace reaper {
+namespace eval {
+namespace {
+
+TEST(RuntimeAnchors, Paper301MinutesFor32x8Gb)
+{
+    // Section 7.3.1: 32 x 8 Gb chips, tREFI = 1024 ms, Ndp = 6,
+    // Nit = 6 -> ~3.01 minutes.
+    OverheadConfig cfg;
+    cfg.targetRefreshInterval = 1.024;
+    cfg.chipGbit = 8;
+    cfg.numChips = 32;
+    cfg.iterations = 6;
+    cfg.numPatterns = 6;
+    OverheadResult r = computeOverhead(cfg, ProfilerKind::BruteForce);
+    EXPECT_NEAR(r.roundTime / 60.0, 3.01, 0.05);
+}
+
+TEST(RuntimeAnchors, Paper198MinutesFor32x64Gb)
+{
+    // Section 7.3.1: same settings with 64 Gb chips -> ~19.8 minutes.
+    OverheadConfig cfg;
+    cfg.targetRefreshInterval = 1.024;
+    cfg.chipGbit = 64;
+    cfg.numChips = 32;
+    cfg.iterations = 6;
+    cfg.numPatterns = 6;
+    OverheadResult r = computeOverhead(cfg, ProfilerKind::BruteForce);
+    EXPECT_NEAR(r.roundTime / 60.0, 19.8, 0.3);
+}
+
+TEST(Fig11Anchor, BruteForce64GbAt4HoursNear22Percent)
+{
+    // Fig. 11: 64 Gb chips, 16 iterations, 6 patterns, 1024 ms,
+    // reprofiling every 4 hours -> ~22.7% of system time profiling.
+    OverheadConfig cfg;
+    cfg.targetRefreshInterval = 1.024;
+    cfg.chipGbit = 64;
+    cfg.numChips = 32;
+    cfg.iterations = 16;
+    cfg.numPatterns = 6;
+    double ov = overheadForInterval(cfg, ProfilerKind::BruteForce,
+                                    hoursToSec(4.0));
+    EXPECT_NEAR(ov, 0.227, 0.04);
+    // REAPER at 2.5x: ~9.1%.
+    double ov_reaper =
+        overheadForInterval(cfg, ProfilerKind::Reaper, hoursToSec(4.0));
+    EXPECT_NEAR(ov_reaper, 0.091, 0.03);
+}
+
+TEST(Overhead, ReaperIsSpeedupTimesCheaper)
+{
+    OverheadConfig cfg;
+    OverheadResult brute = computeOverhead(cfg, ProfilerKind::BruteForce);
+    OverheadResult reaper = computeOverhead(cfg, ProfilerKind::Reaper);
+    EXPECT_NEAR(brute.roundTime / reaper.roundTime, cfg.reaperSpeedup,
+                1e-9);
+}
+
+TEST(Overhead, IdealHasZeroOverhead)
+{
+    OverheadConfig cfg;
+    OverheadResult ideal = computeOverhead(cfg, ProfilerKind::Ideal);
+    EXPECT_EQ(ideal.roundTime, 0.0);
+    EXPECT_EQ(ideal.overheadFraction, 0.0);
+}
+
+TEST(Overhead, GrowsWithRefreshInterval)
+{
+    // Longer target intervals -> faster VRT accumulation -> shorter
+    // longevity -> more frequent (and individually longer) rounds.
+    auto overhead_at = [](Seconds t) {
+        OverheadConfig cfg;
+        cfg.targetRefreshInterval = t;
+        cfg.chipGbit = 64;
+        return computeOverhead(cfg, ProfilerKind::BruteForce)
+            .overheadFraction;
+    };
+    EXPECT_LT(overhead_at(0.512), overhead_at(1.024));
+    EXPECT_LT(overhead_at(1.024), overhead_at(1.280));
+    EXPECT_LT(overhead_at(1.280), overhead_at(1.536));
+}
+
+TEST(Overhead, BruteForceCollapsesAtLongIntervals)
+{
+    // The Fig. 13 shape: by 1280-1536 ms, brute-force profiling costs
+    // a large share of system time while REAPER keeps most benefit.
+    OverheadConfig cfg;
+    cfg.chipGbit = 64;
+    cfg.targetRefreshInterval = 1.280;
+    double brute = computeOverhead(cfg, ProfilerKind::BruteForce)
+                       .overheadFraction;
+    double reaper =
+        computeOverhead(cfg, ProfilerKind::Reaper).overheadFraction;
+    EXPECT_GT(brute, 0.15); // enough to erase typical ~15% gains
+    EXPECT_LT(reaper, brute / 2.0);
+}
+
+TEST(Overhead, SmallAtModerateIntervals)
+{
+    OverheadConfig cfg;
+    cfg.chipGbit = 64;
+    cfg.targetRefreshInterval = 0.512;
+    double brute = computeOverhead(cfg, ProfilerKind::BruteForce)
+                       .overheadFraction;
+    EXPECT_LT(brute, 0.02); // both profilers near-ideal below 512 ms
+}
+
+TEST(Overhead, LongevityMatchesEq7Inputs)
+{
+    OverheadConfig cfg;
+    cfg.chipGbit = 8;
+    cfg.numChips = 1; // 1 GB module
+    cfg.coverage = 1.0;
+    OverheadResult r = computeOverhead(cfg, ProfilerKind::BruteForce);
+    // T = N / A (C = 0 at full coverage).
+    double expect_hours = r.tolerableFailures / r.accumulationPerHour;
+    EXPECT_NEAR(secToHours(r.longevity), expect_hours,
+                expect_hours * 1e-6);
+    EXPECT_NEAR(r.reprofileInterval * cfg.longevityGuardband,
+                r.longevity, r.longevity * 1e-9);
+}
+
+TEST(Overhead, HigherTemperatureShortensLongevity)
+{
+    OverheadConfig cfg;
+    cfg.chipGbit = 8;
+    OverheadResult cool = computeOverhead(cfg, ProfilerKind::BruteForce);
+    cfg.temperature = 55.0;
+    OverheadResult hot = computeOverhead(cfg, ProfilerKind::BruteForce);
+    EXPECT_LT(hot.longevity, cool.longevity);
+}
+
+TEST(Overhead, ApplyOverheadEq8)
+{
+    EXPECT_DOUBLE_EQ(applyOverhead(1.2, 0.25), 0.9);
+    EXPECT_DOUBLE_EQ(applyOverhead(1.0, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(applyOverhead(1.0, 2.0), 0.0); // clamped
+}
+
+TEST(Overhead, ModuleCapacity)
+{
+    OverheadConfig cfg;
+    cfg.chipGbit = 8;
+    cfg.numChips = 32;
+    EXPECT_EQ(moduleCapacityBits(cfg), 32ull * gibitToBits(8));
+}
+
+TEST(Overhead, Validation)
+{
+    OverheadConfig cfg;
+    cfg.longevityGuardband = 0.5;
+    EXPECT_DEATH(computeOverhead(cfg, ProfilerKind::BruteForce),
+                 "guardband");
+    cfg = OverheadConfig{};
+    EXPECT_DEATH(
+        overheadForInterval(cfg, ProfilerKind::BruteForce, 0.0),
+        "interval");
+}
+
+} // namespace
+} // namespace eval
+} // namespace reaper

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Tests for retention-profile serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "profiling/profile_io.h"
+
+namespace reaper {
+namespace profiling {
+namespace {
+
+RetentionProfile
+sampleProfile()
+{
+    RetentionProfile p(Conditions{1.024, 45.0});
+    p.add({{0, 12345}, {0, 99}, {3, 7}, {2, 1ull << 40}});
+    return p;
+}
+
+TEST(ProfileIo, RoundTrip)
+{
+    RetentionProfile original = sampleProfile();
+    std::stringstream ss;
+    saveProfile(original, ss);
+    RetentionProfile loaded = loadProfile(ss);
+    EXPECT_EQ(loaded.cells(), original.cells());
+    EXPECT_DOUBLE_EQ(loaded.conditions().refreshInterval,
+                     original.conditions().refreshInterval);
+    EXPECT_DOUBLE_EQ(loaded.conditions().temperature,
+                     original.conditions().temperature);
+}
+
+TEST(ProfileIo, EmptyProfileRoundTrip)
+{
+    RetentionProfile original(Conditions{0.512, 50.0});
+    std::stringstream ss;
+    saveProfile(original, ss);
+    RetentionProfile loaded = loadProfile(ss);
+    EXPECT_TRUE(loaded.empty());
+    EXPECT_DOUBLE_EQ(loaded.conditions().refreshInterval, 0.512);
+}
+
+TEST(ProfileIo, FormatIsHumanReadable)
+{
+    std::stringstream ss;
+    saveProfile(sampleProfile(), ss);
+    std::string text = ss.str();
+    EXPECT_NE(text.find("REAPER-PROFILE v1"), std::string::npos);
+    EXPECT_NE(text.find("refresh_interval_ms 1024"), std::string::npos);
+    EXPECT_NE(text.find("temperature_c 45"), std::string::npos);
+    EXPECT_NE(text.find("cells 4"), std::string::npos);
+}
+
+TEST(ProfileIo, FileRoundTrip)
+{
+    std::string path = ::testing::TempDir() + "reaper_profile_test.txt";
+    RetentionProfile original = sampleProfile();
+    saveProfileFile(original, path);
+    RetentionProfile loaded = loadProfileFile(path);
+    EXPECT_EQ(loaded.cells(), original.cells());
+    std::remove(path.c_str());
+}
+
+TEST(ProfileIo, RejectsBadMagic)
+{
+    std::stringstream ss("NOT-A-PROFILE v1\n");
+    RetentionProfile p;
+    std::string error;
+    EXPECT_FALSE(tryLoadProfile(ss, &p, &error));
+    EXPECT_NE(error.find("magic"), std::string::npos);
+}
+
+TEST(ProfileIo, RejectsUnsupportedVersion)
+{
+    std::stringstream ss("REAPER-PROFILE v9\n");
+    RetentionProfile p;
+    std::string error;
+    EXPECT_FALSE(tryLoadProfile(ss, &p, &error));
+    EXPECT_NE(error.find("version"), std::string::npos);
+}
+
+TEST(ProfileIo, RejectsTruncatedCellList)
+{
+    std::stringstream ss("REAPER-PROFILE v1\n"
+                         "refresh_interval_ms 1024\n"
+                         "temperature_c 45\n"
+                         "cells 3\n"
+                         "0 1\n"
+                         "0 2\n");
+    RetentionProfile p;
+    std::string error;
+    EXPECT_FALSE(tryLoadProfile(ss, &p, &error));
+    EXPECT_NE(error.find("truncated"), std::string::npos);
+}
+
+TEST(ProfileIo, RejectsIncompleteHeader)
+{
+    std::stringstream ss("REAPER-PROFILE v1\n"
+                         "temperature_c 45\n"
+                         "cells 0\n");
+    RetentionProfile p;
+    std::string error;
+    EXPECT_FALSE(tryLoadProfile(ss, &p, &error));
+    EXPECT_NE(error.find("incomplete"), std::string::npos);
+}
+
+TEST(ProfileIo, RejectsUnknownKey)
+{
+    std::stringstream ss("REAPER-PROFILE v1\n"
+                         "voltage_mv 1100\n");
+    RetentionProfile p;
+    std::string error;
+    EXPECT_FALSE(tryLoadProfile(ss, &p, &error));
+    EXPECT_NE(error.find("unknown key"), std::string::npos);
+}
+
+TEST(ProfileIo, RejectsNegativeInterval)
+{
+    std::stringstream ss("REAPER-PROFILE v1\n"
+                         "refresh_interval_ms -5\n");
+    RetentionProfile p;
+    EXPECT_FALSE(tryLoadProfile(ss, &p));
+}
+
+TEST(ProfileIo, MissingFileIsFatal)
+{
+    EXPECT_EXIT(loadProfileFile("/nonexistent/profile.txt"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(ProfileIo, LoadedProfileDrivesMitigation)
+{
+    // End to end: serialize, reload, and the reloaded profile behaves
+    // identically for set queries.
+    RetentionProfile original = sampleProfile();
+    std::stringstream ss;
+    saveProfile(original, ss);
+    RetentionProfile loaded = loadProfile(ss);
+    EXPECT_TRUE(loaded.contains({0, 99}));
+    EXPECT_FALSE(loaded.contains({0, 100}));
+    EXPECT_EQ(loaded.intersectionSize(original.cells()),
+              original.size());
+}
+
+} // namespace
+} // namespace profiling
+} // namespace reaper

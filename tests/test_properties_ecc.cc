@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Property-style parameterized tests of the ECC/UBER machinery over a
+ * grid of code strengths, word sizes, and UBER targets.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.h"
+#include "ecc/hamming.h"
+#include "ecc/uber.h"
+
+namespace reaper {
+namespace ecc {
+namespace {
+
+class UberProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+  protected:
+    EccConfig
+    cfg() const
+    {
+        return {std::get<0>(GetParam()), std::get<1>(GetParam())};
+    }
+};
+
+TEST_P(UberProperty, UberMonotoneInRber)
+{
+    double prev = -1.0;
+    for (double r : {1e-12, 1e-10, 1e-8, 1e-6, 1e-4, 1e-2}) {
+        double u = uberForRber(r, cfg());
+        EXPECT_GE(u, prev);
+        prev = u;
+    }
+}
+
+TEST_P(UberProperty, SolverInvertsUberAcrossTargets)
+{
+    for (double target : {1e-12, 1e-15, 1e-17}) {
+        double r = tolerableRber(target, cfg());
+        if (r <= 1e-19)
+            continue; // saturated at the search floor
+        EXPECT_NEAR(uberForRber(r, cfg()) / target, 1.0, 1e-3)
+            << "target " << target;
+    }
+}
+
+TEST_P(UberProperty, StricterTargetSmallerBudget)
+{
+    double consumer = tolerableRber(kConsumerUber, cfg());
+    double enterprise = tolerableRber(kEnterpriseUber, cfg());
+    EXPECT_LE(enterprise, consumer);
+}
+
+TEST_P(UberProperty, TolerableErrorsLinearInCapacity)
+{
+    uint64_t bits = 1ull << 33;
+    double one = tolerableBitErrors(kConsumerUber, cfg(), bits);
+    double four = tolerableBitErrors(kConsumerUber, cfg(), bits * 4);
+    EXPECT_NEAR(four / one, 4.0, 1e-9);
+}
+
+TEST_P(UberProperty, RequiredCoverageConsistent)
+{
+    double tol = tolerableRber(kConsumerUber, cfg());
+    for (double mult : {0.5, 2.0, 50.0}) {
+        double rber = tol * mult;
+        double cov = minimumRequiredCoverage(rber, kConsumerUber,
+                                             cfg());
+        if (mult <= 1.0) {
+            EXPECT_EQ(cov, 0.0);
+        } else {
+            // Escaping (1-cov) fraction must fit the budget exactly.
+            EXPECT_NEAR((1.0 - cov) * rber, tol, tol * 1e-6);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Codes, UberProperty,
+    ::testing::Values(std::make_tuple(0, 64), std::make_tuple(1, 72),
+                      std::make_tuple(1, 144), std::make_tuple(2, 80),
+                      std::make_tuple(3, 144)),
+    [](const auto &info) {
+        return "k" + std::to_string(std::get<0>(info.param)) + "_w" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+// Stronger ECC always tolerates more, at every word size.
+TEST(UberOrdering, StrengthMonotone)
+{
+    for (int w : {72, 144, 288}) {
+        double prev = 0.0;
+        for (int k = 0; k <= 3; ++k) {
+            double r = tolerableRber(kConsumerUber, EccConfig{k, w});
+            EXPECT_GT(r, prev) << "k=" << k << " w=" << w;
+            prev = r;
+        }
+    }
+}
+
+// Randomized SECDED fuzz: any 1-bit corruption decodes to the
+// original; any 2-bit corruption is flagged (never miscorrected
+// silently as Ok).
+class SecdedFuzz : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(SecdedFuzz, ExhaustiveSingleAndRandomDouble)
+{
+    Secded72 codec;
+    Rng rng(GetParam());
+    for (int trial = 0; trial < 200; ++trial) {
+        uint64_t data = rng();
+        uint8_t check = codec.encode(data);
+        // All 72 single-bit flips.
+        for (int bit = 0; bit < 72; ++bit) {
+            uint64_t d = data;
+            uint8_t c = check;
+            if (bit < 64)
+                d ^= 1ull << bit;
+            else
+                c ^= static_cast<uint8_t>(1u << (bit - 64));
+            DecodeResult r = codec.decode(d, c);
+            ASSERT_EQ(r.status, DecodeStatus::CorrectedSingle);
+            ASSERT_EQ(r.data, data);
+        }
+        // Random double flips.
+        int b1 = static_cast<int>(rng.uniformInt(72));
+        int b2 = static_cast<int>(rng.uniformInt(72));
+        if (b1 == b2)
+            continue;
+        uint64_t d = data;
+        uint8_t c = check;
+        for (int bit : {b1, b2}) {
+            if (bit < 64)
+                d ^= 1ull << bit;
+            else
+                c ^= static_cast<uint8_t>(1u << (bit - 64));
+        }
+        DecodeResult r = codec.decode(d, c);
+        ASSERT_EQ(r.status, DecodeStatus::DetectedDouble);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SecdedFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+} // namespace
+} // namespace ecc
+} // namespace reaper

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Property-style parameterized tests of the profiling trade-off space:
+ * the Section 6.1 monotonicity relations must hold across vendors and
+ * reach magnitudes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "profiling/brute_force.h"
+#include "profiling/reach.h"
+
+namespace reaper {
+namespace profiling {
+namespace {
+
+struct Outcome
+{
+    double coverage;
+    double fpr;
+    Seconds runtime;
+};
+
+Outcome
+runReachOn(dram::Vendor vendor, uint64_t seed, Seconds d_refi,
+           Celsius d_temp, int iterations)
+{
+    dram::ModuleConfig mc;
+    mc.numChips = 1;
+    mc.chipCapacityBits = 2ull * 1024 * 1024 * 1024; // 256 MB
+    mc.vendor = vendor;
+    mc.seed = seed;
+    mc.envelope = {2.4, 52.0};
+    mc.chipVariation = 0.0;
+    dram::DramModule module(mc);
+    testbed::HostConfig hc;
+    hc.useChamber = false;
+    testbed::SoftMcHost host(module, hc);
+
+    Conditions target{1.024, 45.0};
+    auto truth = module.trueFailingSet(target.refreshInterval,
+                                       target.temperature);
+
+    ProfilingResult r;
+    if (d_refi == 0.0 && d_temp == 0.0) {
+        BruteForceConfig cfg;
+        cfg.test = target;
+        cfg.iterations = iterations;
+        r = BruteForceProfiler{}.run(host, cfg);
+    } else {
+        ReachConfig cfg;
+        cfg.target = target;
+        cfg.deltaRefreshInterval = d_refi;
+        cfg.deltaTemperature = d_temp;
+        cfg.iterations = iterations;
+        r = ReachProfiler{}.run(host, cfg);
+    }
+    ProfileMetrics m = scoreProfile(r.profile, truth, r.runtime);
+    return {m.coverage, m.falsePositiveRate, m.runtime};
+}
+
+class ReachProperty : public ::testing::TestWithParam<dram::Vendor>
+{
+};
+
+TEST_P(ReachProperty, CoverageAndFprMonotoneInIntervalReach)
+{
+    dram::Vendor v = GetParam();
+    double prev_cov = -1, prev_fpr = -1;
+    for (Seconds dr : {0.0, 0.125, 0.25, 0.5}) {
+        Outcome o = runReachOn(v, 11, dr, 0.0, 4);
+        EXPECT_GE(o.coverage, prev_cov - 0.02)
+            << "dr=" << dr; // small statistical slack
+        EXPECT_GE(o.fpr, prev_fpr - 0.02) << "dr=" << dr;
+        prev_cov = o.coverage;
+        prev_fpr = o.fpr;
+    }
+}
+
+TEST_P(ReachProperty, CoverageAndFprMonotoneInTemperatureReach)
+{
+    dram::Vendor v = GetParam();
+    double prev_cov = -1, prev_fpr = -1;
+    for (Celsius dt : {0.0, 2.5, 5.0}) {
+        Outcome o = runReachOn(v, 12, 0.0, dt, 4);
+        EXPECT_GE(o.coverage, prev_cov - 0.02) << "dt=" << dt;
+        EXPECT_GE(o.fpr, prev_fpr - 0.02) << "dt=" << dt;
+        prev_cov = o.coverage;
+        prev_fpr = o.fpr;
+    }
+}
+
+TEST_P(ReachProperty, HeadlineHoldsForEveryVendor)
+{
+    // The Section 6.1.2 operating point is not vendor-B-specific.
+    dram::Vendor v = GetParam();
+    Outcome reach = runReachOn(v, 13, 0.25, 0.0, 4);
+    EXPECT_GT(reach.coverage, 0.98);
+    EXPECT_LT(reach.fpr, 0.55);
+    Outcome brute = runReachOn(v, 13, 0.0, 0.0, 16);
+    EXPECT_GT(brute.runtime / reach.runtime, 1.8);
+}
+
+TEST_P(ReachProperty, RuntimeLinearInIterations)
+{
+    dram::Vendor v = GetParam();
+    Outcome two = runReachOn(v, 14, 0.25, 0.0, 2);
+    Outcome four = runReachOn(v, 14, 0.25, 0.0, 4);
+    EXPECT_NEAR(four.runtime / two.runtime, 2.0, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Vendors, ReachProperty,
+                         ::testing::Values(dram::Vendor::A,
+                                           dram::Vendor::B,
+                                           dram::Vendor::C),
+                         [](const auto &info) {
+                             return "Vendor" +
+                                    dram::toString(info.param);
+                         });
+
+class IterationProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(IterationProperty, BruteForceCoverageMonotoneInIterations)
+{
+    int iters = GetParam();
+    Outcome fewer = runReachOn(dram::Vendor::B, 15, 0.0, 0.0, iters);
+    Outcome more =
+        runReachOn(dram::Vendor::B, 15, 0.0, 0.0, iters * 2);
+    EXPECT_GE(more.coverage, fewer.coverage - 0.01);
+    EXPECT_GT(more.runtime, fewer.runtime);
+}
+
+INSTANTIATE_TEST_SUITE_P(IterationCounts, IterationProperty,
+                         ::testing::Values(1, 2, 4, 8));
+
+} // namespace
+} // namespace profiling
+} // namespace reaper

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Property-style parameterized tests of the retention model: the
+ * invariants behind reach profiling must hold for every vendor,
+ * temperature, and refresh interval, not just the calibrated points.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "common/ks_test.h"
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "dram/device.h"
+#include "dram/retention_model.h"
+
+namespace reaper {
+namespace dram {
+namespace {
+
+// ---------------------------------------------------------------
+// Per-vendor, per-temperature invariants.
+// ---------------------------------------------------------------
+
+class ModelProperty
+    : public ::testing::TestWithParam<std::tuple<Vendor, double>>
+{
+  protected:
+    Vendor vendor() const { return std::get<0>(GetParam()); }
+    Celsius temp() const { return std::get<1>(GetParam()); }
+    RetentionModel model() const
+    {
+        return RetentionModel(vendorParams(vendor()));
+    }
+};
+
+TEST_P(ModelProperty, BerMonotoneInInterval)
+{
+    RetentionModel m = model();
+    double prev = 0.0;
+    for (double t = 0.064; t <= 4.096; t *= 2.0) {
+        double ber = m.berAt(t, temp());
+        EXPECT_GE(ber, prev);
+        prev = ber;
+    }
+}
+
+TEST_P(ModelProperty, BerMonotoneInTemperature)
+{
+    RetentionModel m = model();
+    EXPECT_LT(m.berAt(1.0, temp()), m.berAt(1.0, temp() + 5.0));
+}
+
+TEST_P(ModelProperty, ExposureScaleConsistency)
+{
+    // berAt(t, T) == tailCdf(t * equivalentExposureScale(T)) always.
+    RetentionModel m = model();
+    for (double t : {0.25, 1.0, 3.0}) {
+        double lhs = m.berAt(t, temp());
+        double rhs =
+            m.tailCdf(t * m.equivalentExposureScale(temp()));
+        EXPECT_NEAR(lhs, rhs, lhs * 1e-9 + 1e-30);
+    }
+}
+
+TEST_P(ModelProperty, TenXPerTenDegreesApprox)
+{
+    // Eq. 1: failure rate scales ~10x per +10 C for every vendor.
+    RetentionModel m = model();
+    double ratio = m.berAt(1.0, temp() + 10.0) / m.berAt(1.0, temp());
+    EXPECT_GT(ratio, 7.0);
+    EXPECT_LT(ratio, 14.0);
+}
+
+TEST_P(ModelProperty, FailureProbabilityMonotoneInFactor)
+{
+    // A larger DPD factor (more favourable pattern) can only lower
+    // the failure probability.
+    RetentionModel m = model();
+    WeakCell c;
+    c.mu = 1.0f;
+    c.sigmaRel = 0.05f;
+    c.dpdSeed = 99;
+    double prev = 1.0;
+    for (double factor : {1.0, 1.1, 1.2, 1.35}) {
+        double p = m.failureProbability(c, 1.1, temp(), factor);
+        EXPECT_LE(p, prev + 1e-12);
+        prev = p;
+    }
+}
+
+TEST_P(ModelProperty, DpdFactorsBounded)
+{
+    RetentionModel m = model();
+    WeakCell c;
+    c.mu = 1.0f;
+    c.sigmaRel = 0.05f;
+    c.dpdSeed = 1234;
+    c.worstClass = 2;
+    for (DataPattern p : allDataPatterns()) {
+        for (uint64_t nonce = 1; nonce < 40; ++nonce) {
+            double f = m.dpdFactor(c, p, nonce);
+            EXPECT_GE(f, 1.0) << toString(p);
+            EXPECT_LE(f, m.params().dpdMaxFactor) << toString(p);
+        }
+    }
+}
+
+TEST_P(ModelProperty, VrtRateMonotoneAndCapacityLinear)
+{
+    RetentionModel m = model();
+    uint64_t bits = 1ull << 34;
+    double prev = 0.0;
+    for (double t = 0.5; t <= 4.0; t += 0.5) {
+        double r = m.vrtCumulativeRate(t, bits);
+        EXPECT_GE(r, prev);
+        prev = r;
+        EXPECT_NEAR(m.vrtCumulativeRate(t, bits * 2), 2.0 * r,
+                    r * 1e-9);
+    }
+}
+
+TEST_P(ModelProperty, SampledPopulationMatchesExpectedCount)
+{
+    RetentionModel m = model();
+    Rng rng(hashCombine(static_cast<uint64_t>(vendor()),
+                        static_cast<uint64_t>(temp())));
+    TestEnvelope env{2.0, temp() + 3.0};
+    uint64_t bits = 8ull * 1024 * 1024 * 1024;
+    auto cells = m.sampleWeakPopulation(bits, env, rng);
+    double expected =
+        m.tailCdf(m.envelopeMuCap(env)) * static_cast<double>(bits);
+    EXPECT_NEAR(static_cast<double>(cells.size()), expected,
+                6.0 * std::sqrt(expected) + 1.0);
+}
+
+TEST_P(ModelProperty, SigmaRelPopulationIsLognormalBelowCap)
+{
+    // Fig. 6b's claim at the model level: relative CDF spreads are
+    // lognormal (up to the explicit cap).
+    RetentionModel m = model();
+    Rng rng(static_cast<uint64_t>(vendor()) + 1);
+    std::vector<double> rels;
+    for (int i = 0; i < 4000; ++i) {
+        WeakCell c;
+        m.populateCellStatics(c, rng);
+        if (c.sigmaRel < m.params().maxSigmaRel * 0.999)
+            rels.push_back(c.sigmaRel);
+    }
+    ASSERT_GT(rels.size(), 1000u);
+    // KS against the *configured* (not fitted) parameters, restricted
+    // to the uncapped region via the conditional CDF.
+    double mu = m.params().lnSigmaRel;
+    double spread = m.params().sigmaRelSpread;
+    double cap = m.params().maxSigmaRel;
+    double cap_mass = normalCdf(std::log(cap), mu, spread);
+    double d = ksStatistic(rels, [&](double x) {
+        if (x <= 0)
+            return 0.0;
+        return normalCdf(std::log(x), mu, spread) / cap_mass;
+    });
+    EXPECT_LE(d, ksCriticalValue(rels.size(), 0.01))
+        << "vendor " << toString(vendor());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    VendorsAndTemps, ModelProperty,
+    ::testing::Combine(::testing::Values(Vendor::A, Vendor::B,
+                                         Vendor::C),
+                       ::testing::Values(40.0, 45.0, 50.0)),
+    [](const auto &info) {
+        return "Vendor" + toString(std::get<0>(info.param)) + "_" +
+               std::to_string(static_cast<int>(std::get<1>(info.param)))
+               + "C";
+    });
+
+// ---------------------------------------------------------------
+// Device-level invariants across refresh intervals.
+// ---------------------------------------------------------------
+
+class DeviceProperty : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(DeviceProperty, TruthGrowsWithIntervalAndMatchesBer)
+{
+    double t = GetParam();
+    DeviceConfig cfg;
+    cfg.capacityBits = 4ull * 1024 * 1024 * 1024; // 512 MB
+    cfg.seed = 77;
+    cfg.envelope = {2.6, 48.0};
+    DramDevice d(cfg);
+    auto truth = d.trueFailingSet(t, 45.0, 0.5);
+    double expected = d.expectedBer(t, 45.0) *
+                      static_cast<double>(cfg.capacityBits);
+    EXPECT_NEAR(static_cast<double>(truth.size()), expected,
+                6.0 * std::sqrt(expected) + 0.06 * expected + 3.0);
+}
+
+TEST_P(DeviceProperty, SingleTrialNeverExceedsTruthPlusNoise)
+{
+    // One read's failures are (statistically) a subset of the
+    // loose-threshold truth at the same conditions.
+    double t = GetParam();
+    DeviceConfig cfg;
+    cfg.capacityBits = 4ull * 1024 * 1024 * 1024;
+    cfg.seed = 78;
+    cfg.envelope = {2.6, 48.0};
+    DramDevice d(cfg);
+    auto truth = d.trueFailingSet(t, 45.0, 1e-4);
+    d.writePattern(DataPattern::Random);
+    d.disableRefresh();
+    d.wait(t);
+    d.enableRefresh();
+    auto fails = d.readAndCompare();
+    size_t outside = 0;
+    for (uint64_t a : fails)
+        outside += !std::binary_search(truth.begin(), truth.end(), a);
+    // Only VRT arrivals during the window can fall outside.
+    EXPECT_LE(outside, 3u + fails.size() / 100);
+}
+
+INSTANTIATE_TEST_SUITE_P(Intervals, DeviceProperty,
+                         ::testing::Values(0.512, 1.024, 1.536, 2.048),
+                         [](const auto &info) {
+                             return "t" + std::to_string(static_cast<int>(
+                                        info.param * 1000)) + "ms";
+                         });
+
+} // namespace
+} // namespace dram
+} // namespace reaper

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Tests for the SECDED-protected memory with fault injection — the
+ * bridge between retention-failure addresses and actual data
+ * integrity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ecc/protected_memory.h"
+
+namespace reaper {
+namespace ecc {
+namespace {
+
+TEST(ProtectedMemory, CleanRoundTrip)
+{
+    EccProtectedMemory mem(1024);
+    mem.writeWord(3, 0xDEADBEEFCAFEBABEull);
+    auto r = mem.readWord(3);
+    EXPECT_EQ(r.status, DecodeStatus::Ok);
+    EXPECT_EQ(r.value, 0xDEADBEEFCAFEBABEull);
+}
+
+TEST(ProtectedMemory, UnwrittenReadsZero)
+{
+    EccProtectedMemory mem(1024);
+    auto r = mem.readWord(0);
+    EXPECT_EQ(r.status, DecodeStatus::Ok);
+    EXPECT_EQ(r.value, 0u);
+}
+
+TEST(ProtectedMemory, SingleFaultCorrectedOnRead)
+{
+    EccProtectedMemory mem(1024);
+    mem.writeWord(2, 0x123456789ABCDEF0ull);
+    mem.injectFailure(2 * 64 + 17);
+    auto r = mem.readWord(2);
+    EXPECT_EQ(r.status, DecodeStatus::CorrectedSingle);
+    EXPECT_EQ(r.value, 0x123456789ABCDEF0ull);
+}
+
+TEST(ProtectedMemory, DoubleFaultDetected)
+{
+    EccProtectedMemory mem(1024);
+    mem.writeWord(5, 0xFFFFFFFF00000000ull);
+    mem.injectFailure(5 * 64 + 1);
+    mem.injectFailure(5 * 64 + 60);
+    auto r = mem.readWord(5);
+    EXPECT_EQ(r.status, DecodeStatus::DetectedDouble);
+}
+
+TEST(ProtectedMemory, RewriteClearsFaults)
+{
+    EccProtectedMemory mem(1024);
+    mem.writeWord(1, 7);
+    mem.injectFailure(64 + 3);
+    EXPECT_EQ(mem.activeFaults(), 1u);
+    mem.writeWord(1, 9);
+    EXPECT_EQ(mem.activeFaults(), 0u);
+    auto r = mem.readWord(1);
+    EXPECT_EQ(r.status, DecodeStatus::Ok);
+    EXPECT_EQ(r.value, 9u);
+}
+
+TEST(ProtectedMemory, ScrubCorrectsSingles)
+{
+    EccProtectedMemory mem(64 * 100);
+    Rng rng(1);
+    for (uint64_t w = 0; w < 100; ++w)
+        mem.writeWord(w, rng());
+    // One fault in 20 distinct words.
+    for (uint64_t w = 0; w < 20; ++w)
+        mem.injectFailure(w * 64 + (w % 64));
+    auto report = mem.scrub();
+    EXPECT_EQ(report.scanned, 100u);
+    EXPECT_EQ(report.corrected, 20u);
+    EXPECT_EQ(report.clean, 80u);
+    EXPECT_EQ(report.uncorrectable, 0u);
+    EXPECT_EQ(mem.activeFaults(), 0u);
+    // Everything reads clean after the scrub.
+    auto post = mem.scrub();
+    EXPECT_EQ(post.clean, 100u);
+}
+
+TEST(ProtectedMemory, ScrubLeavesUncorrectableFaults)
+{
+    EccProtectedMemory mem(64 * 10);
+    mem.writeWord(0, 1);
+    mem.injectFailure(0);
+    mem.injectFailure(1);
+    auto report = mem.scrub();
+    EXPECT_EQ(report.uncorrectable, 1u);
+    EXPECT_EQ(mem.activeFaults(), 2u);
+    EXPECT_EQ(mem.readWord(0).status, DecodeStatus::DetectedDouble);
+}
+
+TEST(ProtectedMemory, FaultsInDifferentWordsAreIndependent)
+{
+    EccProtectedMemory mem(64 * 4);
+    Rng rng(2);
+    uint64_t v0 = rng(), v1 = rng();
+    mem.writeWord(0, v0);
+    mem.writeWord(1, v1);
+    mem.injectFailure(0 * 64 + 5);
+    mem.injectFailure(1 * 64 + 9);
+    EXPECT_EQ(mem.readWord(0).status, DecodeStatus::CorrectedSingle);
+    EXPECT_EQ(mem.readWord(0).value, v0);
+    EXPECT_EQ(mem.readWord(1).status, DecodeStatus::CorrectedSingle);
+    EXPECT_EQ(mem.readWord(1).value, v1);
+}
+
+TEST(ProtectedMemory, InjectFailuresBatch)
+{
+    EccProtectedMemory mem(64 * 4);
+    mem.writeWord(0, 42);
+    mem.injectFailures({1, 70, 200});
+    EXPECT_EQ(mem.activeFaults(), 3u);
+}
+
+TEST(ProtectedMemory, Validation)
+{
+    EXPECT_DEATH(EccProtectedMemory mem(0), "multiple of 64");
+    EXPECT_DEATH(EccProtectedMemory mem(65), "multiple of 64");
+    EccProtectedMemory mem(128);
+    EXPECT_DEATH(mem.writeWord(2, 0), "out of range");
+    EXPECT_DEATH(mem.readWord(2), "out of range");
+    EXPECT_DEATH(mem.injectFailure(128), "out of range");
+}
+
+TEST(ProtectedMemory, BudgetStoryEndToEnd)
+{
+    // The Section 6.2 story in miniature: failures within the SECDED
+    // budget (<= 1 per word) are survivable; colliding failures in
+    // one word are not.
+    EccProtectedMemory mem(64 * 1000);
+    Rng rng(3);
+    for (uint64_t w = 0; w < 1000; ++w)
+        mem.writeWord(w, rng());
+    // Spread 50 faults across distinct words: all corrected.
+    for (uint64_t i = 0; i < 50; ++i)
+        mem.injectFailure(i * 20 * 64 + (i % 64));
+    auto report = mem.scrub();
+    EXPECT_EQ(report.corrected, 50u);
+    EXPECT_EQ(report.uncorrectable, 0u);
+}
+
+} // namespace
+} // namespace ecc
+} // namespace reaper

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for the RAPID-like retention-aware placement mechanism.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "mitigation/rapid.h"
+
+namespace reaper {
+namespace mitigation {
+namespace {
+
+constexpr uint64_t kRowBits = 2048ull * 8;
+
+profiling::RetentionProfile
+profileOf(std::vector<dram::ChipFailure> cells)
+{
+    profiling::RetentionProfile p;
+    p.add(cells);
+    return p;
+}
+
+dram::ChipFailure
+cellInRow(uint64_t row)
+{
+    return {0, row * kRowBits + 5};
+}
+
+RapidConfig
+config(uint64_t rows = 1000)
+{
+    RapidConfig cfg;
+    cfg.totalRows = rows;
+    cfg.profiledIntervals = {0.256, 1.024};
+    return cfg;
+}
+
+/** Rows 0-4 fail at 256 ms; rows 5-14 fail at 1024 ms. */
+void
+installRanked(Rapid &rapid)
+{
+    std::vector<dram::ChipFailure> at_256, at_1024;
+    for (uint64_t r = 0; r < 5; ++r)
+        at_256.push_back(cellInRow(r));
+    for (uint64_t r = 0; r < 15; ++r)
+        at_1024.push_back(cellInRow(r)); // superset (Obs. 1)
+    rapid.applyRankedProfiles(
+        {profileOf(at_256), profileOf(at_1024)});
+}
+
+TEST(Rapid, CensusCountsClasses)
+{
+    Rapid rapid(config());
+    installRanked(rapid);
+    auto census = rapid.classCensus();
+    ASSERT_EQ(census.size(), 3u);
+    EXPECT_EQ(census[0], 985u); // clean
+    EXPECT_EQ(census[1], 10u);  // fail only at 1024 ms
+    EXPECT_EQ(census[2], 5u);   // fail already at 256 ms
+}
+
+TEST(Rapid, CleanAllocationSupportsLongestInterval)
+{
+    Rapid rapid(config());
+    installRanked(rapid);
+    Rapid::Allocation a = rapid.allocate(985);
+    ASSERT_TRUE(a.feasible);
+    EXPECT_DOUBLE_EQ(a.refreshInterval, 1.024);
+    EXPECT_EQ(a.rowsPerClass[0], 985u);
+    EXPECT_EQ(a.rowsPerClass[1], 0u);
+}
+
+TEST(Rapid, DippingIntoWeakerRowsShortensInterval)
+{
+    Rapid rapid(config());
+    installRanked(rapid);
+    // 990 rows needs 5 class-1 rows -> safe only at 256 ms.
+    EXPECT_DOUBLE_EQ(rapid.refreshIntervalFor(990), 0.256);
+    // 998 rows needs class-2 rows -> JEDEC default.
+    EXPECT_DOUBLE_EQ(rapid.refreshIntervalFor(998),
+                     kJedecRefreshInterval);
+}
+
+TEST(Rapid, IntervalMonotoneInOccupancy)
+{
+    // RAPID's headline behaviour: emptier memory refreshes slower.
+    Rapid rapid(config());
+    installRanked(rapid);
+    double prev = 1e9;
+    for (uint64_t rows : {100ull, 985ull, 990ull, 1000ull}) {
+        double t = rapid.refreshIntervalFor(rows);
+        EXPECT_LE(t, prev);
+        prev = t;
+    }
+}
+
+TEST(Rapid, InfeasibleAllocation)
+{
+    Rapid rapid(config(10));
+    Rapid::Allocation a = rapid.allocate(11);
+    EXPECT_FALSE(a.feasible);
+    EXPECT_EQ(rapid.refreshIntervalFor(11), 0.0);
+}
+
+TEST(Rapid, CoversUnallocatedFailingRows)
+{
+    Rapid rapid(config());
+    installRanked(rapid);
+    // Before any allocation, every profiled row is data-free.
+    EXPECT_TRUE(rapid.covers(cellInRow(0)));
+    rapid.allocate(985); // clean rows only
+    EXPECT_TRUE(rapid.covers(cellInRow(0)));  // class 2 untouched
+    EXPECT_TRUE(rapid.covers(cellInRow(10))); // class 1 untouched
+    rapid.allocate(990); // dips into class 1
+    EXPECT_FALSE(rapid.covers(cellInRow(10)));
+    EXPECT_TRUE(rapid.covers(cellInRow(0))); // class 2 still free
+    // Cells that never failed are not "covered" (nothing to cover).
+    EXPECT_FALSE(rapid.covers(cellInRow(500)));
+}
+
+TEST(Rapid, SingleProfileMarksWorstClass)
+{
+    Rapid rapid(config());
+    rapid.applyProfile(profileOf({cellInRow(3)}));
+    auto census = rapid.classCensus();
+    EXPECT_EQ(census[2], 1u);
+    EXPECT_EQ(census[1], 0u);
+    EXPECT_DOUBLE_EQ(rapid.refreshIntervalFor(1000),
+                     kJedecRefreshInterval);
+    EXPECT_DOUBLE_EQ(rapid.refreshIntervalFor(999), 1.024);
+}
+
+TEST(Rapid, StatsReflectAllocation)
+{
+    Rapid rapid(config());
+    installRanked(rapid);
+    rapid.allocate(985);
+    MitigationStats s = rapid.stats();
+    EXPECT_EQ(s.protectedRows, 15u);
+    EXPECT_NEAR(s.refreshWorkRelative, 0.064 / 1.024, 1e-9);
+    rapid.allocate(990);
+    EXPECT_NEAR(rapid.stats().refreshWorkRelative, 0.064 / 0.256,
+                1e-9);
+}
+
+TEST(Rapid, Validation)
+{
+    RapidConfig cfg = config();
+    cfg.totalRows = 0;
+    EXPECT_DEATH(Rapid r(cfg), "totalRows");
+    cfg = config();
+    cfg.profiledIntervals = {};
+    EXPECT_DEATH(Rapid r(cfg), "interval");
+    cfg = config();
+    cfg.profiledIntervals = {1.0, 0.5};
+    EXPECT_DEATH(Rapid r(cfg), "ascending");
+    Rapid ok(config());
+    EXPECT_DEATH(ok.applyRankedProfiles({}), "expected");
+}
+
+} // namespace
+} // namespace mitigation
+} // namespace reaper

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Tests for reach profiling — including the calibration tests that pin
+ * the paper's headline numbers (Section 6.1.2): profiling +250 ms above
+ * the target achieves > 99% coverage at < 50% false-positive rate while
+ * running ~2.5x faster than brute force.
+ */
+
+#include <gtest/gtest.h>
+
+#include "profiling/brute_force.h"
+#include "profiling/reach.h"
+
+namespace reaper {
+namespace profiling {
+namespace {
+
+dram::ModuleConfig
+testModule(uint64_t seed = 1)
+{
+    dram::ModuleConfig cfg;
+    cfg.numChips = 1;
+    cfg.chipCapacityBits = 4ull * 1024 * 1024 * 1024; // 512 MB
+    cfg.seed = seed;
+    cfg.envelope = {2.5, 52.0};
+    cfg.chipVariation = 0.0; // nominal vendor-B chip for calibration
+    return cfg;
+}
+
+testbed::HostConfig
+instantHost()
+{
+    testbed::HostConfig h;
+    h.useChamber = false;
+    return h;
+}
+
+struct RunOutcome
+{
+    ProfileMetrics metrics;
+    Seconds runtime;
+};
+
+RunOutcome
+runReach(uint64_t seed, Seconds d_refi, Celsius d_temp, int iters)
+{
+    dram::DramModule m(testModule(seed));
+    testbed::SoftMcHost host(m, instantHost());
+    ReachConfig cfg;
+    cfg.target = {1.024, 45.0};
+    cfg.deltaRefreshInterval = d_refi;
+    cfg.deltaTemperature = d_temp;
+    cfg.iterations = iters;
+    ReachProfiler reach;
+    ProfilingResult r = reach.run(host, cfg);
+    auto truth = m.trueFailingSet(1.024, 45.0);
+    return {scoreProfile(r.profile, truth, r.runtime), r.runtime};
+}
+
+RunOutcome
+runBrute(uint64_t seed, int iters)
+{
+    dram::DramModule m(testModule(seed));
+    testbed::SoftMcHost host(m, instantHost());
+    BruteForceConfig cfg;
+    cfg.test = {1.024, 45.0};
+    cfg.iterations = iters;
+    BruteForceProfiler bf;
+    ProfilingResult r = bf.run(host, cfg);
+    auto truth = m.trueFailingSet(1.024, 45.0);
+    return {scoreProfile(r.profile, truth, r.runtime), r.runtime};
+}
+
+TEST(ReachProfiler, ReachConditionsComputed)
+{
+    ReachConfig cfg;
+    cfg.target = {1.024, 45.0};
+    cfg.deltaRefreshInterval = 0.25;
+    cfg.deltaTemperature = 5.0;
+    Conditions reach = ReachProfiler::reachConditions(cfg);
+    EXPECT_DOUBLE_EQ(reach.refreshInterval, 1.274);
+    EXPECT_DOUBLE_EQ(reach.temperature, 50.0);
+}
+
+TEST(ReachProfiler, ProfileTaggedWithTargetConditions)
+{
+    dram::DramModule m(testModule(1));
+    testbed::SoftMcHost host(m, instantHost());
+    ReachConfig cfg;
+    cfg.target = {1.024, 45.0};
+    cfg.iterations = 1;
+    ReachProfiler reach;
+    ProfilingResult r = reach.run(host, cfg);
+    EXPECT_DOUBLE_EQ(r.profile.conditions().refreshInterval, 1.024);
+    EXPECT_DOUBLE_EQ(r.profile.conditions().temperature, 45.0);
+}
+
+TEST(ReachProfiler, RejectsNegativeDeltas)
+{
+    dram::DramModule m(testModule(2));
+    testbed::SoftMcHost host(m, instantHost());
+    ReachConfig cfg;
+    cfg.deltaRefreshInterval = -0.1;
+    ReachProfiler reach;
+    EXPECT_DEATH(reach.run(host, cfg), "reach conditions");
+}
+
+TEST(ReachCalibration, HeadlineCoverageAbove99Percent)
+{
+    // Section 6.1.2: +250 ms reach -> > 99% coverage.
+    RunOutcome reach = runReach(10, 0.250, 0.0, 4);
+    EXPECT_GT(reach.metrics.coverage, 0.99);
+}
+
+TEST(ReachCalibration, HeadlineFalsePositivesBelow50Percent)
+{
+    // Section 6.1.2: +250 ms reach -> < 50% false positive rate.
+    RunOutcome reach = runReach(11, 0.250, 0.0, 4);
+    EXPECT_LT(reach.metrics.falsePositiveRate, 0.50);
+    // It should still be a substantial fraction (the tradeoff is real).
+    EXPECT_GT(reach.metrics.falsePositiveRate, 0.20);
+}
+
+TEST(ReachCalibration, HeadlineSpeedupNear2p5x)
+{
+    // Section 6.1.2: ~2.5x faster than brute-force profiling at equal
+    // (>= 99%) coverage. Brute force needs ~16 iterations to reach the
+    // same coverage reach profiling attains in 4.
+    RunOutcome brute = runBrute(12, 16);
+    RunOutcome reach = runReach(12, 0.250, 0.0, 4);
+    ASSERT_GT(brute.metrics.coverage, 0.97);
+    ASSERT_GT(reach.metrics.coverage, 0.99);
+    double speedup = brute.runtime / reach.runtime;
+    EXPECT_GT(speedup, 1.8);
+    EXPECT_LT(speedup, 3.5);
+}
+
+TEST(ReachCalibration, ReachBeatsBruteAtEqualIterations)
+{
+    RunOutcome brute = runBrute(13, 4);
+    RunOutcome reach = runReach(13, 0.250, 0.0, 4);
+    EXPECT_GT(reach.metrics.coverage, brute.metrics.coverage);
+}
+
+TEST(ReachCalibration, LargerReachMoreFalsePositives)
+{
+    RunOutcome small = runReach(14, 0.125, 0.0, 4);
+    RunOutcome large = runReach(14, 0.500, 0.0, 4);
+    EXPECT_GT(large.metrics.falsePositiveRate,
+              small.metrics.falsePositiveRate);
+    EXPECT_GE(large.metrics.coverage, small.metrics.coverage - 0.01);
+}
+
+TEST(ReachCalibration, TemperatureReachWorksLikeIntervalReach)
+{
+    // Section 5.5: raising temperature and extending the interval have
+    // interchangeable effects.
+    RunOutcome temp_reach = runReach(15, 0.0, 5.0, 4);
+    EXPECT_GT(temp_reach.metrics.coverage, 0.98);
+    EXPECT_GT(temp_reach.metrics.falsePositiveRate, 0.2);
+}
+
+TEST(ReachCalibration, CombinedReachCoversEvenMore)
+{
+    RunOutcome combined = runReach(16, 0.25, 5.0, 4);
+    RunOutcome interval_only = runReach(16, 0.25, 0.0, 4);
+    EXPECT_GE(combined.metrics.coverage,
+              interval_only.metrics.coverage - 1e-9);
+    EXPECT_GT(combined.metrics.falsePositiveRate,
+              interval_only.metrics.falsePositiveRate);
+}
+
+} // namespace
+} // namespace profiling
+} // namespace reaper

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Tests for the deterministic RNG and its distribution samplers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace reaper {
+namespace {
+
+TEST(SplitMix64, ProducesKnownNonZeroSequence)
+{
+    uint64_t state = 0;
+    uint64_t a = splitmix64(state);
+    uint64_t b = splitmix64(state);
+    EXPECT_NE(a, 0u);
+    EXPECT_NE(a, b);
+}
+
+TEST(HashCombine, OrderSensitive)
+{
+    EXPECT_NE(hashCombine(1, 2), hashCombine(2, 1));
+}
+
+TEST(HashCombine, NearbyInputsDecorrelate)
+{
+    // Consecutive inputs should not produce consecutive hashes.
+    uint64_t h0 = hashCombine(42, 0);
+    uint64_t h1 = hashCombine(42, 1);
+    EXPECT_GT(h0 ^ h1, 0xFFFFu);
+}
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedDifferentSequence)
+{
+    Rng a(123), b(124);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a() == b());
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ForkIsIndependent)
+{
+    Rng a(7);
+    Rng child = a.fork();
+    // Fork consumed one draw; the child stream must differ from the
+    // parent's continuation.
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a() == child());
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(1);
+    RunningStats s;
+    for (int i = 0; i < 100000; ++i) {
+        double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        s.add(u);
+    }
+    EXPECT_NEAR(s.mean(), 0.5, 0.01);
+    EXPECT_NEAR(s.stddev(), std::sqrt(1.0 / 12.0), 0.01);
+}
+
+TEST(Rng, UniformRange)
+{
+    Rng r(2);
+    for (int i = 0; i < 1000; ++i) {
+        double u = r.uniform(-3.0, 5.0);
+        ASSERT_GE(u, -3.0);
+        ASSERT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformIntBoundsAndCoverage)
+{
+    Rng r(3);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        uint64_t v = r.uniformInt(7);
+        ASSERT_LT(v, 7u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformIntOne)
+{
+    Rng r(4);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(r.uniformInt(1), 0u);
+}
+
+TEST(Rng, BernoulliEdgeCases)
+{
+    Rng r(5);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.bernoulli(0.0));
+        EXPECT_TRUE(r.bernoulli(1.0));
+        EXPECT_FALSE(r.bernoulli(-0.5));
+        EXPECT_TRUE(r.bernoulli(1.5));
+    }
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng r(6);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += r.bernoulli(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng r(7);
+    RunningStats s;
+    for (int i = 0; i < 200000; ++i)
+        s.add(r.normal(2.0, 3.0));
+    EXPECT_NEAR(s.mean(), 2.0, 0.05);
+    EXPECT_NEAR(s.stddev(), 3.0, 0.05);
+}
+
+TEST(Rng, LognormalMedian)
+{
+    Rng r(8);
+    std::vector<double> v;
+    for (int i = 0; i < 100000; ++i)
+        v.push_back(r.lognormal(1.0, 0.5));
+    EXPECT_NEAR(percentile(v, 0.5), std::exp(1.0), 0.05);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng r(9);
+    RunningStats s;
+    for (int i = 0; i < 100000; ++i)
+        s.add(r.exponentialMean(4.0));
+    EXPECT_NEAR(s.mean(), 4.0, 0.1);
+    EXPECT_GE(s.min(), 0.0);
+}
+
+TEST(Rng, PoissonSmallMean)
+{
+    Rng r(10);
+    RunningStats s;
+    for (int i = 0; i < 100000; ++i)
+        s.add(static_cast<double>(r.poisson(2.5)));
+    EXPECT_NEAR(s.mean(), 2.5, 0.05);
+    EXPECT_NEAR(s.variance(), 2.5, 0.1);
+}
+
+TEST(Rng, PoissonLargeMean)
+{
+    Rng r(11);
+    RunningStats s;
+    for (int i = 0; i < 50000; ++i)
+        s.add(static_cast<double>(r.poisson(500.0)));
+    EXPECT_NEAR(s.mean(), 500.0, 2.0);
+    EXPECT_NEAR(s.stddev(), std::sqrt(500.0), 1.0);
+}
+
+TEST(Rng, PoissonZeroMean)
+{
+    Rng r(12);
+    EXPECT_EQ(r.poisson(0.0), 0u);
+    EXPECT_EQ(r.poisson(-1.0), 0u);
+}
+
+TEST(Rng, BinomialEdges)
+{
+    Rng r(13);
+    EXPECT_EQ(r.binomial(0, 0.5), 0u);
+    EXPECT_EQ(r.binomial(100, 0.0), 0u);
+    EXPECT_EQ(r.binomial(100, 1.0), 100u);
+}
+
+TEST(Rng, BinomialSmall)
+{
+    Rng r(14);
+    RunningStats s;
+    for (int i = 0; i < 50000; ++i)
+        s.add(static_cast<double>(r.binomial(20, 0.3)));
+    EXPECT_NEAR(s.mean(), 6.0, 0.1);
+    EXPECT_NEAR(s.variance(), 20 * 0.3 * 0.7, 0.15);
+}
+
+TEST(Rng, BinomialRareEventRegime)
+{
+    // The weak-cell sampling path: huge n, tiny p.
+    Rng r(15);
+    RunningStats s;
+    const uint64_t n = 1ull << 34;
+    const double p = 1e-9;
+    for (int i = 0; i < 20000; ++i)
+        s.add(static_cast<double>(r.binomial(n, p)));
+    double expect = static_cast<double>(n) * p; // ~17.2
+    EXPECT_NEAR(s.mean(), expect, 0.3);
+}
+
+TEST(Rng, BinomialLargeNormalRegime)
+{
+    Rng r(16);
+    RunningStats s;
+    for (int i = 0; i < 20000; ++i)
+        s.add(static_cast<double>(r.binomial(1000000, 0.25)));
+    EXPECT_NEAR(s.mean(), 250000.0, 150.0);
+}
+
+} // namespace
+} // namespace reaper

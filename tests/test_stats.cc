@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Tests for descriptive statistics utilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace reaper {
+namespace {
+
+TEST(RunningStats, Empty)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.sum(), 0.0);
+}
+
+TEST(RunningStats, KnownValues)
+{
+    RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12); // sample variance
+    EXPECT_EQ(s.min(), 2.0);
+    EXPECT_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, SingleValue)
+{
+    RunningStats s;
+    s.add(3.5);
+    EXPECT_EQ(s.mean(), 3.5);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.min(), 3.5);
+    EXPECT_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStats, MergeMatchesSequential)
+{
+    Rng r(42);
+    RunningStats all, a, b;
+    for (int i = 0; i < 1000; ++i) {
+        double x = r.normal(1.0, 2.0);
+        all.add(x);
+        (i % 2 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-8);
+    EXPECT_EQ(a.min(), all.min());
+    EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty)
+{
+    RunningStats a, b;
+    a.add(1.0);
+    a.add(3.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    b.merge(a);
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_EQ(b.mean(), 2.0);
+}
+
+TEST(Percentile, Empty)
+{
+    EXPECT_EQ(percentile({}, 0.5), 0.0);
+}
+
+TEST(Percentile, Interpolates)
+{
+    std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 1.0), 4.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 0.5), 2.5);
+    EXPECT_DOUBLE_EQ(percentile(v, 1.0 / 3.0), 2.0);
+}
+
+TEST(Percentile, UnsortedInput)
+{
+    EXPECT_DOUBLE_EQ(percentile({9.0, 1.0, 5.0}, 0.5), 5.0);
+}
+
+TEST(Percentile, ClampsQ)
+{
+    std::vector<double> v = {1.0, 2.0};
+    EXPECT_DOUBLE_EQ(percentile(v, -1.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 2.0), 2.0);
+}
+
+TEST(BoxStats, FiveNumberSummary)
+{
+    std::vector<double> v;
+    for (int i = 1; i <= 101; ++i)
+        v.push_back(static_cast<double>(i));
+    BoxStats b = BoxStats::fromSamples(v);
+    EXPECT_EQ(b.lo, 1.0);
+    EXPECT_EQ(b.hi, 101.0);
+    EXPECT_EQ(b.median, 51.0);
+    EXPECT_EQ(b.q1, 26.0);
+    EXPECT_EQ(b.q3, 76.0);
+    EXPECT_EQ(b.mean, 51.0);
+    EXPECT_EQ(b.n, 101u);
+}
+
+TEST(BoxStats, Empty)
+{
+    BoxStats b = BoxStats::fromSamples({});
+    EXPECT_EQ(b.n, 0u);
+    EXPECT_EQ(b.median, 0.0);
+}
+
+TEST(Histogram, LinearBinning)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);
+    h.add(5.5);
+    h.add(9.99);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(5), 1u);
+    EXPECT_EQ(h.binCount(9), 1u);
+    EXPECT_EQ(h.totalCount(), 3u);
+    EXPECT_DOUBLE_EQ(h.binLo(5), 5.0);
+    EXPECT_DOUBLE_EQ(h.binHi(5), 6.0);
+    EXPECT_DOUBLE_EQ(h.binCenter(5), 5.5);
+}
+
+TEST(Histogram, OutOfRangeClamps)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(-5.0);
+    h.add(100.0);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(9), 1u);
+}
+
+TEST(Histogram, Weights)
+{
+    Histogram h(0.0, 1.0, 2);
+    h.add(0.2, 5);
+    EXPECT_EQ(h.binCount(0), 5u);
+    EXPECT_DOUBLE_EQ(h.binFraction(0), 1.0);
+}
+
+TEST(Histogram, LogBinning)
+{
+    Histogram h(1.0, 1000.0, 3, /*logarithmic=*/true);
+    h.add(2.0);   // [1, 10)
+    h.add(50.0);  // [10, 100)
+    h.add(500.0); // [100, 1000)
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(1), 1u);
+    EXPECT_EQ(h.binCount(2), 1u);
+    EXPECT_NEAR(h.binLo(1), 10.0, 1e-9);
+    EXPECT_NEAR(h.binCenter(0), std::sqrt(10.0), 1e-9);
+}
+
+TEST(Histogram, FractionEmptyIsZero)
+{
+    Histogram h(0.0, 1.0, 4);
+    EXPECT_EQ(h.binFraction(2), 0.0);
+}
+
+TEST(Histogram, InvalidConstruction)
+{
+    EXPECT_DEATH(Histogram(0.0, 1.0, 0), "bins");
+    EXPECT_DEATH(Histogram(1.0, 1.0, 4), "exceed");
+    EXPECT_DEATH(Histogram(0.0, 1.0, 4, true), "logarithmic");
+}
+
+} // namespace
+} // namespace reaper

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Tests for the ASCII table/series printers used by the benches.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/table.h"
+
+namespace reaper {
+namespace {
+
+TEST(TablePrinter, AlignsColumns)
+{
+    TablePrinter t({"a", "long_header"});
+    t.addRow({"xxxx", "1"});
+    t.addRow({"y", "22"});
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("a     long_header"), std::string::npos);
+    EXPECT_NE(out.find("xxxx  1"), std::string::npos);
+    EXPECT_NE(out.find("y     22"), std::string::npos);
+    EXPECT_EQ(t.numRows(), 2u);
+}
+
+TEST(TablePrinter, PadsShortRows)
+{
+    TablePrinter t({"a", "b", "c"});
+    t.addRow({"1"});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("1"), std::string::npos);
+}
+
+TEST(Format, FmtG)
+{
+    EXPECT_EQ(fmtG(1234.5678, 4), "1235");
+    EXPECT_EQ(fmtG(1.5e-9, 3), "1.5e-09");
+}
+
+TEST(Format, FmtF)
+{
+    EXPECT_EQ(fmtF(3.14159, 2), "3.14");
+    EXPECT_EQ(fmtF(-0.5, 1), "-0.5");
+}
+
+TEST(Format, FmtPct)
+{
+    EXPECT_EQ(fmtPct(0.123, 1), "12.3%");
+    EXPECT_EQ(fmtPct(1.0, 0), "100%");
+}
+
+TEST(Format, FmtTimeUnits)
+{
+    EXPECT_EQ(fmtTime(5e-9), "5.0ns");
+    EXPECT_EQ(fmtTime(5e-6), "5.0us");
+    EXPECT_EQ(fmtTime(0.064), "64.0ms");
+    EXPECT_EQ(fmtTime(2.5), "2.50s");
+    EXPECT_EQ(fmtTime(600.0), "10.00min");
+    EXPECT_EQ(fmtTime(7200.0), "2.00h");
+    EXPECT_EQ(fmtTime(3.0 * 86400.0), "3.00days");
+}
+
+TEST(Format, Banner)
+{
+    std::ostringstream os;
+    printBanner(os, "Figure 2");
+    EXPECT_EQ(os.str(), "\n=== Figure 2 ===\n");
+}
+
+} // namespace
+} // namespace reaper

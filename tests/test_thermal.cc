@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for the thermal chamber: PID settling, accuracy, DRAM offset.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.h"
+#include "thermal/chamber.h"
+
+namespace reaper {
+namespace thermal {
+namespace {
+
+TEST(PidController, DrivesTowardSetpoint)
+{
+    PidController pid(PidConfig{});
+    // Below setpoint -> positive actuation; above -> negative.
+    EXPECT_GT(pid.update(45.0, 40.0, 1.0), 0.0);
+    pid.reset();
+    EXPECT_LT(pid.update(45.0, 50.0, 1.0), 0.0);
+}
+
+TEST(PidController, OutputClamped)
+{
+    PidConfig cfg;
+    cfg.outputMin = -1.0;
+    cfg.outputMax = 1.0;
+    PidController pid(cfg);
+    EXPECT_LE(pid.update(100.0, 0.0, 1.0), 1.0);
+    pid.reset();
+    EXPECT_GE(pid.update(0.0, 100.0, 1.0), -1.0);
+}
+
+TEST(PidController, IntegralRemovesSteadyStateError)
+{
+    // Simulated plant with constant disturbance: the integral term must
+    // eventually cancel it.
+    PidConfig cfg;
+    cfg.kp = 0.5;
+    cfg.ki = 0.1;
+    cfg.kd = 0.0;
+    PidController pid(cfg);
+    double y = 0.0;
+    for (int i = 0; i < 5000; ++i) {
+        double u = pid.update(1.0, y, 0.1);
+        y += 0.1 * (u - 0.2 - 0.5 * y); // disturbance -0.2
+    }
+    EXPECT_NEAR(y, 1.0, 0.02);
+}
+
+TEST(ThermalChamber, SettlesWithinTolerance)
+{
+    ThermalChamber c(ChamberConfig{});
+    c.setSetpoint(45.0);
+    Seconds t = c.settle();
+    EXPECT_GT(t, 0.0);
+    EXPECT_TRUE(c.settled(0.25));
+    EXPECT_NEAR(c.ambient(), 45.0, 0.3);
+}
+
+TEST(ThermalChamber, HoldsSetpointWithinQuarterDegree)
+{
+    // Section 4: accuracy of 0.25 degC.
+    ThermalChamber c(ChamberConfig{});
+    c.setSetpoint(50.0);
+    c.settle();
+    RunningStats err;
+    for (int i = 0; i < 600; ++i) {
+        c.step(1.0);
+        err.add(std::fabs(c.ambient() - 50.0));
+    }
+    EXPECT_LT(err.mean(), 0.25);
+    EXPECT_LT(err.max(), 0.6);
+}
+
+TEST(ThermalChamber, DramHeldAboveAmbient)
+{
+    // Section 4: DRAM held 15 degC above ambient.
+    ChamberConfig cfg;
+    ThermalChamber c(cfg);
+    c.setSetpoint(45.0);
+    c.settle();
+    for (int i = 0; i < 120; ++i)
+        c.step(1.0);
+    EXPECT_NEAR(c.dramTemp() - c.ambient(), cfg.dramOffset, 0.5);
+}
+
+TEST(ThermalChamber, RangeLimitsEnforced)
+{
+    ThermalChamber c(ChamberConfig{});
+    EXPECT_EXIT(c.setSetpoint(39.0), ::testing::ExitedWithCode(1),
+                "reliable range");
+    EXPECT_EXIT(c.setSetpoint(56.0), ::testing::ExitedWithCode(1),
+                "reliable range");
+}
+
+TEST(ThermalChamber, ReachesBothRangeEnds)
+{
+    ThermalChamber c(ChamberConfig{});
+    c.setSetpoint(40.0);
+    c.settle();
+    EXPECT_NEAR(c.ambient(), 40.0, 0.3);
+    c.setSetpoint(55.0);
+    c.settle();
+    EXPECT_NEAR(c.ambient(), 55.0, 0.3);
+}
+
+TEST(ThermalChamber, StepRejectsNegative)
+{
+    ThermalChamber c(ChamberConfig{});
+    EXPECT_DEATH(c.step(-1.0), "negative");
+}
+
+TEST(ThermalChamber, DeterministicForSeed)
+{
+    ChamberConfig cfg;
+    cfg.seed = 99;
+    ThermalChamber a(cfg), b(cfg);
+    a.setSetpoint(45.0);
+    b.setSetpoint(45.0);
+    a.step(100.0);
+    b.step(100.0);
+    EXPECT_DOUBLE_EQ(a.ambient(), b.ambient());
+}
+
+} // namespace
+} // namespace thermal
+} // namespace reaper

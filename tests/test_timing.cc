@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Tests for LPDDR4 timing presets and cycle/time conversion.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/timing.h"
+
+namespace reaper {
+namespace sim {
+namespace {
+
+TEST(Timing, DensityScalesTrfc)
+{
+    EXPECT_EQ(lpddr4_3200(8).tRFCab, 448u);   // 280 ns
+    EXPECT_EQ(lpddr4_3200(16).tRFCab, 608u);  // 380 ns
+    EXPECT_EQ(lpddr4_3200(32).tRFCab, 880u);  // 550 ns
+    EXPECT_EQ(lpddr4_3200(64).tRFCab, 1600u); // 1000 ns
+}
+
+TEST(Timing, UnsupportedDensityIsFatal)
+{
+    EXPECT_EXIT(lpddr4_3200(7), ::testing::ExitedWithCode(1),
+                "unsupported");
+}
+
+TEST(Timing, TrefiIs64msOver8192)
+{
+    TimingParams t = lpddr4_3200(8);
+    // 64 ms / 8192 = 7.8125 us; at 0.625 ns/cycle = 12500 cycles.
+    EXPECT_EQ(t.tREFI, 12500u);
+    EXPECT_NEAR(t.cyclesToSec(t.tREFI), 64e-3 / 8192, 1e-12);
+}
+
+TEST(Timing, CycleSecondRoundTrip)
+{
+    TimingParams t;
+    EXPECT_EQ(t.secToCycles(t.cyclesToSec(1000)), 1000u);
+    EXPECT_NEAR(t.cyclesToSec(1600000000ull), 1.0, 1e-9);
+}
+
+TEST(Timing, OrderingConstraintsSane)
+{
+    for (unsigned gbit : {8u, 16u, 32u, 64u}) {
+        TimingParams t = lpddr4_3200(gbit);
+        EXPECT_GT(t.tRC, t.tRAS);
+        EXPECT_GT(t.tRAS, t.tRCD);
+        EXPECT_GT(t.tRFCab, t.tRP); // refresh far costlier than PRE
+        EXPECT_LT(t.tRFCab, t.tREFI); // refresh must fit its interval
+    }
+}
+
+} // namespace
+} // namespace sim
+} // namespace reaper

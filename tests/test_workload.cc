@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Tests for synthetic SPEC-like workload generation and the weighted
+ * speedup metric.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/synthetic.h"
+
+namespace reaper {
+namespace workload {
+namespace {
+
+TEST(Benchmarks, SixteenArchetypes)
+{
+    EXPECT_EQ(specBenchmarks().size(), 16u);
+    std::set<std::string> names;
+    for (const auto &s : specBenchmarks()) {
+        names.insert(s.name);
+        EXPECT_GT(s.apki, 0.0) << s.name;
+        EXPECT_GE(s.rowLocality, 0.0);
+        EXPECT_LE(s.rowLocality, 1.0);
+        EXPECT_GE(s.readFraction, 0.0);
+        EXPECT_LE(s.readFraction, 1.0);
+        EXPECT_GT(s.workingSetBytes, 0u);
+    }
+    EXPECT_EQ(names.size(), 16u);
+}
+
+TEST(Benchmarks, LookupByName)
+{
+    EXPECT_EQ(benchmarkByName("mcf").name, "mcf");
+    EXPECT_EXIT(benchmarkByName("doom"), ::testing::ExitedWithCode(1),
+                "unknown benchmark");
+}
+
+TEST(GenerateTrace, ApkiMatchesSpec)
+{
+    for (const char *name : {"mcf", "gcc", "hmmer"}) {
+        const BenchmarkSpec &spec = benchmarkByName(name);
+        sim::Trace t = generateTrace(spec, 20000, 1);
+        EXPECT_NEAR(t.apki() / spec.apki, 1.0, 0.05) << name;
+    }
+}
+
+TEST(GenerateTrace, Deterministic)
+{
+    const BenchmarkSpec &spec = benchmarkByName("milc");
+    sim::Trace a = generateTrace(spec, 1000, 42);
+    sim::Trace b = generateTrace(spec, 1000, 42);
+    ASSERT_EQ(a.entries.size(), b.entries.size());
+    for (size_t i = 0; i < a.entries.size(); ++i) {
+        EXPECT_EQ(a.entries[i].addr, b.entries[i].addr);
+        EXPECT_EQ(a.entries[i].bubbles, b.entries[i].bubbles);
+    }
+}
+
+TEST(GenerateTrace, SeedChangesTrace)
+{
+    const BenchmarkSpec &spec = benchmarkByName("milc");
+    sim::Trace a = generateTrace(spec, 1000, 1);
+    sim::Trace b = generateTrace(spec, 1000, 2);
+    int same = 0;
+    for (size_t i = 0; i < a.entries.size(); ++i)
+        same += a.entries[i].addr == b.entries[i].addr;
+    EXPECT_LT(same, 200);
+}
+
+TEST(GenerateTrace, AddressesWithinWorkingSetPlusBase)
+{
+    const BenchmarkSpec &spec = benchmarkByName("bzip2");
+    uint64_t base = 7ull << 32;
+    sim::Trace t = generateTrace(spec, 5000, 3, base);
+    for (const auto &e : t.entries) {
+        EXPECT_GE(e.addr, base);
+        EXPECT_LT(e.addr, base + spec.workingSetBytes);
+        EXPECT_EQ(e.addr % 64, 0u); // line aligned
+    }
+}
+
+TEST(GenerateTrace, ReadFractionRespected)
+{
+    const BenchmarkSpec &spec = benchmarkByName("libquantum");
+    sim::Trace t = generateTrace(spec, 20000, 4);
+    double reads = 0;
+    for (const auto &e : t.entries)
+        reads += !e.isWrite;
+    EXPECT_NEAR(reads / 20000.0, spec.readFraction, 0.02);
+}
+
+TEST(GenerateTrace, StreamingHasHighRowLocality)
+{
+    // Consecutive accesses of a streaming benchmark mostly fall in the
+    // same or adjacent 2 KiB row.
+    const BenchmarkSpec &spec = benchmarkByName("lbm");
+    sim::Trace t = generateTrace(spec, 10000, 5);
+    int same_row = 0;
+    for (size_t i = 1; i < t.entries.size(); ++i) {
+        same_row += t.entries[i].addr / 2048 ==
+                    t.entries[i - 1].addr / 2048;
+    }
+    EXPECT_GT(static_cast<double>(same_row) / 10000.0, 0.6);
+}
+
+TEST(GenerateTrace, RandomWorkloadHasLowRowLocality)
+{
+    const BenchmarkSpec &spec = benchmarkByName("mcf");
+    sim::Trace t = generateTrace(spec, 10000, 6);
+    int same_row = 0;
+    for (size_t i = 1; i < t.entries.size(); ++i) {
+        same_row += t.entries[i].addr / 2048 ==
+                    t.entries[i - 1].addr / 2048;
+    }
+    EXPECT_LT(static_cast<double>(same_row) / 10000.0, 0.4);
+}
+
+TEST(Mixes, TwentyRandomFourCoreMixes)
+{
+    auto mixes = makeMixes(20, 1);
+    EXPECT_EQ(mixes.size(), 20u);
+    std::set<std::string> names;
+    for (const auto &m : mixes) {
+        EXPECT_EQ(m.benchmarks.size(), 4u);
+        names.insert(m.name);
+        for (int b : m.benchmarks) {
+            EXPECT_GE(b, 0);
+            EXPECT_LT(b, 16);
+        }
+    }
+    EXPECT_GT(names.size(), 15u); // overwhelmingly distinct
+}
+
+TEST(Mixes, DeterministicForSeed)
+{
+    auto a = makeMixes(5, 9);
+    auto b = makeMixes(5, 9);
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].benchmarks, b[i].benchmarks);
+}
+
+TEST(Mixes, TracesHaveDisjointAddressRanges)
+{
+    auto mixes = makeMixes(1, 2);
+    auto traces = tracesForMix(mixes[0], 1000, 3);
+    ASSERT_EQ(traces.size(), 4u);
+    for (size_t c = 0; c < traces.size(); ++c) {
+        for (const auto &e : traces[c].entries) {
+            EXPECT_EQ(e.addr >> 32, c + 1);
+        }
+    }
+}
+
+TEST(WeightedSpeedup, Definition)
+{
+    EXPECT_DOUBLE_EQ(weightedSpeedup({1.0, 2.0}, {2.0, 2.0}), 1.5);
+    EXPECT_DOUBLE_EQ(weightedSpeedup({1.0}, {1.0}), 1.0);
+}
+
+TEST(WeightedSpeedup, Validation)
+{
+    EXPECT_DEATH(weightedSpeedup({1.0}, {1.0, 2.0}), "mismatch");
+    EXPECT_DEATH(weightedSpeedup({1.0}, {0.0}), "alone IPC");
+}
+
+TEST(TraceStats, InstructionCountAndApki)
+{
+    sim::Trace t;
+    t.entries = {{9, 0, false}, {19, 64, true}};
+    EXPECT_EQ(t.instructionCount(), 30u);
+    EXPECT_NEAR(t.apki(), 1000.0 * 2 / 30, 1e-9);
+}
+
+} // namespace
+} // namespace workload
+} // namespace reaper
