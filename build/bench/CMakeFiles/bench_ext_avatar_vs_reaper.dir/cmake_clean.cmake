@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_avatar_vs_reaper.dir/bench_ext_avatar_vs_reaper.cc.o"
+  "CMakeFiles/bench_ext_avatar_vs_reaper.dir/bench_ext_avatar_vs_reaper.cc.o.d"
+  "bench_ext_avatar_vs_reaper"
+  "bench_ext_avatar_vs_reaper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_avatar_vs_reaper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

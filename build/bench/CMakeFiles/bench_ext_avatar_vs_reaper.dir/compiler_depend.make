@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_ext_avatar_vs_reaper.
+# This may be replaced when dependencies are built.

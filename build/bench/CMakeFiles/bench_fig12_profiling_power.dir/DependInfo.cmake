@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig12_profiling_power.cc" "bench/CMakeFiles/bench_fig12_profiling_power.dir/bench_fig12_profiling_power.cc.o" "gcc" "bench/CMakeFiles/bench_fig12_profiling_power.dir/bench_fig12_profiling_power.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/reaper/CMakeFiles/reaper_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mitigation/CMakeFiles/reaper_mitigation.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/reaper_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/reaper_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiling/CMakeFiles/reaper_profiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/testbed/CMakeFiles/reaper_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/reaper_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/reaper_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/reaper_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/reaper_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/reaper_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/reaper_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_profiling_power.dir/bench_fig12_profiling_power.cc.o"
+  "CMakeFiles/bench_fig12_profiling_power.dir/bench_fig12_profiling_power.cc.o.d"
+  "bench_fig12_profiling_power"
+  "bench_fig12_profiling_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_profiling_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

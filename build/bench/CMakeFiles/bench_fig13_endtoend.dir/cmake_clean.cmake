@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_endtoend.dir/bench_fig13_endtoend.cc.o"
+  "CMakeFiles/bench_fig13_endtoend.dir/bench_fig13_endtoend.cc.o.d"
+  "bench_fig13_endtoend"
+  "bench_fig13_endtoend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_endtoend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

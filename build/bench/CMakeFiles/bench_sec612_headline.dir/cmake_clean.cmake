@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec612_headline.dir/bench_sec612_headline.cc.o"
+  "CMakeFiles/bench_sec612_headline.dir/bench_sec612_headline.cc.o.d"
+  "bench_sec612_headline"
+  "bench_sec612_headline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec612_headline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

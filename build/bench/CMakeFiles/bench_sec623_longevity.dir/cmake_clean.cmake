@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec623_longevity.dir/bench_sec623_longevity.cc.o"
+  "CMakeFiles/bench_sec623_longevity.dir/bench_sec623_longevity.cc.o.d"
+  "bench_sec623_longevity"
+  "bench_sec623_longevity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec623_longevity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

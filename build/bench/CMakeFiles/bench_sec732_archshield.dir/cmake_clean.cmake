@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec732_archshield.dir/bench_sec732_archshield.cc.o"
+  "CMakeFiles/bench_sec732_archshield.dir/bench_sec732_archshield.cc.o.d"
+  "bench_sec732_archshield"
+  "bench_sec732_archshield.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec732_archshield.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

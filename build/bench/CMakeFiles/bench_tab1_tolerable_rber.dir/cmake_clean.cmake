@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab1_tolerable_rber.dir/bench_tab1_tolerable_rber.cc.o"
+  "CMakeFiles/bench_tab1_tolerable_rber.dir/bench_tab1_tolerable_rber.cc.o.d"
+  "bench_tab1_tolerable_rber"
+  "bench_tab1_tolerable_rber.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab1_tolerable_rber.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_mitigation.dir/online_mitigation.cpp.o"
+  "CMakeFiles/online_mitigation.dir/online_mitigation.cpp.o.d"
+  "online_mitigation"
+  "online_mitigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_mitigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

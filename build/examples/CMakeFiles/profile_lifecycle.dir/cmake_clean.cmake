@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_lifecycle.dir/profile_lifecycle.cpp.o"
+  "CMakeFiles/profile_lifecycle.dir/profile_lifecycle.cpp.o.d"
+  "profile_lifecycle"
+  "profile_lifecycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_lifecycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

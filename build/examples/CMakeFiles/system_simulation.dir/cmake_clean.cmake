@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/system_simulation.dir/system_simulation.cpp.o"
+  "CMakeFiles/system_simulation.dir/system_simulation.cpp.o.d"
+  "system_simulation"
+  "system_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/system_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

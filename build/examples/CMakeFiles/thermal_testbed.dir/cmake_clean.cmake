@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thermal_testbed.dir/thermal_testbed.cpp.o"
+  "CMakeFiles/thermal_testbed.dir/thermal_testbed.cpp.o.d"
+  "thermal_testbed"
+  "thermal_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thermal_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

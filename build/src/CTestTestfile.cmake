@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("dram")
+subdirs("thermal")
+subdirs("testbed")
+subdirs("ecc")
+subdirs("profiling")
+subdirs("mitigation")
+subdirs("sim")
+subdirs("power")
+subdirs("workload")
+subdirs("eval")
+subdirs("reaper")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reaper_common.dir/fit.cc.o"
+  "CMakeFiles/reaper_common.dir/fit.cc.o.d"
+  "CMakeFiles/reaper_common.dir/ks_test.cc.o"
+  "CMakeFiles/reaper_common.dir/ks_test.cc.o.d"
+  "CMakeFiles/reaper_common.dir/logging.cc.o"
+  "CMakeFiles/reaper_common.dir/logging.cc.o.d"
+  "CMakeFiles/reaper_common.dir/math_util.cc.o"
+  "CMakeFiles/reaper_common.dir/math_util.cc.o.d"
+  "CMakeFiles/reaper_common.dir/rng.cc.o"
+  "CMakeFiles/reaper_common.dir/rng.cc.o.d"
+  "CMakeFiles/reaper_common.dir/stats.cc.o"
+  "CMakeFiles/reaper_common.dir/stats.cc.o.d"
+  "CMakeFiles/reaper_common.dir/table.cc.o"
+  "CMakeFiles/reaper_common.dir/table.cc.o.d"
+  "libreaper_common.a"
+  "libreaper_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reaper_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dram/data_pattern.cc" "src/dram/CMakeFiles/reaper_dram.dir/data_pattern.cc.o" "gcc" "src/dram/CMakeFiles/reaper_dram.dir/data_pattern.cc.o.d"
+  "/root/repo/src/dram/device.cc" "src/dram/CMakeFiles/reaper_dram.dir/device.cc.o" "gcc" "src/dram/CMakeFiles/reaper_dram.dir/device.cc.o.d"
+  "/root/repo/src/dram/geometry.cc" "src/dram/CMakeFiles/reaper_dram.dir/geometry.cc.o" "gcc" "src/dram/CMakeFiles/reaper_dram.dir/geometry.cc.o.d"
+  "/root/repo/src/dram/module.cc" "src/dram/CMakeFiles/reaper_dram.dir/module.cc.o" "gcc" "src/dram/CMakeFiles/reaper_dram.dir/module.cc.o.d"
+  "/root/repo/src/dram/retention_model.cc" "src/dram/CMakeFiles/reaper_dram.dir/retention_model.cc.o" "gcc" "src/dram/CMakeFiles/reaper_dram.dir/retention_model.cc.o.d"
+  "/root/repo/src/dram/vendor_model.cc" "src/dram/CMakeFiles/reaper_dram.dir/vendor_model.cc.o" "gcc" "src/dram/CMakeFiles/reaper_dram.dir/vendor_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/reaper_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reaper_dram.dir/data_pattern.cc.o"
+  "CMakeFiles/reaper_dram.dir/data_pattern.cc.o.d"
+  "CMakeFiles/reaper_dram.dir/device.cc.o"
+  "CMakeFiles/reaper_dram.dir/device.cc.o.d"
+  "CMakeFiles/reaper_dram.dir/geometry.cc.o"
+  "CMakeFiles/reaper_dram.dir/geometry.cc.o.d"
+  "CMakeFiles/reaper_dram.dir/module.cc.o"
+  "CMakeFiles/reaper_dram.dir/module.cc.o.d"
+  "CMakeFiles/reaper_dram.dir/retention_model.cc.o"
+  "CMakeFiles/reaper_dram.dir/retention_model.cc.o.d"
+  "CMakeFiles/reaper_dram.dir/vendor_model.cc.o"
+  "CMakeFiles/reaper_dram.dir/vendor_model.cc.o.d"
+  "libreaper_dram.a"
+  "libreaper_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reaper_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ecc/hamming.cc" "src/ecc/CMakeFiles/reaper_ecc.dir/hamming.cc.o" "gcc" "src/ecc/CMakeFiles/reaper_ecc.dir/hamming.cc.o.d"
+  "/root/repo/src/ecc/longevity.cc" "src/ecc/CMakeFiles/reaper_ecc.dir/longevity.cc.o" "gcc" "src/ecc/CMakeFiles/reaper_ecc.dir/longevity.cc.o.d"
+  "/root/repo/src/ecc/protected_memory.cc" "src/ecc/CMakeFiles/reaper_ecc.dir/protected_memory.cc.o" "gcc" "src/ecc/CMakeFiles/reaper_ecc.dir/protected_memory.cc.o.d"
+  "/root/repo/src/ecc/uber.cc" "src/ecc/CMakeFiles/reaper_ecc.dir/uber.cc.o" "gcc" "src/ecc/CMakeFiles/reaper_ecc.dir/uber.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/reaper_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reaper_ecc.dir/hamming.cc.o"
+  "CMakeFiles/reaper_ecc.dir/hamming.cc.o.d"
+  "CMakeFiles/reaper_ecc.dir/longevity.cc.o"
+  "CMakeFiles/reaper_ecc.dir/longevity.cc.o.d"
+  "CMakeFiles/reaper_ecc.dir/protected_memory.cc.o"
+  "CMakeFiles/reaper_ecc.dir/protected_memory.cc.o.d"
+  "CMakeFiles/reaper_ecc.dir/uber.cc.o"
+  "CMakeFiles/reaper_ecc.dir/uber.cc.o.d"
+  "libreaper_ecc.a"
+  "libreaper_ecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reaper_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reaper_eval.dir/endtoend.cc.o"
+  "CMakeFiles/reaper_eval.dir/endtoend.cc.o.d"
+  "CMakeFiles/reaper_eval.dir/overhead.cc.o"
+  "CMakeFiles/reaper_eval.dir/overhead.cc.o.d"
+  "libreaper_eval.a"
+  "libreaper_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reaper_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mitigation/archshield.cc" "src/mitigation/CMakeFiles/reaper_mitigation.dir/archshield.cc.o" "gcc" "src/mitigation/CMakeFiles/reaper_mitigation.dir/archshield.cc.o.d"
+  "/root/repo/src/mitigation/avatar.cc" "src/mitigation/CMakeFiles/reaper_mitigation.dir/avatar.cc.o" "gcc" "src/mitigation/CMakeFiles/reaper_mitigation.dir/avatar.cc.o.d"
+  "/root/repo/src/mitigation/bloom.cc" "src/mitigation/CMakeFiles/reaper_mitigation.dir/bloom.cc.o" "gcc" "src/mitigation/CMakeFiles/reaper_mitigation.dir/bloom.cc.o.d"
+  "/root/repo/src/mitigation/raidr.cc" "src/mitigation/CMakeFiles/reaper_mitigation.dir/raidr.cc.o" "gcc" "src/mitigation/CMakeFiles/reaper_mitigation.dir/raidr.cc.o.d"
+  "/root/repo/src/mitigation/rapid.cc" "src/mitigation/CMakeFiles/reaper_mitigation.dir/rapid.cc.o" "gcc" "src/mitigation/CMakeFiles/reaper_mitigation.dir/rapid.cc.o.d"
+  "/root/repo/src/mitigation/rowmap.cc" "src/mitigation/CMakeFiles/reaper_mitigation.dir/rowmap.cc.o" "gcc" "src/mitigation/CMakeFiles/reaper_mitigation.dir/rowmap.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/reaper_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/reaper_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiling/CMakeFiles/reaper_profiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/testbed/CMakeFiles/reaper_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/reaper_thermal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

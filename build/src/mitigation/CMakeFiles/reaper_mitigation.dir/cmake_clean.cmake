@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reaper_mitigation.dir/archshield.cc.o"
+  "CMakeFiles/reaper_mitigation.dir/archshield.cc.o.d"
+  "CMakeFiles/reaper_mitigation.dir/avatar.cc.o"
+  "CMakeFiles/reaper_mitigation.dir/avatar.cc.o.d"
+  "CMakeFiles/reaper_mitigation.dir/bloom.cc.o"
+  "CMakeFiles/reaper_mitigation.dir/bloom.cc.o.d"
+  "CMakeFiles/reaper_mitigation.dir/raidr.cc.o"
+  "CMakeFiles/reaper_mitigation.dir/raidr.cc.o.d"
+  "CMakeFiles/reaper_mitigation.dir/rapid.cc.o"
+  "CMakeFiles/reaper_mitigation.dir/rapid.cc.o.d"
+  "CMakeFiles/reaper_mitigation.dir/rowmap.cc.o"
+  "CMakeFiles/reaper_mitigation.dir/rowmap.cc.o.d"
+  "libreaper_mitigation.a"
+  "libreaper_mitigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reaper_mitigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reaper_power.dir/drampower.cc.o"
+  "CMakeFiles/reaper_power.dir/drampower.cc.o.d"
+  "libreaper_power.a"
+  "libreaper_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reaper_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profiling/brute_force.cc" "src/profiling/CMakeFiles/reaper_profiling.dir/brute_force.cc.o" "gcc" "src/profiling/CMakeFiles/reaper_profiling.dir/brute_force.cc.o.d"
+  "/root/repo/src/profiling/ecc_scrub.cc" "src/profiling/CMakeFiles/reaper_profiling.dir/ecc_scrub.cc.o" "gcc" "src/profiling/CMakeFiles/reaper_profiling.dir/ecc_scrub.cc.o.d"
+  "/root/repo/src/profiling/profile.cc" "src/profiling/CMakeFiles/reaper_profiling.dir/profile.cc.o" "gcc" "src/profiling/CMakeFiles/reaper_profiling.dir/profile.cc.o.d"
+  "/root/repo/src/profiling/profile_io.cc" "src/profiling/CMakeFiles/reaper_profiling.dir/profile_io.cc.o" "gcc" "src/profiling/CMakeFiles/reaper_profiling.dir/profile_io.cc.o.d"
+  "/root/repo/src/profiling/reach.cc" "src/profiling/CMakeFiles/reaper_profiling.dir/reach.cc.o" "gcc" "src/profiling/CMakeFiles/reaper_profiling.dir/reach.cc.o.d"
+  "/root/repo/src/profiling/runtime_model.cc" "src/profiling/CMakeFiles/reaper_profiling.dir/runtime_model.cc.o" "gcc" "src/profiling/CMakeFiles/reaper_profiling.dir/runtime_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/reaper_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/reaper_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/testbed/CMakeFiles/reaper_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/reaper_thermal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reaper_profiling.dir/brute_force.cc.o"
+  "CMakeFiles/reaper_profiling.dir/brute_force.cc.o.d"
+  "CMakeFiles/reaper_profiling.dir/ecc_scrub.cc.o"
+  "CMakeFiles/reaper_profiling.dir/ecc_scrub.cc.o.d"
+  "CMakeFiles/reaper_profiling.dir/profile.cc.o"
+  "CMakeFiles/reaper_profiling.dir/profile.cc.o.d"
+  "CMakeFiles/reaper_profiling.dir/profile_io.cc.o"
+  "CMakeFiles/reaper_profiling.dir/profile_io.cc.o.d"
+  "CMakeFiles/reaper_profiling.dir/reach.cc.o"
+  "CMakeFiles/reaper_profiling.dir/reach.cc.o.d"
+  "CMakeFiles/reaper_profiling.dir/runtime_model.cc.o"
+  "CMakeFiles/reaper_profiling.dir/runtime_model.cc.o.d"
+  "libreaper_profiling.a"
+  "libreaper_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reaper_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

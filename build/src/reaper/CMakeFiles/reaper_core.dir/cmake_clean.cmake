@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reaper_core.dir/firmware.cc.o"
+  "CMakeFiles/reaper_core.dir/firmware.cc.o.d"
+  "libreaper_core.a"
+  "libreaper_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reaper_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache.cc" "src/sim/CMakeFiles/reaper_sim.dir/cache.cc.o" "gcc" "src/sim/CMakeFiles/reaper_sim.dir/cache.cc.o.d"
+  "/root/repo/src/sim/core.cc" "src/sim/CMakeFiles/reaper_sim.dir/core.cc.o" "gcc" "src/sim/CMakeFiles/reaper_sim.dir/core.cc.o.d"
+  "/root/repo/src/sim/memctrl.cc" "src/sim/CMakeFiles/reaper_sim.dir/memctrl.cc.o" "gcc" "src/sim/CMakeFiles/reaper_sim.dir/memctrl.cc.o.d"
+  "/root/repo/src/sim/system.cc" "src/sim/CMakeFiles/reaper_sim.dir/system.cc.o" "gcc" "src/sim/CMakeFiles/reaper_sim.dir/system.cc.o.d"
+  "/root/repo/src/sim/timing.cc" "src/sim/CMakeFiles/reaper_sim.dir/timing.cc.o" "gcc" "src/sim/CMakeFiles/reaper_sim.dir/timing.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/sim/CMakeFiles/reaper_sim.dir/trace.cc.o" "gcc" "src/sim/CMakeFiles/reaper_sim.dir/trace.cc.o.d"
+  "/root/repo/src/sim/trace_io.cc" "src/sim/CMakeFiles/reaper_sim.dir/trace_io.cc.o" "gcc" "src/sim/CMakeFiles/reaper_sim.dir/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/reaper_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reaper_sim.dir/cache.cc.o"
+  "CMakeFiles/reaper_sim.dir/cache.cc.o.d"
+  "CMakeFiles/reaper_sim.dir/core.cc.o"
+  "CMakeFiles/reaper_sim.dir/core.cc.o.d"
+  "CMakeFiles/reaper_sim.dir/memctrl.cc.o"
+  "CMakeFiles/reaper_sim.dir/memctrl.cc.o.d"
+  "CMakeFiles/reaper_sim.dir/system.cc.o"
+  "CMakeFiles/reaper_sim.dir/system.cc.o.d"
+  "CMakeFiles/reaper_sim.dir/timing.cc.o"
+  "CMakeFiles/reaper_sim.dir/timing.cc.o.d"
+  "CMakeFiles/reaper_sim.dir/trace.cc.o"
+  "CMakeFiles/reaper_sim.dir/trace.cc.o.d"
+  "CMakeFiles/reaper_sim.dir/trace_io.cc.o"
+  "CMakeFiles/reaper_sim.dir/trace_io.cc.o.d"
+  "libreaper_sim.a"
+  "libreaper_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reaper_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/testbed/softmc_host.cc" "src/testbed/CMakeFiles/reaper_testbed.dir/softmc_host.cc.o" "gcc" "src/testbed/CMakeFiles/reaper_testbed.dir/softmc_host.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/reaper_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/reaper_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/reaper_thermal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

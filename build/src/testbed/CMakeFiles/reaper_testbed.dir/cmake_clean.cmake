@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reaper_testbed.dir/softmc_host.cc.o"
+  "CMakeFiles/reaper_testbed.dir/softmc_host.cc.o.d"
+  "libreaper_testbed.a"
+  "libreaper_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reaper_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libreaper_testbed.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reaper_thermal.dir/chamber.cc.o"
+  "CMakeFiles/reaper_thermal.dir/chamber.cc.o.d"
+  "libreaper_thermal.a"
+  "libreaper_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reaper_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reaper_workload.dir/synthetic.cc.o"
+  "CMakeFiles/reaper_workload.dir/synthetic.cc.o.d"
+  "libreaper_workload.a"
+  "libreaper_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reaper_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

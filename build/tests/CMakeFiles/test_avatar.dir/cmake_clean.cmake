@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_avatar.dir/test_avatar.cc.o"
+  "CMakeFiles/test_avatar.dir/test_avatar.cc.o.d"
+  "test_avatar"
+  "test_avatar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_avatar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

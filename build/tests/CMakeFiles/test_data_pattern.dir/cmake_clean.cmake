@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data_pattern.dir/test_data_pattern.cc.o"
+  "CMakeFiles/test_data_pattern.dir/test_data_pattern.cc.o.d"
+  "test_data_pattern"
+  "test_data_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_device_dynamics.dir/test_device_dynamics.cc.o"
+  "CMakeFiles/test_device_dynamics.dir/test_device_dynamics.cc.o.d"
+  "test_device_dynamics"
+  "test_device_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_device_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ecc_scrub.dir/test_ecc_scrub.cc.o"
+  "CMakeFiles/test_ecc_scrub.dir/test_ecc_scrub.cc.o.d"
+  "test_ecc_scrub"
+  "test_ecc_scrub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ecc_scrub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

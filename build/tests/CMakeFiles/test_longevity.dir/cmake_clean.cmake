@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_longevity.dir/test_longevity.cc.o"
+  "CMakeFiles/test_longevity.dir/test_longevity.cc.o.d"
+  "test_longevity"
+  "test_longevity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_longevity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

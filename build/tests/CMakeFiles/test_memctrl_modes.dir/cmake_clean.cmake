@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memctrl_modes.dir/test_memctrl_modes.cc.o"
+  "CMakeFiles/test_memctrl_modes.dir/test_memctrl_modes.cc.o.d"
+  "test_memctrl_modes"
+  "test_memctrl_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memctrl_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_overhead.dir/test_overhead.cc.o"
+  "CMakeFiles/test_overhead.dir/test_overhead.cc.o.d"
+  "test_overhead"
+  "test_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

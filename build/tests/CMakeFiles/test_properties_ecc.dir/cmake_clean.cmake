@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_properties_ecc.dir/test_properties_ecc.cc.o"
+  "CMakeFiles/test_properties_ecc.dir/test_properties_ecc.cc.o.d"
+  "test_properties_ecc"
+  "test_properties_ecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_properties_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

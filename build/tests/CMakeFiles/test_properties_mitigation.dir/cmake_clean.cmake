@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_properties_mitigation.dir/test_properties_mitigation.cc.o"
+  "CMakeFiles/test_properties_mitigation.dir/test_properties_mitigation.cc.o.d"
+  "test_properties_mitigation"
+  "test_properties_mitigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_properties_mitigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

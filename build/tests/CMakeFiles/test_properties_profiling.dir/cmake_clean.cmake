@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_properties_profiling.dir/test_properties_profiling.cc.o"
+  "CMakeFiles/test_properties_profiling.dir/test_properties_profiling.cc.o.d"
+  "test_properties_profiling"
+  "test_properties_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_properties_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_properties_retention.dir/test_properties_retention.cc.o"
+  "CMakeFiles/test_properties_retention.dir/test_properties_retention.cc.o.d"
+  "test_properties_retention"
+  "test_properties_retention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_properties_retention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_properties_sim.dir/test_properties_sim.cc.o"
+  "CMakeFiles/test_properties_sim.dir/test_properties_sim.cc.o.d"
+  "test_properties_sim"
+  "test_properties_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_properties_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protected_memory.dir/test_protected_memory.cc.o"
+  "CMakeFiles/test_protected_memory.dir/test_protected_memory.cc.o.d"
+  "test_protected_memory"
+  "test_protected_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protected_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

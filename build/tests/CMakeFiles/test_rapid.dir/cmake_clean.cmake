@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rapid.dir/test_rapid.cc.o"
+  "CMakeFiles/test_rapid.dir/test_rapid.cc.o.d"
+  "test_rapid"
+  "test_rapid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rapid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_retention_model.dir/test_retention_model.cc.o"
+  "CMakeFiles/test_retention_model.dir/test_retention_model.cc.o.d"
+  "test_retention_model"
+  "test_retention_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_retention_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

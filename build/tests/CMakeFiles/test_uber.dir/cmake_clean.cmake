@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uber.dir/test_uber.cc.o"
+  "CMakeFiles/test_uber.dir/test_uber.cc.o.d"
+  "test_uber"
+  "test_uber.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uber.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
