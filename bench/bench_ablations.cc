@@ -36,33 +36,52 @@ controllerAblation()
         mixes[0], reaper::bench::scaled(40000, 15000), 1);
     sim::Cycle cycles = reaper::bench::scaled(500000, 200000);
 
+    // The four controller configurations simulate independently as a
+    // fleet (sim::System copies the traces); the first result is the
+    // FR-FCFS/REFab baseline the others normalize against.
+    struct CtrlPoint
+    {
+        sim::SchedulerPolicy sched;
+        sim::RefreshGranularity gran;
+    };
+    std::vector<CtrlPoint> points;
+    for (auto sched : {sim::SchedulerPolicy::FrFcfs,
+                       sim::SchedulerPolicy::Fcfs})
+        for (auto gran : {sim::RefreshGranularity::AllBank,
+                          sim::RefreshGranularity::PerBank})
+            points.push_back({sched, gran});
+
+    struct CtrlResult
+    {
+        double ipc, rowHit;
+    };
+    auto results = eval::runFleet(points.size(), [&](size_t i) {
+        sim::SystemConfig cfg;
+        cfg.channels = 2;
+        cfg.llc.sizeBytes = 1ull << 20;
+        cfg.setDram(64, 0.064);
+        cfg.ctrl.scheduler = points[i].sched;
+        cfg.ctrl.refreshGranularity = points[i].gran;
+        sim::System sys(cfg, traces);
+        sys.run(cycles);
+        sim::SystemStats stats = sys.stats();
+        return CtrlResult{stats.ipcSum(),
+                          stats.channels.rowHitRate()};
+    });
+
     TablePrinter table({"scheduler", "refresh", "IPC sum",
                         "row hit rate", "vs FR-FCFS/REFab"});
-    double base = 0.0;
-    for (auto sched : {sim::SchedulerPolicy::FrFcfs,
-                       sim::SchedulerPolicy::Fcfs}) {
-        for (auto gran : {sim::RefreshGranularity::AllBank,
-                          sim::RefreshGranularity::PerBank}) {
-            sim::SystemConfig cfg;
-            cfg.channels = 2;
-            cfg.llc.sizeBytes = 1ull << 20;
-            cfg.setDram(64, 0.064);
-            cfg.ctrl.scheduler = sched;
-            cfg.ctrl.refreshGranularity = gran;
-            sim::System sys(cfg, traces);
-            sys.run(cycles);
-            sim::SystemStats stats = sys.stats();
-            if (base == 0.0)
-                base = stats.ipcSum();
-            table.addRow(
-                {sched == sim::SchedulerPolicy::FrFcfs ? "FR-FCFS"
-                                                       : "FCFS",
-                 gran == sim::RefreshGranularity::AllBank ? "REFab"
-                                                          : "REFpb",
-                 fmtF(stats.ipcSum(), 3),
-                 fmtPct(stats.channels.rowHitRate()),
-                 fmtPct(stats.ipcSum() / base - 1.0)});
-        }
+    double base = results.front().ipc;
+    for (size_t i = 0; i < points.size(); ++i) {
+        table.addRow(
+            {points[i].sched == sim::SchedulerPolicy::FrFcfs
+                 ? "FR-FCFS"
+                 : "FCFS",
+             points[i].gran == sim::RefreshGranularity::AllBank
+                 ? "REFab"
+                 : "REFpb",
+             fmtF(results[i].ipc, 3), fmtPct(results[i].rowHit),
+             fmtPct(results[i].ipc / base - 1.0)});
     }
     table.print(std::cout);
     std::cout << "Expected: FR-FCFS > FCFS (row-hit batching); REFpb "
@@ -77,15 +96,18 @@ tailExponentAblation()
 {
     printBanner(std::cout,
                 "(b) retention-tail exponent -> +250 ms reach FPR");
-    TablePrinter table({"tail exponent p", "coverage", "FPR",
-                        "FPR (closed form)"});
-    for (double p_exp : {2.2, 2.8, 3.4}) {
+    std::vector<double> exponents = {2.2, 2.8, 3.4};
+    struct TailResult
+    {
+        double coverage, fpr;
+    };
+    auto results = eval::runFleet(exponents.size(), [&](size_t i) {
         dram::ModuleConfig mc = reaper::bench::characterizationModule(
             dram::Vendor::B, 9090, {2.0, 48.0},
             2ull * 1024 * 1024 * 1024);
         mc.hasParamOverride = true;
         mc.paramOverride = dram::vendorParams(dram::Vendor::B);
-        mc.paramOverride.tailExponent = p_exp;
+        mc.paramOverride.tailExponent = exponents[i];
         mc.chipVariation = 0.0;
         dram::DramModule module(mc);
         testbed::SoftMcHost host(module,
@@ -99,11 +121,17 @@ tailExponentAblation()
         auto truth = module.trueFailingSet(1.024, 45.0);
         profiling::ProfileMetrics m =
             profiling::scoreProfile(r.profile, truth, r.runtime);
+        return TailResult{m.coverage, m.falsePositiveRate};
+    });
+
+    TablePrinter table({"tail exponent p", "coverage", "FPR",
+                        "FPR (closed form)"});
+    for (size_t i = 0; i < exponents.size(); ++i) {
         // Closed form: FP fraction ~ 1 - (t / (t + dt))^p.
-        double analytic =
-            1.0 - std::pow(1.024 / 1.274, p_exp);
-        table.addRow({fmtF(p_exp, 1), fmtPct(m.coverage),
-                      fmtPct(m.falsePositiveRate), fmtPct(analytic)});
+        double analytic = 1.0 - std::pow(1.024 / 1.274, exponents[i]);
+        table.addRow({fmtF(exponents[i], 1),
+                      fmtPct(results[i].coverage),
+                      fmtPct(results[i].fpr), fmtPct(analytic)});
     }
     table.print(std::cout);
     std::cout << "The +250 ms FPR is a direct function of the tail "
@@ -117,15 +145,20 @@ void
 vrtDwellAblation()
 {
     printBanner(std::cout, "(c) VRT dwell time -> failing-set churn");
-    TablePrinter table({"dwell (h)", "steady new cells/h",
-                        "active VRT at end", "churn ratio"});
-    for (double dwell_h : {0.5, 3.0, 12.0}) {
+    std::vector<double> dwells = {0.5, 3.0, 12.0};
+    struct DwellResult
+    {
+        double rate;
+        size_t active;
+        double churn;
+    };
+    auto results = eval::runFleet(dwells.size(), [&](size_t di) {
         dram::ModuleConfig mc = reaper::bench::characterizationModule(
             dram::Vendor::B, 8080, {2.3, 46.0},
             2ull * 1024 * 1024 * 1024);
         mc.hasParamOverride = true;
         mc.paramOverride = dram::vendorParams(dram::Vendor::B);
-        mc.paramOverride.vrtDwellMeanHours = dwell_h;
+        mc.paramOverride.vrtDwellMeanHours = dwells[di];
         mc.chipVariation = 0.0;
         dram::DramModule module(mc);
         testbed::SoftMcHost host(module,
@@ -158,8 +191,15 @@ vrtDwellAblation()
         // Churn: how much of the steady active set turns over hourly.
         double churn =
             active > 0 ? rate / static_cast<double>(active) : 0.0;
-        table.addRow({fmtF(dwell_h, 1), fmtF(rate, 1),
-                      std::to_string(active), fmtF(churn, 2)});
+        return DwellResult{rate, active, churn};
+    });
+
+    TablePrinter table({"dwell (h)", "steady new cells/h",
+                        "active VRT at end", "churn ratio"});
+    for (size_t di = 0; di < dwells.size(); ++di) {
+        table.addRow({fmtF(dwells[di], 1), fmtF(results[di].rate, 1),
+                      std::to_string(results[di].active),
+                      fmtF(results[di].churn, 2)});
     }
     table.print(std::cout);
     std::cout << "Short dwells shrink the steady active set AND let "
@@ -177,24 +217,38 @@ sparsePopulationAblation()
 {
     printBanner(std::cout,
                 "(d) sparse weak-cell population vs chip capacity");
-    TablePrinter table({"capacity", "total cells", "weak cells tracked",
-                        "fraction", "approx memory"});
+    std::vector<uint64_t> sizes_mb;
     for (uint64_t mb : {64ull, 256ull, 1024ull, 2048ull}) {
         if (reaper::bench::quickMode() && mb > 256)
             break;
+        sizes_mb.push_back(mb);
+    }
+
+    struct PopResult
+    {
+        uint64_t bits;
+        size_t weak;
+    };
+    auto results = eval::runFleet(sizes_mb.size(), [&](size_t i) {
         dram::DeviceConfig cfg;
-        cfg.capacityBits = mb * 1024 * 1024 * 8;
+        cfg.capacityBits = sizes_mb[i] * 1024 * 1024 * 8;
         cfg.seed = 1;
         cfg.envelope = {2.3, 48.0};
         dram::DramDevice device(cfg);
-        double frac = static_cast<double>(device.weakCellCount()) /
-                      static_cast<double>(cfg.capacityBits);
-        double mem_mb = static_cast<double>(device.weakCellCount()) *
+        return PopResult{cfg.capacityBits, device.weakCellCount()};
+    });
+
+    TablePrinter table({"capacity", "total cells", "weak cells tracked",
+                        "fraction", "approx memory"});
+    for (size_t i = 0; i < sizes_mb.size(); ++i) {
+        double frac = static_cast<double>(results[i].weak) /
+                      static_cast<double>(results[i].bits);
+        double mem_mb = static_cast<double>(results[i].weak) *
                         sizeof(dram::WeakCell) / 1e6;
-        table.addRow({std::to_string(mb) + "MB",
-                      fmtG(static_cast<double>(cfg.capacityBits), 3),
-                      std::to_string(device.weakCellCount()),
-                      fmtG(frac, 2), fmtF(mem_mb, 2) + "MB"});
+        table.addRow({std::to_string(sizes_mb[i]) + "MB",
+                      fmtG(static_cast<double>(results[i].bits), 3),
+                      std::to_string(results[i].weak), fmtG(frac, 2),
+                      fmtF(mem_mb, 2) + "MB"});
     }
     table.print(std::cout);
     std::cout << "Only the ~1e-5 fraction of cells that can ever fail "

@@ -32,8 +32,12 @@ main()
     const double kCoverageGoal = 0.90;
     const int kMaxIterations = bench::scaled(48, 24);
 
+    // Each grid cell profiles its own identically-seeded chip (same
+    // static population as the truth module), so every cell is an
+    // independent fleet task.
     auto runtime_to_goal = [&](double dr, double dt) -> double {
-        testbed::SoftMcHost host(module, bench::instantHost());
+        dram::DramModule cell_module(mc);
+        testbed::SoftMcHost host(cell_module, bench::instantHost());
         profiling::BruteForceConfig cfg;
         cfg.test = {target.refreshInterval + dr,
                     target.temperature + dt};
@@ -61,7 +65,18 @@ main()
     std::vector<double> d_refi = {0.0, 0.125, 0.25, 0.5, 1.0};
     std::vector<double> d_temp = {-2.5, 0.0, 2.5, 5.0, 10.0};
 
-    double base = runtime_to_goal(0.0, 0.0);
+    auto runtimes = eval::runFleet(
+        d_temp.size() * d_refi.size(), [&](size_t i) {
+            return runtime_to_goal(d_refi[i % d_refi.size()],
+                                   d_temp[i / d_refi.size()]);
+        });
+
+    size_t base_idx = 0;
+    for (size_t ti = 0; ti < d_temp.size(); ++ti)
+        for (size_t ri = 0; ri < d_refi.size(); ++ri)
+            if (d_temp[ti] == 0.0 && d_refi[ri] == 0.0)
+                base_idx = ti * d_refi.size() + ri;
+    double base = runtimes[base_idx];
     std::cout << "Brute-force runtime to " << fmtPct(kCoverageGoal, 0)
               << " coverage: " << fmtTime(base) << "\n\n";
 
@@ -69,12 +84,10 @@ main()
     for (double dr : d_refi)
         header.push_back("+" + fmtTime(dr));
     TablePrinter table(header);
-    for (double dt : d_temp) {
-        std::vector<std::string> row = {fmtF(dt, 1) + "C"};
-        for (double dr : d_refi) {
-            double rt = (dr == 0.0 && dt == 0.0)
-                            ? base
-                            : runtime_to_goal(dr, dt);
+    for (size_t ti = 0; ti < d_temp.size(); ++ti) {
+        std::vector<std::string> row = {fmtF(d_temp[ti], 1) + "C"};
+        for (size_t ri = 0; ri < d_refi.size(); ++ri) {
+            double rt = runtimes[ti * d_refi.size() + ri];
             row.push_back(rt > 0 ? fmtF(base / rt, 2) + "x" : "never");
         }
         table.addRow(row);

@@ -13,11 +13,23 @@
 
 #include <iostream>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
 
 using namespace reaper;
+
+namespace {
+
+/** Per-vendor characterization result (one fleet task). */
+struct VendorRows
+{
+    std::string vendorName;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace
 
 int
 main()
@@ -32,8 +44,12 @@ main()
                             : 4ull * 1024 * 1024 * 1024; // 512 MB
     int iterations = bench::scaled(2, 1);
 
-    for (dram::Vendor vendor :
-         {dram::Vendor::A, dram::Vendor::B, dram::Vendor::C}) {
+    // Each vendor's multi-interval characterization is an independent
+    // chip timeline: run the three as a fleet.
+    std::vector<dram::Vendor> vendors = {
+        dram::Vendor::A, dram::Vendor::B, dram::Vendor::C};
+    auto per_vendor = eval::runFleet(vendors.size(), [&](size_t vi) {
+        dram::Vendor vendor = vendors[vi];
         dram::ModuleConfig mc = bench::characterizationModule(
             vendor, 100 + static_cast<uint64_t>(vendor),
             {4.2, 46.0}, capacity);
@@ -42,11 +58,8 @@ main()
         host.setAmbient(45.0);
         double bits = static_cast<double>(module.capacityBits());
 
-        std::cout << "Vendor " << dram::toString(vendor) << " ("
-                  << capacity / (8 * 1024 * 1024) << " MB chip):\n";
-        TablePrinter table({"tREFI", "BER total", "unique", "repeat",
-                            "non-repeat"});
-
+        VendorRows out;
+        out.vendorName = dram::toString(vendor);
         std::set<dram::ChipFailure> lower; // union at lower intervals
         bool first = true;
         for (Seconds t : intervals) {
@@ -72,17 +85,25 @@ main()
                     ++unique;
             }
             size_t non_repeat = lower.size() - repeat;
-            table.addRow({fmtTime(t),
-                          fmtG(static_cast<double>(r.profile.size()) /
-                                   bits,
-                               3),
-                          fmtG(static_cast<double>(unique) / bits, 3),
-                          fmtG(static_cast<double>(repeat) / bits, 3),
-                          fmtG(static_cast<double>(non_repeat) / bits,
-                               3)});
+            out.rows.push_back(
+                {fmtTime(t),
+                 fmtG(static_cast<double>(r.profile.size()) / bits, 3),
+                 fmtG(static_cast<double>(unique) / bits, 3),
+                 fmtG(static_cast<double>(repeat) / bits, 3),
+                 fmtG(static_cast<double>(non_repeat) / bits, 3)});
             lower.insert(r.profile.cells().begin(),
                          r.profile.cells().end());
         }
+        return out;
+    });
+
+    for (const VendorRows &v : per_vendor) {
+        std::cout << "Vendor " << v.vendorName << " ("
+                  << capacity / (8 * 1024 * 1024) << " MB chip):\n";
+        TablePrinter table({"tREFI", "BER total", "unique", "repeat",
+                            "non-repeat"});
+        for (const auto &row : v.rows)
+            table.addRow(row);
         table.print(std::cout);
         std::cout << "\n";
     }

@@ -79,15 +79,26 @@ main()
                             : 8ull * 1024 * 1024 * 1024; // 1 GB
     double to_2gb = dram::kBitsPer2GB / static_cast<double>(capacity);
 
-    for (dram::Vendor vendor :
-         {dram::Vendor::A, dram::Vendor::B, dram::Vendor::C}) {
-        std::vector<double> xs, ys;
-        TablePrinter table({"tREFI", "raw rate", "control (no VRT)",
-                            "VRT rate (/h per 2GB)", "model"});
+    // Every (vendor, interval, raw-vs-control) measurement is an
+    // independent long chip timeline: flatten them into one fleet. Job
+    // order (and hence every table) is fixed regardless of thread
+    // count.
+    struct Job
+    {
+        dram::Vendor vendor;
+        Seconds interval;
+        double vrtScale; ///< 1 = raw run, 0 = no-VRT control run
+        double hours;
+        double expect; ///< closed-form VRT rate (cells/h, this chip)
+    };
+    std::vector<dram::Vendor> vendors = {
+        dram::Vendor::A, dram::Vendor::B, dram::Vendor::C};
+    std::vector<Job> jobs;
+    for (dram::Vendor vendor : vendors) {
+        dram::RetentionModel model{dram::vendorParams(vendor)};
         for (Seconds t : intervals) {
             // Longer windows at short intervals, where the VRT rate is
             // a fraction of a cell per hour.
-            dram::RetentionModel model{dram::vendorParams(vendor)};
             double expect =
                 model.vrtCumulativeRate(
                     t, static_cast<uint64_t>(capacity)) *
@@ -96,11 +107,27 @@ main()
                                    36.0, 600.0);
             if (reaper::bench::quickMode())
                 hours = std::min(hours, 60.0);
-            uint64_t seed = 40 + static_cast<uint64_t>(vendor);
-            double raw = measureRawRate(vendor, seed, t, capacity, 1.0,
-                                        hours);
-            double control = measureRawRate(vendor, seed, t, capacity,
-                                            0.0, hours);
+            jobs.push_back({vendor, t, 1.0, hours, expect});
+            jobs.push_back({vendor, t, 0.0, hours, expect});
+        }
+    }
+
+    auto rates = eval::runFleet(jobs.size(), [&](size_t i) {
+        const Job &job = jobs[i];
+        uint64_t seed = 40 + static_cast<uint64_t>(job.vendor);
+        return measureRawRate(job.vendor, seed, job.interval, capacity,
+                              job.vrtScale, job.hours);
+    });
+
+    size_t ji = 0;
+    for (dram::Vendor vendor : vendors) {
+        std::vector<double> xs, ys;
+        TablePrinter table({"tREFI", "raw rate", "control (no VRT)",
+                            "VRT rate (/h per 2GB)", "model"});
+        for (Seconds t : intervals) {
+            double expect = jobs[ji].expect;
+            double raw = rates[ji++];
+            double control = rates[ji++];
             double vrt = std::max(raw - control, 0.0) * to_2gb;
             table.addRow({fmtTime(t), fmtF(raw * to_2gb, 2),
                           fmtF(control * to_2gb, 2), fmtF(vrt, 2),

@@ -31,32 +31,43 @@ main()
                             : 2ull * 1024 * 1024 * 1024; // 256 MB
     int iters = bench::scaled(16, 8);
 
-    dram::ModuleConfig mc = bench::characterizationModule(
-        dram::Vendor::B, 21, {2.6, 46.0}, capacity);
-    mc.chipVariation = 0.0;
-    dram::DramModule module(mc);
-    testbed::SoftMcHost host(module, bench::instantHost());
-    host.setAmbient(40.0);
-
     std::vector<Seconds> grid;
     for (Seconds t = 0.45; t <= 2.45; t += 0.06)
         grid.push_back(t);
 
-    // fail_counts[addr][interval index] = observed failures. A single
-    // data pattern is used throughout: mixing patterns would overlay
+    // Each grid interval is tested on an identically-seeded chip (same
+    // static weak-cell population, chipVariation = 0) as one fleet
+    // task: the per-cell trials at different intervals are independent
+    // experiments on the same physical population. A single data
+    // pattern is used throughout: mixing patterns would overlay
     // DPD-shifted CDFs and inflate the apparent per-cell spread.
-    std::map<uint64_t, std::vector<int>> fail_counts;
-    for (size_t gi = 0; gi < grid.size(); ++gi) {
+    auto grid_counts = eval::runFleet(grid.size(), [&](size_t gi) {
+        dram::ModuleConfig mc = bench::characterizationModule(
+            dram::Vendor::B, 21, {2.6, 46.0}, capacity);
+        mc.chipVariation = 0.0;
+        dram::DramModule module(mc);
+        testbed::SoftMcHost host(module, bench::instantHost());
+        host.setAmbient(40.0);
+
+        std::map<uint64_t, int> counts;
         for (int it = 0; it < iters; ++it) {
             host.writeAll(dram::DataPattern::Solid0);
             host.disableRefresh();
             host.wait(grid[gi]);
             host.enableRefresh();
-            for (const auto &f : host.readAndCompareAll()) {
-                auto &v = fail_counts[f.addr];
-                v.resize(grid.size(), 0);
-                v[gi] += 1;
-            }
+            for (const auto &f : host.readAndCompareAll())
+                counts[f.addr] += 1;
+        }
+        return counts;
+    });
+
+    // fail_counts[addr][interval index] = observed failures.
+    std::map<uint64_t, std::vector<int>> fail_counts;
+    for (size_t gi = 0; gi < grid.size(); ++gi) {
+        for (const auto &[addr, n] : grid_counts[gi]) {
+            auto &v = fail_counts[addr];
+            v.resize(grid.size(), 0);
+            v[gi] = n;
         }
     }
 

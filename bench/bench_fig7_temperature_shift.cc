@@ -104,17 +104,23 @@ main()
                             : 1ull * 1024 * 1024 * 1024; // 128 MB
     int iters = reaper::bench::scaled(12, 6);
 
-    std::map<uint64_t, CellFit> base =
-        fitAtTemperature(40.0, capacity, iters);
+    // The same chip (same seed) is characterized at each temperature;
+    // the four characterizations are independent fleet tasks.
+    std::vector<Celsius> temps = {40.0, 45.0, 50.0, 55.0};
+    auto all_fits = eval::runFleet(temps.size(), [&](size_t ti) {
+        return fitAtTemperature(temps[ti], capacity, iters);
+    });
+
+    const std::map<uint64_t, CellFit> &base = all_fits.front();
     std::cout << "Reference chip at 40C: " << base.size()
               << " cells with fitted CDFs\n\n";
 
     TablePrinter table({"temperature", "matched cells",
                         "median mu shift", "median sigma shift"});
     table.addRow({"40C", std::to_string(base.size()), "-", "-"});
-    for (Celsius temp : {45.0, 50.0, 55.0}) {
-        std::map<uint64_t, CellFit> fits =
-            fitAtTemperature(temp, capacity, iters);
+    for (size_t ti = 1; ti < temps.size(); ++ti) {
+        Celsius temp = temps[ti];
+        const std::map<uint64_t, CellFit> &fits = all_fits[ti];
         std::vector<double> mu_ratio, sigma_ratio;
         for (const auto &[addr, fit] : fits) {
             auto it = base.find(addr);

@@ -39,18 +39,29 @@ main()
         header.push_back(fmtTime(t));
     TablePrinter table(header);
 
-    for (Celsius temp : {40.0, 45.0, 50.0, 55.0}) {
-        std::vector<std::string> row = {fmtF(temp, 0) + "C"};
-        for (Seconds t : grid) {
+    // Each (temperature, interval) cell scans the shared (read-only)
+    // population; fan the scans out as one fleet.
+    std::vector<Celsius> temps = {40.0, 45.0, 50.0, 55.0};
+    auto entries = eval::runFleet(
+        temps.size() * grid.size(), [&](size_t i) {
+            Celsius temp = temps[i / grid.size()];
+            Seconds t = grid[i % grid.size()];
             // Mean +/- std of per-cell failure probabilities over the
-            // cells that are marginal at these conditions.
+            // cells that are marginal at these conditions. The
+            // narrowing factor is hoisted out of the per-cell loop.
             RunningStats p;
             double t_equiv = t * model.equivalentExposureScale(temp);
+            double narrow = model.sigmaNarrowScale(temp);
             for (const auto &c : cells)
-                p.add(model.failureProbability(c, t_equiv, temp, 1.0));
-            row.push_back(fmtF(p.mean(), 3) + "+-" +
-                          fmtF(p.stddev(), 2));
-        }
+                p.add(model.failureProbabilityNarrowed(c, t_equiv,
+                                                       narrow, 1.0));
+            return fmtF(p.mean(), 3) + "+-" + fmtF(p.stddev(), 2);
+        });
+
+    for (size_t ti = 0; ti < temps.size(); ++ti) {
+        std::vector<std::string> row = {fmtF(temps[ti], 0) + "C"};
+        for (size_t gi = 0; gi < grid.size(); ++gi)
+            row.push_back(entries[ti * grid.size() + gi]);
         table.addRow(row);
     }
     table.print(std::cout);

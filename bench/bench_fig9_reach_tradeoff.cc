@@ -45,13 +45,20 @@ main()
     for (double dr : d_refi)
         header.push_back("+" + fmtTime(dr));
 
-    TablePrinter coverage(header);
-    TablePrinter fpr(header);
-    for (double dt : d_temp) {
-        std::vector<std::string> cov_row = {fmtF(dt, 1) + "C"};
-        std::vector<std::string> fpr_row = {fmtF(dt, 1) + "C"};
-        for (double dr : d_refi) {
-            testbed::SoftMcHost host(module, bench::instantHost());
+    // Each grid cell profiles its own identically-seeded chip (same
+    // static weak-cell population as the truth module) from t = 0, so
+    // cells are independent fleet tasks and the contour is free of the
+    // VRT-drift ordering artifact a shared sequential module had.
+    struct Score
+    {
+        double coverage, fpr;
+    };
+    auto scores = eval::runFleet(
+        d_temp.size() * d_refi.size(), [&](size_t i) {
+            double dt = d_temp[i / d_refi.size()];
+            double dr = d_refi[i % d_refi.size()];
+            dram::DramModule cell_module(mc);
+            testbed::SoftMcHost host(cell_module, bench::instantHost());
             profiling::BruteForceConfig cfg;
             cfg.test = {target.refreshInterval + dr,
                         target.temperature + dt};
@@ -60,8 +67,18 @@ main()
                 profiling::BruteForceProfiler{}.run(host, cfg);
             profiling::ProfileMetrics m =
                 profiling::scoreProfile(r.profile, truth, r.runtime);
-            cov_row.push_back(fmtPct(m.coverage));
-            fpr_row.push_back(fmtPct(m.falsePositiveRate));
+            return Score{m.coverage, m.falsePositiveRate};
+        });
+
+    TablePrinter coverage(header);
+    TablePrinter fpr(header);
+    for (size_t ti = 0; ti < d_temp.size(); ++ti) {
+        std::vector<std::string> cov_row = {fmtF(d_temp[ti], 1) + "C"};
+        std::vector<std::string> fpr_row = {fmtF(d_temp[ti], 1) + "C"};
+        for (size_t ri = 0; ri < d_refi.size(); ++ri) {
+            const Score &s = scores[ti * d_refi.size() + ri];
+            cov_row.push_back(fmtPct(s.coverage));
+            fpr_row.push_back(fmtPct(s.fpr));
         }
         coverage.addRow(cov_row);
         fpr.addRow(fpr_row);

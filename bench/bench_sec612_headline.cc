@@ -48,44 +48,68 @@ main()
         {"reach +250ms +5C", 0.250, 5.0, 3},
     };
 
+    // One fleet task per (vendor, chip): each task owns its module,
+    // runs the brute-force baseline and all reach configs on it, and
+    // returns the per-config metrics. Aggregation walks the ordered
+    // results, so the averages are identical at any thread count.
+    struct ChipResult
+    {
+        bool valid = false;
+        std::vector<double> coverage, fpr, speedup;
+    };
+    std::vector<dram::Vendor> vendors = {
+        dram::Vendor::A, dram::Vendor::B, dram::Vendor::C};
+    size_t n_chips =
+        vendors.size() * static_cast<size_t>(chips_per_vendor);
+    auto chip_results = eval::runFleet(n_chips, [&](size_t i) {
+        dram::Vendor vendor = vendors[i / chips_per_vendor];
+        uint64_t chip = i % chips_per_vendor;
+        dram::ModuleConfig mc = bench::characterizationModule(
+            vendor,
+            1000 + static_cast<uint64_t>(vendor) * 100 + chip,
+            {2.4, 52.0}, capacity);
+        dram::DramModule module(mc);
+        auto truth = module.trueFailingSet(target.refreshInterval,
+                                           target.temperature);
+        ChipResult res;
+        if (truth.empty())
+            return res;
+        res.valid = true;
+
+        // Brute-force baseline: 16 iterations at the target.
+        testbed::SoftMcHost bf_host(module, bench::instantHost());
+        profiling::BruteForceConfig bf_cfg;
+        bf_cfg.test = target;
+        bf_cfg.iterations = 16;
+        profiling::ProfilingResult bf =
+            profiling::BruteForceProfiler{}.run(bf_host, bf_cfg);
+
+        for (size_t ci = 0; ci < configs.size(); ++ci) {
+            testbed::SoftMcHost host(module, bench::instantHost());
+            profiling::ReachConfig cfg;
+            cfg.target = target;
+            cfg.deltaRefreshInterval = configs[ci].d_refi;
+            cfg.deltaTemperature = configs[ci].d_temp;
+            cfg.iterations = configs[ci].iterations;
+            profiling::ProfilingResult r =
+                profiling::ReachProfiler{}.run(host, cfg);
+            profiling::ProfileMetrics m = profiling::scoreProfile(
+                r.profile, truth, r.runtime);
+            res.coverage.push_back(m.coverage);
+            res.fpr.push_back(m.falsePositiveRate);
+            res.speedup.push_back(bf.runtime / r.runtime);
+        }
+        return res;
+    });
+
     std::vector<Aggregate> agg(configs.size());
-    for (dram::Vendor vendor :
-         {dram::Vendor::A, dram::Vendor::B, dram::Vendor::C}) {
-        for (int chip = 0; chip < chips_per_vendor; ++chip) {
-            dram::ModuleConfig mc = bench::characterizationModule(
-                vendor,
-                1000 + static_cast<uint64_t>(vendor) * 100 +
-                    static_cast<uint64_t>(chip),
-                {2.4, 52.0}, capacity);
-            dram::DramModule module(mc);
-            auto truth = module.trueFailingSet(
-                target.refreshInterval, target.temperature);
-            if (truth.empty())
-                continue;
-
-            // Brute-force baseline: 16 iterations at the target.
-            testbed::SoftMcHost bf_host(module, bench::instantHost());
-            profiling::BruteForceConfig bf_cfg;
-            bf_cfg.test = target;
-            bf_cfg.iterations = 16;
-            profiling::ProfilingResult bf =
-                profiling::BruteForceProfiler{}.run(bf_host, bf_cfg);
-
-            for (size_t ci = 0; ci < configs.size(); ++ci) {
-                testbed::SoftMcHost host(module, bench::instantHost());
-                profiling::ReachConfig cfg;
-                cfg.target = target;
-                cfg.deltaRefreshInterval = configs[ci].d_refi;
-                cfg.deltaTemperature = configs[ci].d_temp;
-                cfg.iterations = configs[ci].iterations;
-                profiling::ProfilingResult r =
-                    profiling::ReachProfiler{}.run(host, cfg);
-                profiling::ProfileMetrics m = profiling::scoreProfile(
-                    r.profile, truth, r.runtime);
-                agg[ci].coverage.add(m.coverage);
-                agg[ci].fpr.add(m.falsePositiveRate);
-                agg[ci].speedup.add(bf.runtime / r.runtime);
-            }
+    for (const ChipResult &res : chip_results) {
+        if (!res.valid)
+            continue;
+        for (size_t ci = 0; ci < configs.size(); ++ci) {
+            agg[ci].coverage.add(res.coverage[ci]);
+            agg[ci].fpr.add(res.fpr[ci]);
+            agg[ci].speedup.add(res.speedup[ci]);
         }
     }
 

@@ -31,26 +31,33 @@ main()
               << "  VRT accumulation A: " << fmtF(accum, 2)
               << " cells/hour (paper: 0.73)\n\n";
 
-    TablePrinter table({"ECC word", "coverage", "N tolerable",
-                        "C missed", "longevity T"});
-    for (const ecc::EccConfig &cfg :
-         {ecc::EccConfig::secded(), ecc::EccConfig{1, 144}}) {
-        for (double coverage : {0.90, 0.95, 0.99, 1.0}) {
+    // The eight (ECC config, coverage) scenarios are independent; run
+    // them as one fleet and print the ordered results.
+    std::vector<ecc::EccConfig> cfgs = {ecc::EccConfig::secded(),
+                                        ecc::EccConfig{1, 144}};
+    std::vector<double> coverages = {0.90, 0.95, 0.99, 1.0};
+    auto results = eval::runFleet(
+        cfgs.size() * coverages.size(), [&](size_t i) {
             ecc::LongevityScenario s;
             s.capacityBits = bits_2gb;
-            s.eccStrength = cfg;
+            s.eccStrength = cfgs[i / coverages.size()];
             s.targetUber = ecc::kConsumerUber;
             s.berAtTarget = ber;
-            s.profilingCoverage = coverage;
+            s.profilingCoverage = coverages[i % coverages.size()];
             s.accumulationPerHour = accum;
-            ecc::LongevityResult r = ecc::computeLongevity(s);
-            table.addRow(
-                {"SECDED w=" + std::to_string(cfg.wordBits),
-                 fmtPct(coverage, 0), fmtF(r.tolerableFailures, 1),
-                 fmtF(r.missedFailures, 1),
-                 r.longevity > 0 ? fmtTime(r.longevity)
-                                 : "insufficient"});
-        }
+            return ecc::computeLongevity(s);
+        });
+
+    TablePrinter table({"ECC word", "coverage", "N tolerable",
+                        "C missed", "longevity T"});
+    for (size_t i = 0; i < results.size(); ++i) {
+        const ecc::LongevityResult &r = results[i];
+        table.addRow(
+            {"SECDED w=" +
+                 std::to_string(cfgs[i / coverages.size()].wordBits),
+             fmtPct(coverages[i % coverages.size()], 0),
+             fmtF(r.tolerableFailures, 1), fmtF(r.missedFailures, 1),
+             r.longevity > 0 ? fmtTime(r.longevity) : "insufficient"});
     }
     table.print(std::cout);
 

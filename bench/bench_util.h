@@ -3,8 +3,16 @@
  * Shared helpers for the figure/table reproduction benches.
  *
  * Every bench prints the rows/series of one paper table or figure.
- * Setting REAPER_BENCH_QUICK=1 in the environment shrinks the
- * statistical work (fewer chips/iterations) for smoke runs.
+ * Environment knobs:
+ *  - REAPER_BENCH_QUICK=1 shrinks the statistical work (fewer
+ *    chips/iterations) for smoke runs;
+ *  - REAPER_BENCH_THREADS=N sets the fleet-engine worker count used by
+ *    the characterization benches (default: hardware concurrency).
+ *
+ * The benches run their independent chips/conditions through
+ * eval::runFleet, which collects results in task order: printed figures
+ * are bit-identical regardless of REAPER_BENCH_THREADS (see
+ * eval/fleet.h and tests/test_fleet.cc).
  */
 
 #ifndef REAPER_BENCH_BENCH_UTIL_H
@@ -32,6 +40,13 @@ inline int
 scaled(int full, int quick)
 {
     return quickMode() ? quick : full;
+}
+
+/** Fleet worker count for this bench run (REAPER_BENCH_THREADS). */
+inline unsigned
+benchThreads()
+{
+    return eval::fleetThreads();
 }
 
 /** Standard characterization chip (fraction of the 2 GB reference). */

@@ -2,6 +2,13 @@
  * @file
  * Minimal parallel-for helper for embarrassingly parallel evaluation
  * sweeps (independent simulator runs in the end-to-end benches).
+ *
+ * Worker exceptions do not escape the worker threads (which would call
+ * std::terminate): the first exception thrown by any fn(i) is captured,
+ * remaining iterations are abandoned, and the exception is rethrown on
+ * the calling thread after all workers join. For richer scheduling
+ * (chunking, per-task seeds, ordered result collection) see
+ * eval/fleet.h, which builds on the same dispatch loop.
  */
 
 #ifndef REAPER_COMMON_PARALLEL_H
@@ -10,6 +17,8 @@
 #include <algorithm>
 #include <atomic>
 #include <cstddef>
+#include <exception>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -18,7 +27,8 @@ namespace reaper {
 /**
  * Run fn(i) for i in [0, count) across up to `threads` worker threads
  * (0 = hardware concurrency). fn must be safe to call concurrently for
- * distinct i. Blocks until all iterations finish.
+ * distinct i. Blocks until all iterations finish; rethrows the first
+ * worker exception (later iterations may be skipped once one throws).
  */
 template <typename Fn>
 void
@@ -36,20 +46,35 @@ parallelFor(size_t count, Fn fn, unsigned threads = 0)
         return;
     }
     std::atomic<size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr first_error;
+    std::mutex error_mtx;
     std::vector<std::thread> pool;
     pool.reserve(n);
     for (unsigned t = 0; t < n; ++t) {
         pool.emplace_back([&]() {
             for (;;) {
+                if (failed.load(std::memory_order_relaxed))
+                    return;
                 size_t i = next.fetch_add(1);
                 if (i >= count)
                     return;
-                fn(i);
+                try {
+                    fn(i);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(error_mtx);
+                    if (!first_error)
+                        first_error = std::current_exception();
+                    failed.store(true, std::memory_order_relaxed);
+                    return;
+                }
             }
         });
     }
     for (auto &th : pool)
         th.join();
+    if (first_error)
+        std::rethrow_exception(first_error);
 }
 
 } // namespace reaper

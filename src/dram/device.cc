@@ -38,6 +38,29 @@ DramDevice::DramDevice(const DeviceConfig &config)
     }
     muCapVrt_ = model_.envelopeMuCap(config.envelope);
     vrtRate_ = model_.vrtCumulativeRate(muCapVrt_, config.capacityBits);
+
+    // SoA candidate index: same double arithmetic as the per-cell scan
+    // it replaces (see collectIfFailed), so scan results are identical.
+    weakMu_.reserve(weak_.size());
+    weakReject_.reserve(weak_.size());
+    for (const WeakCell &c : weak_) {
+        double mu = static_cast<double>(c.mu);
+        double sigma = mu * static_cast<double>(c.sigmaRel);
+        weakMu_.push_back(mu);
+        weakReject_.push_back(mu - 5.0 * sigma);
+    }
+
+    maxEquivExposure_ = config_.envelope.maxInterval *
+                        model_.equivalentExposureScale(
+                            config_.envelope.maxTemperature);
+    updateTempCaches();
+}
+
+void
+DramDevice::updateTempCaches()
+{
+    expScaleCur_ = model_.equivalentExposureScale(temp_);
+    sigmaNarrowCur_ = model_.sigmaNarrowScale(temp_);
 }
 
 void
@@ -49,6 +72,7 @@ DramDevice::setTemperature(Celsius temp)
               "%.1f; construct the device with a wider envelope",
               temp, config_.envelope.maxTemperature);
     }
+    updateTempCaches();
 }
 
 void
@@ -94,15 +118,12 @@ DramDevice::wait(Seconds dt)
         panic("DramDevice::wait: negative dt %g", dt);
     evolveDynamics(now_, now_ + dt);
     if (!refreshEnabled_ && dataValid_) {
-        exposureEquiv_ += dt * model_.equivalentExposureScale(temp_);
-        double max_equiv = config_.envelope.maxInterval *
-                           model_.equivalentExposureScale(
-                               config_.envelope.maxTemperature);
-        if (exposureEquiv_ > max_equiv * 1.0001) {
+        exposureEquiv_ += dt * expScaleCur_;
+        if (exposureEquiv_ > maxEquivExposure_ * 1.0001) {
             fatal("DramDevice: unrefreshed exposure %.3fs (equivalent) "
                   "exceeds the test envelope (%.3fs); construct the "
                   "device with a wider envelope",
-                  exposureEquiv_, max_equiv);
+                  exposureEquiv_, maxEquivExposure_);
         }
     }
     now_ += dt;
@@ -151,7 +172,7 @@ DramDevice::latentFailureTime(const WeakCell &cell) const
     double state_factor = cell.vrtState ? cell.vrtFactor : 1.0;
     double mu_eff = static_cast<double>(cell.mu) * factor * state_factor;
     double sigma = static_cast<double>(cell.mu) * cell.sigmaRel *
-                   model_.sigmaNarrowScale(temp_);
+                   sigmaNarrowCur_;
     double u = toUniform(hashCombine(
         hashCombine(cell.dpdSeed, exposureNonce_ * 0x9E3779B97F4A7C15ull),
         cell.addr));
@@ -172,20 +193,100 @@ DramDevice::collectIfFailed(const WeakCell &cell,
         out.push_back(cell.addr);
 }
 
-std::vector<uint64_t>
-DramDevice::readAndCompare()
+size_t
+DramDevice::candidateEnd(double t_equiv) const
 {
-    std::vector<uint64_t> out;
+    // Candidate window: mu <= exposure / (1 - 5 * maxSigmaRel), clamped
+    // to "everything" if the spread cap makes the bound meaningless.
+    double max_rel = model_.params().maxSigmaRel;
+    double denom = 1.0 - 5.0 * max_rel;
+    if (denom <= 0.05)
+        return weakMu_.size();
+    double mu_bound = t_equiv / denom;
+    return static_cast<size_t>(
+        std::upper_bound(weakMu_.begin(), weakMu_.end(), mu_bound) -
+        weakMu_.begin());
+}
+
+const std::vector<uint64_t> &
+DramDevice::readAndCompareInto()
+{
+    readScratch_.clear();
     if (!dataValid_) {
         warn("DramDevice::readAndCompare before any write; no reference "
              "data to compare against");
-        return out;
+        return readScratch_;
     }
     if (exposureEquiv_ <= 0)
+        return readScratch_;
+
+    size_t end = candidateEnd(exposureEquiv_);
+    for (size_t i = 0; i < end; ++i) {
+        // SoA fast reject first: the common case touches only the two
+        // flat double arrays, not the (much wider) WeakCell records.
+        if (weakReject_[i] > exposureEquiv_)
+            continue;
+        const WeakCell &cell = weak_[i];
+        if (exposureEquiv_ >= latentFailureTime(cell))
+            readScratch_.push_back(cell.addr);
+    }
+    for (const auto &a : vrtActive_)
+        collectIfFailed(a.cell, readScratch_);
+
+    std::sort(readScratch_.begin(), readScratch_.end());
+    readScratch_.erase(
+        std::unique(readScratch_.begin(), readScratch_.end()),
+        readScratch_.end());
+    return readScratch_;
+}
+
+std::vector<uint64_t>
+DramDevice::readAndCompare()
+{
+    return readAndCompareInto();
+}
+
+const std::vector<uint64_t> &
+DramDevice::trueFailingSetInto(Seconds t_refi, Celsius temp,
+                               double pmin) const
+{
+    oracleScratch_.clear();
+    double t_equiv = t_refi * model_.equivalentExposureScale(temp);
+    double narrow = model_.sigmaNarrowScale(temp);
+
+    size_t end = candidateEnd(t_equiv);
+    for (size_t i = 0; i < end; ++i) {
+        const WeakCell &cell = weak_[i];
+        if (model_.failureProbabilityNarrowed(cell, t_equiv, narrow,
+                                              1.0) >= pmin)
+            oracleScratch_.push_back(cell.addr);
+    }
+    for (const auto &a : vrtActive_) {
+        if (model_.failureProbabilityNarrowed(a.cell, t_equiv, narrow,
+                                              1.0) >= pmin)
+            oracleScratch_.push_back(a.cell.addr);
+    }
+
+    std::sort(oracleScratch_.begin(), oracleScratch_.end());
+    oracleScratch_.erase(
+        std::unique(oracleScratch_.begin(), oracleScratch_.end()),
+        oracleScratch_.end());
+    return oracleScratch_;
+}
+
+std::vector<uint64_t>
+DramDevice::trueFailingSet(Seconds t_refi, Celsius temp, double pmin) const
+{
+    return trueFailingSetInto(t_refi, temp, pmin);
+}
+
+std::vector<uint64_t>
+DramDevice::readAndCompareReference() const
+{
+    std::vector<uint64_t> out;
+    if (!dataValid_ || exposureEquiv_ <= 0)
         return out;
 
-    // Candidate window: mu <= exposure / (1 - 5 * maxSigmaRel), clamped
-    // to "everything" if the spread cap makes the bound meaningless.
     double max_rel = model_.params().maxSigmaRel;
     double denom = 1.0 - 5.0 * max_rel;
     double mu_bound = denom > 0.05
@@ -208,7 +309,8 @@ DramDevice::readAndCompare()
 }
 
 std::vector<uint64_t>
-DramDevice::trueFailingSet(Seconds t_refi, Celsius temp, double pmin) const
+DramDevice::trueFailingSetReference(Seconds t_refi, Celsius temp,
+                                    double pmin) const
 {
     std::vector<uint64_t> out;
     double t_equiv = t_refi * model_.equivalentExposureScale(temp);

@@ -95,6 +95,15 @@ class DramDevice
      */
     std::vector<uint64_t> readAndCompare();
 
+    /**
+     * Allocation-free variant of readAndCompare(): fills and returns a
+     * reusable internal scratch buffer. The reference stays valid until
+     * the next readAndCompare/readAndCompareInto call on this device.
+     * This is the hot path of every characterization round; prefer it
+     * in loops (DramModule uses it internally).
+     */
+    const std::vector<uint64_t> &readAndCompareInto();
+
     /** Current virtual time in seconds since construction. */
     Seconds now() const { return now_; }
 
@@ -116,6 +125,28 @@ class DramDevice
      */
     std::vector<uint64_t> trueFailingSet(Seconds t_refi, Celsius temp,
                                          double pmin = 0.05) const;
+
+    /**
+     * Allocation-free variant of trueFailingSet(): fills and returns a
+     * reusable internal scratch buffer (invalidated by the next
+     * trueFailingSet/trueFailingSetInto call).
+     */
+    const std::vector<uint64_t> &trueFailingSetInto(
+        Seconds t_refi, Celsius temp, double pmin = 0.05) const;
+
+    /**
+     * Reference implementation of readAndCompare(): a straight port of
+     * the original unoptimized read path (per-cell candidate scan over
+     * the AoS weak-cell vector, no structure-of-arrays index, no
+     * scratch reuse, no memoized temperature scales). Exists solely so
+     * tests can pin the optimized path to it bit-for-bit; not for
+     * production use.
+     */
+    std::vector<uint64_t> readAndCompareReference() const;
+
+    /** Reference implementation of trueFailingSet() (see above). */
+    std::vector<uint64_t> trueFailingSetReference(
+        Seconds t_refi, Celsius temp, double pmin = 0.05) const;
 
     /** Expected BER at (t, temp) from the closed-form model. */
     double expectedBer(Seconds t, Celsius temp) const;
@@ -142,12 +173,31 @@ class DramDevice
     void collectIfFailed(const WeakCell &cell,
                          std::vector<uint64_t> &out) const;
 
+    /** Refresh the memoized temperature-dependent scale factors. */
+    void updateTempCaches();
+
+    /** Index of the first weak cell with mu above the candidate bound
+     *  for an equivalent exposure t_equiv (SoA upper_bound). */
+    size_t candidateEnd(double t_equiv) const;
+
     DeviceConfig config_;
     RetentionModel model_;
     Geometry geometry_;
     Rng rng_;
 
     std::vector<WeakCell> weak_; ///< sorted by mu
+    /**
+     * Structure-of-arrays mirror of weak_ for the candidate scan:
+     * weakMu_[i] == (double)weak_[i].mu (for the cache-friendly
+     * upper_bound) and weakReject_[i] == mu - 5 * mu * sigmaRel (the
+     * 5-sigma fast-reject threshold), both precomputed with exactly the
+     * arithmetic the per-cell scan used, so results are bit-identical.
+     */
+    std::vector<double> weakMu_;
+    std::vector<double> weakReject_;
+    /** Reusable result buffers (see readAndCompareInto). */
+    std::vector<uint64_t> readScratch_;
+    mutable std::vector<uint64_t> oracleScratch_;
     std::vector<VrtActive> vrtActive_;
     /** Toggle-event queue: (time, index into weak_), min-heap. */
     using ToggleEvent = std::pair<double, uint32_t>;
@@ -157,6 +207,12 @@ class DramDevice
 
     Seconds muCapVrt_;   ///< envelope cap for VRT arrival mus
     double vrtRate_;     ///< total arrival rate (cells/s) within the cap
+
+    // Memoized Arrhenius factors: recomputed only when temp_ changes
+    // (setTemperature) instead of per wait()/per cell.
+    double expScaleCur_ = 1.0;    ///< equivalentExposureScale(temp_)
+    double sigmaNarrowCur_ = 1.0; ///< sigmaNarrowScale(temp_)
+    double maxEquivExposure_ = 0; ///< envelope cap on equivalent exposure
 
     Seconds now_ = 0.0;
     Celsius temp_;

@@ -86,7 +86,9 @@ DramModule::readAndCompare()
 {
     std::vector<ChipFailure> out;
     for (uint32_t i = 0; i < numChips(); ++i) {
-        for (uint64_t addr : chips_[i]->readAndCompare())
+        // The per-chip scratch buffer avoids a vector allocation per
+        // chip per round on the characterization hot path.
+        for (uint64_t addr : chips_[i]->readAndCompareInto())
             out.push_back({i, addr});
     }
     return out; // per-chip results are sorted; chips visited in order
@@ -97,7 +99,8 @@ DramModule::trueFailingSet(Seconds t_refi, Celsius temp, double pmin) const
 {
     std::vector<ChipFailure> out;
     for (uint32_t i = 0; i < numChips(); ++i) {
-        for (uint64_t addr : chips_[i]->trueFailingSet(t_refi, temp, pmin))
+        for (uint64_t addr :
+             chips_[i]->trueFailingSetInto(t_refi, temp, pmin))
             out.push_back({i, addr});
     }
     return out;

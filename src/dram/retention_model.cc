@@ -107,10 +107,20 @@ double
 RetentionModel::failureProbability(const WeakCell &cell, Seconds t_equiv,
                                    Celsius temp, double factor) const
 {
+    return failureProbabilityNarrowed(cell, t_equiv,
+                                      sigmaNarrowScale(temp), factor);
+}
+
+double
+RetentionModel::failureProbabilityNarrowed(const WeakCell &cell,
+                                           Seconds t_equiv,
+                                           double sigma_narrow,
+                                           double factor) const
+{
     double state_factor = cell.vrtState ? cell.vrtFactor : 1.0;
     double mu_eff = static_cast<double>(cell.mu) * factor * state_factor;
     double sigma = static_cast<double>(cell.mu) * cell.sigmaRel *
-                   sigmaNarrowScale(temp);
+                   sigma_narrow;
     if (sigma <= 0)
         return t_equiv >= mu_eff ? 1.0 : 0.0;
     return normalCdf((t_equiv - mu_eff) / sigma);

@@ -116,6 +116,18 @@ class RetentionModel
     double failureProbability(const WeakCell &cell, Seconds t_equiv,
                               Celsius temp, double factor) const;
 
+    /**
+     * failureProbability with the temperature's CDF-narrowing factor
+     * precomputed by the caller (sigma_narrow = sigmaNarrowScale(temp)).
+     * Lets a scan over many cells at one temperature hoist the Arrhenius
+     * exponential out of the per-cell loop; numerically identical to
+     * failureProbability.
+     */
+    double failureProbabilityNarrowed(const WeakCell &cell,
+                                      Seconds t_equiv,
+                                      double sigma_narrow,
+                                      double factor) const;
+
     /** Convenience: worst-case-pattern failure probability at (t, temp). */
     double worstCaseFailureProbability(const WeakCell &cell, Seconds t,
                                        Celsius temp) const;

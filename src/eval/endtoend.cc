@@ -3,11 +3,10 @@
 #include <cmath>
 #include <map>
 #include <tuple>
-#include <mutex>
 #include <set>
 
 #include "common/logging.h"
-#include "common/parallel.h"
+#include "eval/fleet.h"
 
 namespace reaper {
 namespace eval {
@@ -101,13 +100,12 @@ EndToEndEvaluator::run()
         }
     }
 
-    // Results keyed by (chip, interval index, mix) and alone IPCs
-    // keyed by (chip, benchmark).
-    std::map<std::tuple<unsigned, size_t, int>, RunStats> mix_runs;
-    std::map<std::pair<unsigned, int>, double> alone_ipc;
-    std::mutex mtx;
-
-    parallelFor(
+    // Run the jobs as one fleet; results come back in job order, so
+    // the index maps below are filled deterministically regardless of
+    // the worker count.
+    FleetOptions fleet_opt;
+    fleet_opt.threads = cfg_.threads;
+    auto job_results = runFleet(
         jobs.size(),
         [&](size_t i) {
             const Job &job = jobs[i];
@@ -118,20 +116,28 @@ EndToEndEvaluator::run()
                 std::vector<sim::Trace> alone = {workload::generateTrace(
                     spec, cfg_.accessesPerCore,
                     hashCombine(cfg_.seed, 0), 1ull << 32)};
-                RunStats r = simulateMix(alone, job.chip,
-                                         kJedecRefreshInterval);
-                std::lock_guard<std::mutex> lock(mtx);
-                alone_ipc[{job.chip, job.bench}] = r.coreIpc.at(0);
-            } else {
-                RunStats r = simulateMix(
-                    mix_traces[static_cast<size_t>(job.mix)], job.chip,
-                    intervals[job.intervalIdx]);
-                std::lock_guard<std::mutex> lock(mtx);
-                mix_runs[{job.chip, job.intervalIdx, job.mix}] =
-                    std::move(r);
+                return simulateMix(alone, job.chip,
+                                   kJedecRefreshInterval);
             }
+            return simulateMix(
+                mix_traces[static_cast<size_t>(job.mix)], job.chip,
+                intervals[job.intervalIdx]);
         },
-        cfg_.threads);
+        fleet_opt);
+
+    // Results keyed by (chip, interval index, mix) and alone IPCs
+    // keyed by (chip, benchmark).
+    std::map<std::tuple<unsigned, size_t, int>, RunStats> mix_runs;
+    std::map<std::pair<unsigned, int>, double> alone_ipc;
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        const Job &job = jobs[i];
+        if (job.mix < 0)
+            alone_ipc[{job.chip, job.bench}] =
+                job_results[i].coreIpc.at(0);
+        else
+            mix_runs[{job.chip, job.intervalIdx, job.mix}] =
+                std::move(job_results[i]);
+    }
 
     // Assemble sweep points.
     std::vector<SweepPoint> points;

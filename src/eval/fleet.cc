@@ -1,0 +1,29 @@
+#include "eval/fleet.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "common/logging.h"
+
+namespace reaper {
+namespace eval {
+
+unsigned
+fleetThreads()
+{
+    if (const char *env = std::getenv("REAPER_BENCH_THREADS")) {
+        char *end = nullptr;
+        long v = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && v > 0)
+            return static_cast<unsigned>(v);
+        if (env[0] != '\0')
+            warn("REAPER_BENCH_THREADS='%s' is not a positive integer; "
+                 "falling back to hardware concurrency",
+                 env);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+} // namespace eval
+} // namespace reaper

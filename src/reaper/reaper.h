@@ -73,6 +73,7 @@
 #include "workload/synthetic.h"
 
 #include "eval/endtoend.h"
+#include "eval/fleet.h"
 #include "eval/overhead.h"
 
 #include "reaper/firmware.h"

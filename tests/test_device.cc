@@ -298,6 +298,101 @@ TEST(DramDevice, NegativeWaitPanics)
     EXPECT_DEATH(d.wait(-1.0), "negative");
 }
 
+// ---- Optimized read path vs. the reference (seed) implementation ----
+//
+// readAndCompare/trueFailingSet were rewritten around a sorted
+// structure-of-arrays index with a 5-sigma fast-reject sweep and
+// memoized temperature factors; the *Reference() methods pin the
+// original per-cell implementation. The two must agree bit-exactly.
+
+TEST(DramDeviceReadPath, MatchesReferenceAcrossPatterns)
+{
+    DramDevice d(statsConfig(31));
+    for (DataPattern p : allDataPatterns()) {
+        d.writePattern(p);
+        d.disableRefresh();
+        d.wait(1.8);
+        d.enableRefresh();
+        EXPECT_EQ(d.readAndCompare(), d.readAndCompareReference());
+    }
+}
+
+TEST(DramDeviceReadPath, MatchesReferenceAcrossTemperatures)
+{
+    for (Celsius temp : {40.0, 45.0, 48.0}) {
+        DramDevice d(statsConfig(32));
+        d.setTemperature(temp);
+        d.writePattern(DataPattern::Random);
+        d.disableRefresh();
+        d.wait(1.5);
+        d.enableRefresh();
+        EXPECT_EQ(d.readAndCompare(), d.readAndCompareReference());
+    }
+}
+
+TEST(DramDeviceReadPath, MatchesReferenceAcrossExposures)
+{
+    DramDevice d(statsConfig(33));
+    d.writePattern(DataPattern::ColStripe);
+    d.disableRefresh();
+    for (int step = 0; step < 4; ++step) {
+        d.wait(0.5);
+        EXPECT_EQ(d.readAndCompare(), d.readAndCompareReference());
+    }
+}
+
+TEST(DramDeviceReadPath, MatchesReferenceWithActiveVrt)
+{
+    DramDevice d(statsConfig(34));
+    d.wait(hoursToSec(24.0)); // populate the active VRT set
+    ASSERT_GT(d.activeVrtCount(), 0u);
+    d.writePattern(DataPattern::Random);
+    d.disableRefresh();
+    d.wait(1.8);
+    d.enableRefresh();
+    EXPECT_EQ(d.readAndCompare(), d.readAndCompareReference());
+}
+
+TEST(DramDeviceReadPath, TrueFailingSetMatchesReference)
+{
+    DramDevice d(statsConfig(35));
+    for (Celsius temp : {40.0, 45.0, 48.0}) {
+        for (Seconds t : {0.8, 1.5, 2.2}) {
+            for (double pmin : {0.01, 0.05, 0.5}) {
+                EXPECT_EQ(d.trueFailingSet(t, temp, pmin),
+                          d.trueFailingSetReference(t, temp, pmin));
+            }
+        }
+    }
+}
+
+TEST(DramDeviceReadPath, TrueFailingSetMatchesReferenceWithVrt)
+{
+    DramDevice d(statsConfig(36));
+    d.wait(hoursToSec(24.0));
+    ASSERT_GT(d.activeVrtCount(), 0u);
+    EXPECT_EQ(d.trueFailingSet(1.5, 45.0),
+              d.trueFailingSetReference(1.5, 45.0));
+}
+
+TEST(DramDeviceReadPath, ScratchReuseIsConsistent)
+{
+    // The Into variants reuse a member buffer; repeated and
+    // interleaved calls must keep returning the same content as the
+    // copying API.
+    DramDevice d(statsConfig(37));
+    d.writePattern(DataPattern::Checkerboard);
+    d.disableRefresh();
+    d.wait(1.8);
+    d.enableRefresh();
+    auto copy = d.readAndCompare();
+    EXPECT_EQ(d.readAndCompareInto(), copy);
+    EXPECT_EQ(d.readAndCompareInto(), copy);
+    auto truth_copy = d.trueFailingSet(1.5, 45.0);
+    EXPECT_EQ(d.trueFailingSetInto(1.5, 45.0), truth_copy);
+    EXPECT_EQ(d.readAndCompareInto(), copy); // interleaved
+}
+
 TEST(DramDevice, SolidPatternsSeeFewerFailuresThanUnion)
 {
     // A single static pattern cannot see cells whose worst pattern is a
