@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 verification plus the thread-sanitized smoke
+# suite. Mirrors what a contributor runs locally (see ROADMAP.md):
+#
+#   scripts/ci.sh            # full tier-1 + tsan smoke
+#   scripts/ci.sh --quick    # tier-1 only (skip the sanitizer build)
+#
+# Build directories: build/ (tier-1) and build-tsan/ (REAPER_SANITIZE=
+# thread). Both are incremental across runs.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+quick=0
+if [[ "${1:-}" == "--quick" ]]; then
+    quick=1
+fi
+
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+echo "=== tier-1: configure + build ==="
+cmake -B build -S .
+cmake --build build -j "$jobs"
+
+echo "=== tier-1: ctest ==="
+(cd build && ctest --output-on-failure -j "$jobs")
+
+if [[ "$quick" == "1" ]]; then
+    echo "=== quick mode: skipping sanitizer suite ==="
+    exit 0
+fi
+
+echo "=== sanitize: configure + build (REAPER_SANITIZE=thread) ==="
+cmake -B build-tsan -S . -DREAPER_SANITIZE=thread
+cmake --build build-tsan -j "$jobs" --target test_fleet test_campaign
+
+echo "=== sanitize: ctest -L sanitize ==="
+(cd build-tsan && ctest -L sanitize --output-on-failure -j "$jobs")
+
+echo "=== ci.sh: all suites passed ==="

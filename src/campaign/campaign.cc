@@ -1,0 +1,335 @@
+#include "campaign/campaign.h"
+
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+
+#include "common/logging.h"
+#include "dram/vendor_model.h"
+
+namespace fs = std::filesystem;
+
+namespace reaper {
+namespace campaign {
+
+namespace {
+
+uint64_t
+hashDouble(uint64_t h, double v)
+{
+    return hashCombine(h, std::bit_cast<uint64_t>(v));
+}
+
+uint64_t
+hashString(uint64_t h, const std::string &s)
+{
+    h = hashCombine(h, s.size());
+    for (char c : s)
+        h = hashCombine(h, static_cast<uint64_t>(
+                               static_cast<unsigned char>(c)));
+    return h;
+}
+
+bool
+filenameSafeId(const std::string &id)
+{
+    if (id.empty())
+        return false;
+    for (char c : id) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                  c == '-';
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+void
+validate(const CampaignConfig &cfg)
+{
+    if (cfg.dir.empty())
+        throw CampaignError("campaign: dir must not be empty");
+    if (cfg.chips.empty())
+        throw CampaignError("campaign: no chips configured");
+    if (cfg.rounds.empty())
+        throw CampaignError("campaign: no rounds configured");
+    if (cfg.retry.maxAttempts < 1)
+        throw CampaignError("campaign: retry.maxAttempts must be >= 1");
+    for (size_t i = 0; i < cfg.chips.size(); ++i) {
+        if (!filenameSafeId(cfg.chips[i].id))
+            throw CampaignError(
+                "campaign: chip " + std::to_string(i) +
+                " id '" + cfg.chips[i].id +
+                "' must be non-empty and filename-safe "
+                "([A-Za-z0-9._-])");
+        for (size_t j = 0; j < i; ++j)
+            if (cfg.chips[j].id == cfg.chips[i].id)
+                throw CampaignError("campaign: duplicate chip id '" +
+                                    cfg.chips[i].id + "'");
+    }
+    for (size_t r = 0; r < cfg.rounds.size(); ++r)
+        if (cfg.rounds[r].iterations < 1)
+            throw CampaignError("campaign: round " + std::to_string(r) +
+                                " iterations must be >= 1");
+}
+
+profiling::ProfilingResult
+runRound(testbed::SoftMcHost &host, const RoundSpec &r)
+{
+    switch (r.profiler) {
+    case ProfilerKind::BruteForce: {
+        profiling::BruteForceConfig c;
+        c.test = r.target;
+        c.iterations = r.iterations;
+        c.setTemperature = r.setTemperature;
+        return profiling::BruteForceProfiler{}.run(host, c);
+    }
+    case ProfilerKind::Reach: {
+        profiling::ReachConfig c;
+        c.target = r.target;
+        c.deltaRefreshInterval = r.reachDeltaRefresh;
+        c.deltaTemperature = r.reachDeltaTemp;
+        c.iterations = r.iterations;
+        c.setTemperature = r.setTemperature;
+        return profiling::ReachProfiler{}.run(host, c);
+    }
+    }
+    panic("runRound: unknown ProfilerKind %d",
+          static_cast<int>(r.profiler));
+}
+
+/** Write the human-readable manifest once, atomically. */
+void
+writeManifestIfAbsent(const CampaignConfig &cfg, uint64_t fingerprint)
+{
+    fs::path path = fs::path(cfg.dir) / "campaign.manifest";
+    if (fs::exists(path))
+        return;
+    fs::path tmp = path;
+    tmp += ".tmp";
+    {
+        std::ofstream os(tmp);
+        if (!os)
+            throw CampaignError("campaign: cannot write manifest '" +
+                                tmp.string() + "'");
+        os << "REAPER-CAMPAIGN v1\n";
+        os << "name " << cfg.name << "\n";
+        std::ostringstream fp;
+        fp << std::hex << fingerprint;
+        os << "fingerprint " << fp.str() << "\n";
+        os << "base_seed " << cfg.baseSeed << "\n";
+        os << "chips " << cfg.chips.size() << "\n";
+        os << "rounds " << cfg.rounds.size() << "\n";
+        for (size_t i = 0; i < cfg.chips.size(); ++i) {
+            const ChipSpec &c = cfg.chips[i];
+            os << "chip " << i << " " << c.id << " "
+               << dram::toString(c.config.vendor) << " "
+               << c.config.chipCapacityBits << " " << c.config.seed
+               << "\n";
+        }
+        for (size_t r = 0; r < cfg.rounds.size(); ++r) {
+            const RoundSpec &rs = cfg.rounds[r];
+            os << "round " << r << " "
+               << (rs.profiler == ProfilerKind::Reach ? "reach"
+                                                      : "brute_force")
+               << " trefi_ms " << secToMs(rs.target.refreshInterval)
+               << " temp_c " << rs.target.temperature << " iterations "
+               << rs.iterations << "\n";
+        }
+        os.flush();
+        if (!os)
+            throw CampaignError("campaign: manifest write failed");
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec)
+        throw CampaignError("campaign: manifest rename failed: " +
+                            ec.message());
+}
+
+} // namespace
+
+uint64_t
+campaignFingerprint(const CampaignConfig &cfg)
+{
+    uint64_t h = hashCombine(0x5245415045520001ull, cfg.baseSeed);
+    h = hashCombine(h, cfg.chips.size());
+    for (const ChipSpec &c : cfg.chips) {
+        h = hashString(h, c.id);
+        h = hashCombine(h, static_cast<uint64_t>(c.config.vendor));
+        h = hashCombine(h, c.config.numChips);
+        h = hashCombine(h, c.config.chipCapacityBits);
+        h = hashCombine(h, c.config.seed);
+        h = hashDouble(h, c.config.envelope.maxInterval);
+        h = hashDouble(h, c.config.envelope.maxTemperature);
+        h = hashDouble(h, c.config.initialTemp);
+        h = hashDouble(h, c.config.chipVariation);
+        h = hashDouble(h, c.config.vrtRateScale);
+    }
+    h = hashCombine(h, cfg.rounds.size());
+    for (const RoundSpec &r : cfg.rounds) {
+        h = hashCombine(h, static_cast<uint64_t>(r.profiler));
+        h = hashDouble(h, r.target.refreshInterval);
+        h = hashDouble(h, r.target.temperature);
+        h = hashDouble(h, r.reachDeltaRefresh);
+        h = hashDouble(h, r.reachDeltaTemp);
+        h = hashCombine(h, static_cast<uint64_t>(r.iterations));
+        h = hashCombine(h, r.setTemperature ? 1 : 0);
+    }
+    h = hashDouble(h, cfg.host.rwSecondsPerGB);
+    h = hashCombine(h, cfg.host.useChamber ? 1 : 0);
+    return h;
+}
+
+std::string
+roundKey(const CampaignConfig &cfg, size_t chip, size_t round)
+{
+    return ProfileStore::profileKey(cfg.chips[chip].id,
+                                    cfg.rounds[round].target);
+}
+
+std::vector<ChipSpec>
+makeChipFleet(size_t n, uint64_t baseSeed, uint64_t chipCapacityBits,
+              dram::TestEnvelope envelope)
+{
+    static const dram::Vendor vendors[] = {
+        dram::Vendor::A, dram::Vendor::B, dram::Vendor::C};
+    std::vector<ChipSpec> chips;
+    chips.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        ChipSpec c;
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%s-%03zu",
+                      dram::toString(vendors[i % 3]).c_str(), i);
+        c.id = buf;
+        c.config.numChips = 1;
+        c.config.chipCapacityBits = chipCapacityBits;
+        c.config.vendor = vendors[i % 3];
+        c.config.seed = eval::fleetSeed(baseSeed, i);
+        c.config.envelope = envelope;
+        chips.push_back(std::move(c));
+    }
+    return chips;
+}
+
+std::string
+defaultCampaignDir(const std::string &fallback)
+{
+    const char *env = std::getenv("REAPER_CAMPAIGN_DIR");
+    if (env && env[0] != '\0')
+        return env;
+    return fallback;
+}
+
+CampaignStats
+runCampaign(const CampaignConfig &cfg)
+{
+    validate(cfg);
+
+    std::error_code ec;
+    fs::create_directories(cfg.dir, ec);
+    if (ec)
+        throw CampaignError("campaign: cannot create '" + cfg.dir +
+                            "': " + ec.message());
+
+    const uint64_t fingerprint = campaignFingerprint(cfg);
+    writeManifestIfAbsent(cfg, fingerprint);
+
+    ProfileStore store((fs::path(cfg.dir) / "store").string());
+    CampaignJournal journal((fs::path(cfg.dir) / "journal.log").string(),
+                            fingerprint);
+
+    const size_t n_rounds = cfg.rounds.size();
+    std::vector<size_t> pending; // encoded chip * n_rounds + round
+    for (size_t c = 0; c < cfg.chips.size(); ++c)
+        for (size_t r = 0; r < n_rounds; ++r)
+            if (!journal.isDone(static_cast<uint32_t>(c),
+                                static_cast<uint32_t>(r)))
+                pending.push_back(c * n_rounds + r);
+
+    std::mutex mtx; // serializes store commits + journal appends
+    std::atomic<bool> stopped{false};
+    size_t commits_this_run = 0;
+    Seconds backoff_total = 0.0;
+
+    eval::runFleet(
+        pending.size(),
+        [&](size_t i) -> int {
+            if (stopped.load(std::memory_order_relaxed))
+                return 0; // simulated kill: task never dispatched
+            const size_t task = pending[i];
+            const size_t c = task / n_rounds;
+            const size_t r = task % n_rounds;
+            const ChipSpec &chip = cfg.chips[c];
+            const uint64_t fault_base =
+                eval::fleetSeed(cfg.faults.seed, task);
+
+            RoundRecord rec;
+            rec.chip = static_cast<uint32_t>(c);
+            rec.round = static_cast<uint32_t>(r);
+            profiling::RetentionProfile profile;
+            Seconds backoff = 0.0;
+            for (int attempt = 1;; ++attempt) {
+                // A fresh module per attempt: the static weak-cell
+                // population is a pure function of the chip seed, so a
+                // retry observes the same chip, while dynamic (VRT)
+                // state cannot leak across attempts.
+                dram::DramModule module(chip.config);
+                FaultyHost host(module, cfg.host, cfg.faults,
+                                hashCombine(fault_base,
+                                            static_cast<uint64_t>(
+                                                attempt)));
+                try {
+                    profile = runRound(host, cfg.rounds[r]).profile;
+                    rec.attempts = static_cast<uint32_t>(attempt);
+                    break;
+                } catch (const HostFaultError &e) {
+                    rec.faults += host.counts();
+                    if (attempt >= cfg.retry.maxAttempts)
+                        throw CampaignError(
+                            "campaign: chip " + chip.id + " round " +
+                            std::to_string(r) + " failed after " +
+                            std::to_string(attempt) +
+                            " attempts: " + e.what());
+                    backoff += cfg.retry.backoff *
+                               std::pow(cfg.retry.backoffMultiplier,
+                                        attempt - 1);
+                }
+            }
+            rec.cells = profile.size();
+
+            std::lock_guard<std::mutex> lock(mtx);
+            store.commit(roundKey(cfg, c, r), profile);
+            journal.append(rec);
+            backoff_total += backoff;
+            ++commits_this_run;
+            if (cfg.interruptAfter > 0 &&
+                commits_this_run >= cfg.interruptAfter)
+                stopped.store(true, std::memory_order_relaxed);
+            return 0;
+        },
+        cfg.fleet);
+
+    CampaignStats stats;
+    stats.tasksTotal = cfg.chips.size() * n_rounds;
+    stats.roundsResumed = journal.resumedCount();
+    stats.roundsCompleted = journal.completed().size();
+    stats.roundsThisRun = stats.roundsCompleted - stats.roundsResumed;
+    for (const RoundRecord &rec : journal.completed()) {
+        stats.attempts += rec.attempts;
+        stats.faults += rec.faults;
+    }
+    stats.retries = stats.attempts - stats.roundsCompleted;
+    stats.backoffTime = backoff_total;
+    stats.interrupted = stopped.load() && !stats.complete();
+    return stats;
+}
+
+} // namespace campaign
+} // namespace reaper

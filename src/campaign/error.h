@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Campaign error type.
+ *
+ * Campaign failures (exhausted retries, journal/manifest mismatches,
+ * store corruption) are *recoverable by the caller* — a campaign driver
+ * typically wants to log, alert, and resume later — so they propagate
+ * as exceptions rather than the library's fatal()/panic() process
+ * aborts, which are reserved for unusable configurations and internal
+ * invariant violations.
+ */
+
+#ifndef REAPER_CAMPAIGN_ERROR_H
+#define REAPER_CAMPAIGN_ERROR_H
+
+#include <stdexcept>
+#include <string>
+
+namespace reaper {
+namespace campaign {
+
+/** A campaign-level failure the caller can catch and act on. */
+class CampaignError : public std::runtime_error
+{
+  public:
+    explicit CampaignError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+} // namespace campaign
+} // namespace reaper
+
+#endif // REAPER_CAMPAIGN_ERROR_H

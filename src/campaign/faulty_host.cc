@@ -1,0 +1,114 @@
+#include "campaign/faulty_host.h"
+
+#include "common/logging.h"
+
+namespace reaper {
+namespace campaign {
+
+const char *
+toString(FaultKind kind)
+{
+    switch (kind) {
+    case FaultKind::CommandTimeout:
+        return "command_timeout";
+    case FaultKind::SettleFailure:
+        return "settle_failure";
+    case FaultKind::ReadCorruption:
+        return "read_corruption";
+    }
+    panic("toString: unknown FaultKind %d", static_cast<int>(kind));
+}
+
+FaultyHost::FaultyHost(dram::DramModule &module,
+                       const testbed::HostConfig &hostCfg,
+                       const FaultConfig &faults, uint64_t streamSeed)
+    : testbed::SoftMcHost(module, hostCfg),
+      faults_(faults),
+      rng_(streamSeed)
+{
+}
+
+void
+FaultyHost::maybeFault(FaultKind kind, double rate, const char *op)
+{
+    if (rate <= 0.0)
+        return;
+    if (!rng_.bernoulli(rate))
+        return;
+    switch (kind) {
+    case FaultKind::CommandTimeout:
+        ++counts_.commandTimeouts;
+        break;
+    case FaultKind::SettleFailure:
+        ++counts_.settleFailures;
+        break;
+    case FaultKind::ReadCorruption:
+        ++counts_.readCorruptions;
+        break;
+    }
+    throw HostFaultError(kind, std::string(toString(kind)) +
+                                   " injected during " + op);
+}
+
+void
+FaultyHost::setAmbient(Celsius ambient)
+{
+    maybeFault(FaultKind::CommandTimeout,
+               faults_.commandTimeoutRate, "setAmbient");
+    maybeFault(FaultKind::SettleFailure,
+               faults_.settleFailureRate, "setAmbient");
+    testbed::SoftMcHost::setAmbient(ambient);
+}
+
+void
+FaultyHost::writeAll(dram::DataPattern p)
+{
+    maybeFault(FaultKind::CommandTimeout,
+               faults_.commandTimeoutRate, "writeAll");
+    testbed::SoftMcHost::writeAll(p);
+}
+
+void
+FaultyHost::restoreAll()
+{
+    maybeFault(FaultKind::CommandTimeout,
+               faults_.commandTimeoutRate, "restoreAll");
+    testbed::SoftMcHost::restoreAll();
+}
+
+void
+FaultyHost::disableRefresh()
+{
+    maybeFault(FaultKind::CommandTimeout,
+               faults_.commandTimeoutRate, "disableRefresh");
+    testbed::SoftMcHost::disableRefresh();
+}
+
+void
+FaultyHost::enableRefresh()
+{
+    maybeFault(FaultKind::CommandTimeout,
+               faults_.commandTimeoutRate, "enableRefresh");
+    testbed::SoftMcHost::enableRefresh();
+}
+
+void
+FaultyHost::wait(Seconds t)
+{
+    maybeFault(FaultKind::CommandTimeout,
+               faults_.commandTimeoutRate, "wait");
+    testbed::SoftMcHost::wait(t);
+}
+
+std::vector<dram::ChipFailure>
+FaultyHost::readAndCompareAll()
+{
+    maybeFault(FaultKind::CommandTimeout,
+               faults_.commandTimeoutRate, "readAndCompareAll");
+    maybeFault(FaultKind::ReadCorruption,
+               faults_.readCorruptionRate, "readAndCompareAll");
+    return testbed::SoftMcHost::readAndCompareAll();
+}
+
+} // namespace campaign
+} // namespace reaper

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Fault-injection shim around the SoftMC host interface.
+ *
+ * Weeks-long profiling campaigns on real testbeds survive a steady
+ * trickle of transient infrastructure failures: the host FPGA link
+ * times out, the thermal chamber overshoots and trips its settle
+ * check, a read-back transfer arrives corrupted and is rejected by its
+ * CRC. FaultyHost reproduces those failure modes deterministically —
+ * each host operation may throw a HostFaultError, decided by a seeded
+ * RNG stream — so the campaign orchestrator's retry/backoff and
+ * journaling logic can be tested end-to-end with a reproducible fault
+ * schedule.
+ *
+ * Faults are *detected* failures: an injected fault throws before the
+ * underlying operation runs, modelling a command the infrastructure
+ * rejected (timeout, settle failure) or data it discarded (transfer
+ * CRC mismatch). A FaultyHost never silently corrupts results — on any
+ * code path that returns normally, behaviour is bit-identical to the
+ * plain SoftMcHost, which is what lets a faulty campaign converge to
+ * the same profiles as a fault-free one.
+ */
+
+#ifndef REAPER_CAMPAIGN_FAULTY_HOST_H
+#define REAPER_CAMPAIGN_FAULTY_HOST_H
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "common/rng.h"
+#include "testbed/softmc_host.h"
+
+namespace reaper {
+namespace campaign {
+
+/** The transient infrastructure failure modes injected. */
+enum class FaultKind : uint8_t
+{
+    CommandTimeout, ///< host command link timed out (any operation)
+    SettleFailure,  ///< thermal chamber failed its settle check
+    ReadCorruption, ///< read-back transfer failed its CRC and was dropped
+};
+
+/** Human-readable fault-kind name. */
+const char *toString(FaultKind kind);
+
+/** Per-operation fault probabilities and the schedule seed. */
+struct FaultConfig
+{
+    /** Base seed of the fault schedule; combined with a per-attempt
+     *  stream seed so every (task, attempt) has its own schedule. */
+    uint64_t seed = 0;
+    /** Probability any host command times out. */
+    double commandTimeoutRate = 0.0;
+    /** Probability a setAmbient fails to settle. */
+    double settleFailureRate = 0.0;
+    /** Probability a readAndCompareAll transfer is corrupted. */
+    double readCorruptionRate = 0.0;
+
+    bool
+    enabled() const
+    {
+        return commandTimeoutRate > 0.0 || settleFailureRate > 0.0 ||
+               readCorruptionRate > 0.0;
+    }
+};
+
+/** Counters of injected faults, by kind. */
+struct FaultCounts
+{
+    uint64_t commandTimeouts = 0;
+    uint64_t settleFailures = 0;
+    uint64_t readCorruptions = 0;
+
+    uint64_t
+    total() const
+    {
+        return commandTimeouts + settleFailures + readCorruptions;
+    }
+
+    FaultCounts &
+    operator+=(const FaultCounts &o)
+    {
+        commandTimeouts += o.commandTimeouts;
+        settleFailures += o.settleFailures;
+        readCorruptions += o.readCorruptions;
+        return *this;
+    }
+
+    bool
+    operator==(const FaultCounts &o) const
+    {
+        return commandTimeouts == o.commandTimeouts &&
+               settleFailures == o.settleFailures &&
+               readCorruptions == o.readCorruptions;
+    }
+};
+
+/** Thrown by FaultyHost when an injected fault fires. */
+class HostFaultError : public std::runtime_error
+{
+  public:
+    HostFaultError(FaultKind kind, const std::string &what)
+        : std::runtime_error(what), kind_(kind)
+    {
+    }
+
+    FaultKind kind() const { return kind_; }
+
+  private:
+    FaultKind kind_;
+};
+
+/**
+ * A SoftMcHost whose operations can fail transiently.
+ *
+ * The fault decision stream is drawn from Rng(streamSeed) in operation
+ * order, so a given (config, streamSeed) pair always produces the same
+ * fault schedule — zero-rate fault kinds consume no draws, keeping the
+ * stream stable when individual rates are disabled.
+ */
+class FaultyHost : public testbed::SoftMcHost
+{
+  public:
+    FaultyHost(dram::DramModule &module,
+               const testbed::HostConfig &hostCfg,
+               const FaultConfig &faults, uint64_t streamSeed);
+
+    void setAmbient(Celsius ambient) override;
+    void writeAll(dram::DataPattern p) override;
+    void restoreAll() override;
+    void disableRefresh() override;
+    void enableRefresh() override;
+    void wait(Seconds t) override;
+    std::vector<dram::ChipFailure> readAndCompareAll() override;
+
+    /** Faults injected so far on this host. */
+    const FaultCounts &counts() const { return counts_; }
+
+  private:
+    /** Draw the fault decision for one (kind, operation); throws when
+     *  the fault fires. */
+    void maybeFault(FaultKind kind, double rate, const char *op);
+
+    FaultConfig faults_;
+    Rng rng_;
+    FaultCounts counts_;
+};
+
+} // namespace campaign
+} // namespace reaper
+
+#endif // REAPER_CAMPAIGN_FAULTY_HOST_H

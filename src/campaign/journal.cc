@@ -1,0 +1,110 @@
+#include "campaign/journal.h"
+
+#include <filesystem>
+#include <sstream>
+
+#include "campaign/error.h"
+#include "common/logging.h"
+
+namespace reaper {
+namespace campaign {
+
+namespace {
+constexpr const char *kMagic = "REAPER-CAMPAIGN-JOURNAL v1";
+
+std::string
+hex(uint64_t v)
+{
+    std::ostringstream os;
+    os << std::hex << v;
+    return os.str();
+}
+} // namespace
+
+CampaignJournal::CampaignJournal(const std::string &path,
+                                 uint64_t fingerprint)
+{
+    if (std::filesystem::exists(path)) {
+        std::ifstream is(path);
+        if (!is)
+            throw CampaignError("journal: cannot open '" + path + "'");
+        std::string line;
+        if (!std::getline(is, line) || line != kMagic)
+            throw CampaignError("journal: bad header in '" + path +
+                                "'");
+        uint64_t found = 0;
+        {
+            std::istringstream row(std::getline(is, line)
+                                       ? line
+                                       : std::string());
+            std::string key;
+            if (!(row >> key >> std::hex >> found) ||
+                key != "fingerprint")
+                throw CampaignError("journal: missing fingerprint in '" +
+                                    path + "'");
+        }
+        if (found != fingerprint)
+            throw CampaignError(
+                "journal: '" + path + "' belongs to a different "
+                "campaign (fingerprint " + hex(found) + ", expected " +
+                hex(fingerprint) + "); refusing to resume");
+        while (std::getline(is, line)) {
+            if (line.empty())
+                continue;
+            std::istringstream row(line);
+            std::string tag;
+            RoundRecord rec;
+            if (!(row >> tag >> rec.chip >> rec.round >> rec.cells >>
+                  rec.attempts >> rec.faults.commandTimeouts >>
+                  rec.faults.settleFailures >>
+                  rec.faults.readCorruptions) ||
+                tag != "done") {
+                // A kill mid-append tears the last line; everything
+                // before it is intact, so resume from there.
+                warn("journal: ignoring torn/unknown line '%s' in "
+                     "'%s'",
+                     line.c_str(), path.c_str());
+                break;
+            }
+            if (done_.count({rec.chip, rec.round})) {
+                warn("journal: duplicate entry for chip %u round %u",
+                     rec.chip, rec.round);
+                continue;
+            }
+            completed_.push_back(rec);
+            done_.insert({rec.chip, rec.round});
+        }
+        resumed_ = completed_.size();
+        os_.open(path, std::ios::app);
+        if (!os_)
+            throw CampaignError("journal: cannot append to '" + path +
+                                "'");
+        return;
+    }
+
+    os_.open(path);
+    if (!os_)
+        throw CampaignError("journal: cannot create '" + path + "'");
+    os_ << kMagic << "\n"
+        << "fingerprint " << hex(fingerprint) << "\n";
+    os_.flush();
+    if (!os_)
+        throw CampaignError("journal: write to '" + path + "' failed");
+}
+
+void
+CampaignJournal::append(const RoundRecord &rec)
+{
+    os_ << "done " << rec.chip << " " << rec.round << " " << rec.cells
+        << " " << rec.attempts << " " << rec.faults.commandTimeouts
+        << " " << rec.faults.settleFailures << " "
+        << rec.faults.readCorruptions << "\n";
+    os_.flush();
+    if (!os_)
+        throw CampaignError("journal: append failed (disk full?)");
+    completed_.push_back(rec);
+    done_.insert({rec.chip, rec.round});
+}
+
+} // namespace campaign
+} // namespace reaper

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Append-only campaign round journal.
+ *
+ * The journal is the campaign's durable progress record: one line per
+ * completed (chip, round) task, appended and flushed at commit time.
+ * A killed campaign re-opens the journal, validates that it belongs to
+ * the same campaign (a fingerprint of everything that affects profile
+ * contents), and skips every journaled round — because each round is a
+ * pure function of the campaign config and its derived seeds, the
+ * resumed run converges to bit-identical profile-store contents.
+ *
+ * The file is line-oriented text:
+ *
+ *     REAPER-CAMPAIGN-JOURNAL v1
+ *     fingerprint <hex>
+ *     done <chip> <round> <cells> <attempts> <timeouts> <settles> <corruptions>
+ *     ...
+ *
+ * A crash can truncate the final line mid-write; the loader stops at
+ * the first malformed line with a warning instead of failing, treating
+ * the torn entry's round as not-yet-done (it will simply re-run).
+ */
+
+#ifndef REAPER_CAMPAIGN_JOURNAL_H
+#define REAPER_CAMPAIGN_JOURNAL_H
+
+#include <cstdint>
+#include <fstream>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "campaign/faulty_host.h"
+
+namespace reaper {
+namespace campaign {
+
+/** One completed (chip, round) task. */
+struct RoundRecord
+{
+    uint32_t chip = 0;
+    uint32_t round = 0;
+    uint64_t cells = 0;    ///< profile size committed to the store
+    uint32_t attempts = 1; ///< attempts the round took (retries + 1)
+    FaultCounts faults;    ///< faults survived across those attempts
+};
+
+/** Durable record of which campaign rounds have completed. */
+class CampaignJournal
+{
+  public:
+    /**
+     * Open a journal file, creating it (with header) when absent.
+     * An existing journal must carry the same fingerprint; a mismatch
+     * means the directory holds a *different* campaign and resuming
+     * would mix incompatible profiles, so it throws CampaignError.
+     */
+    CampaignJournal(const std::string &path, uint64_t fingerprint);
+
+    /** Rounds completed so far (journaled plus appended this run). */
+    const std::vector<RoundRecord> &completed() const
+    {
+        return completed_;
+    }
+
+    /** Rounds found already journaled when the file was opened. */
+    size_t resumedCount() const { return resumed_; }
+
+    bool
+    isDone(uint32_t chip, uint32_t round) const
+    {
+        return done_.count({chip, round}) != 0;
+    }
+
+    /** Append one completed round and flush it to disk. */
+    void append(const RoundRecord &rec);
+
+  private:
+    std::ofstream os_;
+    std::vector<RoundRecord> completed_;
+    std::set<std::pair<uint32_t, uint32_t>> done_;
+    size_t resumed_ = 0;
+};
+
+} // namespace campaign
+} // namespace reaper
+
+#endif // REAPER_CAMPAIGN_JOURNAL_H

@@ -1,0 +1,238 @@
+#include "campaign/profile_store.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "campaign/error.h"
+#include "common/logging.h"
+
+namespace fs = std::filesystem;
+
+namespace reaper {
+namespace campaign {
+
+namespace {
+
+constexpr const char *kIndexMagic = "REAPER-PROFILE-INDEX v1";
+constexpr const char *kIndexName = "index.txt";
+constexpr const char *kProfileExt = ".profile";
+
+/** Rename with the error surfaced as a CampaignError. */
+void
+atomicRename(const fs::path &from, const fs::path &to)
+{
+    std::error_code ec;
+    fs::rename(from, to, ec);
+    if (ec)
+        throw CampaignError("profile store: rename '" + from.string() +
+                            "' -> '" + to.string() +
+                            "' failed: " + ec.message());
+}
+
+bool
+fileSafe(char c)
+{
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+           c == '-' || c == '@';
+}
+
+} // namespace
+
+ProfileStore::ProfileStore(const std::string &dir) : dir_(dir)
+{
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec)
+        throw CampaignError("profile store: cannot create '" + dir_ +
+                            "': " + ec.message());
+    loadIndex();
+    scanForUnindexed();
+}
+
+std::string
+ProfileStore::profileKey(const std::string &chipId,
+                         const profiling::Conditions &cond)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "@trefi%.3fms@%.2fC",
+                  secToMs(cond.refreshInterval), cond.temperature);
+    return chipId + buf;
+}
+
+std::string
+ProfileStore::fileNameForKey(const std::string &key)
+{
+    // Keys built from filename-safe chip ids map losslessly; anything
+    // else is flattened to '_' (index recovery then sees the flattened
+    // key, so prefer safe chip ids).
+    std::string name = key;
+    for (char &c : name)
+        if (!fileSafe(c))
+            c = '_';
+    return name + kProfileExt;
+}
+
+void
+ProfileStore::loadIndex()
+{
+    std::ifstream is(fs::path(dir_) / kIndexName);
+    if (!is)
+        return; // fresh store (or index lost; the scan recovers)
+    std::string line;
+    if (!std::getline(is, line) || line != kIndexMagic)
+        throw CampaignError("profile store: bad index header in '" +
+                            dir_ + "'");
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream row(line);
+        StoreEntry e;
+        if (!(row >> e.key >> e.file >> e.cells))
+            throw CampaignError("profile store: malformed index row '" +
+                                line + "'");
+        index_[e.key] = e;
+    }
+}
+
+void
+ProfileStore::scanForUnindexed()
+{
+    bool recovered = false;
+    for (const auto &entry : fs::directory_iterator(dir_)) {
+        if (!entry.is_regular_file())
+            continue;
+        const fs::path &p = entry.path();
+        if (p.extension() != kProfileExt)
+            continue;
+        std::string key = p.stem().string();
+        if (index_.count(key))
+            continue;
+        // A profile committed right before a crash that lost the index
+        // update: re-derive its entry from the file itself.
+        std::ifstream is(p);
+        profiling::RetentionProfile profile;
+        std::string error;
+        if (!profiling::tryLoadProfile(is, &profile, &error)) {
+            warn("profile store: skipping unreadable '%s': %s",
+                 p.string().c_str(), error.c_str());
+            continue;
+        }
+        index_[key] = {key, p.filename().string(), profile.size()};
+        recovered = true;
+    }
+    // Entries whose backing file vanished are useless; drop them.
+    for (auto it = index_.begin(); it != index_.end();) {
+        if (!fs::exists(fs::path(dir_) / it->second.file)) {
+            warn("profile store: dropping index entry '%s' (missing "
+                 "file '%s')",
+                 it->first.c_str(), it->second.file.c_str());
+            it = index_.erase(it);
+            recovered = true;
+        } else {
+            ++it;
+        }
+    }
+    if (recovered)
+        writeIndex();
+}
+
+bool
+ProfileStore::has(const std::string &key) const
+{
+    return index_.count(key) != 0;
+}
+
+bool
+ProfileStore::tryLoad(const std::string &key,
+                      profiling::RetentionProfile *out,
+                      std::string *error) const
+{
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+        if (error)
+            *error = "no profile for key '" + key + "'";
+        return false;
+    }
+    fs::path path = fs::path(dir_) / it->second.file;
+    std::ifstream is(path);
+    if (!is) {
+        if (error)
+            *error = "cannot open '" + path.string() + "'";
+        return false;
+    }
+    return profiling::tryLoadProfile(is, out, error);
+}
+
+profiling::RetentionProfile
+ProfileStore::loadOrProfile(
+    const std::string &key,
+    const std::function<profiling::RetentionProfile()> &profileFn)
+{
+    profiling::RetentionProfile profile;
+    std::string error;
+    if (tryLoad(key, &profile, &error))
+        return profile;
+    if (has(key))
+        warn("profile store: reprofiling '%s': %s", key.c_str(),
+             error.c_str());
+    profile = profileFn();
+    commit(key, profile);
+    return profile;
+}
+
+void
+ProfileStore::commit(const std::string &key,
+                     const profiling::RetentionProfile &profile)
+{
+    std::string file = fileNameForKey(key);
+    fs::path final_path = fs::path(dir_) / file;
+    fs::path tmp_path = final_path;
+    tmp_path += ".tmp";
+    std::string error;
+    if (!profiling::trySaveProfileFile(profile, tmp_path.string(),
+                                       &error))
+        throw CampaignError("profile store: commit of '" + key +
+                            "' failed: " + error);
+    atomicRename(tmp_path, final_path);
+    index_[key] = {key, file, profile.size()};
+    writeIndex();
+}
+
+std::vector<StoreEntry>
+ProfileStore::entries() const
+{
+    std::vector<StoreEntry> out;
+    out.reserve(index_.size());
+    for (const auto &[key, entry] : index_)
+        out.push_back(entry);
+    return out;
+}
+
+void
+ProfileStore::writeIndex() const
+{
+    fs::path final_path = fs::path(dir_) / kIndexName;
+    fs::path tmp_path = final_path;
+    tmp_path += ".tmp";
+    {
+        std::ofstream os(tmp_path);
+        if (!os)
+            throw CampaignError("profile store: cannot open '" +
+                                tmp_path.string() + "' for writing");
+        os << kIndexMagic << "\n";
+        for (const auto &[key, entry] : index_)
+            os << entry.key << " " << entry.file << " " << entry.cells
+               << "\n";
+        os.flush();
+        if (!os)
+            throw CampaignError("profile store: write to '" +
+                                tmp_path.string() + "' failed");
+    }
+    atomicRename(tmp_path, final_path);
+}
+
+} // namespace campaign
+} // namespace reaper

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Persistent, versioned store of retention profiles.
+ *
+ * A RAIDR-style deployment keeps one profile per (chip, conditions)
+ * pair and restores it across reboots, reprofiling only when the
+ * longevity model demands. The store is a directory of profile files
+ * (profiling/profile_io format) plus a sorted index file; both are
+ * committed with write-to-temp-then-rename so a crash at any point
+ * leaves either the old or the new contents, never a torn file. The
+ * index is a cache: profiles present on disk but missing from the
+ * index (a crash between the two renames) are recovered by a directory
+ * scan at open.
+ *
+ * The store itself is single-threaded; the campaign orchestrator
+ * serializes commits from its fleet workers under one mutex.
+ */
+
+#ifndef REAPER_CAMPAIGN_PROFILE_STORE_H
+#define REAPER_CAMPAIGN_PROFILE_STORE_H
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "profiling/profile.h"
+#include "profiling/profile_io.h"
+
+namespace reaper {
+namespace campaign {
+
+/** One index entry: a stored profile and its summary. */
+struct StoreEntry
+{
+    std::string key;  ///< profile key (chip id + conditions)
+    std::string file; ///< file name within the store directory
+    uint64_t cells = 0;
+};
+
+/** Directory-backed profile store with an index file. */
+class ProfileStore
+{
+  public:
+    /**
+     * Open (creating the directory if needed) and load the index,
+     * recovering entries for any profile files the index misses.
+     * Throws CampaignError when the directory cannot be created or the
+     * index is unreadable.
+     */
+    explicit ProfileStore(const std::string &dir);
+
+    /**
+     * The canonical key of a profile: chip id plus the conditions it
+     * is valid for, e.g. "B-003@trefi1024.000ms@45.00C".
+     */
+    static std::string profileKey(const std::string &chipId,
+                                  const profiling::Conditions &cond);
+
+    bool has(const std::string &key) const;
+
+    /**
+     * Load a stored profile.
+     * @return whether the key exists and its file parsed cleanly
+     *         (diagnostic in *error otherwise, if non-null)
+     */
+    bool tryLoad(const std::string &key,
+                 profiling::RetentionProfile *out,
+                 std::string *error = nullptr) const;
+
+    /**
+     * The load-or-reprofile lookup: return the stored profile when the
+     * key is present and loads cleanly, otherwise run `profileFn`,
+     * commit its result under the key, and return it. A stored-but-
+     * corrupt profile is reprofiled (with a warning), not an error.
+     */
+    profiling::RetentionProfile loadOrProfile(
+        const std::string &key,
+        const std::function<profiling::RetentionProfile()> &profileFn);
+
+    /**
+     * Atomically persist a profile under a key (temp file + rename)
+     * and rewrite the index. Overwrites any previous profile for the
+     * key. Throws CampaignError on I/O failure.
+     */
+    void commit(const std::string &key,
+                const profiling::RetentionProfile &profile);
+
+    size_t size() const { return index_.size(); }
+
+    /** All entries, sorted by key. */
+    std::vector<StoreEntry> entries() const;
+
+    const std::string &dir() const { return dir_; }
+
+    /** The file name a key is stored under. */
+    static std::string fileNameForKey(const std::string &key);
+
+  private:
+    void loadIndex();
+    void scanForUnindexed();
+    void writeIndex() const;
+
+    std::string dir_;
+    std::map<std::string, StoreEntry> index_;
+};
+
+} // namespace campaign
+} // namespace reaper
+
+#endif // REAPER_CAMPAIGN_PROFILE_STORE_H

@@ -34,16 +34,26 @@ saveProfile(const RetentionProfile &profile, std::ostream &os)
         os << f.chip << " " << f.addr << "\n";
 }
 
-void
-saveProfileFile(const RetentionProfile &profile, const std::string &path)
+bool
+trySaveProfileFile(const RetentionProfile &profile,
+                   const std::string &path, std::string *error)
 {
     std::ofstream os(path);
     if (!os)
-        fatal("saveProfileFile: cannot open '%s' for writing",
-              path.c_str());
+        return fail(error, "cannot open '" + path + "' for writing");
     saveProfile(profile, os);
+    os.flush();
     if (!os)
-        fatal("saveProfileFile: write to '%s' failed", path.c_str());
+        return fail(error, "write to '" + path + "' failed");
+    return true;
+}
+
+void
+saveProfileFile(const RetentionProfile &profile, const std::string &path)
+{
+    std::string error;
+    if (!trySaveProfileFile(profile, path, &error))
+        fatal("saveProfileFile: %s", error.c_str());
 }
 
 bool

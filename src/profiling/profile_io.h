@@ -24,6 +24,15 @@ namespace profiling {
 /** Serialize a profile (conditions + sorted cell list). */
 void saveProfile(const RetentionProfile &profile, std::ostream &os);
 
+/**
+ * Save to a file path.
+ * @param error filled with a diagnostic on failure (may be null)
+ * @return whether the profile was written completely
+ */
+bool trySaveProfileFile(const RetentionProfile &profile,
+                        const std::string &path,
+                        std::string *error = nullptr);
+
 /** Save to a file path; fatal() on I/O failure. */
 void saveProfileFile(const RetentionProfile &profile,
                      const std::string &path);

@@ -13,6 +13,7 @@
  *  - power::       command-level DRAM power model
  *  - workload::    synthetic SPEC-like trace generation
  *  - eval::        profiling overhead + end-to-end evaluation
+ *  - campaign::    checkpointed multi-chip profiling campaigns
  *  - firmware::    online REAPER orchestration
  */
 
@@ -39,6 +40,7 @@
 #include "thermal/chamber.h"
 
 #include "testbed/softmc_host.h"
+#include "testbed/trace_export.h"
 
 #include "ecc/hamming.h"
 #include "ecc/longevity.h"
@@ -75,6 +77,12 @@
 #include "eval/endtoend.h"
 #include "eval/fleet.h"
 #include "eval/overhead.h"
+
+#include "campaign/campaign.h"
+#include "campaign/error.h"
+#include "campaign/faulty_host.h"
+#include "campaign/journal.h"
+#include "campaign/profile_store.h"
 
 #include "reaper/firmware.h"
 

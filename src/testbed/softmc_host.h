@@ -59,38 +59,46 @@ struct HostConfig
     bool recordTrace = false;
 };
 
-/** The host controller of one DRAM module under test. */
+/**
+ * The host controller of one DRAM module under test.
+ *
+ * The command-issuing operations are virtual so that shims can
+ * interpose on the host/DRAM boundary (the campaign subsystem's
+ * fault-injection host derives from this class and injects transient
+ * failures before delegating here).
+ */
 class SoftMcHost
 {
   public:
     /** The module is borrowed; it must outlive the host. */
     SoftMcHost(dram::DramModule &module, const HostConfig &cfg = {});
+    virtual ~SoftMcHost() = default;
 
     /**
      * Command the chamber to a new ambient setpoint and wait until the
      * temperature settles (instant when the chamber model is disabled).
      */
-    void setAmbient(Celsius ambient);
+    virtual void setAmbient(Celsius ambient);
     Celsius ambient() const { return ambient_; }
 
     /** Write the whole module with a pattern (costs write time). */
-    void writeAll(dram::DataPattern p);
+    virtual void writeAll(dram::DataPattern p);
 
     /**
      * Scrub write-back: restore the stored data in place (costs one
      * full-module write). Models an ECC scrubber correcting and
      * rewriting every word.
      */
-    void restoreAll();
+    virtual void restoreAll();
 
-    void disableRefresh();
-    void enableRefresh();
+    virtual void disableRefresh();
+    virtual void enableRefresh();
 
     /** Let the retention window elapse. */
-    void wait(Seconds t);
+    virtual void wait(Seconds t);
 
     /** Read the whole module and compare (costs read time). */
-    std::vector<dram::ChipFailure> readAndCompareAll();
+    virtual std::vector<dram::ChipFailure> readAndCompareAll();
 
     /** Virtual time since host construction. */
     Seconds now() const { return module_.now(); }

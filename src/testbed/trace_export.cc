@@ -1,0 +1,155 @@
+#include "testbed/trace_export.h"
+
+#include <charconv>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace reaper {
+namespace testbed {
+
+namespace {
+
+struct KindName
+{
+    CommandKind kind;
+    const char *name;
+};
+
+constexpr KindName kKindNames[] = {
+    {CommandKind::SetAmbient, "set_ambient"},
+    {CommandKind::WritePattern, "write_pattern"},
+    {CommandKind::Restore, "restore"},
+    {CommandKind::DisableRefresh, "disable_refresh"},
+    {CommandKind::EnableRefresh, "enable_refresh"},
+    {CommandKind::Wait, "wait"},
+    {CommandKind::ReadCompare, "read_compare"},
+};
+
+constexpr const char *kHeader = "kind,start_time_s,param";
+
+bool
+fail(std::string *error, const std::string &msg)
+{
+    if (error)
+        *error = msg;
+    return false;
+}
+
+/** Full-precision double so the CSV round-trips bit-exactly. */
+void
+putDouble(std::ostream &os, double v)
+{
+    char buf[64];
+    auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    os.write(buf, res.ptr - buf);
+}
+
+bool
+parseDouble(const std::string &field, double *out)
+{
+    const char *first = field.data();
+    const char *last = first + field.size();
+    auto res = std::from_chars(first, last, *out);
+    return res.ec == std::errc() && res.ptr == last;
+}
+
+} // namespace
+
+std::string
+commandKindName(CommandKind kind)
+{
+    for (const KindName &kn : kKindNames)
+        if (kn.kind == kind)
+            return kn.name;
+    panic("commandKindName: unknown CommandKind %d",
+          static_cast<int>(kind));
+}
+
+bool
+tryParseCommandKind(const std::string &name, CommandKind *out)
+{
+    for (const KindName &kn : kKindNames) {
+        if (name == kn.name) {
+            if (out)
+                *out = kn.kind;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+writeCommandTraceCsv(const std::vector<HostCommand> &trace,
+                     std::ostream &os)
+{
+    os << kHeader << "\n";
+    for (const HostCommand &cmd : trace) {
+        os << commandKindName(cmd.kind) << ",";
+        putDouble(os, cmd.startTime);
+        os << ",";
+        putDouble(os, cmd.param);
+        os << "\n";
+    }
+}
+
+void
+writeCommandTraceCsvFile(const std::vector<HostCommand> &trace,
+                         const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("writeCommandTraceCsvFile: cannot open '%s' for writing",
+              path.c_str());
+    writeCommandTraceCsv(trace, os);
+    os.flush();
+    if (!os)
+        fatal("writeCommandTraceCsvFile: write to '%s' failed",
+              path.c_str());
+}
+
+bool
+tryReadCommandTraceCsv(std::istream &is, std::vector<HostCommand> *out,
+                       std::string *error)
+{
+    if (!out)
+        panic("tryReadCommandTraceCsv: out must not be null");
+    std::string line;
+    if (!std::getline(is, line))
+        return fail(error, "empty trace (missing header)");
+    if (line != kHeader)
+        return fail(error, "bad header '" + line + "'");
+
+    std::vector<HostCommand> trace;
+    size_t lineno = 1;
+    while (std::getline(is, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        std::string where = "line " + std::to_string(lineno);
+        size_t c1 = line.find(',');
+        size_t c2 = c1 == std::string::npos ? std::string::npos
+                                            : line.find(',', c1 + 1);
+        if (c2 == std::string::npos)
+            return fail(error, where + ": expected 3 fields");
+        HostCommand cmd;
+        if (!tryParseCommandKind(line.substr(0, c1), &cmd.kind))
+            return fail(error, where + ": unknown command kind '" +
+                                   line.substr(0, c1) + "'");
+        if (!parseDouble(line.substr(c1 + 1, c2 - c1 - 1),
+                         &cmd.startTime))
+            return fail(error, where + ": bad start time");
+        if (!parseDouble(line.substr(c2 + 1), &cmd.param))
+            return fail(error, where + ": bad param");
+        trace.push_back(cmd);
+    }
+    *out = std::move(trace);
+    return true;
+}
+
+} // namespace testbed
+} // namespace reaper

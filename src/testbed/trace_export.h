@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Host command-trace export/import (CSV).
+ *
+ * One row per HostCommand: `kind,start_time_s,param`. Campaign
+ * debugging dumps and the journaling layer share this single format so
+ * a trace captured on one host can be diffed or replayed against
+ * another. The kind column uses the stable command names below (not
+ * enum ordinals), keeping dumps readable and forward-compatible.
+ */
+
+#ifndef REAPER_TESTBED_TRACE_EXPORT_H
+#define REAPER_TESTBED_TRACE_EXPORT_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "testbed/softmc_host.h"
+
+namespace reaper {
+namespace testbed {
+
+/** Stable name of a command kind ("write_pattern", "wait", ...). */
+std::string commandKindName(CommandKind kind);
+
+/**
+ * Parse a command-kind name back to the enum.
+ * @return whether the name is known (out untouched otherwise)
+ */
+bool tryParseCommandKind(const std::string &name, CommandKind *out);
+
+/** Write a trace as CSV with a header row. */
+void writeCommandTraceCsv(const std::vector<HostCommand> &trace,
+                          std::ostream &os);
+
+/** Write a trace CSV to a file path; fatal() on I/O failure. */
+void writeCommandTraceCsvFile(const std::vector<HostCommand> &trace,
+                              const std::string &path);
+
+/**
+ * Parse a trace CSV (as produced by writeCommandTraceCsv).
+ * @param is input stream
+ * @param out parsed trace (valid only when true is returned)
+ * @param error filled with a diagnostic on failure (may be null)
+ * @return whether parsing succeeded
+ */
+bool tryReadCommandTraceCsv(std::istream &is,
+                            std::vector<HostCommand> *out,
+                            std::string *error = nullptr);
+
+} // namespace testbed
+} // namespace reaper
+
+#endif // REAPER_TESTBED_TRACE_EXPORT_H

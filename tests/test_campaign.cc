@@ -1,0 +1,433 @@
+/**
+ * @file
+ * Tests for the campaign orchestration subsystem: journaled resume
+ * (bit-identical store contents across interruption and worker
+ * counts), fault injection with retry/backoff, and the persistent
+ * profile store.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "campaign/campaign.h"
+
+namespace fs = std::filesystem;
+
+namespace reaper {
+namespace campaign {
+namespace {
+
+/** Fresh scratch directory for one test. */
+std::string
+scratchDir(const std::string &name)
+{
+    fs::path dir = fs::path(::testing::TempDir()) / ("reaper_" + name);
+    fs::remove_all(dir);
+    return dir.string();
+}
+
+/** Every file in a directory, name -> full contents. */
+std::map<std::string, std::string>
+dirContents(const std::string &dir)
+{
+    std::map<std::string, std::string> out;
+    for (const auto &entry : fs::directory_iterator(dir)) {
+        std::ifstream is(entry.path(), std::ios::binary);
+        std::ostringstream ss;
+        ss << is.rdbuf();
+        out[entry.path().filename().string()] = ss.str();
+    }
+    return out;
+}
+
+/** Small 3-chip x 2-round campaign that still finds failing cells. */
+CampaignConfig
+smallCampaign(const std::string &dir, unsigned threads = 1)
+{
+    CampaignConfig cfg;
+    cfg.dir = dir;
+    cfg.name = "test-campaign";
+    cfg.baseSeed = 42;
+    cfg.chips = makeChipFleet(3, cfg.baseSeed,
+                              1ull << 26 /* 8 MB */, {2.4, 52.0});
+    RoundSpec brute;
+    brute.target = {msToSec(1024.0), 45.0};
+    brute.profiler = ProfilerKind::BruteForce;
+    brute.iterations = 2;
+    RoundSpec reach;
+    reach.target = {msToSec(1536.0), 45.0};
+    reach.profiler = ProfilerKind::Reach;
+    reach.reachDeltaRefresh = 0.250;
+    reach.iterations = 2;
+    cfg.rounds = {brute, reach};
+    cfg.host.useChamber = false; // instant temperature for test speed
+    cfg.fleet.threads = threads;
+    return cfg;
+}
+
+TEST(Campaign, CompletesAndPopulatesStore)
+{
+    CampaignConfig cfg = smallCampaign(scratchDir("complete"));
+    CampaignStats stats = runCampaign(cfg);
+    EXPECT_EQ(stats.tasksTotal, 6u);
+    EXPECT_EQ(stats.roundsCompleted, 6u);
+    EXPECT_EQ(stats.roundsThisRun, 6u);
+    EXPECT_EQ(stats.roundsResumed, 0u);
+    EXPECT_EQ(stats.retries, 0u);
+    EXPECT_EQ(stats.faults.total(), 0u);
+    EXPECT_TRUE(stats.complete());
+    EXPECT_FALSE(stats.interrupted);
+
+    ProfileStore store(cfg.dir + "/store");
+    EXPECT_EQ(store.size(), 6u);
+    for (size_t c = 0; c < cfg.chips.size(); ++c) {
+        for (size_t r = 0; r < cfg.rounds.size(); ++r) {
+            profiling::RetentionProfile p;
+            std::string error;
+            ASSERT_TRUE(store.tryLoad(roundKey(cfg, c, r), &p, &error))
+                << error;
+            EXPECT_GT(p.size(), 0u);
+            EXPECT_DOUBLE_EQ(p.conditions().refreshInterval,
+                             cfg.rounds[r].target.refreshInterval);
+        }
+    }
+}
+
+TEST(Campaign, RerunOfCompleteCampaignIsANoOp)
+{
+    CampaignConfig cfg = smallCampaign(scratchDir("noop"));
+    runCampaign(cfg);
+    auto before = dirContents(cfg.dir + "/store");
+    CampaignStats stats = runCampaign(cfg);
+    EXPECT_EQ(stats.roundsThisRun, 0u);
+    EXPECT_EQ(stats.roundsResumed, 6u);
+    EXPECT_TRUE(stats.complete());
+    EXPECT_EQ(dirContents(cfg.dir + "/store"), before);
+}
+
+/** Interrupt after k commits, resume, and require byte-identical
+ *  store contents vs. the uninterrupted run — at 1 and 8 threads. */
+TEST(Campaign, ResumeIsBitIdenticalAcrossInterruptAndThreads)
+{
+    CampaignConfig ref = smallCampaign(scratchDir("resume_ref"), 1);
+    runCampaign(ref);
+    auto want = dirContents(ref.dir + "/store");
+    ASSERT_GE(want.size(), 7u); // 6 profiles + index
+
+    for (unsigned threads : {1u, 8u}) {
+        // Interrupt at 1 thread so the kill point is deterministic
+        // (at N threads every task may already be in flight — and
+        // in-flight rounds commit, exactly as under a real SIGKILL);
+        // the resume leg then runs at the thread count under test.
+        CampaignConfig cfg = smallCampaign(
+            scratchDir("resume_t" + std::to_string(threads)), 1);
+        cfg.interruptAfter = 2;
+        CampaignStats killed = runCampaign(cfg);
+        EXPECT_TRUE(killed.interrupted);
+        EXPECT_EQ(killed.roundsThisRun, 2u);
+        EXPECT_LT(killed.roundsCompleted, killed.tasksTotal);
+
+        cfg.interruptAfter = 0;
+        cfg.fleet.threads = threads;
+        CampaignStats resumed = runCampaign(cfg);
+        EXPECT_FALSE(resumed.interrupted);
+        EXPECT_TRUE(resumed.complete());
+        EXPECT_EQ(resumed.roundsResumed, killed.roundsCompleted);
+        EXPECT_EQ(dirContents(cfg.dir + "/store"), want)
+            << "store diverged at " << threads << " threads";
+    }
+}
+
+TEST(Campaign, ResumeSurvivesTornJournalTail)
+{
+    CampaignConfig ref = smallCampaign(scratchDir("torn_ref"));
+    runCampaign(ref);
+    auto want = dirContents(ref.dir + "/store");
+
+    CampaignConfig cfg = smallCampaign(scratchDir("torn"));
+    cfg.interruptAfter = 3;
+    runCampaign(cfg);
+    {
+        // A kill mid-append leaves a partial final line.
+        std::ofstream os(cfg.dir + "/journal.log", std::ios::app);
+        os << "done 2 1 17";
+    }
+    cfg.interruptAfter = 0;
+    CampaignStats resumed = runCampaign(cfg);
+    EXPECT_TRUE(resumed.complete());
+    EXPECT_EQ(dirContents(cfg.dir + "/store"), want);
+}
+
+TEST(Campaign, FaultInjectionConvergesToFaultFreeProfiles)
+{
+    CampaignConfig ref = smallCampaign(scratchDir("faults_ref"));
+    runCampaign(ref);
+    auto want = dirContents(ref.dir + "/store");
+
+    CampaignConfig cfg = smallCampaign(scratchDir("faults"));
+    // A round spans ~120 host commands, so per-command rates compound
+    // into a sizable per-attempt abort probability; keep them low
+    // enough that 25 attempts cannot plausibly all fail.
+    cfg.faults.seed = 7;
+    cfg.faults.commandTimeoutRate = 0.002;
+    cfg.faults.settleFailureRate = 0.1;
+    cfg.faults.readCorruptionRate = 0.01;
+    cfg.retry.maxAttempts = 25;
+    CampaignStats stats = runCampaign(cfg);
+
+    EXPECT_TRUE(stats.complete());
+    EXPECT_GT(stats.faults.total(), 0u) << "fault schedule never fired";
+    // Every injected fault aborts exactly one attempt, so the retry
+    // counter must match the injected schedule exactly.
+    EXPECT_EQ(stats.retries, stats.faults.total());
+    EXPECT_EQ(stats.attempts,
+              stats.roundsCompleted + stats.faults.total());
+    EXPECT_GT(stats.backoffTime, 0.0);
+    // Faults are detected-and-retried, never absorbed into results:
+    // the store is byte-identical to the fault-free campaign.
+    EXPECT_EQ(dirContents(cfg.dir + "/store"), want);
+
+    // The schedule is deterministic: an identical campaign in a fresh
+    // directory reproduces the same counters.
+    CampaignConfig again = cfg;
+    again.dir = scratchDir("faults_again");
+    CampaignStats stats2 = runCampaign(again);
+    EXPECT_EQ(stats2.faults, stats.faults);
+    EXPECT_EQ(stats2.retries, stats.retries);
+    EXPECT_EQ(stats2.attempts, stats.attempts);
+}
+
+TEST(Campaign, RetriesDisabledPropagatesError)
+{
+    CampaignConfig cfg = smallCampaign(scratchDir("noretry"));
+    cfg.faults.seed = 7;
+    cfg.faults.commandTimeoutRate = 0.5;
+    cfg.retry.maxAttempts = 1;
+    EXPECT_THROW(runCampaign(cfg), CampaignError);
+    // No partial/torn state: whatever was committed before the error
+    // is loadable, and the resumed (fault-free) campaign completes to
+    // the reference contents.
+    ProfileStore store(cfg.dir + "/store");
+    for (const StoreEntry &e : store.entries()) {
+        profiling::RetentionProfile p;
+        std::string error;
+        EXPECT_TRUE(store.tryLoad(e.key, &p, &error)) << error;
+    }
+    cfg.faults = {};
+    CampaignStats resumed = runCampaign(cfg);
+    EXPECT_TRUE(resumed.complete());
+    CampaignConfig ref = smallCampaign(scratchDir("noretry_ref"));
+    runCampaign(ref);
+    auto want = dirContents(ref.dir + "/store");
+    auto got = dirContents(cfg.dir + "/store");
+    // The interrupted campaign journaled surviving faults; only the
+    // store (the deliverable) must match, and it must bit-match.
+    EXPECT_EQ(got, want);
+}
+
+TEST(Campaign, MismatchedFingerprintRefusesResume)
+{
+    CampaignConfig cfg = smallCampaign(scratchDir("fingerprint"));
+    cfg.interruptAfter = 1;
+    runCampaign(cfg);
+    cfg.interruptAfter = 0;
+    cfg.baseSeed = 43;
+    cfg.chips = makeChipFleet(3, cfg.baseSeed, 1ull << 26,
+                              {2.4, 52.0});
+    EXPECT_THROW(runCampaign(cfg), CampaignError);
+}
+
+TEST(Campaign, ValidatesConfig)
+{
+    CampaignConfig cfg = smallCampaign(scratchDir("validate"));
+    cfg.chips.clear();
+    EXPECT_THROW(runCampaign(cfg), CampaignError);
+
+    cfg = smallCampaign(scratchDir("validate"));
+    cfg.rounds.clear();
+    EXPECT_THROW(runCampaign(cfg), CampaignError);
+
+    cfg = smallCampaign(scratchDir("validate"));
+    cfg.chips[1].id = cfg.chips[0].id;
+    EXPECT_THROW(runCampaign(cfg), CampaignError);
+
+    cfg = smallCampaign(scratchDir("validate"));
+    cfg.chips[0].id = "bad id/with space";
+    EXPECT_THROW(runCampaign(cfg), CampaignError);
+
+    cfg = smallCampaign(scratchDir("validate"));
+    cfg.retry.maxAttempts = 0;
+    EXPECT_THROW(runCampaign(cfg), CampaignError);
+}
+
+TEST(Campaign, MakeChipFleetDerivesDistinctSeeds)
+{
+    auto chips = makeChipFleet(9, 5, 1ull << 26, {2.4, 52.0});
+    ASSERT_EQ(chips.size(), 9u);
+    for (size_t i = 0; i < chips.size(); ++i) {
+        for (size_t j = 0; j < i; ++j) {
+            EXPECT_NE(chips[i].id, chips[j].id);
+            EXPECT_NE(chips[i].config.seed, chips[j].config.seed);
+        }
+    }
+}
+
+TEST(FaultyHost, ZeroRatesBehaveLikePlainHost)
+{
+    dram::ModuleConfig mc;
+    mc.chipCapacityBits = 1ull << 26;
+    mc.seed = 11;
+    testbed::HostConfig hc;
+    hc.useChamber = false;
+
+    dram::DramModule m1(mc), m2(mc);
+    testbed::SoftMcHost plain(m1, hc);
+    FaultyHost faulty(m2, hc, {}, 99);
+    for (testbed::SoftMcHost *host : {&plain,
+                                      static_cast<testbed::SoftMcHost *>(
+                                          &faulty)}) {
+        host->writeAll(dram::DataPattern::Checkerboard);
+        host->disableRefresh();
+        host->wait(2.0);
+        host->enableRefresh();
+    }
+    EXPECT_EQ(plain.readAndCompareAll(), faulty.readAndCompareAll());
+    EXPECT_DOUBLE_EQ(plain.now(), faulty.now());
+    EXPECT_EQ(faulty.counts().total(), 0u);
+}
+
+TEST(FaultyHost, CertainFaultFiresAndCounts)
+{
+    dram::ModuleConfig mc;
+    mc.chipCapacityBits = 1ull << 24;
+    testbed::HostConfig hc;
+    hc.useChamber = false;
+    dram::DramModule module(mc);
+    FaultConfig faults;
+    faults.commandTimeoutRate = 1.0;
+    FaultyHost host(module, hc, faults, 1);
+    try {
+        host.wait(1.0);
+        FAIL() << "expected HostFaultError";
+    } catch (const HostFaultError &e) {
+        EXPECT_EQ(e.kind(), FaultKind::CommandTimeout);
+    }
+    EXPECT_EQ(host.counts().commandTimeouts, 1u);
+}
+
+TEST(FaultyHost, ScheduleIsDeterministicPerSeed)
+{
+    dram::ModuleConfig mc;
+    mc.chipCapacityBits = 1ull << 24;
+    testbed::HostConfig hc;
+    hc.useChamber = false;
+    FaultConfig faults;
+    faults.commandTimeoutRate = 0.3;
+
+    auto schedule = [&](uint64_t seed) {
+        dram::DramModule module(mc);
+        FaultyHost host(module, hc, faults, seed);
+        std::vector<int> fired;
+        for (int i = 0; i < 50; ++i) {
+            try {
+                host.wait(0.1);
+            } catch (const HostFaultError &) {
+                fired.push_back(i);
+            }
+        }
+        return fired;
+    };
+    EXPECT_EQ(schedule(123), schedule(123));
+    EXPECT_NE(schedule(123), schedule(124));
+}
+
+TEST(ProfileStore, CommitLoadRoundTrip)
+{
+    ProfileStore store(scratchDir("store_roundtrip"));
+    profiling::RetentionProfile p(
+        profiling::Conditions{msToSec(1024.0), 45.0});
+    p.add({{0, 5}, {1, 9}, {0, 1ull << 33}});
+    std::string key =
+        ProfileStore::profileKey("B-007", p.conditions());
+    EXPECT_FALSE(store.has(key));
+    store.commit(key, p);
+    EXPECT_TRUE(store.has(key));
+
+    profiling::RetentionProfile loaded;
+    std::string error;
+    ASSERT_TRUE(store.tryLoad(key, &loaded, &error)) << error;
+    EXPECT_EQ(loaded.cells(), p.cells());
+
+    // A second store over the same directory sees the same contents.
+    ProfileStore reopened(store.dir());
+    EXPECT_EQ(reopened.size(), 1u);
+    EXPECT_TRUE(reopened.has(key));
+}
+
+TEST(ProfileStore, LoadOrProfileComputesExactlyOnce)
+{
+    ProfileStore store(scratchDir("store_loadorprofile"));
+    profiling::Conditions cond{msToSec(512.0), 45.0};
+    std::string key = ProfileStore::profileKey("A-000", cond);
+    int computed = 0;
+    auto profileFn = [&]() {
+        ++computed;
+        profiling::RetentionProfile p(cond);
+        p.add({{0, 77}});
+        return p;
+    };
+    profiling::RetentionProfile first =
+        store.loadOrProfile(key, profileFn);
+    profiling::RetentionProfile second =
+        store.loadOrProfile(key, profileFn);
+    EXPECT_EQ(computed, 1);
+    EXPECT_EQ(first.cells(), second.cells());
+}
+
+TEST(ProfileStore, RecoversIndexFromDirectoryScan)
+{
+    std::string dir = scratchDir("store_recover");
+    std::string key;
+    {
+        ProfileStore store(dir);
+        profiling::RetentionProfile p(
+            profiling::Conditions{msToSec(1024.0), 45.0});
+        p.add({{2, 4}});
+        key = ProfileStore::profileKey("C-002", p.conditions());
+        store.commit(key, p);
+    }
+    // Simulate a crash between the profile rename and the index write.
+    fs::remove(fs::path(dir) / "index.txt");
+    ProfileStore recovered(dir);
+    EXPECT_TRUE(recovered.has(key));
+    profiling::RetentionProfile p;
+    std::string error;
+    EXPECT_TRUE(recovered.tryLoad(key, &p, &error)) << error;
+    EXPECT_EQ(p.size(), 1u);
+}
+
+TEST(ProfileStore, MissingKeyFailsWithDiagnostic)
+{
+    ProfileStore store(scratchDir("store_missing"));
+    profiling::RetentionProfile p;
+    std::string error;
+    EXPECT_FALSE(store.tryLoad("nope@trefi1.000ms@45.00C", &p, &error));
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(Campaign, DefaultCampaignDirReadsEnv)
+{
+    unsetenv("REAPER_CAMPAIGN_DIR");
+    EXPECT_EQ(defaultCampaignDir("fallback"), "fallback");
+    setenv("REAPER_CAMPAIGN_DIR", "/tmp/somewhere", 1);
+    EXPECT_EQ(defaultCampaignDir("fallback"), "/tmp/somewhere");
+    unsetenv("REAPER_CAMPAIGN_DIR");
+}
+
+} // namespace
+} // namespace campaign
+} // namespace reaper

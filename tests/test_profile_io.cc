@@ -127,6 +127,109 @@ TEST(ProfileIo, RejectsNegativeInterval)
     EXPECT_FALSE(tryLoadProfile(ss, &p));
 }
 
+TEST(ProfileIo, TrySaveProfileFileRoundTrip)
+{
+    std::string path =
+        ::testing::TempDir() + "reaper_try_save_test.txt";
+    std::string error;
+    EXPECT_TRUE(trySaveProfileFile(sampleProfile(), path, &error))
+        << error;
+    RetentionProfile loaded = loadProfileFile(path);
+    EXPECT_EQ(loaded.cells(), sampleProfile().cells());
+    std::remove(path.c_str());
+}
+
+TEST(ProfileIo, TrySaveProfileFileReportsUnwritablePath)
+{
+    std::string error;
+    EXPECT_FALSE(trySaveProfileFile(
+        sampleProfile(), "/nonexistent_dir/profile.txt", &error));
+    EXPECT_FALSE(error.empty());
+    // Null error pointer is allowed.
+    EXPECT_FALSE(trySaveProfileFile(sampleProfile(),
+                                    "/nonexistent_dir/profile.txt"));
+}
+
+TEST(ProfileIo, UnwritablePathIsFatalViaSaveProfileFile)
+{
+    EXPECT_EXIT(
+        saveProfileFile(sampleProfile(), "/nonexistent_dir/p.txt"),
+        ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(ProfileIo, EmptyStreamFailsWithDiagnostic)
+{
+    std::stringstream ss("");
+    RetentionProfile p;
+    std::string error;
+    EXPECT_FALSE(tryLoadProfile(ss, &p, &error));
+    EXPECT_FALSE(error.empty());
+}
+
+// Property-style: every line-level truncation of a valid profile must
+// be rejected with a non-empty diagnostic — a crash-torn profile file
+// can never load as a (silently smaller) valid profile.
+TEST(ProfileIo, AllLineTruncationsFailWithDiagnostic)
+{
+    std::stringstream ss;
+    saveProfile(sampleProfile(), ss);
+    const std::string text = ss.str();
+
+    std::vector<size_t> line_ends;
+    for (size_t i = 0; i < text.size(); ++i)
+        if (text[i] == '\n')
+            line_ends.push_back(i + 1);
+    ASSERT_GT(line_ends.size(), 4u);
+
+    for (size_t keep = 0; keep + 1 < line_ends.size(); ++keep) {
+        size_t len = keep == 0 ? 0 : line_ends[keep - 1];
+        std::stringstream truncated(text.substr(0, len));
+        RetentionProfile p;
+        std::string error;
+        EXPECT_FALSE(tryLoadProfile(truncated, &p, &error))
+            << "prefix of " << keep << " lines parsed successfully";
+        EXPECT_FALSE(error.empty())
+            << "no diagnostic for prefix of " << keep << " lines";
+    }
+}
+
+// Property-style: single-token corruptions of a valid profile (bad
+// version, non-numeric fields, out-of-range values) are all rejected
+// with a non-empty diagnostic.
+TEST(ProfileIo, TokenMutationsFailWithDiagnostic)
+{
+    struct Mutation
+    {
+        const char *from;
+        const char *to;
+    };
+    const Mutation mutations[] = {
+        {"v1", "v7"},                  // unsupported version
+        {"REAPER-PROFILE", "REAPERx"}, // bad magic
+        {"refresh_interval_ms 1024", "refresh_interval_ms never"},
+        {"refresh_interval_ms 1024", "refresh_interval_ms -3"},
+        {"temperature_c 45", "temperature_c warm"},
+        {"cells 4", "cells many"},
+        {"3 7", "99999999999 7"}, // chip index out of range
+        {"3 7", "3 seven"},       // non-numeric address
+    };
+    for (const Mutation &m : mutations) {
+        std::stringstream ss;
+        saveProfile(sampleProfile(), ss);
+        std::string text = ss.str();
+        size_t pos = text.find(m.from);
+        ASSERT_NE(pos, std::string::npos) << m.from;
+        text.replace(pos, std::string(m.from).size(), m.to);
+
+        std::stringstream mutated(text);
+        RetentionProfile p;
+        std::string error;
+        EXPECT_FALSE(tryLoadProfile(mutated, &p, &error))
+            << "mutation '" << m.to << "' parsed successfully";
+        EXPECT_FALSE(error.empty()) << "no diagnostic for " << m.to;
+    }
+}
+
 TEST(ProfileIo, MissingFileIsFatal)
 {
     EXPECT_EXIT(loadProfileFile("/nonexistent/profile.txt"),

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Tests for the host command-trace CSV export/import round trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "testbed/trace_export.h"
+
+namespace reaper {
+namespace testbed {
+namespace {
+
+std::vector<HostCommand>
+sampleTrace()
+{
+    return {
+        {CommandKind::SetAmbient, 0.0, 45.0},
+        {CommandKind::WritePattern, 12.5, 2.0},
+        {CommandKind::DisableRefresh, 13.0, 0.0},
+        {CommandKind::Wait, 13.0, 1.024},
+        {CommandKind::EnableRefresh, 14.024, 0.0},
+        {CommandKind::Restore, 14.024, 0.0},
+        {CommandKind::ReadCompare, 14.5, 0.0},
+    };
+}
+
+bool
+sameTrace(const std::vector<HostCommand> &a,
+          const std::vector<HostCommand> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (size_t i = 0; i < a.size(); ++i)
+        if (a[i].kind != b[i].kind ||
+            a[i].startTime != b[i].startTime || a[i].param != b[i].param)
+            return false;
+    return true;
+}
+
+TEST(TraceExport, RoundTrip)
+{
+    std::stringstream ss;
+    writeCommandTraceCsv(sampleTrace(), ss);
+    std::vector<HostCommand> loaded;
+    std::string error;
+    ASSERT_TRUE(tryReadCommandTraceCsv(ss, &loaded, &error)) << error;
+    EXPECT_TRUE(sameTrace(loaded, sampleTrace()));
+}
+
+TEST(TraceExport, RoundTripPreservesFullDoublePrecision)
+{
+    std::vector<HostCommand> trace = {
+        {CommandKind::Wait, 1.0 / 3.0, 0.1 + 0.2},
+        {CommandKind::Wait, 1e-300, 12345.678901234567},
+    };
+    std::stringstream ss;
+    writeCommandTraceCsv(trace, ss);
+    std::vector<HostCommand> loaded;
+    ASSERT_TRUE(tryReadCommandTraceCsv(ss, &loaded));
+    EXPECT_TRUE(sameTrace(loaded, trace));
+}
+
+TEST(TraceExport, EmptyTraceRoundTrips)
+{
+    std::stringstream ss;
+    writeCommandTraceCsv({}, ss);
+    std::vector<HostCommand> loaded = {{CommandKind::Wait, 1.0, 1.0}};
+    ASSERT_TRUE(tryReadCommandTraceCsv(ss, &loaded));
+    EXPECT_TRUE(loaded.empty());
+}
+
+TEST(TraceExport, FileRoundTripFromLiveHost)
+{
+    dram::ModuleConfig mc;
+    mc.chipCapacityBits = 1ull << 24;
+    dram::DramModule module(mc);
+    HostConfig hc;
+    hc.useChamber = false;
+    hc.recordTrace = true;
+    SoftMcHost host(module, hc);
+    host.writeAll(dram::DataPattern::Solid1);
+    host.disableRefresh();
+    host.wait(0.5);
+    host.enableRefresh();
+    host.readAndCompareAll();
+    ASSERT_FALSE(host.trace().empty());
+
+    std::string path =
+        ::testing::TempDir() + "reaper_trace_export_test.csv";
+    writeCommandTraceCsvFile(host.trace(), path);
+    std::ifstream is(path);
+    std::vector<HostCommand> loaded;
+    std::string error;
+    ASSERT_TRUE(tryReadCommandTraceCsv(is, &loaded, &error)) << error;
+    EXPECT_TRUE(sameTrace(loaded, host.trace()));
+    std::remove(path.c_str());
+}
+
+TEST(TraceExport, KindNamesRoundTrip)
+{
+    for (CommandKind kind :
+         {CommandKind::SetAmbient, CommandKind::WritePattern,
+          CommandKind::Restore, CommandKind::DisableRefresh,
+          CommandKind::EnableRefresh, CommandKind::Wait,
+          CommandKind::ReadCompare}) {
+        CommandKind parsed;
+        ASSERT_TRUE(tryParseCommandKind(commandKindName(kind), &parsed));
+        EXPECT_EQ(parsed, kind);
+    }
+    EXPECT_FALSE(tryParseCommandKind("warp_drive", nullptr));
+}
+
+TEST(TraceExport, RejectsMalformedInput)
+{
+    struct Case
+    {
+        const char *text;
+        const char *expect; // substring of the diagnostic
+    };
+    const Case cases[] = {
+        {"", "missing header"},
+        {"time,kind,param\n", "bad header"},
+        {"kind,start_time_s,param\nwarp_drive,0,0\n",
+         "unknown command kind"},
+        {"kind,start_time_s,param\nwait,zero,0\n", "bad start time"},
+        {"kind,start_time_s,param\nwait,0,xyz\n", "bad param"},
+        {"kind,start_time_s,param\nwait,0\n", "expected 3 fields"},
+    };
+    for (const Case &c : cases) {
+        std::stringstream ss(c.text);
+        std::vector<HostCommand> out;
+        std::string error;
+        EXPECT_FALSE(tryReadCommandTraceCsv(ss, &out, &error))
+            << c.text;
+        EXPECT_NE(error.find(c.expect), std::string::npos)
+            << "got '" << error << "' for input: " << c.text;
+    }
+}
+
+} // namespace
+} // namespace testbed
+} // namespace reaper
