@@ -2,11 +2,14 @@
  * @file
  * Microbenchmarks (google-benchmark) of the library's hot paths: the
  * sparse-device read path, profiler iterations, the SECDED codec, the
- * memory-controller tick loop, cache accesses, trace generation, and
- * the RNG/statistics primitives that everything sits on.
+ * memory-controller tick loop, cache accesses, trace generation, the
+ * RNG/statistics primitives that everything sits on, and the serve
+ * hot paths (directory point lookup, cache hit, cache miss+compile).
  */
 
 #include <benchmark/benchmark.h>
+
+#include <filesystem>
 
 #include "reaper/reaper.h"
 
@@ -198,6 +201,87 @@ BM_SystemTick(benchmark::State &state)
         system.tick();
 }
 BENCHMARK(BM_SystemTick);
+
+// ---- serve hot paths ----
+
+constexpr uint64_t kServeRowBits = 2048 * 8;
+constexpr uint64_t kServeRows = 1ull << 16;
+
+profiling::RetentionProfile
+serveProfile(uint64_t seed, size_t cells)
+{
+    Rng rng(seed);
+    std::vector<dram::ChipFailure> v;
+    v.reserve(cells);
+    for (size_t i = 0; i < cells; ++i)
+        v.push_back({0, rng.uniformInt(kServeRows * kServeRowBits)});
+    profiling::RetentionProfile p({1.024, 45.0});
+    p.add(v);
+    return p;
+}
+
+void
+BM_ServeDirectoryPointLookup(benchmark::State &state)
+{
+    serve::DirectoryConfig cfg;
+    cfg.rowBits = kServeRowBits;
+    cfg.useBloomFilters = state.range(0) != 0;
+    serve::RefreshDirectory dir =
+        serve::RefreshDirectory::compile(serveProfile(11, 50000), cfg);
+    Rng rng(12);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            dir.refreshBinFor(0, rng.uniformInt(kServeRows)));
+    }
+    state.SetLabel(cfg.useBloomFilters ? "bloom" : "exact");
+}
+BENCHMARK(BM_ServeDirectoryPointLookup)->Arg(0)->Arg(1);
+
+void
+BM_ServeCacheHit(benchmark::State &state)
+{
+    namespace fs = std::filesystem;
+    fs::path dir = fs::temp_directory_path() / "reaper_micro_serve_hit";
+    fs::remove_all(dir);
+    campaign::ProfileStore store(dir.string());
+    std::string key =
+        campaign::ProfileStore::profileKey("micro-hit", {1.024, 45.0});
+    store.commit(key, serveProfile(21, 20000));
+    serve::ProfileCache cache(store, serve::CacheConfig{});
+    cache.get(key); // warm
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cache.get(key).dir.get());
+    fs::remove_all(dir);
+}
+BENCHMARK(BM_ServeCacheHit);
+
+void
+BM_ServeCacheMissCompile(benchmark::State &state)
+{
+    namespace fs = std::filesystem;
+    fs::path dir = fs::temp_directory_path() / "reaper_micro_serve_miss";
+    fs::remove_all(dir);
+    campaign::ProfileStore store(dir.string());
+    std::vector<std::string> keys;
+    for (int i = 0; i < 2; ++i) {
+        std::string key = campaign::ProfileStore::profileKey(
+            "micro-miss-" + std::to_string(i), {1.024, 45.0});
+        store.commit(key, serveProfile(30 + i, 20000));
+        keys.push_back(key);
+    }
+    serve::CacheConfig cc;
+    cc.shards = 1;
+    cc.capacityBytes = 1; // hold one directory: alternation always misses
+    serve::ProfileCache cache(store, cc);
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.get(keys[i & 1]).dir.get());
+        ++i;
+    }
+    state.SetLabel("20k cells: load + parse + compile");
+    fs::remove_all(dir);
+}
+BENCHMARK(BM_ServeCacheMissCompile);
 
 void
 BM_UberSolve(benchmark::State &state)

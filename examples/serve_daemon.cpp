@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Profile-serving daemon: a metered query service over a profile
+ * store (src/serve/).
+ *
+ * Opens (or seeds) a campaign profile store, compiles its retention
+ * profiles into query-optimized RefreshDirectory objects through the
+ * sharded ProfileCache, and runs a zipfian stream of point lookups
+ * ("is row r of chip c weak?" / "which refresh bin?") through the
+ * multi-worker QueryEngine — the serving path a memory controller
+ * would hit on every refresh decision. Prints a human summary plus
+ * the serve::Metrics JSON snapshot (counters + latency percentiles).
+ *
+ * When the store directory is empty it is seeded with synthetic
+ * retention profiles so the example is runnable standalone; point
+ * --dir at a campaign_runner output directory to serve real
+ * campaign-profiled chips instead.
+ *
+ * Usage: serve_daemon [options]
+ *   --dir PATH          profile store directory (default:
+ *                       ./reaper_serve_store, seeded if empty)
+ *   --queries N         total queries to run (default 200000)
+ *   --workers N         engine worker threads (default 4)
+ *   --cache-mb N        cache capacity in MiB (default 64)
+ *   --zipf S            zipf exponent over chips (default 0.99)
+ *   --unknown-frac R    fraction of queries for absent keys
+ *                       (default 0.01)
+ *   --bloom             use Bloom-filter directories (over-refresh
+ *                       only, smaller footprint)
+ *   --seed S            workload seed (default 1)
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "reaper/reaper.h"
+
+using namespace reaper;
+
+namespace {
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::cerr << "usage: " << argv0 << " [options]\n"
+              << "  --dir PATH        store directory (default "
+                 "./reaper_serve_store)\n"
+              << "  --queries N       total queries (default 200000)\n"
+              << "  --workers N       worker threads (default 4)\n"
+              << "  --cache-mb N      cache capacity MiB (default 64)\n"
+              << "  --zipf S          zipf exponent (default 0.99)\n"
+              << "  --unknown-frac R  absent-key fraction (default "
+                 "0.01)\n"
+              << "  --bloom           Bloom-filter directories\n"
+              << "  --seed S          workload seed (default 1)\n";
+    std::exit(2);
+}
+
+constexpr uint64_t kRowBits = 2048 * 8; ///< 2 KiB rows
+constexpr uint64_t kRowsPerChip = 1ull << 16;
+
+/** Seed an empty store with synthetic per-chip retention profiles
+ *  (stand-in for a campaign_runner output directory). */
+void
+seedDemoStore(campaign::ProfileStore &store)
+{
+    const size_t chips = 12, cells = 20000;
+    std::cout << "Seeding empty store with " << chips
+              << " synthetic chip profiles...\n";
+    for (size_t c = 0; c < chips; ++c) {
+        Rng rng(100 + c);
+        std::vector<dram::ChipFailure> fails;
+        fails.reserve(cells);
+        for (size_t i = 0; i < cells; ++i)
+            fails.push_back({0, rng.uniformInt(kRowsPerChip * kRowBits)});
+        profiling::RetentionProfile p({1.024, 45.0});
+        p.add(fails);
+        store.commit(campaign::ProfileStore::profileKey(
+                         "demo-chip-" + std::to_string(c),
+                         {1.024, 45.0}),
+                     p);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string dir = "./reaper_serve_store";
+    uint64_t queries = 200000, seed = 1;
+    unsigned workers = 4;
+    size_t cache_mb = 64;
+    double zipf = 0.99, unknown_frac = 0.01;
+    bool bloom = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--dir")
+            dir = next();
+        else if (arg == "--queries")
+            queries = std::stoull(next());
+        else if (arg == "--workers")
+            workers = static_cast<unsigned>(std::stoul(next()));
+        else if (arg == "--cache-mb")
+            cache_mb = std::stoull(next());
+        else if (arg == "--zipf")
+            zipf = std::stod(next());
+        else if (arg == "--unknown-frac")
+            unknown_frac = std::stod(next());
+        else if (arg == "--bloom")
+            bloom = true;
+        else if (arg == "--seed")
+            seed = std::stoull(next());
+        else
+            usage(argv[0]);
+    }
+
+    campaign::ProfileStore store(dir);
+    if (store.size() == 0)
+        seedDemoStore(store);
+    std::vector<std::string> keys;
+    for (const auto &entry : store.entries())
+        keys.push_back(entry.key);
+    std::cout << "Store " << dir << ": " << keys.size()
+              << " profiles\n";
+
+    serve::CacheConfig cache_cfg;
+    cache_cfg.capacityBytes = cache_mb * 1024 * 1024;
+    cache_cfg.directory.rowBits = kRowBits;
+    cache_cfg.directory.useBloomFilters = bloom;
+    serve::ProfileCache cache(store, cache_cfg);
+
+    serve::Metrics metrics;
+    serve::EngineConfig engine_cfg;
+    engine_cfg.workers = workers;
+    serve::QueryEngine engine(cache, engine_cfg, &metrics,
+                              [](const serve::Response &) {});
+
+    serve::WorkloadConfig wc;
+    wc.keys = keys;
+    wc.zipfExponent = zipf;
+    wc.unknownFraction = unknown_frac;
+    wc.rowsPerChip = kRowsPerChip;
+    serve::Workload workload(wc, seed);
+
+    std::cout << "Serving " << queries << " queries ("
+              << workers << " workers, " << cache_mb << " MiB cache, "
+              << (bloom ? "bloom" : "exact") << " directories)...\n";
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<serve::Request> batch;
+    batch.reserve(256);
+    uint64_t submitted = 0;
+    while (submitted < queries) {
+        batch.clear();
+        while (batch.size() < 256 && submitted + batch.size() < queries)
+            batch.push_back(workload.next());
+        size_t offset = 0;
+        while (offset < batch.size()) {
+            size_t taken = engine.trySubmitBatch(batch, offset);
+            offset += taken;
+            if (taken == 0)
+                std::this_thread::yield(); // backpressure: retry
+        }
+        submitted += batch.size();
+    }
+    engine.drain();
+    double elapsed = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+
+    serve::MetricsSnapshot snap = metrics.snapshot();
+    std::cout << "\nServed " << engine.completed() << " queries in "
+              << elapsed << " s ("
+              << static_cast<uint64_t>(
+                     static_cast<double>(engine.completed()) / elapsed)
+              << " QPS)\n"
+              << "  cache: " << snap.hits << " hits, " << snap.misses
+              << " misses, " << snap.negativeHits
+              << " negative hits, " << snap.unknown << " unknown\n"
+              << "  latency: p50 " << metrics.latencyPercentileUs(0.50)
+              << " us, p99 " << metrics.latencyPercentileUs(0.99)
+              << " us\n\nMetrics JSON:\n"
+              << metrics.json() << "\n";
+    return 0;
+}

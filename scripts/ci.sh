@@ -2,8 +2,8 @@
 # CI entry point: tier-1 verification plus the thread-sanitized smoke
 # suite. Mirrors what a contributor runs locally (see ROADMAP.md):
 #
-#   scripts/ci.sh            # full tier-1 + tsan smoke
-#   scripts/ci.sh --quick    # tier-1 only (skip the sanitizer build)
+#   scripts/ci.sh            # tier-1 + bench smoke + tsan smoke
+#   scripts/ci.sh --quick    # skip the sanitizer build
 #
 # Build directories: build/ (tier-1) and build-tsan/ (REAPER_SANITIZE=
 # thread). Both are incremental across runs.
@@ -25,6 +25,9 @@ cmake --build build -j "$jobs"
 echo "=== tier-1: ctest ==="
 (cd build && ctest --output-on-failure -j "$jobs")
 
+echo "=== bench smoke: bench_serve (REAPER_BENCH_QUICK=1) ==="
+(cd build && REAPER_BENCH_QUICK=1 ./bench/bench_serve > /dev/null)
+
 if [[ "$quick" == "1" ]]; then
     echo "=== quick mode: skipping sanitizer suite ==="
     exit 0
@@ -32,7 +35,9 @@ fi
 
 echo "=== sanitize: configure + build (REAPER_SANITIZE=thread) ==="
 cmake -B build-tsan -S . -DREAPER_SANITIZE=thread
-cmake --build build-tsan -j "$jobs" --target test_fleet test_campaign
+cmake --build build-tsan -j "$jobs" \
+    --target test_fleet test_campaign test_serve \
+             test_profile_store_concurrent
 
 echo "=== sanitize: ctest -L sanitize ==="
 (cd build-tsan && ctest -L sanitize --output-on-failure -j "$jobs")

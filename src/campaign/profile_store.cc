@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 
 #include "campaign/error.h"
@@ -136,13 +137,21 @@ ProfileStore::scanForUnindexed()
         }
     }
     if (recovered)
-        writeIndex();
+        writeIndexLocked();
 }
 
 bool
 ProfileStore::has(const std::string &key) const
 {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
     return index_.count(key) != 0;
+}
+
+size_t
+ProfileStore::size() const
+{
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    return index_.size();
 }
 
 bool
@@ -150,13 +159,20 @@ ProfileStore::tryLoad(const std::string &key,
                       profiling::RetentionProfile *out,
                       std::string *error) const
 {
-    auto it = index_.find(key);
-    if (it == index_.end()) {
-        if (error)
-            *error = "no profile for key '" + key + "'";
-        return false;
+    fs::path path;
+    {
+        std::shared_lock<std::shared_mutex> lock(mutex_);
+        auto it = index_.find(key);
+        if (it == index_.end()) {
+            if (error)
+                *error = "no profile for key '" + key + "'";
+            return false;
+        }
+        path = fs::path(dir_) / it->second.file;
     }
-    fs::path path = fs::path(dir_) / it->second.file;
+    // File I/O happens outside the lock: commits replace files with an
+    // atomic rename, so a concurrent reader sees either the old or the
+    // new profile, both complete.
     std::ifstream is(path);
     if (!is) {
         if (error)
@@ -191,6 +207,10 @@ ProfileStore::commit(const std::string &key,
     fs::path final_path = fs::path(dir_) / file;
     fs::path tmp_path = final_path;
     tmp_path += ".tmp";
+    // The whole commit (profile write, rename, index rewrite) runs
+    // under the exclusive lock so two commits cannot interleave their
+    // temp files or index rewrites.
+    std::unique_lock<std::shared_mutex> lock(mutex_);
     std::string error;
     if (!profiling::trySaveProfileFile(profile, tmp_path.string(),
                                        &error))
@@ -198,12 +218,13 @@ ProfileStore::commit(const std::string &key,
                             "' failed: " + error);
     atomicRename(tmp_path, final_path);
     index_[key] = {key, file, profile.size()};
-    writeIndex();
+    writeIndexLocked();
 }
 
 std::vector<StoreEntry>
 ProfileStore::entries() const
 {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
     std::vector<StoreEntry> out;
     out.reserve(index_.size());
     for (const auto &[key, entry] : index_)
@@ -212,7 +233,7 @@ ProfileStore::entries() const
 }
 
 void
-ProfileStore::writeIndex() const
+ProfileStore::writeIndexLocked() const
 {
     fs::path final_path = fs::path(dir_) / kIndexName;
     fs::path tmp_path = final_path;

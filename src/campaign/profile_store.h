@@ -12,8 +12,13 @@
  * index (a crash between the two renames) are recovered by a directory
  * scan at open.
  *
- * The store itself is single-threaded; the campaign orchestrator
- * serializes commits from its fleet workers under one mutex.
+ * Readers are thread-safe: the in-memory index is guarded by a
+ * shared_mutex, so any number of threads may call has/tryLoad/
+ * loadOrProfile/entries concurrently with commits (the serve-layer
+ * ProfileCache does exactly this). Writers (commit) take the lock
+ * exclusively; concurrent loadOrProfile calls on the same missing key
+ * may both run profileFn, with the last commit winning — same
+ * last-writer-wins semantics as before.
  */
 
 #ifndef REAPER_CAMPAIGN_PROFILE_STORE_H
@@ -21,6 +26,7 @@
 
 #include <functional>
 #include <map>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -86,7 +92,7 @@ class ProfileStore
     void commit(const std::string &key,
                 const profiling::RetentionProfile &profile);
 
-    size_t size() const { return index_.size(); }
+    size_t size() const;
 
     /** All entries, sorted by key. */
     std::vector<StoreEntry> entries() const;
@@ -99,9 +105,12 @@ class ProfileStore
   private:
     void loadIndex();
     void scanForUnindexed();
-    void writeIndex() const;
+    /** Caller must hold mutex_ (shared is enough: only reads index_). */
+    void writeIndexLocked() const;
 
     std::string dir_;
+    /** Guards index_. Reads take shared, commits take exclusive. */
+    mutable std::shared_mutex mutex_;
     std::map<std::string, StoreEntry> index_;
 };
 

@@ -14,6 +14,7 @@
  *  - workload::    synthetic SPEC-like trace generation
  *  - eval::        profiling overhead + end-to-end evaluation
  *  - campaign::    checkpointed multi-chip profiling campaigns
+ *  - serve::       profile query serving (cache + request engine)
  *  - firmware::    online REAPER orchestration
  */
 
@@ -83,6 +84,12 @@
 #include "campaign/faulty_host.h"
 #include "campaign/journal.h"
 #include "campaign/profile_store.h"
+
+#include "serve/metrics.h"
+#include "serve/profile_cache.h"
+#include "serve/query_engine.h"
+#include "serve/refresh_directory.h"
+#include "serve/workload.h"
 
 #include "reaper/firmware.h"
 

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Serving observability: lock-cheap counters and fixed-bucket latency
+ * histograms for the profile query path.
+ *
+ * Every QueryEngine worker records into the same Metrics instance from
+ * its hot loop, so recording must be cheap and contention-free:
+ * counters are relaxed atomics, and the latency histogram has a fixed
+ * geometric bucket layout (no allocation, one relaxed fetch_add per
+ * sample). Percentiles are computed on demand from a snapshot of the
+ * bucket counts; with 8 buckets per decade the p50/p95/p99 estimates
+ * carry ~15% bucket-boundary error, which is plenty for dashboards and
+ * regression gates.
+ *
+ * json() emits the whole snapshot as a single JSON object — the schema
+ * served by bench_serve/serve_daemon and documented in DESIGN.md §9.
+ */
+
+#ifndef REAPER_SERVE_METRICS_H
+#define REAPER_SERVE_METRICS_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace reaper {
+namespace serve {
+
+/** Point-in-time copy of every metric (plain integers, consistent
+ *  enough for reporting). */
+struct MetricsSnapshot
+{
+    uint64_t completed = 0;   ///< responses produced
+    uint64_t hits = 0;        ///< served from a cached directory
+    uint64_t misses = 0;      ///< required a store load + compile
+    uint64_t negativeHits = 0;///< served from the negative cache
+    uint64_t unknown = 0;     ///< key absent from the store
+    uint64_t rejected = 0;    ///< bounced by queue backpressure
+    double p50Us = 0.0;       ///< request latency percentiles (µs)
+    double p95Us = 0.0;
+    double p99Us = 0.0;
+    double maxUs = 0.0;       ///< upper edge of the highest hit bucket
+};
+
+/** Shared, thread-safe serving metrics. */
+class Metrics
+{
+  public:
+    /** Geometric latency buckets: [100 ns, 10 s), 8 per decade. */
+    static constexpr size_t kBuckets = 65;
+
+    Metrics() = default;
+
+    void recordHit() { hits_.fetch_add(1, kRelaxed); }
+    void recordMiss() { misses_.fetch_add(1, kRelaxed); }
+    void recordNegativeHit() { negative_.fetch_add(1, kRelaxed); }
+    void recordUnknown() { unknown_.fetch_add(1, kRelaxed); }
+    void recordRejected() { rejected_.fetch_add(1, kRelaxed); }
+
+    /** Record one completed request and its latency. */
+    void recordLatency(double seconds);
+
+    /** Latency at quantile q in [0, 1], in microseconds (bucket upper
+     *  edge; 0 when nothing was recorded). */
+    double latencyPercentileUs(double q) const;
+
+    MetricsSnapshot snapshot() const;
+
+    /** The snapshot as a compact JSON object (one line). */
+    std::string json() const;
+
+    void reset();
+
+  private:
+    static constexpr std::memory_order kRelaxed =
+        std::memory_order_relaxed;
+
+    /** Bucket index of a latency sample. */
+    static size_t bucketOf(double seconds);
+    /** Upper edge of bucket i, in seconds. */
+    static double bucketHi(size_t i);
+
+    std::atomic<uint64_t> completed_{0};
+    std::atomic<uint64_t> hits_{0};
+    std::atomic<uint64_t> misses_{0};
+    std::atomic<uint64_t> negative_{0};
+    std::atomic<uint64_t> unknown_{0};
+    std::atomic<uint64_t> rejected_{0};
+    std::array<std::atomic<uint64_t>, kBuckets> latency_{};
+};
+
+} // namespace serve
+} // namespace reaper
+
+#endif // REAPER_SERVE_METRICS_H

@@ -1,0 +1,158 @@
+#include "serve/profile_cache.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace reaper {
+namespace serve {
+
+namespace {
+
+size_t
+roundUpPow2(size_t n)
+{
+    size_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+ProfileCache::ProfileCache(const campaign::ProfileStore &store,
+                           CacheConfig cfg)
+    : store_(store), cfg_(cfg)
+{
+    size_t n = roundUpPow2(std::max<size_t>(cfg_.shards, 1));
+    cfg_.shards = n;
+    shardCapacity_ = std::max<size_t>(cfg_.capacityBytes / n, 1);
+    shards_.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        shards_.push_back(std::make_unique<Shard>());
+}
+
+ProfileCache::Shard &
+ProfileCache::shardFor(const std::string &key)
+{
+    size_t h = std::hash<std::string>{}(key);
+    return *shards_[h & (shards_.size() - 1)];
+}
+
+CacheResult
+ProfileCache::loadAndCompile(const std::string &key)
+{
+    profiling::RetentionProfile profile;
+    std::string error;
+    if (!store_.tryLoad(key, &profile, &error))
+        return {nullptr, CacheOutcome::NotFound};
+    auto dir = std::make_shared<const RefreshDirectory>(
+        RefreshDirectory::compile(profile, cfg_.directory));
+    return {std::move(dir), CacheOutcome::Miss};
+}
+
+void
+ProfileCache::insertLocked(Shard &shard, const std::string &key,
+                           std::shared_ptr<const RefreshDirectory> dir)
+{
+    size_t bytes = key.size() +
+                   (dir ? dir->sizeBytes() : cfg_.negativeEntryBytes);
+    shard.lru.push_front(key);
+    Entry entry{std::move(dir), bytes, shard.lru.begin()};
+    shard.map[key] = std::move(entry);
+    shard.bytes += bytes;
+
+    // Evict LRU entries until we fit; never the one just inserted
+    // (an oversized directory stays resident alone rather than
+    // thrashing — readers still need it).
+    while (shard.bytes > shardCapacity_ && shard.lru.size() > 1) {
+        const std::string &victim = shard.lru.back();
+        auto it = shard.map.find(victim);
+        shard.bytes -= it->second.bytes;
+        shard.counters.evictions++;
+        shard.map.erase(it);
+        shard.lru.pop_back();
+    }
+}
+
+CacheResult
+ProfileCache::get(const std::string &key)
+{
+    Shard &shard = shardFor(key);
+    std::unique_lock<std::mutex> lock(shard.mtx);
+
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+        shard.lru.splice(shard.lru.begin(), shard.lru,
+                         it->second.lruPos);
+        if (it->second.dir) {
+            shard.counters.hits++;
+            return {it->second.dir, CacheOutcome::Hit};
+        }
+        shard.counters.negativeHits++;
+        return {nullptr, CacheOutcome::NegativeHit};
+    }
+
+    shard.counters.misses++;
+    auto in = shard.inflight.find(key);
+    if (in != shard.inflight.end()) {
+        // Singleflight: ride the load already in progress.
+        std::shared_ptr<Inflight> flight = in->second;
+        flight->done.wait(lock, [&] { return flight->finished; });
+        return flight->result;
+    }
+
+    auto flight = std::make_shared<Inflight>();
+    shard.inflight.emplace(key, flight);
+    lock.unlock();
+
+    CacheResult result = loadAndCompile(key);
+
+    lock.lock();
+    shard.counters.loads++;
+    if (result.dir)
+        insertLocked(shard, key, result.dir);
+    else {
+        shard.counters.failedLoads++;
+        if (cfg_.negativeCache)
+            insertLocked(shard, key, nullptr);
+    }
+    flight->result = result;
+    flight->finished = true;
+    shard.inflight.erase(key);
+    flight->done.notify_all();
+    return result;
+}
+
+void
+ProfileCache::invalidate(const std::string &key)
+{
+    Shard &shard = shardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mtx);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end())
+        return;
+    shard.bytes -= it->second.bytes;
+    shard.lru.erase(it->second.lruPos);
+    shard.map.erase(it);
+}
+
+CacheCounters
+ProfileCache::counters() const
+{
+    CacheCounters total;
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mtx);
+        total.hits += shard->counters.hits;
+        total.misses += shard->counters.misses;
+        total.negativeHits += shard->counters.negativeHits;
+        total.loads += shard->counters.loads;
+        total.failedLoads += shard->counters.failedLoads;
+        total.evictions += shard->counters.evictions;
+        total.bytes += shard->bytes;
+        total.entries += shard->map.size();
+    }
+    return total;
+}
+
+} // namespace serve
+} // namespace reaper

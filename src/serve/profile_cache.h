@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Sharded, byte-accounted LRU cache of compiled RefreshDirectory
+ * objects over a campaign::ProfileStore.
+ *
+ * The serving hot path must not touch the filesystem: loading a
+ * profile file and compiling it into a directory costs milliseconds,
+ * while a cached lookup costs nanoseconds. The cache sits between the
+ * QueryEngine and the store with three properties:
+ *
+ *  - **Sharding.** Keys hash to one of N independent shards (each its
+ *    own mutex + LRU list), so concurrent workers rarely contend on
+ *    the same lock.
+ *  - **Singleflight loading.** Concurrent misses on one key share a
+ *    single store load + compile: the first requester loads while the
+ *    rest wait on the in-flight slot's condition variable. K parallel
+ *    cold gets on a key perform exactly one ProfileStore::tryLoad
+ *    (verified by tests/test_serve.cc).
+ *  - **Negative caching.** A key absent from the store is remembered
+ *    (with a small byte charge), so repeated lookups of unknown chips
+ *    do not hammer the store index. Committing a new profile requires
+ *    invalidate() to drop the negative entry.
+ *
+ * Eviction is byte-accounted: each shard holds capacityBytes/shards
+ * and evicts least-recently-used entries when an insert overflows it.
+ * Evicted directories stay alive for any reader still holding the
+ * shared_ptr — eviction only drops the cache's reference.
+ */
+
+#ifndef REAPER_SERVE_PROFILE_CACHE_H
+#define REAPER_SERVE_PROFILE_CACHE_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "campaign/profile_store.h"
+#include "serve/refresh_directory.h"
+
+namespace reaper {
+namespace serve {
+
+/** Cache shape and compilation parameters. */
+struct CacheConfig
+{
+    /** Shard count (rounded up to a power of two, min 1). */
+    size_t shards = 8;
+    /** Total capacity across shards, in accounted bytes. */
+    size_t capacityBytes = 64ull * 1024 * 1024;
+    /** How directories are compiled from stored profiles. */
+    DirectoryConfig directory;
+    /** Remember keys that are absent from the store. */
+    bool negativeCache = true;
+    /** Accounted size of one negative entry. */
+    size_t negativeEntryBytes = 256;
+};
+
+/** How a get() was served. */
+enum class CacheOutcome
+{
+    Hit,         ///< compiled directory already cached
+    Miss,        ///< loaded from the store (or waited on that load)
+    NegativeHit, ///< known-absent key served from the negative cache
+    NotFound,    ///< key absent; this lookup consulted the store
+};
+
+/** Result of one cache lookup. */
+struct CacheResult
+{
+    /** The compiled directory; null for NegativeHit/NotFound. */
+    std::shared_ptr<const RefreshDirectory> dir;
+    CacheOutcome outcome = CacheOutcome::NotFound;
+};
+
+/** Monotonic cache statistics. */
+struct CacheCounters
+{
+    uint64_t hits = 0;
+    uint64_t misses = 0;       ///< get()s that could not be served hot
+    uint64_t negativeHits = 0;
+    uint64_t loads = 0;        ///< actual store load + compile runs
+    uint64_t failedLoads = 0;  ///< loads that found no/corrupt profile
+    uint64_t evictions = 0;
+    uint64_t bytes = 0;        ///< currently accounted bytes
+    uint64_t entries = 0;      ///< resident positive + negative entries
+};
+
+/** Sharded singleflight LRU over a ProfileStore. */
+class ProfileCache
+{
+  public:
+    /** The store must outlive the cache. */
+    ProfileCache(const campaign::ProfileStore &store, CacheConfig cfg);
+
+    /**
+     * Look up (loading and compiling on miss) the directory for a
+     * profile key. Thread-safe; concurrent misses on one key share one
+     * load. Never throws on unknown keys — they yield NotFound (and a
+     * negative entry when enabled).
+     */
+    CacheResult get(const std::string &key);
+
+    /**
+     * Drop any entry (positive or negative) for a key, e.g. after a
+     * new profile was committed to the store.
+     */
+    void invalidate(const std::string &key);
+
+    /** Aggregate statistics over all shards. */
+    CacheCounters counters() const;
+
+    size_t shardCount() const { return shards_.size(); }
+    const CacheConfig &config() const { return cfg_; }
+
+  private:
+    struct Entry
+    {
+        std::shared_ptr<const RefreshDirectory> dir; ///< null = negative
+        size_t bytes = 0;
+        std::list<std::string>::iterator lruPos;
+    };
+
+    /** Singleflight slot for one in-flight load. */
+    struct Inflight
+    {
+        std::condition_variable done;
+        bool finished = false;
+        CacheResult result;
+    };
+
+    struct Shard
+    {
+        mutable std::mutex mtx;
+        std::unordered_map<std::string, Entry> map;
+        /** Front = most recently used. */
+        std::list<std::string> lru;
+        std::unordered_map<std::string, std::shared_ptr<Inflight>>
+            inflight;
+        size_t bytes = 0;
+        CacheCounters counters;
+    };
+
+    Shard &shardFor(const std::string &key);
+    /** Insert under the shard lock, evicting LRU entries to fit. */
+    void insertLocked(Shard &shard, const std::string &key,
+                      std::shared_ptr<const RefreshDirectory> dir);
+    /** Load + compile (no locks held). */
+    CacheResult loadAndCompile(const std::string &key);
+
+    const campaign::ProfileStore &store_;
+    CacheConfig cfg_;
+    size_t shardCapacity_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+} // namespace serve
+} // namespace reaper
+
+#endif // REAPER_SERVE_PROFILE_CACHE_H

@@ -1,0 +1,187 @@
+#include "serve/refresh_directory.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace reaper {
+namespace serve {
+
+namespace {
+
+void
+validate(const DirectoryConfig &cfg)
+{
+    if (cfg.binIntervals.size() < 2)
+        panic("RefreshDirectory: need at least two bins "
+              "(fast + default)");
+    if (!std::is_sorted(cfg.binIntervals.begin(),
+                        cfg.binIntervals.end()))
+        panic("RefreshDirectory: binIntervals must be sorted "
+              "fastest-first");
+    if (cfg.rowBits == 0)
+        panic("RefreshDirectory: rowBits must be > 0");
+}
+
+} // namespace
+
+uint64_t
+RefreshDirectory::rowKeyOf(uint32_t chip, uint64_t row)
+{
+    // Same packing as mitigation::Raidr::rowKey so exact-table results
+    // match RAIDR's binning decisions bit for bit.
+    return (static_cast<uint64_t>(chip) << 48) ^ row;
+}
+
+void
+RefreshDirectory::buildFrom(
+    std::vector<std::pair<uint64_t, uint32_t>> rows)
+{
+    // Sort by key; on duplicates keep the fastest (lowest) bin.
+    std::sort(rows.begin(), rows.end());
+    row_keys_.reserve(rows.size());
+    row_bins_.reserve(rows.size());
+    for (const auto &[key, bin] : rows) {
+        if (!row_keys_.empty() && row_keys_.back() == key) {
+            row_bins_.back() = std::min(row_bins_.back(), bin);
+            continue;
+        }
+        row_keys_.push_back(key);
+        row_bins_.push_back(bin);
+    }
+
+    if (!cfg_.useBloomFilters)
+        return;
+    size_t expected = std::max<size_t>(row_keys_.size(), 64);
+    for (size_t i = 0; i + 1 < cfg_.binIntervals.size(); ++i)
+        filters_.push_back(mitigation::BloomFilter::forCapacity(
+            expected, cfg_.bloomFpRate, cfg_.bloomSeed + i));
+    for (size_t i = 0; i < row_keys_.size(); ++i)
+        filters_.at(row_bins_[i]).insert(row_keys_[i]);
+    // The exact table stays resident as the cell index's row summary;
+    // hot-path queries go through the filters.
+}
+
+RefreshDirectory
+RefreshDirectory::compile(const profiling::RetentionProfile &profile,
+                          const DirectoryConfig &cfg)
+{
+    validate(cfg);
+    RefreshDirectory dir;
+    dir.cfg_ = cfg;
+    dir.cond_ = profile.conditions();
+    dir.cells_ = profile.cells();
+
+    std::vector<std::pair<uint64_t, uint32_t>> rows;
+    rows.reserve(dir.cells_.size());
+    for (const auto &f : dir.cells_)
+        rows.emplace_back(rowKeyOf(f.chip, f.addr / cfg.rowBits), 0u);
+    dir.buildFrom(std::move(rows));
+    return dir;
+}
+
+RefreshDirectory
+RefreshDirectory::compileBinned(
+    const std::vector<profiling::RetentionProfile> &profiles,
+    const DirectoryConfig &cfg)
+{
+    validate(cfg);
+    if (profiles.size() != cfg.binIntervals.size() - 1)
+        panic("RefreshDirectory::compileBinned: expected %zu profiles, "
+              "got %zu",
+              cfg.binIntervals.size() - 1, profiles.size());
+    RefreshDirectory dir;
+    dir.cfg_ = cfg;
+    if (!profiles.empty())
+        dir.cond_ = profiles.back().conditions();
+
+    profiling::RetentionProfile merged;
+    std::vector<std::pair<uint64_t, uint32_t>> rows;
+    for (size_t i = 0; i < profiles.size(); ++i) {
+        merged.merge(profiles[i]);
+        for (const auto &f : profiles[i].cells())
+            rows.emplace_back(rowKeyOf(f.chip, f.addr / cfg.rowBits),
+                              static_cast<uint32_t>(i));
+    }
+    dir.cells_ = merged.cells();
+    dir.buildFrom(std::move(rows));
+    return dir;
+}
+
+bool
+RefreshDirectory::isRowWeak(uint32_t chip, uint64_t row) const
+{
+    uint64_t key = rowKeyOf(chip, row);
+    if (cfg_.useBloomFilters) {
+        for (const auto &filter : filters_)
+            if (filter.mayContain(key))
+                return true;
+        return false;
+    }
+    return std::binary_search(row_keys_.begin(), row_keys_.end(), key);
+}
+
+uint32_t
+RefreshDirectory::refreshBinFor(uint32_t chip, uint64_t row) const
+{
+    uint64_t key = rowKeyOf(chip, row);
+    if (cfg_.useBloomFilters) {
+        // Fastest-first probe: a false positive in filter i claims the
+        // row for bin i, i.e. only ever *speeds up* its refresh.
+        for (uint32_t i = 0; i < filters_.size(); ++i)
+            if (filters_[i].mayContain(key))
+                return i;
+        return defaultBin();
+    }
+    auto it =
+        std::lower_bound(row_keys_.begin(), row_keys_.end(), key);
+    if (it == row_keys_.end() || *it != key)
+        return defaultBin();
+    return row_bins_[static_cast<size_t>(it - row_keys_.begin())];
+}
+
+Seconds
+RefreshDirectory::rowInterval(uint32_t chip, uint64_t row) const
+{
+    return cfg_.binIntervals.at(refreshBinFor(chip, row));
+}
+
+std::vector<dram::ChipFailure>
+RefreshDirectory::weakCellsInRow(uint32_t chip, uint64_t row) const
+{
+    dram::ChipFailure lo{chip, row * cfg_.rowBits};
+    dram::ChipFailure hi{chip, (row + 1) * cfg_.rowBits};
+    auto first = std::lower_bound(cells_.begin(), cells_.end(), lo);
+    auto last = std::lower_bound(first, cells_.end(), hi);
+    return {first, last};
+}
+
+uint32_t
+RefreshDirectory::defaultBin() const
+{
+    return static_cast<uint32_t>(cfg_.binIntervals.size() - 1);
+}
+
+size_t
+RefreshDirectory::sizeBytes() const
+{
+    size_t bytes = sizeof(*this);
+    bytes += row_keys_.capacity() * sizeof(uint64_t);
+    bytes += row_bins_.capacity() * sizeof(uint32_t);
+    bytes += cells_.capacity() * sizeof(dram::ChipFailure);
+    bytes += bloomStorageBits() / 8;
+    return bytes;
+}
+
+size_t
+RefreshDirectory::bloomStorageBits() const
+{
+    size_t bits = 0;
+    for (const auto &filter : filters_)
+        bits += filter.sizeBits();
+    return bits;
+}
+
+} // namespace serve
+} // namespace reaper

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Immutable, query-optimized compilation of a retention profile.
+ *
+ * A RetentionProfile is the *collection* format: a flat sorted list of
+ * failing cells, ideal for merging rounds and scoring coverage, and
+ * terrible for the mitigation hot path, where every refresh decision
+ * is a "which bin is this row in?" lookup (RAIDR keeps exactly this
+ * structure in controller SRAM). A RefreshDirectory compiles a profile
+ * once into:
+ *
+ *  - a sorted weak-row index with a RAIDR-style refresh-bin assignment
+ *    per row (O(log w) binary-search lookups, w = weak rows), and
+ *  - optionally one Bloom filter per non-default bin, reusing
+ *    mitigation::BloomFilter (O(k) lookups in a few KB). Filter false
+ *    positives only ever move a row to a *faster* bin — the directory
+ *    never under-refreshes relative to the exact table — so the Bloom
+ *    variant is safe by the same argument as RAIDR's hardware.
+ *
+ * The compiled directory is immutable: concurrent readers need no
+ * synchronization, which is what lets serve::ProfileCache hand one
+ * shared instance to every QueryEngine worker.
+ */
+
+#ifndef REAPER_SERVE_REFRESH_DIRECTORY_H
+#define REAPER_SERVE_REFRESH_DIRECTORY_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+#include "mitigation/bloom.h"
+#include "profiling/profile.h"
+
+namespace reaper {
+namespace serve {
+
+/** Compilation parameters of a RefreshDirectory. */
+struct DirectoryConfig
+{
+    /**
+     * Bin refresh intervals, fastest first; the last bin is the
+     * default for rows with no profiled failures (same convention as
+     * mitigation::RaidrConfig).
+     */
+    std::vector<Seconds> binIntervals = {0.064, 0.256, 1.024};
+    /** Bits per row (cell address -> row number). */
+    uint64_t rowBits = 2048ull * 8;
+    /** Compile per-bin Bloom filters instead of the exact row table. */
+    bool useBloomFilters = false;
+    double bloomFpRate = 1e-3;
+    /** Hash-family seed for the per-bin filters. */
+    uint64_t bloomSeed = 0xD12EC7032Full;
+};
+
+/** Immutable compiled lookup structure over one profile's weak rows. */
+class RefreshDirectory
+{
+  public:
+    /**
+     * Compile a single profile conservatively: every row containing a
+     * profiled failing cell goes to the fastest bin (bin 0), all other
+     * rows to the default bin. Matches Raidr::applyProfile.
+     */
+    static RefreshDirectory compile(
+        const profiling::RetentionProfile &profile,
+        const DirectoryConfig &cfg = {});
+
+    /**
+     * Full multi-interval binning: profiles[i] holds the failing cells
+     * at binIntervals[i+1]; each weak row lands in the fastest bin it
+     * needs. profiles.size() must equal binIntervals.size() - 1
+     * (matches Raidr::applyBinnedProfiles).
+     */
+    static RefreshDirectory compileBinned(
+        const std::vector<profiling::RetentionProfile> &profiles,
+        const DirectoryConfig &cfg = {});
+
+    /**
+     * Whether the row holds any profiled failing cell. One-sided under
+     * Bloom filters: may report a clean row weak (extra refreshes),
+     * never a weak row clean.
+     */
+    bool isRowWeak(uint32_t chip, uint64_t row) const;
+
+    /**
+     * Refresh-bin index of a row (0 = fastest; binIntervals.size()-1 =
+     * default). Under Bloom filters the answer is never slower than
+     * the exact table's (one-sided: no under-refresh).
+     */
+    uint32_t refreshBinFor(uint32_t chip, uint64_t row) const;
+
+    /** Refresh interval applied to a row: binIntervals[refreshBinFor]. */
+    Seconds rowInterval(uint32_t chip, uint64_t row) const;
+
+    /**
+     * The profiled failing cells within one row, sorted by address
+     * (exact in both variants; the cell index is always kept).
+     */
+    std::vector<dram::ChipFailure> weakCellsInRow(uint32_t chip,
+                                                  uint64_t row) const;
+
+    /** Index of the default (slowest) bin. */
+    uint32_t defaultBin() const;
+
+    size_t weakRowCount() const { return row_keys_.size(); }
+    size_t weakCellCount() const { return cells_.size(); }
+
+    /** Conditions the source profile was collected at. */
+    const profiling::Conditions &conditions() const { return cond_; }
+
+    const DirectoryConfig &config() const { return cfg_; }
+
+    /**
+     * Resident size of the compiled structure in bytes (used by
+     * ProfileCache for byte-accounted eviction).
+     */
+    size_t sizeBytes() const;
+
+    /** Total Bloom-filter storage in bits (0 in the exact variant). */
+    size_t bloomStorageBits() const;
+
+  private:
+    RefreshDirectory() = default;
+
+    static uint64_t rowKeyOf(uint32_t chip, uint64_t row);
+    void buildFrom(std::vector<std::pair<uint64_t, uint32_t>> rows);
+
+    DirectoryConfig cfg_;
+    profiling::Conditions cond_;
+    /** Sorted row keys of weak rows; parallel to row_bins_. */
+    std::vector<uint64_t> row_keys_;
+    std::vector<uint32_t> row_bins_;
+    /** Sorted unique failing cells (per-row weak-cell index). */
+    std::vector<dram::ChipFailure> cells_;
+    /** One filter per non-default bin (Bloom variant only). */
+    std::vector<mitigation::BloomFilter> filters_;
+};
+
+} // namespace serve
+} // namespace reaper
+
+#endif // REAPER_SERVE_REFRESH_DIRECTORY_H

@@ -1,0 +1,57 @@
+#include "serve/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace reaper {
+namespace serve {
+
+Workload::Workload(WorkloadConfig cfg, uint64_t seed)
+    : cfg_(std::move(cfg)), rng_(seed)
+{
+    if (cfg_.keys.empty())
+        panic("serve::Workload: need at least one known key");
+    cdf_.reserve(cfg_.keys.size());
+    double sum = 0.0;
+    for (size_t r = 0; r < cfg_.keys.size(); ++r) {
+        sum += 1.0 /
+               std::pow(static_cast<double>(r + 1), cfg_.zipfExponent);
+        cdf_.push_back(sum);
+    }
+}
+
+size_t
+Workload::sampleRank()
+{
+    double u = rng_.uniform() * cdf_.back();
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return std::min(static_cast<size_t>(it - cdf_.begin()),
+                    cfg_.keys.size() - 1);
+}
+
+Request
+Workload::next()
+{
+    Request req;
+    req.id = next_id_++;
+    bool unknown = rng_.uniform() < cfg_.unknownFraction;
+    if (unknown) {
+        // A key shaped like a real one but never committed: exercises
+        // the negative-cache path deterministically.
+        req.key = "ghost-" + std::to_string(rng_.uniformInt(1u << 16)) +
+                  "@trefi64.000ms@45.00C";
+    } else {
+        req.key = cfg_.keys[sampleRank()];
+    }
+    req.kind = rng_.uniform() < cfg_.binFraction
+                   ? QueryKind::RefreshBin
+                   : QueryKind::IsRowWeak;
+    req.chip = 0;
+    req.row = rng_.uniformInt(std::max<uint64_t>(cfg_.rowsPerChip, 1));
+    return req;
+}
+
+} // namespace serve
+} // namespace reaper

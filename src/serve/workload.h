@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Closed-loop query workload generator for the serving benchmarks.
+ *
+ * Real profile traffic is skewed: a few hot chips (the modules behind
+ * the busiest channels) absorb most refresh-decision lookups, with a
+ * long tail of cold ones — the classic zipfian shape. The generator
+ * produces a deterministic request stream (same seed -> same stream,
+ * independent of consumer threading) with configurable:
+ *
+ *  - zipf exponent over the known profile keys (0 = uniform),
+ *  - fraction of queries aimed at keys absent from the store
+ *    (exercises the negative cache),
+ *  - IsRowWeak vs RefreshBin mix, and
+ *  - row range per chip.
+ */
+
+#ifndef REAPER_SERVE_WORKLOAD_H
+#define REAPER_SERVE_WORKLOAD_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "serve/query_engine.h"
+
+namespace reaper {
+namespace serve {
+
+/** Shape of the generated query stream. */
+struct WorkloadConfig
+{
+    /** Known profile keys, hottest first (zipf rank order). */
+    std::vector<std::string> keys;
+    /** Zipf exponent s: P(rank r) ~ 1/r^s. 0 = uniform. */
+    double zipfExponent = 0.99;
+    /** Fraction of queries against keys not in the store. */
+    double unknownFraction = 0.0;
+    /** Rows per chip (queried uniformly). */
+    uint64_t rowsPerChip = 1ull << 15;
+    /** Fraction of queries that are RefreshBin (rest IsRowWeak). */
+    double binFraction = 0.5;
+};
+
+/** Deterministic zipfian request stream. */
+class Workload
+{
+  public:
+    Workload(WorkloadConfig cfg, uint64_t seed);
+
+    /** The next request; ids are sequential from 0. */
+    Request next();
+
+    /** Requests generated so far (== next id). */
+    uint64_t generated() const { return next_id_; }
+
+    const WorkloadConfig &config() const { return cfg_; }
+
+  private:
+    size_t sampleRank();
+
+    WorkloadConfig cfg_;
+    Rng rng_;
+    uint64_t next_id_ = 0;
+    /** Cumulative zipf weights over key ranks. */
+    std::vector<double> cdf_;
+};
+
+} // namespace serve
+} // namespace reaper
+
+#endif // REAPER_SERVE_WORKLOAD_H

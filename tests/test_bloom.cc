@@ -5,6 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
 #include "common/rng.h"
 #include "mitigation/bloom.h"
 #include "mitigation/raidr.h"
@@ -110,6 +114,62 @@ TEST(BloomFilter, SeedsGiveIndependentFamilies)
     }
     ASSERT_GT(fps, 10);      // the filters are loaded enough to err
     EXPECT_GT(disagree, 10); // ...but err on different keys
+}
+
+// Property test (serve-layer contract): across filter geometries,
+// load factors, and seeded random key sets, the empirical
+// false-positive rate tracks the analytic (1 - e^{-kn/m})^k estimate,
+// and inserted keys are never lost. The serve::RefreshDirectory Bloom
+// variant's one-sidedness rests on exactly these two properties.
+TEST(BloomFilter, PropertyEmpiricalFprTracksAnalyticEstimate)
+{
+    struct Case
+    {
+        size_t bits;
+        int hashes;
+        size_t inserts;
+    };
+    const std::vector<Case> cases = {
+        {1 << 12, 3, 200},  {1 << 12, 3, 800},  {1 << 14, 5, 1000},
+        {1 << 14, 7, 3000}, {1 << 16, 4, 2000}, {1 << 16, 6, 12000},
+    };
+    const int kProbes = 40000;
+    for (size_t ci = 0; ci < cases.size(); ++ci) {
+        const Case &c = cases[ci];
+        for (uint64_t trial = 0; trial < 3; ++trial) {
+            uint64_t seed = 0xF00D + ci * 17 + trial;
+            BloomFilter f(c.bits, c.hashes, seed);
+            Rng insert_rng(seed * 31 + 1);
+            std::vector<uint64_t> keys;
+            keys.reserve(c.inserts);
+            for (size_t i = 0; i < c.inserts; ++i) {
+                keys.push_back(insert_rng());
+                f.insert(keys.back());
+            }
+            // Zero false negatives, unconditionally.
+            for (uint64_t k : keys)
+                ASSERT_TRUE(f.mayContain(k))
+                    << "lost key in case " << ci << " trial " << trial;
+
+            // Empirical FPR over fresh random probes (the chance a
+            // random probe collides with an inserted key is ~2^-51,
+            // negligible against kProbes).
+            Rng probe_rng(seed * 131 + 7);
+            int fps = 0;
+            for (int i = 0; i < kProbes; ++i)
+                fps += f.mayContain(probe_rng());
+            double empirical = static_cast<double>(fps) / kProbes;
+            double analytic = f.expectedFpRate();
+            // Tolerance: 3.5 binomial sigmas plus a small absolute
+            // floor for the near-zero-rate cases.
+            double sigma = std::sqrt(
+                std::max(analytic * (1 - analytic), 1e-9) / kProbes);
+            EXPECT_NEAR(empirical, analytic, 3.5 * sigma + 2e-3)
+                << "case " << ci << " trial " << trial << " (m="
+                << c.bits << " k=" << c.hashes << " n=" << c.inserts
+                << ")";
+        }
+    }
 }
 
 TEST(BloomFilter, Validation)

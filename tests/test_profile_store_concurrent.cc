@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Concurrency tests for campaign::ProfileStore: N reader threads
+ * hammering tryLoad/has/size/entries while a writer commits — the
+ * access pattern the serve-layer ProfileCache produces in production.
+ * Carries the `sanitize` ctest label; run under
+ * -DREAPER_SANITIZE=thread to let TSan check the shared_mutex
+ * discipline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "campaign/profile_store.h"
+#include "common/rng.h"
+
+namespace fs = std::filesystem;
+
+namespace reaper {
+namespace campaign {
+namespace {
+
+std::string
+scratchDir(const std::string &name)
+{
+    fs::path dir = fs::path(::testing::TempDir()) / ("reaper_" + name);
+    fs::remove_all(dir);
+    return dir.string();
+}
+
+profiling::RetentionProfile
+smallProfile(uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<dram::ChipFailure> cells;
+    // Disjoint per-index address slots keep the 50 cells distinct for
+    // every seed (profiles dedup, and the tests assert exact sizes).
+    for (uint64_t i = 0; i < 50; ++i)
+        cells.push_back({0, i * 4096 + rng.uniformInt(4096)});
+    profiling::RetentionProfile p({1.024, 45.0});
+    p.add(cells);
+    return p;
+}
+
+std::string
+keyOf(size_t i)
+{
+    return ProfileStore::profileKey("chip-" + std::to_string(i),
+                                    {1.024, 45.0});
+}
+
+TEST(ProfileStoreConcurrent, ReadersRaceOneWriter)
+{
+    ProfileStore store(scratchDir("store_race"));
+    constexpr size_t kPreloaded = 8;
+    constexpr size_t kCommits = 40;
+    for (size_t i = 0; i < kPreloaded; ++i)
+        store.commit(keyOf(i), smallProfile(i));
+
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> reads{0}, found{0};
+    constexpr int kReaders = 4;
+    std::vector<std::thread> readers;
+    for (int t = 0; t < kReaders; ++t) {
+        readers.emplace_back([&, t] {
+            Rng rng(1000 + t);
+            while (!stop.load(std::memory_order_relaxed)) {
+                size_t i = rng.uniformInt(kPreloaded + kCommits);
+                profiling::RetentionProfile p;
+                std::string error;
+                bool ok = store.tryLoad(keyOf(i), &p, &error);
+                // A loaded profile is always complete: commits rename
+                // atomically, so readers never see a torn file.
+                if (ok)
+                    EXPECT_EQ(p.size(), 50u);
+                found += ok;
+                store.has(keyOf(i));
+                (void)store.size();
+                (void)store.entries();
+                ++reads;
+            }
+        });
+    }
+
+    // One writer commits fresh keys and overwrites old ones.
+    for (size_t i = 0; i < kCommits; ++i) {
+        store.commit(keyOf(kPreloaded + i),
+                     smallProfile(kPreloaded + i));
+        store.commit(keyOf(i % kPreloaded), smallProfile(900 + i));
+    }
+    stop.store(true);
+    for (auto &reader : readers)
+        reader.join();
+
+    EXPECT_GT(reads.load(), 0u);
+    EXPECT_GT(found.load(), 0u);
+    EXPECT_EQ(store.size(), kPreloaded + kCommits);
+    // Reopening sees a consistent index.
+    ProfileStore reopened(store.dir());
+    EXPECT_EQ(reopened.size(), kPreloaded + kCommits);
+}
+
+TEST(ProfileStoreConcurrent, ConcurrentLoadOrProfileConverges)
+{
+    ProfileStore store(scratchDir("store_lop"));
+    constexpr int kThreads = 4;
+    std::atomic<int> profiled{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            for (size_t i = 0; i < 6; ++i) {
+                profiling::RetentionProfile p = store.loadOrProfile(
+                    keyOf(i), [&] {
+                        profiled.fetch_add(1);
+                        return smallProfile(i);
+                    });
+                EXPECT_EQ(p.size(), 50u);
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    // Racing loadOrProfile calls may each profile (last commit wins),
+    // but the store ends consistent and loadable.
+    EXPECT_GE(profiled.load(), 6);
+    EXPECT_EQ(store.size(), 6u);
+    for (size_t i = 0; i < 6; ++i) {
+        profiling::RetentionProfile p;
+        std::string error;
+        EXPECT_TRUE(store.tryLoad(keyOf(i), &p, &error)) << error;
+        EXPECT_EQ(p.size(), 50u);
+    }
+}
+
+} // namespace
+} // namespace campaign
+} // namespace reaper

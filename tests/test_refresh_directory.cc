@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Equivalence tests for serve::RefreshDirectory: the compiled lookup
+ * structure must answer exactly like a naive scan of the source
+ * RetentionProfile::cells() (exact variant), and the Bloom variant
+ * must be one-sided — it may over-refresh (faster bin) but never
+ * under-refresh (slower bin) relative to the exact table.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "serve/refresh_directory.h"
+
+namespace reaper {
+namespace serve {
+namespace {
+
+constexpr uint64_t kRowBits = 512;
+constexpr uint64_t kRows = 4096;
+constexpr uint32_t kChips = 3;
+
+profiling::RetentionProfile
+randomProfile(uint64_t seed, size_t cells)
+{
+    Rng rng(seed);
+    std::vector<dram::ChipFailure> v;
+    v.reserve(cells);
+    for (size_t i = 0; i < cells; ++i)
+        v.push_back({static_cast<uint32_t>(rng.uniformInt(kChips)),
+                     rng.uniformInt(kRows * kRowBits)});
+    profiling::RetentionProfile p({1.024, 45.0});
+    p.add(v);
+    return p;
+}
+
+DirectoryConfig
+testConfig(bool bloom = false)
+{
+    DirectoryConfig cfg;
+    cfg.rowBits = kRowBits;
+    cfg.useBloomFilters = bloom;
+    return cfg;
+}
+
+/** Naive reference: scan every cell of every profile. */
+bool
+naiveRowWeak(const std::vector<profiling::RetentionProfile> &profiles,
+             uint32_t chip, uint64_t row)
+{
+    for (const auto &p : profiles)
+        for (const auto &f : p.cells())
+            if (f.chip == chip && f.addr / kRowBits == row)
+                return true;
+    return false;
+}
+
+/** Naive reference bin: fastest bin whose profile touches the row. */
+uint32_t
+naiveBin(const std::vector<profiling::RetentionProfile> &profiles,
+         const DirectoryConfig &cfg, uint32_t chip, uint64_t row)
+{
+    for (size_t i = 0; i < profiles.size(); ++i)
+        for (const auto &f : profiles[i].cells())
+            if (f.chip == chip && f.addr / kRowBits == row)
+                return static_cast<uint32_t>(i);
+    return static_cast<uint32_t>(cfg.binIntervals.size() - 1);
+}
+
+TEST(RefreshDirectory, ExactMatchesNaiveScanSingleProfile)
+{
+    for (uint64_t seed = 1; seed <= 4; ++seed) {
+        profiling::RetentionProfile p = randomProfile(seed, 600);
+        RefreshDirectory dir =
+            RefreshDirectory::compile(p, testConfig());
+        ASSERT_EQ(dir.weakCellCount(), p.size());
+        for (uint32_t chip = 0; chip < kChips; ++chip) {
+            for (uint64_t row = 0; row < kRows; row += 3) {
+                bool weak = naiveRowWeak({p}, chip, row);
+                ASSERT_EQ(dir.isRowWeak(chip, row), weak)
+                    << "seed " << seed << " chip " << chip << " row "
+                    << row;
+                // Single-profile policy: weak rows -> fastest bin.
+                uint32_t want = weak ? 0 : dir.defaultBin();
+                ASSERT_EQ(dir.refreshBinFor(chip, row), want);
+                ASSERT_DOUBLE_EQ(
+                    dir.rowInterval(chip, row),
+                    dir.config().binIntervals.at(want));
+            }
+        }
+    }
+}
+
+TEST(RefreshDirectory, ExactMatchesNaiveScanBinned)
+{
+    DirectoryConfig cfg = testConfig();
+    std::vector<profiling::RetentionProfile> profiles = {
+        randomProfile(11, 200), randomProfile(12, 500)};
+    ASSERT_EQ(profiles.size(), cfg.binIntervals.size() - 1);
+    RefreshDirectory dir =
+        RefreshDirectory::compileBinned(profiles, cfg);
+    for (uint32_t chip = 0; chip < kChips; ++chip) {
+        for (uint64_t row = 0; row < kRows; row += 2) {
+            ASSERT_EQ(dir.isRowWeak(chip, row),
+                      naiveRowWeak(profiles, chip, row));
+            ASSERT_EQ(dir.refreshBinFor(chip, row),
+                      naiveBin(profiles, cfg, chip, row))
+                << "chip " << chip << " row " << row;
+        }
+    }
+}
+
+TEST(RefreshDirectory, BloomVariantIsOneSided)
+{
+    DirectoryConfig exact_cfg = testConfig(false);
+    DirectoryConfig bloom_cfg = testConfig(true);
+    std::vector<profiling::RetentionProfile> profiles = {
+        randomProfile(21, 300), randomProfile(22, 700)};
+    RefreshDirectory exact =
+        RefreshDirectory::compileBinned(profiles, exact_cfg);
+    RefreshDirectory bloom =
+        RefreshDirectory::compileBinned(profiles, bloom_cfg);
+    ASSERT_GT(bloom.bloomStorageBits(), 0u);
+    size_t over_refreshed = 0;
+    for (uint32_t chip = 0; chip < kChips; ++chip) {
+        for (uint64_t row = 0; row < kRows; ++row) {
+            // Never a false negative...
+            if (exact.isRowWeak(chip, row))
+                ASSERT_TRUE(bloom.isRowWeak(chip, row));
+            // ...and never a slower bin than the row needs.
+            uint32_t eb = exact.refreshBinFor(chip, row);
+            uint32_t bb = bloom.refreshBinFor(chip, row);
+            ASSERT_LE(bb, eb) << "under-refresh at chip " << chip
+                              << " row " << row;
+            over_refreshed += bb < eb;
+        }
+    }
+    // False positives exist but stay near the configured rate.
+    double fp_rate = static_cast<double>(over_refreshed) /
+                     static_cast<double>(kChips * kRows);
+    EXPECT_LT(fp_rate, bloom_cfg.bloomFpRate * 20 + 0.01);
+}
+
+TEST(RefreshDirectory, WeakCellsInRowMatchesFilter)
+{
+    profiling::RetentionProfile p = randomProfile(31, 800);
+    RefreshDirectory dir = RefreshDirectory::compile(p, testConfig());
+    for (uint32_t chip = 0; chip < kChips; ++chip) {
+        for (uint64_t row = 0; row < kRows; row += 7) {
+            std::vector<dram::ChipFailure> want;
+            for (const auto &f : p.cells())
+                if (f.chip == chip && f.addr / kRowBits == row)
+                    want.push_back(f);
+            std::vector<dram::ChipFailure> got =
+                dir.weakCellsInRow(chip, row);
+            ASSERT_EQ(got, want);
+            ASSERT_TRUE(std::is_sorted(got.begin(), got.end()));
+        }
+    }
+}
+
+TEST(RefreshDirectory, EmptyProfileHasNoWeakRows)
+{
+    profiling::RetentionProfile p({1.024, 45.0});
+    RefreshDirectory dir = RefreshDirectory::compile(p, testConfig());
+    EXPECT_EQ(dir.weakRowCount(), 0u);
+    EXPECT_FALSE(dir.isRowWeak(0, 0));
+    EXPECT_EQ(dir.refreshBinFor(0, 0), dir.defaultBin());
+    EXPECT_GT(dir.sizeBytes(), 0u);
+}
+
+TEST(RefreshDirectory, SizeBytesTracksContents)
+{
+    profiling::RetentionProfile small = randomProfile(41, 50);
+    profiling::RetentionProfile big = randomProfile(42, 5000);
+    DirectoryConfig cfg = testConfig();
+    EXPECT_LT(RefreshDirectory::compile(small, cfg).sizeBytes(),
+              RefreshDirectory::compile(big, cfg).sizeBytes());
+}
+
+TEST(RefreshDirectory, ConditionsPreserved)
+{
+    profiling::RetentionProfile p({2.048, 55.0});
+    RefreshDirectory dir = RefreshDirectory::compile(p, testConfig());
+    EXPECT_DOUBLE_EQ(dir.conditions().refreshInterval, 2.048);
+    EXPECT_DOUBLE_EQ(dir.conditions().temperature, 55.0);
+}
+
+} // namespace
+} // namespace serve
+} // namespace reaper
