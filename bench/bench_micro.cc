@@ -295,4 +295,16 @@ BENCHMARK(BM_UberSolve);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() so REAPER_OBS_DUMP runs can export the
+// global registry before exit.
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    obs::dumpIfRequested();
+    return 0;
+}

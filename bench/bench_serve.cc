@@ -203,7 +203,7 @@ main()
     // Naive: load the profile, scan every cell, per query.
     std::vector<profiling::RetentionProfile> loaded(keys.size());
     for (size_t i = 0; i < keys.size(); ++i)
-        store.tryLoad(keys[i], &loaded[i]);
+        loaded[i] = store.load(keys[i]).value();
     serve::Workload naive_wl(wc, 99);
     uint64_t naive_sink = 0;
     double t0 = now();
@@ -403,5 +403,6 @@ main()
     }
     json << "  ]\n}\n";
     std::cout << "\nWrote BENCH_serve.json\n";
+    obs::dumpIfRequested();
     return answers_match && speedup >= 10.0 ? 0 : 1;
 }

@@ -25,6 +25,12 @@
  *   --max-attempts N    attempts per round; 1 disables retries
  *                       (default 3)
  *   --interrupt-after N stop after N commits (simulated kill)
+ *   --profiler NAME     use one registered profiler for every round
+ *                       (see profiling::profilerNames()) instead of
+ *                       the default brute-force/reach alternation
+ *   --obs-dump PATH     write Chrome trace (PATH) + Prometheus text
+ *                       (PATH.prom) at exit; pair with REAPER_OBS=
+ *                       counters|trace
  */
 
 #include <cstdlib>
@@ -54,7 +60,17 @@ usage(const char *argv0)
         << "  --fault-seed S      fault-schedule seed (default 1)\n"
         << "  --max-attempts N    attempts per round (default 3)\n"
         << "  --interrupt-after N stop after N commits (simulated "
-           "kill)\n";
+           "kill)\n"
+        << "  --profiler NAME     one profiler for every round "
+           "(registered: ";
+    bool first = true;
+    for (const std::string &name : profiling::profilerNames()) {
+        std::cerr << (first ? "" : ", ") << name;
+        first = false;
+    }
+    std::cerr << ")\n"
+              << "  --obs-dump PATH     write Chrome trace + "
+                 "PATH.prom at exit\n";
     std::exit(2);
 }
 
@@ -69,6 +85,7 @@ main(int argc, char **argv)
     uint64_t seed = 1, fault_seed = 1;
     unsigned threads = 0;
     double fault_rate = 0.0;
+    std::string profiler_name, obs_dump;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -97,9 +114,24 @@ main(int argc, char **argv)
             max_attempts = std::stoi(next());
         else if (arg == "--interrupt-after")
             interrupt_after = std::stoul(next());
+        else if (arg == "--profiler")
+            profiler_name = next();
+        else if (arg == "--obs-dump")
+            obs_dump = next();
         else
             usage(argv[0]);
     }
+
+    // Dump on every exit path (including the simulated-kill one).
+    struct ObsDump
+    {
+        std::string path;
+        ~ObsDump()
+        {
+            if (!path.empty())
+                obs::dumpTo(path);
+        }
+    } obs_dump_guard{obs_dump};
 
     campaign::CampaignConfig cfg;
     cfg.dir = dir;
@@ -111,12 +143,15 @@ main(int argc, char **argv)
     for (size_t r = 0; r < rounds; ++r) {
         campaign::RoundSpec spec;
         spec.iterations = iterations;
-        if (r % 2 == 0) {
+        spec.target = {msToSec(1024.0 + 512.0 * r), 45.0};
+        if (!profiler_name.empty()) {
+            spec.profilerName = profiler_name;
+            if (profiler_name == "reach")
+                spec.reachDeltaRefresh = 0.250;
+        } else if (r % 2 == 0) {
             spec.profiler = campaign::ProfilerKind::BruteForce;
-            spec.target = {msToSec(1024.0 + 512.0 * r), 45.0};
         } else {
             spec.profiler = campaign::ProfilerKind::Reach;
-            spec.target = {msToSec(1024.0 + 512.0 * r), 45.0};
             spec.reachDeltaRefresh = 0.250;
         }
         cfg.rounds.push_back(spec);

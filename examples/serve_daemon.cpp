@@ -28,6 +28,9 @@
  *   --bloom             use Bloom-filter directories (over-refresh
  *                       only, smaller footprint)
  *   --seed S            workload seed (default 1)
+ *   --obs-dump PATH     write Chrome trace (PATH) + Prometheus text
+ *                       (PATH.prom) at exit; pair with REAPER_OBS=
+ *                       counters|trace
  */
 
 #include <cstdlib>
@@ -55,7 +58,9 @@ usage(const char *argv0)
               << "  --unknown-frac R  absent-key fraction (default "
                  "0.01)\n"
               << "  --bloom           Bloom-filter directories\n"
-              << "  --seed S          workload seed (default 1)\n";
+              << "  --seed S          workload seed (default 1)\n"
+              << "  --obs-dump PATH   write Chrome trace + PATH.prom "
+                 "at exit\n";
     std::exit(2);
 }
 
@@ -96,6 +101,7 @@ main(int argc, char **argv)
     size_t cache_mb = 64;
     double zipf = 0.99, unknown_frac = 0.01;
     bool bloom = false;
+    std::string obs_dump;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -120,6 +126,8 @@ main(int argc, char **argv)
             bloom = true;
         else if (arg == "--seed")
             seed = std::stoull(next());
+        else if (arg == "--obs-dump")
+            obs_dump = next();
         else
             usage(argv[0]);
     }
@@ -190,5 +198,7 @@ main(int argc, char **argv)
               << " us, p99 " << metrics.latencyPercentileUs(0.99)
               << " us\n\nMetrics JSON:\n"
               << metrics.json() << "\n";
+    if (!obs_dump.empty())
+        obs::dumpTo(obs_dump);
     return 0;
 }

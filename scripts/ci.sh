@@ -28,6 +28,74 @@ echo "=== tier-1: ctest ==="
 echo "=== bench smoke: bench_serve (REAPER_BENCH_QUICK=1) ==="
 (cd build && REAPER_BENCH_QUICK=1 ./bench/bench_serve > /dev/null)
 
+echo "=== obs smoke: counters-mode run exports Prometheus text ==="
+(
+    cd build
+    rm -f obs_smoke.prom obs_smoke.json obs_smoke.trace.json
+    REAPER_BENCH_QUICK=1 REAPER_OBS=counters REAPER_OBS_DUMP=obs_smoke \
+        ./bench/bench_serve > /dev/null
+    [[ -s obs_smoke.prom ]] || {
+        echo "obs smoke: obs_smoke.prom missing or empty" >&2
+        exit 1
+    }
+    # The serving path and the campaign store must both have recorded.
+    for metric in reaper_serve_requests_total \
+                  reaper_campaign_store_commits_total; do
+        value="$(awk -v m="$metric" '$1 == m { print $2 }' \
+            obs_smoke.prom)"
+        if [[ -z "$value" || "$value" == "0" ]]; then
+            echo "obs smoke: $metric missing or zero" >&2
+            exit 1
+        fi
+    done
+    echo "obs smoke: obs_smoke.prom ok"
+)
+
+# Off-mode observability must not tax the DRAM read path. Compare the
+# hot read benches with REAPER_OBS=off vs =counters on this machine;
+# tolerance is env-tunable (REAPER_OBS_PERF_TOL, ratio) because shared
+# CI runners are noisy — locally 1.02 is realistic.
+echo "=== obs perf guard: REAPER_OBS=off read path ==="
+obs_tol="${REAPER_OBS_PERF_TOL:-1.10}"
+if command -v python3 > /dev/null; then
+    (
+        cd build
+        filter='BM_DeviceReadAndCompare|BM_ProfilerIteration'
+        REAPER_OBS=off ./bench/bench_micro \
+            --benchmark_filter="$filter" \
+            --benchmark_format=json > obs_perf_off.json
+        REAPER_OBS=counters ./bench/bench_micro \
+            --benchmark_filter="$filter" \
+            --benchmark_format=json > obs_perf_on.json
+        python3 - "$obs_tol" <<'EOF'
+import json, sys
+
+tol = float(sys.argv[1])
+def times(path):
+    with open(path) as f:
+        data = json.load(f)
+    return {b["name"]: b["real_time"] for b in data["benchmarks"]}
+
+off, on = times("obs_perf_off.json"), times("obs_perf_on.json")
+failed = False
+for name in sorted(off):
+    if name not in on:
+        sys.exit(f"obs perf guard: {name} missing from counters run")
+    # off must not be slower than counters by more than the tolerance
+    # (counters-mode is the baseline that actually does work).
+    slowdown = off[name] / on[name]
+    print(f"  {name}: off/counters = {slowdown:.3f} (tol {tol})")
+    if slowdown > tol:
+        failed = True
+if failed:
+    sys.exit("obs perf guard: off-mode slower than tolerance")
+print("obs perf guard: ok")
+EOF
+    )
+else
+    echo "python3 not found: skipping obs perf guard"
+fi
+
 if [[ "$quick" == "1" ]]; then
     echo "=== quick mode: skipping sanitizer suite ==="
     exit 0
@@ -37,7 +105,7 @@ echo "=== sanitize: configure + build (REAPER_SANITIZE=thread) ==="
 cmake -B build-tsan -S . -DREAPER_SANITIZE=thread
 cmake --build build-tsan -j "$jobs" \
     --target test_fleet test_campaign test_serve \
-             test_profile_store_concurrent
+             test_profile_store_concurrent test_obs
 
 echo "=== sanitize: ctest -L sanitize ==="
 (cd build-tsan && ctest -L sanitize --output-on-failure -j "$jobs")

@@ -11,6 +11,7 @@
 
 #include "common/logging.h"
 #include "dram/vendor_model.h"
+#include "obs/obs.h"
 
 namespace fs = std::filesystem;
 
@@ -73,35 +74,29 @@ validate(const CampaignConfig &cfg)
                 throw CampaignError("campaign: duplicate chip id '" +
                                     cfg.chips[i].id + "'");
     }
-    for (size_t r = 0; r < cfg.rounds.size(); ++r)
+    for (size_t r = 0; r < cfg.rounds.size(); ++r) {
         if (cfg.rounds[r].iterations < 1)
             throw CampaignError("campaign: round " + std::to_string(r) +
                                 " iterations must be >= 1");
+        common::Expected<std::unique_ptr<profiling::Profiler>> p =
+            profiling::makeProfiler(
+                resolvedProfilerName(cfg.rounds[r]));
+        if (!p)
+            throw CampaignError("campaign: round " + std::to_string(r) +
+                                ": " + p.error().describe());
+    }
 }
 
-profiling::ProfilingResult
-runRound(testbed::SoftMcHost &host, const RoundSpec &r)
+/** The configured profiler spec of one round. */
+profiling::ProfilerSpec
+roundSpec(const RoundSpec &r)
 {
-    switch (r.profiler) {
-    case ProfilerKind::BruteForce: {
-        profiling::BruteForceConfig c;
-        c.test = r.target;
-        c.iterations = r.iterations;
-        c.setTemperature = r.setTemperature;
-        return profiling::BruteForceProfiler{}.run(host, c);
-    }
-    case ProfilerKind::Reach: {
-        profiling::ReachConfig c;
-        c.target = r.target;
-        c.deltaRefreshInterval = r.reachDeltaRefresh;
-        c.deltaTemperature = r.reachDeltaTemp;
-        c.iterations = r.iterations;
-        c.setTemperature = r.setTemperature;
-        return profiling::ReachProfiler{}.run(host, c);
-    }
-    }
-    panic("runRound: unknown ProfilerKind %d",
-          static_cast<int>(r.profiler));
+    profiling::ProfilerSpec spec;
+    spec.iterations = r.iterations;
+    spec.setTemperature = r.setTemperature;
+    spec.reachDeltaRefresh = r.reachDeltaRefresh;
+    spec.reachDeltaTemp = r.reachDeltaTemp;
+    return spec;
 }
 
 /** Write the human-readable manifest once, atomically. */
@@ -135,9 +130,7 @@ writeManifestIfAbsent(const CampaignConfig &cfg, uint64_t fingerprint)
         }
         for (size_t r = 0; r < cfg.rounds.size(); ++r) {
             const RoundSpec &rs = cfg.rounds[r];
-            os << "round " << r << " "
-               << (rs.profiler == ProfilerKind::Reach ? "reach"
-                                                      : "brute_force")
+            os << "round " << r << " " << resolvedProfilerName(rs)
                << " trefi_ms " << secToMs(rs.target.refreshInterval)
                << " temp_c " << rs.target.temperature << " iterations "
                << rs.iterations << "\n";
@@ -154,6 +147,21 @@ writeManifestIfAbsent(const CampaignConfig &cfg, uint64_t fingerprint)
 }
 
 } // namespace
+
+std::string
+resolvedProfilerName(const RoundSpec &r)
+{
+    if (!r.profilerName.empty())
+        return r.profilerName;
+    switch (r.profiler) {
+    case ProfilerKind::BruteForce:
+        return "brute_force";
+    case ProfilerKind::Reach:
+        return "reach";
+    }
+    panic("resolvedProfilerName: unknown ProfilerKind %d",
+          static_cast<int>(r.profiler));
+}
 
 uint64_t
 campaignFingerprint(const CampaignConfig &cfg)
@@ -174,7 +182,10 @@ campaignFingerprint(const CampaignConfig &cfg)
     }
     h = hashCombine(h, cfg.rounds.size());
     for (const RoundSpec &r : cfg.rounds) {
-        h = hashCombine(h, static_cast<uint64_t>(r.profiler));
+        // The resolved mechanism *name* is hashed (not the legacy enum
+        // value) so a round is fingerprint-identical whether it was
+        // configured via profilerName or via the enum.
+        h = hashString(h, resolvedProfilerName(r));
         h = hashDouble(h, r.target.refreshInterval);
         h = hashDouble(h, r.target.temperature);
         h = hashDouble(h, r.reachDeltaRefresh);
@@ -232,6 +243,8 @@ runCampaign(const CampaignConfig &cfg)
 {
     validate(cfg);
 
+    REAPER_OBS_SPAN(campaignSpan, "campaign.run");
+
     std::error_code ec;
     fs::create_directories(cfg.dir, ec);
     if (ec)
@@ -242,8 +255,12 @@ runCampaign(const CampaignConfig &cfg)
     writeManifestIfAbsent(cfg, fingerprint);
 
     ProfileStore store((fs::path(cfg.dir) / "store").string());
-    CampaignJournal journal((fs::path(cfg.dir) / "journal.log").string(),
-                            fingerprint);
+    common::Expected<std::unique_ptr<CampaignJournal>> opened =
+        CampaignJournal::open(
+            (fs::path(cfg.dir) / "journal.log").string(), fingerprint);
+    if (!opened)
+        throw CampaignError(opened.error().describe());
+    CampaignJournal &journal = *opened.value();
 
     const size_t n_rounds = cfg.rounds.size();
     std::vector<size_t> pending; // encoded chip * n_rounds + round
@@ -270,6 +287,15 @@ runCampaign(const CampaignConfig &cfg)
             const uint64_t fault_base =
                 eval::fleetSeed(cfg.faults.seed, task);
 
+            REAPER_OBS_SPAN(taskSpan, "campaign.round");
+
+            // validate() already proved the name resolves.
+            std::unique_ptr<profiling::Profiler> profiler =
+                std::move(profiling::makeProfiler(
+                              resolvedProfilerName(cfg.rounds[r]),
+                              roundSpec(cfg.rounds[r]))
+                              .value());
+
             RoundRecord rec;
             rec.chip = static_cast<uint32_t>(c);
             rec.round = static_cast<uint32_t>(r);
@@ -285,28 +311,39 @@ runCampaign(const CampaignConfig &cfg)
                                 hashCombine(fault_base,
                                             static_cast<uint64_t>(
                                                 attempt)));
-                try {
-                    profile = runRound(host, cfg.rounds[r]).profile;
+                common::Expected<profiling::ProfilingResult> result =
+                    profiler->profile(host, cfg.rounds[r].target);
+                if (result) {
+                    profile = std::move(result).value().profile;
                     rec.attempts = static_cast<uint32_t>(attempt);
                     break;
-                } catch (const HostFaultError &e) {
-                    rec.faults += host.counts();
-                    if (attempt >= cfg.retry.maxAttempts)
-                        throw CampaignError(
-                            "campaign: chip " + chip.id + " round " +
-                            std::to_string(r) + " failed after " +
-                            std::to_string(attempt) +
-                            " attempts: " + e.what());
-                    backoff += cfg.retry.backoff *
-                               std::pow(cfg.retry.backoffMultiplier,
-                                        attempt - 1);
                 }
+                const common::Error &err = result.error();
+                if (err.category != common::ErrorCategory::Fault)
+                    throw CampaignError("campaign: chip " + chip.id +
+                                        " round " + std::to_string(r) +
+                                        ": " + err.describe());
+                rec.faults += host.counts();
+                REAPER_OBS_COUNT("campaign.retries");
+                if (attempt >= cfg.retry.maxAttempts)
+                    throw CampaignError(
+                        "campaign: chip " + chip.id + " round " +
+                        std::to_string(r) + " failed after " +
+                        std::to_string(attempt) +
+                        " attempts: " + err.message);
+                backoff += cfg.retry.backoff *
+                           std::pow(cfg.retry.backoffMultiplier,
+                                    attempt - 1);
             }
             rec.cells = profile.size();
 
             std::lock_guard<std::mutex> lock(mtx);
-            store.commit(roundKey(cfg, c, r), profile);
-            journal.append(rec);
+            {
+                REAPER_OBS_SPAN(commitSpan, "campaign.commit");
+                store.commit(roundKey(cfg, c, r), profile);
+                journal.append(rec);
+            }
+            REAPER_OBS_COUNT("campaign.rounds_completed");
             backoff_total += backoff;
             ++commits_this_run;
             if (cfg.interruptAfter > 0 &&

@@ -39,12 +39,18 @@
 #include "campaign/profile_store.h"
 #include "eval/fleet.h"
 #include "profiling/brute_force.h"
+#include "profiling/profiler.h"
 #include "profiling/reach.h"
 
 namespace reaper {
 namespace campaign {
 
-/** Which profiler a round runs. */
+/**
+ * Which profiler a round runs. Retained for source compatibility;
+ * rounds are dispatched through the profiling::makeProfiler factory,
+ * and RoundSpec::profilerName (any registered mechanism, including
+ * ones this enum has no member for) takes precedence when set.
+ */
 enum class ProfilerKind : uint8_t
 {
     BruteForce,
@@ -65,14 +71,28 @@ struct RoundSpec
 {
     /** Target conditions the resulting profile is valid for. */
     profiling::Conditions target{};
+    /**
+     * Profiler mechanism by registry name ("brute_force", "reach",
+     * "ecc_scrub", or anything registered via
+     * profiling::registerProfiler). Empty means: use the legacy
+     * `profiler` enum below.
+     */
+    std::string profilerName;
     ProfilerKind profiler = ProfilerKind::Reach;
-    /** Reach offsets (ProfilerKind::Reach only). */
+    /** Reach offsets ("reach" only). */
     Seconds reachDeltaRefresh = 0.250;
     Celsius reachDeltaTemp = 0.0;
     int iterations = 4;
     /** Command the chamber to the test temperature first. */
     bool setTemperature = true;
 };
+
+/**
+ * The mechanism name a round resolves to: profilerName when set,
+ * otherwise the name of the legacy enum value. This resolved name is
+ * what the manifest records and the campaign fingerprint hashes.
+ */
+std::string resolvedProfilerName(const RoundSpec &r);
 
 /** Retry/backoff policy for transient host faults. */
 struct RetryPolicy

@@ -1,6 +1,7 @@
 #include "campaign/faulty_host.h"
 
 #include "common/logging.h"
+#include "obs/obs.h"
 
 namespace reaper {
 namespace campaign {
@@ -38,14 +39,18 @@ FaultyHost::maybeFault(FaultKind kind, double rate, const char *op)
     switch (kind) {
     case FaultKind::CommandTimeout:
         ++counts_.commandTimeouts;
+        REAPER_OBS_COUNT("testbed.faults.command_timeout");
         break;
     case FaultKind::SettleFailure:
         ++counts_.settleFailures;
+        REAPER_OBS_COUNT("testbed.faults.settle_failure");
         break;
     case FaultKind::ReadCorruption:
         ++counts_.readCorruptions;
+        REAPER_OBS_COUNT("testbed.faults.read_corruption");
         break;
     }
+    REAPER_OBS_COUNT("testbed.faults");
     throw HostFaultError(kind, std::string(toString(kind)) +
                                    " injected during " + op);
 }

@@ -98,11 +98,11 @@ struct FaultCounts
 };
 
 /** Thrown by FaultyHost when an injected fault fires. */
-class HostFaultError : public std::runtime_error
+class HostFaultError : public testbed::TransientHostError
 {
   public:
     HostFaultError(FaultKind kind, const std::string &what)
-        : std::runtime_error(what), kind_(kind)
+        : testbed::TransientHostError(what), kind_(kind)
     {
     }
 

@@ -5,6 +5,7 @@
 
 #include "campaign/error.h"
 #include "common/logging.h"
+#include "obs/obs.h"
 
 namespace reaper {
 namespace campaign {
@@ -21,16 +22,18 @@ hex(uint64_t v)
 }
 } // namespace
 
-CampaignJournal::CampaignJournal(const std::string &path,
-                                 uint64_t fingerprint)
+common::Status
+CampaignJournal::init(const std::string &path, uint64_t fingerprint)
 {
+    using common::Error;
+
     if (std::filesystem::exists(path)) {
         std::ifstream is(path);
         if (!is)
-            throw CampaignError("journal: cannot open '" + path + "'");
+            return Error::io("journal: cannot open '" + path + "'");
         std::string line;
         if (!std::getline(is, line) || line != kMagic)
-            throw CampaignError("journal: bad header in '" + path +
+            return Error::parse("journal: bad header in '" + path +
                                 "'");
         uint64_t found = 0;
         {
@@ -40,11 +43,11 @@ CampaignJournal::CampaignJournal(const std::string &path,
             std::string key;
             if (!(row >> key >> std::hex >> found) ||
                 key != "fingerprint")
-                throw CampaignError("journal: missing fingerprint in '" +
-                                    path + "'");
+                return Error::parse(
+                    "journal: missing fingerprint in '" + path + "'");
         }
         if (found != fingerprint)
-            throw CampaignError(
+            return Error::invalidConfig(
                 "journal: '" + path + "' belongs to a different "
                 "campaign (fingerprint " + hex(found) + ", expected " +
                 hex(fingerprint) + "); refusing to resume");
@@ -75,21 +78,41 @@ CampaignJournal::CampaignJournal(const std::string &path,
             done_.insert({rec.chip, rec.round});
         }
         resumed_ = completed_.size();
+        REAPER_OBS_COUNT_N("campaign.rounds_resumed", resumed_);
         os_.open(path, std::ios::app);
         if (!os_)
-            throw CampaignError("journal: cannot append to '" + path +
-                                "'");
-        return;
+            return Error::io("journal: cannot append to '" + path +
+                             "'");
+        return common::okStatus();
     }
 
     os_.open(path);
     if (!os_)
-        throw CampaignError("journal: cannot create '" + path + "'");
+        return Error::io("journal: cannot create '" + path + "'");
     os_ << kMagic << "\n"
         << "fingerprint " << hex(fingerprint) << "\n";
     os_.flush();
     if (!os_)
-        throw CampaignError("journal: write to '" + path + "' failed");
+        return Error::io("journal: write to '" + path + "' failed");
+    return common::okStatus();
+}
+
+common::Expected<std::unique_ptr<CampaignJournal>>
+CampaignJournal::open(const std::string &path, uint64_t fingerprint)
+{
+    std::unique_ptr<CampaignJournal> journal(new CampaignJournal());
+    common::Status st = journal->init(path, fingerprint);
+    if (!st)
+        return common::makeUnexpected(st.error());
+    return journal;
+}
+
+CampaignJournal::CampaignJournal(const std::string &path,
+                                 uint64_t fingerprint)
+{
+    common::Status st = init(path, fingerprint);
+    if (!st)
+        throw CampaignError(st.error().describe());
 }
 
 void
@@ -104,6 +127,7 @@ CampaignJournal::append(const RoundRecord &rec)
         throw CampaignError("journal: append failed (disk full?)");
     completed_.push_back(rec);
     done_.insert({rec.chip, rec.round});
+    REAPER_OBS_COUNT("campaign.journal_appends");
 }
 
 } // namespace campaign

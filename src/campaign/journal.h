@@ -27,12 +27,14 @@
 
 #include <cstdint>
 #include <fstream>
+#include <memory>
 #include <set>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "campaign/faulty_host.h"
+#include "common/expected.h"
 
 namespace reaper {
 namespace campaign {
@@ -55,7 +57,16 @@ class CampaignJournal
      * Open a journal file, creating it (with header) when absent.
      * An existing journal must carry the same fingerprint; a mismatch
      * means the directory holds a *different* campaign and resuming
-     * would mix incompatible profiles, so it throws CampaignError.
+     * would mix incompatible profiles. Errors: Io (cannot open/create/
+     * write), Parse (bad header, missing fingerprint), InvalidConfig
+     * (fingerprint mismatch — refusing to resume).
+     */
+    static common::Expected<std::unique_ptr<CampaignJournal>>
+    open(const std::string &path, uint64_t fingerprint);
+
+    /**
+     * Throwing convenience form of open(): any error becomes a
+     * CampaignError carrying the described diagnostic.
      */
     CampaignJournal(const std::string &path, uint64_t fingerprint);
 
@@ -78,6 +89,11 @@ class CampaignJournal
     void append(const RoundRecord &rec);
 
   private:
+    CampaignJournal() = default;
+
+    /** Shared open/create path behind both public entry points. */
+    common::Status init(const std::string &path, uint64_t fingerprint);
+
     std::ofstream os_;
     std::vector<RoundRecord> completed_;
     std::set<std::pair<uint32_t, uint32_t>> done_;

@@ -8,6 +8,7 @@
 
 #include "campaign/error.h"
 #include "common/logging.h"
+#include "obs/obs.h"
 
 namespace fs = std::filesystem;
 
@@ -113,15 +114,16 @@ ProfileStore::scanForUnindexed()
             continue;
         // A profile committed right before a crash that lost the index
         // update: re-derive its entry from the file itself.
-        std::ifstream is(p);
-        profiling::RetentionProfile profile;
-        std::string error;
-        if (!profiling::tryLoadProfile(is, &profile, &error)) {
+        common::Expected<profiling::RetentionProfile> profile =
+            profiling::readProfileFile(p.string());
+        if (!profile) {
             warn("profile store: skipping unreadable '%s': %s",
-                 p.string().c_str(), error.c_str());
+                 p.string().c_str(),
+                 profile.error().describe().c_str());
             continue;
         }
-        index_[key] = {key, p.filename().string(), profile.size()};
+        index_[key] = {key, p.filename().string(),
+                       profile.value().size()};
         recovered = true;
     }
     // Entries whose backing file vanished are useless; drop them.
@@ -154,32 +156,39 @@ ProfileStore::size() const
     return index_.size();
 }
 
-bool
-ProfileStore::tryLoad(const std::string &key,
-                      profiling::RetentionProfile *out,
-                      std::string *error) const
+common::Expected<profiling::RetentionProfile>
+ProfileStore::load(const std::string &key) const
 {
     fs::path path;
     {
         std::shared_lock<std::shared_mutex> lock(mutex_);
         auto it = index_.find(key);
-        if (it == index_.end()) {
-            if (error)
-                *error = "no profile for key '" + key + "'";
-            return false;
-        }
+        if (it == index_.end())
+            return common::Error::notFound("no profile for key '" +
+                                           key + "'");
         path = fs::path(dir_) / it->second.file;
     }
     // File I/O happens outside the lock: commits replace files with an
     // atomic rename, so a concurrent reader sees either the old or the
     // new profile, both complete.
-    std::ifstream is(path);
-    if (!is) {
+    return profiling::readProfileFile(path.string());
+}
+
+bool
+ProfileStore::tryLoad(const std::string &key,
+                      profiling::RetentionProfile *out,
+                      std::string *error) const
+{
+    if (!out)
+        panic("ProfileStore::tryLoad: out must not be null");
+    common::Expected<profiling::RetentionProfile> result = load(key);
+    if (!result) {
         if (error)
-            *error = "cannot open '" + path.string() + "'";
+            *error = result.error().message;
         return false;
     }
-    return profiling::tryLoadProfile(is, out, error);
+    *out = std::move(result).value();
+    return true;
 }
 
 profiling::RetentionProfile
@@ -187,14 +196,15 @@ ProfileStore::loadOrProfile(
     const std::string &key,
     const std::function<profiling::RetentionProfile()> &profileFn)
 {
-    profiling::RetentionProfile profile;
-    std::string error;
-    if (tryLoad(key, &profile, &error))
-        return profile;
-    if (has(key))
+    common::Expected<profiling::RetentionProfile> stored = load(key);
+    if (stored)
+        return std::move(stored).value();
+    // A missing key is the expected cache-miss path; anything else
+    // means the stored profile is unusable — reprofile it, loudly.
+    if (stored.error().category != common::ErrorCategory::NotFound)
         warn("profile store: reprofiling '%s': %s", key.c_str(),
-             error.c_str());
-    profile = profileFn();
+             stored.error().describe().c_str());
+    profiling::RetentionProfile profile = profileFn();
     commit(key, profile);
     return profile;
 }
@@ -211,14 +221,16 @@ ProfileStore::commit(const std::string &key,
     // under the exclusive lock so two commits cannot interleave their
     // temp files or index rewrites.
     std::unique_lock<std::shared_mutex> lock(mutex_);
-    std::string error;
-    if (!profiling::trySaveProfileFile(profile, tmp_path.string(),
-                                       &error))
+    common::Status written =
+        profiling::writeProfileFile(profile, tmp_path.string());
+    if (!written)
         throw CampaignError("profile store: commit of '" + key +
-                            "' failed: " + error);
+                            "' failed: " +
+                            written.error().describe());
     atomicRename(tmp_path, final_path);
     index_[key] = {key, file, profile.size()};
     writeIndexLocked();
+    REAPER_OBS_COUNT("campaign.store_commits");
 }
 
 std::vector<StoreEntry>

@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "common/expected.h"
 #include "profiling/profile.h"
 #include "profiling/profile_io.h"
 
@@ -66,10 +67,20 @@ class ProfileStore
     bool has(const std::string &key) const;
 
     /**
+     * Load a stored profile. Errors: ErrorCategory::NotFound when the
+     * key has no entry; Io/Parse/Corrupt from the file read otherwise
+     * (see profiling::readProfileFile).
+     */
+    common::Expected<profiling::RetentionProfile>
+    load(const std::string &key) const;
+
+    /**
      * Load a stored profile.
      * @return whether the key exists and its file parsed cleanly
      *         (diagnostic in *error otherwise, if non-null)
+     * @deprecated use load(), which reports a typed error
      */
+    [[deprecated("use load()")]]
     bool tryLoad(const std::string &key,
                  profiling::RetentionProfile *out,
                  std::string *error = nullptr) const;

@@ -1,0 +1,22 @@
+#include "common/expected.h"
+
+namespace reaper {
+namespace common {
+
+const char *
+toString(ErrorCategory c)
+{
+    switch (c) {
+      case ErrorCategory::Io: return "io";
+      case ErrorCategory::Parse: return "parse";
+      case ErrorCategory::NotFound: return "not_found";
+      case ErrorCategory::Corrupt: return "corrupt";
+      case ErrorCategory::Fault: return "fault";
+      case ErrorCategory::InvalidConfig: return "invalid_config";
+      case ErrorCategory::Internal: return "internal";
+    }
+    return "unknown";
+}
+
+} // namespace common
+} // namespace reaper

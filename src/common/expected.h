@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Expected<T, E>: the library's unified recoverable-error return type.
+ *
+ * Three PRs of growth left the error-returning surfaces inconsistent —
+ * bool-plus-out-parameter (tryLoadProfile), exceptions (CampaignError),
+ * and fatal() aborts coexisted. Expected is the convergence point: a
+ * tagged union of a value and a typed error that makes the failure path
+ * explicit in the signature, costs nothing on the happy path (no
+ * exceptions, no allocation beyond the payload), and composes through
+ * monadic map/andThen/orElse instead of nested if(!ok) ladders.
+ *
+ * Conventions:
+ *  - Recoverable failures (missing file, parse error, transient host
+ *    fault) return Expected; the caller decides whether to retry,
+ *    degrade, or surface the error.
+ *  - Invariant violations still panic() and unusable configurations
+ *    still fatal(): those are not errors a caller can act on.
+ *  - E defaults to common::Error, a category + message pair whose
+ *    categories are shared across subsystems so orchestration code can
+ *    dispatch on *kind* of failure (e.g. campaign retries
+ *    ErrorCategory::Fault but aborts on ErrorCategory::Corrupt).
+ */
+
+#ifndef REAPER_COMMON_EXPECTED_H
+#define REAPER_COMMON_EXPECTED_H
+
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <variant>
+
+#include "common/logging.h"
+
+namespace reaper {
+namespace common {
+
+/** Cross-subsystem failure kinds. Dispatch on these, not on message
+ *  text. */
+enum class ErrorCategory
+{
+    Io,            ///< open/read/write/rename failed
+    Parse,         ///< malformed input (bad header, truncated list)
+    NotFound,      ///< the requested key/file/profiler does not exist
+    Corrupt,       ///< stored state exists but fails validation
+    Fault,         ///< transient infrastructure fault (retryable)
+    InvalidConfig, ///< caller-supplied configuration is unusable
+    Internal,      ///< unexpected library-internal failure
+};
+
+const char *toString(ErrorCategory c);
+
+/** The default error payload: a category plus a human-readable
+ *  diagnostic. */
+struct Error
+{
+    ErrorCategory category = ErrorCategory::Internal;
+    std::string message;
+
+    Error() = default;
+    Error(ErrorCategory c, std::string msg)
+        : category(c), message(std::move(msg))
+    {
+    }
+
+    static Error io(std::string msg)
+    {
+        return {ErrorCategory::Io, std::move(msg)};
+    }
+    static Error parse(std::string msg)
+    {
+        return {ErrorCategory::Parse, std::move(msg)};
+    }
+    static Error notFound(std::string msg)
+    {
+        return {ErrorCategory::NotFound, std::move(msg)};
+    }
+    static Error corrupt(std::string msg)
+    {
+        return {ErrorCategory::Corrupt, std::move(msg)};
+    }
+    static Error fault(std::string msg)
+    {
+        return {ErrorCategory::Fault, std::move(msg)};
+    }
+    static Error invalidConfig(std::string msg)
+    {
+        return {ErrorCategory::InvalidConfig, std::move(msg)};
+    }
+    static Error internal(std::string msg)
+    {
+        return {ErrorCategory::Internal, std::move(msg)};
+    }
+
+    /** "category: message", for logs and wrapped exceptions. */
+    std::string describe() const
+    {
+        return std::string(toString(category)) + ": " + message;
+    }
+};
+
+/** Unit type for Expected<Unit>: an operation with no result value. */
+struct Unit
+{
+    bool operator==(const Unit &) const { return true; }
+};
+
+/** Wrapper distinguishing an error-typed payload from a value-typed
+ *  one when T and E could convert into each other. */
+template <typename E> struct Unexpected
+{
+    E error;
+};
+
+template <typename E>
+Unexpected<std::decay_t<E>>
+makeUnexpected(E &&e)
+{
+    return {std::forward<E>(e)};
+}
+
+/**
+ * Tagged union of a success value T and an error E.
+ *
+ * Construction is implicit from either side (use makeUnexpected when T
+ * and E are inter-convertible). Accessors panic() on wrong-side access
+ * — an Expected must be checked before it is unwrapped.
+ */
+template <typename T, typename E = Error> class Expected
+{
+    static_assert(!std::is_same_v<T, E>,
+                  "Expected<T, E> needs distinguishable types");
+
+  public:
+    using value_type = T;
+    using error_type = E;
+
+    Expected(T value) : state_(std::in_place_index<0>, std::move(value))
+    {
+    }
+    Expected(E error) : state_(std::in_place_index<1>, std::move(error))
+    {
+    }
+    Expected(Unexpected<E> u)
+        : state_(std::in_place_index<1>, std::move(u.error))
+    {
+    }
+
+    bool hasValue() const { return state_.index() == 0; }
+    explicit operator bool() const { return hasValue(); }
+
+    T &value() &
+    {
+        requireValue();
+        return std::get<0>(state_);
+    }
+    const T &value() const &
+    {
+        requireValue();
+        return std::get<0>(state_);
+    }
+    T &&value() &&
+    {
+        requireValue();
+        return std::get<0>(std::move(state_));
+    }
+
+    T valueOr(T fallback) const &
+    {
+        return hasValue() ? std::get<0>(state_) : std::move(fallback);
+    }
+    T valueOr(T fallback) &&
+    {
+        return hasValue() ? std::get<0>(std::move(state_))
+                          : std::move(fallback);
+    }
+
+    E &error()
+    {
+        requireError();
+        return std::get<1>(state_);
+    }
+    const E &error() const
+    {
+        requireError();
+        return std::get<1>(state_);
+    }
+
+    /**
+     * Apply f to the value (f: T -> U), passing any error through
+     * unchanged: the composition backbone for parse/convert chains.
+     */
+    template <typename F> auto map(F &&f) const & -> Expected<
+        std::decay_t<std::invoke_result_t<F, const T &>>, E>
+    {
+        if (hasValue())
+            return {std::forward<F>(f)(std::get<0>(state_))};
+        return {std::get<1>(state_)};
+    }
+    template <typename F>
+    auto map(F &&f) && -> Expected<
+        std::decay_t<std::invoke_result_t<F, T &&>>, E>
+    {
+        if (hasValue())
+            return {std::forward<F>(f)(std::get<0>(std::move(state_)))};
+        return {std::get<1>(std::move(state_))};
+    }
+
+    /** Chain a fallible step: f returns Expected<U, E> itself. */
+    template <typename F>
+    auto andThen(F &&f) const & -> std::invoke_result_t<F, const T &>
+    {
+        if (hasValue())
+            return std::forward<F>(f)(std::get<0>(state_));
+        return {std::get<1>(state_)};
+    }
+    template <typename F>
+    auto andThen(F &&f) && -> std::invoke_result_t<F, T &&>
+    {
+        if (hasValue())
+            return std::forward<F>(f)(std::get<0>(std::move(state_)));
+        return {std::get<1>(std::move(state_))};
+    }
+
+    /**
+     * Recover from an error: f (E -> Expected<T, E>) runs only on the
+     * error side; a value passes through untouched.
+     */
+    template <typename F>
+    Expected orElse(F &&f) const &
+    {
+        if (hasValue())
+            return *this;
+        return std::forward<F>(f)(std::get<1>(state_));
+    }
+    template <typename F>
+    Expected orElse(F &&f) &&
+    {
+        if (hasValue())
+            return std::move(*this);
+        return std::forward<F>(f)(std::get<1>(std::move(state_)));
+    }
+
+  private:
+    void requireValue() const
+    {
+        if (!hasValue())
+            panic("Expected: value() called on an error result");
+    }
+    void requireError() const
+    {
+        if (hasValue())
+            panic("Expected: error() called on a value result");
+    }
+
+    std::variant<T, E> state_;
+};
+
+/** An operation that succeeds with no payload. */
+using Status = Expected<Unit, Error>;
+
+/** The canonical success Status. */
+inline Status
+okStatus()
+{
+    return Status(Unit{});
+}
+
+} // namespace common
+} // namespace reaper
+
+#endif // REAPER_COMMON_EXPECTED_H

@@ -36,6 +36,15 @@ EndToEndEvaluator::EndToEndEvaluator(const EndToEndConfig &cfg)
 {
     if (cfg_.numMixes < 1)
         panic("EndToEndEvaluator: numMixes must be >= 1");
+    if (cfg_.profilers.empty())
+        panic("EndToEndEvaluator: profilers must not be empty");
+    for (const std::string &name : cfg_.profilers) {
+        common::Expected<ProfilerKind> kind = profilerKindByName(name);
+        if (!kind)
+            panic("EndToEndEvaluator: %s",
+                  kind.error().describe().c_str());
+        kinds_.push_back(kind.value());
+    }
     mixes_ = workload::makeMixes(cfg_.numMixes, cfg_.seed);
 }
 
@@ -170,9 +179,7 @@ EndToEndEvaluator::run()
             ocfg.chipGbit = chip;
             ocfg.targetRefreshInterval =
                 pt.noRefresh ? 0.0 : pt.interval;
-            for (ProfilerKind kind :
-                 {ProfilerKind::BruteForce, ProfilerKind::Reaper,
-                  ProfilerKind::Ideal}) {
+            for (ProfilerKind kind : kinds_) {
                 size_t ki =
                     static_cast<size_t>(profilerIndex(kind));
                 if (pt.noRefresh) {
@@ -197,9 +204,7 @@ EndToEndEvaluator::run()
                     power_model.fromCounts(r.counts, r.simSeconds)
                         .total();
 
-                for (ProfilerKind kind :
-                     {ProfilerKind::BruteForce, ProfilerKind::Reaper,
-                      ProfilerKind::Ideal}) {
+                for (ProfilerKind kind : kinds_) {
                     size_t ki =
                         static_cast<size_t>(profilerIndex(kind));
                     if (pt.noRefresh &&

@@ -11,6 +11,7 @@
 #define REAPER_EVAL_ENDTOEND_H
 
 #include <array>
+#include <string>
 #include <vector>
 
 #include "common/stats.h"
@@ -37,6 +38,13 @@ struct EndToEndConfig
     sim::Cycle runCycles = 1500000;
     uint64_t seed = 1;
     unsigned threads = 0; ///< 0 = hardware concurrency
+    /**
+     * Profiler kinds evaluated at each sweep point, by name (see
+     * profilerKindByName). Result arrays always span all kinds;
+     * deselected kinds simply stay empty.
+     */
+    std::vector<std::string> profilers = {"brute_force", "reaper",
+                                          "ideal"};
     /** Profiling-overhead scenario (interval/chip fields overwritten
      *  per sweep point). */
     OverheadConfig overhead{};
@@ -97,6 +105,8 @@ class EndToEndEvaluator
 
     EndToEndConfig cfg_;
     std::vector<workload::WorkloadMix> mixes_;
+    /** cfg_.profilers resolved to kinds (validated at construction). */
+    std::vector<ProfilerKind> kinds_;
 };
 
 } // namespace eval

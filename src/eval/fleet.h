@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "obs/obs.h"
 
 namespace reaper {
 namespace eval {
@@ -108,6 +109,10 @@ runFleet(size_t n, Fn fn, FleetOptions opt = {})
     if (n == 0)
         return {};
 
+    REAPER_OBS_SPAN(fleetSpan, "fleet.run");
+    REAPER_OBS_COUNT("fleet.runs");
+    REAPER_OBS_COUNT_N("fleet.tasks", n);
+
     unsigned workers = opt.threads ? opt.threads : fleetThreads();
     workers = static_cast<unsigned>(std::min<size_t>(workers, n));
     if (workers <= 1) {
@@ -130,7 +135,17 @@ runFleet(size_t n, Fn fn, FleetOptions opt = {})
                     if (lo >= n)
                         return;
                     size_t hi = std::min(n, lo + chunk);
+                    REAPER_OBS_COUNT("fleet.chunks");
+#ifndef REAPER_OBS_COMPILE_OUT
+                    // Per-worker busy time (task execution only, not
+                    // dispatch waits), accumulated fleet-wide.
+                    uint64_t busy_start =
+                        ::reaper::obs::countersOn()
+                            ? ::reaper::obs::Tracer::nowNs()
+                            : 0;
+#endif
                     try {
+                        REAPER_OBS_SPAN(chunkSpan, "fleet.chunk");
                         for (size_t i = lo; i < hi; ++i)
                             slots[i].emplace(fn(i));
                     } catch (...) {
@@ -140,6 +155,13 @@ runFleet(size_t n, Fn fn, FleetOptions opt = {})
                         failed.store(true, std::memory_order_relaxed);
                         return;
                     }
+#ifndef REAPER_OBS_COMPILE_OUT
+                    if (busy_start != 0)
+                        REAPER_OBS_COUNT_N(
+                            "fleet.busy_ns",
+                            ::reaper::obs::Tracer::nowNs() -
+                                busy_start);
+#endif
                 }
             });
         }

@@ -21,6 +21,22 @@ toString(ProfilerKind k)
     return "?";
 }
 
+common::Expected<ProfilerKind>
+profilerKindByName(const std::string &name)
+{
+    // Accept both display names (toString) and the mechanism-registry
+    // spellings used by profiling::makeProfiler / CLI flags.
+    if (name == "brute_force" || name == "brute-force")
+        return ProfilerKind::BruteForce;
+    if (name == "reaper" || name == "REAPER" || name == "reach")
+        return ProfilerKind::Reaper;
+    if (name == "ideal")
+        return ProfilerKind::Ideal;
+    return common::Error::notFound(
+        "unknown profiler kind '" + name +
+        "' (known: brute_force, reaper, ideal)");
+}
+
 uint64_t
 moduleCapacityBits(const OverheadConfig &cfg)
 {

@@ -13,6 +13,9 @@
 #ifndef REAPER_EVAL_OVERHEAD_H
 #define REAPER_EVAL_OVERHEAD_H
 
+#include <string>
+
+#include "common/expected.h"
 #include "common/units.h"
 #include "dram/vendor_model.h"
 #include "ecc/longevity.h"
@@ -31,6 +34,16 @@ enum class ProfilerKind
 };
 
 const char *toString(ProfilerKind k);
+
+/**
+ * Resolve an analytic profiler kind from its toString() name
+ * ("brute_force", "reaper", "ideal"). Unknown names return
+ * ErrorCategory::NotFound. This keys the end-to-end sweep's
+ * EndToEndConfig::profilers list, mirroring the mechanism-name
+ * dispatch of profiling::makeProfiler on the analytic side.
+ */
+common::Expected<ProfilerKind>
+profilerKindByName(const std::string &name);
 
 /** System scenario for the overhead computation. */
 struct OverheadConfig

@@ -1,0 +1,268 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace reaper {
+namespace obs {
+
+namespace {
+
+constexpr double kFloorSeconds = 100e-9; // lower edge of bucket 0
+constexpr double kBucketsPerDecade = 8.0;
+
+/** Prometheus metric name: [a-zA-Z0-9_:]; everything else -> '_'. */
+std::string
+promName(const std::string &prefix, const std::string &name)
+{
+    std::string out = prefix.empty() ? name : prefix + "_" + name;
+    for (char &c : out) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '_' || c == ':';
+        if (!ok)
+            c = '_';
+    }
+    return out;
+}
+
+void
+jsonKey(std::ostringstream &os, bool &first, const std::string &name)
+{
+    if (!first)
+        os << ", ";
+    first = false;
+    os << "\"" << name << "\": ";
+}
+
+} // namespace
+
+double
+HistogramSnapshot::percentile(double q) const
+{
+    if (count == 0)
+        return 0.0;
+    auto rank = static_cast<uint64_t>(q * static_cast<double>(count));
+    if (rank >= count)
+        rank = count - 1;
+    uint64_t seen = 0;
+    for (size_t i = 0; i < buckets.size(); ++i) {
+        seen += buckets[i];
+        if (seen > rank)
+            return Histogram::bucketHi(i);
+    }
+    return Histogram::bucketHi(buckets.empty() ? 0
+                                               : buckets.size() - 1);
+}
+
+double
+HistogramSnapshot::maxEdge() const
+{
+    for (size_t i = buckets.size(); i-- > 0;)
+        if (buckets[i] > 0)
+            return Histogram::bucketHi(i);
+    return 0.0;
+}
+
+size_t
+Histogram::bucketOf(double seconds)
+{
+    if (seconds <= kFloorSeconds)
+        return 0;
+    double decades = std::log10(seconds / kFloorSeconds);
+    auto i = static_cast<size_t>(decades * kBucketsPerDecade);
+    return std::min(i, kBuckets - 1);
+}
+
+double
+Histogram::bucketHi(size_t i)
+{
+    return kFloorSeconds *
+           std::pow(10.0,
+                    static_cast<double>(i + 1) / kBucketsPerDecade);
+}
+
+void
+Histogram::record(double seconds)
+{
+    count_.fetch_add(1, std::memory_order_relaxed);
+    if (seconds > 0)
+        sumNs_.fetch_add(static_cast<uint64_t>(seconds * 1e9),
+                         std::memory_order_relaxed);
+    buckets_[bucketOf(seconds)].fetch_add(1,
+                                          std::memory_order_relaxed);
+}
+
+double
+Histogram::percentile(double q) const
+{
+    return snapshot().percentile(q);
+}
+
+HistogramSnapshot
+Histogram::snapshot() const
+{
+    HistogramSnapshot s;
+    s.count = count_.load(std::memory_order_relaxed);
+    s.sum = static_cast<double>(
+                sumNs_.load(std::memory_order_relaxed)) /
+            1e9;
+    s.buckets.resize(kBuckets);
+    for (size_t i = 0; i < kBuckets; ++i)
+        s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    return s;
+}
+
+void
+Histogram::reset()
+{
+    count_.store(0, std::memory_order_relaxed);
+    sumNs_.store(0, std::memory_order_relaxed);
+    for (auto &b : buckets_)
+        b.store(0, std::memory_order_relaxed);
+}
+
+uint64_t
+RegistrySnapshot::counterValue(const std::string &name) const
+{
+    for (const auto &[n, v] : counters)
+        if (n == name)
+            return v;
+    return 0;
+}
+
+int64_t
+RegistrySnapshot::gaugeValue(const std::string &name) const
+{
+    for (const auto &[n, v] : gauges)
+        if (n == name)
+            return v;
+    return 0;
+}
+
+MetricRegistry &
+MetricRegistry::global()
+{
+    static MetricRegistry registry;
+    return registry;
+}
+
+Counter &
+MetricRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mtx_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+MetricRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mtx_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram &
+MetricRegistry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mtx_);
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
+RegistrySnapshot
+MetricRegistry::snapshot() const
+{
+    RegistrySnapshot s;
+    std::lock_guard<std::mutex> lock(mtx_);
+    s.counters.reserve(counters_.size());
+    for (const auto &[name, c] : counters_)
+        s.counters.emplace_back(name, c->value());
+    s.gauges.reserve(gauges_.size());
+    for (const auto &[name, g] : gauges_)
+        s.gauges.emplace_back(name, g->value());
+    s.histograms.reserve(histograms_.size());
+    for (const auto &[name, h] : histograms_)
+        s.histograms.emplace_back(name, h->snapshot());
+    return s;
+}
+
+std::string
+MetricRegistry::prometheusText(const std::string &prefix) const
+{
+    RegistrySnapshot s = snapshot();
+    std::ostringstream os;
+    for (const auto &[name, value] : s.counters) {
+        std::string pn = promName(prefix, name) + "_total";
+        os << "# TYPE " << pn << " counter\n";
+        os << pn << " " << value << "\n";
+    }
+    for (const auto &[name, value] : s.gauges) {
+        std::string pn = promName(prefix, name);
+        os << "# TYPE " << pn << " gauge\n";
+        os << pn << " " << value << "\n";
+    }
+    for (const auto &[name, h] : s.histograms) {
+        std::string pn = promName(prefix, name);
+        os << "# TYPE " << pn << " histogram\n";
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < h.buckets.size(); ++i) {
+            cumulative += h.buckets[i];
+            os << pn << "_bucket{le=\"" << Histogram::bucketHi(i)
+               << "\"} " << cumulative << "\n";
+        }
+        os << pn << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+        os << pn << "_sum " << h.sum << "\n";
+        os << pn << "_count " << h.count << "\n";
+    }
+    return os.str();
+}
+
+std::string
+MetricRegistry::json() const
+{
+    RegistrySnapshot s = snapshot();
+    std::ostringstream os;
+    os << "{";
+    bool first = true;
+    for (const auto &[name, value] : s.counters) {
+        jsonKey(os, first, name);
+        os << value;
+    }
+    for (const auto &[name, value] : s.gauges) {
+        jsonKey(os, first, name);
+        os << value;
+    }
+    for (const auto &[name, h] : s.histograms) {
+        jsonKey(os, first, name);
+        os << "{\"count\": " << h.count << ", \"sum\": " << h.sum
+           << ", \"p50\": " << h.percentile(0.50)
+           << ", \"p95\": " << h.percentile(0.95)
+           << ", \"p99\": " << h.percentile(0.99)
+           << ", \"max\": " << h.maxEdge() << "}";
+    }
+    os << "}";
+    return os.str();
+}
+
+void
+MetricRegistry::resetAll()
+{
+    std::lock_guard<std::mutex> lock(mtx_);
+    for (auto &[name, c] : counters_)
+        c->reset();
+    for (auto &[name, g] : gauges_)
+        g->reset();
+    for (auto &[name, h] : histograms_)
+        h->reset();
+}
+
+} // namespace obs
+} // namespace reaper

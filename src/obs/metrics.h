@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Metric primitives and the named-metric registry.
+ *
+ * The recording side is built for hot paths shared by many threads:
+ * Counter/Gauge are single relaxed atomics, Histogram is a fixed
+ * geometric bucket array (one relaxed fetch_add per sample, no
+ * allocation) — the layout generalized out of serve::Metrics, which is
+ * now a thin shim over these types. Handles returned by the registry
+ * are stable for the registry's lifetime, so call sites resolve a
+ * metric once and record lock-free forever after.
+ *
+ * The reading side is pure: snapshot(), prometheusText(), and json()
+ * only perform relaxed loads — no read-modify-write, no locks beyond
+ * the registration map — so exporters can run concurrently with
+ * recording (values are "torn" only across metrics, never within one,
+ * which is the usual monitoring contract).
+ *
+ * A process-global registry (MetricRegistry::global()) backs the
+ * cross-subsystem instrumentation macros in obs/obs.h; components that
+ * need isolated metric sets (serve::Metrics, ProfileCache) own private
+ * registries instead.
+ */
+
+#ifndef REAPER_OBS_METRICS_H
+#define REAPER_OBS_METRICS_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace reaper {
+namespace obs {
+
+/** Monotonic counter; add() is one relaxed fetch_add. */
+class Counter
+{
+  public:
+    void add(uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+    uint64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<uint64_t> value_{0};
+};
+
+/** Signed point-in-time value (queue depths, resident bytes). */
+class Gauge
+{
+  public:
+    void set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+    void add(int64_t n)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+    int64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<int64_t> value_{0};
+};
+
+/** Pure copy of one histogram's state. */
+struct HistogramSnapshot
+{
+    uint64_t count = 0;  ///< samples recorded
+    double sum = 0.0;    ///< sum of samples, in seconds
+    std::vector<uint64_t> buckets;
+
+    /** Value at quantile q in [0, 1] (bucket upper edge, seconds; 0
+     *  when empty). */
+    double percentile(double q) const;
+    /** Upper edge of the highest non-empty bucket (seconds). */
+    double maxEdge() const;
+};
+
+/**
+ * Fixed-layout geometric latency/duration histogram: [100 ns, 10 s),
+ * 8 buckets per decade, 65 buckets. Percentile estimates carry ~15%
+ * bucket-boundary error — plenty for dashboards and regression gates.
+ */
+class Histogram
+{
+  public:
+    static constexpr size_t kBuckets = 65;
+
+    /** Record one sample, in seconds. */
+    void record(double seconds);
+
+    uint64_t count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+    /** Value at quantile q (seconds); snapshot-based, lock-free. */
+    double percentile(double q) const;
+
+    HistogramSnapshot snapshot() const;
+    void reset();
+
+    /** Bucket index a sample lands in. */
+    static size_t bucketOf(double seconds);
+    /** Upper edge of bucket i, in seconds. */
+    static double bucketHi(size_t i);
+
+  private:
+    std::atomic<uint64_t> count_{0};
+    /** Sum in nanoseconds so it fits an integer atomic. */
+    std::atomic<uint64_t> sumNs_{0};
+    std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+};
+
+/** Pure snapshot of a whole registry. */
+struct RegistrySnapshot
+{
+    std::vector<std::pair<std::string, uint64_t>> counters;
+    std::vector<std::pair<std::string, int64_t>> gauges;
+    std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+    /** Counter value by exact name (0 when absent). */
+    uint64_t counterValue(const std::string &name) const;
+    /** Gauge value by exact name (0 when absent). */
+    int64_t gaugeValue(const std::string &name) const;
+};
+
+/**
+ * Named metric registry. Registration (the first counter()/gauge()/
+ * histogram() call for a name) takes a mutex; the returned reference
+ * is stable and records lock-free. Metric names are dot-separated
+ * ("campaign.rounds_completed"); exporters map them to each format's
+ * conventions.
+ */
+class MetricRegistry
+{
+  public:
+    MetricRegistry() = default;
+    MetricRegistry(const MetricRegistry &) = delete;
+    MetricRegistry &operator=(const MetricRegistry &) = delete;
+
+    /** The process-global registry the obs macros record into. */
+    static MetricRegistry &global();
+
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Histogram &histogram(const std::string &name);
+
+    /** Pure snapshot: relaxed loads only, sorted by name. */
+    RegistrySnapshot snapshot() const;
+
+    /**
+     * Prometheus text exposition. Names are prefixed and sanitized
+     * ("campaign.rounds" -> "reaper_campaign_rounds"); counters gain
+     * "_total", histograms emit cumulative _bucket/_sum/_count series.
+     */
+    std::string prometheusText(const std::string &prefix = "reaper")
+        const;
+
+    /** The snapshot as one JSON object keyed by metric name. */
+    std::string json() const;
+
+    /** Reset every metric to zero (tests, bench reruns). */
+    void resetAll();
+
+  private:
+    mutable std::mutex mtx_; ///< guards the maps, never the metrics
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+} // namespace obs
+} // namespace reaper
+
+#endif // REAPER_OBS_METRICS_H

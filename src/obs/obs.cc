@@ -1,0 +1,101 @@
+#include "obs/obs.h"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "common/logging.h"
+
+namespace reaper {
+namespace obs {
+
+namespace detail {
+
+std::atomic<uint8_t> g_mode{0xFF};
+
+uint8_t
+initModeFromEnv()
+{
+    uint8_t resolved = static_cast<uint8_t>(ObsMode::Off);
+    if (const char *env = std::getenv("REAPER_OBS")) {
+        std::string v(env);
+        if (v == "counters")
+            resolved = static_cast<uint8_t>(ObsMode::Counters);
+        else if (v == "trace")
+            resolved = static_cast<uint8_t>(ObsMode::Trace);
+        else if (!v.empty() && v != "off")
+            warn("REAPER_OBS='%s' is not off|counters|trace; "
+                 "observability stays off",
+                 env);
+    }
+    // Benign race: concurrent first calls resolve the same value.
+    g_mode.store(resolved, std::memory_order_relaxed);
+    return resolved;
+}
+
+} // namespace detail
+
+const char *
+toString(ObsMode m)
+{
+    switch (m) {
+      case ObsMode::Off: return "off";
+      case ObsMode::Counters: return "counters";
+      case ObsMode::Trace: return "trace";
+    }
+    return "unknown";
+}
+
+void
+setMode(ObsMode m)
+{
+    detail::g_mode.store(static_cast<uint8_t>(m),
+                         std::memory_order_relaxed);
+}
+
+namespace {
+
+bool
+writeFile(const std::string &path, const std::string &contents)
+{
+    std::ofstream os(path);
+    if (!os) {
+        warn("obs: cannot open '%s' for writing", path.c_str());
+        return false;
+    }
+    os << contents;
+    os.flush();
+    if (!os) {
+        warn("obs: write to '%s' failed", path.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+void
+dumpTo(const std::string &path)
+{
+    writeFile(path, Tracer::global().chromeTraceJson());
+    writeFile(path + ".prom",
+              MetricRegistry::global().prometheusText());
+}
+
+bool
+dumpIfRequested()
+{
+    const char *prefix = std::getenv("REAPER_OBS_DUMP");
+    if (!prefix || prefix[0] == '\0' || mode() == ObsMode::Off)
+        return false;
+    bool ok = writeFile(std::string(prefix) + ".prom",
+                        MetricRegistry::global().prometheusText());
+    ok &= writeFile(std::string(prefix) + ".json",
+                    MetricRegistry::global().json());
+    if (traceOn())
+        ok &= writeFile(std::string(prefix) + ".trace.json",
+                        Tracer::global().chromeTraceJson());
+    return ok;
+}
+
+} // namespace obs
+} // namespace reaper

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Observability runtime knob and instrumentation macros.
+ *
+ * Every layer of the stack (testbed host ops, fleet scheduling,
+ * campaign rounds, profiler iterations, the serve engine) instruments
+ * itself through the macros below against the process-global
+ * MetricRegistry and Tracer. The cost model is strict, because the
+ * DRAM read loop is the library's hot path:
+ *
+ *  - `REAPER_OBS=off` (the default): every macro is one relaxed atomic
+ *    load and a predictable branch — nothing is recorded.
+ *  - `REAPER_OBS=counters`: counter macros additionally do one relaxed
+ *    fetch_add on a registry counter; spans are still free.
+ *  - `REAPER_OBS=trace`: spans record scoped events into thread-local
+ *    ring buffers, drained by the Chrome-trace/JSONL exporters.
+ *
+ * Building with -DREAPER_OBS_COMPILE_OUT=ON removes even the mode
+ * check: the macros expand to nothing and the instrumented binaries
+ * are bit-for-bit free of observability code (the belt-and-braces
+ * guarantee behind the "off stays regression-neutral" CI gate).
+ *
+ * Structured per-instance metrics (serve::Metrics, CacheCounters) are
+ * intentionally NOT gated by the knob — they are part of those
+ * components' public API and always record. The knob governs only the
+ * global, cross-subsystem instrumentation.
+ */
+
+#ifndef REAPER_OBS_OBS_H
+#define REAPER_OBS_OBS_H
+
+#include <atomic>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace reaper {
+namespace obs {
+
+/** Global observability level (REAPER_OBS=off|counters|trace). */
+enum class ObsMode : uint8_t
+{
+    Off = 0,      ///< record nothing
+    Counters = 1, ///< registry counters/gauges/histograms
+    Trace = 2,    ///< counters plus scoped spans
+};
+
+const char *toString(ObsMode m);
+
+namespace detail {
+/** 0xFF = not yet initialized from the environment. */
+extern std::atomic<uint8_t> g_mode;
+/** Parse REAPER_OBS and cache it; returns the resolved mode value. */
+uint8_t initModeFromEnv();
+} // namespace detail
+
+/** The active mode: REAPER_OBS at first use, or the last setMode(). */
+inline ObsMode
+mode()
+{
+    uint8_t m = detail::g_mode.load(std::memory_order_relaxed);
+    if (m == 0xFF)
+        m = detail::initModeFromEnv();
+    return static_cast<ObsMode>(m);
+}
+
+/** Override the mode at runtime (CLIs, tests). */
+void setMode(ObsMode m);
+
+/** Counter/gauge/histogram instrumentation is live. */
+inline bool
+countersOn()
+{
+    return mode() >= ObsMode::Counters;
+}
+
+/** Span instrumentation is live. */
+inline bool
+traceOn()
+{
+    return mode() == ObsMode::Trace;
+}
+
+/**
+ * Honor the REAPER_OBS_DUMP=<prefix> environment variable: when set
+ * (and the mode is not Off), write `<prefix>.prom` (Prometheus text),
+ * `<prefix>.json` (registry JSON), and — in trace mode —
+ * `<prefix>.trace.json` (Chrome trace). Benches and example CLIs call
+ * this once before exiting so any run can be made observable without
+ * new flags. Returns whether anything was written.
+ */
+bool dumpIfRequested();
+
+/**
+ * Write the global registry and tracer state for one run: `path` gets
+ * the Chrome-trace JSON (empty in counters mode, but always valid) and
+ * `path + ".prom"` the Prometheus text. Used by the CLIs' --obs-dump.
+ */
+void dumpTo(const std::string &path);
+
+} // namespace obs
+} // namespace reaper
+
+#ifdef REAPER_OBS_COMPILE_OUT
+
+#define REAPER_OBS_COUNT(name) do {} while (0)
+#define REAPER_OBS_COUNT_N(name, n)                                    \
+    do {                                                               \
+        (void)(n);                                                     \
+    } while (0)
+#define REAPER_OBS_SPAN(var, name)                                     \
+    do {} while (0)
+
+#else
+
+/** Bump the global counter `name` by 1 (gated on REAPER_OBS). The
+ *  registry lookup happens once per call site (static reference). */
+#define REAPER_OBS_COUNT(name) REAPER_OBS_COUNT_N(name, 1)
+
+/** Bump the global counter `name` by n (gated on REAPER_OBS). */
+#define REAPER_OBS_COUNT_N(name, n)                                    \
+    do {                                                               \
+        if (::reaper::obs::countersOn()) {                             \
+            static ::reaper::obs::Counter &reaper_obs_counter_ =       \
+                ::reaper::obs::MetricRegistry::global().counter(name); \
+            reaper_obs_counter_.add(                                   \
+                static_cast<uint64_t>(n));                             \
+        }                                                              \
+    } while (0)
+
+/** Open a scoped span named `name` (a string literal) bound to local
+ *  variable `var`; recorded only under REAPER_OBS=trace. */
+#define REAPER_OBS_SPAN(var, name) ::reaper::obs::Span var(name)
+
+#endif // REAPER_OBS_COMPILE_OUT
+
+#endif // REAPER_OBS_OBS_H

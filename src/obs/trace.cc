@@ -1,0 +1,213 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <ostream>
+#include <sstream>
+
+#include "obs/obs.h"
+
+namespace reaper {
+namespace obs {
+
+namespace {
+
+/** Escape the few characters a span name could smuggle into JSON. */
+std::string
+jsonEscape(const char *s)
+{
+    std::string out;
+    for (; s && *s; ++s) {
+        if (*s == '"' || *s == '\\')
+            out += '\\';
+        out += *s;
+    }
+    return out;
+}
+
+} // namespace
+
+Tracer &
+Tracer::global()
+{
+    static Tracer tracer;
+    return tracer;
+}
+
+uint64_t
+Tracer::nowNs()
+{
+    using clock = std::chrono::steady_clock;
+    static const clock::time_point epoch = clock::now();
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            clock::now() - epoch)
+            .count());
+}
+
+Tracer::ThreadBuffer &
+Tracer::threadBuffer()
+{
+    struct Slot
+    {
+        Tracer *owner = nullptr;
+        std::shared_ptr<ThreadBuffer> buf;
+    };
+    thread_local Slot slot;
+    if (slot.owner != this) {
+        auto buf = std::make_shared<ThreadBuffer>();
+        {
+            std::lock_guard<std::mutex> lock(mtx_);
+            buf->tid = static_cast<uint32_t>(buffers_.size());
+            buffers_.push_back(buf);
+        }
+        slot.owner = this;
+        slot.buf = std::move(buf);
+    }
+    return *slot.buf;
+}
+
+void
+Tracer::record(const char *name, uint64_t startNs, uint64_t durNs)
+{
+    ThreadBuffer &buf = threadBuffer();
+    std::lock_guard<std::mutex> lock(buf.mtx);
+    SpanEvent ev{name, startNs, durNs, buf.tid, buf.depth};
+    if (buf.ring.size() < kRingCapacity) {
+        buf.ring.push_back(ev);
+    } else {
+        buf.ring[buf.next % kRingCapacity] = ev;
+        buf.dropped++;
+    }
+    buf.next++;
+}
+
+uint32_t
+Tracer::enterScope()
+{
+    ThreadBuffer &buf = threadBuffer();
+    std::lock_guard<std::mutex> lock(buf.mtx);
+    return buf.depth++;
+}
+
+void
+Tracer::exitScope()
+{
+    ThreadBuffer &buf = threadBuffer();
+    std::lock_guard<std::mutex> lock(buf.mtx);
+    if (buf.depth > 0)
+        buf.depth--;
+}
+
+std::vector<SpanEvent>
+Tracer::collect() const
+{
+    std::vector<std::shared_ptr<ThreadBuffer>> bufs;
+    {
+        std::lock_guard<std::mutex> lock(mtx_);
+        bufs = buffers_;
+    }
+    std::vector<SpanEvent> out;
+    for (const auto &buf : bufs) {
+        std::lock_guard<std::mutex> lock(buf->mtx);
+        out.insert(out.end(), buf->ring.begin(), buf->ring.end());
+    }
+    std::sort(out.begin(), out.end(),
+              [](const SpanEvent &a, const SpanEvent &b) {
+                  return a.startNs < b.startNs;
+              });
+    return out;
+}
+
+uint64_t
+Tracer::dropped() const
+{
+    std::vector<std::shared_ptr<ThreadBuffer>> bufs;
+    {
+        std::lock_guard<std::mutex> lock(mtx_);
+        bufs = buffers_;
+    }
+    uint64_t total = 0;
+    for (const auto &buf : bufs) {
+        std::lock_guard<std::mutex> lock(buf->mtx);
+        total += buf->dropped;
+    }
+    return total;
+}
+
+void
+Tracer::clear()
+{
+    std::vector<std::shared_ptr<ThreadBuffer>> bufs;
+    {
+        std::lock_guard<std::mutex> lock(mtx_);
+        bufs = buffers_;
+    }
+    for (const auto &buf : bufs) {
+        std::lock_guard<std::mutex> lock(buf->mtx);
+        buf->ring.clear();
+        buf->next = 0;
+        buf->dropped = 0;
+    }
+}
+
+void
+Tracer::exportChromeTrace(std::ostream &os) const
+{
+    std::vector<SpanEvent> events = collect();
+    os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+    bool first = true;
+    for (const SpanEvent &ev : events) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n{\"name\": \"" << jsonEscape(ev.name)
+           << "\", \"cat\": \"reaper\", \"ph\": \"X\", \"ts\": "
+           << static_cast<double>(ev.startNs) / 1e3
+           << ", \"dur\": " << static_cast<double>(ev.durNs) / 1e3
+           << ", \"pid\": 0, \"tid\": " << ev.tid << "}";
+    }
+    os << "\n]}\n";
+}
+
+std::string
+Tracer::chromeTraceJson() const
+{
+    std::ostringstream os;
+    exportChromeTrace(os);
+    return os.str();
+}
+
+void
+Tracer::exportJsonl(std::ostream &os) const
+{
+    for (const SpanEvent &ev : collect()) {
+        os << "{\"name\": \"" << jsonEscape(ev.name)
+           << "\", \"start_ns\": " << ev.startNs
+           << ", \"dur_ns\": " << ev.durNs << ", \"tid\": " << ev.tid
+           << ", \"depth\": " << ev.depth << "}\n";
+    }
+}
+
+Span::Span(const char *name)
+{
+    if (traceOn()) {
+        name_ = name;
+        startNs_ = Tracer::nowNs();
+        Tracer::global().enterScope();
+    } else {
+        name_ = nullptr;
+    }
+}
+
+Span::~Span()
+{
+    if (name_) {
+        Tracer &t = Tracer::global();
+        t.exitScope();
+        t.record(name_, startNs_, Tracer::nowNs() - startNs_);
+    }
+}
+
+} // namespace obs
+} // namespace reaper

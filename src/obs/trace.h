@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Scoped-span tracer with thread-local ring buffers.
+ *
+ * A Span is an RAII scope marker: construction stamps a start time,
+ * destruction records a complete event (name, start, duration, thread)
+ * into the recording thread's private ring buffer — no shared state is
+ * touched on the hot path beyond one thread-local pointer check, so
+ * spans from fleet workers, campaign tasks, and serve workers never
+ * contend. Buffers are fixed-capacity rings: when a thread outruns the
+ * drain, the oldest events are overwritten and counted as dropped
+ * rather than blocking or allocating.
+ *
+ * The exporters serialize every thread's events into:
+ *  - Chrome-trace JSON ("X" complete events, microsecond timestamps)
+ *    loadable in chrome://tracing or https://ui.perfetto.dev, and
+ *  - a JSONL event log (one event per line) for grep/jq pipelines.
+ *
+ * Span names must be string literals (or otherwise outlive the
+ * tracer): only the pointer is stored.
+ */
+
+#ifndef REAPER_OBS_TRACE_H
+#define REAPER_OBS_TRACE_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace reaper {
+namespace obs {
+
+/** One completed span. */
+struct SpanEvent
+{
+    const char *name = nullptr; ///< literal; not owned
+    uint64_t startNs = 0;       ///< monotonic, process-relative
+    uint64_t durNs = 0;
+    uint32_t tid = 0;   ///< tracer-assigned dense thread id
+    uint32_t depth = 0; ///< nesting depth within the thread
+};
+
+/** Collects spans from all threads; one global instance. */
+class Tracer
+{
+  public:
+    /** Events retained per thread before the ring wraps. */
+    static constexpr size_t kRingCapacity = 1 << 14;
+
+    static Tracer &global();
+
+    Tracer() = default;
+    Tracer(const Tracer &) = delete;
+    Tracer &operator=(const Tracer &) = delete;
+
+    /** Monotonic now, ns since process trace epoch. */
+    static uint64_t nowNs();
+
+    /** Record one completed span for the calling thread. */
+    void record(const char *name, uint64_t startNs, uint64_t durNs);
+
+    /** Current nesting depth of the calling thread (spans only track
+     *  it while tracing is on). */
+    uint32_t enterScope();
+    void exitScope();
+
+    /**
+     * Copy out every thread's events, ordered by start time. Pure with
+     * respect to the buffers (they keep accumulating); concurrent
+     * recording may or may not appear.
+     */
+    std::vector<SpanEvent> collect() const;
+
+    /** Events overwritten before they could be collected. */
+    uint64_t dropped() const;
+
+    /** Discard all buffered events (tests, bench reruns). */
+    void clear();
+
+    /** Chrome-trace JSON ({"traceEvents": [...]}) of collect(). */
+    void exportChromeTrace(std::ostream &os) const;
+    std::string chromeTraceJson() const;
+
+    /** One JSON object per line per event. */
+    void exportJsonl(std::ostream &os) const;
+
+  private:
+    struct ThreadBuffer
+    {
+        mutable std::mutex mtx;
+        std::vector<SpanEvent> ring; ///< grows to kRingCapacity
+        size_t next = 0;             ///< ring write cursor
+        uint64_t dropped = 0;
+        uint32_t tid = 0;
+        uint32_t depth = 0;
+    };
+
+    ThreadBuffer &threadBuffer();
+
+    mutable std::mutex mtx_; ///< guards buffers_ (registration/drain)
+    /** shared_ptr so buffers survive their thread's exit until drain. */
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+};
+
+/**
+ * RAII scope span. Cheap no-op unless REAPER_OBS=trace at entry; the
+ * enabled check happens once, at construction.
+ */
+class Span
+{
+  public:
+    explicit Span(const char *name);
+    ~Span();
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+  private:
+    const char *name_; ///< null when tracing was off at entry
+    uint64_t startNs_ = 0;
+};
+
+} // namespace obs
+} // namespace reaper
+
+#endif // REAPER_OBS_TRACE_H

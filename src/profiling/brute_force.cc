@@ -1,9 +1,34 @@
 #include "profiling/brute_force.h"
 
 #include "common/logging.h"
+#include "obs/obs.h"
 
 namespace reaper {
 namespace profiling {
+
+common::Expected<ProfilingResult>
+BruteForceProfiler::profile(testbed::SoftMcHost &host,
+                            const Conditions &target) const
+{
+    if (spec_.iterations < 1)
+        return common::Error::invalidConfig(
+            "brute_force: iterations must be >= 1");
+    if (spec_.patterns.empty())
+        return common::Error::invalidConfig(
+            "brute_force: need at least one data pattern");
+
+    BruteForceConfig cfg;
+    cfg.test = target;
+    cfg.iterations = spec_.iterations;
+    cfg.patterns = spec_.patterns;
+    cfg.setTemperature = spec_.setTemperature;
+    cfg.onIteration = spec_.onIteration;
+    try {
+        return run(host, cfg);
+    } catch (const testbed::TransientHostError &e) {
+        return common::Error::fault(e.what());
+    }
+}
 
 ProfilingResult
 BruteForceProfiler::run(testbed::SoftMcHost &host,
@@ -14,6 +39,8 @@ BruteForceProfiler::run(testbed::SoftMcHost &host,
     if (cfg.patterns.empty())
         panic("BruteForceProfiler: need at least one data pattern");
 
+    REAPER_OBS_SPAN(roundSpan, "profiling.brute_force.round");
+
     if (cfg.setTemperature)
         host.setAmbient(cfg.test.temperature);
 
@@ -22,6 +49,7 @@ BruteForceProfiler::run(testbed::SoftMcHost &host,
     Seconds start = host.now();
 
     for (int it = 0; it < cfg.iterations; ++it) {
+        REAPER_OBS_SPAN(iterSpan, "profiling.iteration");
         for (dram::DataPattern dp : cfg.patterns) {
             host.writeAll(dp);
             host.disableRefresh();
@@ -31,11 +59,13 @@ BruteForceProfiler::run(testbed::SoftMcHost &host,
         }
         result.iterationsRun = it + 1;
         result.discoveryCurve.push_back(result.profile.size());
+        REAPER_OBS_COUNT("profiling.iterations");
         if (cfg.onIteration &&
             !cfg.onIteration(it, result.profile))
             break;
     }
     result.runtime = host.now() - start;
+    REAPER_OBS_COUNT_N("profiling.cells_found", result.profile.size());
     return result;
 }
 

@@ -12,9 +12,11 @@
 #define REAPER_PROFILING_BRUTE_FORCE_H
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "profiling/profile.h"
+#include "profiling/profiler.h"
 #include "testbed/softmc_host.h"
 
 namespace reaper {
@@ -42,23 +44,30 @@ struct BruteForceConfig
     std::function<bool(int, const RetentionProfile &)> onIteration;
 };
 
-/** Result of one profiling round. */
-struct ProfilingResult
-{
-    RetentionProfile profile;
-    Seconds runtime = 0.0;  ///< virtual time the round consumed
-    int iterationsRun = 0;
-    /** Profile size after each completed iteration (discovery curve). */
-    std::vector<size_t> discoveryCurve;
-};
+// ProfilingResult lives in profiling/profiler.h (included above); it is
+// shared by every mechanism, not specific to brute force.
 
 /** Algorithm 1. */
-class BruteForceProfiler
+class BruteForceProfiler : public Profiler
 {
   public:
+    BruteForceProfiler() = default;
+    /** Configure from a mechanism-agnostic spec (factory path). */
+    explicit BruteForceProfiler(const ProfilerSpec &spec) : spec_(spec) {}
+
+    std::string name() const override { return "brute_force"; }
+
+    /** One round at the target conditions themselves (no reach). */
+    common::Expected<ProfilingResult>
+    profile(testbed::SoftMcHost &host,
+            const Conditions &target) const override;
+
     /** Run one profiling round on the host's module. */
     ProfilingResult run(testbed::SoftMcHost &host,
                         const BruteForceConfig &cfg) const;
+
+  private:
+    ProfilerSpec spec_;
 };
 
 } // namespace profiling

@@ -1,9 +1,33 @@
 #include "profiling/ecc_scrub.h"
 
 #include "common/logging.h"
+#include "obs/obs.h"
 
 namespace reaper {
 namespace profiling {
+
+common::Expected<ProfilingResult>
+EccScrubProfiler::profile(testbed::SoftMcHost &host,
+                          const Conditions &target) const
+{
+    if (spec_.iterations < 1)
+        return common::Error::invalidConfig(
+            "ecc_scrub: iterations (scrub rounds) must be >= 1");
+    if (spec_.scrubRoundsPerDataChange < 1)
+        return common::Error::invalidConfig(
+            "ecc_scrub: scrubRoundsPerDataChange must be >= 1");
+
+    EccScrubConfig cfg;
+    cfg.target = target;
+    cfg.scrubRounds = spec_.iterations;
+    cfg.roundsPerDataChange = spec_.scrubRoundsPerDataChange;
+    cfg.setTemperature = spec_.setTemperature;
+    try {
+        return run(host, cfg);
+    } catch (const testbed::TransientHostError &e) {
+        return common::Error::fault(e.what());
+    }
+}
 
 ProfilingResult
 EccScrubProfiler::run(testbed::SoftMcHost &host,
@@ -13,6 +37,8 @@ EccScrubProfiler::run(testbed::SoftMcHost &host,
         panic("EccScrubProfiler: scrubRounds must be >= 1");
     if (cfg.roundsPerDataChange < 1)
         panic("EccScrubProfiler: roundsPerDataChange must be >= 1");
+
+    REAPER_OBS_SPAN(roundSpan, "profiling.ecc_scrub.round");
 
     if (cfg.setTemperature)
         host.setAmbient(cfg.target.temperature);
@@ -37,8 +63,10 @@ EccScrubProfiler::run(testbed::SoftMcHost &host,
         host.restoreAll();
         result.iterationsRun = round + 1;
         result.discoveryCurve.push_back(result.profile.size());
+        REAPER_OBS_COUNT("profiling.iterations");
     }
     result.runtime = host.now() - start;
+    REAPER_OBS_COUNT_N("profiling.cells_found", result.profile.size());
     return result;
 }
 

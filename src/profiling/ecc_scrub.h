@@ -15,8 +15,11 @@
 #ifndef REAPER_PROFILING_ECC_SCRUB_H
 #define REAPER_PROFILING_ECC_SCRUB_H
 
+#include <string>
+
 #include "profiling/brute_force.h"
 #include "profiling/profile.h"
+#include "profiling/profiler.h"
 #include "testbed/softmc_host.h"
 
 namespace reaper {
@@ -39,11 +42,26 @@ struct EccScrubConfig
 };
 
 /** Passive ECC-scrubbing profiler. */
-class EccScrubProfiler
+class EccScrubProfiler : public Profiler
 {
   public:
+    EccScrubProfiler() = default;
+    /** Configure from a mechanism-agnostic spec (factory path). The
+     *  spec's iteration count maps to scrub rounds; its data-pattern
+     *  list does not apply (scrubbing sees only workload data). */
+    explicit EccScrubProfiler(const ProfilerSpec &spec) : spec_(spec) {}
+
+    std::string name() const override { return "ecc_scrub"; }
+
+    common::Expected<ProfilingResult>
+    profile(testbed::SoftMcHost &host,
+            const Conditions &target) const override;
+
     ProfilingResult run(testbed::SoftMcHost &host,
                         const EccScrubConfig &cfg) const;
+
+  private:
+    ProfilerSpec spec_;
 };
 
 } // namespace profiling

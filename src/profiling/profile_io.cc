@@ -9,17 +9,14 @@
 namespace reaper {
 namespace profiling {
 
+using common::Error;
+using common::Expected;
+using common::Status;
+using common::Unit;
+
 namespace {
 constexpr const char *kMagic = "REAPER-PROFILE";
 constexpr int kVersion = 1;
-
-bool
-fail(std::string *error, const std::string &msg)
-{
-    if (error)
-        *error = msg;
-    return false;
-}
 } // namespace
 
 void
@@ -34,41 +31,29 @@ saveProfile(const RetentionProfile &profile, std::ostream &os)
         os << f.chip << " " << f.addr << "\n";
 }
 
-bool
-trySaveProfileFile(const RetentionProfile &profile,
-                   const std::string &path, std::string *error)
+Status
+writeProfileFile(const RetentionProfile &profile, const std::string &path)
 {
     std::ofstream os(path);
     if (!os)
-        return fail(error, "cannot open '" + path + "' for writing");
+        return Error::io("cannot open '" + path + "' for writing");
     saveProfile(profile, os);
     os.flush();
     if (!os)
-        return fail(error, "write to '" + path + "' failed");
-    return true;
+        return Error::io("write to '" + path + "' failed");
+    return common::okStatus();
 }
 
-void
-saveProfileFile(const RetentionProfile &profile, const std::string &path)
+Expected<RetentionProfile>
+readProfile(std::istream &is)
 {
-    std::string error;
-    if (!trySaveProfileFile(profile, path, &error))
-        fatal("saveProfileFile: %s", error.c_str());
-}
-
-bool
-tryLoadProfile(std::istream &is, RetentionProfile *out,
-               std::string *error)
-{
-    if (!out)
-        panic("tryLoadProfile: out must not be null");
     std::string magic, version;
     if (!(is >> magic >> version))
-        return fail(error, "missing header");
+        return Error::parse("missing header");
     if (magic != kMagic)
-        return fail(error, "bad magic '" + magic + "'");
+        return Error::parse("bad magic '" + magic + "'");
     if (version != "v1")
-        return fail(error, "unsupported version '" + version + "'");
+        return Error::parse("unsupported version '" + version + "'");
 
     std::string key;
     double refi_ms = 0, temp = 0;
@@ -77,64 +62,110 @@ tryLoadProfile(std::istream &is, RetentionProfile *out,
     while (is >> key) {
         if (key == "refresh_interval_ms") {
             if (!(is >> refi_ms) || refi_ms <= 0)
-                return fail(error, "bad refresh_interval_ms");
+                return Error::parse("bad refresh_interval_ms");
             have_refi = true;
         } else if (key == "temperature_c") {
             if (!(is >> temp))
-                return fail(error, "bad temperature_c");
+                return Error::parse("bad temperature_c");
             have_temp = true;
         } else if (key == "cells") {
             if (!(is >> count))
-                return fail(error, "bad cell count");
+                return Error::parse("bad cell count");
             have_count = true;
             break; // cell list follows
         } else {
-            return fail(error, "unknown key '" + key + "'");
+            return Error::parse("unknown key '" + key + "'");
         }
     }
     if (!have_refi || !have_temp || !have_count)
-        return fail(error, "incomplete header");
+        return Error::parse("incomplete header");
 
     std::vector<dram::ChipFailure> cells;
     cells.reserve(count);
     for (size_t i = 0; i < count; ++i) {
         uint64_t chip, addr;
         if (!(is >> chip >> addr))
-            return fail(error, "truncated cell list (expected " +
-                                   std::to_string(count) + " cells)");
+            return Error::corrupt("truncated cell list (expected " +
+                                  std::to_string(count) + " cells)");
         if (chip > 0xFFFFFFFFull)
-            return fail(error, "chip index out of range");
+            return Error::corrupt("chip index out of range");
         cells.push_back({static_cast<uint32_t>(chip), addr});
     }
 
-    RetentionProfile profile(
-        Conditions{msToSec(refi_ms), temp});
+    RetentionProfile profile(Conditions{msToSec(refi_ms), temp});
     profile.add(cells);
-    *out = std::move(profile);
-    return true;
+    return profile;
+}
+
+Expected<RetentionProfile>
+readProfileFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        return Error::io("cannot open '" + path + "'");
+    Expected<RetentionProfile> result = readProfile(is);
+    if (!result) {
+        // Keep the category; prefix the path for the diagnostic.
+        Error e = result.error();
+        e.message = "'" + path + "': " + e.message;
+        return e;
+    }
+    return result;
+}
+
+void
+saveProfileFile(const RetentionProfile &profile, const std::string &path)
+{
+    Status st = writeProfileFile(profile, path);
+    if (!st)
+        fatal("saveProfileFile: %s", st.error().describe().c_str());
 }
 
 RetentionProfile
 loadProfile(std::istream &is)
 {
-    RetentionProfile profile;
-    std::string error;
-    if (!tryLoadProfile(is, &profile, &error))
-        fatal("loadProfile: %s", error.c_str());
-    return profile;
+    Expected<RetentionProfile> result = readProfile(is);
+    if (!result)
+        fatal("loadProfile: %s", result.error().describe().c_str());
+    return std::move(result).value();
 }
 
 RetentionProfile
 loadProfileFile(const std::string &path)
 {
-    std::ifstream is(path);
-    if (!is)
-        fatal("loadProfileFile: cannot open '%s'", path.c_str());
-    RetentionProfile profile;
-    std::string error;
-    if (!tryLoadProfile(is, &profile, &error))
-        fatal("loadProfileFile: '%s': %s", path.c_str(), error.c_str());
-    return profile;
+    Expected<RetentionProfile> result = readProfileFile(path);
+    if (!result)
+        fatal("loadProfileFile: %s", result.error().describe().c_str());
+    return std::move(result).value();
+}
+
+bool
+trySaveProfileFile(const RetentionProfile &profile,
+                   const std::string &path, std::string *error)
+{
+    Status st = writeProfileFile(profile, path);
+    if (!st) {
+        if (error)
+            *error = st.error().message;
+        return false;
+    }
+    return true;
+}
+
+bool
+tryLoadProfile(std::istream &is, RetentionProfile *out,
+               std::string *error)
+{
+    if (!out)
+        panic("tryLoadProfile: out must not be null");
+    Expected<RetentionProfile> result = readProfile(is);
+    if (!result) {
+        if (error)
+            *error = result.error().message;
+        return false;
+    }
+    *out = std::move(result).value();
+    return true;
 }
 
 } // namespace profiling

@@ -8,6 +8,13 @@
  * and only reprofile when the longevity model says so. The format is
  * a small line-oriented text file with a version header, so profiles
  * are diffable and forward-compatible.
+ *
+ * The primary APIs return common::Expected with typed categories —
+ * Io for filesystem failures, Parse for malformed headers, Corrupt
+ * for truncated cell lists — so callers (the campaign store's index
+ * recovery, the serve cache loader) can dispatch without string
+ * matching. The older bool + out-parameter forms remain as deprecated
+ * wrappers for one release.
  */
 
 #ifndef REAPER_PROFILING_PROFILE_IO_H
@@ -16,6 +23,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "common/expected.h"
 #include "profiling/profile.h"
 
 namespace reaper {
@@ -25,17 +33,46 @@ namespace profiling {
 void saveProfile(const RetentionProfile &profile, std::ostream &os);
 
 /**
- * Save to a file path.
- * @param error filled with a diagnostic on failure (may be null)
- * @return whether the profile was written completely
+ * Save to a file path. Errors are ErrorCategory::Io (cannot open,
+ * write failed).
  */
-bool trySaveProfileFile(const RetentionProfile &profile,
-                        const std::string &path,
-                        std::string *error = nullptr);
+common::Status writeProfileFile(const RetentionProfile &profile,
+                                const std::string &path);
+
+/**
+ * Parse a serialized profile from a stream. Errors are
+ * ErrorCategory::Parse (bad magic/version/header) or
+ * ErrorCategory::Corrupt (truncated cell list).
+ */
+common::Expected<RetentionProfile> readProfile(std::istream &is);
+
+/**
+ * Load from a file path. Adds ErrorCategory::Io when the file cannot
+ * be opened; parse failures report the path in the message.
+ */
+common::Expected<RetentionProfile>
+readProfileFile(const std::string &path);
 
 /** Save to a file path; fatal() on I/O failure. */
 void saveProfileFile(const RetentionProfile &profile,
                      const std::string &path);
+
+/** Load from a stream; fatal() with a diagnostic on malformed input. */
+RetentionProfile loadProfile(std::istream &is);
+
+/** Load from a file path; fatal() on I/O or parse failure. */
+RetentionProfile loadProfileFile(const std::string &path);
+
+/**
+ * Save to a file path.
+ * @param error filled with a diagnostic on failure (may be null)
+ * @return whether the profile was written completely
+ * @deprecated use writeProfileFile(), which reports a typed error
+ */
+[[deprecated("use writeProfileFile()")]]
+bool trySaveProfileFile(const RetentionProfile &profile,
+                        const std::string &path,
+                        std::string *error = nullptr);
 
 /**
  * Parse a serialized profile.
@@ -43,15 +80,11 @@ void saveProfileFile(const RetentionProfile &profile,
  * @param out parsed profile (valid only when true is returned)
  * @param error filled with a diagnostic on failure (may be null)
  * @return whether parsing succeeded
+ * @deprecated use readProfile(), which reports a typed error
  */
+[[deprecated("use readProfile()")]]
 bool tryLoadProfile(std::istream &is, RetentionProfile *out,
                     std::string *error = nullptr);
-
-/** Load from a stream; fatal() with a diagnostic on malformed input. */
-RetentionProfile loadProfile(std::istream &is);
-
-/** Load from a file path; fatal() on I/O or parse failure. */
-RetentionProfile loadProfileFile(const std::string &path);
 
 } // namespace profiling
 } // namespace reaper

@@ -1,0 +1,90 @@
+#include "profiling/profiler.h"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+
+#include "profiling/brute_force.h"
+#include "profiling/ecc_scrub.h"
+#include "profiling/reach.h"
+
+namespace reaper {
+namespace profiling {
+
+namespace {
+
+struct Registry
+{
+    std::mutex mtx;
+    std::map<std::string, ProfilerFactory> factories;
+};
+
+Registry &
+registry()
+{
+    // Leaked singleton: built-ins are registered on first use, so the
+    // factory works from static initializers and any link order, and
+    // late registrations never race static destruction.
+    static Registry *r = [] {
+        auto *init = new Registry;
+        init->factories["brute_force"] = [](const ProfilerSpec &spec) {
+            return std::unique_ptr<Profiler>(
+                new BruteForceProfiler(spec));
+        };
+        init->factories["reach"] = [](const ProfilerSpec &spec) {
+            return std::unique_ptr<Profiler>(new ReachProfiler(spec));
+        };
+        init->factories["ecc_scrub"] = [](const ProfilerSpec &spec) {
+            return std::unique_ptr<Profiler>(
+                new EccScrubProfiler(spec));
+        };
+        return init;
+    }();
+    return *r;
+}
+
+} // namespace
+
+bool
+registerProfiler(const std::string &name, ProfilerFactory factory)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mtx);
+    return r.factories.emplace(name, std::move(factory)).second;
+}
+
+common::Expected<std::unique_ptr<Profiler>>
+makeProfiler(const std::string &name, const ProfilerSpec &spec)
+{
+    ProfilerFactory factory;
+    {
+        Registry &r = registry();
+        std::lock_guard<std::mutex> lock(r.mtx);
+        auto it = r.factories.find(name);
+        if (it != r.factories.end())
+            factory = it->second;
+    }
+    if (!factory) {
+        std::string known;
+        for (const std::string &n : profilerNames())
+            known += (known.empty() ? "" : ", ") + n;
+        return common::Error::notFound("unknown profiler '" + name +
+                                       "' (registered: " + known + ")");
+    }
+    return factory(spec);
+}
+
+std::vector<std::string>
+profilerNames()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mtx);
+    std::vector<std::string> names;
+    names.reserve(r.factories.size());
+    for (const auto &kv : r.factories)
+        names.push_back(kv.first);
+    return names; // std::map iteration is already sorted
+}
+
+} // namespace profiling
+} // namespace reaper

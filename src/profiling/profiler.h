@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The abstract profiler interface and its string-keyed factory.
+ *
+ * Three profiling mechanisms coexist in the library — brute force
+ * (Algorithm 1), reach profiling (Section 6, the paper's
+ * contribution), and passive ECC scrubbing (the AVATAR-style
+ * comparator) — and orchestration layers (campaign rounds, evaluation
+ * sweeps, the firmware) should not need to know which one they are
+ * running. Profiler is that seam:
+ *
+ *  - name() identifies the mechanism (stable, filename/manifest-safe);
+ *  - profile(host, target) runs one profiling round against the host's
+ *    module and returns the profile *for the target conditions*, with
+ *    recoverable failures (transient host faults, unusable
+ *    configuration) reported as common::Expected errors rather than
+ *    exceptions or aborts.
+ *
+ * makeProfiler() builds a configured instance from a mechanism name
+ * plus a mechanism-agnostic ProfilerSpec; registerProfiler() lets new
+ * mechanisms plug in without touching any orchestration code (the
+ * campaign runner accepts --profiler <name> for exactly this reason).
+ */
+
+#ifndef REAPER_PROFILING_PROFILER_H
+#define REAPER_PROFILING_PROFILER_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/expected.h"
+#include "common/units.h"
+#include "dram/data_pattern.h"
+#include "profiling/profile.h"
+#include "testbed/softmc_host.h"
+
+namespace reaper {
+namespace profiling {
+
+/** Result of one profiling round (any mechanism). */
+struct ProfilingResult
+{
+    RetentionProfile profile;
+    Seconds runtime = 0.0;  ///< virtual time the round consumed
+    int iterationsRun = 0;
+    /** Profile size after each completed iteration (discovery curve). */
+    std::vector<size_t> discoveryCurve;
+};
+
+/**
+ * Mechanism-agnostic profiling round parameters. Each mechanism reads
+ * the fields that apply to it (reach offsets only matter to "reach",
+ * the scrub cadence only to "ecc_scrub") and ignores the rest, so one
+ * spec can configure any registered profiler.
+ */
+struct ProfilerSpec
+{
+    /** Iterations (brute force/reach) or scrub rounds (ecc_scrub). */
+    int iterations = 4;
+    /** Data patterns tested per iteration (pattern-driven mechanisms). */
+    std::vector<dram::DataPattern> patterns = dram::allDataPatterns();
+    /** Command the chamber to the test temperature first. */
+    bool setTemperature = true;
+    /** Reach offsets over the target ("reach" only). */
+    Seconds reachDeltaRefresh = 0.250;
+    Celsius reachDeltaTemp = 0.0;
+    /** Scrub periods between workload data changes ("ecc_scrub"). */
+    int scrubRoundsPerDataChange = 4;
+    /** Optional per-iteration observer; returning false stops early. */
+    std::function<bool(int, const RetentionProfile &)> onIteration;
+};
+
+/** One profiling mechanism, configured and ready to run rounds. */
+class Profiler
+{
+  public:
+    virtual ~Profiler() = default;
+
+    /** Stable mechanism name ("brute_force", "reach", "ecc_scrub"). */
+    virtual std::string name() const = 0;
+
+    /**
+     * Run one profiling round on the host's module and return the
+     * profile valid for `target`. Recoverable failures come back as
+     * errors: ErrorCategory::Fault for transient host faults (retry
+     * the round on a fresh module), ErrorCategory::InvalidConfig for
+     * unusable parameters. Internal invariant violations still panic.
+     */
+    virtual common::Expected<ProfilingResult>
+    profile(testbed::SoftMcHost &host, const Conditions &target)
+        const = 0;
+};
+
+/** Factory callback: build a configured profiler from a spec. */
+using ProfilerFactory =
+    std::function<std::unique_ptr<Profiler>(const ProfilerSpec &)>;
+
+/**
+ * Register a mechanism under a name. Returns false (and changes
+ * nothing) when the name is already taken. Thread-safe.
+ */
+bool registerProfiler(const std::string &name, ProfilerFactory factory);
+
+/**
+ * Build a profiler by mechanism name. Unknown names return
+ * ErrorCategory::NotFound listing the registered mechanisms.
+ */
+common::Expected<std::unique_ptr<Profiler>>
+makeProfiler(const std::string &name, const ProfilerSpec &spec = {});
+
+/** Registered mechanism names, sorted. */
+std::vector<std::string> profilerNames();
+
+} // namespace profiling
+} // namespace reaper
+
+#endif // REAPER_PROFILING_PROFILER_H

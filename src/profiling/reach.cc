@@ -15,6 +15,36 @@ ReachProfiler::reachConditions(const ReachConfig &cfg)
     return reach;
 }
 
+common::Expected<ProfilingResult>
+ReachProfiler::profile(testbed::SoftMcHost &host,
+                       const Conditions &target) const
+{
+    if (spec_.iterations < 1)
+        return common::Error::invalidConfig(
+            "reach: iterations must be >= 1");
+    if (spec_.patterns.empty())
+        return common::Error::invalidConfig(
+            "reach: need at least one data pattern");
+    if (spec_.reachDeltaRefresh < 0 || spec_.reachDeltaTemp < 0)
+        return common::Error::invalidConfig(
+            "reach: reach conditions must not be below the target "
+            "conditions");
+
+    ReachConfig cfg;
+    cfg.target = target;
+    cfg.deltaRefreshInterval = spec_.reachDeltaRefresh;
+    cfg.deltaTemperature = spec_.reachDeltaTemp;
+    cfg.iterations = spec_.iterations;
+    cfg.patterns = spec_.patterns;
+    cfg.setTemperature = spec_.setTemperature;
+    cfg.onIteration = spec_.onIteration;
+    try {
+        return run(host, cfg);
+    } catch (const testbed::TransientHostError &e) {
+        return common::Error::fault(e.what());
+    }
+}
+
 ProfilingResult
 ReachProfiler::run(testbed::SoftMcHost &host, const ReachConfig &cfg) const
 {

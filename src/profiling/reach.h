@@ -17,10 +17,12 @@
 #define REAPER_PROFILING_REACH_H
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "profiling/brute_force.h"
 #include "profiling/profile.h"
+#include "profiling/profiler.h"
 #include "testbed/softmc_host.h"
 
 namespace reaper {
@@ -48,9 +50,23 @@ struct ReachConfig
 };
 
 /** The REAPER reach profiler. */
-class ReachProfiler
+class ReachProfiler : public Profiler
 {
   public:
+    ReachProfiler() = default;
+    /** Configure from a mechanism-agnostic spec (factory path). */
+    explicit ReachProfiler(const ProfilerSpec &spec) : spec_(spec) {}
+
+    std::string name() const override { return "reach"; }
+
+    /**
+     * One round at the spec's reach offsets over `target`; the
+     * returned profile is stamped with the target conditions.
+     */
+    common::Expected<ProfilingResult>
+    profile(testbed::SoftMcHost &host,
+            const Conditions &target) const override;
+
     /**
      * Run one reach-profiling round. The returned profile's conditions
      * are the *target* conditions (that is what the profile is for);
@@ -61,6 +77,9 @@ class ReachProfiler
 
     /** The reach conditions a config resolves to. */
     static Conditions reachConditions(const ReachConfig &cfg);
+
+  private:
+    ProfilerSpec spec_;
 };
 
 } // namespace profiling

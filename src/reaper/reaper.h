@@ -13,6 +13,7 @@
  *  - power::       command-level DRAM power model
  *  - workload::    synthetic SPEC-like trace generation
  *  - eval::        profiling overhead + end-to-end evaluation
+ *  - obs::         cross-subsystem metrics + tracing (REAPER_OBS knob)
  *  - campaign::    checkpointed multi-chip profiling campaigns
  *  - serve::       profile query serving (cache + request engine)
  *  - firmware::    online REAPER orchestration
@@ -21,6 +22,7 @@
 #ifndef REAPER_REAPER_H
 #define REAPER_REAPER_H
 
+#include "common/expected.h"
 #include "common/fit.h"
 #include "common/ks_test.h"
 #include "common/logging.h"
@@ -38,6 +40,10 @@
 #include "dram/retention_model.h"
 #include "dram/vendor_model.h"
 
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
+
 #include "thermal/chamber.h"
 
 #include "testbed/softmc_host.h"
@@ -52,6 +58,7 @@
 #include "profiling/ecc_scrub.h"
 #include "profiling/profile.h"
 #include "profiling/profile_io.h"
+#include "profiling/profiler.h"
 #include "profiling/reach.h"
 #include "profiling/runtime_model.h"
 

@@ -1,86 +1,36 @@
 #include "serve/metrics.h"
 
-#include <cmath>
 #include <sstream>
-#include <vector>
 
 namespace reaper {
 namespace serve {
 
-namespace {
-
-constexpr double kFloorSeconds = 100e-9; // lower edge of bucket 0
-constexpr double kBucketsPerDecade = 8.0;
-
-} // namespace
-
-size_t
-Metrics::bucketOf(double seconds)
+Metrics::Metrics()
+    : completed_(registry_.counter("serve.completed")),
+      hits_(registry_.counter("serve.hits")),
+      misses_(registry_.counter("serve.misses")),
+      negative_(registry_.counter("serve.negative_hits")),
+      unknown_(registry_.counter("serve.unknown")),
+      rejected_(registry_.counter("serve.rejected")),
+      latency_(registry_.histogram("serve.latency_seconds"))
 {
-    if (seconds <= kFloorSeconds)
-        return 0;
-    double decades = std::log10(seconds / kFloorSeconds);
-    auto i = static_cast<size_t>(decades * kBucketsPerDecade);
-    return std::min(i, kBuckets - 1);
-}
-
-double
-Metrics::bucketHi(size_t i)
-{
-    return kFloorSeconds *
-           std::pow(10.0, static_cast<double>(i + 1) /
-                              kBucketsPerDecade);
-}
-
-void
-Metrics::recordLatency(double seconds)
-{
-    completed_.fetch_add(1, kRelaxed);
-    latency_[bucketOf(seconds)].fetch_add(1, kRelaxed);
-}
-
-double
-Metrics::latencyPercentileUs(double q) const
-{
-    uint64_t total = 0;
-    std::array<uint64_t, kBuckets> counts;
-    for (size_t i = 0; i < kBuckets; ++i) {
-        counts[i] = latency_[i].load(kRelaxed);
-        total += counts[i];
-    }
-    if (total == 0)
-        return 0.0;
-    auto rank = static_cast<uint64_t>(q * static_cast<double>(total));
-    if (rank >= total)
-        rank = total - 1;
-    uint64_t seen = 0;
-    for (size_t i = 0; i < kBuckets; ++i) {
-        seen += counts[i];
-        if (seen > rank)
-            return bucketHi(i) * 1e6;
-    }
-    return bucketHi(kBuckets - 1) * 1e6;
 }
 
 MetricsSnapshot
 Metrics::snapshot() const
 {
     MetricsSnapshot s;
-    s.completed = completed_.load(kRelaxed);
-    s.hits = hits_.load(kRelaxed);
-    s.misses = misses_.load(kRelaxed);
-    s.negativeHits = negative_.load(kRelaxed);
-    s.unknown = unknown_.load(kRelaxed);
-    s.rejected = rejected_.load(kRelaxed);
-    s.p50Us = latencyPercentileUs(0.50);
-    s.p95Us = latencyPercentileUs(0.95);
-    s.p99Us = latencyPercentileUs(0.99);
-    for (size_t i = kBuckets; i-- > 0;) {
-        if (latency_[i].load(kRelaxed) > 0) {
-            s.maxUs = bucketHi(i) * 1e6;
-            break;
-        }
-    }
+    s.completed = completed_.value();
+    s.hits = hits_.value();
+    s.misses = misses_.value();
+    s.negativeHits = negative_.value();
+    s.unknown = unknown_.value();
+    s.rejected = rejected_.value();
+    obs::HistogramSnapshot lat = latency_.snapshot();
+    s.p50Us = lat.percentile(0.50) * 1e6;
+    s.p95Us = lat.percentile(0.95) * 1e6;
+    s.p99Us = lat.percentile(0.99) * 1e6;
+    s.maxUs = lat.maxEdge() * 1e6;
     return s;
 }
 
@@ -98,19 +48,6 @@ Metrics::json() const
        << ", \"p95\": " << s.p95Us << ", \"p99\": " << s.p99Us
        << ", \"max\": " << s.maxUs << "}}";
     return os.str();
-}
-
-void
-Metrics::reset()
-{
-    completed_.store(0, kRelaxed);
-    hits_.store(0, kRelaxed);
-    misses_.store(0, kRelaxed);
-    negative_.store(0, kRelaxed);
-    unknown_.store(0, kRelaxed);
-    rejected_.store(0, kRelaxed);
-    for (auto &bucket : latency_)
-        bucket.store(0, kRelaxed);
 }
 
 } // namespace serve

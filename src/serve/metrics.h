@@ -3,13 +3,20 @@
  * Serving observability: lock-cheap counters and fixed-bucket latency
  * histograms for the profile query path.
  *
+ * Metrics is now a thin shim over the obs metric primitives (its
+ * counter/histogram layout was generalized into obs::Counter and
+ * obs::Histogram): same public API, same JSON schema, but backed by a
+ * *private* obs::MetricRegistry so every Metrics instance is an
+ * isolated metric set — two engines in one process (or one test
+ * binary) never share counts. The registry() accessor exposes the
+ * backing registry for Prometheus export.
+ *
  * Every QueryEngine worker records into the same Metrics instance from
- * its hot loop, so recording must be cheap and contention-free:
+ * its hot loop, so recording must stay cheap and contention-free:
  * counters are relaxed atomics, and the latency histogram has a fixed
  * geometric bucket layout (no allocation, one relaxed fetch_add per
- * sample). Percentiles are computed on demand from a snapshot of the
- * bucket counts; with 8 buckets per decade the p50/p95/p99 estimates
- * carry ~15% bucket-boundary error, which is plenty for dashboards and
+ * sample). With 8 buckets per decade the p50/p95/p99 estimates carry
+ * ~15% bucket-boundary error, which is plenty for dashboards and
  * regression gates.
  *
  * json() emits the whole snapshot as a single JSON object — the schema
@@ -19,10 +26,10 @@
 #ifndef REAPER_SERVE_METRICS_H
 #define REAPER_SERVE_METRICS_H
 
-#include <array>
-#include <atomic>
 #include <cstdint>
 #include <string>
+
+#include "obs/metrics.h"
 
 namespace reaper {
 namespace serve {
@@ -48,46 +55,51 @@ class Metrics
 {
   public:
     /** Geometric latency buckets: [100 ns, 10 s), 8 per decade. */
-    static constexpr size_t kBuckets = 65;
+    static constexpr size_t kBuckets = obs::Histogram::kBuckets;
 
-    Metrics() = default;
+    Metrics();
 
-    void recordHit() { hits_.fetch_add(1, kRelaxed); }
-    void recordMiss() { misses_.fetch_add(1, kRelaxed); }
-    void recordNegativeHit() { negative_.fetch_add(1, kRelaxed); }
-    void recordUnknown() { unknown_.fetch_add(1, kRelaxed); }
-    void recordRejected() { rejected_.fetch_add(1, kRelaxed); }
+    void recordHit() { hits_.add(); }
+    void recordMiss() { misses_.add(); }
+    void recordNegativeHit() { negative_.add(); }
+    void recordUnknown() { unknown_.add(); }
+    void recordRejected() { rejected_.add(); }
 
     /** Record one completed request and its latency. */
-    void recordLatency(double seconds);
+    void recordLatency(double seconds)
+    {
+        completed_.add();
+        latency_.record(seconds);
+    }
 
     /** Latency at quantile q in [0, 1], in microseconds (bucket upper
      *  edge; 0 when nothing was recorded). */
-    double latencyPercentileUs(double q) const;
+    double latencyPercentileUs(double q) const
+    {
+        return latency_.percentile(q) * 1e6;
+    }
 
     MetricsSnapshot snapshot() const;
 
     /** The snapshot as a compact JSON object (one line). */
     std::string json() const;
 
-    void reset();
+    void reset() { registry_.resetAll(); }
+
+    /** The backing registry (e.g. for Prometheus text export). */
+    obs::MetricRegistry &registry() { return registry_; }
+    const obs::MetricRegistry &registry() const { return registry_; }
 
   private:
-    static constexpr std::memory_order kRelaxed =
-        std::memory_order_relaxed;
-
-    /** Bucket index of a latency sample. */
-    static size_t bucketOf(double seconds);
-    /** Upper edge of bucket i, in seconds. */
-    static double bucketHi(size_t i);
-
-    std::atomic<uint64_t> completed_{0};
-    std::atomic<uint64_t> hits_{0};
-    std::atomic<uint64_t> misses_{0};
-    std::atomic<uint64_t> negative_{0};
-    std::atomic<uint64_t> unknown_{0};
-    std::atomic<uint64_t> rejected_{0};
-    std::array<std::atomic<uint64_t>, kBuckets> latency_{};
+    /** Private registry: each Metrics is an isolated metric set. */
+    obs::MetricRegistry registry_;
+    obs::Counter &completed_;
+    obs::Counter &hits_;
+    obs::Counter &misses_;
+    obs::Counter &negative_;
+    obs::Counter &unknown_;
+    obs::Counter &rejected_;
+    obs::Histogram &latency_;
 };
 
 } // namespace serve

@@ -21,7 +21,16 @@ roundUpPow2(size_t n)
 
 ProfileCache::ProfileCache(const campaign::ProfileStore &store,
                            CacheConfig cfg)
-    : store_(store), cfg_(cfg)
+    : store_(store),
+      cfg_(cfg),
+      hits_(registry_.counter("cache.hits")),
+      misses_(registry_.counter("cache.misses")),
+      negativeHits_(registry_.counter("cache.negative_hits")),
+      loads_(registry_.counter("cache.loads")),
+      failedLoads_(registry_.counter("cache.failed_loads")),
+      evictions_(registry_.counter("cache.evictions")),
+      bytes_(registry_.gauge("cache.bytes")),
+      entries_(registry_.gauge("cache.entries"))
 {
     size_t n = roundUpPow2(std::max<size_t>(cfg_.shards, 1));
     cfg_.shards = n;
@@ -41,12 +50,12 @@ ProfileCache::shardFor(const std::string &key)
 CacheResult
 ProfileCache::loadAndCompile(const std::string &key)
 {
-    profiling::RetentionProfile profile;
-    std::string error;
-    if (!store_.tryLoad(key, &profile, &error))
+    common::Expected<profiling::RetentionProfile> profile =
+        store_.load(key);
+    if (!profile)
         return {nullptr, CacheOutcome::NotFound};
     auto dir = std::make_shared<const RefreshDirectory>(
-        RefreshDirectory::compile(profile, cfg_.directory));
+        RefreshDirectory::compile(profile.value(), cfg_.directory));
     return {std::move(dir), CacheOutcome::Miss};
 }
 
@@ -60,6 +69,8 @@ ProfileCache::insertLocked(Shard &shard, const std::string &key,
     Entry entry{std::move(dir), bytes, shard.lru.begin()};
     shard.map[key] = std::move(entry);
     shard.bytes += bytes;
+    bytes_.add(static_cast<int64_t>(bytes));
+    entries_.add(1);
 
     // Evict LRU entries until we fit; never the one just inserted
     // (an oversized directory stays resident alone rather than
@@ -68,7 +79,9 @@ ProfileCache::insertLocked(Shard &shard, const std::string &key,
         const std::string &victim = shard.lru.back();
         auto it = shard.map.find(victim);
         shard.bytes -= it->second.bytes;
-        shard.counters.evictions++;
+        bytes_.add(-static_cast<int64_t>(it->second.bytes));
+        entries_.add(-1);
+        evictions_.add();
         shard.map.erase(it);
         shard.lru.pop_back();
     }
@@ -85,14 +98,14 @@ ProfileCache::get(const std::string &key)
         shard.lru.splice(shard.lru.begin(), shard.lru,
                          it->second.lruPos);
         if (it->second.dir) {
-            shard.counters.hits++;
+            hits_.add();
             return {it->second.dir, CacheOutcome::Hit};
         }
-        shard.counters.negativeHits++;
+        negativeHits_.add();
         return {nullptr, CacheOutcome::NegativeHit};
     }
 
-    shard.counters.misses++;
+    misses_.add();
     auto in = shard.inflight.find(key);
     if (in != shard.inflight.end()) {
         // Singleflight: ride the load already in progress.
@@ -108,11 +121,11 @@ ProfileCache::get(const std::string &key)
     CacheResult result = loadAndCompile(key);
 
     lock.lock();
-    shard.counters.loads++;
+    loads_.add();
     if (result.dir)
         insertLocked(shard, key, result.dir);
     else {
-        shard.counters.failedLoads++;
+        failedLoads_.add();
         if (cfg_.negativeCache)
             insertLocked(shard, key, nullptr);
     }
@@ -132,6 +145,8 @@ ProfileCache::invalidate(const std::string &key)
     if (it == shard.map.end())
         return;
     shard.bytes -= it->second.bytes;
+    bytes_.add(-static_cast<int64_t>(it->second.bytes));
+    entries_.add(-1);
     shard.lru.erase(it->second.lruPos);
     shard.map.erase(it);
 }
@@ -140,17 +155,14 @@ CacheCounters
 ProfileCache::counters() const
 {
     CacheCounters total;
-    for (const auto &shard : shards_) {
-        std::lock_guard<std::mutex> lock(shard->mtx);
-        total.hits += shard->counters.hits;
-        total.misses += shard->counters.misses;
-        total.negativeHits += shard->counters.negativeHits;
-        total.loads += shard->counters.loads;
-        total.failedLoads += shard->counters.failedLoads;
-        total.evictions += shard->counters.evictions;
-        total.bytes += shard->bytes;
-        total.entries += shard->map.size();
-    }
+    total.hits = hits_.value();
+    total.misses = misses_.value();
+    total.negativeHits = negativeHits_.value();
+    total.loads = loads_.value();
+    total.failedLoads = failedLoads_.value();
+    total.evictions = evictions_.value();
+    total.bytes = static_cast<uint64_t>(bytes_.value());
+    total.entries = static_cast<uint64_t>(entries_.value());
     return total;
 }
 

@@ -14,7 +14,7 @@
  *  - **Singleflight loading.** Concurrent misses on one key share a
  *    single store load + compile: the first requester loads while the
  *    rest wait on the in-flight slot's condition variable. K parallel
- *    cold gets on a key perform exactly one ProfileStore::tryLoad
+ *    cold gets on a key perform exactly one ProfileStore::load
  *    (verified by tests/test_serve.cc).
  *  - **Negative caching.** A key absent from the store is remembered
  *    (with a small byte charge), so repeated lookups of unknown chips
@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "campaign/profile_store.h"
+#include "obs/metrics.h"
 #include "serve/refresh_directory.h"
 
 namespace reaper {
@@ -77,7 +78,13 @@ struct CacheResult
     CacheOutcome outcome = CacheOutcome::NotFound;
 };
 
-/** Monotonic cache statistics. */
+/**
+ * Cache statistics snapshot. Counts live in cache-level relaxed
+ * atomics (a private obs::MetricRegistry), not per-shard fields:
+ * counters() is a pure lock-free snapshot instead of the old
+ * lock-every-shard aggregation, which both stalled the serving path
+ * and could double-count a request that raced shard mutation.
+ */
 struct CacheCounters
 {
     uint64_t hits = 0;
@@ -111,11 +118,14 @@ class ProfileCache
      */
     void invalidate(const std::string &key);
 
-    /** Aggregate statistics over all shards. */
+    /** Pure statistics snapshot (relaxed loads, no shard locks). */
     CacheCounters counters() const;
 
     size_t shardCount() const { return shards_.size(); }
     const CacheConfig &config() const { return cfg_; }
+
+    /** The backing registry (e.g. for Prometheus text export). */
+    const obs::MetricRegistry &registry() const { return registry_; }
 
   private:
     struct Entry
@@ -142,7 +152,6 @@ class ProfileCache
         std::unordered_map<std::string, std::shared_ptr<Inflight>>
             inflight;
         size_t bytes = 0;
-        CacheCounters counters;
     };
 
     Shard &shardFor(const std::string &key);
@@ -156,6 +165,17 @@ class ProfileCache
     CacheConfig cfg_;
     size_t shardCapacity_;
     std::vector<std::unique_ptr<Shard>> shards_;
+
+    /** Private registry: per-cache counts, isolated per instance. */
+    obs::MetricRegistry registry_;
+    obs::Counter &hits_;
+    obs::Counter &misses_;
+    obs::Counter &negativeHits_;
+    obs::Counter &loads_;
+    obs::Counter &failedLoads_;
+    obs::Counter &evictions_;
+    obs::Gauge &bytes_;
+    obs::Gauge &entries_;
 };
 
 } // namespace serve

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
+
 namespace reaper {
 namespace serve {
 
@@ -177,6 +179,8 @@ QueryEngine::workerLoop()
                 queue_.pop_front();
             }
         }
+        REAPER_OBS_SPAN(batchSpan, "serve.batch");
+        REAPER_OBS_COUNT_N("serve.requests", batch.size());
         for (const Timed &t : batch) {
             Response resp = answer(t.req);
             double latency =

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/obs.h"
 
 namespace reaper {
 namespace testbed {
@@ -28,6 +29,9 @@ SoftMcHost::record(CommandKind kind, double param)
 void
 SoftMcHost::setAmbient(Celsius ambient)
 {
+    REAPER_OBS_SPAN(opSpan, "testbed.set_ambient");
+    REAPER_OBS_COUNT("testbed.commands");
+    REAPER_OBS_COUNT("testbed.set_ambient");
     record(CommandKind::SetAmbient, ambient);
     ambient_ = ambient;
     if (!cfg_.useChamber) {
@@ -87,6 +91,9 @@ SoftMcHost::fullModuleIoTime() const
 void
 SoftMcHost::writeAll(dram::DataPattern p)
 {
+    REAPER_OBS_SPAN(opSpan, "testbed.write_all");
+    REAPER_OBS_COUNT("testbed.commands");
+    REAPER_OBS_COUNT("testbed.write_all");
     record(CommandKind::WritePattern, static_cast<double>(p));
     Seconds t = fullModuleIoTime();
     advance(t);
@@ -97,6 +104,8 @@ SoftMcHost::writeAll(dram::DataPattern p)
 void
 SoftMcHost::restoreAll()
 {
+    REAPER_OBS_SPAN(opSpan, "testbed.restore_all");
+    REAPER_OBS_COUNT("testbed.commands");
     record(CommandKind::Restore, 0);
     Seconds t = fullModuleIoTime();
     advance(t);
@@ -107,6 +116,7 @@ SoftMcHost::restoreAll()
 void
 SoftMcHost::disableRefresh()
 {
+    REAPER_OBS_COUNT("testbed.commands");
     record(CommandKind::DisableRefresh, 0);
     module_.disableRefresh();
 }
@@ -114,6 +124,7 @@ SoftMcHost::disableRefresh()
 void
 SoftMcHost::enableRefresh()
 {
+    REAPER_OBS_COUNT("testbed.commands");
     record(CommandKind::EnableRefresh, 0);
     module_.enableRefresh();
 }
@@ -121,6 +132,8 @@ SoftMcHost::enableRefresh()
 void
 SoftMcHost::wait(Seconds t)
 {
+    REAPER_OBS_SPAN(opSpan, "testbed.wait");
+    REAPER_OBS_COUNT("testbed.commands");
     record(CommandKind::Wait, t);
     advance(t);
 }
@@ -128,6 +141,9 @@ SoftMcHost::wait(Seconds t)
 std::vector<dram::ChipFailure>
 SoftMcHost::readAndCompareAll()
 {
+    REAPER_OBS_SPAN(opSpan, "testbed.read_compare");
+    REAPER_OBS_COUNT("testbed.commands");
+    REAPER_OBS_COUNT("testbed.read_compare");
     record(CommandKind::ReadCompare, 0);
     Seconds t = fullModuleIoTime();
     advance(t);

@@ -16,6 +16,8 @@
 #define REAPER_TESTBED_SOFTMC_HOST_H
 
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/units.h"
@@ -25,6 +27,24 @@
 
 namespace reaper {
 namespace testbed {
+
+/**
+ * A transient host-infrastructure failure: the command was rejected or
+ * its data discarded before it took effect, and retrying the operation
+ * (or the surrounding round) is expected to succeed. Thrown by host
+ * shims that model flaky links/chambers (campaign::FaultyHost derives
+ * its HostFaultError from this); profilers translate it into
+ * ErrorCategory::Fault so orchestrators can dispatch on it without
+ * knowing the concrete shim.
+ */
+class TransientHostError : public std::runtime_error
+{
+  public:
+    explicit TransientHostError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
 
 /** Kinds of host commands recorded in the trace. */
 enum class CommandKind : uint8_t

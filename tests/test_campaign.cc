@@ -86,10 +86,11 @@ TEST(Campaign, CompletesAndPopulatesStore)
     EXPECT_EQ(store.size(), 6u);
     for (size_t c = 0; c < cfg.chips.size(); ++c) {
         for (size_t r = 0; r < cfg.rounds.size(); ++r) {
-            profiling::RetentionProfile p;
-            std::string error;
-            ASSERT_TRUE(store.tryLoad(roundKey(cfg, c, r), &p, &error))
-                << error;
+            common::Expected<profiling::RetentionProfile> loaded =
+                store.load(roundKey(cfg, c, r));
+            ASSERT_TRUE(loaded.hasValue())
+                << loaded.error().describe();
+            const profiling::RetentionProfile &p = loaded.value();
             EXPECT_GT(p.size(), 0u);
             EXPECT_DOUBLE_EQ(p.conditions().refreshInterval,
                              cfg.rounds[r].target.refreshInterval);
@@ -213,9 +214,9 @@ TEST(Campaign, RetriesDisabledPropagatesError)
     // the reference contents.
     ProfileStore store(cfg.dir + "/store");
     for (const StoreEntry &e : store.entries()) {
-        profiling::RetentionProfile p;
-        std::string error;
-        EXPECT_TRUE(store.tryLoad(e.key, &p, &error)) << error;
+        common::Expected<profiling::RetentionProfile> loaded =
+            store.load(e.key);
+        EXPECT_TRUE(loaded.hasValue()) << loaded.error().describe();
     }
     cfg.faults = {};
     CampaignStats resumed = runCampaign(cfg);
@@ -357,10 +358,10 @@ TEST(ProfileStore, CommitLoadRoundTrip)
     store.commit(key, p);
     EXPECT_TRUE(store.has(key));
 
-    profiling::RetentionProfile loaded;
-    std::string error;
-    ASSERT_TRUE(store.tryLoad(key, &loaded, &error)) << error;
-    EXPECT_EQ(loaded.cells(), p.cells());
+    common::Expected<profiling::RetentionProfile> loaded =
+        store.load(key);
+    ASSERT_TRUE(loaded.hasValue()) << loaded.error().describe();
+    EXPECT_EQ(loaded.value().cells(), p.cells());
 
     // A second store over the same directory sees the same contents.
     ProfileStore reopened(store.dir());
@@ -404,19 +405,20 @@ TEST(ProfileStore, RecoversIndexFromDirectoryScan)
     fs::remove(fs::path(dir) / "index.txt");
     ProfileStore recovered(dir);
     EXPECT_TRUE(recovered.has(key));
-    profiling::RetentionProfile p;
-    std::string error;
-    EXPECT_TRUE(recovered.tryLoad(key, &p, &error)) << error;
-    EXPECT_EQ(p.size(), 1u);
+    common::Expected<profiling::RetentionProfile> loaded =
+        recovered.load(key);
+    EXPECT_TRUE(loaded.hasValue()) << loaded.error().describe();
+    EXPECT_EQ(loaded.value().size(), 1u);
 }
 
-TEST(ProfileStore, MissingKeyFailsWithDiagnostic)
+TEST(ProfileStore, MissingKeyReportsNotFound)
 {
     ProfileStore store(scratchDir("store_missing"));
-    profiling::RetentionProfile p;
-    std::string error;
-    EXPECT_FALSE(store.tryLoad("nope@trefi1.000ms@45.00C", &p, &error));
-    EXPECT_FALSE(error.empty());
+    common::Expected<profiling::RetentionProfile> loaded =
+        store.load("nope@trefi1.000ms@45.00C");
+    ASSERT_FALSE(loaded.hasValue());
+    EXPECT_EQ(loaded.error().category, common::ErrorCategory::NotFound);
+    EXPECT_FALSE(loaded.error().message.empty());
 }
 
 TEST(Campaign, DefaultCampaignDirReadsEnv)

@@ -1,0 +1,333 @@
+/**
+ * @file
+ * Tests for the observability layer (src/obs/): metric primitives and
+ * registry exporters, the REAPER_OBS mode knob and instrumentation
+ * macros, scoped-span tracing (nesting, ring overflow, Chrome-trace
+ * export), and the serve::Metrics shim over the registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.h"
+#include "serve/metrics.h"
+
+namespace reaper {
+namespace obs {
+namespace {
+
+/** Restore mode + global metric/trace state around every test. */
+class ObsTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        setMode(ObsMode::Off);
+        MetricRegistry::global().resetAll();
+        Tracer::global().clear();
+    }
+    void TearDown() override
+    {
+        setMode(ObsMode::Off);
+        MetricRegistry::global().resetAll();
+        Tracer::global().clear();
+    }
+};
+
+TEST_F(ObsTest, ModeKnobAndPredicates)
+{
+    setMode(ObsMode::Off);
+    EXPECT_FALSE(countersOn());
+    EXPECT_FALSE(traceOn());
+    setMode(ObsMode::Counters);
+    EXPECT_TRUE(countersOn());
+    EXPECT_FALSE(traceOn());
+    setMode(ObsMode::Trace);
+    EXPECT_TRUE(countersOn());
+    EXPECT_TRUE(traceOn());
+
+    EXPECT_STREQ(toString(ObsMode::Off), "off");
+    EXPECT_STREQ(toString(ObsMode::Counters), "counters");
+    EXPECT_STREQ(toString(ObsMode::Trace), "trace");
+}
+
+TEST_F(ObsTest, ConcurrentCounterIncrementsAreExact)
+{
+    MetricRegistry reg;
+    constexpr int kThreads = 8;
+    constexpr uint64_t kPerThread = 20000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&reg] {
+            // Each thread resolves the same named counter — handles
+            // are stable and shared.
+            Counter &c = reg.counter("test.concurrent");
+            for (uint64_t i = 0; i < kPerThread; ++i)
+                c.add();
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    EXPECT_EQ(reg.counter("test.concurrent").value(),
+              kThreads * kPerThread);
+}
+
+TEST_F(ObsTest, GaugeTracksSignedValues)
+{
+    MetricRegistry reg;
+    Gauge &g = reg.gauge("test.depth");
+    g.add(10);
+    g.add(-3);
+    EXPECT_EQ(g.value(), 7);
+    g.set(-5);
+    EXPECT_EQ(g.value(), -5);
+    EXPECT_EQ(reg.snapshot().gaugeValue("test.depth"), -5);
+}
+
+TEST_F(ObsTest, HistogramBucketsAndPercentiles)
+{
+    // Bucket layout is geometric and monotonic.
+    for (size_t i = 1; i < Histogram::kBuckets; ++i)
+        EXPECT_GT(Histogram::bucketHi(i), Histogram::bucketHi(i - 1));
+    EXPECT_EQ(Histogram::bucketOf(0.0), 0u);
+    EXPECT_EQ(Histogram::bucketOf(1e9), Histogram::kBuckets - 1);
+
+    Histogram h;
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0); // empty
+    // 90 fast samples, 10 slow ones.
+    for (int i = 0; i < 90; ++i)
+        h.record(1e-6);
+    for (int i = 0; i < 10; ++i)
+        h.record(1e-2);
+    EXPECT_EQ(h.count(), 100u);
+    // p50 lands in the fast bucket, p99 in the slow one; the estimate
+    // is a bucket upper edge so allow one bucket of slack.
+    EXPECT_LE(h.percentile(0.50), 2e-6);
+    EXPECT_GE(h.percentile(0.95), 5e-3);
+    HistogramSnapshot snap = h.snapshot();
+    EXPECT_EQ(snap.count, 100u);
+    EXPECT_NEAR(snap.sum, 90 * 1e-6 + 10 * 1e-2, 1e-6);
+    EXPECT_GE(snap.maxEdge(), 1e-2);
+}
+
+TEST_F(ObsTest, PrometheusTextExport)
+{
+    MetricRegistry reg;
+    reg.counter("campaign.rounds_completed").add(3);
+    reg.gauge("cache.bytes").set(1024);
+    reg.histogram("serve.latency_seconds").record(1e-4);
+    std::string text = reg.prometheusText();
+
+    // Dots sanitize to underscores, counters gain _total, histograms
+    // emit the cumulative series.
+    EXPECT_NE(text.find("reaper_campaign_rounds_completed_total 3"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("reaper_cache_bytes 1024"), std::string::npos);
+    EXPECT_NE(text.find("reaper_serve_latency_seconds_bucket"),
+              std::string::npos);
+    EXPECT_NE(text.find("reaper_serve_latency_seconds_sum"),
+              std::string::npos);
+    EXPECT_NE(text.find("reaper_serve_latency_seconds_count 1"),
+              std::string::npos);
+    EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
+}
+
+TEST_F(ObsTest, JsonExportContainsEveryMetric)
+{
+    MetricRegistry reg;
+    reg.counter("a.count").add(7);
+    reg.gauge("b.gauge").set(-2);
+    reg.histogram("c.hist").record(0.5);
+    std::string json = reg.json();
+    EXPECT_NE(json.find("\"a.count\""), std::string::npos) << json;
+    EXPECT_NE(json.find("\"b.gauge\""), std::string::npos);
+    EXPECT_NE(json.find("\"c.hist\""), std::string::npos);
+}
+
+TEST_F(ObsTest, ResetAllZeroesEverything)
+{
+    MetricRegistry reg;
+    reg.counter("x").add(5);
+    reg.gauge("y").set(9);
+    reg.histogram("z").record(1.0);
+    reg.resetAll();
+    EXPECT_EQ(reg.counter("x").value(), 0u);
+    EXPECT_EQ(reg.gauge("y").value(), 0);
+    EXPECT_EQ(reg.histogram("z").count(), 0u);
+}
+
+#ifndef REAPER_OBS_COMPILE_OUT
+
+TEST_F(ObsTest, CountMacroRespectsMode)
+{
+    setMode(ObsMode::Off);
+    REAPER_OBS_COUNT("test.macro_gated");
+    EXPECT_EQ(MetricRegistry::global()
+                  .counter("test.macro_gated")
+                  .value(),
+              0u);
+
+    setMode(ObsMode::Counters);
+    REAPER_OBS_COUNT("test.macro_gated");
+    REAPER_OBS_COUNT_N("test.macro_gated", 4);
+    EXPECT_EQ(MetricRegistry::global()
+                  .counter("test.macro_gated")
+                  .value(),
+              5u);
+}
+
+TEST_F(ObsTest, SpansAreFreeUnlessTracing)
+{
+    setMode(ObsMode::Counters);
+    {
+        REAPER_OBS_SPAN(s, "test.untraced");
+    }
+    EXPECT_TRUE(Tracer::global().collect().empty());
+}
+
+TEST_F(ObsTest, SpanNestingIsRecordedWithDepthAndContainment)
+{
+    setMode(ObsMode::Trace);
+    {
+        REAPER_OBS_SPAN(outer, "test.outer");
+        {
+            REAPER_OBS_SPAN(inner, "test.inner");
+        }
+        {
+            REAPER_OBS_SPAN(inner2, "test.inner");
+        }
+    }
+    std::vector<SpanEvent> events = Tracer::global().collect();
+    ASSERT_EQ(events.size(), 3u);
+
+    const SpanEvent *outer = nullptr;
+    std::vector<const SpanEvent *> inner;
+    for (const SpanEvent &e : events) {
+        if (std::string(e.name) == "test.outer")
+            outer = &e;
+        else
+            inner.push_back(&e);
+    }
+    ASSERT_NE(outer, nullptr);
+    ASSERT_EQ(inner.size(), 2u);
+    EXPECT_EQ(outer->depth, 0u);
+    for (const SpanEvent *e : inner) {
+        EXPECT_EQ(e->depth, 1u);
+        EXPECT_EQ(e->tid, outer->tid);
+        // Inner spans nest inside the outer span's interval.
+        EXPECT_GE(e->startNs, outer->startNs);
+        EXPECT_LE(e->startNs + e->durNs,
+                  outer->startNs + outer->durNs);
+    }
+
+    std::string trace = Tracer::global().chromeTraceJson();
+    EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(trace.find("test.outer"), std::string::npos);
+    EXPECT_NE(trace.find("test.inner"), std::string::npos);
+    EXPECT_NE(trace.find("\"ph\": \"X\""), std::string::npos);
+}
+
+TEST_F(ObsTest, ConcurrentSpansKeepPerThreadBuffers)
+{
+    setMode(ObsMode::Trace);
+    constexpr int kThreads = 4;
+    constexpr int kSpansPerThread = 100;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([] {
+            for (int i = 0; i < kSpansPerThread; ++i) {
+                REAPER_OBS_SPAN(s, "test.worker");
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    std::vector<SpanEvent> events = Tracer::global().collect();
+    EXPECT_EQ(events.size(),
+              static_cast<size_t>(kThreads) * kSpansPerThread);
+    // Events come back ordered by start time.
+    for (size_t i = 1; i < events.size(); ++i)
+        EXPECT_GE(events[i].startNs, events[i - 1].startNs);
+}
+
+TEST_F(ObsTest, RingOverflowDropsOldestAndCounts)
+{
+    setMode(ObsMode::Trace);
+    const size_t total = Tracer::kRingCapacity + 100;
+    for (size_t i = 0; i < total; ++i) {
+        REAPER_OBS_SPAN(s, "test.flood");
+    }
+    EXPECT_EQ(Tracer::global().collect().size(),
+              Tracer::kRingCapacity);
+    EXPECT_EQ(Tracer::global().dropped(), 100u);
+}
+
+TEST_F(ObsTest, ExportJsonlOneEventPerLine)
+{
+    setMode(ObsMode::Trace);
+    {
+        REAPER_OBS_SPAN(a, "test.a");
+    }
+    {
+        REAPER_OBS_SPAN(b, "test.b");
+    }
+    std::ostringstream os;
+    Tracer::global().exportJsonl(os);
+    std::string text = os.str();
+    EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
+    EXPECT_NE(text.find("test.a"), std::string::npos);
+    EXPECT_NE(text.find("test.b"), std::string::npos);
+}
+
+#endif // REAPER_OBS_COMPILE_OUT
+
+// serve::Metrics is a shim over a private registry: same API and JSON
+// schema as before the migration, isolated per instance.
+TEST_F(ObsTest, ServeMetricsShimMatchesRegistry)
+{
+    serve::Metrics a;
+    serve::Metrics b;
+    a.recordHit();
+    a.recordMiss();
+    a.recordRejected();
+    a.recordLatency(1e-4);
+
+    serve::MetricsSnapshot snap = a.snapshot();
+    EXPECT_EQ(snap.completed, 1u);
+    EXPECT_EQ(snap.hits, 1u);
+    EXPECT_EQ(snap.misses, 1u);
+    EXPECT_EQ(snap.rejected, 1u);
+    EXPECT_GT(snap.p50Us, 0.0);
+
+    // Instances are isolated metric sets.
+    EXPECT_EQ(b.snapshot().completed, 0u);
+
+    // The backing registry exports the same counts.
+    RegistrySnapshot reg = a.registry().snapshot();
+    EXPECT_EQ(reg.counterValue("serve.hits"), 1u);
+    EXPECT_EQ(reg.counterValue("serve.completed"), 1u);
+    EXPECT_NE(a.registry().prometheusText().find(
+                  "reaper_serve_hits_total 1"),
+              std::string::npos);
+
+    // Legacy JSON schema is unchanged.
+    std::string json = a.json();
+    for (const char *key :
+         {"\"completed\"", "\"hits\"", "\"misses\"",
+          "\"negative_hits\"", "\"unknown\"", "\"rejected\"",
+          "\"latency_us\"", "\"p50\"", "\"p95\"", "\"p99\"",
+          "\"max\""})
+        EXPECT_NE(json.find(key), std::string::npos) << key;
+
+    a.reset();
+    EXPECT_EQ(a.snapshot().completed, 0u);
+}
+
+} // namespace
+} // namespace obs
+} // namespace reaper

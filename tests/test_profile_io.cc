@@ -1,11 +1,15 @@
 /**
  * @file
- * Tests for retention-profile serialization.
+ * Tests for retention-profile serialization: the Expected-returning
+ * primary API (typed error categories), the fatal convenience
+ * variants, and — in one pragma-fenced block — the deprecated bool
+ * wrappers kept for one release.
  */
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "profiling/profile_io.h"
@@ -13,6 +17,8 @@
 namespace reaper {
 namespace profiling {
 namespace {
+
+using common::ErrorCategory;
 
 RetentionProfile
 sampleProfile()
@@ -60,28 +66,29 @@ TEST(ProfileIo, FileRoundTrip)
 {
     std::string path = ::testing::TempDir() + "reaper_profile_test.txt";
     RetentionProfile original = sampleProfile();
-    saveProfileFile(original, path);
-    RetentionProfile loaded = loadProfileFile(path);
-    EXPECT_EQ(loaded.cells(), original.cells());
+    ASSERT_TRUE(writeProfileFile(original, path).hasValue());
+    common::Expected<RetentionProfile> loaded = readProfileFile(path);
+    ASSERT_TRUE(loaded.hasValue());
+    EXPECT_EQ(loaded.value().cells(), original.cells());
     std::remove(path.c_str());
 }
 
 TEST(ProfileIo, RejectsBadMagic)
 {
     std::stringstream ss("NOT-A-PROFILE v1\n");
-    RetentionProfile p;
-    std::string error;
-    EXPECT_FALSE(tryLoadProfile(ss, &p, &error));
-    EXPECT_NE(error.find("magic"), std::string::npos);
+    common::Expected<RetentionProfile> r = readProfile(ss);
+    ASSERT_FALSE(r.hasValue());
+    EXPECT_EQ(r.error().category, ErrorCategory::Parse);
+    EXPECT_NE(r.error().message.find("magic"), std::string::npos);
 }
 
 TEST(ProfileIo, RejectsUnsupportedVersion)
 {
     std::stringstream ss("REAPER-PROFILE v9\n");
-    RetentionProfile p;
-    std::string error;
-    EXPECT_FALSE(tryLoadProfile(ss, &p, &error));
-    EXPECT_NE(error.find("version"), std::string::npos);
+    common::Expected<RetentionProfile> r = readProfile(ss);
+    ASSERT_FALSE(r.hasValue());
+    EXPECT_EQ(r.error().category, ErrorCategory::Parse);
+    EXPECT_NE(r.error().message.find("version"), std::string::npos);
 }
 
 TEST(ProfileIo, RejectsTruncatedCellList)
@@ -92,10 +99,10 @@ TEST(ProfileIo, RejectsTruncatedCellList)
                          "cells 3\n"
                          "0 1\n"
                          "0 2\n");
-    RetentionProfile p;
-    std::string error;
-    EXPECT_FALSE(tryLoadProfile(ss, &p, &error));
-    EXPECT_NE(error.find("truncated"), std::string::npos);
+    common::Expected<RetentionProfile> r = readProfile(ss);
+    ASSERT_FALSE(r.hasValue());
+    EXPECT_EQ(r.error().category, ErrorCategory::Corrupt);
+    EXPECT_NE(r.error().message.find("truncated"), std::string::npos);
 }
 
 TEST(ProfileIo, RejectsIncompleteHeader)
@@ -103,51 +110,63 @@ TEST(ProfileIo, RejectsIncompleteHeader)
     std::stringstream ss("REAPER-PROFILE v1\n"
                          "temperature_c 45\n"
                          "cells 0\n");
-    RetentionProfile p;
-    std::string error;
-    EXPECT_FALSE(tryLoadProfile(ss, &p, &error));
-    EXPECT_NE(error.find("incomplete"), std::string::npos);
+    common::Expected<RetentionProfile> r = readProfile(ss);
+    ASSERT_FALSE(r.hasValue());
+    EXPECT_EQ(r.error().category, ErrorCategory::Parse);
+    EXPECT_NE(r.error().message.find("incomplete"), std::string::npos);
 }
 
 TEST(ProfileIo, RejectsUnknownKey)
 {
     std::stringstream ss("REAPER-PROFILE v1\n"
                          "voltage_mv 1100\n");
-    RetentionProfile p;
-    std::string error;
-    EXPECT_FALSE(tryLoadProfile(ss, &p, &error));
-    EXPECT_NE(error.find("unknown key"), std::string::npos);
+    common::Expected<RetentionProfile> r = readProfile(ss);
+    ASSERT_FALSE(r.hasValue());
+    EXPECT_EQ(r.error().category, ErrorCategory::Parse);
+    EXPECT_NE(r.error().message.find("unknown key"), std::string::npos);
 }
 
 TEST(ProfileIo, RejectsNegativeInterval)
 {
     std::stringstream ss("REAPER-PROFILE v1\n"
                          "refresh_interval_ms -5\n");
-    RetentionProfile p;
-    EXPECT_FALSE(tryLoadProfile(ss, &p));
+    common::Expected<RetentionProfile> r = readProfile(ss);
+    ASSERT_FALSE(r.hasValue());
+    EXPECT_EQ(r.error().category, ErrorCategory::Parse);
 }
 
-TEST(ProfileIo, TrySaveProfileFileRoundTrip)
+TEST(ProfileIo, WriteProfileFileReportsIoOnUnwritablePath)
 {
-    std::string path =
-        ::testing::TempDir() + "reaper_try_save_test.txt";
-    std::string error;
-    EXPECT_TRUE(trySaveProfileFile(sampleProfile(), path, &error))
-        << error;
-    RetentionProfile loaded = loadProfileFile(path);
-    EXPECT_EQ(loaded.cells(), sampleProfile().cells());
+    common::Status st =
+        writeProfileFile(sampleProfile(), "/nonexistent_dir/p.txt");
+    ASSERT_FALSE(st.hasValue());
+    EXPECT_EQ(st.error().category, ErrorCategory::Io);
+    EXPECT_NE(st.error().message.find("cannot open"), std::string::npos);
+}
+
+TEST(ProfileIo, ReadProfileFileReportsIoOnMissingFile)
+{
+    common::Expected<RetentionProfile> r =
+        readProfileFile("/nonexistent/profile.txt");
+    ASSERT_FALSE(r.hasValue());
+    EXPECT_EQ(r.error().category, ErrorCategory::Io);
+    // The diagnostic names the offending path.
+    EXPECT_NE(r.error().message.find("/nonexistent/profile.txt"),
+              std::string::npos);
+}
+
+TEST(ProfileIo, ReadProfileFileKeepsParseCategoryAndAddsPath)
+{
+    std::string path = ::testing::TempDir() + "reaper_bad_profile.txt";
+    {
+        std::ofstream os(path);
+        os << "NOT-A-PROFILE v1\n";
+    }
+    common::Expected<RetentionProfile> r = readProfileFile(path);
+    ASSERT_FALSE(r.hasValue());
+    EXPECT_EQ(r.error().category, ErrorCategory::Parse);
+    EXPECT_NE(r.error().message.find(path), std::string::npos);
     std::remove(path.c_str());
-}
-
-TEST(ProfileIo, TrySaveProfileFileReportsUnwritablePath)
-{
-    std::string error;
-    EXPECT_FALSE(trySaveProfileFile(
-        sampleProfile(), "/nonexistent_dir/profile.txt", &error));
-    EXPECT_FALSE(error.empty());
-    // Null error pointer is allowed.
-    EXPECT_FALSE(trySaveProfileFile(sampleProfile(),
-                                    "/nonexistent_dir/profile.txt"));
 }
 
 TEST(ProfileIo, UnwritablePathIsFatalViaSaveProfileFile)
@@ -160,10 +179,9 @@ TEST(ProfileIo, UnwritablePathIsFatalViaSaveProfileFile)
 TEST(ProfileIo, EmptyStreamFailsWithDiagnostic)
 {
     std::stringstream ss("");
-    RetentionProfile p;
-    std::string error;
-    EXPECT_FALSE(tryLoadProfile(ss, &p, &error));
-    EXPECT_FALSE(error.empty());
+    common::Expected<RetentionProfile> r = readProfile(ss);
+    ASSERT_FALSE(r.hasValue());
+    EXPECT_FALSE(r.error().message.empty());
 }
 
 // Property-style: every line-level truncation of a valid profile must
@@ -184,12 +202,17 @@ TEST(ProfileIo, AllLineTruncationsFailWithDiagnostic)
     for (size_t keep = 0; keep + 1 < line_ends.size(); ++keep) {
         size_t len = keep == 0 ? 0 : line_ends[keep - 1];
         std::stringstream truncated(text.substr(0, len));
-        RetentionProfile p;
-        std::string error;
-        EXPECT_FALSE(tryLoadProfile(truncated, &p, &error))
+        common::Expected<RetentionProfile> r = readProfile(truncated);
+        EXPECT_FALSE(r.hasValue())
             << "prefix of " << keep << " lines parsed successfully";
-        EXPECT_FALSE(error.empty())
-            << "no diagnostic for prefix of " << keep << " lines";
+        if (!r.hasValue()) {
+            EXPECT_FALSE(r.error().message.empty())
+                << "no diagnostic for prefix of " << keep << " lines";
+            EXPECT_TRUE(r.error().category == ErrorCategory::Parse ||
+                        r.error().category == ErrorCategory::Corrupt)
+                << "unexpected category for prefix of " << keep
+                << " lines: " << toString(r.error().category);
+        }
     }
 }
 
@@ -222,11 +245,12 @@ TEST(ProfileIo, TokenMutationsFailWithDiagnostic)
         text.replace(pos, std::string(m.from).size(), m.to);
 
         std::stringstream mutated(text);
-        RetentionProfile p;
-        std::string error;
-        EXPECT_FALSE(tryLoadProfile(mutated, &p, &error))
+        common::Expected<RetentionProfile> r = readProfile(mutated);
+        EXPECT_FALSE(r.hasValue())
             << "mutation '" << m.to << "' parsed successfully";
-        EXPECT_FALSE(error.empty()) << "no diagnostic for " << m.to;
+        if (!r.hasValue())
+            EXPECT_FALSE(r.error().message.empty())
+                << "no diagnostic for " << m.to;
     }
 }
 
@@ -249,6 +273,41 @@ TEST(ProfileIo, LoadedProfileDrivesMitigation)
     EXPECT_EQ(loaded.intersectionSize(original.cells()),
               original.size());
 }
+
+// The deprecated bool wrappers must stay behavior-identical to the
+// Expected API for one release (callers migrate, semantics don't).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+TEST(ProfileIoDeprecated, TryWrappersStillWork)
+{
+    std::string path =
+        ::testing::TempDir() + "reaper_try_save_test.txt";
+    std::string error;
+    EXPECT_TRUE(trySaveProfileFile(sampleProfile(), path, &error))
+        << error;
+    RetentionProfile loaded;
+    {
+        std::ifstream is(path);
+        EXPECT_TRUE(tryLoadProfile(is, &loaded, &error)) << error;
+    }
+    EXPECT_EQ(loaded.cells(), sampleProfile().cells());
+    std::remove(path.c_str());
+
+    // Failures still report a diagnostic (null error ptr allowed).
+    EXPECT_FALSE(trySaveProfileFile(
+        sampleProfile(), "/nonexistent_dir/profile.txt", &error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(trySaveProfileFile(sampleProfile(),
+                                    "/nonexistent_dir/profile.txt"));
+
+    std::stringstream bad("NOT-A-PROFILE v1\n");
+    RetentionProfile p;
+    EXPECT_FALSE(tryLoadProfile(bad, &p, &error));
+    EXPECT_NE(error.find("magic"), std::string::npos);
+}
+
+#pragma GCC diagnostic pop
 
 } // namespace
 } // namespace profiling

@@ -1,7 +1,7 @@
 /**
  * @file
  * Concurrency tests for campaign::ProfileStore: N reader threads
- * hammering tryLoad/has/size/entries while a writer commits — the
+ * hammering load/has/size/entries while a writer commits — the
  * access pattern the serve-layer ProfileCache produces in production.
  * Carries the `sanitize` ctest label; run under
  * -DREAPER_SANITIZE=thread to let TSan check the shared_mutex
@@ -71,14 +71,16 @@ TEST(ProfileStoreConcurrent, ReadersRaceOneWriter)
             Rng rng(1000 + t);
             while (!stop.load(std::memory_order_relaxed)) {
                 size_t i = rng.uniformInt(kPreloaded + kCommits);
-                profiling::RetentionProfile p;
-                std::string error;
-                bool ok = store.tryLoad(keyOf(i), &p, &error);
+                common::Expected<profiling::RetentionProfile> p =
+                    store.load(keyOf(i));
                 // A loaded profile is always complete: commits rename
                 // atomically, so readers never see a torn file.
-                if (ok)
-                    EXPECT_EQ(p.size(), 50u);
-                found += ok;
+                if (p.hasValue())
+                    EXPECT_EQ(p.value().size(), 50u);
+                else
+                    EXPECT_EQ(p.error().category,
+                              common::ErrorCategory::NotFound);
+                found += p.hasValue();
                 store.has(keyOf(i));
                 (void)store.size();
                 (void)store.entries();
@@ -130,10 +132,10 @@ TEST(ProfileStoreConcurrent, ConcurrentLoadOrProfileConverges)
     EXPECT_GE(profiled.load(), 6);
     EXPECT_EQ(store.size(), 6u);
     for (size_t i = 0; i < 6; ++i) {
-        profiling::RetentionProfile p;
-        std::string error;
-        EXPECT_TRUE(store.tryLoad(keyOf(i), &p, &error)) << error;
-        EXPECT_EQ(p.size(), 50u);
+        common::Expected<profiling::RetentionProfile> p =
+            store.load(keyOf(i));
+        ASSERT_TRUE(p.hasValue()) << p.error().describe();
+        EXPECT_EQ(p.value().size(), 50u);
     }
 }
 

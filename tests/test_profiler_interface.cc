@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Tests for the abstract profiling::Profiler interface and its
+ * string-keyed factory: factory-built profilers are bit-identical to
+ * directly constructed ones, error reporting is typed (NotFound /
+ * InvalidConfig / Fault), and the campaign layer runs rounds through
+ * any registered mechanism by name.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <memory>
+
+#include "campaign/campaign.h"
+#include "campaign/faulty_host.h"
+#include "profiling/brute_force.h"
+#include "profiling/ecc_scrub.h"
+#include "profiling/profiler.h"
+#include "profiling/reach.h"
+
+namespace reaper {
+namespace profiling {
+namespace {
+
+using common::ErrorCategory;
+
+dram::ModuleConfig
+testModule(uint64_t seed = 1)
+{
+    dram::ModuleConfig cfg;
+    cfg.numChips = 1;
+    cfg.chipCapacityBits = 1ull << 30; // 128 MB
+    cfg.seed = seed;
+    cfg.envelope = {2.5, 50.0};
+    return cfg;
+}
+
+testbed::HostConfig
+instantHost()
+{
+    testbed::HostConfig h;
+    h.useChamber = false;
+    return h;
+}
+
+ProfilerSpec
+smallSpec()
+{
+    ProfilerSpec spec;
+    spec.iterations = 2;
+    return spec;
+}
+
+/** Run one round of `p` on a freshly seeded module. */
+ProfilingResult
+runOn(const Profiler &p, uint64_t seed,
+      Conditions target = {1.024, 45.0})
+{
+    dram::DramModule m(testModule(seed));
+    testbed::SoftMcHost host(m, instantHost());
+    common::Expected<ProfilingResult> r = p.profile(host, target);
+    EXPECT_TRUE(r.hasValue())
+        << p.name() << ": " << r.error().describe();
+    return std::move(r).value();
+}
+
+TEST(ProfilerFactory, ListsBuiltinsSorted)
+{
+    std::vector<std::string> names = profilerNames();
+    EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+    for (const char *builtin : {"brute_force", "ecc_scrub", "reach"})
+        EXPECT_NE(std::find(names.begin(), names.end(), builtin),
+                  names.end())
+            << builtin;
+}
+
+TEST(ProfilerFactory, BuiltProfilersReportTheirRegistryName)
+{
+    for (const char *name : {"brute_force", "reach", "ecc_scrub"}) {
+        auto p = makeProfiler(name, smallSpec());
+        ASSERT_TRUE(p.hasValue()) << p.error().describe();
+        EXPECT_EQ(p.value()->name(), name);
+    }
+}
+
+TEST(ProfilerFactory, UnknownNameReportsNotFound)
+{
+    auto p = makeProfiler("quantum_annealer");
+    ASSERT_FALSE(p.hasValue());
+    EXPECT_EQ(p.error().category, ErrorCategory::NotFound);
+    // The diagnostic lists what IS registered.
+    EXPECT_NE(p.error().message.find("brute_force"),
+              std::string::npos);
+}
+
+TEST(ProfilerFactory, DuplicateRegistrationIsRejected)
+{
+    EXPECT_FALSE(registerProfiler(
+        "brute_force", [](const ProfilerSpec &spec) {
+            return std::unique_ptr<Profiler>(
+                new BruteForceProfiler(spec));
+        }));
+    // The original stays in place.
+    auto p = makeProfiler("brute_force", smallSpec());
+    ASSERT_TRUE(p.hasValue());
+    EXPECT_EQ(p.value()->name(), "brute_force");
+}
+
+TEST(ProfilerFactory, NewMechanismPlugsIn)
+{
+    // A mechanism the library has never heard of registers and then
+    // builds through the same factory path as the built-ins.
+    ASSERT_TRUE(registerProfiler(
+        "test_only_alias", [](const ProfilerSpec &spec) {
+            return std::unique_ptr<Profiler>(
+                new BruteForceProfiler(spec));
+        }));
+    auto names = profilerNames();
+    EXPECT_NE(
+        std::find(names.begin(), names.end(), "test_only_alias"),
+        names.end());
+    auto p = makeProfiler("test_only_alias", smallSpec());
+    ASSERT_TRUE(p.hasValue()) << p.error().describe();
+    EXPECT_EQ(runOn(*p.value(), 7).profile.cells(),
+              runOn(BruteForceProfiler(smallSpec()), 7).profile.cells());
+}
+
+// The factory is a construction convenience, not a behaviour fork:
+// a factory-built profiler and a directly constructed one must
+// produce bit-identical profiles on identically seeded modules.
+TEST(ProfilerInterface, FactoryMatchesDirectBruteForce)
+{
+    auto fp = makeProfiler("brute_force", smallSpec());
+    ASSERT_TRUE(fp.hasValue());
+    ProfilingResult a = runOn(*fp.value(), 11);
+    ProfilingResult b = runOn(BruteForceProfiler(smallSpec()), 11);
+    EXPECT_EQ(a.profile.cells(), b.profile.cells());
+    EXPECT_EQ(a.iterationsRun, b.iterationsRun);
+    EXPECT_DOUBLE_EQ(a.runtime, b.runtime);
+    EXPECT_EQ(a.discoveryCurve, b.discoveryCurve);
+}
+
+TEST(ProfilerInterface, FactoryMatchesDirectReach)
+{
+    ProfilerSpec spec = smallSpec();
+    spec.reachDeltaRefresh = 0.250;
+    auto fp = makeProfiler("reach", spec);
+    ASSERT_TRUE(fp.hasValue());
+    ProfilingResult a = runOn(*fp.value(), 12);
+    ProfilingResult b = runOn(ReachProfiler(spec), 12);
+    EXPECT_EQ(a.profile.cells(), b.profile.cells());
+    EXPECT_DOUBLE_EQ(a.runtime, b.runtime);
+}
+
+TEST(ProfilerInterface, FactoryMatchesDirectEccScrub)
+{
+    auto fp = makeProfiler("ecc_scrub", smallSpec());
+    ASSERT_TRUE(fp.hasValue());
+    ProfilingResult a = runOn(*fp.value(), 13);
+    ProfilingResult b = runOn(EccScrubProfiler(smallSpec()), 13);
+    EXPECT_EQ(a.profile.cells(), b.profile.cells());
+    EXPECT_DOUBLE_EQ(a.runtime, b.runtime);
+}
+
+TEST(ProfilerInterface, BadSpecReportsInvalidConfig)
+{
+    dram::DramModule m(testModule(20));
+    testbed::SoftMcHost host(m, instantHost());
+
+    ProfilerSpec zero_iters;
+    zero_iters.iterations = 0;
+    for (const char *name : {"brute_force", "reach", "ecc_scrub"}) {
+        auto p = makeProfiler(name, zero_iters);
+        ASSERT_TRUE(p.hasValue());
+        auto r = p.value()->profile(host, {1.024, 45.0});
+        ASSERT_FALSE(r.hasValue()) << name;
+        EXPECT_EQ(r.error().category, ErrorCategory::InvalidConfig)
+            << name;
+    }
+
+    ProfilerSpec no_patterns;
+    no_patterns.patterns.clear();
+    for (const char *name : {"brute_force", "reach"}) {
+        auto p = makeProfiler(name, no_patterns);
+        ASSERT_TRUE(p.hasValue());
+        auto r = p.value()->profile(host, {1.024, 45.0});
+        ASSERT_FALSE(r.hasValue()) << name;
+        EXPECT_EQ(r.error().category, ErrorCategory::InvalidConfig)
+            << name;
+    }
+}
+
+TEST(ProfilerInterface, TransientHostFaultReportsFaultCategory)
+{
+    dram::DramModule m(testModule(21));
+    campaign::FaultConfig faults;
+    faults.seed = 5;
+    faults.commandTimeoutRate = 1.0; // first command always faults
+    campaign::FaultyHost host(m, instantHost(), faults, 0);
+
+    auto p = makeProfiler("brute_force", smallSpec());
+    ASSERT_TRUE(p.hasValue());
+    auto r = p.value()->profile(host, {1.024, 45.0});
+    ASSERT_FALSE(r.hasValue());
+    EXPECT_EQ(r.error().category, ErrorCategory::Fault);
+    EXPECT_FALSE(r.error().message.empty());
+}
+
+TEST(ProfilerInterface, CampaignRoundResolvesByName)
+{
+    campaign::RoundSpec by_name;
+    by_name.profilerName = "ecc_scrub";
+    EXPECT_EQ(campaign::resolvedProfilerName(by_name), "ecc_scrub");
+
+    campaign::RoundSpec by_enum;
+    by_enum.profiler = campaign::ProfilerKind::BruteForce;
+    EXPECT_EQ(campaign::resolvedProfilerName(by_enum), "brute_force");
+
+    // Name and enum spellings of the same mechanism are equivalent —
+    // they resolve (and therefore fingerprint) identically.
+    campaign::RoundSpec by_name2;
+    by_name2.profilerName = "brute_force";
+    EXPECT_EQ(campaign::resolvedProfilerName(by_name2),
+              campaign::resolvedProfilerName(by_enum));
+}
+
+TEST(ProfilerInterface, CampaignRunsNamedProfilerEndToEnd)
+{
+    namespace fs = std::filesystem;
+    fs::path dir = fs::path(::testing::TempDir()) /
+                   "reaper_named_profiler_campaign";
+    fs::remove_all(dir);
+
+    campaign::CampaignConfig cfg;
+    cfg.dir = dir.string();
+    cfg.name = "named-profiler";
+    cfg.baseSeed = 31;
+    cfg.chips = campaign::makeChipFleet(2, cfg.baseSeed, 1ull << 26,
+                                        {2.4, 52.0});
+    campaign::RoundSpec round;
+    round.target = {msToSec(1024.0), 45.0};
+    round.profilerName = "ecc_scrub";
+    round.iterations = 2;
+    cfg.rounds = {round};
+    cfg.host.useChamber = false;
+    cfg.fleet.threads = 1;
+
+    campaign::CampaignStats stats = campaign::runCampaign(cfg);
+    EXPECT_TRUE(stats.complete());
+
+    campaign::ProfileStore store(cfg.dir + "/store");
+    EXPECT_EQ(store.size(), cfg.chips.size());
+}
+
+TEST(ProfilerInterface, CampaignRejectsUnknownProfilerName)
+{
+    namespace fs = std::filesystem;
+    fs::path dir = fs::path(::testing::TempDir()) /
+                   "reaper_unknown_profiler_campaign";
+    fs::remove_all(dir);
+
+    campaign::CampaignConfig cfg;
+    cfg.dir = dir.string();
+    cfg.name = "unknown-profiler";
+    cfg.baseSeed = 32;
+    cfg.chips = campaign::makeChipFleet(1, cfg.baseSeed, 1ull << 26,
+                                        {2.4, 52.0});
+    campaign::RoundSpec round;
+    round.target = {msToSec(1024.0), 45.0};
+    round.profilerName = "does_not_exist";
+    cfg.rounds = {round};
+    cfg.host.useChamber = false;
+
+    EXPECT_THROW(campaign::runCampaign(cfg),
+                 campaign::CampaignError);
+}
+
+} // namespace
+} // namespace profiling
+} // namespace reaper
