@@ -110,13 +110,23 @@ main()
               << spec.iterations
               << " iterations; hardware concurrency = " << hw << "\n\n";
 
+    // On a single-core host a multi-thread sweep measures only
+    // scheduler noise; run the 1-thread row and say so in the JSON
+    // rather than publishing meaningless "speedups".
+    bool sweep_skipped = hw == 1;
     std::vector<unsigned> thread_counts = {1, 2, 8};
-    unsigned requested = bench::benchThreads();
-    bool listed = false;
-    for (unsigned t : thread_counts)
-        listed = listed || t == requested;
-    if (!listed)
-        thread_counts.push_back(requested);
+    if (sweep_skipped) {
+        thread_counts = {1};
+        std::cout << "(single hardware thread: skipping the "
+                     "multi-thread sweep rows)\n\n";
+    } else {
+        unsigned requested = bench::benchThreads();
+        bool listed = false;
+        for (unsigned t : thread_counts)
+            listed = listed || t == requested;
+        if (!listed)
+            thread_counts.push_back(requested);
+    }
 
     TablePrinter table({"threads", "wall time", "chips/sec",
                         "Mreads/sec", "speedup vs 1", "checksum"});
@@ -150,6 +160,8 @@ main()
     json << "{\n"
          << "  \"bench\": \"fleet\",\n"
          << "  \"hardware_concurrency\": " << hw << ",\n"
+         << "  \"sweep_skipped_single_core\": "
+         << (sweep_skipped ? "true" : "false") << ",\n"
          << "  \"quick_mode\": "
          << (bench::quickMode() ? "true" : "false") << ",\n"
          << "  \"chips\": " << spec.chips << ",\n"

@@ -271,7 +271,16 @@ main()
     // ---- Part 2: engine QPS + latency vs worker count ----
     unsigned hw = std::thread::hardware_concurrency();
     const unsigned producers = 2;
-    std::vector<unsigned> worker_counts = {1, 2, 4};
+    // Single-core hosts can't scale workers; publish only the
+    // 1-worker row and flag the skip in the JSON (same honesty
+    // convention as BENCH_fleet.json).
+    bool sweep_skipped = hw == 1;
+    std::vector<unsigned> worker_counts =
+        sweep_skipped ? std::vector<unsigned>{1}
+                      : std::vector<unsigned>{1, 2, 4};
+    if (sweep_skipped)
+        std::cout << "(single hardware thread: skipping the "
+                     "multi-worker sweep rows)\n";
     std::vector<EngineRun> runs;
     TablePrinter engine_table({"workers", "QPS", "hit rate", "p50 us",
                                "p95 us", "p99 us", "speedup vs 1"});
@@ -368,6 +377,8 @@ main()
     json << "{\n"
          << "  \"bench\": \"serve\",\n"
          << "  \"hardware_concurrency\": " << hw << ",\n"
+         << "  \"sweep_skipped_single_core\": "
+         << (sweep_skipped ? "true" : "false") << ",\n"
          << "  \"quick_mode\": "
          << (bench::quickMode() ? "true" : "false") << ",\n"
          << "  \"profiles\": " << num_profiles << ",\n"

@@ -28,6 +28,9 @@
  *   --profiler NAME     use one registered profiler for every round
  *                       (see profiling::profilerNames()) instead of
  *                       the default brute-force/reach alternation
+ *   --profile-format F  store profile format: v2|binary (default) or
+ *                       v1|text; existing files in either format keep
+ *                       loading on resume
  *   --obs-dump PATH     write Chrome trace (PATH) + Prometheus text
  *                       (PATH.prom) at exit; pair with REAPER_OBS=
  *                       counters|trace
@@ -69,6 +72,8 @@ usage(const char *argv0)
         first = false;
     }
     std::cerr << ")\n"
+              << "  --profile-format F  v2|binary (default) or "
+                 "v1|text\n"
               << "  --obs-dump PATH     write Chrome trace + "
                  "PATH.prom at exit\n";
     std::exit(2);
@@ -86,6 +91,8 @@ main(int argc, char **argv)
     unsigned threads = 0;
     double fault_rate = 0.0;
     std::string profiler_name, obs_dump;
+    profiling::ProfileFormat profile_format =
+        profiling::ProfileFormat::BinaryV2;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -116,7 +123,15 @@ main(int argc, char **argv)
             interrupt_after = std::stoul(next());
         else if (arg == "--profiler")
             profiler_name = next();
-        else if (arg == "--obs-dump")
+        else if (arg == "--profile-format") {
+            common::Expected<profiling::ProfileFormat> parsed =
+                profiling::parseProfileFormat(next());
+            if (!parsed) {
+                std::cerr << parsed.error().describe() << "\n";
+                usage(argv[0]);
+            }
+            profile_format = parsed.value();
+        } else if (arg == "--obs-dump")
             obs_dump = next();
         else
             usage(argv[0]);
@@ -163,6 +178,7 @@ main(int argc, char **argv)
     cfg.faults.readCorruptionRate = fault_rate;
     cfg.retry.maxAttempts = max_attempts;
     cfg.fleet.threads = threads;
+    cfg.profileFormat = profile_format;
     cfg.interruptAfter = interrupt_after;
 
     std::cout << "Campaign: " << chips << " chips x " << rounds

@@ -27,6 +27,9 @@
  *                       (default 0.01)
  *   --bloom             use Bloom-filter directories (over-refresh
  *                       only, smaller footprint)
+ *   --profile-format F  format for newly committed profiles (demo
+ *                       seeding): v2|binary (default) or v1|text;
+ *                       stored profiles in either format are served
  *   --seed S            workload seed (default 1)
  *   --obs-dump PATH     write Chrome trace (PATH) + Prometheus text
  *                       (PATH.prom) at exit; pair with REAPER_OBS=
@@ -58,6 +61,8 @@ usage(const char *argv0)
               << "  --unknown-frac R  absent-key fraction (default "
                  "0.01)\n"
               << "  --bloom           Bloom-filter directories\n"
+              << "  --profile-format F  v2|binary (default) or "
+                 "v1|text\n"
               << "  --seed S          workload seed (default 1)\n"
               << "  --obs-dump PATH   write Chrome trace + PATH.prom "
                  "at exit\n";
@@ -102,6 +107,8 @@ main(int argc, char **argv)
     double zipf = 0.99, unknown_frac = 0.01;
     bool bloom = false;
     std::string obs_dump;
+    profiling::ProfileFormat profile_format =
+        profiling::ProfileFormat::BinaryV2;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -124,7 +131,15 @@ main(int argc, char **argv)
             unknown_frac = std::stod(next());
         else if (arg == "--bloom")
             bloom = true;
-        else if (arg == "--seed")
+        else if (arg == "--profile-format") {
+            common::Expected<profiling::ProfileFormat> parsed =
+                profiling::parseProfileFormat(next());
+            if (!parsed) {
+                std::cerr << parsed.error().describe() << "\n";
+                usage(argv[0]);
+            }
+            profile_format = parsed.value();
+        } else if (arg == "--seed")
             seed = std::stoull(next());
         else if (arg == "--obs-dump")
             obs_dump = next();
@@ -132,7 +147,7 @@ main(int argc, char **argv)
             usage(argv[0]);
     }
 
-    campaign::ProfileStore store(dir);
+    campaign::ProfileStore store(dir, profile_format);
     if (store.size() == 0)
         seedDemoStore(store);
     std::vector<std::string> keys;

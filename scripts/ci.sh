@@ -28,6 +28,11 @@ echo "=== tier-1: ctest ==="
 echo "=== bench smoke: bench_serve (REAPER_BENCH_QUICK=1) ==="
 (cd build && REAPER_BENCH_QUICK=1 ./bench/bench_serve > /dev/null)
 
+# bench_io exits nonzero when the v2 binary read path is slower than
+# the v1 text one or a round trip is not bit-exact.
+echo "=== bench smoke: bench_io (v2 read >= v1 read) ==="
+(cd build && REAPER_BENCH_QUICK=1 ./bench/bench_io > /dev/null)
+
 echo "=== obs smoke: counters-mode run exports Prometheus text ==="
 (
     cd build

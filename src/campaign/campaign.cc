@@ -254,7 +254,8 @@ runCampaign(const CampaignConfig &cfg)
     const uint64_t fingerprint = campaignFingerprint(cfg);
     writeManifestIfAbsent(cfg, fingerprint);
 
-    ProfileStore store((fs::path(cfg.dir) / "store").string());
+    ProfileStore store((fs::path(cfg.dir) / "store").string(),
+                       cfg.profileFormat);
     common::Expected<std::unique_ptr<CampaignJournal>> opened =
         CampaignJournal::open(
             (fs::path(cfg.dir) / "journal.log").string(), fingerprint);

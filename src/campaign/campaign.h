@@ -123,6 +123,14 @@ struct CampaignConfig
     /** Worker threads; results are identical for any value. */
     eval::FleetOptions fleet{};
     /**
+     * On-disk format for store commits (--profile-format). Does not
+     * enter the campaign fingerprint: profile *contents* are
+     * format-independent, so a resume may legitimately switch formats
+     * and the store ends up mixed — the sniffing reader handles that.
+     */
+    profiling::ProfileFormat profileFormat =
+        profiling::ProfileFormat::BinaryV2;
+    /**
      * Test/bench hook simulating a kill: once this many rounds have
      * committed in this run, stop dispatching further tasks (0 = run
      * to completion). In-flight rounds still commit, exactly as a

@@ -107,14 +107,6 @@ CampaignJournal::open(const std::string &path, uint64_t fingerprint)
     return journal;
 }
 
-CampaignJournal::CampaignJournal(const std::string &path,
-                                 uint64_t fingerprint)
-{
-    common::Status st = init(path, fingerprint);
-    if (!st)
-        throw CampaignError(st.error().describe());
-}
-
 void
 CampaignJournal::append(const RoundRecord &rec)
 {

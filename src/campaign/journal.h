@@ -64,12 +64,6 @@ class CampaignJournal
     static common::Expected<std::unique_ptr<CampaignJournal>>
     open(const std::string &path, uint64_t fingerprint);
 
-    /**
-     * Throwing convenience form of open(): any error becomes a
-     * CampaignError carrying the described diagnostic.
-     */
-    CampaignJournal(const std::string &path, uint64_t fingerprint);
-
     /** Rounds completed so far (journaled plus appended this run). */
     const std::vector<RoundRecord> &completed() const
     {

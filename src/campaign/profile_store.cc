@@ -17,7 +17,11 @@ namespace campaign {
 
 namespace {
 
-constexpr const char *kIndexMagic = "REAPER-PROFILE-INDEX v1";
+/** Current index header: rows carry a format column. The v1 header
+ *  (rows without the column) is still accepted on load, so stores
+ *  written by older builds open cleanly. */
+constexpr const char *kIndexMagic = "REAPER-PROFILE-INDEX v2";
+constexpr const char *kIndexMagicV1 = "REAPER-PROFILE-INDEX v1";
 constexpr const char *kIndexName = "index.txt";
 constexpr const char *kProfileExt = ".profile";
 
@@ -43,7 +47,9 @@ fileSafe(char c)
 
 } // namespace
 
-ProfileStore::ProfileStore(const std::string &dir) : dir_(dir)
+ProfileStore::ProfileStore(const std::string &dir,
+                           profiling::ProfileFormat format)
+    : dir_(dir), format_(format)
 {
     std::error_code ec;
     fs::create_directories(dir_, ec);
@@ -84,7 +90,11 @@ ProfileStore::loadIndex()
     if (!is)
         return; // fresh store (or index lost; the scan recovers)
     std::string line;
-    if (!std::getline(is, line) || line != kIndexMagic)
+    if (!std::getline(is, line))
+        throw CampaignError("profile store: bad index header in '" +
+                            dir_ + "'");
+    bool v1 = line == kIndexMagicV1;
+    if (!v1 && line != kIndexMagic)
         throw CampaignError("profile store: bad index header in '" +
                             dir_ + "'");
     while (std::getline(is, line)) {
@@ -95,6 +105,23 @@ ProfileStore::loadIndex()
         if (!(row >> e.key >> e.file >> e.cells))
             throw CampaignError("profile store: malformed index row '" +
                                 line + "'");
+        if (v1) {
+            // v1 rows predate the binary format: text on disk.
+            e.format = profiling::ProfileFormat::TextV1;
+        } else {
+            std::string fmt;
+            if (!(row >> fmt))
+                throw CampaignError(
+                    "profile store: malformed index row '" + line +
+                    "'");
+            common::Expected<profiling::ProfileFormat> parsed =
+                profiling::parseProfileFormat(fmt);
+            if (!parsed)
+                throw CampaignError(
+                    "profile store: malformed index row '" + line +
+                    "': " + parsed.error().describe());
+            e.format = parsed.value();
+        }
         index_[e.key] = e;
     }
 }
@@ -122,8 +149,12 @@ ProfileStore::scanForUnindexed()
                  profile.error().describe().c_str());
             continue;
         }
+        common::Expected<profiling::ProfileFormat> sniffed =
+            profiling::sniffProfileFormat(p.string());
         index_[key] = {key, p.filename().string(),
-                       profile.value().size()};
+                       profile.value().size(),
+                       sniffed ? sniffed.value()
+                               : profiling::ProfileFormat::TextV1};
         recovered = true;
     }
     // Entries whose backing file vanished are useless; drop them.
@@ -174,23 +205,6 @@ ProfileStore::load(const std::string &key) const
     return profiling::readProfileFile(path.string());
 }
 
-bool
-ProfileStore::tryLoad(const std::string &key,
-                      profiling::RetentionProfile *out,
-                      std::string *error) const
-{
-    if (!out)
-        panic("ProfileStore::tryLoad: out must not be null");
-    common::Expected<profiling::RetentionProfile> result = load(key);
-    if (!result) {
-        if (error)
-            *error = result.error().message;
-        return false;
-    }
-    *out = std::move(result).value();
-    return true;
-}
-
 profiling::RetentionProfile
 ProfileStore::loadOrProfile(
     const std::string &key,
@@ -222,13 +236,14 @@ ProfileStore::commit(const std::string &key,
     // temp files or index rewrites.
     std::unique_lock<std::shared_mutex> lock(mutex_);
     common::Status written =
-        profiling::writeProfileFile(profile, tmp_path.string());
+        profiling::writeProfileFile(profile, tmp_path.string(),
+                                    format_);
     if (!written)
         throw CampaignError("profile store: commit of '" + key +
                             "' failed: " +
                             written.error().describe());
     atomicRename(tmp_path, final_path);
-    index_[key] = {key, file, profile.size()};
+    index_[key] = {key, file, profile.size(), format_};
     writeIndexLocked();
     REAPER_OBS_COUNT("campaign.store_commits");
 }
@@ -258,7 +273,7 @@ ProfileStore::writeIndexLocked() const
         os << kIndexMagic << "\n";
         for (const auto &[key, entry] : index_)
             os << entry.key << " " << entry.file << " " << entry.cells
-               << "\n";
+               << " " << profiling::toString(entry.format) << "\n";
         os.flush();
         if (!os)
             throw CampaignError("profile store: write to '" +

@@ -43,6 +43,10 @@ struct StoreEntry
     std::string key;  ///< profile key (chip id + conditions)
     std::string file; ///< file name within the store directory
     uint64_t cells = 0;
+    /** On-disk format of the file (the sniffing reader accepts either;
+     *  this records what commit wrote, or what recovery sniffed). */
+    profiling::ProfileFormat format =
+        profiling::ProfileFormat::BinaryV2;
 };
 
 /** Directory-backed profile store with an index file. */
@@ -54,8 +58,14 @@ class ProfileStore
      * recovering entries for any profile files the index misses.
      * Throws CampaignError when the directory cannot be created or the
      * index is unreadable.
+     *
+     * `format` governs what commit() writes from now on; existing
+     * files in either format keep loading through the sniffing reader,
+     * so a directory may legitimately hold a v1/v2 mix.
      */
-    explicit ProfileStore(const std::string &dir);
+    explicit ProfileStore(const std::string &dir,
+                          profiling::ProfileFormat format =
+                              profiling::ProfileFormat::BinaryV2);
 
     /**
      * The canonical key of a profile: chip id plus the conditions it
@@ -73,17 +83,6 @@ class ProfileStore
      */
     common::Expected<profiling::RetentionProfile>
     load(const std::string &key) const;
-
-    /**
-     * Load a stored profile.
-     * @return whether the key exists and its file parsed cleanly
-     *         (diagnostic in *error otherwise, if non-null)
-     * @deprecated use load(), which reports a typed error
-     */
-    [[deprecated("use load()")]]
-    bool tryLoad(const std::string &key,
-                 profiling::RetentionProfile *out,
-                 std::string *error = nullptr) const;
 
     /**
      * The load-or-reprofile lookup: return the stored profile when the
@@ -110,6 +109,9 @@ class ProfileStore
 
     const std::string &dir() const { return dir_; }
 
+    /** The format commit() writes. */
+    profiling::ProfileFormat format() const { return format_; }
+
     /** The file name a key is stored under. */
     static std::string fileNameForKey(const std::string &key);
 
@@ -120,6 +122,7 @@ class ProfileStore
     void writeIndexLocked() const;
 
     std::string dir_;
+    profiling::ProfileFormat format_;
     /** Guards index_. Reads take shared, commits take exclusive. */
     mutable std::shared_mutex mutex_;
     std::map<std::string, StoreEntry> index_;

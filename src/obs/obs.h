@@ -109,6 +109,10 @@ void dumpTo(const std::string &path);
     do {                                                               \
         (void)(n);                                                     \
     } while (0)
+#define REAPER_OBS_HIST(name, seconds)                                 \
+    do {                                                               \
+        (void)(seconds);                                               \
+    } while (0)
 #define REAPER_OBS_SPAN(var, name)                                     \
     do {} while (0)
 
@@ -126,6 +130,18 @@ void dumpTo(const std::string &path);
                 ::reaper::obs::MetricRegistry::global().counter(name); \
             reaper_obs_counter_.add(                                   \
                 static_cast<uint64_t>(n));                             \
+        }                                                              \
+    } while (0)
+
+/** Record one sample (in seconds) into the global histogram `name`
+ *  (gated on REAPER_OBS, same cost model as REAPER_OBS_COUNT). */
+#define REAPER_OBS_HIST(name, seconds)                                 \
+    do {                                                               \
+        if (::reaper::obs::countersOn()) {                             \
+            static ::reaper::obs::Histogram &reaper_obs_hist_ =        \
+                ::reaper::obs::MetricRegistry::global().histogram(     \
+                    name);                                             \
+            reaper_obs_hist_.record(seconds);                          \
         }                                                              \
     } while (0)
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/logging.h"
+
 namespace reaper {
 namespace profiling {
 
@@ -18,6 +20,16 @@ RetentionProfile::add(const std::vector<dram::ChipFailure> &failures)
     std::set_union(cells_.begin(), cells_.end(), sorted.begin(),
                    sorted.end(), std::back_inserter(merged));
     cells_ = std::move(merged);
+}
+
+void
+RetentionProfile::adoptSorted(std::vector<dram::ChipFailure> &&cells)
+{
+    for (size_t i = 1; i < cells.size(); ++i)
+        if (!(cells[i - 1] < cells[i]))
+            panic("RetentionProfile::adoptSorted: cells not strictly "
+                  "increasing at index %zu", i);
+    cells_ = std::move(cells);
 }
 
 void

@@ -37,6 +37,16 @@ class RetentionProfile
     /** Merge a batch of failures into the profile. */
     void add(const std::vector<dram::ChipFailure> &failures);
 
+    /**
+     * Take ownership of an already sorted, unique cell list without
+     * re-sorting — the fast deserialization path (the v2 binary
+     * reader decodes cells in order and proves strict monotonicity as
+     * it goes). Replaces the current cells. panic()s on an ordering
+     * violation: passing unsorted data here is a caller bug, not a
+     * recoverable error.
+     */
+    void adoptSorted(std::vector<dram::ChipFailure> &&cells);
+
     /** Merge another profile's cells. */
     void merge(const RetentionProfile &other);
 

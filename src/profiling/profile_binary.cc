@@ -1,0 +1,459 @@
+#include "profiling/profile_binary.h"
+
+#include <algorithm>
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include "common/logging.h"
+
+namespace reaper {
+namespace profiling {
+
+using common::Error;
+using common::Expected;
+using common::Status;
+
+namespace {
+
+constexpr uint8_t kMagic[8] = {0x89, 'R', 'P', 'F', '2',
+                               0x0D, 0x0A, 0x1A};
+constexpr uint8_t kEndMagic[4] = {'R', 'P', 'N', 'D'};
+constexpr uint32_t kVersion = 2;
+constexpr size_t kHeaderBytes = 44;
+constexpr size_t kFooterBytes = 12;
+/** A varint cell costs at most 2 x 10 bytes; anything bigger than the
+ *  worst case for the block's cell budget is a corrupt length. */
+constexpr size_t kMaxVarintBytes = 10;
+/** Cap the decode-side reserve so a hostile header claiming 10^12
+ *  cells cannot trigger a huge up-front allocation; the vector still
+ *  grows geometrically past this if the cells really are there. */
+constexpr uint64_t kReserveClampCells = 1u << 20;
+
+// --- little-endian scalar packing (works on any host endianness) ---
+
+void
+putU32(uint8_t *p, uint32_t v)
+{
+    p[0] = static_cast<uint8_t>(v);
+    p[1] = static_cast<uint8_t>(v >> 8);
+    p[2] = static_cast<uint8_t>(v >> 16);
+    p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+void
+putU64(uint8_t *p, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        p[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+void
+putF64(uint8_t *p, double v)
+{
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    putU64(p, bits);
+}
+
+uint32_t
+getU32(const uint8_t *p)
+{
+    return static_cast<uint32_t>(p[0]) |
+           static_cast<uint32_t>(p[1]) << 8 |
+           static_cast<uint32_t>(p[2]) << 16 |
+           static_cast<uint32_t>(p[3]) << 24;
+}
+
+uint64_t
+getU64(const uint8_t *p)
+{
+    uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = v << 8 | p[i];
+    return v;
+}
+
+double
+getF64(const uint8_t *p)
+{
+    uint64_t bits = getU64(p);
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+/** Decode one LEB128 varint from [p, end); nullptr on overrun or a
+ *  non-canonical >64-bit encoding. */
+const uint8_t *
+getVarint(const uint8_t *p, const uint8_t *end, uint64_t *out)
+{
+    uint64_t v = 0;
+    unsigned shift = 0;
+    while (p != end && shift < 64) {
+        uint8_t byte = *p++;
+        v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+        if (!(byte & 0x80)) {
+            *out = v;
+            return p;
+        }
+        shift += 7;
+    }
+    return nullptr;
+}
+
+} // namespace
+
+// --- CRC32C (Castagnoli 0x1EDC6F41, reflected), slicing-by-4 ---
+
+namespace {
+
+struct Crc32cTables
+{
+    uint32_t t[4][256];
+
+    Crc32cTables()
+    {
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0x82F63B78u ^ (c >> 1) : c >> 1;
+            t[0][i] = c;
+        }
+        for (uint32_t i = 0; i < 256; ++i)
+            for (int j = 1; j < 4; ++j)
+                t[j][i] = t[0][t[j - 1][i] & 0xFF] ^
+                          (t[j - 1][i] >> 8);
+    }
+};
+
+} // namespace
+
+uint32_t
+crc32c(uint32_t crc, const void *data, size_t len)
+{
+    static const Crc32cTables tables;
+    const uint8_t *p = static_cast<const uint8_t *>(data);
+    crc = ~crc;
+    while (len >= 4) {
+        crc ^= getU32(p);
+        crc = tables.t[3][crc & 0xFF] ^
+              tables.t[2][(crc >> 8) & 0xFF] ^
+              tables.t[1][(crc >> 16) & 0xFF] ^
+              tables.t[0][crc >> 24];
+        p += 4;
+        len -= 4;
+    }
+    while (len--)
+        crc = tables.t[0][(crc ^ *p++) & 0xFF] ^ (crc >> 8);
+    return ~crc;
+}
+
+const char *
+toString(ProfileFormat f)
+{
+    switch (f) {
+    case ProfileFormat::TextV1:
+        return "v1";
+    case ProfileFormat::BinaryV2:
+        return "v2";
+    }
+    return "?";
+}
+
+Expected<ProfileFormat>
+parseProfileFormat(const std::string &name)
+{
+    if (name == "v1" || name == "text")
+        return ProfileFormat::TextV1;
+    if (name == "v2" || name == "binary")
+        return ProfileFormat::BinaryV2;
+    return Error::invalidConfig("unknown profile format '" + name +
+                                "' (expected v1|text|v2|binary)");
+}
+
+// --- writer ---
+
+BinaryProfileWriter::BinaryProfileWriter(std::ostream &os,
+                                         const Conditions &cond,
+                                         uint64_t cellCount,
+                                         uint32_t blockCells)
+    : os_(os), announced_(cellCount),
+      blockCells_(blockCells ? blockCells : kDefaultBlockCells)
+{
+    uint8_t h[kHeaderBytes];
+    std::memcpy(h, kMagic, 8);
+    putU32(h + 8, kVersion);
+    putU32(h + 12, blockCells_);
+    putF64(h + 16, cond.refreshInterval);
+    putF64(h + 24, cond.temperature);
+    putU64(h + 32, cellCount);
+    putU32(h + 40, crc32c(0, h, 40));
+    os_.write(reinterpret_cast<const char *>(h), kHeaderBytes);
+    fileCrc_ = crc32c(fileCrc_, h, kHeaderBytes);
+    headerWritten_ = true;
+    // Worst case block payload, so append() never reallocates.
+    payload_.reserve(static_cast<size_t>(blockCells_) * 2 *
+                     kMaxVarintBytes);
+}
+
+void
+BinaryProfileWriter::putVarint(uint64_t v)
+{
+    while (v >= 0x80) {
+        payload_.push_back(static_cast<uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    payload_.push_back(static_cast<uint8_t>(v));
+}
+
+void
+BinaryProfileWriter::append(const dram::ChipFailure &f)
+{
+    if (finished_)
+        panic("BinaryProfileWriter: append() after finish()");
+    if (appended_ > 0 && !(prev_ < f))
+        ordered_ = false; // reported once, by finish()
+    if (pending_ == 0) {
+        // Block-first cell: raw, so every block decodes on its own.
+        putVarint(f.chip);
+        putVarint(f.addr);
+    } else {
+        putVarint(f.chip - prev_.chip);
+        if (f.chip != prev_.chip)
+            putVarint(f.addr);
+        else
+            putVarint(f.addr - prev_.addr);
+    }
+    prev_ = f;
+    ++pending_;
+    ++appended_;
+    if (pending_ == blockCells_)
+        flushBlock();
+}
+
+void
+BinaryProfileWriter::flushBlock()
+{
+    if (pending_ == 0)
+        return;
+    uint8_t frame[8];
+    putU32(frame, pending_);
+    putU32(frame + 4, static_cast<uint32_t>(payload_.size()));
+    uint32_t crc = crc32c(0, frame, sizeof(frame));
+    crc = crc32c(crc, payload_.data(), payload_.size());
+    uint8_t crcBytes[4];
+    putU32(crcBytes, crc);
+
+    os_.write(reinterpret_cast<const char *>(frame), sizeof(frame));
+    os_.write(reinterpret_cast<const char *>(payload_.data()),
+              static_cast<std::streamsize>(payload_.size()));
+    os_.write(reinterpret_cast<const char *>(crcBytes), 4);
+    fileCrc_ = crc32c(fileCrc_, frame, sizeof(frame));
+    fileCrc_ = crc32c(fileCrc_, payload_.data(), payload_.size());
+    fileCrc_ = crc32c(fileCrc_, crcBytes, 4);
+
+    ++blockCount_;
+    pending_ = 0;
+    payload_.clear();
+}
+
+Status
+BinaryProfileWriter::finish()
+{
+    if (finished_)
+        panic("BinaryProfileWriter: finish() called twice");
+    finished_ = true;
+    if (!ordered_)
+        return Error::internal("binary profile writer: cells not in "
+                               "strictly increasing order");
+    if (appended_ != announced_)
+        return Error::internal(
+            "binary profile writer: appended " +
+            std::to_string(appended_) + " cells, announced " +
+            std::to_string(announced_));
+    flushBlock();
+    uint8_t f[kFooterBytes];
+    std::memcpy(f, kEndMagic, 4);
+    putU32(f + 4, blockCount_);
+    putU32(f + 8, fileCrc_);
+    os_.write(reinterpret_cast<const char *>(f), kFooterBytes);
+    os_.flush();
+    if (!os_)
+        return Error::io("binary profile write failed");
+    return common::okStatus();
+}
+
+// --- reader ---
+
+BinaryProfileReader::BinaryProfileReader(std::istream &is) : is_(is) {}
+
+Status
+BinaryProfileReader::fill(void *dst, size_t len, const char *what)
+{
+    is_.read(static_cast<char *>(dst),
+             static_cast<std::streamsize>(len));
+    if (static_cast<size_t>(is_.gcount()) != len)
+        return Error::corrupt(std::string("truncated ") + what +
+                              " (wanted " + std::to_string(len) +
+                              " bytes, got " +
+                              std::to_string(is_.gcount()) + ")");
+    return common::okStatus();
+}
+
+Status
+BinaryProfileReader::readHeader(bool magicConsumed)
+{
+    uint8_t h[kHeaderBytes];
+    size_t off = 0;
+    if (magicConsumed) {
+        std::memcpy(h, kMagic, 8);
+        off = 8;
+    }
+    Status got = fill(h + off, kHeaderBytes - off, "header");
+    if (!got)
+        return got;
+    if (std::memcmp(h, kMagic, 8) != 0)
+        return Error::parse("bad binary profile magic");
+    if (getU32(h + 40) != crc32c(0, h, 40))
+        return Error::corrupt("header checksum mismatch");
+    uint32_t version = getU32(h + 8);
+    if (version != kVersion)
+        return Error::parse("unsupported binary profile version " +
+                            std::to_string(version));
+    blockCells_ = getU32(h + 12);
+    if (blockCells_ == 0)
+        return Error::corrupt("zero block cell capacity");
+    cond_.refreshInterval = getF64(h + 16);
+    cond_.temperature = getF64(h + 24);
+    if (!(cond_.refreshInterval > 0))
+        return Error::corrupt("non-positive refresh interval");
+    cellCount_ = getU64(h + 32);
+    fileCrc_ = crc32c(0, h, kHeaderBytes);
+    haveHeader_ = true;
+    return common::okStatus();
+}
+
+Expected<uint64_t>
+BinaryProfileReader::readBlock(std::vector<dram::ChipFailure> &out)
+{
+    if (!haveHeader_)
+        panic("BinaryProfileReader: readBlock() before readHeader()");
+    if (done())
+        panic("BinaryProfileReader: readBlock() past the cell count");
+
+    uint8_t frame[8];
+    Status got = fill(frame, sizeof(frame), "block header");
+    if (!got)
+        return got.error();
+    uint32_t cells = getU32(frame);
+    uint32_t payloadBytes = getU32(frame + 4);
+    if (cells == 0 || cells > blockCells_)
+        return Error::corrupt("bad block cell count " +
+                              std::to_string(cells));
+    if (cells > cellCount_ - decoded_)
+        return Error::corrupt("block overruns announced cell count");
+    if (payloadBytes >
+        static_cast<size_t>(cells) * 2 * kMaxVarintBytes)
+        return Error::corrupt("bad block payload length " +
+                              std::to_string(payloadBytes));
+
+    payload_.resize(payloadBytes + 4); // payload + trailing CRC
+    got = fill(payload_.data(), payload_.size(), "block payload");
+    if (!got)
+        return got.error();
+    uint32_t crc = crc32c(0, frame, sizeof(frame));
+    crc = crc32c(crc, payload_.data(), payloadBytes);
+    if (getU32(payload_.data() + payloadBytes) != crc)
+        return Error::corrupt("block checksum mismatch");
+    fileCrc_ = crc32c(fileCrc_, frame, sizeof(frame));
+    fileCrc_ = crc32c(fileCrc_, payload_.data(), payload_.size());
+
+    const uint8_t *p = payload_.data();
+    const uint8_t *end = p + payloadBytes;
+    for (uint32_t i = 0; i < cells; ++i) {
+        uint64_t chip, addr;
+        if (i == 0) {
+            if (!(p = getVarint(p, end, &chip)) ||
+                !(p = getVarint(p, end, &addr)))
+                return Error::corrupt("bad varint in block");
+        } else {
+            uint64_t dchip, d;
+            if (!(p = getVarint(p, end, &dchip)) ||
+                !(p = getVarint(p, end, &d)))
+                return Error::corrupt("bad varint in block");
+            chip = prev_.chip + dchip;
+            addr = dchip != 0 ? d : prev_.addr + d;
+        }
+        if (chip > 0xFFFFFFFFull)
+            return Error::corrupt("chip index out of range");
+        dram::ChipFailure f{static_cast<uint32_t>(chip), addr};
+        if ((havePrev_ || i > 0) && !(prev_ < f))
+            return Error::corrupt("cells not strictly increasing");
+        out.push_back(f);
+        prev_ = f;
+        havePrev_ = true;
+    }
+    if (p != end)
+        return Error::corrupt("trailing bytes in block payload");
+    decoded_ += cells;
+    ++blockCount_;
+    return static_cast<uint64_t>(cells);
+}
+
+Status
+BinaryProfileReader::readFooter()
+{
+    if (!done())
+        panic("BinaryProfileReader: readFooter() before all cells");
+    uint8_t f[kFooterBytes];
+    Status got = fill(f, kFooterBytes, "footer");
+    if (!got)
+        return got;
+    if (std::memcmp(f, kEndMagic, 4) != 0)
+        return Error::corrupt("bad footer magic");
+    if (getU32(f + 4) != blockCount_)
+        return Error::corrupt("footer block count mismatch");
+    if (getU32(f + 8) != fileCrc_)
+        return Error::corrupt("file checksum mismatch");
+    return common::okStatus();
+}
+
+// --- convenience entry points ---
+
+Status
+writeProfileBinary(const RetentionProfile &profile, std::ostream &os)
+{
+    BinaryProfileWriter writer(os, profile.conditions(),
+                               profile.size());
+    for (const dram::ChipFailure &f : profile.cells())
+        writer.append(f);
+    return writer.finish();
+}
+
+Expected<RetentionProfile>
+readProfileBinary(std::istream &is, bool magicConsumed)
+{
+    BinaryProfileReader reader(is);
+    Status header = reader.readHeader(magicConsumed);
+    if (!header)
+        return header.error();
+    std::vector<dram::ChipFailure> cells;
+    cells.reserve(static_cast<size_t>(
+        std::min(reader.cellCount(), kReserveClampCells)));
+    while (!reader.done()) {
+        Expected<uint64_t> block = reader.readBlock(cells);
+        if (!block)
+            return block.error();
+    }
+    Status footer = reader.readFooter();
+    if (!footer)
+        return footer.error();
+    RetentionProfile profile(reader.conditions());
+    profile.adoptSorted(std::move(cells));
+    return profile;
+}
+
+} // namespace profiling
+} // namespace reaper

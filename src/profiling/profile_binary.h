@@ -1,0 +1,194 @@
+/**
+ * @file
+ * REAPER-PROFILE v2: the binary on-disk retention-profile format.
+ *
+ * A profile is the system's central persisted artifact — every
+ * ProfileStore load, ProfileCache miss, campaign resume, and
+ * serve-daemon cold start deserializes one — so the wire format is
+ * built for decode speed and corruption detection rather than
+ * diffability (the v1 text format remains for that; see
+ * profiling/profile_io.h for the sniffing reader that accepts both).
+ *
+ * Layout (all integers little-endian; see DESIGN.md §11):
+ *
+ *   header   8-byte magic (0x89 "RPF2" CR LF 0x1A), u32 version,
+ *            u32 block cell capacity, f64 refresh interval (s),
+ *            f64 temperature (°C), u64 cell count, u32 CRC32C of the
+ *            preceding 40 bytes
+ *   blocks   cells sorted by (chip, addr), chunked into blocks of at
+ *            most the header's block capacity. Each block: u32 cell
+ *            count, u32 payload byte length, the payload, u32 CRC32C
+ *            over the 8 length bytes plus the payload. The payload is
+ *            LEB128 varints: the block's first cell is encoded raw
+ *            (chip, addr); each later cell encodes delta(chip) then —
+ *            when the chip changed — a raw addr, otherwise
+ *            delta(addr), which is ≥ 1 because cells are strictly
+ *            increasing. Blocks decode independently: no state is
+ *            carried across block boundaries.
+ *   footer   4-byte end magic ("RPND"), u32 block count, u32 CRC32C
+ *            of every byte before the footer (header + all blocks).
+ *
+ * Every byte outside the checksum fields themselves is covered by a
+ * CRC32C, so truncation and bit flips surface as
+ * common::ErrorCategory::Corrupt instead of a silently wrong profile.
+ * The PNG-style magic (high bit set, embedded CRLF) additionally
+ * catches 7-bit stripping and newline translation.
+ *
+ * The writer streams cells in one pass with a reused scratch buffer
+ * (no per-cell allocation); the reader decodes block-by-block straight
+ * into a caller-provided vector, which readProfileBinary() then moves
+ * into RetentionProfile storage without a re-sort
+ * (RetentionProfile::adoptSorted).
+ */
+
+#ifndef REAPER_PROFILING_PROFILE_BINARY_H
+#define REAPER_PROFILING_PROFILE_BINARY_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/expected.h"
+#include "profiling/profile.h"
+
+namespace reaper {
+namespace profiling {
+
+/** On-disk profile representation (the --profile-format knob). */
+enum class ProfileFormat : uint8_t
+{
+    TextV1,   ///< line-oriented "REAPER-PROFILE v1" (diffable interop)
+    BinaryV2, ///< delta-varint "REAPER-PROFILE v2" (default)
+};
+
+const char *toString(ProfileFormat f);
+
+/** Parse "v1"/"text" or "v2"/"binary"; InvalidConfig otherwise. */
+common::Expected<ProfileFormat>
+parseProfileFormat(const std::string &name);
+
+/** CRC32C (Castagnoli), slicing-by-4; seed 0 for a fresh stream. */
+uint32_t crc32c(uint32_t crc, const void *data, size_t len);
+
+/** First byte of the v2 magic — what the sniffing reader dispatches
+ *  on (v1 text begins with ASCII 'R'). */
+constexpr uint8_t kBinaryMagicByte = 0x89;
+
+/** Default cells per block: small enough that a corrupt block loses
+ *  little locality, large enough to amortize the 12-byte framing. */
+constexpr uint32_t kDefaultBlockCells = 4096;
+
+/**
+ * Single-pass streaming writer. Cells must arrive in strictly
+ * increasing (chip, addr) order — exactly what
+ * RetentionProfile::cells() yields — and their total must equal the
+ * `cellCount` announced up front (the header is written eagerly so the
+ * stream is never seeked). finish() flushes the last partial block and
+ * the footer; the writer is unusable afterwards.
+ */
+class BinaryProfileWriter
+{
+  public:
+    BinaryProfileWriter(std::ostream &os, const Conditions &cond,
+                        uint64_t cellCount,
+                        uint32_t blockCells = kDefaultBlockCells);
+
+    /** Append the next cell (strictly greater than the previous). */
+    void append(const dram::ChipFailure &f);
+
+    /**
+     * Flush the final block and footer. Errors are Io (stream write
+     * failed) or Internal (appended cell count != announced count).
+     */
+    common::Status finish();
+
+  private:
+    void flushBlock();
+    void putVarint(uint64_t v);
+
+    std::ostream &os_;
+    uint64_t announced_ = 0;
+    uint64_t appended_ = 0;
+    uint32_t blockCells_ = kDefaultBlockCells;
+    uint32_t blockCount_ = 0;
+    uint32_t fileCrc_ = 0;
+    bool headerWritten_ = false;
+    bool finished_ = false;
+    bool ordered_ = true;
+    dram::ChipFailure prev_{};
+    /** Cells buffered for the current block. */
+    uint32_t pending_ = 0;
+    /** Reused varint scratch for the current block's payload. */
+    std::vector<uint8_t> payload_;
+};
+
+/**
+ * Streaming reader: header first, then blocks until the announced
+ * cell count is reached, then the footer. All methods report Parse
+ * (bad magic/version) or Corrupt (checksum mismatch, truncation,
+ * ordering violation) through Expected.
+ */
+class BinaryProfileReader
+{
+  public:
+    explicit BinaryProfileReader(std::istream &is);
+
+    /**
+     * Read and validate the 44-byte header.
+     * @param magicConsumed the sniffing caller already consumed the
+     *        8 magic bytes (and verified them)
+     */
+    common::Status readHeader(bool magicConsumed = false);
+
+    /** Header fields (valid after readHeader succeeds). */
+    const Conditions &conditions() const { return cond_; }
+    uint64_t cellCount() const { return cellCount_; }
+
+    /** Whether every announced cell has been decoded. */
+    bool done() const { return decoded_ == cellCount_; }
+
+    /**
+     * Decode the next block, appending its cells to `out`. Cells are
+     * verified strictly increasing across the whole stream. Returns
+     * the number of cells appended.
+     */
+    common::Expected<uint64_t>
+    readBlock(std::vector<dram::ChipFailure> &out);
+
+    /** Validate the footer (call once done()). */
+    common::Status readFooter();
+
+  private:
+    common::Status fill(void *dst, size_t len, const char *what);
+
+    std::istream &is_;
+    Conditions cond_{};
+    uint64_t cellCount_ = 0;
+    uint64_t decoded_ = 0;
+    uint32_t blockCells_ = 0;
+    uint32_t blockCount_ = 0;
+    uint32_t fileCrc_ = 0;
+    bool haveHeader_ = false;
+    bool havePrev_ = false;
+    dram::ChipFailure prev_{};
+    /** Reused payload scratch across blocks. */
+    std::vector<uint8_t> payload_;
+};
+
+/** Serialize a profile in v2 binary form. Errors: Io. */
+common::Status writeProfileBinary(const RetentionProfile &profile,
+                                  std::ostream &os);
+
+/**
+ * Parse a v2 binary profile. Errors: Parse (bad magic/version) or
+ * Corrupt (checksum/truncation/ordering).
+ * @param magicConsumed see BinaryProfileReader::readHeader
+ */
+common::Expected<RetentionProfile>
+readProfileBinary(std::istream &is, bool magicConsumed = false);
+
+} // namespace profiling
+} // namespace reaper
+
+#endif // REAPER_PROFILING_PROFILE_BINARY_H

@@ -1,10 +1,13 @@
 #include "profiling/profile_io.h"
 
+#include <algorithm>
+#include <chrono>
 #include <fstream>
 #include <sstream>
 #include <vector>
 
 #include "common/logging.h"
+#include "obs/obs.h"
 
 namespace reaper {
 namespace profiling {
@@ -15,8 +18,20 @@ using common::Status;
 using common::Unit;
 
 namespace {
+
 constexpr const char *kMagic = "REAPER-PROFILE";
 constexpr int kVersion = 1;
+
+/**
+ * Cap the up-front reservation for the v1 cell list: the header's
+ * count is untrusted, and a corrupt file claiming 10^12 cells must
+ * not allocate 16 TB before the first cell is even read. Past the
+ * clamp the vector grows geometrically, paced by actual input.
+ */
+constexpr size_t kReserveClampCells = 1u << 20;
+
+Expected<RetentionProfile> readProfileText(std::istream &is);
+
 } // namespace
 
 void
@@ -32,20 +47,38 @@ saveProfile(const RetentionProfile &profile, std::ostream &os)
 }
 
 Status
-writeProfileFile(const RetentionProfile &profile, const std::string &path)
+writeProfile(const RetentionProfile &profile, std::ostream &os,
+             ProfileFormat format)
 {
-    std::ofstream os(path);
-    if (!os)
-        return Error::io("cannot open '" + path + "' for writing");
+    if (format == ProfileFormat::BinaryV2)
+        return writeProfileBinary(profile, os);
     saveProfile(profile, os);
     os.flush();
     if (!os)
-        return Error::io("write to '" + path + "' failed");
+        return Error::io("profile write failed");
     return common::okStatus();
 }
 
+Status
+writeProfileFile(const RetentionProfile &profile,
+                 const std::string &path, ProfileFormat format)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        return Error::io("cannot open '" + path + "' for writing");
+    Status written = writeProfile(profile, os, format);
+    if (!written) {
+        Error e = written.error();
+        e.message = "'" + path + "': " + e.message;
+        return e;
+    }
+    return common::okStatus();
+}
+
+namespace {
+
 Expected<RetentionProfile>
-readProfile(std::istream &is)
+readProfileText(std::istream &is)
 {
     std::string magic, version;
     if (!(is >> magic >> version))
@@ -81,7 +114,7 @@ readProfile(std::istream &is)
         return Error::parse("incomplete header");
 
     std::vector<dram::ChipFailure> cells;
-    cells.reserve(count);
+    cells.reserve(std::min(count, kReserveClampCells));
     for (size_t i = 0; i < count; ++i) {
         uint64_t chip, addr;
         if (!(is >> chip >> addr))
@@ -97,10 +130,24 @@ readProfile(std::istream &is)
     return profile;
 }
 
+} // namespace
+
+Expected<RetentionProfile>
+readProfile(std::istream &is)
+{
+    int first = is.peek();
+    if (first == std::char_traits<char>::eof())
+        return Error::parse("missing header");
+    if (static_cast<uint8_t>(first) == kBinaryMagicByte)
+        return readProfileBinary(is);
+    return readProfileText(is);
+}
+
 Expected<RetentionProfile>
 readProfileFile(const std::string &path)
 {
-    std::ifstream is(path);
+    auto start = std::chrono::steady_clock::now();
+    std::ifstream is(path, std::ios::binary);
     if (!is)
         return Error::io("cannot open '" + path + "'");
     Expected<RetentionProfile> result = readProfile(is);
@@ -110,13 +157,37 @@ readProfileFile(const std::string &path)
         e.message = "'" + path + "': " + e.message;
         return e;
     }
+    is.clear(); // the text parser may have tripped eofbit
+    std::streampos pos = is.tellg();
+    REAPER_OBS_COUNT("profiling.profile_loads");
+    REAPER_OBS_COUNT_N("profiling.profile_load_bytes",
+                       pos > 0 ? static_cast<uint64_t>(pos) : 0);
+    REAPER_OBS_HIST("profiling.profile_load_seconds",
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start)
+                        .count());
     return result;
 }
 
-void
-saveProfileFile(const RetentionProfile &profile, const std::string &path)
+Expected<ProfileFormat>
+sniffProfileFormat(const std::string &path)
 {
-    Status st = writeProfileFile(profile, path);
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return Error::io("cannot open '" + path + "'");
+    int first = is.get();
+    if (first == std::char_traits<char>::eof())
+        return Error::io("'" + path + "' is empty");
+    return static_cast<uint8_t>(first) == kBinaryMagicByte
+               ? ProfileFormat::BinaryV2
+               : ProfileFormat::TextV1;
+}
+
+void
+saveProfileFile(const RetentionProfile &profile, const std::string &path,
+                ProfileFormat format)
+{
+    Status st = writeProfileFile(profile, path, format);
     if (!st)
         fatal("saveProfileFile: %s", st.error().describe().c_str());
 }
@@ -137,35 +208,6 @@ loadProfileFile(const std::string &path)
     if (!result)
         fatal("loadProfileFile: %s", result.error().describe().c_str());
     return std::move(result).value();
-}
-
-bool
-trySaveProfileFile(const RetentionProfile &profile,
-                   const std::string &path, std::string *error)
-{
-    Status st = writeProfileFile(profile, path);
-    if (!st) {
-        if (error)
-            *error = st.error().message;
-        return false;
-    }
-    return true;
-}
-
-bool
-tryLoadProfile(std::istream &is, RetentionProfile *out,
-               std::string *error)
-{
-    if (!out)
-        panic("tryLoadProfile: out must not be null");
-    Expected<RetentionProfile> result = readProfile(is);
-    if (!result) {
-        if (error)
-            *error = result.error().message;
-        return false;
-    }
-    *out = std::move(result).value();
-    return true;
 }
 
 } // namespace profiling

@@ -5,16 +5,25 @@
  * Real deployments persist failure profiles (e.g. the memory
  * controller stores them in the ArchShield FaultMap region or flash)
  * so the system can restore relaxed-refresh operation after a reboot
- * and only reprofile when the longevity model says so. The format is
- * a small line-oriented text file with a version header, so profiles
- * are diffable and forward-compatible.
+ * and only reprofile when the longevity model says so.
+ *
+ * Two wire formats coexist:
+ *
+ *  - v1: a small line-oriented text file (diffable, greppable; see
+ *    saveProfile). Kept for interop and human inspection.
+ *  - v2: the binary delta-varint format of profiling/profile_binary.h
+ *    — checksummed, several times smaller, and an order of magnitude
+ *    faster to decode. The default for all writes.
+ *
+ * The readers sniff the leading magic byte and accept either format
+ * transparently, so a store directory may hold a mix of v1 and v2
+ * files (e.g. after flipping --profile-format mid-deployment).
  *
  * The primary APIs return common::Expected with typed categories —
  * Io for filesystem failures, Parse for malformed headers, Corrupt
- * for truncated cell lists — so callers (the campaign store's index
- * recovery, the serve cache loader) can dispatch without string
- * matching. The older bool + out-parameter forms remain as deprecated
- * wrappers for one release.
+ * for truncated or checksum-failing payloads — so callers (the
+ * campaign store's index recovery, the serve cache loader) can
+ * dispatch without string matching.
  */
 
 #ifndef REAPER_PROFILING_PROFILE_IO_H
@@ -25,66 +34,66 @@
 
 #include "common/expected.h"
 #include "profiling/profile.h"
+#include "profiling/profile_binary.h"
 
 namespace reaper {
 namespace profiling {
 
-/** Serialize a profile (conditions + sorted cell list). */
+/** Serialize a profile as v1 text (conditions + sorted cell list). */
 void saveProfile(const RetentionProfile &profile, std::ostream &os);
+
+/**
+ * Serialize a profile to a stream in the requested format. Errors are
+ * ErrorCategory::Io.
+ */
+common::Status
+writeProfile(const RetentionProfile &profile, std::ostream &os,
+             ProfileFormat format = ProfileFormat::BinaryV2);
 
 /**
  * Save to a file path. Errors are ErrorCategory::Io (cannot open,
  * write failed).
  */
-common::Status writeProfileFile(const RetentionProfile &profile,
-                                const std::string &path);
+common::Status
+writeProfileFile(const RetentionProfile &profile,
+                 const std::string &path,
+                 ProfileFormat format = ProfileFormat::BinaryV2);
 
 /**
- * Parse a serialized profile from a stream. Errors are
- * ErrorCategory::Parse (bad magic/version/header) or
- * ErrorCategory::Corrupt (truncated cell list).
+ * Parse a serialized profile from a stream, sniffing v1 text vs v2
+ * binary from the first byte. Errors are ErrorCategory::Parse (bad
+ * magic/version/header) or ErrorCategory::Corrupt (truncated or
+ * checksum-failing payload).
  */
 common::Expected<RetentionProfile> readProfile(std::istream &is);
 
 /**
- * Load from a file path. Adds ErrorCategory::Io when the file cannot
- * be opened; parse failures report the path in the message.
+ * Load from a file path (either format). Adds ErrorCategory::Io when
+ * the file cannot be opened; parse failures report the path in the
+ * message. Records obs counters (profile loads, bytes, decode time)
+ * under REAPER_OBS=counters.
  */
 common::Expected<RetentionProfile>
 readProfileFile(const std::string &path);
 
+/**
+ * The format of the profile at `path`, from its magic byte. Io when
+ * the file cannot be opened or is empty; the result says nothing
+ * about whether the rest of the file is well-formed.
+ */
+common::Expected<ProfileFormat>
+sniffProfileFormat(const std::string &path);
+
 /** Save to a file path; fatal() on I/O failure. */
 void saveProfileFile(const RetentionProfile &profile,
-                     const std::string &path);
+                     const std::string &path,
+                     ProfileFormat format = ProfileFormat::BinaryV2);
 
 /** Load from a stream; fatal() with a diagnostic on malformed input. */
 RetentionProfile loadProfile(std::istream &is);
 
 /** Load from a file path; fatal() on I/O or parse failure. */
 RetentionProfile loadProfileFile(const std::string &path);
-
-/**
- * Save to a file path.
- * @param error filled with a diagnostic on failure (may be null)
- * @return whether the profile was written completely
- * @deprecated use writeProfileFile(), which reports a typed error
- */
-[[deprecated("use writeProfileFile()")]]
-bool trySaveProfileFile(const RetentionProfile &profile,
-                        const std::string &path,
-                        std::string *error = nullptr);
-
-/**
- * Parse a serialized profile.
- * @param is input stream
- * @param out parsed profile (valid only when true is returned)
- * @param error filled with a diagnostic on failure (may be null)
- * @return whether parsing succeeded
- * @deprecated use readProfile(), which reports a typed error
- */
-[[deprecated("use readProfile()")]]
-bool tryLoadProfile(std::istream &is, RetentionProfile *out,
-                    std::string *error = nullptr);
 
 } // namespace profiling
 } // namespace reaper

@@ -57,6 +57,7 @@
 #include "profiling/brute_force.h"
 #include "profiling/ecc_scrub.h"
 #include "profiling/profile.h"
+#include "profiling/profile_binary.h"
 #include "profiling/profile_io.h"
 #include "profiling/profiler.h"
 #include "profiling/reach.h"

@@ -411,6 +411,73 @@ TEST(ProfileStore, RecoversIndexFromDirectoryScan)
     EXPECT_EQ(loaded.value().size(), 1u);
 }
 
+/** A store directory holding both v1 text and v2 binary profiles —
+ *  e.g. a campaign resumed with a different --profile-format — must
+ *  load every profile, and index recovery must sniff each file's
+ *  actual format rather than assuming the store's write format. */
+TEST(ProfileStore, MixedFormatDirectoryRecoversAndServes)
+{
+    std::string dir = scratchDir("store_mixed");
+    profiling::Conditions cond1{msToSec(1024.0), 45.0};
+    profiling::Conditions cond2{msToSec(1536.0), 45.0};
+    std::string keyText = ProfileStore::profileKey("M-000", cond1);
+    std::string keyBin = ProfileStore::profileKey("M-001", cond2);
+
+    {
+        ProfileStore textStore(dir, profiling::ProfileFormat::TextV1);
+        profiling::RetentionProfile p(cond1);
+        p.add({{0, 11}, {1, 22}});
+        textStore.commit(keyText, p);
+    }
+    {
+        ProfileStore binStore(dir); // default format: v2 binary
+        EXPECT_TRUE(binStore.has(keyText));
+        profiling::RetentionProfile p(cond2);
+        p.add({{0, 33}, {2, 44}, {2, 55}});
+        binStore.commit(keyBin, p);
+
+        auto formatOf = [&](const std::string &key) {
+            for (const StoreEntry &e : binStore.entries())
+                if (e.key == key)
+                    return e.format;
+            ADD_FAILURE() << "missing entry " << key;
+            return profiling::ProfileFormat::TextV1;
+        };
+        EXPECT_EQ(formatOf(keyText), profiling::ProfileFormat::TextV1);
+        EXPECT_EQ(formatOf(keyBin), profiling::ProfileFormat::BinaryV2);
+
+        common::Expected<profiling::RetentionProfile> t =
+            binStore.load(keyText);
+        ASSERT_TRUE(t.hasValue()) << t.error().describe();
+        EXPECT_EQ(t.value().size(), 2u);
+        common::Expected<profiling::RetentionProfile> b =
+            binStore.load(keyBin);
+        ASSERT_TRUE(b.hasValue()) << b.error().describe();
+        EXPECT_EQ(b.value().size(), 3u);
+    }
+
+    // Crash-recovery over the mixed directory: the scan sniffs each
+    // file's format and both profiles keep loading.
+    fs::remove(fs::path(dir) / "index.txt");
+    ProfileStore recovered(dir);
+    ASSERT_TRUE(recovered.has(keyText));
+    ASSERT_TRUE(recovered.has(keyBin));
+    common::Expected<profiling::RetentionProfile> t =
+        recovered.load(keyText);
+    ASSERT_TRUE(t.hasValue()) << t.error().describe();
+    EXPECT_EQ(t.value().size(), 2u);
+    common::Expected<profiling::RetentionProfile> b =
+        recovered.load(keyBin);
+    ASSERT_TRUE(b.hasValue()) << b.error().describe();
+    EXPECT_EQ(b.value().size(), 3u);
+    for (const StoreEntry &e : recovered.entries()) {
+        if (e.key == keyText)
+            EXPECT_EQ(e.format, profiling::ProfileFormat::TextV1);
+        if (e.key == keyBin)
+            EXPECT_EQ(e.format, profiling::ProfileFormat::BinaryV2);
+    }
+}
+
 TEST(ProfileStore, MissingKeyReportsNotFound)
 {
     ProfileStore store(scratchDir("store_missing"));

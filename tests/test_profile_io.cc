@@ -2,8 +2,8 @@
  * @file
  * Tests for retention-profile serialization: the Expected-returning
  * primary API (typed error categories), the fatal convenience
- * variants, and — in one pragma-fenced block — the deprecated bool
- * wrappers kept for one release.
+ * variants, and the v1 text parser's resource/corruption hardening.
+ * The v2 binary format has its own suite in test_profile_binary.cc.
  */
 
 #include <gtest/gtest.h>
@@ -274,40 +274,38 @@ TEST(ProfileIo, LoadedProfileDrivesMitigation)
               original.size());
 }
 
-// The deprecated bool wrappers must stay behavior-identical to the
-// Expected API for one release (callers migrate, semantics don't).
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-TEST(ProfileIoDeprecated, TryWrappersStillWork)
+// Regression: a corrupt v1 header claiming 10^12 cells must fail as
+// Corrupt without reserving terabytes up front. Run with a sanitizer
+// or a memory limit, an unclamped reserve() aborts here.
+TEST(ProfileIo, HostileCellCountDoesNotPreallocate)
 {
-    std::string path =
-        ::testing::TempDir() + "reaper_try_save_test.txt";
-    std::string error;
-    EXPECT_TRUE(trySaveProfileFile(sampleProfile(), path, &error))
-        << error;
-    RetentionProfile loaded;
-    {
-        std::ifstream is(path);
-        EXPECT_TRUE(tryLoadProfile(is, &loaded, &error)) << error;
-    }
-    EXPECT_EQ(loaded.cells(), sampleProfile().cells());
-    std::remove(path.c_str());
-
-    // Failures still report a diagnostic (null error ptr allowed).
-    EXPECT_FALSE(trySaveProfileFile(
-        sampleProfile(), "/nonexistent_dir/profile.txt", &error));
-    EXPECT_FALSE(error.empty());
-    EXPECT_FALSE(trySaveProfileFile(sampleProfile(),
-                                    "/nonexistent_dir/profile.txt"));
-
-    std::stringstream bad("NOT-A-PROFILE v1\n");
-    RetentionProfile p;
-    EXPECT_FALSE(tryLoadProfile(bad, &p, &error));
-    EXPECT_NE(error.find("magic"), std::string::npos);
+    std::stringstream ss("REAPER-PROFILE v1\n"
+                         "refresh_interval_ms 1024\n"
+                         "temperature_c 45\n"
+                         "cells 1000000000000\n");
+    common::Expected<RetentionProfile> r = readProfile(ss);
+    ASSERT_FALSE(r.hasValue());
+    EXPECT_EQ(r.error().category, ErrorCategory::Corrupt);
+    EXPECT_NE(r.error().message.find("truncated"), std::string::npos);
 }
 
-#pragma GCC diagnostic pop
+// Files written with the default format knob are v2 binary, and the
+// sniffing file reader loads them transparently.
+TEST(ProfileIo, DefaultFileFormatIsBinaryAndSniffed)
+{
+    std::string path = ::testing::TempDir() + "reaper_profile_v2.bin";
+    RetentionProfile original = sampleProfile();
+    ASSERT_TRUE(writeProfileFile(original, path).hasValue());
+
+    common::Expected<ProfileFormat> fmt = sniffProfileFormat(path);
+    ASSERT_TRUE(fmt.hasValue());
+    EXPECT_EQ(fmt.value(), ProfileFormat::BinaryV2);
+
+    common::Expected<RetentionProfile> loaded = readProfileFile(path);
+    ASSERT_TRUE(loaded.hasValue());
+    EXPECT_EQ(loaded.value().cells(), original.cells());
+    std::remove(path.c_str());
+}
 
 } // namespace
 } // namespace profiling
