@@ -11,9 +11,12 @@
  *  2. cold ProfileCache fill latency over a multi-chip store written
  *     in each format — the serve path's miss cost.
  *
- * Emits BENCH_io.json. Exits nonzero when the v2 read path is slower
- * than v1 or when either format fails to round-trip bit-exactly — the
- * CI smoke run leans on this exit code.
+ * Emits BENCH_io.json. Exits nonzero when either format fails to
+ * round-trip bit-exactly. Performance regressions are NOT gated here:
+ * scripts/check_bench.py diffs the emitted JSON against the committed
+ * bench/baselines/ and owns the pass/fail decision, so a slow run
+ * fails CI with a readable per-metric report instead of a bare exit
+ * code.
  */
 
 #include <chrono>
@@ -23,6 +26,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "simd/dispatch.h"
 
 namespace fs = std::filesystem;
 
@@ -168,10 +172,15 @@ main()
                   v2.roundTrip ? "yes" : "NO"});
     table.print(std::cout);
 
+    // Speedups are derived from the same cells/s figures emitted in
+    // the per-format JSON rows, so the summary fields can always be
+    // re-derived from the rows they summarize.
     double sizeRatio = static_cast<double>(v1.fileBytes) /
                        static_cast<double>(v2.fileBytes);
-    double readSpeedup = v1.readSeconds / v2.readSeconds;
-    double writeSpeedup = v1.writeSeconds / v2.writeSeconds;
+    double readSpeedup =
+        cellsPerSec(v2.readSeconds) / cellsPerSec(v1.readSeconds);
+    double writeSpeedup =
+        cellsPerSec(v2.writeSeconds) / cellsPerSec(v1.writeSeconds);
     std::cout << "\nv2 vs v1: " << fmtF(sizeRatio, 2)
               << "x smaller on disk, " << fmtF(readSpeedup, 2)
               << "x faster read, " << fmtF(writeSpeedup, 2)
@@ -215,13 +224,14 @@ main()
     fillTable.print(std::cout);
 
     bool roundTrips = v1.roundTrip && v2.roundTrip;
-    bool v2NotSlower = readSpeedup >= 1.0;
 
     std::ofstream json("BENCH_io.json");
     json << "{\n"
          << "  \"bench\": \"io\",\n"
          << "  \"quick_mode\": "
          << (bench::quickMode() ? "true" : "false") << ",\n"
+         << "  \"simd\": \""
+         << simd::toString(simd::activeLevel()) << "\",\n"
          << "  \"cells\": " << profile.size() << ",\n"
          << "  \"reps\": " << reps << ",\n"
          << "  \"formats\": [\n";
@@ -256,15 +266,11 @@ main()
          << ", \"seconds\": " << fill[1] << "}\n"
          << "  ],\n"
          << "  \"round_trip\": " << (roundTrips ? "true" : "false")
-         << ",\n"
-         << "  \"v2_read_not_slower\": "
-         << (v2NotSlower ? "true" : "false") << "\n}\n";
+         << "\n}\n";
     std::cout << "\nWrote BENCH_io.json\n";
 
     fs::remove_all(dir);
     if (!roundTrips)
         std::cout << "FAIL: round trip mismatch\n";
-    if (!v2NotSlower)
-        std::cout << "FAIL: v2 read slower than v1\n";
-    return roundTrips && v2NotSlower ? 0 : 1;
+    return roundTrips ? 0 : 1;
 }

@@ -3,8 +3,11 @@
  * Microbenchmarks (google-benchmark) of the library's hot paths: the
  * sparse-device read path, profiler iterations, the SECDED codec, the
  * memory-controller tick loop, cache accesses, trace generation, the
- * RNG/statistics primitives that everything sits on, and the serve
- * hot paths (directory point lookup, cache hit, cache miss+compile).
+ * RNG/statistics primitives that everything sits on, the serve
+ * hot paths (directory point lookup, cache hit, cache miss+compile),
+ * and the src/simd/ micro-kernels (CRC32C, bulk varint decode, word
+ * fill/compare/scan) with their scalar twins side by side so the
+ * dispatch win is visible per kernel.
  */
 
 #include <benchmark/benchmark.h>
@@ -12,6 +15,10 @@
 #include <filesystem>
 
 #include "reaper/reaper.h"
+#include "simd/crc32c.h"
+#include "simd/dispatch.h"
+#include "simd/varint.h"
+#include "simd/words.h"
 
 using namespace reaper;
 
@@ -282,6 +289,142 @@ BM_ServeCacheMissCompile(benchmark::State &state)
     fs::remove_all(dir);
 }
 BENCHMARK(BM_ServeCacheMissCompile);
+
+// ---- simd micro-kernels (scalar twin vs dispatched) ----
+
+std::vector<uint8_t>
+randomBytes(size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<uint8_t> buf(n);
+    for (uint8_t &b : buf)
+        b = static_cast<uint8_t>(rng.uniformInt(256));
+    return buf;
+}
+
+void
+BM_Crc32c(benchmark::State &state)
+{
+    bool dispatched = state.range(0) != 0;
+    std::vector<uint8_t> buf = randomBytes(64 * 1024, 41);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            dispatched ? simd::crc32c(0, buf.data(), buf.size())
+                       : simd::crc32cSoftware(0, buf.data(),
+                                              buf.size()));
+    }
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations() * buf.size()));
+    state.SetLabel(dispatched
+                       ? std::string("dispatched:") +
+                             simd::toString(simd::activeLevel())
+                       : "software");
+}
+BENCHMARK(BM_Crc32c)->Arg(0)->Arg(1);
+
+void
+BM_VarintDecode(benchmark::State &state)
+{
+    // A profile-shaped stream: (dchip, delta-addr) pairs where dchip
+    // is almost always the 1-byte 0 and the address delta is a 2-4
+    // byte varint — the distribution readBlock bulk-decodes.
+    bool swar = state.range(0) != 0;
+    constexpr size_t kCount = 16 * 1024;
+    Rng rng(42);
+    std::vector<uint8_t> buf;
+    buf.reserve(kCount * 3);
+    uint8_t tmp[simd::kMaxVarintBytes];
+    for (size_t i = 0; i < kCount; i += 2) {
+        size_t n = simd::encodeVarint(tmp, rng.uniformInt(4) == 0 ? 1 : 0);
+        buf.insert(buf.end(), tmp, tmp + n);
+        n = simd::encodeVarint(tmp, rng.uniformInt(1ull << 22));
+        buf.insert(buf.end(), tmp, tmp + n);
+    }
+    std::vector<uint64_t> out(kCount);
+    const uint8_t *end = buf.data() + buf.size();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            swar ? simd::decodeVarintsSwar(buf.data(), end, out.data(),
+                                           kCount)
+                 : simd::decodeVarintsScalar(buf.data(), end,
+                                             out.data(), kCount));
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * kCount));
+    state.SetLabel(swar ? "swar" : "scalar");
+}
+BENCHMARK(BM_VarintDecode)->Arg(0)->Arg(1);
+
+void
+BM_FillWords(benchmark::State &state)
+{
+    bool dispatched = state.range(0) != 0;
+    std::vector<uint64_t> buf(64 * 1024);
+    for (auto _ : state) {
+        if (dispatched)
+            simd::fillWords(buf.data(), buf.size(), 0x5555555555555555ull);
+        else
+            simd::fillWordsScalar(buf.data(), buf.size(),
+                                  0x5555555555555555ull);
+        benchmark::DoNotOptimize(buf.data());
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(
+        state.iterations() * buf.size() * sizeof(uint64_t)));
+    state.SetLabel(dispatched ? "dispatched" : "scalar");
+}
+BENCHMARK(BM_FillWords)->Arg(0)->Arg(1);
+
+void
+BM_CompareWords(benchmark::State &state)
+{
+    bool dispatched = state.range(0) != 0;
+    constexpr size_t kWords = 64 * 1024;
+    Rng rng(43);
+    std::vector<uint64_t> got(kWords, 0), expect(kWords, 0);
+    // Sparse mismatches (~1 in 4096 words), the read-compare regime.
+    for (size_t i = 0; i < kWords / 4096; ++i)
+        got[rng.uniformInt(kWords)] ^= 1;
+    std::vector<uint64_t> out;
+    for (auto _ : state) {
+        out.clear();
+        benchmark::DoNotOptimize(
+            dispatched
+                ? simd::compareWords(got.data(), expect.data(), kWords,
+                                     out)
+                : simd::compareWordsScalar(got.data(), expect.data(),
+                                           kWords, out));
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(
+        state.iterations() * kWords * sizeof(uint64_t)));
+    state.SetLabel(dispatched ? "dispatched" : "scalar");
+}
+BENCHMARK(BM_CompareWords)->Arg(0)->Arg(1);
+
+void
+BM_ScanNotGreater(benchmark::State &state)
+{
+    bool dispatched = state.range(0) != 0;
+    constexpr size_t kVals = 64 * 1024;
+    Rng rng(44);
+    std::vector<double> vals(kVals);
+    for (double &v : vals)
+        v = rng.uniform() * 10.0;
+    double threshold = 0.01; // sparse survivors, like the 5-sigma scan
+    std::vector<uint32_t> out;
+    for (auto _ : state) {
+        out.clear();
+        if (dispatched)
+            simd::scanNotGreater(vals.data(), kVals, threshold, out);
+        else
+            simd::scanNotGreaterScalar(vals.data(), kVals, threshold,
+                                       out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(
+        state.iterations() * kVals * sizeof(double)));
+    state.SetLabel(dispatched ? "dispatched" : "scalar");
+}
+BENCHMARK(BM_ScanNotGreater)->Arg(0)->Arg(1);
 
 void
 BM_UberSolve(benchmark::State &state)

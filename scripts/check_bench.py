@@ -1,0 +1,374 @@
+#!/usr/bin/env python3
+"""Perf-trajectory gate: diff fresh BENCH_*.json against committed
+baselines and fail CI when a gated metric regresses.
+
+The benches (bench_io, bench_fleet, bench_serve, bench_campaign) each
+emit a JSON artifact. This script compares a small allowlist of
+throughput metrics in those artifacts against the committed snapshots
+in bench/baselines/ and exits nonzero when any gated metric falls more
+than the tolerance below its baseline. Improvements never fail; they
+are reported so a deliberate speedup can be locked in by
+re-baselining.
+
+Usage:
+  check_bench.py [--baseline-dir bench/baselines] [--current-dir build]
+                 [--tol 0.15] [--dry-run] [--report FILE]
+  check_bench.py --rebaseline [--baseline-dir ...] [--current-dir ...]
+  check_bench.py --self-test
+
+Tolerance: --tol or REAPER_BENCH_TOL (a fraction: 0.15 means a gated
+metric may be up to 15% below baseline before failing). CI runners are
+noisy; the default is deliberately loose — the gate exists to catch
+trajectory regressions (an accidentally de-vectorized kernel, a
+quadratic loop), not 2% jitter.
+
+Metric paths use a tiny selector language matching the bench JSON
+shapes: dot-separated keys, where a segment may be `name[key=value]`
+to select the element of list `name` whose `key` field stringifies to
+`value` (e.g. `formats[format=v2].read_cells_per_sec`).
+
+Comparability guards, applied per file and reported as advisory skips
+rather than failures: a `quick_mode` mismatch between baseline and
+current (quick runs measure different workloads), a missing baseline
+or current file (e.g. the bench did not run in this CI shard), and a
+`sweep_skipped_single_core` flag set on either side (annotated so a
+single-core runner's missing thread-sweep rows are visible in the
+report rather than silently absent).
+"""
+
+import argparse
+import json
+import os
+import re
+import shutil
+import sys
+import tempfile
+
+# Gated metrics: (file stem, metric path, short label).
+# All are higher-is-better throughput figures.
+GATES = [
+    ("BENCH_io", "formats[format=v2].read_cells_per_sec",
+     "v2 profile read"),
+    ("BENCH_io", "formats[format=v2].write_cells_per_sec",
+     "v2 profile write"),
+    ("BENCH_serve", "lookup.cached_qps", "directory lookup"),
+    ("BENCH_fleet", "runs[threads=1].cell_reads_per_sec",
+     "fleet cell reads"),
+    ("BENCH_campaign", "chips_per_sec", "campaign throughput"),
+]
+
+DEFAULT_TOL = 0.15
+
+_SEGMENT_RE = re.compile(
+    r"^(?P<key>[A-Za-z0-9_]+)(\[(?P<selkey>[A-Za-z0-9_]+)="
+    r"(?P<selval>[^\]]*)\])?$")
+
+
+def lookup(doc, path):
+    """Resolve a metric path; raises KeyError with a readable message."""
+    node = doc
+    for segment in path.split("."):
+        m = _SEGMENT_RE.match(segment)
+        if not m:
+            raise KeyError(f"bad path segment '{segment}' in '{path}'")
+        key = m.group("key")
+        if not isinstance(node, dict) or key not in node:
+            raise KeyError(f"'{key}' not found resolving '{path}'")
+        node = node[key]
+        if m.group("selkey") is not None:
+            selkey, selval = m.group("selkey"), m.group("selval")
+            if not isinstance(node, list):
+                raise KeyError(
+                    f"'{key}' is not a list resolving '{path}'")
+            matches = [e for e in node
+                       if isinstance(e, dict)
+                       and str(e.get(selkey)) == selval]
+            if not matches:
+                raise KeyError(
+                    f"no {key}[] element with {selkey}={selval} "
+                    f"resolving '{path}'")
+            node = matches[0]
+    return node
+
+
+def load_json(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def compare(baseline_dir, current_dir, tol):
+    """Returns (lines, regressions, advisories)."""
+    lines, regressions, advisories = [], [], []
+    stems = sorted({stem for stem, _, _ in GATES})
+    docs = {}
+    for stem in stems:
+        base_path = os.path.join(baseline_dir, stem + ".json")
+        cur_path = os.path.join(current_dir, stem + ".json")
+        base = load_json(base_path) if os.path.exists(base_path) else None
+        cur = load_json(cur_path) if os.path.exists(cur_path) else None
+        if base is None:
+            advisories.append(
+                f"{stem}: no baseline at {base_path} (run with "
+                f"--rebaseline to create); skipping its gates")
+        if cur is None:
+            advisories.append(
+                f"{stem}: no current result at {cur_path} (bench not "
+                f"run?); skipping its gates")
+        if base is not None and cur is not None:
+            if base.get("quick_mode") != cur.get("quick_mode"):
+                advisories.append(
+                    f"{stem}: quick_mode mismatch (baseline="
+                    f"{base.get('quick_mode')}, current="
+                    f"{cur.get('quick_mode')}): different workloads, "
+                    f"skipping its gates")
+                base = cur = None
+        if base is not None and cur is not None:
+            # A REAPER_SIMD=scalar forensics run must not be held to
+            # baselines recorded on the dispatched path (or vice
+            # versa); benches that record their mode are only gated
+            # like-for-like.
+            if base.get("simd") != cur.get("simd"):
+                advisories.append(
+                    f"{stem}: simd mode mismatch (baseline="
+                    f"{base.get('simd')}, current={cur.get('simd')}): "
+                    f"different kernels, skipping its gates")
+                base = cur = None
+        if base is not None and cur is not None:
+            for side, doc in (("baseline", base), ("current", cur)):
+                if doc.get("sweep_skipped_single_core"):
+                    advisories.append(
+                        f"{stem}: {side} ran on a single-core host; "
+                        f"thread-sweep rows beyond threads=1 are absent "
+                        f"by design, only single-thread gates apply")
+        docs[stem] = (base, cur)
+
+    for stem, path, label in GATES:
+        base, cur = docs[stem]
+        if base is None or cur is None:
+            continue
+        try:
+            b = float(lookup(base, path))
+        except KeyError as e:
+            advisories.append(f"{stem}: baseline: {e}; gate skipped")
+            continue
+        try:
+            c = float(lookup(cur, path))
+        except KeyError as e:
+            regressions.append(
+                f"{stem}: {label} ({path}): missing from current "
+                f"result: {e}")
+            continue
+        if b <= 0:
+            advisories.append(
+                f"{stem}: {label}: nonpositive baseline {b}; gate "
+                f"skipped")
+            continue
+        ratio = c / b
+        status = "ok"
+        if ratio < 1.0 - tol:
+            status = "REGRESSION"
+            regressions.append(
+                f"{stem}: {label} ({path}): {c:.4g} vs baseline "
+                f"{b:.4g} ({ratio:.2f}x, tolerance {1.0 - tol:.2f}x)")
+        elif ratio > 1.0 + tol:
+            status = "improved (consider --rebaseline)"
+        lines.append(
+            f"  {stem:>14}  {label:<20} {b:>12.4g} -> {c:>12.4g}  "
+            f"{ratio:>6.2f}x  {status}")
+    return lines, regressions, advisories
+
+
+def write_report(path, lines, regressions, advisories, tol, dry_run):
+    with open(path, "w") as f:
+        f.write("# Bench trajectory report\n\n")
+        f.write(f"tolerance: -{tol * 100:.0f}% "
+                f"({'dry-run' if dry_run else 'gating'})\n\n")
+        f.write("```\n")
+        for line in lines:
+            f.write(line + "\n")
+        f.write("```\n")
+        if advisories:
+            f.write("\n## Advisories\n\n")
+            for a in advisories:
+                f.write(f"- {a}\n")
+        if regressions:
+            f.write("\n## Regressions\n\n")
+            for r in regressions:
+                f.write(f"- {r}\n")
+
+
+def rebaseline(baseline_dir, current_dir):
+    os.makedirs(baseline_dir, exist_ok=True)
+    copied = 0
+    for stem in sorted({stem for stem, _, _ in GATES}):
+        src = os.path.join(current_dir, stem + ".json")
+        if not os.path.exists(src):
+            print(f"rebaseline: {src} missing, skipped")
+            continue
+        shutil.copyfile(src, os.path.join(baseline_dir, stem + ".json"))
+        print(f"rebaseline: {stem}.json updated")
+        copied += 1
+    return 0 if copied else 1
+
+
+def self_test():
+    """Prove the gate actually fails on a doctored regression."""
+    baseline = {
+        "BENCH_io": {
+            "bench": "io", "quick_mode": False, "simd": "vector",
+            "formats": [
+                {"format": "v1", "read_cells_per_sec": 7.0e6,
+                 "write_cells_per_sec": 9.6e6},
+                {"format": "v2", "read_cells_per_sec": 6.0e7,
+                 "write_cells_per_sec": 5.5e7},
+            ],
+        },
+        "BENCH_serve": {"bench": "serve", "quick_mode": False,
+                        "lookup": {"cached_qps": 2.5e6}},
+        "BENCH_fleet": {"bench": "fleet", "quick_mode": False,
+                        "sweep_skipped_single_core": True,
+                        "runs": [{"threads": 1,
+                                  "cell_reads_per_sec": 5.0e12}]},
+        "BENCH_campaign": {"bench": "campaign", "quick_mode": False,
+                           "chips_per_sec": 176.0},
+    }
+
+    def run_case(mutate, tol=0.15):
+        import copy
+        current = copy.deepcopy(baseline)
+        mutate(current)
+        with tempfile.TemporaryDirectory() as tmp:
+            bdir = os.path.join(tmp, "base")
+            cdir = os.path.join(tmp, "cur")
+            os.makedirs(bdir)
+            os.makedirs(cdir)
+            for stem, doc in baseline.items():
+                with open(os.path.join(bdir, stem + ".json"), "w") as f:
+                    json.dump(doc, f)
+            for stem, doc in current.items():
+                with open(os.path.join(cdir, stem + ".json"), "w") as f:
+                    json.dump(doc, f)
+            return compare(bdir, cdir, tol)
+
+    failures = []
+
+    # Identical current == baseline: no regression.
+    _, regs, _ = run_case(lambda cur: None)
+    if regs:
+        failures.append(f"clean pass flagged regressions: {regs}")
+
+    # Doctored: v2 read 40% down must be caught.
+    def regress_io(cur):
+        cur["BENCH_io"]["formats"][1]["read_cells_per_sec"] = 3.6e7
+
+    _, regs, _ = run_case(regress_io)
+    if not any("v2 profile read" in r for r in regs):
+        failures.append("40% v2-read regression not flagged")
+
+    # Within tolerance: 10% down passes at 15% tol.
+    def dip_io(cur):
+        cur["BENCH_io"]["formats"][1]["read_cells_per_sec"] = 5.4e7
+
+    _, regs, _ = run_case(dip_io)
+    if regs:
+        failures.append(f"10% dip flagged at 15% tolerance: {regs}")
+
+    # Gated metric missing from current is a failure, not a skip.
+    def drop_metric(cur):
+        del cur["BENCH_campaign"]["chips_per_sec"]
+
+    _, regs, _ = run_case(drop_metric)
+    if not any("campaign" in r for r in regs):
+        failures.append("missing gated metric not flagged")
+
+    # quick_mode mismatch is advisory, never a regression.
+    def quick_current(cur):
+        cur["BENCH_serve"]["quick_mode"] = True
+        cur["BENCH_serve"]["lookup"]["cached_qps"] = 1.0
+
+    _, regs, advs = run_case(quick_current)
+    if any("serve" in r for r in regs):
+        failures.append("quick_mode mismatch gated instead of skipped")
+    if not any("quick_mode mismatch" in a for a in advs):
+        failures.append("quick_mode mismatch not advised")
+
+    # A forced-scalar run is not held to dispatched-path baselines.
+    def scalar_current(cur):
+        cur["BENCH_io"]["simd"] = "scalar"
+        cur["BENCH_io"]["formats"][1]["read_cells_per_sec"] = 3.0e7
+
+    _, regs, advs = run_case(scalar_current)
+    if any("v2 profile" in r for r in regs):
+        failures.append("simd mode mismatch gated instead of skipped")
+    if not any("simd mode mismatch" in a for a in advs):
+        failures.append("simd mode mismatch not advised")
+
+    # Single-core sweep skip is annotated.
+    _, _, advs = run_case(lambda cur: None)
+    if not any("single-core" in a for a in advs):
+        failures.append("sweep_skipped_single_core not annotated")
+
+    if failures:
+        for f in failures:
+            print(f"self-test FAIL: {f}", file=sys.stderr)
+        return 1
+    print("self-test: all cases behaved (regression caught, jitter "
+          "tolerated, mismatches advisory)")
+    return 0
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(
+        description="diff bench JSON against committed baselines")
+    ap.add_argument("--baseline-dir", default="bench/baselines")
+    ap.add_argument("--current-dir", default=".")
+    ap.add_argument("--tol", type=float,
+                    default=float(os.environ.get("REAPER_BENCH_TOL",
+                                                 DEFAULT_TOL)))
+    ap.add_argument("--dry-run", action="store_true",
+                    help="report but always exit 0")
+    ap.add_argument("--report", metavar="FILE",
+                    help="also write a markdown diff report")
+    ap.add_argument("--rebaseline", action="store_true",
+                    help="copy current bench JSON over the baselines")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify the gate catches a doctored regression")
+    args = ap.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+    if args.rebaseline:
+        return rebaseline(args.baseline_dir, args.current_dir)
+    if not 0.0 <= args.tol < 1.0:
+        ap.error(f"--tol must be in [0, 1), got {args.tol}")
+
+    lines, regressions, advisories = compare(
+        args.baseline_dir, args.current_dir, args.tol)
+
+    print(f"bench trajectory vs {args.baseline_dir} "
+          f"(tolerance -{args.tol * 100:.0f}%):")
+    for line in lines:
+        print(line)
+    for a in advisories:
+        print(f"  advisory: {a}")
+    if args.report:
+        write_report(args.report, lines, regressions, advisories,
+                     args.tol, args.dry_run)
+        print(f"report written to {args.report}")
+    if regressions:
+        print("\nperf regressions detected:", file=sys.stderr)
+        for r in regressions:
+            print(f"  {r}", file=sys.stderr)
+        if args.dry_run:
+            print("(dry-run: exiting 0 anyway)")
+            return 0
+        print("\nIf this change is an accepted tradeoff, refresh the "
+              "baselines with:\n  scripts/check_bench.py --rebaseline "
+              "--current-dir build", file=sys.stderr)
+        return 1
+    print("bench trajectory: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/math_util.h"
+#include "simd/words.h"
 
 namespace reaper {
 namespace dram {
@@ -220,12 +221,18 @@ DramDevice::readAndCompareInto()
     if (exposureEquiv_ <= 0)
         return readScratch_;
 
+    // Batched SoA fast reject: the dispatched kernel sweeps the flat
+    // reject array in 64-byte chunks (AVX2 compare + movemask, scalar
+    // under REAPER_SIMD=scalar) and emits only the candidate indices;
+    // survivors then take the exact per-cell stochastic path. The
+    // predicate is the same `!(reject > exposure)` branch the scalar
+    // loop used, so output stays bit-identical to
+    // readAndCompareReference().
     size_t end = candidateEnd(exposureEquiv_);
-    for (size_t i = 0; i < end; ++i) {
-        // SoA fast reject first: the common case touches only the two
-        // flat double arrays, not the (much wider) WeakCell records.
-        if (weakReject_[i] > exposureEquiv_)
-            continue;
+    candScratch_.clear();
+    simd::scanNotGreater(weakReject_.data(), end, exposureEquiv_,
+                         candScratch_);
+    for (uint32_t i : candScratch_) {
         const WeakCell &cell = weak_[i];
         if (exposureEquiv_ >= latentFailureTime(cell))
             readScratch_.push_back(cell.addr);

@@ -197,6 +197,8 @@ class DramDevice
     std::vector<double> weakReject_;
     /** Reusable result buffers (see readAndCompareInto). */
     std::vector<uint64_t> readScratch_;
+    /** Candidate indices surviving the batched fast-reject sweep. */
+    std::vector<uint32_t> candScratch_;
     mutable std::vector<uint64_t> oracleScratch_;
     std::vector<VrtActive> vrtActive_;
     /** Toggle-event queue: (time, index into weak_), min-heap. */

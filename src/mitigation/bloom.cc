@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "simd/words.h"
 
 namespace reaper {
 namespace mitigation {
@@ -67,7 +68,9 @@ BloomFilter::mayContain(uint64_t key) const
 void
 BloomFilter::clear()
 {
-    std::fill(words_.begin(), words_.end(), 0);
+    // Directory recompiles clear multi-megabit filters; use the
+    // batched word-fill kernel rather than a scalar std::fill.
+    simd::fillWords(words_.data(), words_.size(), 0);
     inserted_ = 0;
 }
 

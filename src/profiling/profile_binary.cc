@@ -6,6 +6,8 @@
 #include <ostream>
 
 #include "common/logging.h"
+#include "simd/crc32c.h"
+#include "simd/varint.h"
 
 namespace reaper {
 namespace profiling {
@@ -24,7 +26,7 @@ constexpr size_t kHeaderBytes = 44;
 constexpr size_t kFooterBytes = 12;
 /** A varint cell costs at most 2 x 10 bytes; anything bigger than the
  *  worst case for the block's cell budget is a corrupt length. */
-constexpr size_t kMaxVarintBytes = 10;
+constexpr size_t kMaxVarintBytes = simd::kMaxVarintBytes;
 /** Cap the decode-side reserve so a hostile header claiming 10^12
  *  cells cannot trigger a huge up-front allocation; the vector still
  *  grows geometrically past this if the cells really are there. */
@@ -84,70 +86,12 @@ getF64(const uint8_t *p)
     return v;
 }
 
-/** Decode one LEB128 varint from [p, end); nullptr on overrun or a
- *  non-canonical >64-bit encoding. */
-const uint8_t *
-getVarint(const uint8_t *p, const uint8_t *end, uint64_t *out)
-{
-    uint64_t v = 0;
-    unsigned shift = 0;
-    while (p != end && shift < 64) {
-        uint8_t byte = *p++;
-        v |= static_cast<uint64_t>(byte & 0x7F) << shift;
-        if (!(byte & 0x80)) {
-            *out = v;
-            return p;
-        }
-        shift += 7;
-    }
-    return nullptr;
-}
-
-} // namespace
-
-// --- CRC32C (Castagnoli 0x1EDC6F41, reflected), slicing-by-4 ---
-
-namespace {
-
-struct Crc32cTables
-{
-    uint32_t t[4][256];
-
-    Crc32cTables()
-    {
-        for (uint32_t i = 0; i < 256; ++i) {
-            uint32_t c = i;
-            for (int k = 0; k < 8; ++k)
-                c = (c & 1) ? 0x82F63B78u ^ (c >> 1) : c >> 1;
-            t[0][i] = c;
-        }
-        for (uint32_t i = 0; i < 256; ++i)
-            for (int j = 1; j < 4; ++j)
-                t[j][i] = t[0][t[j - 1][i] & 0xFF] ^
-                          (t[j - 1][i] >> 8);
-    }
-};
-
 } // namespace
 
 uint32_t
 crc32c(uint32_t crc, const void *data, size_t len)
 {
-    static const Crc32cTables tables;
-    const uint8_t *p = static_cast<const uint8_t *>(data);
-    crc = ~crc;
-    while (len >= 4) {
-        crc ^= getU32(p);
-        crc = tables.t[3][crc & 0xFF] ^
-              tables.t[2][(crc >> 8) & 0xFF] ^
-              tables.t[1][(crc >> 16) & 0xFF] ^
-              tables.t[0][crc >> 24];
-        p += 4;
-        len -= 4;
-    }
-    while (len--)
-        crc = tables.t[0][(crc ^ *p++) & 0xFF] ^ (crc >> 8);
-    return ~crc;
+    return simd::crc32c(crc, data, len);
 }
 
 const char *
@@ -193,19 +137,17 @@ BinaryProfileWriter::BinaryProfileWriter(std::ostream &os,
     os_.write(reinterpret_cast<const char *>(h), kHeaderBytes);
     fileCrc_ = crc32c(fileCrc_, h, kHeaderBytes);
     headerWritten_ = true;
-    // Worst case block payload, so append() never reallocates.
-    payload_.reserve(static_cast<size_t>(blockCells_) * 2 *
-                     kMaxVarintBytes);
+    // Worst case block payload, so the raw-pointer encode in
+    // putVarint() never needs a bounds check or reallocation.
+    payload_.resize(static_cast<size_t>(blockCells_) * 2 *
+                    kMaxVarintBytes);
 }
 
 void
 BinaryProfileWriter::putVarint(uint64_t v)
 {
-    while (v >= 0x80) {
-        payload_.push_back(static_cast<uint8_t>(v) | 0x80);
-        v >>= 7;
-    }
-    payload_.push_back(static_cast<uint8_t>(v));
+    payloadSize_ +=
+        simd::encodeVarint(payload_.data() + payloadSize_, v);
 }
 
 void
@@ -240,23 +182,23 @@ BinaryProfileWriter::flushBlock()
         return;
     uint8_t frame[8];
     putU32(frame, pending_);
-    putU32(frame + 4, static_cast<uint32_t>(payload_.size()));
+    putU32(frame + 4, static_cast<uint32_t>(payloadSize_));
     uint32_t crc = crc32c(0, frame, sizeof(frame));
-    crc = crc32c(crc, payload_.data(), payload_.size());
+    crc = crc32c(crc, payload_.data(), payloadSize_);
     uint8_t crcBytes[4];
     putU32(crcBytes, crc);
 
     os_.write(reinterpret_cast<const char *>(frame), sizeof(frame));
     os_.write(reinterpret_cast<const char *>(payload_.data()),
-              static_cast<std::streamsize>(payload_.size()));
+              static_cast<std::streamsize>(payloadSize_));
     os_.write(reinterpret_cast<const char *>(crcBytes), 4);
     fileCrc_ = crc32c(fileCrc_, frame, sizeof(frame));
-    fileCrc_ = crc32c(fileCrc_, payload_.data(), payload_.size());
+    fileCrc_ = crc32c(fileCrc_, payload_.data(), payloadSize_);
     fileCrc_ = crc32c(fileCrc_, crcBytes, 4);
 
     ++blockCount_;
     pending_ = 0;
-    payload_.clear();
+    payloadSize_ = 0;
 }
 
 Status
@@ -370,36 +312,88 @@ BinaryProfileReader::readBlock(std::vector<dram::ChipFailure> &out)
     fileCrc_ = crc32c(fileCrc_, frame, sizeof(frame));
     fileCrc_ = crc32c(fileCrc_, payload_.data(), payload_.size());
 
+    // Bulk-decode the payload's varints in one dispatched pass (two
+    // per cell, by construction of the writer), then reconstruct the
+    // delta-coded cells from the flat value array.
+    varints_.resize(static_cast<size_t>(cells) * 2);
     const uint8_t *p = payload_.data();
     const uint8_t *end = p + payloadBytes;
-    for (uint32_t i = 0; i < cells; ++i) {
-        uint64_t chip, addr;
-        if (i == 0) {
-            if (!(p = getVarint(p, end, &chip)) ||
-                !(p = getVarint(p, end, &addr)))
-                return Error::corrupt("bad varint in block");
-        } else {
-            uint64_t dchip, d;
-            if (!(p = getVarint(p, end, &dchip)) ||
-                !(p = getVarint(p, end, &d)))
-                return Error::corrupt("bad varint in block");
-            chip = prev_.chip + dchip;
-            addr = dchip != 0 ? d : prev_.addr + d;
-        }
+    p = simd::decodeVarints(p, end, varints_.data(), varints_.size());
+    if (p == nullptr)
+        return Error::corrupt("bad varint in block");
+    if (p != end)
+        return Error::corrupt("trailing bytes in block payload");
+
+    // Block-first cell: raw (chip, addr), validated with the full
+    // cross-block ordering compare.
+    {
+        uint64_t chip = varints_[0];
         if (chip > 0xFFFFFFFFull)
             return Error::corrupt("chip index out of range");
-        dram::ChipFailure f{static_cast<uint32_t>(chip), addr};
-        if ((havePrev_ || i > 0) && !(prev_ < f))
+        dram::ChipFailure f{static_cast<uint32_t>(chip), varints_[1]};
+        if (havePrev_ && !(prev_ < f))
             return Error::corrupt("cells not strictly increasing");
-        out.push_back(f);
         prev_ = f;
         havePrev_ = true;
     }
-    if (p != end)
-        return Error::corrupt("trailing bytes in block payload");
+    // Later cells: delta-coded. Reconstruct with prev in registers and
+    // raw writes into the pre-grown output — the validation below is
+    // the strict-increase check specialized per delta kind (dchip == 0
+    // needs addr to grow without wrapping; dchip != 0 needs the new
+    // chip to grow and stay in range), exactly the set of streams the
+    // general `!(prev < f)` compare accepted.
+    size_t base = out.size();
+    out.resize(base + cells);
+    dram::ChipFailure *dst = out.data() + base;
+    *dst++ = prev_;
+    uint64_t chip = prev_.chip;
+    uint64_t addr = prev_.addr;
+    const uint64_t *v = varints_.data() + 2;
+    for (uint32_t i = 1; i < cells; ++i, v += 2) {
+        uint64_t dchip = v[0];
+        uint64_t d = v[1];
+        if (dchip == 0) {
+            // next <= addr catches both d == 0 (equal) and unsigned
+            // wraparound (smaller), the two ways !(prev < f) fired.
+            uint64_t next = addr + d;
+            if (next <= addr) {
+                out.resize(base);
+                return Error::corrupt("cells not strictly increasing");
+            }
+            addr = next;
+        } else {
+            uint64_t next = chip + dchip;
+            if (next > 0xFFFFFFFFull) {
+                out.resize(base);
+                return Error::corrupt("chip index out of range");
+            }
+            if (next <= chip) {
+                out.resize(base);
+                return Error::corrupt("cells not strictly increasing");
+            }
+            chip = next;
+            addr = d;
+        }
+        *dst++ = {static_cast<uint32_t>(chip), addr};
+    }
+    prev_ = {static_cast<uint32_t>(chip), addr};
     decoded_ += cells;
     ++blockCount_;
+    trimScratch();
     return static_cast<uint64_t>(cells);
+}
+
+void
+BinaryProfileReader::trimScratch()
+{
+    // Release-and-reacquire above the cap: a single outsized block
+    // (a file written with a huge block capacity) must not pin its
+    // scratch for the lifetime of a long-lived reader owner.
+    if (payload_.capacity() > kReaderScratchReleaseBytes)
+        std::vector<uint8_t>().swap(payload_);
+    if (varints_.capacity() * sizeof(uint64_t) >
+        kReaderScratchReleaseBytes)
+        std::vector<uint64_t>().swap(varints_);
 }
 
 Status

@@ -68,7 +68,13 @@ const char *toString(ProfileFormat f);
 common::Expected<ProfileFormat>
 parseProfileFormat(const std::string &name);
 
-/** CRC32C (Castagnoli), slicing-by-4; seed 0 for a fresh stream. */
+/**
+ * CRC32C (Castagnoli); seed 0 for a fresh stream. Forwards to the
+ * runtime-dispatched simd::crc32c (hardware CRC instruction where the
+ * CPU has one, slicing-by-4 software otherwise or under
+ * REAPER_SIMD=scalar); the RFC 3720 vector stays pinned in tests as
+ * the cross-variant equivalence oracle.
+ */
 uint32_t crc32c(uint32_t crc, const void *data, size_t len);
 
 /** First byte of the v2 magic — what the sniffing reader dispatches
@@ -78,6 +84,15 @@ constexpr uint8_t kBinaryMagicByte = 0x89;
 /** Default cells per block: small enough that a corrupt block loses
  *  little locality, large enough to amortize the 12-byte framing. */
 constexpr uint32_t kDefaultBlockCells = 4096;
+
+/**
+ * Reader scratch buffers larger than this are released after the block
+ * that needed them (and reacquired on demand), so one huge block in a
+ * file read long ago cannot pin megabytes under a long-lived reader
+ * owner such as serve::ProfileCache. Default-sized blocks stay well
+ * under the cap and keep their scratch across blocks.
+ */
+constexpr size_t kReaderScratchReleaseBytes = 256 * 1024;
 
 /**
  * Single-pass streaming writer. Cells must arrive in strictly
@@ -119,8 +134,11 @@ class BinaryProfileWriter
     dram::ChipFailure prev_{};
     /** Cells buffered for the current block. */
     uint32_t pending_ = 0;
-    /** Reused varint scratch for the current block's payload. */
+    /** Reused varint scratch for the current block's payload, sized
+     *  once to the worst case; payloadSize_ tracks the used prefix so
+     *  the encode path writes through a raw pointer. */
     std::vector<uint8_t> payload_;
+    size_t payloadSize_ = 0;
 };
 
 /**
@@ -159,8 +177,20 @@ class BinaryProfileReader
     /** Validate the footer (call once done()). */
     common::Status readFooter();
 
+    /** Current scratch footprint (payload + decoded-varint buffers),
+     *  in bytes of capacity — what the release cap bounds between
+     *  blocks. Exposed for the regression test. */
+    size_t scratchBytes() const
+    {
+        return payload_.capacity() +
+               varints_.capacity() * sizeof(uint64_t);
+    }
+
   private:
     common::Status fill(void *dst, size_t len, const char *what);
+
+    /** Release any scratch the last block grew past the cap. */
+    void trimScratch();
 
     std::istream &is_;
     Conditions cond_{};
@@ -174,6 +204,8 @@ class BinaryProfileReader
     dram::ChipFailure prev_{};
     /** Reused payload scratch across blocks. */
     std::vector<uint8_t> payload_;
+    /** Reused bulk-decoded varint scratch (two per cell). */
+    std::vector<uint64_t> varints_;
 };
 
 /** Serialize a profile in v2 binary form. Errors: Io. */

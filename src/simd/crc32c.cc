@@ -1,0 +1,166 @@
+#include "simd/crc32c.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "simd/dispatch.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <nmmintrin.h>
+#define REAPER_CRC32C_X86 1
+#elif defined(__aarch64__) && defined(__ARM_FEATURE_CRC32)
+#include <arm_acle.h>
+#define REAPER_CRC32C_ARM 1
+#endif
+
+namespace reaper {
+namespace simd {
+
+namespace {
+
+struct Crc32cTables
+{
+    uint32_t t[4][256];
+
+    Crc32cTables()
+    {
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0x82F63B78u ^ (c >> 1) : c >> 1;
+            t[0][i] = c;
+        }
+        for (uint32_t i = 0; i < 256; ++i)
+            for (int j = 1; j < 4; ++j)
+                t[j][i] = t[0][t[j - 1][i] & 0xFF] ^
+                          (t[j - 1][i] >> 8);
+    }
+};
+
+inline uint32_t
+loadLe32(const uint8_t *p)
+{
+    return static_cast<uint32_t>(p[0]) |
+           static_cast<uint32_t>(p[1]) << 8 |
+           static_cast<uint32_t>(p[2]) << 16 |
+           static_cast<uint32_t>(p[3]) << 24;
+}
+
+} // namespace
+
+uint32_t
+crc32cSoftware(uint32_t crc, const void *data, size_t len)
+{
+    static const Crc32cTables tables;
+    const uint8_t *p = static_cast<const uint8_t *>(data);
+    crc = ~crc;
+    while (len >= 4) {
+        crc ^= loadLe32(p);
+        crc = tables.t[3][crc & 0xFF] ^
+              tables.t[2][(crc >> 8) & 0xFF] ^
+              tables.t[1][(crc >> 16) & 0xFF] ^
+              tables.t[0][crc >> 24];
+        p += 4;
+        len -= 4;
+    }
+    while (len--)
+        crc = tables.t[0][(crc ^ *p++) & 0xFF] ^ (crc >> 8);
+    return ~crc;
+}
+
+bool
+crc32cHardwareAvailable()
+{
+#if defined(REAPER_CRC32C_X86)
+    return cpuHasCrc32c();
+#elif defined(REAPER_CRC32C_ARM)
+    return true;
+#else
+    return false;
+#endif
+}
+
+#if defined(REAPER_CRC32C_X86)
+
+__attribute__((target("sse4.2"))) uint32_t
+crc32cHardware(uint32_t crc, const void *data, size_t len)
+{
+    const uint8_t *p = static_cast<const uint8_t *>(data);
+    crc = ~crc;
+    // Head: reach 8-byte alignment so the wide loop loads aligned.
+    while (len > 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+        crc = _mm_crc32_u8(crc, *p++);
+        --len;
+    }
+#if defined(__x86_64__)
+    uint64_t crc64 = crc;
+    while (len >= 8) {
+        uint64_t word;
+        std::memcpy(&word, p, 8);
+        crc64 = _mm_crc32_u64(crc64, word);
+        p += 8;
+        len -= 8;
+    }
+    crc = static_cast<uint32_t>(crc64);
+#endif
+    while (len >= 4) {
+        uint32_t word;
+        std::memcpy(&word, p, 4);
+        crc = _mm_crc32_u32(crc, word);
+        p += 4;
+        len -= 4;
+    }
+    while (len--)
+        crc = _mm_crc32_u8(crc, *p++);
+    return ~crc;
+}
+
+#elif defined(REAPER_CRC32C_ARM)
+
+uint32_t
+crc32cHardware(uint32_t crc, const void *data, size_t len)
+{
+    const uint8_t *p = static_cast<const uint8_t *>(data);
+    crc = ~crc;
+    while (len > 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+        crc = __crc32cb(crc, *p++);
+        --len;
+    }
+    while (len >= 8) {
+        uint64_t word;
+        std::memcpy(&word, p, 8);
+        crc = __crc32cd(crc, word);
+        p += 8;
+        len -= 8;
+    }
+    while (len--)
+        crc = __crc32cb(crc, *p++);
+    return ~crc;
+}
+
+#else
+
+uint32_t
+crc32cHardware(uint32_t crc, const void *data, size_t len)
+{
+    (void)crc;
+    (void)data;
+    (void)len;
+    panic("crc32cHardware: no hardware CRC32C on this target");
+}
+
+#endif
+
+uint32_t
+crc32c(uint32_t crc, const void *data, size_t len)
+{
+    using Fn = uint32_t (*)(uint32_t, const void *, size_t);
+    static const Fn fn = (activeLevel() >= SimdLevel::Vector &&
+                          crc32cHardwareAvailable())
+                             ? &crc32cHardware
+                             : &crc32cSoftware;
+    return fn(crc, data, len);
+}
+
+} // namespace simd
+} // namespace reaper

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * CRC32C (Castagnoli, polynomial 0x1EDC6F41, reflected) with runtime
+ * hardware dispatch.
+ *
+ * The dispatched crc32c() picks the SSE4.2 `crc32` instruction path
+ * (8 bytes per instruction) or the ARMv8 CRC extension when the CPU
+ * has it and REAPER_SIMD allows it, and otherwise the slicing-by-4
+ * software implementation that has always backed the v2 profile
+ * format. Both paths share the same seeding convention: pass 0 for a
+ * fresh stream, or a previous return value to continue one
+ * (crc32c(crc32c(0, a, la), b, lb) == crc32c(0, a+b, la+lb)).
+ *
+ * The RFC 3720 "123456789" -> 0xE3069283 vector pins the polynomial;
+ * tests/test_simd.cc additionally proves software/hardware equivalence
+ * at every length 0..256 and alignment offset 0..7.
+ */
+
+#ifndef REAPER_SIMD_CRC32C_H
+#define REAPER_SIMD_CRC32C_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace reaper {
+namespace simd {
+
+/** Dispatched CRC32C (see file comment for the seeding convention). */
+uint32_t crc32c(uint32_t crc, const void *data, size_t len);
+
+/** Slicing-by-4 software reference (the scalar twin). */
+uint32_t crc32cSoftware(uint32_t crc, const void *data, size_t len);
+
+/** Whether crc32cHardware() may be called on this CPU. */
+bool crc32cHardwareAvailable();
+
+/**
+ * Hardware-instruction path. Callers must check
+ * crc32cHardwareAvailable() first; the dispatched crc32c() does.
+ */
+uint32_t crc32cHardware(uint32_t crc, const void *data, size_t len);
+
+} // namespace simd
+} // namespace reaper
+
+#endif // REAPER_SIMD_CRC32C_H

@@ -1,0 +1,84 @@
+#include "simd/dispatch.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace reaper {
+namespace simd {
+
+const char *
+toString(SimdLevel level)
+{
+    switch (level) {
+    case SimdLevel::Scalar:
+        return "scalar";
+    case SimdLevel::Swar:
+        return "swar";
+    case SimdLevel::Vector:
+        return "vector";
+    }
+    return "?";
+}
+
+bool
+cpuHasCrc32c()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    return __builtin_cpu_supports("sse4.2");
+#elif defined(__aarch64__) && defined(__ARM_FEATURE_CRC32)
+    // Baked in at compile time via -march; no runtime probe needed.
+    return true;
+#else
+    return false;
+#endif
+}
+
+bool
+cpuHasAvx2()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    // __builtin_cpu_supports includes the XGETBV check, so this is
+    // false when the OS has not enabled YMM state saving.
+    return __builtin_cpu_supports("avx2");
+#else
+    return false;
+#endif
+}
+
+SimdLevel
+detectedLevel()
+{
+    // SWAR kernels are plain uint64_t arithmetic: always available.
+    if (cpuHasCrc32c() || cpuHasAvx2())
+        return SimdLevel::Vector;
+    return SimdLevel::Swar;
+}
+
+SimdLevel
+resolveLevel(const char *env, SimdLevel detected)
+{
+    if (env == nullptr || *env == '\0' ||
+        std::strcmp(env, "auto") == 0)
+        return detected;
+    if (std::strcmp(env, "scalar") == 0)
+        return SimdLevel::Scalar;
+    if (std::strcmp(env, "swar") == 0)
+        return detected < SimdLevel::Swar ? detected : SimdLevel::Swar;
+    warn("REAPER_SIMD: unknown value '%s' (expected scalar|swar|auto); "
+         "using auto",
+         env);
+    return detected;
+}
+
+SimdLevel
+activeLevel()
+{
+    static const SimdLevel level =
+        resolveLevel(std::getenv("REAPER_SIMD"), detectedLevel());
+    return level;
+}
+
+} // namespace simd
+} // namespace reaper

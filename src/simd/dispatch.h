@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Runtime CPU dispatch for the SIMD micro-kernel layer (src/simd/).
+ *
+ * Every kernel in this module ships as a family: a scalar reference
+ * twin (the original byte/word-at-a-time loop, kept bit-identical
+ * forever as the equivalence oracle), a portable SWAR variant where it
+ * helps, and a hardware path (SSE4.2 CRC32C, AVX2 compare/movemask)
+ * where the CPU supports it. The dispatched entry points resolve a
+ * function pointer exactly once (thread-safe static init) from
+ *
+ *   min(detected CPU capability, REAPER_SIMD cap)
+ *
+ * where REAPER_SIMD is:
+ *   scalar  force the reference twins everywhere (debugging, perf
+ *           forensics, sanitizer forensics)
+ *   swar    allow portable batched kernels but no ISA-specific code
+ *   auto    best available (default; unset means auto)
+ *
+ * Capability detection is cpuid-based on x86 (via the compiler's
+ * __builtin_cpu_supports, which performs the CPUID/XGETBV dance
+ * correctly, including the OS-enabled YMM-state check AVX2 needs).
+ * Non-x86 hosts report Swar and run the portable kernels.
+ *
+ * See DESIGN.md §12 for the kernel-addition and equivalence-proof
+ * policy.
+ */
+
+#ifndef REAPER_SIMD_DISPATCH_H
+#define REAPER_SIMD_DISPATCH_H
+
+#include <cstdint>
+
+namespace reaper {
+namespace simd {
+
+/** Dispatch tier, ordered: higher levels include the lower ones. */
+enum class SimdLevel : uint8_t
+{
+    Scalar = 0, ///< reference twins only
+    Swar = 1,   ///< portable 64-bit batched kernels
+    Vector = 2, ///< ISA-specific kernels (SSE4.2 CRC32C, AVX2)
+};
+
+const char *toString(SimdLevel level);
+
+/** Best level the CPU supports, ignoring REAPER_SIMD. */
+SimdLevel detectedLevel();
+
+/**
+ * The level kernels actually dispatch on: detectedLevel() capped by
+ * REAPER_SIMD. Resolved once on first use; changing the environment
+ * afterwards has no effect (kernels cache their function pointers).
+ */
+SimdLevel activeLevel();
+
+/**
+ * Pure resolution rule (exposed for tests): cap `detected` by the
+ * REAPER_SIMD value `env` (nullptr/""/"auto" = no cap; unknown values
+ * are ignored with a warning).
+ */
+SimdLevel resolveLevel(const char *env, SimdLevel detected);
+
+/** CPU capability probes (ignore REAPER_SIMD). */
+bool cpuHasCrc32c();
+bool cpuHasAvx2();
+
+} // namespace simd
+} // namespace reaper
+
+#endif // REAPER_SIMD_DISPATCH_H

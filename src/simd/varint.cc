@@ -1,0 +1,117 @@
+#include "simd/varint.h"
+
+#include <cstring>
+
+#include "simd/dispatch.h"
+
+namespace reaper {
+namespace simd {
+
+namespace {
+
+/** Decode one varint byte-at-a-time (the historical v2 semantics:
+ *  bits at shift >= 64 are discarded, a continuation reaching shift
+ *  64 is malformed). */
+inline const uint8_t *
+decodeOneScalar(const uint8_t *p, const uint8_t *end, uint64_t *out)
+{
+    uint64_t v = 0;
+    unsigned shift = 0;
+    while (p != end && shift < 64) {
+        uint8_t byte = *p++;
+        v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+        if (!(byte & 0x80)) {
+            *out = v;
+            return p;
+        }
+        shift += 7;
+    }
+    return nullptr;
+}
+
+constexpr uint64_t kContMask = 0x8080808080808080ull;
+
+} // namespace
+
+const uint8_t *
+decodeVarintsScalar(const uint8_t *p, const uint8_t *end, uint64_t *out,
+                    size_t count)
+{
+    for (size_t i = 0; i < count; ++i) {
+        p = decodeOneScalar(p, end, out + i);
+        if (p == nullptr)
+            return nullptr;
+    }
+    return p;
+}
+
+namespace {
+
+/** Branchless compaction of up to eight little-endian 7-bit groups
+ *  (continuation bits already stripped) into one value. */
+inline uint64_t
+compact7(uint64_t x)
+{
+    x = (x & 0x007F007F007F007Full) |
+        ((x & 0x7F007F007F007F00ull) >> 1);
+    x = (x & 0x00003FFF00003FFFull) |
+        ((x & 0x3FFF00003FFF0000ull) >> 2);
+    x = (x & 0x000000000FFFFFFFull) |
+        ((x & 0x0FFFFFFF00000000ull) >> 4);
+    return x;
+}
+
+} // namespace
+
+const uint8_t *
+decodeVarintsSwar(const uint8_t *p, const uint8_t *end, uint64_t *out,
+                  size_t count)
+{
+    size_t i = 0;
+    while (i < count && end - p >= 8) {
+        // One load decodes every varint that terminates inside the
+        // window — with 1-3 byte deltas that's typically 3-8 varints
+        // per 8-byte load, each a ctz + shift + branchless 7-bit
+        // compaction instead of a byte-at-a-time dependent loop.
+        uint64_t window;
+        std::memcpy(&window, p, 8);
+        uint64_t terminators = ~window & kContMask;
+        if (terminators == 0) {
+            // Varint longer than the window: take the exact slow path
+            // (also yields the historical >10-byte malformed error).
+            p = decodeOneScalar(p, end, out + i++);
+            if (p == nullptr)
+                return nullptr;
+            continue;
+        }
+        unsigned consumed = 0;
+        do {
+            unsigned tpos = static_cast<unsigned>(
+                                __builtin_ctzll(terminators)) >>
+                            3;
+            uint64_t chunk = (window >> (8 * consumed)) &
+                             (~0ull >> (56 - 8 * (tpos - consumed)));
+            out[i++] = compact7(chunk & ~kContMask);
+            consumed = tpos + 1;
+            terminators &= terminators - 1;
+        } while (terminators != 0 && i < count);
+        p += consumed;
+    }
+    // Tail (fewer than 8 bytes left, or count satisfied).
+    return decodeVarintsScalar(p, end, out + i, count - i);
+}
+
+const uint8_t *
+decodeVarints(const uint8_t *p, const uint8_t *end, uint64_t *out,
+              size_t count)
+{
+    using Fn = const uint8_t *(*)(const uint8_t *, const uint8_t *,
+                                  uint64_t *, size_t);
+    static const Fn fn = activeLevel() >= SimdLevel::Swar
+                             ? &decodeVarintsSwar
+                             : &decodeVarintsScalar;
+    return fn(p, end, out, count);
+}
+
+} // namespace simd
+} // namespace reaper

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Bulk LEB128 varint codec.
+ *
+ * The v2 profile format stores every cell as exactly two varints, so
+ * block decode reduces to "decode N varints from this byte range" —
+ * which the SWAR path does a 64-bit window at a time: load 8 bytes,
+ * find the varint's terminator byte from the continuation-bit mask
+ * with one ctz, and extract the payload bits without a per-byte
+ * branch. Delta-encoded cell streams are overwhelmingly 1–2 byte
+ * varints, where this replaces 2–4 dependent branches per varint with
+ * straight-line arithmetic.
+ *
+ * Byte-exact contract (both variants, property-tested against each
+ * other in tests/test_simd.cc):
+ *
+ *  - decode exactly `count` varints starting at `p`, never reading at
+ *    or past `end`;
+ *  - accept what the historical scalar decoder accepted, including
+ *    non-canonical up-to-10-byte encodings whose bits past 2^64 are
+ *    discarded;
+ *  - return nullptr on truncation or on a continuation byte at shift
+ *    64 (the caller maps this to ErrorCategory::Corrupt);
+ *  - on success return the first byte after the last varint.
+ */
+
+#ifndef REAPER_SIMD_VARINT_H
+#define REAPER_SIMD_VARINT_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace reaper {
+namespace simd {
+
+/** Dispatched bulk decode (scalar twin under REAPER_SIMD=scalar). */
+const uint8_t *decodeVarints(const uint8_t *p, const uint8_t *end,
+                             uint64_t *out, size_t count);
+
+/** Byte-at-a-time reference decoder (the scalar twin). */
+const uint8_t *decodeVarintsScalar(const uint8_t *p, const uint8_t *end,
+                                   uint64_t *out, size_t count);
+
+/** SWAR 64-bit-window decoder. */
+const uint8_t *decodeVarintsSwar(const uint8_t *p, const uint8_t *end,
+                                 uint64_t *out, size_t count);
+
+/** Max encoded size of one varint (10 bytes covers any uint64_t). */
+constexpr size_t kMaxVarintBytes = 10;
+
+/**
+ * Encode one varint at `dst` (which must have kMaxVarintBytes of
+ * room); returns the number of bytes written. Pointer-based so
+ * encoders can fill a preallocated block payload with no per-byte
+ * container overhead.
+ */
+inline size_t
+encodeVarint(uint8_t *dst, uint64_t v)
+{
+    size_t n = 0;
+    while (v >= 0x80) {
+        dst[n++] = static_cast<uint8_t>(v) | 0x80;
+        v >>= 7;
+    }
+    dst[n++] = static_cast<uint8_t>(v);
+    return n;
+}
+
+} // namespace simd
+} // namespace reaper
+
+#endif // REAPER_SIMD_VARINT_H

@@ -1,0 +1,230 @@
+#include "simd/words.h"
+
+#include "simd/dispatch.h"
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#define REAPER_WORDS_AVX2 1
+#endif
+
+namespace reaper {
+namespace simd {
+
+// ---- fillWords ----
+
+void
+fillWordsScalar(uint64_t *dst, size_t n, uint64_t value)
+{
+    for (size_t i = 0; i < n; ++i)
+        dst[i] = value;
+}
+
+#if defined(REAPER_WORDS_AVX2)
+
+__attribute__((target("avx2"))) void
+fillWordsVector(uint64_t *dst, size_t n, uint64_t value)
+{
+    __m256i v = _mm256_set1_epi64x(static_cast<long long>(value));
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) { // 64-byte chunk: two 256-bit stores
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst + i), v);
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst + i + 4),
+                            v);
+    }
+    for (; i < n; ++i)
+        dst[i] = value;
+}
+
+#else
+
+void
+fillWordsVector(uint64_t *dst, size_t n, uint64_t value)
+{
+    fillWordsScalar(dst, n, value);
+}
+
+#endif
+
+void
+fillWords(uint64_t *dst, size_t n, uint64_t value)
+{
+    using Fn = void (*)(uint64_t *, size_t, uint64_t);
+    static const Fn fn =
+        (activeLevel() >= SimdLevel::Vector && wordsVectorAvailable())
+            ? &fillWordsVector
+            : &fillWordsScalar;
+    fn(dst, n, value);
+}
+
+// ---- compareWords ----
+
+size_t
+compareWordsScalar(const uint64_t *got, const uint64_t *expect,
+                   size_t n, std::vector<uint64_t> &out)
+{
+    size_t before = out.size();
+    for (size_t i = 0; i < n; ++i)
+        if (got[i] != expect[i])
+            out.push_back(i);
+    return out.size() - before;
+}
+
+size_t
+compareWordsSwar(const uint64_t *got, const uint64_t *expect, size_t n,
+                 std::vector<uint64_t> &out)
+{
+    size_t before = out.size();
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        // Branchless per-chunk mismatch mask: one bit per word. The
+        // common all-match case costs 8 XORs and one branch.
+        unsigned mask = 0;
+        for (unsigned k = 0; k < 8; ++k)
+            mask |= (got[i + k] != expect[i + k] ? 1u : 0u) << k;
+        while (mask != 0) {
+            unsigned k = static_cast<unsigned>(__builtin_ctz(mask));
+            out.push_back(i + k);
+            mask &= mask - 1;
+        }
+    }
+    for (; i < n; ++i)
+        if (got[i] != expect[i])
+            out.push_back(i);
+    return out.size() - before;
+}
+
+#if defined(REAPER_WORDS_AVX2)
+
+__attribute__((target("avx2"))) size_t
+compareWordsVector(const uint64_t *got, const uint64_t *expect,
+                   size_t n, std::vector<uint64_t> &out)
+{
+    size_t before = out.size();
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        __m256i g0 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(got + i));
+        __m256i g1 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(got + i + 4));
+        __m256i e0 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(expect + i));
+        __m256i e1 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(expect + i + 4));
+        unsigned eq0 = static_cast<unsigned>(_mm256_movemask_pd(
+            _mm256_castsi256_pd(_mm256_cmpeq_epi64(g0, e0))));
+        unsigned eq1 = static_cast<unsigned>(_mm256_movemask_pd(
+            _mm256_castsi256_pd(_mm256_cmpeq_epi64(g1, e1))));
+        unsigned mask = (~eq0 & 0xFu) | ((~eq1 & 0xFu) << 4);
+        while (mask != 0) {
+            unsigned k = static_cast<unsigned>(__builtin_ctz(mask));
+            out.push_back(i + k);
+            mask &= mask - 1;
+        }
+    }
+    for (; i < n; ++i)
+        if (got[i] != expect[i])
+            out.push_back(i);
+    return out.size() - before;
+}
+
+#else
+
+size_t
+compareWordsVector(const uint64_t *got, const uint64_t *expect,
+                   size_t n, std::vector<uint64_t> &out)
+{
+    return compareWordsSwar(got, expect, n, out);
+}
+
+#endif
+
+size_t
+compareWords(const uint64_t *got, const uint64_t *expect, size_t n,
+             std::vector<uint64_t> &out)
+{
+    using Fn = size_t (*)(const uint64_t *, const uint64_t *, size_t,
+                          std::vector<uint64_t> &);
+    static const Fn fn =
+        (activeLevel() >= SimdLevel::Vector && wordsVectorAvailable())
+            ? &compareWordsVector
+        : activeLevel() >= SimdLevel::Swar ? &compareWordsSwar
+                                           : &compareWordsScalar;
+    return fn(got, expect, n, out);
+}
+
+// ---- scanNotGreater ----
+
+void
+scanNotGreaterScalar(const double *vals, size_t n, double threshold,
+                     std::vector<uint32_t> &out)
+{
+    for (size_t i = 0; i < n; ++i)
+        if (!(vals[i] > threshold))
+            out.push_back(static_cast<uint32_t>(i));
+}
+
+#if defined(REAPER_WORDS_AVX2)
+
+__attribute__((target("avx2"))) void
+scanNotGreaterVector(const double *vals, size_t n, double threshold,
+                     std::vector<uint32_t> &out)
+{
+    __m256d t = _mm256_set1_pd(threshold);
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        __m256d v0 = _mm256_loadu_pd(vals + i);
+        __m256d v1 = _mm256_loadu_pd(vals + i + 4);
+        // NGT_UQ: !(v > t), true for unordered — exactly the scalar
+        // branch's fall-through set, NaNs included.
+        unsigned m0 = static_cast<unsigned>(
+            _mm256_movemask_pd(_mm256_cmp_pd(v0, t, _CMP_NGT_UQ)));
+        unsigned m1 = static_cast<unsigned>(
+            _mm256_movemask_pd(_mm256_cmp_pd(v1, t, _CMP_NGT_UQ)));
+        unsigned mask = (m0 & 0xFu) | ((m1 & 0xFu) << 4);
+        while (mask != 0) {
+            unsigned k = static_cast<unsigned>(__builtin_ctz(mask));
+            out.push_back(static_cast<uint32_t>(i + k));
+            mask &= mask - 1;
+        }
+    }
+    for (; i < n; ++i)
+        if (!(vals[i] > threshold))
+            out.push_back(static_cast<uint32_t>(i));
+}
+
+#else
+
+void
+scanNotGreaterVector(const double *vals, size_t n, double threshold,
+                     std::vector<uint32_t> &out)
+{
+    scanNotGreaterScalar(vals, n, threshold, out);
+}
+
+#endif
+
+void
+scanNotGreater(const double *vals, size_t n, double threshold,
+               std::vector<uint32_t> &out)
+{
+    using Fn = void (*)(const double *, size_t, double,
+                        std::vector<uint32_t> &);
+    static const Fn fn =
+        (activeLevel() >= SimdLevel::Vector && wordsVectorAvailable())
+            ? &scanNotGreaterVector
+            : &scanNotGreaterScalar;
+    fn(vals, n, threshold, out);
+}
+
+bool
+wordsVectorAvailable()
+{
+#if defined(REAPER_WORDS_AVX2)
+    return cpuHasAvx2();
+#else
+    return false;
+#endif
+}
+
+} // namespace simd
+} // namespace reaper

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Batched word kernels for the DRAM pattern write / read-compare
+ * sweeps: fill a word buffer with a pattern, compare two word buffers
+ * emitting mismatch indices, and scan a double array against a
+ * threshold emitting candidate indices.
+ *
+ * All three process 64-byte chunks — 8 uint64 words or 8 doubles —
+ * per iteration on the vector path (AVX2 compare + movemask), with a
+ * portable SWAR/unrolled fallback and a plain scalar twin. Output is
+ * bit-identical across variants by construction: indices are emitted
+ * in ascending order and the compare predicates are exact (integer
+ * equality; IEEE `!(v > t)`, so NaN handling matches the scalar
+ * branch it replaces).
+ *
+ * scanNotGreater() is the hot kernel of DramDevice::readAndCompareInto:
+ * the candidate fast-reject scan over the SoA weakReject_ array, whose
+ * survivors then take the exact per-cell stochastic path. fillWords()/
+ * compareWords() serve dense buffer producers/checkers (BloomFilter
+ * reset today; the dense row-buffer workloads on the roadmap next).
+ */
+
+#ifndef REAPER_SIMD_WORDS_H
+#define REAPER_SIMD_WORDS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace reaper {
+namespace simd {
+
+/** dst[0..n) = value. */
+void fillWords(uint64_t *dst, size_t n, uint64_t value);
+void fillWordsScalar(uint64_t *dst, size_t n, uint64_t value);
+void fillWordsVector(uint64_t *dst, size_t n, uint64_t value);
+
+/**
+ * Append to `out` the ascending indices i where got[i] != expect[i].
+ * Returns the number of mismatches appended.
+ */
+size_t compareWords(const uint64_t *got, const uint64_t *expect,
+                    size_t n, std::vector<uint64_t> &out);
+size_t compareWordsScalar(const uint64_t *got, const uint64_t *expect,
+                          size_t n, std::vector<uint64_t> &out);
+size_t compareWordsSwar(const uint64_t *got, const uint64_t *expect,
+                        size_t n, std::vector<uint64_t> &out);
+size_t compareWordsVector(const uint64_t *got, const uint64_t *expect,
+                          size_t n, std::vector<uint64_t> &out);
+
+/**
+ * Append to `out` the ascending indices i where !(vals[i] > threshold)
+ * — the exact negation of the scalar fast-reject branch, so NaN values
+ * are emitted just as the branch would fall through.
+ */
+void scanNotGreater(const double *vals, size_t n, double threshold,
+                    std::vector<uint32_t> &out);
+void scanNotGreaterScalar(const double *vals, size_t n, double threshold,
+                          std::vector<uint32_t> &out);
+void scanNotGreaterVector(const double *vals, size_t n, double threshold,
+                          std::vector<uint32_t> &out);
+
+/** Whether the *Vector variants may be called on this CPU. */
+bool wordsVectorAvailable();
+
+} // namespace simd
+} // namespace reaper
+
+#endif // REAPER_SIMD_WORDS_H

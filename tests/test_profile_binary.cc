@@ -281,6 +281,57 @@ TEST(ProfileBinary, Crc32cMatchesKnownVector)
     EXPECT_EQ(crc32c(inc, "56789", 5), 0xE3069283u);
 }
 
+TEST(ProfileBinary, ReaderScratchIsCappedAfterOutsizedBlocks)
+{
+    // A file written with a huge block capacity forces a payload well
+    // past the release threshold; the reader must hand that scratch
+    // back after each block rather than pin it for its own lifetime.
+    const size_t cells = 60'000; // ~2 bytes/cell payload, ~960 KB
+                                 // varint scratch at 16 B/cell
+    RetentionProfile p = randomProfile(23, cells);
+    std::stringstream os;
+    BinaryProfileWriter writer(os, p.conditions(), p.size(),
+                               /*blockCells=*/static_cast<uint32_t>(cells));
+    for (const dram::ChipFailure &f : p.cells())
+        writer.append(f);
+    ASSERT_TRUE(writer.finish().hasValue());
+
+    std::stringstream is(os.str());
+    BinaryProfileReader reader(is);
+    ASSERT_TRUE(reader.readHeader().hasValue());
+    std::vector<dram::ChipFailure> out;
+    while (!reader.done()) {
+        Expected<uint64_t> n = reader.readBlock(out);
+        ASSERT_TRUE(n.hasValue()) << n.error().describe();
+        EXPECT_LE(reader.scratchBytes(), kReaderScratchReleaseBytes);
+    }
+    ASSERT_TRUE(reader.readFooter().hasValue());
+    EXPECT_EQ(out, p.cells());
+}
+
+TEST(ProfileBinary, ReaderScratchIsRetainedForNormalBlocks)
+{
+    // Default-sized blocks stay under the cap, so the scratch is
+    // reused across blocks instead of being reallocated per block.
+    RetentionProfile p = randomProfile(29, 5'000);
+    std::stringstream os;
+    ASSERT_TRUE(writeProfileBinary(p, os).hasValue());
+    std::stringstream is(os.str());
+    BinaryProfileReader reader(is);
+    ASSERT_TRUE(reader.readHeader().hasValue());
+    std::vector<dram::ChipFailure> out;
+    size_t scratchAfterFirst = 0;
+    while (!reader.done()) {
+        ASSERT_TRUE(reader.readBlock(out).hasValue());
+        if (scratchAfterFirst == 0)
+            scratchAfterFirst = reader.scratchBytes();
+    }
+    EXPECT_GT(scratchAfterFirst, 0u);
+    EXPECT_EQ(reader.scratchBytes(), scratchAfterFirst);
+    ASSERT_TRUE(reader.readFooter().hasValue());
+    EXPECT_EQ(out, p.cells());
+}
+
 TEST(ProfileBinary, StreamingReaderExposesBlockProgress)
 {
     RetentionProfile p = randomProfile(17, 20);

@@ -1,0 +1,411 @@
+/**
+ * @file
+ * Tests for the SIMD micro-kernel layer (src/simd/): dispatch-level
+ * resolution, CRC32C software/hardware equivalence against the RFC
+ * 3720 vectors, bulk varint decode vs the byte-at-a-time reference,
+ * and the batched word kernels vs their scalar twins.
+ *
+ * The equivalence tests sweep every small length and every alignment
+ * offset so the vector paths' head/body/tail handling is exercised at
+ * each boundary, and run randomized inputs through scalar, SWAR, and
+ * (when the CPU has them) vector variants side by side.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "simd/crc32c.h"
+#include "simd/dispatch.h"
+#include "simd/varint.h"
+#include "simd/words.h"
+
+namespace reaper {
+namespace simd {
+namespace {
+
+// ---------------------------------------------------------------------
+// Dispatch resolution
+// ---------------------------------------------------------------------
+
+TEST(SimdDispatch, ResolveLevelAutoAndUnset)
+{
+    EXPECT_EQ(resolveLevel(nullptr, SimdLevel::Vector),
+              SimdLevel::Vector);
+    EXPECT_EQ(resolveLevel("", SimdLevel::Vector), SimdLevel::Vector);
+    EXPECT_EQ(resolveLevel("auto", SimdLevel::Vector),
+              SimdLevel::Vector);
+    EXPECT_EQ(resolveLevel("auto", SimdLevel::Swar), SimdLevel::Swar);
+}
+
+TEST(SimdDispatch, ResolveLevelCapsButNeverRaises)
+{
+    EXPECT_EQ(resolveLevel("scalar", SimdLevel::Vector),
+              SimdLevel::Scalar);
+    EXPECT_EQ(resolveLevel("swar", SimdLevel::Vector), SimdLevel::Swar);
+    // The cap cannot raise above what the CPU supports.
+    EXPECT_EQ(resolveLevel("swar", SimdLevel::Scalar),
+              SimdLevel::Scalar);
+}
+
+TEST(SimdDispatch, ResolveLevelUnknownValueFallsBackToDetected)
+{
+    EXPECT_EQ(resolveLevel("avx512-please", SimdLevel::Vector),
+              SimdLevel::Vector);
+}
+
+TEST(SimdDispatch, ActiveLevelNeverExceedsDetected)
+{
+    EXPECT_LE(static_cast<int>(activeLevel()),
+              static_cast<int>(detectedLevel()));
+}
+
+TEST(SimdDispatch, ToStringRoundTrip)
+{
+    EXPECT_STREQ(toString(SimdLevel::Scalar), "scalar");
+    EXPECT_STREQ(toString(SimdLevel::Swar), "swar");
+    EXPECT_STREQ(toString(SimdLevel::Vector), "vector");
+}
+
+// ---------------------------------------------------------------------
+// CRC32C
+// ---------------------------------------------------------------------
+
+/** Run one buffer through every available implementation and require
+ *  a single answer. */
+uint32_t
+crcAll(const void *data, size_t len)
+{
+    uint32_t sw = crc32cSoftware(0, data, len);
+    EXPECT_EQ(crc32c(0, data, len), sw);
+    if (crc32cHardwareAvailable())
+        EXPECT_EQ(crc32cHardware(0, data, len), sw);
+    return sw;
+}
+
+TEST(SimdCrc32c, Rfc3720Vectors)
+{
+    // RFC 3720 §B.4 test cases pin the Castagnoli polynomial and the
+    // reflected bit order.
+    const std::string digits = "123456789";
+    EXPECT_EQ(crcAll(digits.data(), digits.size()), 0xE3069283u);
+
+    std::vector<uint8_t> zeros(32, 0x00);
+    EXPECT_EQ(crcAll(zeros.data(), zeros.size()), 0x8A9136AAu);
+
+    std::vector<uint8_t> ones(32, 0xFF);
+    EXPECT_EQ(crcAll(ones.data(), ones.size()), 0x62A8AB43u);
+
+    std::vector<uint8_t> ascending(32);
+    for (size_t i = 0; i < ascending.size(); ++i)
+        ascending[i] = static_cast<uint8_t>(i);
+    EXPECT_EQ(crcAll(ascending.data(), ascending.size()), 0x46DD794Eu);
+}
+
+TEST(SimdCrc32c, EmptyInput)
+{
+    EXPECT_EQ(crcAll(nullptr, 0), 0u);
+    EXPECT_EQ(crc32cSoftware(0x12345678u, nullptr, 0), 0x12345678u);
+    if (crc32cHardwareAvailable())
+        EXPECT_EQ(crc32cHardware(0x12345678u, nullptr, 0), 0x12345678u);
+}
+
+TEST(SimdCrc32c, SoftwareHardwareEquivalenceAllLengthsAndAlignments)
+{
+    if (!crc32cHardwareAvailable())
+        GTEST_SKIP() << "no CRC32C instruction on this host";
+    Rng rng(0xC5C32Cull);
+    // 8 (alignment) + 256 (max length) bytes of random data, re-rolled
+    // per offset so each sweep sees fresh content.
+    for (size_t offset = 0; offset < 8; ++offset) {
+        std::vector<uint8_t> buf(8 + 256);
+        for (uint8_t &b : buf)
+            b = static_cast<uint8_t>(rng.uniformInt(256));
+        const uint8_t *p = buf.data() + offset;
+        for (size_t len = 0; len <= 256; ++len) {
+            uint32_t sw = crc32cSoftware(0, p, len);
+            uint32_t hw = crc32cHardware(0, p, len);
+            ASSERT_EQ(sw, hw)
+                << "offset=" << offset << " len=" << len;
+        }
+    }
+}
+
+TEST(SimdCrc32c, IncrementalChainingMatchesOneShot)
+{
+    Rng rng(99);
+    std::vector<uint8_t> buf(300);
+    for (uint8_t &b : buf)
+        b = static_cast<uint8_t>(rng.uniformInt(256));
+    uint32_t oneShot = crc32c(0, buf.data(), buf.size());
+    for (size_t split : {size_t(0), size_t(1), size_t(7), size_t(8),
+                         size_t(123), size_t(299), size_t(300)}) {
+        uint32_t a = crc32c(0, buf.data(), split);
+        uint32_t chained =
+            crc32c(a, buf.data() + split, buf.size() - split);
+        EXPECT_EQ(chained, oneShot) << "split=" << split;
+        if (crc32cHardwareAvailable()) {
+            uint32_t hwChained = crc32cHardware(
+                crc32cSoftware(0, buf.data(), split),
+                buf.data() + split, buf.size() - split);
+            EXPECT_EQ(hwChained, oneShot)
+                << "mixed sw/hw chain, split=" << split;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Varint bulk decode
+// ---------------------------------------------------------------------
+
+/** Encode `values` as consecutive varints with `junk` leading bytes
+ *  (to shift alignment) and optional trailing garbage. */
+std::vector<uint8_t>
+encodeStream(const std::vector<uint64_t> &values, size_t junk,
+             size_t trailing)
+{
+    std::vector<uint8_t> buf(junk, 0xAB);
+    uint8_t tmp[kMaxVarintBytes];
+    for (uint64_t v : values) {
+        size_t n = encodeVarint(tmp, v);
+        buf.insert(buf.end(), tmp, tmp + n);
+    }
+    buf.insert(buf.end(), trailing, 0x7F);
+    return buf;
+}
+
+void
+expectDecodeParity(const std::vector<uint8_t> &buf, size_t junk,
+                   size_t count, const std::vector<uint64_t> *expect)
+{
+    const uint8_t *p = buf.data() + junk;
+    const uint8_t *end = buf.data() + buf.size();
+    std::vector<uint64_t> aScalar(count), aSwar(count), aDisp(count);
+    const uint8_t *rScalar =
+        decodeVarintsScalar(p, end, aScalar.data(), count);
+    const uint8_t *rSwar = decodeVarintsSwar(p, end, aSwar.data(), count);
+    const uint8_t *rDisp = decodeVarints(p, end, aDisp.data(), count);
+    ASSERT_EQ(rScalar == nullptr, rSwar == nullptr);
+    ASSERT_EQ(rScalar == nullptr, rDisp == nullptr);
+    if (rScalar == nullptr)
+        return;
+    EXPECT_EQ(rScalar, rSwar);
+    EXPECT_EQ(rScalar, rDisp);
+    EXPECT_EQ(aScalar, aSwar);
+    EXPECT_EQ(aScalar, aDisp);
+    if (expect != nullptr)
+        EXPECT_EQ(aScalar, *expect);
+}
+
+TEST(SimdVarint, EncodeDecodeRoundTripAllMagnitudes)
+{
+    std::vector<uint64_t> values;
+    for (int bits = 0; bits < 64; ++bits) {
+        values.push_back(1ull << bits);
+        values.push_back((1ull << bits) - 1);
+        values.push_back((1ull << bits) | 0x55);
+    }
+    values.push_back(std::numeric_limits<uint64_t>::max());
+    for (size_t junk = 0; junk < 8; ++junk) {
+        std::vector<uint8_t> buf = encodeStream(values, junk, 0);
+        expectDecodeParity(buf, junk, values.size(), &values);
+    }
+}
+
+TEST(SimdVarint, RandomMixedMagnitudeStreams)
+{
+    Rng rng(0x7A12ull);
+    for (int iter = 0; iter < 200; ++iter) {
+        size_t count = rng.uniformInt(40);
+        std::vector<uint64_t> values(count);
+        for (uint64_t &v : values) {
+            // Mixed magnitudes: mostly small deltas (1-2 byte varints,
+            // the profile-stream distribution), some huge.
+            unsigned bits = static_cast<unsigned>(rng.uniformInt(64));
+            v = rng.uniformInt(std::numeric_limits<uint64_t>::max()) &
+                ((bits == 63) ? ~0ull : ((1ull << (bits + 1)) - 1));
+        }
+        size_t junk = rng.uniformInt(8);
+        size_t trailing = rng.uniformInt(4);
+        std::vector<uint8_t> buf = encodeStream(values, junk, trailing);
+        expectDecodeParity(buf, junk, count, &values);
+    }
+}
+
+TEST(SimdVarint, TruncationParity)
+{
+    std::vector<uint64_t> values{1, 300, 0xDEADBEEFCAFEull, 5, 900000};
+    std::vector<uint8_t> full = encodeStream(values, 0, 0);
+    // Every proper prefix must fail identically in both decoders.
+    for (size_t cut = 0; cut < full.size(); ++cut) {
+        std::vector<uint8_t> buf(full.begin(), full.begin() + cut);
+        const uint8_t *end = buf.data() + buf.size();
+        std::vector<uint64_t> a(values.size()), b(values.size());
+        const uint8_t *rs =
+            decodeVarintsScalar(buf.data(), end, a.data(), a.size());
+        const uint8_t *rw =
+            decodeVarintsSwar(buf.data(), end, b.data(), b.size());
+        EXPECT_EQ(rs, nullptr) << "cut=" << cut;
+        EXPECT_EQ(rw, nullptr) << "cut=" << cut;
+    }
+}
+
+TEST(SimdVarint, NonCanonicalTenByteEncodingAccepted)
+{
+    // 10-byte encoding of 1 with redundant high zero groups: the
+    // historical decoder discards bits at shift >= 64, so this decodes
+    // to 1 in both variants.
+    std::vector<uint8_t> buf{0x81, 0x80, 0x80, 0x80, 0x80,
+                             0x80, 0x80, 0x80, 0x80, 0x00};
+    std::vector<uint64_t> expect{1};
+    expectDecodeParity(buf, 0, 1, &expect);
+
+    // The 10th byte's group starts at shift 63: its low bit is kept,
+    // the six bits past 2^64 are discarded rather than an error.
+    std::vector<uint8_t> high{0x80, 0x80, 0x80, 0x80, 0x80,
+                              0x80, 0x80, 0x80, 0x80, 0x7F};
+    std::vector<uint64_t> topBit{1ull << 63};
+    expectDecodeParity(high, 0, 1, &topBit);
+}
+
+TEST(SimdVarint, OverlongEncodingRejectedByBoth)
+{
+    // A continuation bit still set at shift 64 (11 bytes and beyond)
+    // is malformed in both decoders.
+    std::vector<uint8_t> buf(11, 0x80);
+    buf.push_back(0x00);
+    const uint8_t *end = buf.data() + buf.size();
+    uint64_t out;
+    EXPECT_EQ(decodeVarintsScalar(buf.data(), end, &out, 1), nullptr);
+    EXPECT_EQ(decodeVarintsSwar(buf.data(), end, &out, 1), nullptr);
+    EXPECT_EQ(decodeVarints(buf.data(), end, &out, 1), nullptr);
+}
+
+TEST(SimdVarint, CountZeroConsumesNothing)
+{
+    std::vector<uint8_t> buf{0x01, 0x02};
+    const uint8_t *end = buf.data() + buf.size();
+    EXPECT_EQ(decodeVarintsScalar(buf.data(), end, nullptr, 0),
+              buf.data());
+    EXPECT_EQ(decodeVarintsSwar(buf.data(), end, nullptr, 0),
+              buf.data());
+}
+
+// ---------------------------------------------------------------------
+// Word kernels
+// ---------------------------------------------------------------------
+
+TEST(SimdWords, FillWordsAllLengths)
+{
+    for (size_t n = 0; n <= 130; ++n) {
+        std::vector<uint64_t> a(n + 1, 0x1111111111111111ull);
+        std::vector<uint64_t> b(n + 1, 0x1111111111111111ull);
+        fillWordsScalar(a.data(), n, 0xDEADBEEFull);
+        fillWords(b.data(), n, 0xDEADBEEFull);
+        EXPECT_EQ(a, b) << "n=" << n;
+        // The word past the end must be untouched.
+        EXPECT_EQ(a[n], 0x1111111111111111ull);
+        if (wordsVectorAvailable()) {
+            std::vector<uint64_t> c(n + 1, 0x1111111111111111ull);
+            fillWordsVector(c.data(), n, 0xDEADBEEFull);
+            EXPECT_EQ(a, c) << "n=" << n;
+        }
+    }
+}
+
+TEST(SimdWords, CompareWordsEquivalenceRandom)
+{
+    Rng rng(0xC0FFEEull);
+    for (int iter = 0; iter < 100; ++iter) {
+        size_t n = rng.uniformInt(130);
+        std::vector<uint64_t> got(n), expect(n);
+        for (size_t i = 0; i < n; ++i) {
+            got[i] = rng.uniformInt(4); // few distinct values ->
+            expect[i] = rng.uniformInt(4); // frequent mismatches
+        }
+        std::vector<uint64_t> a, b, c, d;
+        size_t na = compareWordsScalar(got.data(), expect.data(), n, a);
+        size_t nb = compareWordsSwar(got.data(), expect.data(), n, b);
+        size_t nd = compareWords(got.data(), expect.data(), n, d);
+        EXPECT_EQ(na, a.size());
+        EXPECT_EQ(nb, b.size());
+        EXPECT_EQ(nd, d.size());
+        EXPECT_EQ(a, b) << "n=" << n;
+        EXPECT_EQ(a, d) << "n=" << n;
+        if (wordsVectorAvailable()) {
+            size_t nc =
+                compareWordsVector(got.data(), expect.data(), n, c);
+            EXPECT_EQ(nc, c.size());
+            EXPECT_EQ(a, c) << "n=" << n;
+        }
+    }
+}
+
+TEST(SimdWords, CompareWordsAppendsToExistingOutput)
+{
+    std::vector<uint64_t> got{1, 2, 3}, expect{1, 9, 3};
+    std::vector<uint64_t> out{777};
+    size_t n = compareWords(got.data(), expect.data(), 3, out);
+    EXPECT_EQ(n, 1u);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0], 777u);
+    EXPECT_EQ(out[1], 1u);
+}
+
+TEST(SimdWords, ScanNotGreaterEquivalenceIncludingSpecials)
+{
+    Rng rng(0x5CA4ull);
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const double inf = std::numeric_limits<double>::infinity();
+    for (int iter = 0; iter < 100; ++iter) {
+        size_t n = rng.uniformInt(130);
+        double threshold = 0.5;
+        std::vector<double> vals(n);
+        for (double &v : vals) {
+            switch (rng.uniformInt(6)) {
+            case 0: v = nan; break;        // !(nan > t) -> emitted
+            case 1: v = inf; break;        // never emitted
+            case 2: v = -inf; break;       // always emitted
+            case 3: v = threshold; break;  // equal -> emitted
+            default:
+                v = static_cast<double>(rng.uniformInt(1000)) / 500.0;
+            }
+        }
+        std::vector<uint32_t> a, b;
+        scanNotGreaterScalar(vals.data(), n, threshold, a);
+        scanNotGreater(vals.data(), n, threshold, b);
+        EXPECT_EQ(a, b) << "n=" << n;
+        if (wordsVectorAvailable()) {
+            std::vector<uint32_t> c;
+            scanNotGreaterVector(vals.data(), n, threshold, c);
+            EXPECT_EQ(a, c) << "n=" << n;
+        }
+    }
+}
+
+TEST(SimdWords, ScanNotGreaterNanThresholdEmitsEverything)
+{
+    // !(v > NaN) is true for every v, including NaN itself.
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    std::vector<double> vals{-1.0, 0.0, 1e308, nan};
+    std::vector<uint32_t> a, b;
+    scanNotGreaterScalar(vals.data(), vals.size(), nan, a);
+    scanNotGreater(vals.data(), vals.size(), nan, b);
+    std::vector<uint32_t> all{0, 1, 2, 3};
+    EXPECT_EQ(a, all);
+    EXPECT_EQ(b, all);
+    if (wordsVectorAvailable()) {
+        std::vector<uint32_t> c;
+        scanNotGreaterVector(vals.data(), vals.size(), nan, c);
+        EXPECT_EQ(c, all);
+    }
+}
+
+} // namespace
+} // namespace simd
+} // namespace reaper
