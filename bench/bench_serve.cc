@@ -371,6 +371,81 @@ main()
     std::cout << "Cache capacity sweep (zipf, " << sweep_queries
               << " queries):\n";
     sweep_table.print(std::cout);
+    std::cout << "\n";
+
+    // ---- Part 4: over-the-wire serving (REAPER-NET daemon) ----
+    // The same zipfian workload, but through real loopback TCP: the
+    // daemon's poll loop, the framed binary protocol, and the
+    // loadgen's pipelined closed loop. Measures end-to-end QPS and
+    // batch round-trip latency vs. connection count. Single-core
+    // hosts publish only the 1-connection row (the client threads
+    // and the daemon share one core; scaling rows would be noise).
+    const size_t net_requests = bench::scaled(200000, 30000);
+    const unsigned net_pipeline = 4;
+    const size_t net_batch = 64;
+    std::vector<unsigned> conn_counts =
+        sweep_skipped ? std::vector<unsigned>{1}
+                      : std::vector<unsigned>{1, 2, 4};
+    std::vector<net::LoadgenResult> net_runs;
+    std::vector<unsigned> net_conns_run;
+    bool net_clean = true;
+    {
+        serve::CacheConfig net_cache_cfg;
+        net_cache_cfg.directory.rowBits = kRowBits;
+        serve::ProfileCache net_cache(store, net_cache_cfg);
+        for (const auto &key : keys)
+            net_cache.get(key); // pre-warm, as in Part 2
+        serve::EngineConfig net_engine_cfg;
+        net_engine_cfg.workers = 2;
+        net_engine_cfg.queueCapacity = 1 << 14;
+        net_engine_cfg.batchSize = 64;
+        net::ServerConfig server_cfg;
+        server_cfg.keys = keys;
+        net::Server server(net_cache, net_engine_cfg, server_cfg);
+        auto started = server.start();
+        TablePrinter net_table({"conns", "QPS", "p50 us", "p95 us",
+                                "p99 us", "rejected"});
+        if (!started) {
+            std::cout << "over-the-wire bench skipped: "
+                      << started.error().describe() << "\n";
+            net_clean = false;
+        } else {
+            for (unsigned conns : conn_counts) {
+                net::LoadgenConfig lg;
+                lg.port = server.port();
+                lg.connections = conns;
+                lg.pipeline = net_pipeline;
+                lg.batch = net_batch;
+                lg.totalRequests = net_requests;
+                lg.workload.keys = keys;
+                lg.workload.rowsPerChip = kRowsPerChip;
+                auto result = net::runLoadgen(lg);
+                if (!result) {
+                    std::cout << "loadgen failed: "
+                              << result.error().describe() << "\n";
+                    net_clean = false;
+                    break;
+                }
+                net_clean = net_clean && result.value().clean();
+                net_runs.push_back(result.value());
+                net_conns_run.push_back(conns);
+                const net::LoadgenResult &r = result.value();
+                net_table.addRow({std::to_string(conns),
+                                  fmtF(r.qps, 0), fmtF(r.p50Us, 1),
+                                  fmtF(r.p95Us, 1), fmtF(r.p99Us, 1),
+                                  std::to_string(r.rejected)});
+            }
+            server.stop();
+            server.join();
+        }
+        std::cout << "Over-the-wire (loopback TCP, pipeline "
+                  << net_pipeline << ", batch " << net_batch
+                  << ", " << net_requests << " requests):\n";
+        net_table.print(std::cout);
+        std::cout << "All wire runs clean (every request answered, "
+                     "no protocol errors): "
+                  << (net_clean ? "yes" : "NO - BUG") << "\n";
+    }
 
     // ---- JSON ----
     std::ofstream json("BENCH_serve.json");
@@ -402,6 +477,25 @@ main()
              << "}" << (i + 1 < runs.size() ? "," : "") << "\n";
     }
     json << "  ]},\n"
+         << "  \"net\": {\"pipeline\": " << net_pipeline
+         << ", \"batch\": " << net_batch
+         << ", \"requests_per_run\": " << net_requests
+         << ", \"clean\": " << (net_clean ? "true" : "false")
+         << ", \"runs\": [\n";
+    for (size_t i = 0; i < net_runs.size(); ++i) {
+        const net::LoadgenResult &r = net_runs[i];
+        json << "    {\"connections\": " << net_conns_run[i]
+             << ", \"qps\": " << r.qps
+             << ", \"p50_us\": " << r.p50Us
+             << ", \"p95_us\": " << r.p95Us
+             << ", \"p99_us\": " << r.p99Us
+             << ", \"ok\": " << r.ok
+             << ", \"not_found\": " << r.notFound
+             << ", \"rejected\": " << r.rejected
+             << ", \"protocol_errors\": " << r.protocolErrors << "}"
+             << (i + 1 < net_runs.size() ? "," : "") << "\n";
+    }
+    json << "  ]},\n"
          << "  \"cache_sweep\": [\n";
     for (size_t i = 0; i < sweep.size(); ++i) {
         const SweepPoint &pt = sweep[i];
@@ -415,5 +509,5 @@ main()
     json << "  ]\n}\n";
     std::cout << "\nWrote BENCH_serve.json\n";
     obs::dumpIfRequested();
-    return answers_match && speedup >= 10.0 ? 0 : 1;
+    return answers_match && net_clean && speedup >= 10.0 ? 0 : 1;
 }

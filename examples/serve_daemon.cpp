@@ -34,9 +34,24 @@
  *   --obs-dump PATH     write Chrome trace (PATH) + Prometheus text
  *                       (PATH.prom) at exit; pair with REAPER_OBS=
  *                       counters|trace
+ *   --listen [H:]PORT   networked mode: serve the REAPER-NET wire
+ *                       protocol (src/net/) on H:PORT (default host
+ *                       127.0.0.1; port 0 = ephemeral) instead of
+ *                       running the in-process workload. SIGINT or
+ *                       SIGTERM shuts down gracefully: the listener
+ *                       closes, in-flight queries drain, responses
+ *                       flush, then metrics (and --obs-dump) are
+ *                       written
+ *   --port-file PATH    networked mode: write the bound port to PATH
+ *                       once listening (how scripts find an
+ *                       ephemeral port)
+ *   --max-conns N       networked mode: connection cap (default 256)
+ *   --queue-cap N       engine queue capacity (default 4096); small
+ *                       values surface Rejected backpressure
  */
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <thread>
@@ -65,7 +80,13 @@ usage(const char *argv0)
                  "v1|text\n"
               << "  --seed S          workload seed (default 1)\n"
               << "  --obs-dump PATH   write Chrome trace + PATH.prom "
-                 "at exit\n";
+                 "at exit\n"
+              << "  --listen [H:]PORT networked mode on H:PORT "
+                 "(port 0 = ephemeral)\n"
+              << "  --port-file PATH  write the bound port to PATH\n"
+              << "  --max-conns N     connection cap (default 256)\n"
+              << "  --queue-cap N     engine queue capacity (default "
+                 "4096)\n";
     std::exit(2);
 }
 
@@ -107,6 +128,12 @@ main(int argc, char **argv)
     double zipf = 0.99, unknown_frac = 0.01;
     bool bloom = false;
     std::string obs_dump;
+    bool listen = false;
+    std::string listen_host = "127.0.0.1";
+    uint16_t listen_port = 0;
+    std::string port_file;
+    size_t max_conns = 256;
+    size_t queue_cap = 4096;
     profiling::ProfileFormat profile_format =
         profiling::ProfileFormat::BinaryV2;
 
@@ -143,6 +170,21 @@ main(int argc, char **argv)
             seed = std::stoull(next());
         else if (arg == "--obs-dump")
             obs_dump = next();
+        else if (arg == "--listen") {
+            listen = true;
+            std::string spec = next();
+            size_t colon = spec.rfind(':');
+            if (colon != std::string::npos) {
+                listen_host = spec.substr(0, colon);
+                spec = spec.substr(colon + 1);
+            }
+            listen_port = static_cast<uint16_t>(std::stoul(spec));
+        } else if (arg == "--port-file")
+            port_file = next();
+        else if (arg == "--max-conns")
+            max_conns = std::stoull(next());
+        else if (arg == "--queue-cap")
+            queue_cap = std::stoull(next());
         else
             usage(argv[0]);
     }
@@ -165,6 +207,55 @@ main(int argc, char **argv)
     serve::Metrics metrics;
     serve::EngineConfig engine_cfg;
     engine_cfg.workers = workers;
+    engine_cfg.queueCapacity = queue_cap;
+
+    if (listen) {
+        net::ServerConfig server_cfg;
+        server_cfg.host = listen_host;
+        server_cfg.port = listen_port;
+        server_cfg.maxConnections = max_conns;
+        server_cfg.keys = keys;
+        // Arm the SIGINT/SIGTERM latch before going live so a signal
+        // racing startup is not lost.
+        net::installShutdownHandlers();
+        net::Server server(cache, engine_cfg, server_cfg, &metrics);
+        if (common::Status s = server.start(); !s) {
+            std::cerr << "serve_daemon: " << s.error().describe()
+                      << "\n";
+            return 1;
+        }
+        std::cout << "Listening on " << listen_host << ":"
+                  << server.port() << " (" << workers << " workers, "
+                  << keys.size() << " profiles); SIGINT/SIGTERM to "
+                  << "stop\n";
+        if (!port_file.empty()) {
+            std::ofstream pf(port_file);
+            pf << server.port() << "\n";
+            if (!pf) {
+                std::cerr << "serve_daemon: cannot write --port-file "
+                          << port_file << "\n";
+                return 1;
+            }
+        }
+        net::waitForShutdown();
+        std::cout << "Shutdown requested; draining in-flight "
+                     "queries...\n";
+        server.stop();
+        server.join();
+        net::ServerStats stats = server.stats();
+        std::cout << "Served " << stats.requests << " requests over "
+                  << stats.connectionsAccepted << " connections ("
+                  << stats.responsesOk << " ok, "
+                  << stats.responsesNotFound << " not-found, "
+                  << stats.responsesRejected << " rejected, "
+                  << stats.protocolErrors << " protocol errors)\n"
+                  << "\nMetrics JSON:\n"
+                  << metrics.json() << "\n";
+        if (!obs_dump.empty())
+            obs::dumpTo(obs_dump);
+        return 0;
+    }
+
     serve::QueryEngine engine(cache, engine_cfg, &metrics,
                               [](const serve::Response &) {});
 

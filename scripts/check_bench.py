@@ -52,6 +52,8 @@ GATES = [
     ("BENCH_io", "formats[format=v2].write_cells_per_sec",
      "v2 profile write"),
     ("BENCH_serve", "lookup.cached_qps", "directory lookup"),
+    ("BENCH_serve", "net.runs[connections=1].qps",
+     "over-the-wire qps"),
     ("BENCH_fleet", "runs[threads=1].cell_reads_per_sec",
      "fleet cell reads"),
     ("BENCH_campaign", "chips_per_sec", "campaign throughput"),
@@ -224,7 +226,11 @@ def self_test():
             ],
         },
         "BENCH_serve": {"bench": "serve", "quick_mode": False,
-                        "lookup": {"cached_qps": 2.5e6}},
+                        "lookup": {"cached_qps": 2.5e6},
+                        "net": {"pipeline": 4, "batch": 64,
+                                "clean": True,
+                                "runs": [{"connections": 1,
+                                          "qps": 1.0e6}]}},
         "BENCH_fleet": {"bench": "fleet", "quick_mode": False,
                         "sweep_skipped_single_core": True,
                         "runs": [{"threads": 1,
@@ -264,6 +270,14 @@ def self_test():
     _, regs, _ = run_case(regress_io)
     if not any("v2 profile read" in r for r in regs):
         failures.append("40% v2-read regression not flagged")
+
+    # Doctored: over-the-wire qps 40% down must be caught.
+    def regress_net(cur):
+        cur["BENCH_serve"]["net"]["runs"][0]["qps"] = 0.6e6
+
+    _, regs, _ = run_case(regress_net)
+    if not any("over-the-wire qps" in r for r in regs):
+        failures.append("40% wire-qps regression not flagged")
 
     # Within tolerance: 10% down passes at 15% tol.
     def dip_io(cur):

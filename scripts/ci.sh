@@ -48,6 +48,61 @@ else
     echo "python3 not found: skipping bench trajectory gate"
 fi
 
+echo "=== net smoke: daemon + loadgen over loopback ==="
+(
+    cd build
+    rm -rf net_smoke_store net_smoke.port net_smoke.prom \
+        net_smoke.trace.json
+    REAPER_OBS=counters ./examples/serve_daemon \
+        --dir net_smoke_store --listen 127.0.0.1:0 \
+        --port-file net_smoke.port --workers 2 \
+        --obs-dump net_smoke > net_smoke_daemon.log 2>&1 &
+    daemon_pid=$!
+    # Wait for the ephemeral port to be published.
+    for _ in $(seq 1 100); do
+        [[ -s net_smoke.port ]] && break
+        kill -0 "$daemon_pid" 2>/dev/null || {
+            echo "net smoke: daemon died during startup" >&2
+            cat net_smoke_daemon.log >&2
+            exit 1
+        }
+        sleep 0.1
+    done
+    [[ -s net_smoke.port ]] || {
+        echo "net smoke: daemon never wrote --port-file" >&2
+        exit 1
+    }
+    port="$(cat net_smoke.port)"
+    # serve_loadgen exits nonzero on any protocol error, connection
+    # failure, or unanswered request; assert nonzero QPS on top.
+    ./examples/serve_loadgen --connect "127.0.0.1:$port" \
+        --connections 2 --pipeline 4 --batch 64 --queries 20000 \
+        --json > net_smoke_loadgen.json
+    qps="ok"
+    if command -v python3 > /dev/null; then
+        qps="$(python3 -c \
+            "import json;print(int(json.load(open('net_smoke_loadgen.json'))['qps']))")"
+        errors="$(python3 -c \
+            "import json;print(json.load(open('net_smoke_loadgen.json'))['protocol_errors'])")"
+        if [[ "$qps" -le 0 || "$errors" != "0" ]]; then
+            echo "net smoke: qps=$qps protocol_errors=$errors" >&2
+            exit 1
+        fi
+    fi
+    # Graceful shutdown: SIGTERM must drain and write the obs dump.
+    kill -TERM "$daemon_pid"
+    wait "$daemon_pid" || {
+        echo "net smoke: daemon exited nonzero on SIGTERM" >&2
+        cat net_smoke_daemon.log >&2
+        exit 1
+    }
+    [[ -s net_smoke.prom ]] || {
+        echo "net smoke: net_smoke.prom missing after shutdown" >&2
+        exit 1
+    }
+    echo "net smoke: qps=$qps over the wire, graceful SIGTERM ok"
+)
+
 echo "=== obs smoke: counters-mode run exports Prometheus text ==="
 (
     cd build
@@ -125,7 +180,7 @@ echo "=== sanitize: configure + build (REAPER_SANITIZE=thread) ==="
 cmake -B build-tsan -S . -DREAPER_SANITIZE=thread
 cmake --build build-tsan -j "$jobs" \
     --target test_fleet test_campaign test_serve \
-             test_profile_store_concurrent test_obs
+             test_profile_store_concurrent test_obs test_net_server
 
 echo "=== sanitize: ctest -L sanitize ==="
 (cd build-tsan && ctest -L sanitize --output-on-failure -j "$jobs")

@@ -1,0 +1,164 @@
+#include "net/client.h"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/socket.h>
+
+namespace reaper {
+namespace net {
+
+namespace {
+
+using common::Error;
+using common::Expected;
+using common::Status;
+using common::okStatus;
+
+constexpr size_t kReadChunkBytes = 64 * 1024;
+
+} // namespace
+
+Expected<Client>
+Client::connect(const std::string &host, uint16_t port,
+                DecodeLimits limits)
+{
+    auto sock = Socket::connectTcp(host, port);
+    if (!sock)
+        return sock.error();
+    Client client;
+    client.sock_ = std::move(sock.value());
+    client.limits_ = limits;
+    if (Status s = client.sock_.setNoDelay(true); !s)
+        return s.error();
+
+    client.sendBuf_.clear();
+    encodeHello(client.sendBuf_);
+    if (Status s = writeAll(client.sock_.fd(),
+                            client.sendBuf_.data(),
+                            client.sendBuf_.size());
+        !s)
+        return s.error();
+    auto frame = client.recvFrame();
+    if (!frame)
+        return frame.error();
+    if (frame.value().opcode == Opcode::ProtocolError) {
+        auto msg =
+            decodeProtocolError(frame.value(), client.limits_);
+        return Error::parse(
+            "net: daemon rejected handshake: " +
+            (msg ? msg.value() : msg.error().describe()));
+    }
+    if (frame.value().opcode != Opcode::HelloAck)
+        return Error::parse(std::string("net: expected HelloAck, "
+                                        "got ") +
+                            toString(frame.value().opcode));
+    auto limitsAck = decodeHelloAck(frame.value());
+    if (!limitsAck)
+        return limitsAck.error();
+    client.serverLimits_ = limitsAck.value();
+    return client;
+}
+
+Expected<std::vector<std::string>>
+Client::listKeys()
+{
+    sendBuf_.clear();
+    encodeListKeys(sendBuf_);
+    if (Status s = writeAll(sock_.fd(), sendBuf_.data(),
+                            sendBuf_.size());
+        !s)
+        return s.error();
+    auto frame = recvFrame();
+    if (!frame)
+        return frame.error();
+    if (frame.value().opcode == Opcode::ProtocolError) {
+        auto msg = decodeProtocolError(frame.value(), limits_);
+        return Error::parse(
+            "net: daemon reported: " +
+            (msg ? msg.value() : msg.error().describe()));
+    }
+    if (frame.value().opcode != Opcode::KeyList)
+        return Error::parse(std::string("net: expected KeyList, "
+                                        "got ") +
+                            toString(frame.value().opcode));
+    std::vector<std::string> keys;
+    if (Status s = decodeKeyList(frame.value(), limits_, keys); !s)
+        return s.error();
+    return keys;
+}
+
+Status
+Client::sendQueries(const serve::Request *reqs, size_t n)
+{
+    sendBuf_.clear();
+    encodeQueryBatch(sendBuf_, reqs, n);
+    return writeAll(sock_.fd(), sendBuf_.data(), sendBuf_.size());
+}
+
+Status
+Client::recvResponses(std::vector<WireResponse> &out)
+{
+    auto frame = recvFrame();
+    if (!frame)
+        return frame.error();
+    if (frame.value().opcode == Opcode::ProtocolError) {
+        auto msg = decodeProtocolError(frame.value(), limits_);
+        return Error::parse(
+            "net: daemon reported: " +
+            (msg ? msg.value() : msg.error().describe()));
+    }
+    if (frame.value().opcode != Opcode::ResponseBatch)
+        return Error::parse(
+            std::string("net: expected ResponseBatch, got ") +
+            toString(frame.value().opcode));
+    return decodeResponseBatch(frame.value(), limits_, out);
+}
+
+Expected<FrameView>
+Client::recvFrame()
+{
+    for (;;) {
+        FrameView frame;
+        auto consumed =
+            tryExtractFrame(inbuf_.data() + inStart_,
+                            inbuf_.size() - inStart_, limits_,
+                            &frame);
+        if (!consumed)
+            return consumed.error();
+        if (consumed.value() > 0) {
+            // The FrameView aliases inbuf_; it stays valid until the
+            // next recvFrame() mutates the buffer.
+            inStart_ += consumed.value();
+            return frame;
+        }
+        if (inStart_ == inbuf_.size()) {
+            inbuf_.clear();
+            inStart_ = 0;
+        } else if (inStart_ > kReadChunkBytes) {
+            inbuf_.erase(inbuf_.begin(),
+                         inbuf_.begin() +
+                             static_cast<ptrdiff_t>(inStart_));
+            inStart_ = 0;
+        }
+        const size_t old = inbuf_.size();
+        inbuf_.resize(old + kReadChunkBytes);
+        ssize_t n = ::recv(sock_.fd(), inbuf_.data() + old,
+                           kReadChunkBytes, 0);
+        if (n < 0) {
+            inbuf_.resize(old);
+            if (errno == EINTR)
+                continue;
+            return Error::io(std::string("net: recv: ") +
+                             std::strerror(errno));
+        }
+        if (n == 0) {
+            inbuf_.resize(old);
+            return Error::io(
+                "net: connection closed by the daemon mid-frame");
+        }
+        inbuf_.resize(old + static_cast<size_t>(n));
+    }
+}
+
+} // namespace net
+} // namespace reaper

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Blocking REAPER-NET client: one TCP connection speaking the wire
+ * protocol of net/wire.h.
+ *
+ * The client is deliberately synchronous — the concurrency story for
+ * load generation is many connections on a few threads (see
+ * net/loadgen.h), not an async client. Pipelining happens above this
+ * layer: sendQueries() may be called repeatedly before
+ * recvResponses(), and responses come back in whatever batches the
+ * daemon coalesced.
+ *
+ * The client applies the same DecodeLimits clamps to server frames
+ * that the daemon applies to client frames: neither side of the
+ * protocol trusts the other's length fields.
+ */
+
+#ifndef REAPER_NET_CLIENT_H
+#define REAPER_NET_CLIENT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/socket.h"
+#include "net/wire.h"
+#include "serve/query_engine.h"
+
+namespace reaper {
+namespace net {
+
+/** One blocking protocol connection. Move-only. */
+class Client
+{
+  public:
+    Client() = default;
+
+    Client(Client &&) = default;
+    Client &operator=(Client &&) = default;
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /**
+     * Connect and complete the Hello/HelloAck handshake. The returned
+     * client is ready for listKeys()/sendQueries().
+     */
+    static common::Expected<Client>
+    connect(const std::string &host, uint16_t port,
+            DecodeLimits limits = {});
+
+    /** Limits the daemon announced in HelloAck. */
+    const ServerLimits &serverLimits() const { return serverLimits_; }
+
+    /** Fetch the daemon's advertised profile keys. */
+    common::Expected<std::vector<std::string>> listKeys();
+
+    /** Encode and send one QueryBatch frame (blocking write). */
+    common::Status sendQueries(const serve::Request *reqs, size_t n);
+
+    /**
+     * Block for the next ResponseBatch frame and append its responses
+     * to `out`. A ProtocolError frame (terminal) surfaces as a Parse
+     * error carrying the daemon's message.
+     */
+    common::Status recvResponses(std::vector<WireResponse> &out);
+
+    bool connected() const { return sock_.valid(); }
+    void close() { sock_.close(); }
+
+  private:
+    /** Block until one complete frame is available. */
+    common::Expected<FrameView> recvFrame();
+
+    Socket sock_;
+    DecodeLimits limits_;
+    ServerLimits serverLimits_;
+    std::vector<uint8_t> inbuf_;
+    size_t inStart_ = 0;
+    std::vector<uint8_t> sendBuf_;
+};
+
+} // namespace net
+} // namespace reaper
+
+#endif // REAPER_NET_CLIENT_H

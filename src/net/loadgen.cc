@@ -1,0 +1,198 @@
+#include "net/loadgen.h"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "net/client.h"
+#include "obs/metrics.h"
+
+namespace reaper {
+namespace net {
+
+namespace {
+
+using common::Error;
+using common::Expected;
+using common::Status;
+
+double
+nowSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Per-connection tally merged into the result at the end. */
+struct ConnTally
+{
+    uint64_t sent = 0;
+    uint64_t ok = 0;
+    uint64_t notFound = 0;
+    uint64_t rejected = 0;
+    uint64_t protocolErrors = 0;
+    std::string error;
+};
+
+/** One in-flight QueryBatch frame. */
+struct InFlight
+{
+    double sendTime = 0;
+    size_t remaining = 0;
+};
+
+void
+driveConnection(const LoadgenConfig &cfg, unsigned connIdx,
+                uint64_t target, obs::Histogram &hist,
+                ConnTally &tally)
+{
+    auto client = Client::connect(cfg.host, cfg.port, cfg.limits);
+    if (!client) {
+        tally.error = client.error().describe();
+        return;
+    }
+    // Distinct deterministic stream per connection.
+    serve::Workload workload(cfg.workload,
+                             cfg.seed + 1000003ull * connIdx);
+
+    std::vector<serve::Request> batchBuf;
+    std::vector<WireResponse> respBuf;
+    std::unordered_map<uint64_t, InFlight> inFlight;
+    uint64_t nextBatchId = 1;
+    uint64_t sent = 0;
+
+    while (sent < target || !inFlight.empty()) {
+        while (inFlight.size() < cfg.pipeline && sent < target) {
+            const size_t count = static_cast<size_t>(
+                std::min<uint64_t>(cfg.batch, target - sent));
+            batchBuf.clear();
+            for (size_t i = 0; i < count; ++i) {
+                serve::Request req = workload.next();
+                // All requests of a frame share a correlation id;
+                // the batch is done when `count` answers carry it.
+                req.id = nextBatchId;
+                batchBuf.push_back(std::move(req));
+            }
+            const double sendTime = nowSeconds();
+            if (Status s = client.value().sendQueries(
+                    batchBuf.data(), batchBuf.size());
+                !s) {
+                tally.error = s.error().describe();
+                return;
+            }
+            inFlight.emplace(nextBatchId,
+                             InFlight{sendTime, count});
+            ++nextBatchId;
+            sent += count;
+            tally.sent += count;
+        }
+        if (inFlight.empty())
+            break;
+
+        respBuf.clear();
+        if (Status s = client.value().recvResponses(respBuf); !s) {
+            if (s.error().category ==
+                common::ErrorCategory::Parse)
+                ++tally.protocolErrors;
+            tally.error = s.error().describe();
+            return;
+        }
+        const double recvTime = nowSeconds();
+        for (const WireResponse &resp : respBuf) {
+            switch (resp.status) {
+            case WireStatus::Ok:
+                ++tally.ok;
+                break;
+            case WireStatus::NotFound:
+                ++tally.notFound;
+                break;
+            case WireStatus::Rejected:
+                ++tally.rejected;
+                break;
+            }
+            auto it = inFlight.find(resp.id);
+            if (it == inFlight.end())
+                continue; // duplicate/unknown id: counted above
+            if (--it->second.remaining == 0) {
+                hist.record(recvTime - it->second.sendTime);
+                inFlight.erase(it);
+            }
+        }
+    }
+}
+
+} // namespace
+
+Expected<LoadgenResult>
+runLoadgen(const LoadgenConfig &cfg)
+{
+    if (cfg.connections == 0 || cfg.batch == 0 ||
+        cfg.pipeline == 0)
+        return Error::invalidConfig(
+            "loadgen: connections, pipeline, and batch must be > 0");
+
+    LoadgenConfig run = cfg;
+    if (run.workload.keys.empty()) {
+        auto probe = Client::connect(run.host, run.port, run.limits);
+        if (!probe)
+            return probe.error();
+        auto keys = probe.value().listKeys();
+        if (!keys)
+            return keys.error();
+        if (keys.value().empty())
+            return Error::invalidConfig(
+                "loadgen: daemon advertises no profile keys and no "
+                "workload keys were given");
+        run.workload.keys = std::move(keys.value());
+    }
+
+    // Split the request budget across connections (first ones take
+    // the remainder).
+    const uint64_t base = run.totalRequests / run.connections;
+    const uint64_t extra = run.totalRequests % run.connections;
+
+    obs::Histogram hist;
+    std::vector<ConnTally> tallies(run.connections);
+    std::vector<std::thread> threads;
+    threads.reserve(run.connections);
+
+    const double start = nowSeconds();
+    for (unsigned c = 0; c < run.connections; ++c) {
+        const uint64_t target = base + (c < extra ? 1 : 0);
+        threads.emplace_back([&run, c, target, &hist, &tallies] {
+            driveConnection(run, c, target, hist, tallies[c]);
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    const double elapsed = nowSeconds() - start;
+
+    LoadgenResult result;
+    result.seconds = elapsed;
+    for (const ConnTally &tally : tallies) {
+        result.sent += tally.sent;
+        result.ok += tally.ok;
+        result.notFound += tally.notFound;
+        result.rejected += tally.rejected;
+        result.protocolErrors += tally.protocolErrors;
+        if (!tally.error.empty() && result.errors.size() < 8)
+            result.errors.push_back(tally.error);
+    }
+    const uint64_t answered =
+        result.ok + result.notFound + result.rejected;
+    result.unanswered =
+        result.sent > answered ? result.sent - answered : 0;
+    result.qps = elapsed > 0
+                     ? static_cast<double>(answered) / elapsed
+                     : 0;
+    result.p50Us = hist.percentile(0.50) * 1e6;
+    result.p95Us = hist.percentile(0.95) * 1e6;
+    result.p99Us = hist.percentile(0.99) * 1e6;
+    return result;
+}
+
+} // namespace net
+} // namespace reaper

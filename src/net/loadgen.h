@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Over-the-wire load driver for the REAPER-NET daemon.
+ *
+ * Drives the zipfian serve::Workload over N real TCP connections
+ * (one thread per connection, closed loop) with configurable
+ * pipelining: each connection keeps up to `pipeline` QueryBatch
+ * frames of `batch` requests in flight, so the daemon's coalescing
+ * and backpressure paths are exercised rather than a single
+ * request/response ping-pong.
+ *
+ * Measured quantities are end-to-end over the wire: QPS is responses
+ * received (Ok + NotFound + Rejected — every submitted request is
+ * answered) divided by wall time across all connections, and latency
+ * is the batch round trip (send of a QueryBatch frame to receipt of
+ * its last response) recorded into a shared obs::Histogram for
+ * p50/p95/p99.
+ *
+ * Shared by the examples/serve_loadgen CLI and the bench_serve
+ * over-the-wire sweep — one driver, two front ends.
+ */
+
+#ifndef REAPER_NET_LOADGEN_H
+#define REAPER_NET_LOADGEN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/wire.h"
+#include "serve/workload.h"
+
+namespace reaper {
+namespace net {
+
+/** Shape of one load-generation run. */
+struct LoadgenConfig
+{
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;
+    /** Concurrent TCP connections (one driver thread each). */
+    unsigned connections = 1;
+    /** QueryBatch frames in flight per connection. */
+    unsigned pipeline = 4;
+    /** Requests per QueryBatch frame. */
+    size_t batch = 64;
+    /** Total requests across all connections. */
+    uint64_t totalRequests = 100000;
+    /**
+     * Workload shape. When `workload.keys` is empty the driver asks
+     * the daemon via ListKeys, so a bare CLI invocation needs no
+     * out-of-band key configuration.
+     */
+    serve::WorkloadConfig workload;
+    uint64_t seed = 42;
+    DecodeLimits limits;
+};
+
+/** Aggregate outcome of a run. */
+struct LoadgenResult
+{
+    double seconds = 0;
+    /** Responses received per second, over all connections. */
+    double qps = 0;
+    uint64_t sent = 0;
+    uint64_t ok = 0;
+    uint64_t notFound = 0;
+    uint64_t rejected = 0;
+    /** sent - (ok + notFound + rejected): 0 on a clean run. */
+    uint64_t unanswered = 0;
+    uint64_t protocolErrors = 0;
+    /** Batch round-trip percentiles, microseconds. */
+    double p50Us = 0;
+    double p95Us = 0;
+    double p99Us = 0;
+    /** First few connection-level error messages (empty = clean). */
+    std::vector<std::string> errors;
+
+    bool clean() const
+    {
+        return errors.empty() && protocolErrors == 0 &&
+               unanswered == 0;
+    }
+};
+
+/**
+ * Run one closed-loop load generation against a live daemon.
+ * Connection-level failures are reported inside the result, not as an
+ * Expected error — a partially failed run still carries its counts.
+ * Returns an error only when no connection could be established.
+ */
+common::Expected<LoadgenResult> runLoadgen(const LoadgenConfig &cfg);
+
+} // namespace net
+} // namespace reaper
+
+#endif // REAPER_NET_LOADGEN_H

@@ -1,0 +1,163 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace reaper {
+namespace net {
+
+namespace {
+
+using common::Error;
+using common::Expected;
+using common::Status;
+using common::okStatus;
+
+Error
+ioError(const std::string &what)
+{
+    return Error::io(what + ": " + std::strerror(errno));
+}
+
+Expected<sockaddr_in>
+resolve(const std::string &host, uint16_t port)
+{
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    const std::string &ip = host == "localhost" ? "127.0.0.1" : host;
+    if (::inet_pton(AF_INET, ip.c_str(), &addr.sin_addr) != 1)
+        return Error::invalidConfig(
+            "net: host must be an IPv4 dotted quad or 'localhost', "
+            "got '" + host + "'");
+    return addr;
+}
+
+} // namespace
+
+void
+Socket::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+Status
+Socket::setNonBlocking(bool on)
+{
+    int flags = ::fcntl(fd_, F_GETFL, 0);
+    if (flags < 0)
+        return ioError("fcntl(F_GETFL)");
+    if (on)
+        flags |= O_NONBLOCK;
+    else
+        flags &= ~O_NONBLOCK;
+    if (::fcntl(fd_, F_SETFL, flags) < 0)
+        return ioError("fcntl(F_SETFL)");
+    return okStatus();
+}
+
+Status
+Socket::setNoDelay(bool on)
+{
+    int v = on ? 1 : 0;
+    if (::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &v, sizeof(v)) < 0)
+        return ioError("setsockopt(TCP_NODELAY)");
+    return okStatus();
+}
+
+Expected<uint16_t>
+Socket::localPort() const
+{
+    sockaddr_in addr{};
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd_, reinterpret_cast<sockaddr *>(&addr), &len) <
+        0)
+        return ioError("getsockname");
+    return ntohs(addr.sin_port);
+}
+
+Expected<Socket>
+Socket::listenTcp(const std::string &host, uint16_t port, int backlog)
+{
+    Expected<sockaddr_in> addr = resolve(host, port);
+    if (!addr)
+        return addr.error();
+    Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!sock.valid())
+        return ioError("socket");
+    int one = 1;
+    if (::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one)) < 0)
+        return ioError("setsockopt(SO_REUSEADDR)");
+    if (::bind(sock.fd(),
+               reinterpret_cast<const sockaddr *>(&addr.value()),
+               sizeof(addr.value())) < 0)
+        return ioError("bind " + host + ":" + std::to_string(port));
+    if (::listen(sock.fd(), backlog) < 0)
+        return ioError("listen");
+    return sock;
+}
+
+Expected<Socket>
+Socket::connectTcp(const std::string &host, uint16_t port)
+{
+    Expected<sockaddr_in> addr = resolve(host, port);
+    if (!addr)
+        return addr.error();
+    Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!sock.valid())
+        return ioError("socket");
+    for (;;) {
+        if (::connect(sock.fd(),
+                      reinterpret_cast<const sockaddr *>(&addr.value()),
+                      sizeof(addr.value())) == 0)
+            return sock;
+        if (errno == EINTR)
+            continue;
+        return ioError("connect " + host + ":" +
+                       std::to_string(port));
+    }
+}
+
+Expected<std::pair<Socket, Socket>>
+makeWakePipe()
+{
+    int fds[2];
+    if (::pipe(fds) < 0)
+        return ioError("pipe");
+    Socket rd(fds[0]), wr(fds[1]);
+    if (Status s = rd.setNonBlocking(true); !s)
+        return s.error();
+    if (Status s = wr.setNonBlocking(true); !s)
+        return s.error();
+    return std::make_pair(std::move(rd), std::move(wr));
+}
+
+Status
+writeAll(int fd, const void *data, size_t len)
+{
+    const uint8_t *p = static_cast<const uint8_t *>(data);
+    while (len > 0) {
+        ssize_t n = ::write(fd, p, len);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return ioError("write");
+        }
+        p += n;
+        len -= static_cast<size_t>(n);
+    }
+    return okStatus();
+}
+
+} // namespace net
+} // namespace reaper

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Thin RAII layer over POSIX TCP sockets for the serving tier.
+ *
+ * Deliberately minimal: an owning fd wrapper plus the four operations
+ * the daemon and its clients need (listen, accept, connect, and the
+ * option twiddles). Everything fallible returns common::Expected with
+ * errno folded into the message, so callers dispatch on
+ * ErrorCategory::Io / Fault like every other subsystem instead of
+ * inspecting errno themselves.
+ *
+ * Address handling is IPv4: hosts are dotted quads ("0.0.0.0" binds
+ * all interfaces), with "localhost" accepted as an alias for
+ * 127.0.0.1. Port 0 asks the kernel for an ephemeral port; localPort()
+ * reports what was actually bound — how tests and the bench run a
+ * daemon without a port collision.
+ */
+
+#ifndef REAPER_NET_SOCKET_H
+#define REAPER_NET_SOCKET_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/expected.h"
+
+namespace reaper {
+namespace net {
+
+/** Move-only owning TCP socket (or any pollable fd). */
+class Socket
+{
+  public:
+    Socket() = default;
+    explicit Socket(int fd) : fd_(fd) {}
+    ~Socket() { close(); }
+
+    Socket(const Socket &) = delete;
+    Socket &operator=(const Socket &) = delete;
+    Socket(Socket &&other) noexcept : fd_(other.release()) {}
+    Socket &operator=(Socket &&other) noexcept
+    {
+        if (this != &other) {
+            close();
+            fd_ = other.release();
+        }
+        return *this;
+    }
+
+    bool valid() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+
+    /** Give up ownership without closing. */
+    int release()
+    {
+        int fd = fd_;
+        fd_ = -1;
+        return fd;
+    }
+
+    void close();
+
+    common::Status setNonBlocking(bool on);
+    /** Disable Nagle: the protocol already batches, so frames should
+     *  hit the wire immediately. */
+    common::Status setNoDelay(bool on);
+
+    /** The locally bound port (after listenTcp/connectTcp). */
+    common::Expected<uint16_t> localPort() const;
+
+    /**
+     * Bind `host:port` (port 0 = ephemeral) and listen. SO_REUSEADDR
+     * is set so a restarted daemon does not trip over TIME_WAIT.
+     */
+    static common::Expected<Socket>
+    listenTcp(const std::string &host, uint16_t port, int backlog);
+
+    /** Blocking connect to `host:port`. */
+    static common::Expected<Socket>
+    connectTcp(const std::string &host, uint16_t port);
+
+  private:
+    int fd_ = -1;
+};
+
+/** A pipe pair for waking a poll loop from other threads (read end
+ *  first, write end second); both ends are nonblocking. */
+common::Expected<std::pair<Socket, Socket>> makeWakePipe();
+
+/** Write all `len` bytes to a blocking fd (retrying short writes and
+ *  EINTR). Errors are Io. */
+common::Status writeAll(int fd, const void *data, size_t len);
+
+} // namespace net
+} // namespace reaper
+
+#endif // REAPER_NET_SOCKET_H

@@ -1,0 +1,541 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+#include "simd/crc32c.h"
+#include "simd/varint.h"
+
+namespace reaper {
+namespace net {
+
+namespace {
+
+using common::Error;
+using common::Expected;
+using common::Status;
+using common::okStatus;
+
+void
+putLe32(std::vector<uint8_t> &buf, uint32_t v)
+{
+    buf.push_back(static_cast<uint8_t>(v));
+    buf.push_back(static_cast<uint8_t>(v >> 8));
+    buf.push_back(static_cast<uint8_t>(v >> 16));
+    buf.push_back(static_cast<uint8_t>(v >> 24));
+}
+
+uint32_t
+getLe32(const uint8_t *p)
+{
+    return static_cast<uint32_t>(p[0]) |
+           static_cast<uint32_t>(p[1]) << 8 |
+           static_cast<uint32_t>(p[2]) << 16 |
+           static_cast<uint32_t>(p[3]) << 24;
+}
+
+uint64_t
+getLe64(const uint8_t *p)
+{
+    return static_cast<uint64_t>(getLe32(p)) |
+           static_cast<uint64_t>(getLe32(p + 4)) << 32;
+}
+
+/** Cursor over an untrusted payload; every read is bounds-checked and
+ *  failure is sticky (the caller checks ok() once per field group). */
+struct PayloadReader
+{
+    const uint8_t *p;
+    const uint8_t *end;
+
+    PayloadReader(const FrameView &frame)
+        : p(frame.payload), end(frame.payload + frame.payloadLen)
+    {
+    }
+
+    size_t remaining() const
+    {
+        return static_cast<size_t>(end - p);
+    }
+
+    bool varint(uint64_t *v)
+    {
+        // One varint through the shared (dispatched) bulk decoder.
+        const uint8_t *next = simd::decodeVarints(p, end, v, 1);
+        if (next == nullptr)
+            return false;
+        p = next;
+        return true;
+    }
+
+    bool u8(uint8_t *v)
+    {
+        if (remaining() < 1)
+            return false;
+        *v = *p++;
+        return true;
+    }
+
+    bool u32(uint32_t *v)
+    {
+        if (remaining() < 4)
+            return false;
+        *v = getLe32(p);
+        p += 4;
+        return true;
+    }
+
+    bool u64(uint64_t *v)
+    {
+        if (remaining() < 8)
+            return false;
+        *v = getLe64(p);
+        p += 8;
+        return true;
+    }
+
+    bool bytes(std::string *out, size_t len)
+    {
+        if (remaining() < len)
+            return false;
+        out->assign(reinterpret_cast<const char *>(p), len);
+        p += len;
+        return true;
+    }
+};
+
+Error
+corrupt(const char *what)
+{
+    return Error::corrupt(std::string("net frame: ") + what);
+}
+
+/** Per-batch element floor in encoded bytes, used to clamp a hostile
+ *  count against the bytes actually present before any reserve. */
+constexpr size_t kMinQueryBytes = 5;    // id+kind+keyLen+chip+row
+constexpr size_t kMinResponseBytes = 12; // id+status+weak+bin+interval
+constexpr size_t kMinKeyEntryBytes = 1; // varint len (empty key)
+
+} // namespace
+
+const char *
+toString(Opcode op)
+{
+    switch (op) {
+    case Opcode::Hello:
+        return "Hello";
+    case Opcode::HelloAck:
+        return "HelloAck";
+    case Opcode::ListKeys:
+        return "ListKeys";
+    case Opcode::KeyList:
+        return "KeyList";
+    case Opcode::QueryBatch:
+        return "QueryBatch";
+    case Opcode::ResponseBatch:
+        return "ResponseBatch";
+    case Opcode::ProtocolError:
+        return "ProtocolError";
+    }
+    return "?";
+}
+
+const char *
+toString(WireStatus s)
+{
+    switch (s) {
+    case WireStatus::Ok:
+        return "Ok";
+    case WireStatus::NotFound:
+        return "NotFound";
+    case WireStatus::Rejected:
+        return "Rejected";
+    }
+    return "?";
+}
+
+Expected<size_t>
+tryExtractFrame(const uint8_t *data, size_t avail,
+                const DecodeLimits &limits, FrameView *out)
+{
+    if (limits.maxFrameBytes < kMinBodyBytes)
+        return Error::invalidConfig(
+            "net: maxFrameBytes smaller than the minimum body");
+    if (avail < 4)
+        return size_t{0};
+    const size_t bodyLen = getLe32(data);
+    if (bodyLen < kMinBodyBytes)
+        return corrupt("body length below opcode+version minimum");
+    if (bodyLen > limits.maxFrameBytes)
+        return corrupt("body length exceeds the frame clamp");
+    if (avail < 4 + bodyLen + 4)
+        return size_t{0};
+    const uint8_t *body = data + 4;
+    const uint32_t stored = getLe32(body + bodyLen);
+    const uint32_t actual = simd::crc32c(0, body, bodyLen);
+    if (stored != actual)
+        return corrupt("body CRC32C mismatch");
+    const uint8_t op = body[0];
+    const uint8_t version = body[1];
+    if (version != kProtocolVersion)
+        return Error::parse("net frame: unsupported protocol version " +
+                            std::to_string(version));
+    if (op < static_cast<uint8_t>(Opcode::Hello) ||
+        op > static_cast<uint8_t>(Opcode::ProtocolError))
+        return Error::parse("net frame: unknown opcode " +
+                            std::to_string(op));
+    out->opcode = static_cast<Opcode>(op);
+    out->version = version;
+    out->payload = body + 2;
+    out->payloadLen = bodyLen - 2;
+    return 4 + bodyLen + 4;
+}
+
+void
+FrameWriter::begin(Opcode op)
+{
+    frameStart_ = buf_.size();
+    open_ = true;
+    putLe32(buf_, 0); // length prefix, patched by end()
+    buf_.push_back(static_cast<uint8_t>(op));
+    buf_.push_back(kProtocolVersion);
+}
+
+void
+FrameWriter::putU8(uint8_t v)
+{
+    buf_.push_back(v);
+}
+
+void
+FrameWriter::putU32(uint32_t v)
+{
+    putLe32(buf_, v);
+}
+
+void
+FrameWriter::putU64(uint64_t v)
+{
+    putLe32(buf_, static_cast<uint32_t>(v));
+    putLe32(buf_, static_cast<uint32_t>(v >> 32));
+}
+
+void
+FrameWriter::putVarint(uint64_t v)
+{
+    uint8_t tmp[simd::kMaxVarintBytes];
+    size_t n = simd::encodeVarint(tmp, v);
+    buf_.insert(buf_.end(), tmp, tmp + n);
+}
+
+void
+FrameWriter::putBytes(const void *data, size_t len)
+{
+    const uint8_t *p = static_cast<const uint8_t *>(data);
+    buf_.insert(buf_.end(), p, p + len);
+}
+
+void
+FrameWriter::putString(const std::string &s)
+{
+    putVarint(s.size());
+    putBytes(s.data(), s.size());
+}
+
+void
+FrameWriter::end()
+{
+    if (!open_)
+        return;
+    open_ = false;
+    const size_t bodyLen = buf_.size() - frameStart_ - 4;
+    uint8_t *len = buf_.data() + frameStart_;
+    len[0] = static_cast<uint8_t>(bodyLen);
+    len[1] = static_cast<uint8_t>(bodyLen >> 8);
+    len[2] = static_cast<uint8_t>(bodyLen >> 16);
+    len[3] = static_cast<uint8_t>(bodyLen >> 24);
+    const uint32_t crc =
+        simd::crc32c(0, buf_.data() + frameStart_ + 4, bodyLen);
+    putLe32(buf_, crc);
+}
+
+void
+encodeHello(std::vector<uint8_t> &buf)
+{
+    FrameWriter w(buf);
+    w.begin(Opcode::Hello);
+    w.putU32(kHelloMagic);
+    w.end();
+}
+
+void
+encodeHelloAck(std::vector<uint8_t> &buf, const ServerLimits &limits)
+{
+    FrameWriter w(buf);
+    w.begin(Opcode::HelloAck);
+    w.putVarint(limits.maxFrameBytes);
+    w.putVarint(limits.maxBatchPerFrame);
+    w.putVarint(limits.workers);
+    w.end();
+}
+
+void
+encodeListKeys(std::vector<uint8_t> &buf)
+{
+    FrameWriter w(buf);
+    w.begin(Opcode::ListKeys);
+    w.end();
+}
+
+void
+encodeKeyList(std::vector<uint8_t> &buf,
+              const std::vector<std::string> &keys)
+{
+    FrameWriter w(buf);
+    w.begin(Opcode::KeyList);
+    w.putVarint(keys.size());
+    for (const std::string &key : keys)
+        w.putString(key);
+    w.end();
+}
+
+void
+encodeQueryBatch(std::vector<uint8_t> &buf, const serve::Request *reqs,
+                 size_t n)
+{
+    FrameWriter w(buf);
+    w.begin(Opcode::QueryBatch);
+    w.putVarint(n);
+    for (size_t i = 0; i < n; ++i) {
+        const serve::Request &r = reqs[i];
+        w.putVarint(r.id);
+        w.putU8(static_cast<uint8_t>(r.kind));
+        w.putString(r.key);
+        w.putVarint(r.chip);
+        w.putVarint(r.row);
+    }
+    w.end();
+}
+
+void
+encodeResponseBatch(std::vector<uint8_t> &buf,
+                    const WireResponse *resps, size_t n)
+{
+    FrameWriter w(buf);
+    w.begin(Opcode::ResponseBatch);
+    w.putVarint(n);
+    for (size_t i = 0; i < n; ++i) {
+        const WireResponse &r = resps[i];
+        w.putVarint(r.id);
+        w.putU8(static_cast<uint8_t>(r.status));
+        w.putU8(r.weak ? 1 : 0);
+        w.putVarint(r.bin);
+        uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(r.interval));
+        std::memcpy(&bits, &r.interval, sizeof(bits));
+        w.putU64(bits);
+    }
+    w.end();
+}
+
+void
+encodeProtocolError(std::vector<uint8_t> &buf,
+                    const std::string &message)
+{
+    FrameWriter w(buf);
+    w.begin(Opcode::ProtocolError);
+    w.putString(message);
+    w.end();
+}
+
+namespace {
+
+Status
+requireOpcode(const FrameView &frame, Opcode want)
+{
+    if (frame.opcode != want)
+        return Error::parse(std::string("net: expected ") +
+                            toString(want) + " frame, got " +
+                            toString(frame.opcode));
+    return okStatus();
+}
+
+/**
+ * Clamp an announced element count against the decoder limit and the
+ * bytes actually present (`minBytes` per element): a forged count can
+ * neither oversize a reserve nor pass the loop's bounds checks.
+ */
+Expected<size_t>
+clampCount(uint64_t announced, size_t maxBatch, size_t minBytes,
+           size_t remaining, const char *what)
+{
+    if (announced > maxBatch)
+        return Error::corrupt("net frame: " + std::string(what) +
+                              " count " + std::to_string(announced) +
+                              " exceeds the per-frame clamp " +
+                              std::to_string(maxBatch));
+    if (announced * minBytes > remaining)
+        return corrupt("announced count larger than the payload holds");
+    return static_cast<size_t>(announced);
+}
+
+} // namespace
+
+Expected<uint32_t>
+decodeHello(const FrameView &frame)
+{
+    if (Status s = requireOpcode(frame, Opcode::Hello); !s)
+        return s.error();
+    PayloadReader r(frame);
+    uint32_t magic = 0;
+    if (!r.u32(&magic))
+        return corrupt("truncated Hello payload");
+    if (r.remaining() != 0)
+        return corrupt("trailing bytes after Hello payload");
+    return magic;
+}
+
+Expected<ServerLimits>
+decodeHelloAck(const FrameView &frame)
+{
+    if (Status s = requireOpcode(frame, Opcode::HelloAck); !s)
+        return s.error();
+    PayloadReader r(frame);
+    ServerLimits limits;
+    if (!r.varint(&limits.maxFrameBytes) ||
+        !r.varint(&limits.maxBatchPerFrame) ||
+        !r.varint(&limits.workers))
+        return corrupt("truncated HelloAck payload");
+    if (r.remaining() != 0)
+        return corrupt("trailing bytes after HelloAck payload");
+    return limits;
+}
+
+Status
+decodeKeyList(const FrameView &frame, const DecodeLimits &limits,
+              std::vector<std::string> &out)
+{
+    if (Status s = requireOpcode(frame, Opcode::KeyList); !s)
+        return s;
+    PayloadReader r(frame);
+    uint64_t announced = 0;
+    if (!r.varint(&announced))
+        return corrupt("truncated KeyList count");
+    Expected<size_t> count =
+        clampCount(announced, limits.maxBatchPerFrame,
+                   kMinKeyEntryBytes, r.remaining(), "KeyList");
+    if (!count)
+        return count.error();
+    out.reserve(out.size() + count.value());
+    for (size_t i = 0; i < count.value(); ++i) {
+        uint64_t len = 0;
+        if (!r.varint(&len))
+            return corrupt("truncated KeyList entry length");
+        if (len > limits.maxKeyBytes)
+            return corrupt("KeyList key length exceeds the clamp");
+        std::string key;
+        if (!r.bytes(&key, static_cast<size_t>(len)))
+            return corrupt("truncated KeyList key bytes");
+        out.push_back(std::move(key));
+    }
+    if (r.remaining() != 0)
+        return corrupt("trailing bytes after KeyList payload");
+    return okStatus();
+}
+
+Status
+decodeQueryBatch(const FrameView &frame, const DecodeLimits &limits,
+                 std::vector<serve::Request> &out)
+{
+    if (Status s = requireOpcode(frame, Opcode::QueryBatch); !s)
+        return s;
+    PayloadReader r(frame);
+    uint64_t announced = 0;
+    if (!r.varint(&announced))
+        return corrupt("truncated QueryBatch count");
+    Expected<size_t> count =
+        clampCount(announced, limits.maxBatchPerFrame, kMinQueryBytes,
+                   r.remaining(), "QueryBatch");
+    if (!count)
+        return count.error();
+    out.reserve(out.size() + count.value());
+    for (size_t i = 0; i < count.value(); ++i) {
+        serve::Request req;
+        uint8_t kind = 0;
+        uint64_t keyLen = 0, chip = 0;
+        if (!r.varint(&req.id) || !r.u8(&kind) || !r.varint(&keyLen))
+            return corrupt("truncated QueryBatch request");
+        if (kind > static_cast<uint8_t>(serve::QueryKind::RefreshBin))
+            return corrupt("QueryBatch request kind out of range");
+        if (keyLen > limits.maxKeyBytes)
+            return corrupt("QueryBatch key length exceeds the clamp");
+        if (!r.bytes(&req.key, static_cast<size_t>(keyLen)) ||
+            !r.varint(&chip) || !r.varint(&req.row))
+            return corrupt("truncated QueryBatch request fields");
+        if (chip > UINT32_MAX)
+            return corrupt("QueryBatch chip out of range");
+        req.kind = static_cast<serve::QueryKind>(kind);
+        req.chip = static_cast<uint32_t>(chip);
+        out.push_back(std::move(req));
+    }
+    if (r.remaining() != 0)
+        return corrupt("trailing bytes after QueryBatch payload");
+    return okStatus();
+}
+
+Status
+decodeResponseBatch(const FrameView &frame, const DecodeLimits &limits,
+                    std::vector<WireResponse> &out)
+{
+    if (Status s = requireOpcode(frame, Opcode::ResponseBatch); !s)
+        return s;
+    PayloadReader r(frame);
+    uint64_t announced = 0;
+    if (!r.varint(&announced))
+        return corrupt("truncated ResponseBatch count");
+    Expected<size_t> count =
+        clampCount(announced, limits.maxBatchPerFrame,
+                   kMinResponseBytes, r.remaining(), "ResponseBatch");
+    if (!count)
+        return count.error();
+    out.reserve(out.size() + count.value());
+    for (size_t i = 0; i < count.value(); ++i) {
+        WireResponse resp;
+        uint8_t status = 0, weak = 0;
+        uint64_t bin = 0, bits = 0;
+        if (!r.varint(&resp.id) || !r.u8(&status) || !r.u8(&weak) ||
+            !r.varint(&bin) || !r.u64(&bits))
+            return corrupt("truncated ResponseBatch response");
+        if (status > static_cast<uint8_t>(WireStatus::Rejected))
+            return corrupt("ResponseBatch status out of range");
+        if (bin > UINT32_MAX)
+            return corrupt("ResponseBatch bin out of range");
+        resp.status = static_cast<WireStatus>(status);
+        resp.weak = weak != 0;
+        resp.bin = static_cast<uint32_t>(bin);
+        std::memcpy(&resp.interval, &bits, sizeof(resp.interval));
+        out.push_back(resp);
+    }
+    if (r.remaining() != 0)
+        return corrupt("trailing bytes after ResponseBatch payload");
+    return okStatus();
+}
+
+Expected<std::string>
+decodeProtocolError(const FrameView &frame, const DecodeLimits &limits)
+{
+    if (Status s = requireOpcode(frame, Opcode::ProtocolError); !s)
+        return s.error();
+    PayloadReader r(frame);
+    uint64_t len = 0;
+    if (!r.varint(&len))
+        return corrupt("truncated ProtocolError length");
+    if (len > limits.maxFrameBytes)
+        return corrupt("ProtocolError length exceeds the clamp");
+    std::string msg;
+    if (!r.bytes(&msg, static_cast<size_t>(len)))
+        return corrupt("truncated ProtocolError message");
+    return msg;
+}
+
+} // namespace net
+} // namespace reaper

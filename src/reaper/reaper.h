@@ -99,6 +99,12 @@
 #include "serve/refresh_directory.h"
 #include "serve/workload.h"
 
+#include "net/client.h"
+#include "net/loadgen.h"
+#include "net/server.h"
+#include "net/socket.h"
+#include "net/wire.h"
+
 #include "reaper/firmware.h"
 
 #endif // REAPER_REAPER_H

@@ -1,0 +1,397 @@
+/**
+ * @file
+ * REAPER-NET wire-protocol tests: round-trip properties for every
+ * opcode, plus the hostile-input sweeps the protocol was built for —
+ * every-byte truncation, single-bit corruption, and forged length
+ * fields (the test_profile_binary.cc discipline applied to socket
+ * bytes).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/wire.h"
+#include "simd/crc32c.h"
+
+using namespace reaper;
+using namespace reaper::net;
+using common::ErrorCategory;
+
+namespace {
+
+/** Extract exactly one frame from a buffer that must hold it. */
+FrameView
+mustExtract(const std::vector<uint8_t> &buf,
+            const DecodeLimits &limits = {})
+{
+    FrameView frame;
+    auto consumed =
+        tryExtractFrame(buf.data(), buf.size(), limits, &frame);
+    EXPECT_TRUE(consumed.hasValue())
+        << (consumed.hasValue() ? "" : consumed.error().describe());
+    EXPECT_EQ(consumed.value(), buf.size());
+    return frame;
+}
+
+serve::Request
+makeRequest(uint64_t id, Rng &rng)
+{
+    serve::Request req;
+    req.id = id;
+    req.kind = (rng.uniformInt(2) == 0) ? serve::QueryKind::IsRowWeak
+                                        : serve::QueryKind::RefreshBin;
+    req.key = "chip-" + std::to_string(rng.uniformInt(1000)) +
+              "/cond-45C";
+    req.chip = static_cast<uint32_t>(rng.uniformInt(1u << 20));
+    req.row = rng.uniformInt(1ull << 40);
+    return req;
+}
+
+WireResponse
+makeResponse(uint64_t id, Rng &rng)
+{
+    WireResponse resp;
+    resp.id = id;
+    resp.status = static_cast<WireStatus>(rng.uniformInt(3));
+    resp.weak = rng.uniformInt(2) == 1;
+    resp.bin = static_cast<uint32_t>(rng.uniformInt(8));
+    resp.interval = 0.064 * (1 + rng.uniformInt(4));
+    return resp;
+}
+
+} // namespace
+
+// ---- Round trips ----------------------------------------------------
+
+TEST(NetWire, HelloRoundTrip)
+{
+    std::vector<uint8_t> buf;
+    encodeHello(buf);
+    FrameView frame = mustExtract(buf);
+    EXPECT_EQ(frame.opcode, Opcode::Hello);
+    EXPECT_EQ(frame.version, kProtocolVersion);
+    auto magic = decodeHello(frame);
+    ASSERT_TRUE(magic.hasValue());
+    EXPECT_EQ(magic.value(), kHelloMagic);
+}
+
+TEST(NetWire, HelloAckRoundTrip)
+{
+    ServerLimits limits;
+    limits.maxFrameBytes = 123456;
+    limits.maxBatchPerFrame = 777;
+    limits.workers = 9;
+    std::vector<uint8_t> buf;
+    encodeHelloAck(buf, limits);
+    auto decoded = decodeHelloAck(mustExtract(buf));
+    ASSERT_TRUE(decoded.hasValue());
+    EXPECT_EQ(decoded.value().maxFrameBytes, 123456u);
+    EXPECT_EQ(decoded.value().maxBatchPerFrame, 777u);
+    EXPECT_EQ(decoded.value().workers, 9u);
+}
+
+TEST(NetWire, KeyListRoundTrip)
+{
+    std::vector<std::string> keys = {"demo-chip-0/v1.024_t45",
+                                     "demo-chip-1/v1.024_t45", "",
+                                     std::string(300, 'k')};
+    std::vector<uint8_t> buf;
+    encodeKeyList(buf, keys);
+    std::vector<std::string> out;
+    ASSERT_TRUE(decodeKeyList(mustExtract(buf), {}, out).hasValue());
+    EXPECT_EQ(out, keys);
+}
+
+TEST(NetWire, EmptyKeyListRoundTrip)
+{
+    std::vector<uint8_t> buf;
+    encodeKeyList(buf, {});
+    std::vector<std::string> out;
+    ASSERT_TRUE(decodeKeyList(mustExtract(buf), {}, out).hasValue());
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(NetWire, QueryBatchRoundTripProperty)
+{
+    Rng rng(7);
+    for (int iter = 0; iter < 50; ++iter) {
+        const size_t n = 1 + rng.uniformInt(64);
+        std::vector<serve::Request> reqs;
+        for (size_t i = 0; i < n; ++i)
+            reqs.push_back(makeRequest(rng.uniformInt(1ull << 50),
+                                       rng));
+        std::vector<uint8_t> buf;
+        encodeQueryBatch(buf, reqs.data(), reqs.size());
+        std::vector<serve::Request> out;
+        ASSERT_TRUE(
+            decodeQueryBatch(mustExtract(buf), {}, out).hasValue());
+        ASSERT_EQ(out.size(), reqs.size());
+        for (size_t i = 0; i < n; ++i) {
+            EXPECT_EQ(out[i].id, reqs[i].id);
+            EXPECT_EQ(out[i].kind, reqs[i].kind);
+            EXPECT_EQ(out[i].key, reqs[i].key);
+            EXPECT_EQ(out[i].chip, reqs[i].chip);
+            EXPECT_EQ(out[i].row, reqs[i].row);
+        }
+    }
+}
+
+TEST(NetWire, ResponseBatchRoundTripProperty)
+{
+    Rng rng(11);
+    for (int iter = 0; iter < 50; ++iter) {
+        const size_t n = 1 + rng.uniformInt(64);
+        std::vector<WireResponse> resps;
+        for (size_t i = 0; i < n; ++i)
+            resps.push_back(
+                makeResponse(rng.uniformInt(1ull << 50), rng));
+        std::vector<uint8_t> buf;
+        encodeResponseBatch(buf, resps.data(), resps.size());
+        std::vector<WireResponse> out;
+        ASSERT_TRUE(
+            decodeResponseBatch(mustExtract(buf), {}, out).hasValue());
+        ASSERT_EQ(out.size(), resps.size());
+        for (size_t i = 0; i < n; ++i) {
+            EXPECT_EQ(out[i].id, resps[i].id);
+            EXPECT_EQ(out[i].status, resps[i].status);
+            EXPECT_EQ(out[i].weak, resps[i].weak);
+            EXPECT_EQ(out[i].bin, resps[i].bin);
+            EXPECT_EQ(out[i].interval, resps[i].interval);
+        }
+    }
+}
+
+TEST(NetWire, ProtocolErrorRoundTrip)
+{
+    std::vector<uint8_t> buf;
+    encodeProtocolError(buf, "Corrupt: frame CRC mismatch");
+    auto msg = decodeProtocolError(mustExtract(buf), {});
+    ASSERT_TRUE(msg.hasValue());
+    EXPECT_EQ(msg.value(), "Corrupt: frame CRC mismatch");
+}
+
+TEST(NetWire, BackToBackFramesExtractIndependently)
+{
+    std::vector<uint8_t> buf;
+    encodeHello(buf);
+    const size_t firstLen = buf.size();
+    encodeListKeys(buf);
+    FrameView frame;
+    auto first =
+        tryExtractFrame(buf.data(), buf.size(), {}, &frame);
+    ASSERT_TRUE(first.hasValue());
+    EXPECT_EQ(first.value(), firstLen);
+    EXPECT_EQ(frame.opcode, Opcode::Hello);
+    auto second = tryExtractFrame(buf.data() + firstLen,
+                                  buf.size() - firstLen, {}, &frame);
+    ASSERT_TRUE(second.hasValue());
+    EXPECT_EQ(second.value(), buf.size() - firstLen);
+    EXPECT_EQ(frame.opcode, Opcode::ListKeys);
+}
+
+// ---- Truncation sweep -----------------------------------------------
+
+TEST(NetWire, EveryPrefixTruncationIsNeedMoreOrError)
+{
+    Rng rng(23);
+    std::vector<serve::Request> reqs;
+    for (size_t i = 0; i < 16; ++i)
+        reqs.push_back(makeRequest(i, rng));
+    std::vector<uint8_t> buf;
+    encodeQueryBatch(buf, reqs.data(), reqs.size());
+
+    // A prefix must never decode as a complete frame: either "need
+    // more bytes" (0) or a typed error — both safe, neither is a
+    // bogus success.
+    for (size_t len = 0; len < buf.size(); ++len) {
+        FrameView frame;
+        auto consumed =
+            tryExtractFrame(buf.data(), len, {}, &frame);
+        if (consumed.hasValue())
+            EXPECT_EQ(consumed.value(), 0u) << "prefix " << len
+                << " decoded as a complete frame";
+    }
+}
+
+// ---- Corruption sweep -----------------------------------------------
+
+TEST(NetWire, EverySingleBitFlipIsDetected)
+{
+    Rng rng(31);
+    std::vector<serve::Request> reqs;
+    for (size_t i = 0; i < 8; ++i)
+        reqs.push_back(makeRequest(i, rng));
+    std::vector<uint8_t> clean;
+    encodeQueryBatch(clean, reqs.data(), reqs.size());
+
+    for (size_t byte = 0; byte < clean.size(); ++byte) {
+        for (int bit = 0; bit < 8; ++bit) {
+            std::vector<uint8_t> bad = clean;
+            bad[byte] ^= static_cast<uint8_t>(1u << bit);
+            FrameView frame;
+            auto consumed = tryExtractFrame(bad.data(), bad.size(),
+                                            {}, &frame);
+            // Flips in the body or CRC are caught by CRC32C. Flips
+            // in the length prefix either trip a clamp (error), look
+            // like a longer frame (need-more = 0), or frame a
+            // shorter byte range whose CRC then fails. No flip may
+            // yield a successful full-size decode.
+            if (consumed.hasValue()) {
+                EXPECT_NE(consumed.value(), clean.size())
+                    << "bit " << bit << " of byte " << byte
+                    << " went undetected";
+            }
+        }
+    }
+}
+
+// ---- Hostile length fields ------------------------------------------
+
+TEST(NetWire, ForgedFrameLengthIsClampedNotAllocated)
+{
+    // bodyLen = 0xFFFFFFFF: a 4 GiB body announcement in 8 bytes.
+    std::vector<uint8_t> buf = {0xFF, 0xFF, 0xFF, 0xFF,
+                                0x05, 0x01, 0x00, 0x00};
+    FrameView frame;
+    auto consumed =
+        tryExtractFrame(buf.data(), buf.size(), {}, &frame);
+    ASSERT_FALSE(consumed.hasValue());
+    EXPECT_EQ(consumed.error().category, ErrorCategory::Corrupt);
+}
+
+TEST(NetWire, ForgedBatchCountIsClampedNotAllocated)
+{
+    // A syntactically valid frame whose payload announces 10^12
+    // queries but carries none: the count/bytes cross-check must
+    // reject it before any reserve.
+    std::vector<uint8_t> buf;
+    FrameWriter writer(buf);
+    writer.begin(Opcode::QueryBatch);
+    writer.putVarint(1000000000000ull);
+    writer.end();
+    std::vector<serve::Request> out;
+    common::Status st = decodeQueryBatch(mustExtract(buf), {}, out);
+    ASSERT_FALSE(st.hasValue());
+    EXPECT_EQ(st.error().category, ErrorCategory::Corrupt);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(NetWire, ForgedKeyLengthIsClampedNotAllocated)
+{
+    // One query whose key claims 2^40 bytes.
+    std::vector<uint8_t> buf;
+    FrameWriter writer(buf);
+    writer.begin(Opcode::QueryBatch);
+    writer.putVarint(1);           // count
+    writer.putVarint(42);          // id
+    writer.putU8(0);               // kind
+    writer.putVarint(1ull << 40);  // keyLen (forged)
+    writer.putU8('x');
+    writer.end();
+    std::vector<serve::Request> out;
+    common::Status st = decodeQueryBatch(mustExtract(buf), {}, out);
+    ASSERT_FALSE(st.hasValue());
+    EXPECT_EQ(st.error().category, ErrorCategory::Corrupt);
+}
+
+TEST(NetWire, OversizedBatchBeyondLimitRejected)
+{
+    // More real queries than maxBatchPerFrame allows.
+    DecodeLimits limits;
+    limits.maxBatchPerFrame = 4;
+    Rng rng(5);
+    std::vector<serve::Request> reqs;
+    for (size_t i = 0; i < 8; ++i)
+        reqs.push_back(makeRequest(i, rng));
+    std::vector<uint8_t> buf;
+    encodeQueryBatch(buf, reqs.data(), reqs.size());
+    FrameView frame = mustExtract(buf, limits);
+    std::vector<serve::Request> out;
+    common::Status st = decodeQueryBatch(frame, limits, out);
+    ASSERT_FALSE(st.hasValue());
+    EXPECT_EQ(st.error().category, ErrorCategory::Corrupt);
+}
+
+TEST(NetWire, FrameLargerThanLimitRejected)
+{
+    DecodeLimits limits;
+    limits.maxFrameBytes = 64;
+    Rng rng(13);
+    std::vector<serve::Request> reqs;
+    for (size_t i = 0; i < 32; ++i)
+        reqs.push_back(makeRequest(i, rng));
+    std::vector<uint8_t> buf;
+    encodeQueryBatch(buf, reqs.data(), reqs.size());
+    ASSERT_GT(buf.size(), limits.maxFrameBytes);
+    FrameView frame;
+    auto consumed =
+        tryExtractFrame(buf.data(), buf.size(), limits, &frame);
+    ASSERT_FALSE(consumed.hasValue());
+    EXPECT_EQ(consumed.error().category, ErrorCategory::Corrupt);
+}
+
+// ---- Unknown opcode / version ---------------------------------------
+
+TEST(NetWire, UnknownOpcodeIsParseError)
+{
+    std::vector<uint8_t> buf;
+    encodeListKeys(buf);
+    // Body starts at offset 4; opcode is its first byte. Recompute
+    // the CRC so only the opcode is wrong.
+    buf[4] = 99;
+    const size_t bodyLen = buf.size() - kFrameOverheadBytes;
+    const uint32_t crc =
+        simd::crc32c(0, buf.data() + 4, bodyLen);
+    std::memcpy(buf.data() + 4 + bodyLen, &crc, 4);
+    FrameView frame;
+    auto consumed =
+        tryExtractFrame(buf.data(), buf.size(), {}, &frame);
+    ASSERT_FALSE(consumed.hasValue());
+    EXPECT_EQ(consumed.error().category, ErrorCategory::Parse);
+}
+
+TEST(NetWire, UnknownVersionIsParseError)
+{
+    std::vector<uint8_t> buf;
+    encodeListKeys(buf);
+    buf[5] = 42; // version byte
+    const size_t bodyLen = buf.size() - kFrameOverheadBytes;
+    const uint32_t crc =
+        simd::crc32c(0, buf.data() + 4, bodyLen);
+    std::memcpy(buf.data() + 4 + bodyLen, &crc, 4);
+    FrameView frame;
+    auto consumed =
+        tryExtractFrame(buf.data(), buf.size(), {}, &frame);
+    ASSERT_FALSE(consumed.hasValue());
+    EXPECT_EQ(consumed.error().category, ErrorCategory::Parse);
+}
+
+TEST(NetWire, WrongOpcodePayloadDecodersRefuse)
+{
+    std::vector<uint8_t> buf;
+    encodeHello(buf);
+    FrameView frame = mustExtract(buf);
+    std::vector<serve::Request> out;
+    EXPECT_FALSE(decodeQueryBatch(frame, {}, out).hasValue());
+    std::vector<WireResponse> resps;
+    EXPECT_FALSE(decodeResponseBatch(frame, {}, resps).hasValue());
+    EXPECT_FALSE(decodeHelloAck(frame).hasValue());
+}
+
+TEST(NetWire, TrailingPayloadBytesRejected)
+{
+    // A Hello with one extra byte after the magic: valid CRC, valid
+    // framing, but the payload decoder must notice the slack.
+    std::vector<uint8_t> buf;
+    FrameWriter writer(buf);
+    writer.begin(Opcode::Hello);
+    writer.putU32(kHelloMagic);
+    writer.putU8(0xAB);
+    writer.end();
+    auto magic = decodeHello(mustExtract(buf));
+    ASSERT_FALSE(magic.hasValue());
+    EXPECT_EQ(magic.error().category, ErrorCategory::Corrupt);
+}
