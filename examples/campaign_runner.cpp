@@ -137,6 +137,21 @@ main(int argc, char **argv)
             usage(argv[0]);
     }
 
+    // Fail fast on an unknown --profiler, listing what IS registered,
+    // instead of surfacing a generic campaign error mid-run.
+    if (!profiler_name.empty()) {
+        common::Expected<std::unique_ptr<profiling::Profiler>> probe =
+            profiling::makeProfiler(profiler_name);
+        if (!probe) {
+            std::cerr << "campaign_runner: unknown profiler '"
+                      << profiler_name << "'\nregistered profilers:";
+            for (const std::string &name : profiling::profilerNames())
+                std::cerr << " " << name;
+            std::cerr << "\n";
+            return 2;
+        }
+    }
+
     // Dump on every exit path (including the simulated-kill one).
     struct ObsDump
     {

@@ -92,6 +92,10 @@ main()
           case testbed::CommandKind::ReadCompare:
             name = "READ_COMPARE";
             break;
+          case testbed::CommandKind::Hammer:
+            name = "HAMMER";
+            param = fmtF(cmd.param, 0) + " acts";
+            break;
         }
         trace.addRow({fmtTime(cmd.startTime), name, param});
     }

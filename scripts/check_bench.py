@@ -57,6 +57,8 @@ GATES = [
     ("BENCH_fleet", "runs[threads=1].cell_reads_per_sec",
      "fleet cell reads"),
     ("BENCH_campaign", "chips_per_sec", "campaign throughput"),
+    ("BENCH_disturb", "profiler[resolution=2048].rows_per_sec",
+     "rowhammer profiler"),
 ]
 
 DEFAULT_TOL = 0.15
@@ -237,6 +239,13 @@ def self_test():
                                   "cell_reads_per_sec": 5.0e12}]},
         "BENCH_campaign": {"bench": "campaign", "quick_mode": False,
                            "chips_per_sec": 176.0},
+        "BENCH_disturb": {"bench": "disturb", "quick_mode": False,
+                          "profiler": [
+                              {"resolution": 512,
+                               "rows_per_sec": 1.1e5},
+                              {"resolution": 2048,
+                               "rows_per_sec": 1.5e5},
+                          ]},
     }
 
     def run_case(mutate, tol=0.15):
@@ -286,6 +295,24 @@ def self_test():
     _, regs, _ = run_case(dip_io)
     if regs:
         failures.append(f"10% dip flagged at 15% tolerance: {regs}")
+
+    # Doctored: rowhammer rows/sec 40% down must be caught — this
+    # exercises the list-selector path (profiler[resolution=2048])
+    # against a sibling element that must NOT satisfy the gate.
+    def regress_disturb(cur):
+        cur["BENCH_disturb"]["profiler"][1]["rows_per_sec"] = 0.9e5
+
+    _, regs, _ = run_case(regress_disturb)
+    if not any("rowhammer profiler" in r for r in regs):
+        failures.append("40% rowhammer-profiler regression not flagged")
+
+    # The ungated resolution=512 sibling may regress freely.
+    def regress_disturb_sibling(cur):
+        cur["BENCH_disturb"]["profiler"][0]["rows_per_sec"] = 1.0
+
+    _, regs, _ = run_case(regress_disturb_sibling)
+    if any("rowhammer" in r for r in regs):
+        failures.append("ungated resolution=512 sibling was gated")
 
     # Gated metric missing from current is a failure, not a skip.
     def drop_metric(cur):

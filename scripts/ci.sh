@@ -34,6 +34,13 @@ echo "=== bench smoke: bench_serve (REAPER_BENCH_QUICK=1) ==="
 echo "=== bench smoke: bench_io (full mode, round-trip gate) ==="
 (cd build && ./bench/bench_io > /dev/null)
 
+# bench_disturb exits nonzero when a repeated rowhammer-profiler run
+# is not bit-identical; its resolution=2048 rows/sec figure feeds the
+# trajectory gate below. Full mode so it compares like-for-like with
+# the committed baseline.
+echo "=== bench smoke: bench_disturb (full mode, determinism gate) ==="
+(cd build && ./bench/bench_disturb > /dev/null)
+
 # Perf-trajectory gate: diff the fresh bench JSON against the
 # committed baselines (REAPER_BENCH_TOL, default 15%). Benches that
 # did not run in this job, ran quick-mode, or ran in a different
@@ -180,7 +187,8 @@ echo "=== sanitize: configure + build (REAPER_SANITIZE=thread) ==="
 cmake -B build-tsan -S . -DREAPER_SANITIZE=thread
 cmake --build build-tsan -j "$jobs" \
     --target test_fleet test_campaign test_serve \
-             test_profile_store_concurrent test_obs test_net_server
+             test_profile_store_concurrent test_obs test_simd \
+             test_net_server test_disturb
 
 echo "=== sanitize: ctest -L sanitize ==="
 (cd build-tsan && ctest -L sanitize --output-on-failure -j "$jobs")

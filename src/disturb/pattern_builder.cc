@@ -1,0 +1,84 @@
+#include "disturb/pattern_builder.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace reaper {
+namespace disturb {
+
+PatternBuilder::PatternBuilder(const dram::Geometry &geometry, int sides)
+    : geometry_(geometry), sides_(sides)
+{
+    if (sides < 1)
+        panic("PatternBuilder: sides must be >= 1 (got %d)", sides);
+}
+
+std::vector<uint64_t>
+PatternBuilder::aggressorsFor(uint64_t victim_row) const
+{
+    std::vector<uint64_t> aggs;
+    aggs.reserve(static_cast<size_t>(sides_));
+    // Nearest-first, below before above: -1, +1, -2, +2, ...
+    for (int dist = 1; static_cast<int>(aggs.size()) < sides_; ++dist) {
+        uint64_t row;
+        bool any = false;
+        if (geometry_.neighborRowIndex(victim_row, -dist, &row)) {
+            aggs.push_back(row);
+            any = true;
+        }
+        if (static_cast<int>(aggs.size()) < sides_ &&
+            geometry_.neighborRowIndex(victim_row, dist, &row)) {
+            aggs.push_back(row);
+            any = true;
+        }
+        if (!any)
+            break; // both directions clamped: adjacency exhausted
+    }
+    std::sort(aggs.begin(), aggs.end());
+    return aggs;
+}
+
+uint32_t
+PatternBuilder::independentStride() const
+{
+    // Aggressors sit within ceil(sides/2) rows of their victim and
+    // couple 2 rows further. Keeping victims 2 * maxOffset + 3 apart
+    // guarantees (a) no aggressor's blast reaches another victim and
+    // (b) no two victims share an aggressor row (which would otherwise
+    // accumulate both hammer counts).
+    uint32_t max_offset = static_cast<uint32_t>((sides_ + 1) / 2);
+    return 2 * max_offset + 3;
+}
+
+std::vector<std::vector<HammerPattern>>
+PatternBuilder::waves(const std::vector<uint64_t> &victims) const
+{
+    uint32_t stride = independentStride();
+    std::vector<std::vector<HammerPattern>> out(stride);
+    std::vector<uint64_t> sorted = victims;
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()),
+                 sorted.end());
+    for (uint64_t v : sorted) {
+        HammerPattern p;
+        p.victim = v;
+        p.aggressors = aggressorsFor(v);
+        if (p.aggressors.empty())
+            continue; // no adjacency: unprofilable row
+        // Same-bank victims in a wave share an in-bank residue class,
+        // so they are >= stride rows apart; cross-bank rows never
+        // interact.
+        uint32_t wave = geometry_.rowInBank(v) % stride;
+        out[wave].push_back(std::move(p));
+    }
+    out.erase(std::remove_if(out.begin(), out.end(),
+                             [](const std::vector<HammerPattern> &w) {
+                                 return w.empty();
+                             }),
+              out.end());
+    return out;
+}
+
+} // namespace disturb
+} // namespace reaper

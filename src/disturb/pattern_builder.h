@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Aggressor access-pattern construction for disturbance profiling,
+ * after zenhammer's PatternBuilder: given victim rows, derive the
+ * aggressor rows of single-/double-/N-sided hammer patterns, and
+ * schedule many victims into interference-free "waves" so one probe
+ * cycle (write, hammer, read) measures a whole batch of rows at once.
+ *
+ * All row identifiers are flat (bank-major) row indices as used by
+ * dram::Geometry and the testbed hammer op. Aggressor selection
+ * respects physical adjacency: it never reaches across a bank or a
+ * subarray boundary, and rows at subarray edges simply get fewer
+ * aggressors (a victim with no reachable aggressor is unprofilable and
+ * is dropped from schedules).
+ */
+
+#ifndef REAPER_DISTURB_PATTERN_BUILDER_H
+#define REAPER_DISTURB_PATTERN_BUILDER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/geometry.h"
+
+namespace reaper {
+namespace disturb {
+
+/** One victim row with its aggressor set. */
+struct HammerPattern
+{
+    uint64_t victim = 0;             ///< flat row under measurement
+    std::vector<uint64_t> aggressors; ///< flat rows to activate
+};
+
+/** Builds aggressor patterns and interference-free schedules. */
+class PatternBuilder
+{
+  public:
+    /**
+     * @param geometry chip geometry (copied; cheap value type)
+     * @param sides aggressor count per victim: 1 = single-sided,
+     *        2 = double-sided, N picks the N nearest wordlines
+     *        alternating below/above the victim
+     */
+    explicit PatternBuilder(const dram::Geometry &geometry,
+                            int sides = 2);
+
+    int sides() const { return sides_; }
+
+    /**
+     * Aggressor rows of one victim: the nearest valid neighbors in
+     * offset order -1, +1, -2, +2, ... until `sides` rows are found or
+     * adjacency runs out (bank/subarray edges). Sorted ascending.
+     */
+    std::vector<uint64_t> aggressorsFor(uint64_t victim_row) const;
+
+    /**
+     * Minimum same-bank row distance between two victims hammered in
+     * the same probe cycle such that neither victim's aggressor set
+     * disturbs the other (aggressor offset reach + the 2-row coupling
+     * blast radius).
+     */
+    uint32_t independentStride() const;
+
+    /**
+     * Partition victims into waves safe to hammer in one probe cycle:
+     * within a wave, same-bank victims are at least independentStride()
+     * rows apart (different banks never interact). Victims with no
+     * reachable aggressor are dropped. Wave membership is a pure
+     * function of the victim row (round-robin by in-bank row modulo
+     * the stride), so schedules are deterministic for any input order;
+     * each wave lists patterns sorted by victim row.
+     */
+    std::vector<std::vector<HammerPattern>>
+    waves(const std::vector<uint64_t> &victims) const;
+
+  private:
+    dram::Geometry geometry_;
+    int sides_;
+};
+
+} // namespace disturb
+} // namespace reaper
+
+#endif // REAPER_DISTURB_PATTERN_BUILDER_H

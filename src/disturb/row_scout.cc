@@ -1,0 +1,122 @@
+#include "disturb/row_scout.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace reaper {
+namespace disturb {
+
+RowScout::RowScout(const dram::Geometry &geometry,
+                   const RowScoutOptions &options)
+    : geometry_(geometry), options_(options)
+{
+    if (options_.binWidth <= 0)
+        panic("RowScout: binWidth must be positive");
+    if (options_.minGroupSize < 1)
+        panic("RowScout: minGroupSize must be >= 1");
+}
+
+std::vector<ScoutedRow>
+RowScout::rowRetentionTimes(
+    const std::vector<profiling::RetentionProfile> &profiles) const
+{
+    // Smallest failing interval per (chip, flat row).
+    std::map<std::pair<uint32_t, uint64_t>, Seconds> best;
+    for (const profiling::RetentionProfile &profile : profiles) {
+        Seconds interval = profile.conditions().refreshInterval;
+        for (const dram::ChipFailure &f : profile.cells()) {
+            auto key = std::make_pair(f.chip,
+                                      geometry_.rowIndexOf(f.addr));
+            auto it = best.find(key);
+            if (it == best.end() || interval < it->second)
+                best[key] = interval;
+        }
+    }
+    std::vector<ScoutedRow> rows;
+    rows.reserve(best.size());
+    for (const auto &[key, interval] : best)
+        rows.push_back({key.first, key.second, interval});
+    return rows; // map iteration order == (chip, row) sorted
+}
+
+std::vector<RowGroup>
+RowScout::scout(
+    const std::vector<profiling::RetentionProfile> &profiles) const
+{
+    std::vector<ScoutedRow> rows = rowRetentionTimes(profiles);
+
+    // Partition key: retention bin, plus (chip, bank) when groups must
+    // not span banks. int64 bins are exact for any positive binWidth.
+    struct Key
+    {
+        int64_t bin;
+        uint32_t chip;
+        uint32_t bank;
+        bool operator<(const Key &o) const
+        {
+            if (bin != o.bin)
+                return bin < o.bin;
+            if (chip != o.chip)
+                return chip < o.chip;
+            return bank < o.bank;
+        }
+    };
+    bool same_bank = options_.requireSameBank || options_.maxRowSpan > 0;
+    std::map<Key, std::vector<ScoutedRow>> buckets;
+    for (const ScoutedRow &r : rows) {
+        Key k;
+        k.bin = static_cast<int64_t>(r.retentionTime /
+                                     options_.binWidth);
+        k.chip = same_bank ? r.chip : 0;
+        k.bank = same_bank
+                     ? geometry_.bankOfRowIndex(r.rowFlat)
+                     : 0;
+        buckets[k].push_back(r);
+    }
+
+    std::vector<RowGroup> groups;
+    for (auto &[key, members] : buckets) {
+        std::sort(members.begin(), members.end());
+        Seconds bin_start =
+            static_cast<double>(key.bin) * options_.binWidth;
+        if (options_.maxRowSpan == 0) {
+            if (members.size() >= options_.minGroupSize)
+                groups.push_back({bin_start, std::move(members)});
+            continue;
+        }
+        // Greedy span split: walk rows in order, closing the group
+        // whenever the next row would stretch it past maxRowSpan.
+        size_t begin = 0;
+        for (size_t i = 1; i <= members.size(); ++i) {
+            bool close =
+                i == members.size() ||
+                geometry_.rowInBank(members[i].rowFlat) -
+                        geometry_.rowInBank(members[begin].rowFlat) >
+                    options_.maxRowSpan;
+            if (!close)
+                continue;
+            if (i - begin >= options_.minGroupSize)
+                groups.push_back(
+                    {bin_start,
+                     {members.begin() +
+                          static_cast<ptrdiff_t>(begin),
+                      members.begin() + static_cast<ptrdiff_t>(i)}});
+            begin = i;
+        }
+    }
+    // Buckets iterate in key order already; keep it explicit for the
+    // span-split case where one bucket may emit several groups.
+    std::stable_sort(groups.begin(), groups.end(),
+                     [](const RowGroup &a, const RowGroup &b) {
+                         if (a.binStart != b.binStart)
+                             return a.binStart < b.binStart;
+                         return a.rows.front() < b.rows.front();
+                     });
+    return groups;
+}
+
+} // namespace disturb
+} // namespace reaper

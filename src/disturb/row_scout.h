@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Retention-matched row grouping, after U-TRR's RowScout.
+ *
+ * TRR-aware attacks and refresh-mitigation studies need "canary" rows:
+ * sets of rows whose weakest cells have closely matched retention
+ * times, so a missed refresh manifests identically across the set.
+ * RowScout mines exactly that out of data the campaign pipeline already
+ * produces: given RetentionProfiles collected at increasing refresh
+ * intervals, the retention time of a row is estimated as the smallest
+ * profiled interval at which the row shows a failing cell, and rows in
+ * the same estimate bin form a group (optionally constrained to a
+ * single bank, or to a bounded row span so the group fits one
+ * subarray neighborhood).
+ *
+ * Everything is deterministic and order-independent: output groups are
+ * sorted by (retention bin, chip, bank, first row), rows within a group
+ * by (chip, row).
+ */
+
+#ifndef REAPER_DISTURB_ROW_SCOUT_H
+#define REAPER_DISTURB_ROW_SCOUT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+#include "dram/geometry.h"
+#include "profiling/profile.h"
+
+namespace reaper {
+namespace disturb {
+
+/** Grouping options. */
+struct RowScoutOptions
+{
+    /** Retention-estimate bin width; rows match when their estimates
+     *  fall in the same bin. */
+    Seconds binWidth = 0.128;
+    /** Smallest group worth reporting. */
+    size_t minGroupSize = 2;
+    /** Restrict groups to rows of a single (chip, bank). */
+    bool requireSameBank = false;
+    /** Max in-bank row distance between a group's first and last row
+     *  (0 = unbounded). Implies requireSameBank for the split. */
+    uint32_t maxRowSpan = 0;
+};
+
+/** One row with its estimated retention time. */
+struct ScoutedRow
+{
+    uint32_t chip = 0;
+    uint64_t rowFlat = 0;       ///< flat (bank-major) row index
+    Seconds retentionTime = 0;  ///< smallest failing profiled interval
+
+    bool
+    operator<(const ScoutedRow &o) const
+    {
+        return chip != o.chip ? chip < o.chip : rowFlat < o.rowFlat;
+    }
+};
+
+/** A set of retention-matched rows. */
+struct RowGroup
+{
+    Seconds binStart = 0; ///< inclusive lower edge of the match bin
+    std::vector<ScoutedRow> rows;
+};
+
+/** Groups rows with matched retention times out of profile data. */
+class RowScout
+{
+  public:
+    explicit RowScout(const dram::Geometry &geometry,
+                      const RowScoutOptions &options = {});
+
+    /**
+     * Estimate per-row retention times from profiles and group matched
+     * rows. Profiles may arrive in any order; only their conditions'
+     * refreshInterval and cell sets matter. Rows failing in no profile
+     * are unknown and never grouped.
+     */
+    std::vector<RowGroup>
+    scout(const std::vector<profiling::RetentionProfile> &profiles) const;
+
+    /**
+     * The per-row retention estimates themselves (sorted by chip,
+     * row): the smallest profiled interval at which the row fails.
+     */
+    std::vector<ScoutedRow> rowRetentionTimes(
+        const std::vector<profiling::RetentionProfile> &profiles) const;
+
+  private:
+    dram::Geometry geometry_;
+    RowScoutOptions options_;
+};
+
+} // namespace disturb
+} // namespace reaper
+
+#endif // REAPER_DISTURB_ROW_SCOUT_H

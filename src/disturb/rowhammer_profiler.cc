@@ -1,0 +1,228 @@
+#include "disturb/rowhammer_profiler.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/logging.h"
+#include "obs/obs.h"
+
+namespace reaper {
+namespace profiling {
+
+namespace {
+
+/** Binary-search state of one victim row within a wave. */
+struct Search
+{
+    const disturb::HammerPattern *pattern = nullptr;
+    uint64_t lo = 0; ///< highest count not observed to flip
+    uint64_t hi = 0; ///< lowest count observed to flip
+    bool resolved = false;
+};
+
+} // namespace
+
+RowHammerProfiler::RowHammerProfiler(const ProfilerSpec &spec)
+    : spec_(spec)
+{
+}
+
+common::Expected<ProfilingResult>
+RowHammerProfiler::profile(testbed::SoftMcHost &host,
+                           const Conditions &target) const
+{
+    if (spec_.hammerSides < 1)
+        return common::Error::invalidConfig(
+            "rowhammer: hammerSides must be >= 1");
+    if (spec_.hammerCountMin < 1 ||
+        spec_.hammerCountMax < spec_.hammerCountMin)
+        return common::Error::invalidConfig(
+            "rowhammer: need 1 <= hammerCountMin <= hammerCountMax");
+    if (spec_.hammerResolution < 1)
+        return common::Error::invalidConfig(
+            "rowhammer: hammerResolution must be >= 1");
+    if (spec_.hammerPatterns.empty())
+        return common::Error::invalidConfig(
+            "rowhammer: need at least one hammer pattern");
+
+    RowHammerConfig cfg;
+    cfg.target = target;
+    cfg.sides = spec_.hammerSides;
+    cfg.countMax = spec_.hammerCountMax;
+    cfg.countMin = spec_.hammerCountMin;
+    cfg.resolution = spec_.hammerResolution;
+    cfg.patterns = spec_.hammerPatterns;
+    cfg.setTemperature = spec_.setTemperature;
+    cfg.onWave = spec_.onIteration;
+    try {
+        return run(host, cfg).base;
+    } catch (const testbed::TransientHostError &e) {
+        return common::Error::fault(e.what());
+    }
+}
+
+RowHammerRunResult
+RowHammerProfiler::run(testbed::SoftMcHost &host,
+                       const RowHammerConfig &cfg) const
+{
+    if (cfg.sides < 1)
+        panic("RowHammerProfiler: sides must be >= 1");
+    if (cfg.countMin < 1 || cfg.countMax < cfg.countMin)
+        panic("RowHammerProfiler: bad count bracket [%llu, %llu]",
+              static_cast<unsigned long long>(cfg.countMin),
+              static_cast<unsigned long long>(cfg.countMax));
+    if (cfg.resolution < 1)
+        panic("RowHammerProfiler: resolution must be >= 1");
+    if (cfg.patterns.empty())
+        panic("RowHammerProfiler: need at least one hammer pattern");
+
+    REAPER_OBS_SPAN(roundSpan, "profiling.rowhammer.round");
+
+    dram::Geometry geometry = dram::Geometry::forCapacityBits(
+        host.module().config().chipCapacityBits);
+    std::vector<uint64_t> victims = cfg.victimRows;
+    if (victims.empty()) {
+        victims.resize(geometry.totalRows());
+        for (uint64_t r = 0; r < geometry.totalRows(); ++r)
+            victims[r] = r;
+    }
+    disturb::PatternBuilder builder(geometry, cfg.sides);
+    std::vector<std::vector<disturb::HammerPattern>> waves =
+        builder.waves(victims);
+
+    if (cfg.setTemperature)
+        host.setAmbient(cfg.target.temperature);
+
+    RowHammerRunResult result;
+    result.base.profile.setConditions(cfg.target);
+    Seconds start = host.now();
+    // row -> smallest flipping count over every pattern probed
+    std::map<uint64_t, uint64_t> min_counts;
+    bool stopped = false;
+
+    // One probe cycle: rewrite the pattern (resetting activation
+    // counters), hammer every listed search at `count(s)`, one
+    // full-module read; returns the set of flat rows with a flip.
+    std::vector<uint64_t> agg_scratch;
+    auto probe = [&](dram::DataPattern dp,
+                     const std::vector<std::pair<Search *, uint64_t>>
+                         &counts) -> std::set<uint64_t> {
+        REAPER_OBS_SPAN(probeSpan, "profiling.rowhammer.probe");
+        host.writeAll(dp);
+        // Group searches by probe count so each distinct count is one
+        // hammer command (the batch is interference-free by wave
+        // construction, so counters never mix between victims).
+        std::map<uint64_t, std::vector<Search *>> by_count;
+        for (const auto &[search, count] : counts)
+            by_count[count].push_back(search);
+        for (const auto &[count, searches] : by_count) {
+            agg_scratch.clear();
+            for (const Search *s : searches)
+                agg_scratch.insert(agg_scratch.end(),
+                                   s->pattern->aggressors.begin(),
+                                   s->pattern->aggressors.end());
+            host.hammer(agg_scratch, count);
+        }
+        std::vector<dram::ChipFailure> failures =
+            host.readAndCompareAll();
+        result.base.profile.add(failures);
+        ++result.probeCycles;
+        REAPER_OBS_COUNT("profiling.rowhammer.probes");
+        std::set<uint64_t> flipped;
+        for (const dram::ChipFailure &f : failures)
+            flipped.insert(geometry.rowIndexOf(f.addr));
+        return flipped;
+    };
+
+    int wave_index = 0;
+    for (dram::DataPattern dp : cfg.patterns) {
+        if (stopped)
+            break;
+        for (const std::vector<disturb::HammerPattern> &wave : waves) {
+            if (stopped)
+                break;
+            REAPER_OBS_SPAN(waveSpan, "profiling.rowhammer.wave");
+
+            // Elimination probe at the bracket maximum: rows that do
+            // not flip at countMax are invulnerable under this pattern
+            // and drop out of the search immediately.
+            std::vector<Search> searches(wave.size());
+            std::vector<std::pair<Search *, uint64_t>> batch;
+            for (size_t i = 0; i < wave.size(); ++i) {
+                searches[i].pattern = &wave[i];
+                searches[i].lo = cfg.countMin;
+                searches[i].hi = cfg.countMax;
+                batch.emplace_back(&searches[i], cfg.countMax);
+            }
+            std::set<uint64_t> flipped = probe(dp, batch);
+            for (Search &s : searches)
+                if (!flipped.count(s.pattern->victim))
+                    s.resolved = true; // invulnerable at countMax
+
+            // Batched binary search: every unresolved row probes its
+            // own bracket midpoint each cycle.
+            for (;;) {
+                batch.clear();
+                for (Search &s : searches) {
+                    if (s.resolved)
+                        continue;
+                    if (s.hi - s.lo <= cfg.resolution) {
+                        s.resolved = true;
+                        uint64_t row = s.pattern->victim;
+                        auto it = min_counts.find(row);
+                        if (it == min_counts.end() || s.hi < it->second)
+                            min_counts[row] = s.hi;
+                        continue;
+                    }
+                    batch.emplace_back(&s, s.lo + (s.hi - s.lo) / 2);
+                }
+                if (batch.empty())
+                    break;
+                flipped = probe(dp, batch);
+                for (const auto &[search, count] : batch) {
+                    if (flipped.count(search->pattern->victim))
+                        search->hi = count;
+                    else
+                        search->lo = count;
+                }
+            }
+
+            result.base.discoveryCurve.push_back(
+                result.base.profile.size());
+            ++wave_index;
+            if (cfg.onWave &&
+                !cfg.onWave(wave_index - 1, result.base.profile)) {
+                stopped = true;
+                break;
+            }
+        }
+    }
+
+    result.base.runtime = host.now() - start;
+    result.base.iterationsRun = result.probeCycles;
+    result.vulnerableRows.reserve(min_counts.size());
+    for (const auto &[row, count] : min_counts)
+        result.vulnerableRows.push_back({row, count});
+    REAPER_OBS_COUNT_N("profiling.rowhammer.vulnerable_rows",
+                       result.vulnerableRows.size());
+    REAPER_OBS_COUNT_N("profiling.cells_found",
+                       result.base.profile.size());
+    return result;
+}
+
+void
+ensureRowHammerRegistered()
+{
+    static const bool registered = [] {
+        registerProfiler("rowhammer", [](const ProfilerSpec &spec) {
+            return std::unique_ptr<Profiler>(
+                new RowHammerProfiler(spec));
+        });
+        return true;
+    }();
+    (void)registered;
+}
+
+} // namespace profiling
+} // namespace reaper

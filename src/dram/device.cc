@@ -25,6 +25,10 @@ DramDevice::DramDevice(const DeviceConfig &config)
       model_(config.hasParamOverride ? config.paramOverride
                                      : vendorParams(config.vendor)),
       geometry_(Geometry::forCapacityBits(config.capacityBits)),
+      disturb_(config.hasDisturbOverride
+                   ? config.disturbOverride
+                   : vendorDisturbParams(config.vendor),
+               geometry_, config.seed),
       rng_(config.seed),
       temp_(config.initialTemp)
 {
@@ -84,6 +88,7 @@ DramDevice::writePattern(DataPattern p)
     ++exposureNonce_;
     dataValid_ = true;
     exposureEquiv_ = 0.0;
+    rowActs_.clear(); // rewriting restores disturbed charge everywhere
 }
 
 void
@@ -98,6 +103,67 @@ DramDevice::restoreData()
     // fresh charge and a fresh stochastic draw for the next window.
     ++exposureNonce_;
     exposureEquiv_ = 0.0;
+    rowActs_.clear(); // the scrub write-back restores disturbed charge
+}
+
+void
+DramDevice::hammer(const std::vector<uint64_t> &rows, uint64_t count)
+{
+    if (count == 0)
+        return;
+    for (uint64_t row : rows) {
+        if (row >= geometry_.totalRows())
+            panic("DramDevice::hammer: row %llu out of range (%llu "
+                  "rows)",
+                  static_cast<unsigned long long>(row),
+                  static_cast<unsigned long long>(geometry_.totalRows()));
+        rowActs_[row] += count;
+    }
+}
+
+uint64_t
+DramDevice::rowActivations(uint64_t row_flat) const
+{
+    auto it = rowActs_.find(row_flat);
+    return it == rowActs_.end() ? 0 : it->second;
+}
+
+void
+DramDevice::collectDisturbFlips(std::vector<uint64_t> &out) const
+{
+    if (rowActs_.empty() || !dataValid_)
+        return;
+    // Coupling-weighted pressure per victim row, accumulated in sorted
+    // aggressor order (std::map) so floating-point sums are identical
+    // regardless of the order hammer() calls named the rows.
+    std::map<uint64_t, double> pressure;
+    for (const auto &[row, acts] : rowActs_) {
+        for (int off : {-2, -1, 1, 2}) {
+            uint64_t victim;
+            if (!geometry_.neighborRowIndex(row, off, &victim))
+                continue;
+            pressure[victim] +=
+                static_cast<double>(acts) *
+                disturb_.coupling(static_cast<uint32_t>(
+                    off < 0 ? -off : off));
+        }
+    }
+    int cls = patternClass(pattern_);
+    for (const auto &[vrow, p] : pressure) {
+        // An activated row's own cells are refreshed by the
+        // activations; aggressors never flip.
+        if (rowActs_.find(vrow) != rowActs_.end())
+            continue;
+        disturb_.victimsOfRowInto(vrow, victimScratch_);
+        for (const VictimCell &v : victimScratch_) {
+            if (p < disturb_.effectiveThreshold(v, cls))
+                continue;
+            if (patternBit(pattern_, geometry_, v.addr, writeNonce_) !=
+                v.vulnerableValue)
+                continue; // stored discharged: nothing to lose
+            out.push_back(v.addr);
+        }
+    }
 }
 
 void
@@ -218,27 +284,30 @@ DramDevice::readAndCompareInto()
              "data to compare against");
         return readScratch_;
     }
-    if (exposureEquiv_ <= 0)
+    if (exposureEquiv_ <= 0 && rowActs_.empty())
         return readScratch_;
 
-    // Batched SoA fast reject: the dispatched kernel sweeps the flat
-    // reject array in 64-byte chunks (AVX2 compare + movemask, scalar
-    // under REAPER_SIMD=scalar) and emits only the candidate indices;
-    // survivors then take the exact per-cell stochastic path. The
-    // predicate is the same `!(reject > exposure)` branch the scalar
-    // loop used, so output stays bit-identical to
-    // readAndCompareReference().
-    size_t end = candidateEnd(exposureEquiv_);
-    candScratch_.clear();
-    simd::scanNotGreater(weakReject_.data(), end, exposureEquiv_,
-                         candScratch_);
-    for (uint32_t i : candScratch_) {
-        const WeakCell &cell = weak_[i];
-        if (exposureEquiv_ >= latentFailureTime(cell))
-            readScratch_.push_back(cell.addr);
+    if (exposureEquiv_ > 0) {
+        // Batched SoA fast reject: the dispatched kernel sweeps the
+        // flat reject array in 64-byte chunks (AVX2 compare + movemask,
+        // scalar under REAPER_SIMD=scalar) and emits only the candidate
+        // indices; survivors then take the exact per-cell stochastic
+        // path. The predicate is the same `!(reject > exposure)` branch
+        // the scalar loop used, so output stays bit-identical to
+        // readAndCompareReference().
+        size_t end = candidateEnd(exposureEquiv_);
+        candScratch_.clear();
+        simd::scanNotGreater(weakReject_.data(), end, exposureEquiv_,
+                             candScratch_);
+        for (uint32_t i : candScratch_) {
+            const WeakCell &cell = weak_[i];
+            if (exposureEquiv_ >= latentFailureTime(cell))
+                readScratch_.push_back(cell.addr);
+        }
+        for (const auto &a : vrtActive_)
+            collectIfFailed(a.cell, readScratch_);
     }
-    for (const auto &a : vrtActive_)
-        collectIfFailed(a.cell, readScratch_);
+    collectDisturbFlips(readScratch_);
 
     std::sort(readScratch_.begin(), readScratch_.end());
     readScratch_.erase(
@@ -291,24 +360,27 @@ std::vector<uint64_t>
 DramDevice::readAndCompareReference() const
 {
     std::vector<uint64_t> out;
-    if (!dataValid_ || exposureEquiv_ <= 0)
+    if (!dataValid_ || (exposureEquiv_ <= 0 && rowActs_.empty()))
         return out;
 
-    double max_rel = model_.params().maxSigmaRel;
-    double denom = 1.0 - 5.0 * max_rel;
-    double mu_bound = denom > 0.05
-                          ? exposureEquiv_ / denom
-                          : std::numeric_limits<double>::infinity();
+    if (exposureEquiv_ > 0) {
+        double max_rel = model_.params().maxSigmaRel;
+        double denom = 1.0 - 5.0 * max_rel;
+        double mu_bound = denom > 0.05
+                              ? exposureEquiv_ / denom
+                              : std::numeric_limits<double>::infinity();
 
-    auto end = std::upper_bound(
-        weak_.begin(), weak_.end(), mu_bound,
-        [](double bound, const WeakCell &c) {
-            return bound < static_cast<double>(c.mu);
-        });
-    for (auto it = weak_.begin(); it != end; ++it)
-        collectIfFailed(*it, out);
-    for (const auto &a : vrtActive_)
-        collectIfFailed(a.cell, out);
+        auto end = std::upper_bound(
+            weak_.begin(), weak_.end(), mu_bound,
+            [](double bound, const WeakCell &c) {
+                return bound < static_cast<double>(c.mu);
+            });
+        for (auto it = weak_.begin(); it != end; ++it)
+            collectIfFailed(*it, out);
+        for (const auto &a : vrtActive_)
+            collectIfFailed(a.cell, out);
+    }
+    collectDisturbFlips(out);
 
     std::sort(out.begin(), out.end());
     out.erase(std::unique(out.begin(), out.end()), out.end());

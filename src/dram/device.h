@@ -26,12 +26,14 @@
 #define REAPER_DRAM_DEVICE_H
 
 #include <cstdint>
+#include <map>
 #include <queue>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/units.h"
 #include "dram/data_pattern.h"
+#include "dram/disturb_model.h"
 #include "dram/geometry.h"
 #include "dram/retention_model.h"
 #include "dram/vendor_model.h"
@@ -56,6 +58,12 @@ struct DeviceConfig
      */
     bool hasParamOverride = false;
     RetentionParams paramOverride{};
+    /**
+     * Optional disturbance-parameter override; when set, used instead
+     * of vendorDisturbParams(vendor).
+     */
+    bool hasDisturbOverride = false;
+    DisturbParams disturbOverride{};
 };
 
 /** One DRAM chip with a sparse stochastic weak-cell population. */
@@ -90,6 +98,19 @@ class DramDevice
     void wait(Seconds dt);
 
     /**
+     * Activate every flat (bank-major) row in `rows` `count` times
+     * each, accumulating row-disturbance pressure on their neighbors
+     * (see DisturbModel). Counters persist until the stored data is
+     * rewritten — writePattern() and restoreData() reset them, refresh
+     * does not (a refresh restores charge lost to leakage, but the
+     * model folds disturbance into the per-write window to stay
+     * deterministic under the host's coarse time stepping). An
+     * activated row's own cells are held refreshed by the activations,
+     * so aggressor rows never observe disturb flips themselves.
+     */
+    void hammer(const std::vector<uint64_t> &rows, uint64_t count);
+
+    /**
      * Read the whole chip and compare against the last written pattern.
      * @return flat bit addresses whose stored value was lost (sorted).
      */
@@ -116,6 +137,12 @@ class DramDevice
     const RetentionModel &model() const { return model_; }
     const Geometry &geometry() const { return geometry_; }
     const DeviceConfig &config() const { return config_; }
+
+    /** The disturbance fault model (oracle for tests and benches). */
+    const DisturbModel &disturbModel() const { return disturb_; }
+
+    /** Accumulated activations of a flat row since the last write. */
+    uint64_t rowActivations(uint64_t row_flat) const;
 
     /**
      * Ground truth: addresses of all cells whose worst-case-pattern
@@ -173,6 +200,13 @@ class DramDevice
     void collectIfFailed(const WeakCell &cell,
                          std::vector<uint64_t> &out) const;
 
+    /**
+     * Append addresses flipped by accumulated row disturbance. Shared
+     * by the optimized and reference read paths so they stay
+     * bit-identical.
+     */
+    void collectDisturbFlips(std::vector<uint64_t> &out) const;
+
     /** Refresh the memoized temperature-dependent scale factors. */
     void updateTempCaches();
 
@@ -183,7 +217,16 @@ class DramDevice
     DeviceConfig config_;
     RetentionModel model_;
     Geometry geometry_;
+    DisturbModel disturb_;
     Rng rng_;
+
+    /**
+     * Activation counters of hammered rows since the last write,
+     * keyed by flat row. Ordered so flip collection iterates in a
+     * deterministic row order regardless of hammer call order.
+     */
+    std::map<uint64_t, uint64_t> rowActs_;
+    mutable std::vector<VictimCell> victimScratch_;
 
     std::vector<WeakCell> weak_; ///< sorted by mu
     /**

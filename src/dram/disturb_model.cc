@@ -1,0 +1,139 @@
+#include "dram/disturb_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace reaper {
+namespace dram {
+
+namespace {
+
+/** Salt separating per-row victim streams from every other consumer of
+ *  the chip seed (retention sampling, VRT arrivals, ...). */
+constexpr uint64_t kVictimStreamSalt = 0xD157B0'F11B5ull;
+
+} // namespace
+
+DisturbModel::DisturbModel(const DisturbParams &params,
+                           const Geometry &geometry, uint64_t seed)
+    : params_(params), geometry_(geometry), seed_(seed)
+{
+    if (params_.hcFirstMedian <= 0 || params_.hcFirstFloor < 0)
+        panic("DisturbModel: hammer-count parameters must be positive");
+    if (params_.patternAdvantage <= 0 || params_.patternAdvantage > 1.0)
+        panic("DisturbModel: patternAdvantage must be in (0, 1]");
+    if (params_.couplingDist2 < 0 || params_.couplingDist2 > 1.0)
+        panic("DisturbModel: couplingDist2 must be in [0, 1]");
+}
+
+void
+DisturbModel::victimsOfRowInto(uint64_t row_flat,
+                               std::vector<VictimCell> &out) const
+{
+    out.clear();
+    if (row_flat >= geometry_.totalRows())
+        panic("DisturbModel::victimsOfRow: row %llu out of range",
+              static_cast<unsigned long long>(row_flat));
+    // One independent stream per row: the population is a pure function
+    // of (seed, row), never of probe order.
+    Rng rng(hashCombine(hashCombine(seed_, kVictimStreamSalt),
+                        row_flat));
+    uint64_t n = rng.poisson(params_.victimsPerRowMean);
+    if (n == 0)
+        return;
+    uint64_t row_start = geometry_.rowStartBit(row_flat);
+    uint64_t row_bits = geometry_.rowBits();
+    out.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+        VictimCell v;
+        v.addr = row_start + rng.uniformInt(row_bits);
+        v.threshold =
+            std::max(params_.hcFirstFloor,
+                     params_.hcFirstMedian *
+                         std::exp(params_.hcFirstSpread * rng.normal()));
+        v.vulnerableValue = rng.bernoulli(0.5);
+        v.favoredClass = static_cast<uint8_t>(
+            rng.uniformInt(static_cast<uint64_t>(kNumDataPatterns)));
+        out.push_back(v);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const VictimCell &a, const VictimCell &b) {
+                  return a.addr < b.addr;
+              });
+}
+
+std::vector<VictimCell>
+DisturbModel::victimsOfRow(uint64_t row_flat) const
+{
+    std::vector<VictimCell> out;
+    victimsOfRowInto(row_flat, out);
+    return out;
+}
+
+double
+DisturbModel::coupling(uint32_t distance) const
+{
+    switch (distance) {
+      case 1: return 1.0;
+      case 2: return params_.couplingDist2;
+      default: return 0.0;
+    }
+}
+
+double
+DisturbModel::effectiveThreshold(const VictimCell &v,
+                                 int pattern_class) const
+{
+    double thr = v.threshold;
+    if (pattern_class == static_cast<int>(v.favoredClass))
+        thr *= params_.patternAdvantage;
+    return thr;
+}
+
+double
+DisturbModel::pressureRate(uint64_t victim_row,
+                           const std::vector<uint64_t> &aggressors) const
+{
+    double rate = 0.0;
+    for (uint64_t agg : aggressors) {
+        // Resolve adjacency from the victim's side so bank/subarray
+        // clamping matches exactly what flip collection computes.
+        for (int off : {-2, -1, 1, 2}) {
+            uint64_t neighbor;
+            if (geometry_.neighborRowIndex(victim_row, off, &neighbor) &&
+                neighbor == agg)
+                rate += coupling(static_cast<uint32_t>(
+                    off < 0 ? -off : off));
+        }
+    }
+    return rate;
+}
+
+uint64_t
+DisturbModel::minHammerCount(uint64_t victim_row,
+                             const std::vector<uint64_t> &aggressors,
+                             DataPattern p, uint64_t nonce) const
+{
+    double rate = pressureRate(victim_row, aggressors);
+    if (rate <= 0)
+        return 0;
+    int cls = patternClass(p);
+    std::vector<VictimCell> victims = victimsOfRow(victim_row);
+    double best = 0.0;
+    for (const VictimCell &v : victims) {
+        if (patternBit(p, geometry_, v.addr, nonce) != v.vulnerableValue)
+            continue; // stored discharged: nothing to lose
+        double thr = effectiveThreshold(v, cls);
+        if (best == 0.0 || thr < best)
+            best = thr;
+    }
+    if (best == 0.0)
+        return 0;
+    return static_cast<uint64_t>(std::ceil(best / rate));
+}
+
+} // namespace dram
+} // namespace reaper

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Row-disturbance (RowHammer) fault model.
+ *
+ * Repeatedly activating a DRAM row electrically disturbs the cells of
+ * physically adjacent rows; a cell whose accumulated disturbance
+ * "pressure" exceeds its per-cell minimum hammer count (HCfirst) loses
+ * its stored value. The model is deterministic: each row's vulnerable
+ * cells, their thresholds, their charged-state polarity, and the data
+ * pattern that stresses them worst are a pure function of (seed, row),
+ * so repeated probes of the same chip observe the same flips — the same
+ * reproducibility contract the retention model keeps.
+ *
+ * Disturbance pressure on a victim row is the coupling-weighted sum of
+ * neighbor-row activation counts:
+ *
+ *     pressure(v) = sum over d in {+-1, +-2} of acts(v + d) * c(|d|)
+ *
+ * with c(1) = 1 and c(2) = DisturbParams::couplingDist2, and adjacency
+ * resolved by Geometry::neighborRowIndex (never across a bank or a
+ * subarray boundary). A vulnerable cell flips when pressure reaches its
+ * effective threshold AND the stored bit equals the cell's chargeable
+ * polarity (a discharged cell has nothing to lose); the threshold drops
+ * by DisturbParams::patternAdvantage when the stored pattern class is
+ * the cell's worst case (DPD, Section 3.2 analog for disturbance).
+ */
+
+#ifndef REAPER_DRAM_DISTURB_MODEL_H
+#define REAPER_DRAM_DISTURB_MODEL_H
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/data_pattern.h"
+#include "dram/geometry.h"
+#include "dram/vendor_model.h"
+
+namespace reaper {
+namespace dram {
+
+/** One disturb-vulnerable cell of a victim row. */
+struct VictimCell
+{
+    uint64_t addr = 0;        ///< flat bit address within the chip
+    double threshold = 0.0;   ///< HCfirst in distance-1 activations
+    bool vulnerableValue = 1; ///< stored value that can be lost
+    uint8_t favoredClass = 0; ///< pattern class that lowers threshold
+};
+
+/** Deterministic per-chip disturbance fault model. */
+class DisturbModel
+{
+  public:
+    DisturbModel(const DisturbParams &params, const Geometry &geometry,
+                 uint64_t seed);
+
+    const DisturbParams &params() const { return params_; }
+
+    /**
+     * The vulnerable cells of one flat (bank-major) row, sorted by
+     * address. Pure function of (seed, row): regenerating is cheap
+     * (rows average well under one victim), so nothing is cached.
+     */
+    std::vector<VictimCell> victimsOfRow(uint64_t row_flat) const;
+
+    /** Allocation-free variant of victimsOfRow (clears out first). */
+    void victimsOfRowInto(uint64_t row_flat,
+                          std::vector<VictimCell> &out) const;
+
+    /** Coupling weight at neighbor distance 1 or 2 (0 otherwise). */
+    double coupling(uint32_t distance) const;
+
+    /**
+     * Effective threshold of a victim under a stored pattern class:
+     * the worst-case class gets the patternAdvantage discount.
+     */
+    double effectiveThreshold(const VictimCell &v,
+                              int pattern_class) const;
+
+    /**
+     * Coupling-weighted pressure one activation of every row in
+     * `aggressors` exerts on `victim_row` (aggressors that are not
+     * valid distance-1/2 neighbors contribute nothing).
+     */
+    double pressureRate(uint64_t victim_row,
+                        const std::vector<uint64_t> &aggressors) const;
+
+    /**
+     * Oracle: the minimum per-aggressor hammer count at which hammering
+     * `aggressors` flips any cell of `victim_row` while the chip stores
+     * pattern `p` (written with `nonce`). Only cells whose stored bit
+     * equals their vulnerable polarity can flip. 0 when no count can
+     * flip the row (no flippable cells, or no aggressor couples in).
+     * Used by tests and benches to validate profiler search results.
+     */
+    uint64_t minHammerCount(uint64_t victim_row,
+                            const std::vector<uint64_t> &aggressors,
+                            DataPattern p, uint64_t nonce = 0) const;
+
+  private:
+    DisturbParams params_;
+    Geometry geometry_;
+    uint64_t seed_;
+};
+
+} // namespace dram
+} // namespace reaper
+
+#endif // REAPER_DRAM_DISTURB_MODEL_H

@@ -5,12 +5,20 @@
 namespace reaper {
 namespace dram {
 
-Geometry::Geometry(uint32_t banks, uint32_t rows, uint32_t row_bytes)
-    : banks_(banks), rows_(rows), rowBytes_(row_bytes)
+Geometry::Geometry(uint32_t banks, uint32_t rows, uint32_t row_bytes,
+                   uint32_t rows_per_subarray)
+    : banks_(banks),
+      rows_(rows),
+      rowBytes_(row_bytes),
+      rowsPerSubarray_(rows_per_subarray)
 {
     if (banks == 0 || rows == 0 || row_bytes == 0)
         panic("Geometry: all dimensions must be nonzero (%u, %u, %u)",
               banks, rows, row_bytes);
+    if (rows_per_subarray == 0)
+        panic("Geometry: rowsPerSubarray must be nonzero");
+    if (rowsPerSubarray_ > rows_)
+        rowsPerSubarray_ = rows_; // one subarray spans the whole bank
     capacityBits_ = uint64_t{banks_} * rows_ * rowBytes_ * 8;
 }
 
@@ -60,6 +68,68 @@ uint64_t
 Geometry::rowIndexOf(uint64_t flat_bit) const
 {
     return flat_bit / rowBits();
+}
+
+uint32_t
+Geometry::bankOfRowIndex(uint64_t row_flat) const
+{
+    if (row_flat >= totalRows())
+        panic("Geometry::bankOfRowIndex: row %llu out of range",
+              static_cast<unsigned long long>(row_flat));
+    return static_cast<uint32_t>(row_flat / rows_);
+}
+
+uint32_t
+Geometry::rowInBank(uint64_t row_flat) const
+{
+    if (row_flat >= totalRows())
+        panic("Geometry::rowInBank: row %llu out of range",
+              static_cast<unsigned long long>(row_flat));
+    return static_cast<uint32_t>(row_flat % rows_);
+}
+
+uint64_t
+Geometry::rowIndex(uint32_t bank, uint32_t row) const
+{
+    if (bank >= banks_ || row >= rows_)
+        panic("Geometry::rowIndex: (%u, %u) out of range", bank, row);
+    return uint64_t{bank} * rows_ + row;
+}
+
+uint32_t
+Geometry::subarrayOf(uint32_t row) const
+{
+    if (row >= rows_)
+        panic("Geometry::subarrayOf: row %u out of range", row);
+    return row / rowsPerSubarray_;
+}
+
+uint64_t
+Geometry::rowStartBit(uint64_t row_flat) const
+{
+    if (row_flat >= totalRows())
+        panic("Geometry::rowStartBit: row %llu out of range",
+              static_cast<unsigned long long>(row_flat));
+    return row_flat * rowBits();
+}
+
+bool
+Geometry::neighborRowIndex(uint64_t row_flat, int offset,
+                           uint64_t *out) const
+{
+    if (row_flat >= totalRows())
+        panic("Geometry::neighborRowIndex: row %llu out of range",
+              static_cast<unsigned long long>(row_flat));
+    uint32_t row = static_cast<uint32_t>(row_flat % rows_);
+    int64_t neighbor = int64_t{row} + offset;
+    if (neighbor < 0 || neighbor >= int64_t{rows_})
+        return false; // clamped at the bank edge
+    uint32_t nrow = static_cast<uint32_t>(neighbor);
+    if (subarrayOf(nrow) != subarrayOf(row))
+        return false; // coupling stops at the sense-amplifier stripe
+    if (out)
+        *out = row_flat - row + nrow; // same bank by construction
+    return true;
 }
 
 } // namespace dram

@@ -5,6 +5,12 @@
  * Cells are identified by a flat bit index within a chip; Geometry decodes
  * a flat index into (bank, row, column, bit) coordinates, mirroring the
  * 2-D array organization of Section 2.1 of the paper.
+ *
+ * Rows within a bank are further grouped into subarrays (fixed-height
+ * tiles sharing local sense amplifiers). Subarray edges matter to the
+ * disturbance model: wordline coupling does not reach across the sense
+ * amplifier stripe, so a row's disturb neighbors are confined to its own
+ * bank AND its own subarray.
  */
 
 #ifndef REAPER_DRAM_GEOMETRY_H
@@ -42,11 +48,16 @@ class Geometry
      * @param banks number of banks (LPDDR4: 8)
      * @param rows rows per bank
      * @param row_bytes bytes per row (LPDDR4: 2 KiB row buffer)
+     * @param rows_per_subarray subarray tile height (clamped to rows)
      */
-    Geometry(uint32_t banks, uint32_t rows, uint32_t row_bytes);
+    Geometry(uint32_t banks, uint32_t rows, uint32_t row_bytes,
+             uint32_t rows_per_subarray = kDefaultRowsPerSubarray);
 
     /** Build a geometry for a chip of the given capacity in bits. */
     static Geometry forCapacityBits(uint64_t capacity_bits);
+
+    /** Default subarray tile height (rows sharing sense amplifiers). */
+    static constexpr uint32_t kDefaultRowsPerSubarray = 512;
 
     uint32_t banks() const { return banks_; }
     uint32_t rowsPerBank() const { return rows_; }
@@ -54,6 +65,7 @@ class Geometry
     uint64_t rowBits() const { return uint64_t{rowBytes_} * 8; }
     uint64_t capacityBits() const { return capacityBits_; }
     uint64_t totalRows() const { return uint64_t{banks_} * rows_; }
+    uint32_t rowsPerSubarray() const { return rowsPerSubarray_; }
 
     /** Decode a flat bit index into cell coordinates. */
     CellCoord decode(uint64_t flat_bit) const;
@@ -64,10 +76,38 @@ class Geometry
     /** Flat index of the row containing a flat bit (bank-major). */
     uint64_t rowIndexOf(uint64_t flat_bit) const;
 
+    /** Bank that a flat (bank-major) row index belongs to. */
+    uint32_t bankOfRowIndex(uint64_t row_flat) const;
+
+    /** In-bank row number of a flat row index. */
+    uint32_t rowInBank(uint64_t row_flat) const;
+
+    /** Flat row index of (bank, in-bank row). */
+    uint64_t rowIndex(uint32_t bank, uint32_t row) const;
+
+    /** Subarray number (within its bank) of an in-bank row. */
+    uint32_t subarrayOf(uint32_t row) const;
+
+    /** First flat bit of a flat row. */
+    uint64_t rowStartBit(uint64_t row_flat) const;
+
+    /**
+     * Physically adjacent row at signed `offset` wordlines from
+     * `row_flat`, for the disturbance model. Adjacency never crosses a
+     * bank boundary or a subarray boundary (the sense-amplifier stripe
+     * isolates wordline coupling); rows 0 and rows-1 of each subarray
+     * have no neighbors beyond the edge.
+     *
+     * @return whether a neighbor exists (out untouched otherwise)
+     */
+    bool neighborRowIndex(uint64_t row_flat, int offset,
+                          uint64_t *out) const;
+
   private:
     uint32_t banks_;
     uint32_t rows_;
     uint32_t rowBytes_;
+    uint32_t rowsPerSubarray_;
     uint64_t capacityBits_;
 };
 

@@ -81,6 +81,13 @@ DramModule::wait(Seconds dt)
         c->wait(dt);
 }
 
+void
+DramModule::hammer(const std::vector<uint64_t> &rows, uint64_t count)
+{
+    for (auto &c : chips_)
+        c->hammer(rows, count);
+}
+
 std::vector<ChipFailure>
 DramModule::readAndCompare()
 {

@@ -90,6 +90,9 @@ class DramModule
     void disableRefresh();
     void enableRefresh();
     void wait(Seconds dt);
+    /** Hammer the given flat rows `count` times each, on every chip
+     *  (chips operate in lockstep, sharing the command bus). */
+    void hammer(const std::vector<uint64_t> &rows, uint64_t count);
 
     /** Read and compare every chip; results sorted by (chip, addr). */
     std::vector<ChipFailure> readAndCompare();

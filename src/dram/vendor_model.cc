@@ -49,5 +49,32 @@ vendorParams(Vendor v)
     return p;
 }
 
+DisturbParams
+vendorDisturbParams(Vendor v)
+{
+    DisturbParams p; // defaults are vendor B
+    switch (v) {
+      case Vendor::A:
+        p.hcFirstMedian = 88000.0;
+        p.hcFirstSpread = 0.25;
+        p.victimsPerRowMean = 0.18;
+        p.couplingDist2 = 0.12;
+        break;
+      case Vendor::B:
+        p.hcFirstMedian = 65536.0;
+        p.hcFirstSpread = 0.30;
+        p.victimsPerRowMean = 0.25;
+        p.couplingDist2 = 0.15;
+        break;
+      case Vendor::C:
+        p.hcFirstMedian = 48000.0;
+        p.hcFirstSpread = 0.35;
+        p.victimsPerRowMean = 0.35;
+        p.couplingDist2 = 0.20;
+        break;
+    }
+    return p;
+}
+
 } // namespace dram
 } // namespace reaper

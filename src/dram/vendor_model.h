@@ -92,6 +92,36 @@ struct RetentionParams
 /** Calibrated parameters for each vendor. */
 RetentionParams vendorParams(Vendor v);
 
+/**
+ * Statistical parameters of one vendor's row-disturbance (RowHammer)
+ * behaviour. The numbers follow the published characterization shape:
+ * per-cell minimum hammer counts (HCfirst) are lognormal around a
+ * vendor median in the tens of thousands of activations, with a hard
+ * floor below which no cell flips; coupling to the distance-2 wordline
+ * is roughly an order of magnitude weaker than to the adjacent one; and
+ * a victim's worst-case data pattern lowers its threshold (true-cell /
+ * anti-cell polarity plus aggressor-row data dependence).
+ */
+struct DisturbParams
+{
+    /** Median per-cell minimum hammer count (distance-1 activations). */
+    double hcFirstMedian = 65536.0;
+    /** Lognormal spread (sigma of ln HCfirst) across victim cells. */
+    double hcFirstSpread = 0.30;
+    /** No cell flips below this activation count (distribution floor). */
+    double hcFirstFloor = 8192.0;
+    /** Poisson mean of disturb-vulnerable bits per row. */
+    double victimsPerRowMean = 0.25;
+    /** Coupling of the distance-2 wordline relative to distance-1. */
+    double couplingDist2 = 0.15;
+    /** Threshold multiplier when the stored pattern is the victim's
+     *  worst case (must be in (0, 1]). */
+    double patternAdvantage = 0.65;
+};
+
+/** Calibrated disturbance parameters for each vendor. */
+DisturbParams vendorDisturbParams(Vendor v);
+
 } // namespace dram
 } // namespace reaper
 

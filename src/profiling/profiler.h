@@ -68,6 +68,20 @@ struct ProfilerSpec
     Celsius reachDeltaTemp = 0.0;
     /** Scrub periods between workload data changes ("ecc_scrub"). */
     int scrubRoundsPerDataChange = 4;
+    /** Aggressor sidedness: 1 single-, 2 double-, N N-sided
+     *  ("rowhammer" only). */
+    int hammerSides = 2;
+    /** Hammer-count search bracket and stop resolution ("rowhammer"):
+     *  the per-row minimum hammer count is binary-searched in
+     *  [hammerCountMin, hammerCountMax] until the bracket width is at
+     *  most hammerResolution. */
+    uint64_t hammerCountMax = 131072;
+    uint64_t hammerCountMin = 1024;
+    uint64_t hammerResolution = 2048;
+    /** Data patterns hammered per row ("rowhammer"); empty means the
+     *  row-stripe pair (aggressors store the victims' inverse). */
+    std::vector<dram::DataPattern> hammerPatterns = {
+        dram::DataPattern::RowStripe, dram::DataPattern::RowStripeInv};
     /** Optional per-iteration observer; returning false stops early. */
     std::function<bool(int, const RetentionProfile &)> onIteration;
 };

@@ -7,6 +7,7 @@
  *  - thermal::     thermally-controlled test chamber
  *  - testbed::     SoftMC-like host test interface
  *  - profiling::   brute-force, reach (REAPER), ECC-scrub profilers
+ *  - disturb::     RowHammer patterns, profiler, RowScout grouping
  *  - ecc::         SECDED codec, UBER/RBER model, profile longevity
  *  - mitigation::  ArchShield / RAIDR / row map-out mechanisms
  *  - sim::         cycle-level multicore + LPDDR4 memory system
@@ -35,6 +36,7 @@
 
 #include "dram/data_pattern.h"
 #include "dram/device.h"
+#include "dram/disturb_model.h"
 #include "dram/geometry.h"
 #include "dram/module.h"
 #include "dram/retention_model.h"
@@ -62,6 +64,10 @@
 #include "profiling/profiler.h"
 #include "profiling/reach.h"
 #include "profiling/runtime_model.h"
+
+#include "disturb/pattern_builder.h"
+#include "disturb/row_scout.h"
+#include "disturb/rowhammer_profiler.h"
 
 #include "mitigation/archshield.h"
 #include "mitigation/avatar.h"

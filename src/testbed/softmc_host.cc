@@ -138,6 +138,23 @@ SoftMcHost::wait(Seconds t)
     advance(t);
 }
 
+void
+SoftMcHost::hammer(const std::vector<uint64_t> &rows, uint64_t count)
+{
+    REAPER_OBS_SPAN(opSpan, "testbed.hammer");
+    REAPER_OBS_COUNT("testbed.commands");
+    REAPER_OBS_COUNT("testbed.hammer");
+    if (rows.empty() || count == 0)
+        return;
+    double total =
+        static_cast<double>(rows.size()) * static_cast<double>(count);
+    REAPER_OBS_COUNT_N("testbed.activations",
+                       static_cast<uint64_t>(total));
+    record(CommandKind::Hammer, total);
+    advance(total * cfg_.activationSeconds);
+    module_.hammer(rows, count);
+}
+
 std::vector<dram::ChipFailure>
 SoftMcHost::readAndCompareAll()
 {

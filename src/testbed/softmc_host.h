@@ -56,6 +56,7 @@ enum class CommandKind : uint8_t
     EnableRefresh,
     Wait,
     ReadCompare,
+    Hammer,
 };
 
 /** One entry of the host command trace. */
@@ -71,6 +72,8 @@ struct HostConfig
 {
     /** Full-module read or write cost, seconds per GB (each way). */
     double rwSecondsPerGB = 0.0625;
+    /** Cost of one row activation (ACT + PRE, ~tRC for LPDDR4). */
+    Seconds activationSeconds = 50e-9;
     /** Model the thermal chamber (realistic settle times and jitter);
      *  when false, temperature changes apply instantly. */
     bool useChamber = true;
@@ -116,6 +119,17 @@ class SoftMcHost
 
     /** Let the retention window elapse. */
     virtual void wait(Seconds t);
+
+    /**
+     * Issue an aggressor access pattern: activate every flat row in
+     * `rows` `count` times each (interleaved, as the row-level access
+     * scheduler of a disturbance profiler would), accumulating
+     * disturbance on neighboring rows. Costs activation time
+     * (rows * count * activationSeconds); the trace records the total
+     * activation count as the command param.
+     */
+    virtual void hammer(const std::vector<uint64_t> &rows,
+                        uint64_t count);
 
     /** Read the whole module and compare (costs read time). */
     virtual std::vector<dram::ChipFailure> readAndCompareAll();

@@ -28,16 +28,15 @@ constexpr KindName kKindNames[] = {
     {CommandKind::EnableRefresh, "enable_refresh"},
     {CommandKind::Wait, "wait"},
     {CommandKind::ReadCompare, "read_compare"},
+    {CommandKind::Hammer, "hammer"},
 };
 
 constexpr const char *kHeader = "kind,start_time_s,param";
 
-bool
-fail(std::string *error, const std::string &msg)
+common::Error
+parseError(const std::string &msg)
 {
-    if (error)
-        *error = msg;
-    return false;
+    return common::Error::parse(msg);
 }
 
 /** Full-precision double so the CSV round-trips bit-exactly. */
@@ -112,17 +111,14 @@ writeCommandTraceCsvFile(const std::vector<HostCommand> &trace,
               path.c_str());
 }
 
-bool
-tryReadCommandTraceCsv(std::istream &is, std::vector<HostCommand> *out,
-                       std::string *error)
+common::Expected<std::vector<HostCommand>>
+readCommandTraceCsv(std::istream &is)
 {
-    if (!out)
-        panic("tryReadCommandTraceCsv: out must not be null");
     std::string line;
     if (!std::getline(is, line))
-        return fail(error, "empty trace (missing header)");
+        return parseError("empty trace (missing header)");
     if (line != kHeader)
-        return fail(error, "bad header '" + line + "'");
+        return parseError("bad header '" + line + "'");
 
     std::vector<HostCommand> trace;
     size_t lineno = 1;
@@ -135,19 +131,35 @@ tryReadCommandTraceCsv(std::istream &is, std::vector<HostCommand> *out,
         size_t c2 = c1 == std::string::npos ? std::string::npos
                                             : line.find(',', c1 + 1);
         if (c2 == std::string::npos)
-            return fail(error, where + ": expected 3 fields");
+            return parseError(where + ": expected 3 fields");
         HostCommand cmd;
         if (!tryParseCommandKind(line.substr(0, c1), &cmd.kind))
-            return fail(error, where + ": unknown command kind '" +
-                                   line.substr(0, c1) + "'");
+            return parseError(where + ": unknown command kind '" +
+                              line.substr(0, c1) + "'");
         if (!parseDouble(line.substr(c1 + 1, c2 - c1 - 1),
                          &cmd.startTime))
-            return fail(error, where + ": bad start time");
+            return parseError(where + ": bad start time");
         if (!parseDouble(line.substr(c2 + 1), &cmd.param))
-            return fail(error, where + ": bad param");
+            return parseError(where + ": bad param");
         trace.push_back(cmd);
     }
-    *out = std::move(trace);
+    return trace;
+}
+
+bool
+tryReadCommandTraceCsv(std::istream &is, std::vector<HostCommand> *out,
+                       std::string *error)
+{
+    if (!out)
+        panic("tryReadCommandTraceCsv: out must not be null");
+    common::Expected<std::vector<HostCommand>> parsed =
+        readCommandTraceCsv(is);
+    if (!parsed) {
+        if (error)
+            *error = parsed.error().message;
+        return false;
+    }
+    *out = std::move(parsed).value();
     return true;
 }
 

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/expected.h"
 #include "testbed/softmc_host.h"
 
 namespace reaper {
@@ -39,7 +40,19 @@ void writeCommandTraceCsvFile(const std::vector<HostCommand> &trace,
                               const std::string &path);
 
 /**
- * Parse a trace CSV (as produced by writeCommandTraceCsv).
+ * Parse a trace CSV (as produced by writeCommandTraceCsv). Malformed
+ * input — a bad header, a short row, an unparseable number, or an op
+ * name this build does not know — returns ErrorCategory::Parse with a
+ * line-numbered diagnostic; unknown op names are a hard error, never
+ * silently skipped, so a trace replayed against an older build fails
+ * loudly instead of dropping commands.
+ */
+common::Expected<std::vector<HostCommand>>
+readCommandTraceCsv(std::istream &is);
+
+/**
+ * Bool-returning wrapper around readCommandTraceCsv for callers that
+ * thread a string diagnostic instead of a typed error.
  * @param is input stream
  * @param out parsed trace (valid only when true is returned)
  * @param error filled with a diagnostic on failure (may be null)

@@ -1,0 +1,736 @@
+/**
+ * @file
+ * Tests for the row-disturbance (RowHammer) subsystem: geometry
+ * adjacency properties (bank/subarray clamping), the deterministic
+ * disturbance fault model, the device/host hammer operation, aggressor
+ * pattern construction and interference-free wave scheduling, the
+ * factory-registered "rowhammer" profiler (binary-search results pinned
+ * to the model oracle), and campaign-level bit-identical determinism
+ * across worker thread counts and kill/resume.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <random>
+#include <set>
+#include <sstream>
+
+#include "campaign/campaign.h"
+#include "disturb/pattern_builder.h"
+#include "disturb/rowhammer_profiler.h"
+#include "dram/device.h"
+#include "dram/module.h"
+#include "testbed/softmc_host.h"
+
+namespace fs = std::filesystem;
+
+namespace reaper {
+namespace {
+
+// ---------------------------------------------------------------------
+// Geometry adjacency properties
+// ---------------------------------------------------------------------
+
+TEST(DisturbGeometry, NeighborsNeverCrossBankOrSubarray)
+{
+    // 4 banks x 256 rows, 4 subarrays of 64 rows per bank.
+    dram::Geometry g(4, 256, 64, 64);
+    for (uint64_t row = 0; row < g.totalRows(); ++row) {
+        for (int off : {-2, -1, 1, 2}) {
+            uint64_t n = 0;
+            if (!g.neighborRowIndex(row, off, &n))
+                continue;
+            EXPECT_EQ(g.bankOfRowIndex(n), g.bankOfRowIndex(row));
+            EXPECT_EQ(g.subarrayOf(g.rowInBank(n)),
+                      g.subarrayOf(g.rowInBank(row)));
+            EXPECT_EQ(int64_t{g.rowInBank(n)} -
+                          int64_t{g.rowInBank(row)},
+                      off);
+        }
+    }
+}
+
+TEST(DisturbGeometry, EdgeRowsClamp)
+{
+    dram::Geometry g(2, 128, 64, 64);
+    for (uint32_t bank : {0u, 1u}) {
+        uint64_t first = g.rowIndex(bank, 0);
+        uint64_t last = g.rowIndex(bank, 127);
+        EXPECT_FALSE(g.neighborRowIndex(first, -1, nullptr));
+        EXPECT_FALSE(g.neighborRowIndex(first, -2, nullptr));
+        EXPECT_TRUE(g.neighborRowIndex(first, 1, nullptr));
+        EXPECT_FALSE(g.neighborRowIndex(last, 1, nullptr));
+        EXPECT_FALSE(g.neighborRowIndex(last, 2, nullptr));
+        EXPECT_TRUE(g.neighborRowIndex(last, -1, nullptr));
+    }
+    // The sense-amplifier stripe between rows 63 and 64 blocks coupling
+    // in both directions, at distance 1 and 2.
+    uint64_t sa_last = g.rowIndex(0, 63);
+    uint64_t sa_first = g.rowIndex(0, 64);
+    EXPECT_FALSE(g.neighborRowIndex(sa_last, 1, nullptr));
+    EXPECT_FALSE(g.neighborRowIndex(sa_last, 2, nullptr));
+    EXPECT_FALSE(g.neighborRowIndex(sa_first, -1, nullptr));
+    EXPECT_FALSE(g.neighborRowIndex(sa_first, -2, nullptr));
+    uint64_t n = 0;
+    ASSERT_TRUE(g.neighborRowIndex(sa_last, -1, &n));
+    EXPECT_EQ(n, g.rowIndex(0, 62));
+    ASSERT_TRUE(g.neighborRowIndex(sa_first, 1, &n));
+    EXPECT_EQ(n, g.rowIndex(0, 65));
+}
+
+TEST(DisturbGeometry, SubarrayTallerThanBankClampsToOneTile)
+{
+    dram::Geometry g(1, 16, 64, 512);
+    EXPECT_EQ(g.rowsPerSubarray(), 16u);
+    uint64_t n = 0;
+    ASSERT_TRUE(g.neighborRowIndex(7, 2, &n));
+    EXPECT_EQ(n, 9u);
+}
+
+// ---------------------------------------------------------------------
+// Disturbance fault model
+// ---------------------------------------------------------------------
+
+TEST(DisturbModel, VictimPopulationIsDeterministicPerSeed)
+{
+    dram::Geometry g = dram::Geometry::forCapacityBits(1ull << 22);
+    dram::DisturbParams params;
+    dram::DisturbModel a(params, g, 7), b(params, g, 7);
+    dram::DisturbModel other(params, g, 8);
+    size_t victims = 0;
+    bool differs = false;
+    for (uint64_t row = 0; row < g.totalRows(); ++row) {
+        std::vector<dram::VictimCell> va = a.victimsOfRow(row);
+        std::vector<dram::VictimCell> vb = b.victimsOfRow(row);
+        ASSERT_EQ(va.size(), vb.size());
+        for (size_t i = 0; i < va.size(); ++i) {
+            EXPECT_EQ(va[i].addr, vb[i].addr);
+            EXPECT_EQ(va[i].threshold, vb[i].threshold);
+            EXPECT_EQ(va[i].vulnerableValue, vb[i].vulnerableValue);
+            EXPECT_EQ(va[i].favoredClass, vb[i].favoredClass);
+            // Thresholds respect the floor; addresses stay in the row.
+            EXPECT_GE(va[i].threshold, params.hcFirstFloor);
+            EXPECT_GE(va[i].addr, g.rowStartBit(row));
+            EXPECT_LT(va[i].addr, g.rowStartBit(row) + g.rowBits());
+            EXPECT_LT(va[i].favoredClass, dram::kNumDataPatterns);
+            if (i > 0)
+                EXPECT_LT(va[i - 1].addr, va[i].addr);
+        }
+        victims += va.size();
+        if (other.victimsOfRow(row).size() != va.size())
+            differs = true;
+    }
+    EXPECT_GT(victims, 0u);
+    EXPECT_TRUE(differs) << "seed does not vary the population";
+}
+
+TEST(DisturbModel, EffectiveThresholdAndCoupling)
+{
+    dram::Geometry g(1, 128, 64, 64);
+    dram::DisturbParams params;
+    dram::DisturbModel m(params, g, 1);
+
+    dram::VictimCell v;
+    v.threshold = 10000.0;
+    v.favoredClass = static_cast<uint8_t>(
+        dram::patternClass(dram::DataPattern::RowStripe));
+    EXPECT_DOUBLE_EQ(
+        m.effectiveThreshold(
+            v, dram::patternClass(dram::DataPattern::RowStripe)),
+        10000.0 * params.patternAdvantage);
+    EXPECT_DOUBLE_EQ(
+        m.effectiveThreshold(
+            v, dram::patternClass(dram::DataPattern::Solid0)),
+        10000.0);
+
+    EXPECT_DOUBLE_EQ(m.coupling(1), 1.0);
+    EXPECT_DOUBLE_EQ(m.coupling(2), params.couplingDist2);
+    EXPECT_DOUBLE_EQ(m.coupling(3), 0.0);
+    EXPECT_DOUBLE_EQ(m.coupling(0), 0.0);
+}
+
+TEST(DisturbModel, PressureRateRespectsAdjacency)
+{
+    dram::Geometry g(1, 128, 64, 64);
+    dram::DisturbParams params;
+    dram::DisturbModel m(params, g, 1);
+
+    EXPECT_DOUBLE_EQ(m.pressureRate(10, {9, 11}), 2.0);
+    EXPECT_DOUBLE_EQ(m.pressureRate(10, {8, 12}),
+                     2.0 * params.couplingDist2);
+    EXPECT_DOUBLE_EQ(m.pressureRate(10, {20}), 0.0);
+    // Coupling stops at the subarray boundary (rows 63 | 64) and at
+    // the bank edge (row 0).
+    EXPECT_DOUBLE_EQ(m.pressureRate(63, {64}), 0.0);
+    EXPECT_DOUBLE_EQ(m.pressureRate(64, {63}), 0.0);
+    EXPECT_DOUBLE_EQ(m.pressureRate(0, {1}), 1.0);
+}
+
+TEST(DisturbModel, ValidatesParameters)
+{
+    dram::Geometry g(1, 64, 64, 64);
+    dram::DisturbParams bad;
+    bad.patternAdvantage = 0.0;
+    EXPECT_DEATH(dram::DisturbModel(bad, g, 1), "patternAdvantage");
+    bad = {};
+    bad.hcFirstMedian = -1.0;
+    EXPECT_DEATH(dram::DisturbModel(bad, g, 1), "hammer-count");
+}
+
+// ---------------------------------------------------------------------
+// Device-level hammer semantics
+// ---------------------------------------------------------------------
+
+dram::DeviceConfig
+smallDeviceConfig(uint64_t seed)
+{
+    dram::DeviceConfig cfg;
+    cfg.capacityBits = 1ull << 22; // 8 banks x 32 rows
+    cfg.seed = seed;
+    return cfg;
+}
+
+/** Smallest row with at least one victim cell and both distance-1
+ *  neighbors (so a double-sided pattern gets full 2.0 coupling). */
+uint64_t
+findDoubleSidedVictimRow(const dram::DramDevice &dev)
+{
+    const dram::Geometry &g = dev.geometry();
+    for (uint64_t row = 0; row < g.totalRows(); ++row) {
+        if (!g.neighborRowIndex(row, -1, nullptr) ||
+            !g.neighborRowIndex(row, 1, nullptr))
+            continue;
+        if (!dev.disturbModel().victimsOfRow(row).empty())
+            return row;
+    }
+    return ~0ull;
+}
+
+TEST(DisturbDevice, NoFlipsBelowTheThresholdFloor)
+{
+    dram::DramDevice dev(smallDeviceConfig(3));
+    uint64_t row = findDoubleSidedVictimRow(dev);
+    ASSERT_NE(row, ~0ull);
+    uint64_t below = 0, above = 0;
+    ASSERT_TRUE(dev.geometry().neighborRowIndex(row, -1, &below));
+    ASSERT_TRUE(dev.geometry().neighborRowIndex(row, 1, &above));
+
+    // Double-sided pressure is 2 activations per hammer count, and the
+    // lowest possible effective threshold is floor * patternAdvantage:
+    // any count strictly below that bound can flip nothing, anywhere.
+    const dram::DisturbParams &p = dev.disturbModel().params();
+    uint64_t safe = static_cast<uint64_t>(
+        p.hcFirstFloor * p.patternAdvantage / 2.0) - 1;
+    for (dram::DataPattern dp :
+         {dram::DataPattern::Solid0, dram::DataPattern::Solid1}) {
+        dev.writePattern(dp);
+        dev.hammer({below, above}, safe);
+        EXPECT_TRUE(dev.readAndCompare().empty());
+    }
+}
+
+TEST(DisturbDevice, FlipsMatchTheModelOracle)
+{
+    dram::DramDevice dev(smallDeviceConfig(3));
+    const dram::Geometry &g = dev.geometry();
+    uint64_t row = findDoubleSidedVictimRow(dev);
+    ASSERT_NE(row, ~0ull);
+    uint64_t below = 0, above = 0;
+    ASSERT_TRUE(g.neighborRowIndex(row, -1, &below));
+    ASSERT_TRUE(g.neighborRowIndex(row, 1, &above));
+
+    // 2^20 per-aggressor activations put 2^21 pressure on the victim
+    // row, far beyond any threshold the lognormal can plausibly draw,
+    // so exactly the polarity-matched victims must flip.
+    size_t flipped_total = 0;
+    for (dram::DataPattern dp :
+         {dram::DataPattern::Solid0, dram::DataPattern::Solid1}) {
+        dev.writePattern(dp);
+        dev.hammer({below, above}, 1ull << 20);
+        std::vector<uint64_t> flips = dev.readAndCompare();
+        EXPECT_TRUE(std::is_sorted(flips.begin(), flips.end()));
+        std::vector<uint64_t> in_row;
+        for (uint64_t addr : flips)
+            if (g.rowIndexOf(addr) == row)
+                in_row.push_back(addr);
+        std::vector<uint64_t> want;
+        for (const dram::VictimCell &v :
+             dev.disturbModel().victimsOfRow(row))
+            if (dram::patternBit(dp, g, v.addr, dev.writeCount()) ==
+                v.vulnerableValue)
+                want.push_back(v.addr);
+        EXPECT_EQ(in_row, want);
+        flipped_total += in_row.size();
+    }
+    // Solid0 and Solid1 store opposite bits everywhere, so between
+    // them every victim cell of the row was polarity-matched once.
+    EXPECT_EQ(flipped_total,
+              dev.disturbModel().victimsOfRow(row).size());
+}
+
+TEST(DisturbDevice, AggressorRowsNeverFlipThemselves)
+{
+    dram::DramDevice dev(smallDeviceConfig(3));
+    const dram::Geometry &g = dev.geometry();
+    uint64_t row = findDoubleSidedVictimRow(dev);
+    ASSERT_NE(row, ~0ull);
+    uint64_t below = 0, above = 0;
+    ASSERT_TRUE(g.neighborRowIndex(row, -1, &below));
+    ASSERT_TRUE(g.neighborRowIndex(row, 1, &above));
+
+    // Pick the pattern that stores the first victim's vulnerable value.
+    dram::VictimCell v = dev.disturbModel().victimsOfRow(row)[0];
+    dram::DataPattern dp = v.vulnerableValue
+                               ? dram::DataPattern::Solid1
+                               : dram::DataPattern::Solid0;
+
+    dev.writePattern(dp);
+    dev.hammer({below, above}, 1ull << 20);
+    std::vector<uint64_t> flips = dev.readAndCompare();
+    EXPECT_TRUE(std::binary_search(flips.begin(), flips.end(), v.addr));
+
+    // Hammering the victim row itself keeps its cells refreshed: the
+    // same probe with the victim included flips nothing in that row.
+    dev.writePattern(dp);
+    dev.hammer({below, row, above}, 1ull << 20);
+    flips = dev.readAndCompare();
+    for (uint64_t addr : flips)
+        EXPECT_NE(g.rowIndexOf(addr), row);
+}
+
+TEST(DisturbDevice, WriteAndRestoreClearActivationCounters)
+{
+    dram::DramDevice dev(smallDeviceConfig(1));
+    dev.writePattern(dram::DataPattern::Checkerboard);
+    dev.hammer({5}, 100);
+    dev.hammer({5, 6}, 50);
+    EXPECT_EQ(dev.rowActivations(5), 150u);
+    EXPECT_EQ(dev.rowActivations(6), 50u);
+    EXPECT_EQ(dev.rowActivations(7), 0u);
+
+    dev.writePattern(dram::DataPattern::Checkerboard);
+    EXPECT_EQ(dev.rowActivations(5), 0u);
+
+    dev.hammer({5}, 100);
+    dev.restoreData();
+    EXPECT_EQ(dev.rowActivations(5), 0u);
+
+    dev.hammer({5}, 0); // zero-count hammer is a no-op
+    EXPECT_EQ(dev.rowActivations(5), 0u);
+}
+
+TEST(DisturbDevice, ReferenceReadPathMatchesOptimized)
+{
+    // Mix retention failures (unrefreshed exposure) with disturbance
+    // flips and require the reference scan to agree bit-for-bit.
+    dram::DeviceConfig cfg = smallDeviceConfig(5);
+    cfg.capacityBits = 1ull << 24;
+    dram::DramDevice dev(cfg);
+    dev.writePattern(dram::DataPattern::RowStripe);
+    dev.disableRefresh();
+    dev.wait(2.0);
+    dev.enableRefresh();
+    std::vector<uint64_t> aggs;
+    for (uint64_t row = 1; row + 1 < dev.geometry().totalRows();
+         row += 7)
+        aggs.push_back(row);
+    dev.hammer(aggs, 1ull << 18);
+
+    std::vector<uint64_t> ref = dev.readAndCompareReference();
+    const std::vector<uint64_t> &opt = dev.readAndCompareInto();
+    EXPECT_EQ(opt, ref);
+    EXPECT_TRUE(std::is_sorted(ref.begin(), ref.end()));
+    EXPECT_EQ(std::adjacent_find(ref.begin(), ref.end()), ref.end());
+}
+
+// ---------------------------------------------------------------------
+// Host hammer operation
+// ---------------------------------------------------------------------
+
+TEST(DisturbHost, HammerCostsActivationTimeAndReachesEveryChip)
+{
+    dram::ModuleConfig mc;
+    mc.chipCapacityBits = 1ull << 22;
+    mc.numChips = 2;
+    testbed::HostConfig hc;
+    hc.useChamber = false;
+    hc.recordTrace = true;
+    dram::DramModule module(mc);
+    testbed::SoftMcHost host(module, hc);
+
+    host.writeAll(dram::DataPattern::Checkerboard);
+    Seconds before = host.now();
+    host.hammer({1, 3}, 1000);
+    EXPECT_NEAR(host.now() - before, 2000 * hc.activationSeconds,
+                1e-12);
+    ASSERT_FALSE(host.trace().empty());
+    EXPECT_EQ(host.trace().back().kind,
+              testbed::CommandKind::Hammer);
+    EXPECT_DOUBLE_EQ(host.trace().back().param, 2000.0);
+    for (uint32_t c = 0; c < module.numChips(); ++c) {
+        EXPECT_EQ(module.chip(c).rowActivations(1), 1000u);
+        EXPECT_EQ(module.chip(c).rowActivations(3), 1000u);
+    }
+
+    // Empty row lists and zero counts are free no-ops.
+    size_t commands = host.trace().size();
+    host.hammer({}, 1000);
+    host.hammer({1}, 0);
+    EXPECT_DOUBLE_EQ(host.now(),
+                     before + 2000 * hc.activationSeconds);
+    EXPECT_EQ(host.trace().size(), commands);
+}
+
+// ---------------------------------------------------------------------
+// Pattern builder
+// ---------------------------------------------------------------------
+
+TEST(PatternBuilder, AggressorSelection)
+{
+    dram::Geometry g(1, 128, 64, 64);
+    disturb::PatternBuilder double_sided(g, 2);
+    EXPECT_EQ(double_sided.aggressorsFor(10),
+              (std::vector<uint64_t>{9, 11}));
+    EXPECT_EQ(double_sided.aggressorsFor(0),
+              (std::vector<uint64_t>{1, 2})); // clamped at the edge
+    EXPECT_EQ(double_sided.aggressorsFor(63),
+              (std::vector<uint64_t>{61, 62})); // subarray end
+    EXPECT_EQ(double_sided.aggressorsFor(64),
+              (std::vector<uint64_t>{65, 66})); // subarray start
+
+    disturb::PatternBuilder single(g, 1);
+    EXPECT_EQ(single.aggressorsFor(10), (std::vector<uint64_t>{9}));
+    EXPECT_EQ(single.aggressorsFor(64), (std::vector<uint64_t>{65}));
+
+    disturb::PatternBuilder four(g, 4);
+    EXPECT_EQ(four.aggressorsFor(10),
+              (std::vector<uint64_t>{8, 9, 11, 12}));
+}
+
+TEST(PatternBuilder, IsolatedRowsAreDropped)
+{
+    // One-row subarrays isolate every row: nothing is profilable.
+    dram::Geometry g(1, 8, 64, 1);
+    disturb::PatternBuilder b(g, 2);
+    EXPECT_TRUE(b.aggressorsFor(3).empty());
+    EXPECT_TRUE(b.waves({0, 1, 2, 3}).empty());
+}
+
+TEST(PatternBuilder, WavesAreInterferenceFreeAndOrderIndependent)
+{
+    dram::Geometry g = dram::Geometry::forCapacityBits(1ull << 22);
+    disturb::PatternBuilder b(g, 2);
+    std::vector<uint64_t> victims(g.totalRows());
+    for (uint64_t r = 0; r < g.totalRows(); ++r)
+        victims[r] = r;
+
+    std::vector<std::vector<disturb::HammerPattern>> waves =
+        b.waves(victims);
+    uint32_t stride = b.independentStride();
+    std::set<uint64_t> seen;
+    for (const std::vector<disturb::HammerPattern> &wave : waves) {
+        std::set<uint64_t> agg_rows;
+        for (size_t i = 0; i < wave.size(); ++i) {
+            EXPECT_TRUE(seen.insert(wave[i].victim).second);
+            // Same-bank victims keep at least the independence stride
+            // apart (waves are sorted by victim, so adjacent suffices).
+            if (i > 0 &&
+                g.bankOfRowIndex(wave[i].victim) ==
+                    g.bankOfRowIndex(wave[i - 1].victim))
+                EXPECT_GE(g.rowInBank(wave[i].victim) -
+                              g.rowInBank(wave[i - 1].victim),
+                          stride);
+            for (uint64_t agg : wave[i].aggressors) {
+                // No aggressor row is shared within a wave (counts
+                // would otherwise accumulate across victims), and no
+                // aggressor's 2-row blast radius reaches another
+                // wave member.
+                EXPECT_TRUE(agg_rows.insert(agg).second);
+                for (const disturb::HammerPattern &other : wave)
+                    if (other.victim != wave[i].victim &&
+                        g.bankOfRowIndex(agg) ==
+                            g.bankOfRowIndex(other.victim))
+                        EXPECT_GT(
+                            std::llabs(
+                                int64_t{g.rowInBank(agg)} -
+                                int64_t{g.rowInBank(other.victim)}),
+                            2);
+            }
+        }
+    }
+    // Every row has adjacency in this geometry, so all are scheduled.
+    EXPECT_EQ(seen.size(), g.totalRows());
+
+    // A shuffled, duplicated input yields the identical schedule.
+    std::vector<uint64_t> shuffled = victims;
+    std::mt19937 gen(1);
+    std::shuffle(shuffled.begin(), shuffled.end(), gen);
+    shuffled.push_back(victims[0]);
+    shuffled.push_back(victims[7]);
+    std::vector<std::vector<disturb::HammerPattern>> again =
+        b.waves(shuffled);
+    ASSERT_EQ(again.size(), waves.size());
+    for (size_t w = 0; w < waves.size(); ++w) {
+        ASSERT_EQ(again[w].size(), waves[w].size());
+        for (size_t i = 0; i < waves[w].size(); ++i) {
+            EXPECT_EQ(again[w][i].victim, waves[w][i].victim);
+            EXPECT_EQ(again[w][i].aggressors, waves[w][i].aggressors);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// RowHammer profiler
+// ---------------------------------------------------------------------
+
+TEST(RowHammerProfiler, RegisteredInFactory)
+{
+    std::vector<std::string> names = profiling::profilerNames();
+    EXPECT_NE(std::find(names.begin(), names.end(), "rowhammer"),
+              names.end());
+    common::Expected<std::unique_ptr<profiling::Profiler>> p =
+        profiling::makeProfiler("rowhammer");
+    ASSERT_TRUE(p.hasValue()) << p.error().describe();
+    EXPECT_EQ(p.value()->name(), "rowhammer");
+}
+
+TEST(RowHammerProfiler, RejectsUnusableSpecs)
+{
+    dram::ModuleConfig mc;
+    mc.chipCapacityBits = 1ull << 22;
+    dram::DramModule module(mc);
+    testbed::HostConfig hc;
+    hc.useChamber = false;
+    testbed::SoftMcHost host(module, hc);
+    profiling::Conditions target{msToSec(1024.0), 45.0};
+
+    auto expectInvalid = [&](const profiling::ProfilerSpec &spec) {
+        std::unique_ptr<profiling::Profiler> prof =
+            std::move(profiling::makeProfiler("rowhammer", spec)
+                          .value());
+        common::Expected<profiling::ProfilingResult> res =
+            prof->profile(host, target);
+        ASSERT_FALSE(res.hasValue());
+        EXPECT_EQ(res.error().category,
+                  common::ErrorCategory::InvalidConfig);
+    };
+
+    profiling::ProfilerSpec spec;
+    spec.hammerSides = 0;
+    expectInvalid(spec);
+
+    spec = {};
+    spec.hammerCountMin = 0;
+    expectInvalid(spec);
+
+    spec = {};
+    spec.hammerCountMax = 10;
+    spec.hammerCountMin = 20;
+    expectInvalid(spec);
+
+    spec = {};
+    spec.hammerResolution = 0;
+    expectInvalid(spec);
+
+    spec = {};
+    spec.hammerPatterns.clear();
+    expectInvalid(spec);
+}
+
+TEST(RowHammerProfiler, MinCountsMatchModelOracle)
+{
+    dram::ModuleConfig mc;
+    mc.chipCapacityBits = 1ull << 22;
+    mc.seed = 9;
+    dram::DramModule module(mc);
+    testbed::HostConfig hc;
+    hc.useChamber = false;
+    testbed::SoftMcHost host(module, hc);
+
+    profiling::RowHammerProfiler prof;
+    profiling::RowHammerConfig cfg;
+    cfg.target = {msToSec(1024.0), 45.0};
+    cfg.countMin = 512;
+    cfg.countMax = 1ull << 19;
+    cfg.resolution = 512;
+    profiling::RowHammerRunResult result = prof.run(host, cfg);
+
+    EXPECT_GT(result.probeCycles, 0);
+    EXPECT_GT(result.base.runtime, 0.0);
+    EXPECT_GT(result.base.profile.size(), 0u);
+    EXPECT_DOUBLE_EQ(result.base.profile.conditions().refreshInterval,
+                     cfg.target.refreshInterval);
+
+    std::map<uint64_t, uint64_t> found;
+    uint64_t prev = 0;
+    for (const profiling::RowMinCount &rc : result.vulnerableRows) {
+        EXPECT_TRUE(found.empty() || rc.row > prev); // sorted, unique
+        prev = rc.row;
+        found[rc.row] = rc.minCount;
+    }
+
+    // Every row's search outcome must agree with the fault-model
+    // oracle: vulnerable exactly when some pattern's minimum count is
+    // within the bracket, and the estimate within one resolution step.
+    const dram::DramDevice &dev = module.chip(0);
+    const dram::Geometry &g = dev.geometry();
+    disturb::PatternBuilder builder(g, cfg.sides);
+    for (uint64_t row = 0; row < g.totalRows(); ++row) {
+        std::vector<uint64_t> aggs = builder.aggressorsFor(row);
+        uint64_t oracle = 0;
+        for (dram::DataPattern p : cfg.patterns) {
+            uint64_t m = dev.disturbModel().minHammerCount(row, aggs, p);
+            if (m > 0 && (oracle == 0 || m < oracle))
+                oracle = m;
+        }
+        auto it = found.find(row);
+        if (oracle == 0 || oracle > cfg.countMax) {
+            EXPECT_EQ(it, found.end()) << "row " << row;
+        } else {
+            ASSERT_NE(it, found.end()) << "row " << row;
+            EXPECT_GE(it->second, oracle) << "row " << row;
+            EXPECT_LE(it->second,
+                      std::max(oracle, cfg.countMin) + cfg.resolution)
+                << "row " << row;
+        }
+    }
+
+    // The round is a pure function of (module, config).
+    dram::DramModule module2(mc);
+    testbed::SoftMcHost host2(module2, hc);
+    profiling::RowHammerRunResult again = prof.run(host2, cfg);
+    ASSERT_EQ(again.vulnerableRows.size(),
+              result.vulnerableRows.size());
+    for (size_t i = 0; i < again.vulnerableRows.size(); ++i) {
+        EXPECT_EQ(again.vulnerableRows[i].row,
+                  result.vulnerableRows[i].row);
+        EXPECT_EQ(again.vulnerableRows[i].minCount,
+                  result.vulnerableRows[i].minCount);
+    }
+    EXPECT_EQ(again.base.profile.cells(),
+              result.base.profile.cells());
+    EXPECT_EQ(again.probeCycles, result.probeCycles);
+}
+
+TEST(RowHammerProfiler, VictimSubsetAndEarlyStop)
+{
+    dram::ModuleConfig mc;
+    mc.chipCapacityBits = 1ull << 22;
+    mc.seed = 9;
+    dram::DramModule module(mc);
+    testbed::HostConfig hc;
+    hc.useChamber = false;
+    testbed::SoftMcHost host(module, hc);
+
+    profiling::RowHammerProfiler prof;
+    profiling::RowHammerConfig cfg;
+    cfg.target = {msToSec(1024.0), 45.0};
+    cfg.victimRows = {10, 11, 12, 13};
+    profiling::RowHammerRunResult result = prof.run(host, cfg);
+    for (const profiling::RowMinCount &rc : result.vulnerableRows) {
+        EXPECT_GE(rc.row, 10u);
+        EXPECT_LE(rc.row, 13u);
+    }
+
+    // An observer returning false after the first wave stops the run.
+    dram::DramModule module2(mc);
+    testbed::SoftMcHost host2(module2, hc);
+    int waves_seen = 0;
+    cfg.victimRows.clear();
+    cfg.onWave = [&](int, const profiling::RetentionProfile &) {
+        ++waves_seen;
+        return false;
+    };
+    prof.run(host2, cfg);
+    EXPECT_EQ(waves_seen, 1);
+}
+
+// ---------------------------------------------------------------------
+// Campaign-level determinism (threads and kill/resume)
+// ---------------------------------------------------------------------
+
+std::string
+scratchDir(const std::string &name)
+{
+    fs::path dir = fs::path(::testing::TempDir()) / ("reaper_" + name);
+    fs::remove_all(dir);
+    return dir.string();
+}
+
+std::map<std::string, std::string>
+dirContents(const std::string &dir)
+{
+    std::map<std::string, std::string> out;
+    for (const auto &entry : fs::directory_iterator(dir)) {
+        std::ifstream is(entry.path(), std::ios::binary);
+        std::ostringstream ss;
+        ss << is.rdbuf();
+        out[entry.path().filename().string()] = ss.str();
+    }
+    return out;
+}
+
+campaign::CampaignConfig
+hammerCampaign(const std::string &dir, unsigned threads)
+{
+    campaign::CampaignConfig cfg;
+    cfg.dir = dir;
+    cfg.name = "disturb-campaign";
+    cfg.baseSeed = 11;
+    cfg.chips = campaign::makeChipFleet(3, cfg.baseSeed,
+                                        1ull << 24 /* 2 MB */,
+                                        {2.4, 52.0});
+    campaign::RoundSpec round;
+    round.profilerName = "rowhammer";
+    round.target = {msToSec(1024.0), 45.0};
+    round.iterations = 1;
+    cfg.rounds = {round};
+    cfg.host.useChamber = false;
+    cfg.fleet.threads = threads;
+    return cfg;
+}
+
+TEST(DisturbCampaign, StoresAreBitIdenticalAcrossThreadsAndResume)
+{
+    campaign::CampaignConfig ref = hammerCampaign(
+        scratchDir("disturb_ref"), 1);
+    campaign::CampaignStats stats = campaign::runCampaign(ref);
+    EXPECT_TRUE(stats.complete());
+    auto want = dirContents(ref.dir + "/store");
+    ASSERT_GE(want.size(), 4u); // 3 profiles + index
+
+    // Every committed profile holds disturbance flips and loads back.
+    campaign::ProfileStore store(ref.dir + "/store");
+    EXPECT_EQ(store.size(), 3u);
+    for (const campaign::StoreEntry &e : store.entries()) {
+        common::Expected<profiling::RetentionProfile> loaded =
+            store.load(e.key);
+        ASSERT_TRUE(loaded.hasValue()) << loaded.error().describe();
+        EXPECT_GT(loaded.value().size(), 0u);
+    }
+
+    for (unsigned threads : {1u, 8u}) {
+        // Interrupt at 1 thread for a deterministic kill point; the
+        // resume leg runs at the thread count under test.
+        campaign::CampaignConfig cfg = hammerCampaign(
+            scratchDir("disturb_t" + std::to_string(threads)), 1);
+        cfg.interruptAfter = 1;
+        campaign::CampaignStats killed = campaign::runCampaign(cfg);
+        EXPECT_TRUE(killed.interrupted);
+
+        cfg.interruptAfter = 0;
+        cfg.fleet.threads = threads;
+        campaign::CampaignStats resumed = campaign::runCampaign(cfg);
+        EXPECT_TRUE(resumed.complete());
+        EXPECT_EQ(dirContents(cfg.dir + "/store"), want)
+            << "store diverged at " << threads << " threads";
+    }
+}
+
+} // namespace
+} // namespace reaper

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Tests for disturb::RowScout: estimating per-row retention times out
+ * of RetentionProfile data and grouping retention-matched rows (U-TRR
+ * style canary selection), including the same-bank and row-span
+ * constraints, group-size filtering, and order independence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "disturb/row_scout.h"
+
+namespace reaper {
+namespace {
+
+dram::Geometry
+testGeometry()
+{
+    return dram::Geometry::forCapacityBits(1ull << 24); // 8 x 128 rows
+}
+
+/** A failing cell at (chip, bank, in-bank row, bit-in-row). */
+dram::ChipFailure
+cellAt(const dram::Geometry &g, uint32_t chip, uint32_t bank,
+       uint32_t row, uint64_t bit)
+{
+    return {chip, g.rowIndex(bank, row) * g.rowBits() + bit};
+}
+
+profiling::RetentionProfile
+profileAt(Seconds interval,
+          const std::vector<dram::ChipFailure> &cells)
+{
+    profiling::RetentionProfile p(
+        profiling::Conditions{interval, 45.0});
+    p.add(cells);
+    return p;
+}
+
+TEST(RowScout, EstimatesSmallestFailingInterval)
+{
+    dram::Geometry g = testGeometry();
+    disturb::RowScout scout(g);
+
+    // Row 10 first fails at 1536 ms, row 20 at 1024 ms (and keeps
+    // failing at longer intervals), row 30 only at 2048 ms. Multiple
+    // failing cells in one row collapse into one estimate.
+    std::vector<profiling::RetentionProfile> profiles = {
+        profileAt(msToSec(1024.0), {cellAt(g, 0, 0, 20, 3)}),
+        profileAt(msToSec(1536.0), {cellAt(g, 0, 0, 10, 0),
+                                    cellAt(g, 0, 0, 10, 99),
+                                    cellAt(g, 0, 0, 20, 3)}),
+        profileAt(msToSec(2048.0), {cellAt(g, 0, 0, 10, 0),
+                                    cellAt(g, 0, 0, 20, 3),
+                                    cellAt(g, 0, 0, 30, 7)}),
+    };
+    std::vector<disturb::ScoutedRow> rows =
+        scout.rowRetentionTimes(profiles);
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_EQ(rows[0].rowFlat, g.rowIndex(0, 10));
+    EXPECT_DOUBLE_EQ(rows[0].retentionTime, msToSec(1536.0));
+    EXPECT_EQ(rows[1].rowFlat, g.rowIndex(0, 20));
+    EXPECT_DOUBLE_EQ(rows[1].retentionTime, msToSec(1024.0));
+    EXPECT_EQ(rows[2].rowFlat, g.rowIndex(0, 30));
+    EXPECT_DOUBLE_EQ(rows[2].retentionTime, msToSec(2048.0));
+}
+
+TEST(RowScout, GroupsRowsInTheSameRetentionBin)
+{
+    dram::Geometry g = testGeometry();
+    disturb::RowScoutOptions opt;
+    opt.binWidth = 0.5; // 1.024 -> bin 2, 1.536 -> bin 3, 2.048 -> 4
+    disturb::RowScout scout(g, opt);
+
+    std::vector<profiling::RetentionProfile> profiles = {
+        profileAt(msToSec(1024.0), {cellAt(g, 0, 0, 30, 7)}),
+        profileAt(msToSec(1536.0), {cellAt(g, 0, 0, 10, 0),
+                                    cellAt(g, 0, 1, 20, 3),
+                                    cellAt(g, 0, 0, 30, 7)}),
+    };
+    std::vector<disturb::RowGroup> groups = scout.scout(profiles);
+
+    // Rows 10 (bank 0) and 20 (bank 1) share the 1536 ms bin and may
+    // group across banks by default; row 30 is alone in its bin and
+    // falls below the default minGroupSize of 2.
+    ASSERT_EQ(groups.size(), 1u);
+    EXPECT_DOUBLE_EQ(groups[0].binStart, 3 * 0.5);
+    ASSERT_EQ(groups[0].rows.size(), 2u);
+    EXPECT_EQ(groups[0].rows[0].rowFlat, g.rowIndex(0, 10));
+    EXPECT_EQ(groups[0].rows[1].rowFlat, g.rowIndex(1, 20));
+
+    // minGroupSize 1 reports the singleton too, sorted by bin.
+    opt.minGroupSize = 1;
+    disturb::RowScout scout1(g, opt);
+    groups = scout1.scout(profiles);
+    ASSERT_EQ(groups.size(), 2u);
+    EXPECT_DOUBLE_EQ(groups[0].binStart, 2 * 0.5);
+    ASSERT_EQ(groups[0].rows.size(), 1u);
+    EXPECT_EQ(groups[0].rows[0].rowFlat, g.rowIndex(0, 30));
+    EXPECT_DOUBLE_EQ(groups[1].binStart, 3 * 0.5);
+}
+
+TEST(RowScout, SameBankConstraintSplitsGroups)
+{
+    dram::Geometry g = testGeometry();
+    disturb::RowScoutOptions opt;
+    opt.binWidth = 0.5;
+    opt.requireSameBank = true;
+    opt.minGroupSize = 2;
+    disturb::RowScout scout(g, opt);
+
+    // Two matched rows per bank, plus a cross-bank pair that must NOT
+    // group once the bank constraint is on.
+    std::vector<profiling::RetentionProfile> profiles = {
+        profileAt(msToSec(1536.0),
+                  {cellAt(g, 0, 0, 10, 0), cellAt(g, 0, 0, 40, 1),
+                   cellAt(g, 0, 2, 15, 2), cellAt(g, 0, 2, 55, 3),
+                   cellAt(g, 0, 4, 99, 4)}),
+    };
+    std::vector<disturb::RowGroup> groups = scout.scout(profiles);
+    ASSERT_EQ(groups.size(), 2u);
+    EXPECT_EQ(groups[0].rows[0].rowFlat, g.rowIndex(0, 10));
+    EXPECT_EQ(groups[0].rows[1].rowFlat, g.rowIndex(0, 40));
+    EXPECT_EQ(groups[1].rows[0].rowFlat, g.rowIndex(2, 15));
+    EXPECT_EQ(groups[1].rows[1].rowFlat, g.rowIndex(2, 55));
+}
+
+TEST(RowScout, SameBankKeepsChipsApart)
+{
+    dram::Geometry g = testGeometry();
+    disturb::RowScoutOptions opt;
+    opt.binWidth = 0.5;
+    opt.requireSameBank = true;
+    opt.minGroupSize = 1;
+    disturb::RowScout scout(g, opt);
+
+    // Same bank and row numbers, different chips: two groups.
+    std::vector<profiling::RetentionProfile> profiles = {
+        profileAt(msToSec(1536.0),
+                  {cellAt(g, 0, 1, 10, 0), cellAt(g, 1, 1, 10, 0)}),
+    };
+    std::vector<disturb::RowGroup> groups = scout.scout(profiles);
+    ASSERT_EQ(groups.size(), 2u);
+    EXPECT_EQ(groups[0].rows[0].chip, 0u);
+    EXPECT_EQ(groups[1].rows[0].chip, 1u);
+}
+
+TEST(RowScout, MaxRowSpanSplitsSparseGroups)
+{
+    dram::Geometry g = testGeometry();
+    disturb::RowScoutOptions opt;
+    opt.binWidth = 0.5;
+    opt.maxRowSpan = 50;
+    opt.minGroupSize = 2;
+    disturb::RowScout scout(g, opt);
+
+    // Rows 10, 20 fit a 50-row span; row 120 is too far and becomes a
+    // singleton, which the size filter then drops.
+    std::vector<profiling::RetentionProfile> profiles = {
+        profileAt(msToSec(1536.0),
+                  {cellAt(g, 0, 0, 10, 0), cellAt(g, 0, 0, 20, 1),
+                   cellAt(g, 0, 0, 120, 2)}),
+    };
+    std::vector<disturb::RowGroup> groups = scout.scout(profiles);
+    ASSERT_EQ(groups.size(), 1u);
+    ASSERT_EQ(groups[0].rows.size(), 2u);
+    EXPECT_EQ(groups[0].rows[0].rowFlat, g.rowIndex(0, 10));
+    EXPECT_EQ(groups[0].rows[1].rowFlat, g.rowIndex(0, 20));
+
+    // Widening the span reunites all three rows.
+    opt.maxRowSpan = 127;
+    disturb::RowScout wide(g, opt);
+    groups = wide.scout(profiles);
+    ASSERT_EQ(groups.size(), 1u);
+    EXPECT_EQ(groups[0].rows.size(), 3u);
+}
+
+TEST(RowScout, ProfileOrderDoesNotMatter)
+{
+    dram::Geometry g = testGeometry();
+    disturb::RowScoutOptions opt;
+    opt.binWidth = 0.5;
+    opt.minGroupSize = 1;
+    disturb::RowScout scout(g, opt);
+
+    std::vector<profiling::RetentionProfile> profiles;
+    for (int i = 0; i < 4; ++i) {
+        std::vector<dram::ChipFailure> cells;
+        for (uint32_t r = 0; r < 40; r += 3 + static_cast<uint32_t>(i))
+            cells.push_back(
+                cellAt(g, static_cast<uint32_t>(r % 2),
+                       static_cast<uint32_t>(r % 8), r, r));
+        profiles.push_back(
+            profileAt(msToSec(1024.0 + 256.0 * i), cells));
+    }
+
+    std::vector<disturb::RowGroup> want = scout.scout(profiles);
+    EXPECT_FALSE(want.empty());
+    std::mt19937 gen(3);
+    for (int trial = 0; trial < 4; ++trial) {
+        std::shuffle(profiles.begin(), profiles.end(), gen);
+        std::vector<disturb::RowGroup> got = scout.scout(profiles);
+        ASSERT_EQ(got.size(), want.size());
+        for (size_t i = 0; i < want.size(); ++i) {
+            EXPECT_DOUBLE_EQ(got[i].binStart, want[i].binStart);
+            ASSERT_EQ(got[i].rows.size(), want[i].rows.size());
+            for (size_t j = 0; j < want[i].rows.size(); ++j) {
+                EXPECT_EQ(got[i].rows[j].chip, want[i].rows[j].chip);
+                EXPECT_EQ(got[i].rows[j].rowFlat,
+                          want[i].rows[j].rowFlat);
+                EXPECT_DOUBLE_EQ(got[i].rows[j].retentionTime,
+                                 want[i].rows[j].retentionTime);
+            }
+        }
+    }
+}
+
+TEST(RowScout, ValidatesOptions)
+{
+    dram::Geometry g = testGeometry();
+    disturb::RowScoutOptions opt;
+    opt.binWidth = 0.0;
+    EXPECT_DEATH(disturb::RowScout(g, opt), "binWidth");
+    opt = {};
+    opt.minGroupSize = 0;
+    EXPECT_DEATH(disturb::RowScout(g, opt), "minGroupSize");
+}
+
+TEST(RowScout, EmptyProfilesYieldNothing)
+{
+    dram::Geometry g = testGeometry();
+    disturb::RowScout scout(g);
+    EXPECT_TRUE(scout.scout({}).empty());
+    EXPECT_TRUE(scout.rowRetentionTimes({}).empty());
+    std::vector<profiling::RetentionProfile> empty_profile = {
+        profileAt(msToSec(1024.0), {})};
+    EXPECT_TRUE(scout.scout(empty_profile).empty());
+}
+
+} // namespace
+} // namespace reaper

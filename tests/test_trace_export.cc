@@ -25,6 +25,7 @@ sampleTrace()
         {CommandKind::Wait, 13.0, 1.024},
         {CommandKind::EnableRefresh, 14.024, 0.0},
         {CommandKind::Restore, 14.024, 0.0},
+        {CommandKind::Hammer, 14.1, 131072.0},
         {CommandKind::ReadCompare, 14.5, 0.0},
     };
 }
@@ -107,12 +108,60 @@ TEST(TraceExport, KindNamesRoundTrip)
          {CommandKind::SetAmbient, CommandKind::WritePattern,
           CommandKind::Restore, CommandKind::DisableRefresh,
           CommandKind::EnableRefresh, CommandKind::Wait,
-          CommandKind::ReadCompare}) {
+          CommandKind::ReadCompare, CommandKind::Hammer}) {
         CommandKind parsed;
         ASSERT_TRUE(tryParseCommandKind(commandKindName(kind), &parsed));
         EXPECT_EQ(parsed, kind);
     }
     EXPECT_FALSE(tryParseCommandKind("warp_drive", nullptr));
+}
+
+TEST(TraceExport, HammerCommandsRoundTripFromLiveHost)
+{
+    dram::ModuleConfig mc;
+    mc.chipCapacityBits = 1ull << 22;
+    dram::DramModule module(mc);
+    HostConfig hc;
+    hc.useChamber = false;
+    hc.recordTrace = true;
+    SoftMcHost host(module, hc);
+    host.writeAll(dram::DataPattern::RowStripe);
+    host.hammer({3, 5, 7}, 4096);
+    host.readAndCompareAll();
+
+    std::stringstream ss;
+    writeCommandTraceCsv(host.trace(), ss);
+    EXPECT_NE(ss.str().find("hammer"), std::string::npos);
+    common::Expected<std::vector<HostCommand>> loaded =
+        readCommandTraceCsv(ss);
+    ASSERT_TRUE(loaded.hasValue()) << loaded.error().describe();
+    EXPECT_TRUE(sameTrace(loaded.value(), host.trace()));
+    // The hammer row carries the total activation count as its param.
+    bool found = false;
+    for (const HostCommand &cmd : loaded.value())
+        if (cmd.kind == CommandKind::Hammer) {
+            EXPECT_DOUBLE_EQ(cmd.param, 3 * 4096.0);
+            found = true;
+        }
+    EXPECT_TRUE(found);
+}
+
+TEST(TraceExport, UnknownOpNameIsATypedParseError)
+{
+    // Unknown op names must surface as ErrorCategory::Parse with a
+    // line-numbered diagnostic, never be skipped silently.
+    std::stringstream ss(
+        "kind,start_time_s,param\nwait,0,1\nquantum_tunnel,1,0\n");
+    common::Expected<std::vector<HostCommand>> parsed =
+        readCommandTraceCsv(ss);
+    ASSERT_FALSE(parsed.hasValue());
+    EXPECT_EQ(parsed.error().category, common::ErrorCategory::Parse);
+    EXPECT_NE(parsed.error().message.find("unknown command kind"),
+              std::string::npos);
+    EXPECT_NE(parsed.error().message.find("line 3"), std::string::npos)
+        << parsed.error().message;
+    EXPECT_NE(parsed.error().message.find("quantum_tunnel"),
+              std::string::npos);
 }
 
 TEST(TraceExport, RejectsMalformedInput)
