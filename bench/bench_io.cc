@@ -9,10 +9,17 @@
  *  1. serialize/deserialize throughput (cells/s and MB/s) plus
  *     on-disk size for one large (default 1M-cell) profile, and
  *  2. cold ProfileCache fill latency over a multi-chip store written
- *     in each format — the serve path's miss cost.
+ *     in each format — the serve path's miss cost,
+ *
+ *  3. cold point lookups through a block-indexed ProfileView (open +
+ *     one contains()), the path that keeps serve-side miss latency
+ *     from scaling with profile size, and
+ *
+ *  4. delta-chain compaction throughput, with the compacted base
+ *     checked byte-identical to a direct full commit.
  *
  * Emits BENCH_io.json. Exits nonzero when either format fails to
- * round-trip bit-exactly. Performance regressions are NOT gated here:
+ * round-trip bit-exactly or compaction is not byte-identical. Performance regressions are NOT gated here:
  * scripts/check_bench.py diffs the emitted JSON against the committed
  * bench/baselines/ and owns the pass/fail decision, so a slow run
  * fails CI with a readable per-metric report instead of a bare exit
@@ -223,6 +230,149 @@ main()
                   2)});
     fillTable.print(std::cout);
 
+    std::cout << "\nPart 3: cold point lookups from a block-indexed "
+                 "view\n\n";
+    struct LookupStats
+    {
+        size_t cells;
+        double coldSeconds;
+        double lookupsPerSec;
+        double blocksPerLookup;
+    };
+    std::vector<LookupStats> lookupStats;
+    const size_t lookupSizes[2] = {10'000, cells};
+    for (size_t n : lookupSizes) {
+        profiling::RetentionProfile p = syntheticProfile(21, n, chips);
+        std::string path =
+            (dir / ("lookup_" + std::to_string(n) + ".v2")).string();
+        common::Status written = profiling::writeProfileFile(
+            p, path, profiling::ProfileFormat::BinaryV2);
+        if (!written)
+            fatal("bench_io: %s", written.error().describe().c_str());
+
+        // Cold: a fresh mmap-backed open plus ONE point lookup —
+        // the serve path's first query against an unseen profile.
+        const int samples = bench::scaled(64, 16);
+        double cold = 1e30;
+        double blocksDecoded = 0.0;
+        for (int s = 0; s < samples; ++s) {
+            const dram::ChipFailure &probe =
+                p.cells()[(static_cast<size_t>(s) * 2654435761u) %
+                          p.size()];
+            auto t0 = std::chrono::steady_clock::now();
+            common::Expected<profiling::ProfileView> view =
+                profiling::ProfileView::open(path);
+            if (!view)
+                fatal("bench_io: %s",
+                      view.error().describe().c_str());
+            common::Expected<bool> hit = view.value().contains(probe);
+            cold = std::min(cold, now(t0));
+            if (!hit || !hit.value())
+                fatal("bench_io: view lost a committed cell");
+            blocksDecoded +=
+                static_cast<double>(view.value().blocksDecoded());
+        }
+
+        // Warm: sustained random point lookups against one view.
+        common::Expected<profiling::ProfileView> view =
+            profiling::ProfileView::open(path);
+        if (!view)
+            fatal("bench_io: %s", view.error().describe().c_str());
+        const size_t nLookups =
+            static_cast<size_t>(bench::scaled(50'000, 10'000));
+        Rng rng(5);
+        size_t hits = 0;
+        auto t0 = std::chrono::steady_clock::now();
+        for (size_t i = 0; i < nLookups; ++i) {
+            const dram::ChipFailure &probe =
+                p.cells()[rng.uniformInt(p.size())];
+            common::Expected<bool> hit = view.value().contains(probe);
+            hits += hit.hasValue() && hit.value();
+        }
+        double warmSeconds = now(t0);
+        if (hits != nLookups)
+            fatal("bench_io: %zu of %zu warm lookups missed",
+                  nLookups - hits, nLookups);
+        lookupStats.push_back(
+            {n, cold, static_cast<double>(nLookups) / warmSeconds,
+             blocksDecoded / samples});
+    }
+
+    TablePrinter lookupTable({"cells", "cold open+lookup",
+                              "warm lookups/s", "blocks/lookup"});
+    for (const LookupStats &s : lookupStats)
+        lookupTable.addRow(
+            {std::to_string(s.cells),
+             fmtF(s.coldSeconds * 1e6, 1) + "us",
+             fmtF(s.lookupsPerSec / 1e6, 2) + "M",
+             fmtF(s.blocksPerLookup, 2)});
+    lookupTable.print(std::cout);
+    double coldRatio =
+        lookupStats[1].coldSeconds / lookupStats[0].coldSeconds;
+    std::cout << "\ncold lookup on " << lookupStats[1].cells
+              << " cells is " << fmtF(coldRatio, 2) << "x the "
+              << lookupStats[0].cells << "-cell cost\n";
+
+    std::cout << "\nPart 4: delta-chain compaction (8 links, "
+                 "byte-identical gate)\n\n";
+    const size_t deltaBaseCells =
+        static_cast<size_t>(bench::scaled(100'000, 20'000));
+    const int chainLen = 8;
+    fs::path chainDir = dir / "store_chain";
+    fs::path directDir = dir / "store_direct";
+    double compactSeconds = 0.0;
+    bool byteIdentical = false;
+    {
+        campaign::ProfileStore chainStore(chainDir.string());
+        profiling::RetentionProfile p =
+            syntheticProfile(31, deltaBaseCells, 1);
+        std::string key = campaign::ProfileStore::profileKey(
+            "bench-delta", p.conditions());
+        chainStore.commit(key, p);
+        Rng rng(9);
+        for (int k = 0; k < chainLen; ++k) {
+            // ~1% churn per round, the VRT reprofiling shape.
+            std::vector<dram::ChipFailure> next;
+            next.reserve(p.size());
+            for (const dram::ChipFailure &f : p.cells())
+                if (rng.uniform() >= 0.01)
+                    next.push_back(f);
+            for (size_t a = 0; a < deltaBaseCells / 100; ++a)
+                next.push_back(
+                    {0, rng.uniformInt(kRowsPerChip * kRowBits)});
+            profiling::RetentionProfile drifted(p.conditions());
+            drifted.add(next);
+            p = drifted;
+            chainStore.commitDelta(key, p);
+        }
+
+        auto t0 = std::chrono::steady_clock::now();
+        common::Expected<profiling::ProfileView> view =
+            chainStore.openView(key); // compacts the chain
+        compactSeconds = now(t0);
+        if (!view)
+            fatal("bench_io: %s", view.error().describe().c_str());
+
+        campaign::ProfileStore directStore(directDir.string());
+        directStore.commit(key, p);
+        std::string file = chainStore.entries()[0].file;
+        std::ifstream a(chainDir / file, std::ios::binary);
+        std::ifstream b(directDir / file, std::ios::binary);
+        std::ostringstream sa, sb;
+        sa << a.rdbuf();
+        sb << b.rdbuf();
+        byteIdentical =
+            !sa.str().empty() && sa.str() == sb.str();
+    }
+    double compactCellsPerSec =
+        static_cast<double>(deltaBaseCells) / compactSeconds;
+    std::cout << "compacted " << deltaBaseCells << "-cell base + "
+              << chainLen << " deltas in "
+              << fmtF(compactSeconds * 1e3, 1) << "ms ("
+              << fmtF(compactCellsPerSec / 1e6, 2)
+              << "M cells/s), byte-identical: "
+              << (byteIdentical ? "yes" : "NO") << "\n";
+
     bool roundTrips = v1.roundTrip && v2.roundTrip;
 
     std::ofstream json("BENCH_io.json");
@@ -265,6 +415,24 @@ main()
          << ", \"cells_each\": " << storeCells
          << ", \"seconds\": " << fill[1] << "}\n"
          << "  ],\n"
+         << "  \"point_lookup\": [\n";
+    for (size_t i = 0; i < lookupStats.size(); ++i) {
+        const LookupStats &s = lookupStats[i];
+        json << "    {\"cells\": " << s.cells
+             << ", \"cold_open_lookup_seconds\": " << s.coldSeconds
+             << ", \"lookups_per_sec\": " << s.lookupsPerSec
+             << ", \"blocks_per_lookup\": " << s.blocksPerLookup
+             << "}" << (i + 1 < lookupStats.size() ? "," : "")
+             << "\n";
+    }
+    json << "  ],\n"
+         << "  \"point_lookup_cold_ratio\": " << coldRatio << ",\n"
+         << "  \"delta_compaction\": {\"base_cells\": "
+         << deltaBaseCells << ", \"chain\": " << chainLen
+         << ", \"seconds\": " << compactSeconds
+         << ", \"cells_per_sec\": " << compactCellsPerSec
+         << ", \"byte_identical\": "
+         << (byteIdentical ? "true" : "false") << "},\n"
          << "  \"round_trip\": " << (roundTrips ? "true" : "false")
          << "\n}\n";
     std::cout << "\nWrote BENCH_io.json\n";
@@ -272,5 +440,8 @@ main()
     fs::remove_all(dir);
     if (!roundTrips)
         std::cout << "FAIL: round trip mismatch\n";
-    return roundTrips ? 0 : 1;
+    if (!byteIdentical)
+        std::cout << "FAIL: compacted chain differs from direct "
+                     "commit\n";
+    return roundTrips && byteIdentical ? 0 : 1;
 }

@@ -97,5 +97,41 @@ main(int argc, char **argv)
                       << "entries from the restored profile\n";
         }
     }
+
+    // --- Ongoing deployment: reprofiling rounds persist as deltas.
+    // VRT keeps drifting the weak-cell set, but each round only
+    // changes a handful of cells, so commitDelta() appends a small
+    // delta record instead of rewriting the full profile.
+    std::cout << "\n";
+    campaign::ProfileStore store("/tmp/reaper_profile_demo_store");
+    std::string key =
+        campaign::ProfileStore::profileKey("demo-chip", target);
+    store.commit(key, round.profile);
+    for (int reprofile = 1; reprofile <= 3; ++reprofile) {
+        profiling::ProfilingResult again =
+            profiling::ReachProfiler{}.run(host, cfg);
+        store.commitDelta(key, again.profile);
+        std::cout << "Reprofiling round " << reprofile << ": "
+                  << again.profile.size() << " cells, chain length "
+                  << store.entries()[0].deltas << "\n";
+    }
+
+    // openView() compacts the chain (byte-identical to a full
+    // commit) and hands back a lazy block-indexed view: point
+    // lookups decode only the block they touch.
+    common::Expected<profiling::ProfileView> view =
+        store.openView(key);
+    if (view.hasValue()) {
+        profiling::RetentionProfile latest =
+            store.load(key).value();
+        size_t lookups = 0;
+        for (size_t i = 0; i < latest.size(); i += 64, ++lookups)
+            (void)view.value().contains(latest.cells()[i]);
+        std::cout << "View over " << view.value().cellCount()
+                  << " cells: " << lookups
+                  << " point lookups decoded "
+                  << view.value().blocksDecoded() << " of "
+                  << view.value().blockCount() << " blocks\n";
+    }
     return 0;
 }

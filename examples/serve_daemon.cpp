@@ -27,6 +27,9 @@
  *                       (default 0.01)
  *   --bloom             use Bloom-filter directories (over-refresh
  *                       only, smaller footprint)
+ *   --views / --no-views  serve point lookups from lazy mmap-backed
+ *                       ProfileViews (default on; ignored with
+ *                       --bloom, whose one-sided answers differ)
  *   --profile-format F  format for newly committed profiles (demo
  *                       seeding): v2|binary (default) or v1|text;
  *                       stored profiles in either format are served
@@ -76,6 +79,8 @@ usage(const char *argv0)
               << "  --unknown-frac R  absent-key fraction (default "
                  "0.01)\n"
               << "  --bloom           Bloom-filter directories\n"
+              << "  --views/--no-views  lazy view point lookups "
+                 "(default on)\n"
               << "  --profile-format F  v2|binary (default) or "
                  "v1|text\n"
               << "  --seed S          workload seed (default 1)\n"
@@ -127,6 +132,7 @@ main(int argc, char **argv)
     size_t cache_mb = 64;
     double zipf = 0.99, unknown_frac = 0.01;
     bool bloom = false;
+    bool views = true;
     std::string obs_dump;
     bool listen = false;
     std::string listen_host = "127.0.0.1";
@@ -158,6 +164,10 @@ main(int argc, char **argv)
             unknown_frac = std::stod(next());
         else if (arg == "--bloom")
             bloom = true;
+        else if (arg == "--views")
+            views = true;
+        else if (arg == "--no-views")
+            views = false;
         else if (arg == "--profile-format") {
             common::Expected<profiling::ProfileFormat> parsed =
                 profiling::parseProfileFormat(next());
@@ -202,6 +212,7 @@ main(int argc, char **argv)
     cache_cfg.capacityBytes = cache_mb * 1024 * 1024;
     cache_cfg.directory.rowBits = kRowBits;
     cache_cfg.directory.useBloomFilters = bloom;
+    cache_cfg.serveFromViews = views;
     serve::ProfileCache cache(store, cache_cfg);
 
     serve::Metrics metrics;

@@ -51,6 +51,10 @@ GATES = [
      "v2 profile read"),
     ("BENCH_io", "formats[format=v2].write_cells_per_sec",
      "v2 profile write"),
+    ("BENCH_io", "point_lookup[cells=1000000].lookups_per_sec",
+     "view point lookup"),
+    ("BENCH_io", "delta_compaction.cells_per_sec",
+     "delta compaction"),
     ("BENCH_serve", "lookup.cached_qps", "directory lookup"),
     ("BENCH_serve", "net.runs[connections=1].qps",
      "over-the-wire qps"),
@@ -226,6 +230,15 @@ def self_test():
                 {"format": "v2", "read_cells_per_sec": 6.0e7,
                  "write_cells_per_sec": 5.5e7},
             ],
+            "point_lookup": [
+                {"cells": 10000, "lookups_per_sec": 7.0e6,
+                 "blocks_per_lookup": 1.0},
+                {"cells": 1000000, "lookups_per_sec": 1.3e6,
+                 "blocks_per_lookup": 1.0},
+            ],
+            "delta_compaction": {"base_cells": 100000,
+                                 "cells_per_sec": 1.0e7,
+                                 "byte_identical": True},
         },
         "BENCH_serve": {"bench": "serve", "quick_mode": False,
                         "lookup": {"cached_qps": 2.5e6},
@@ -287,6 +300,30 @@ def self_test():
     _, regs, _ = run_case(regress_net)
     if not any("over-the-wire qps" in r for r in regs):
         failures.append("40% wire-qps regression not flagged")
+
+    # Doctored: the 1M-cell view lookup rate 40% down must be caught —
+    # and only via its own point_lookup[] row, not the 10K sibling.
+    def regress_lookup(cur):
+        cur["BENCH_io"]["point_lookup"][1]["lookups_per_sec"] = 0.78e6
+
+    _, regs, _ = run_case(regress_lookup)
+    if not any("view point lookup" in r for r in regs):
+        failures.append("40% view-lookup regression not flagged")
+
+    def regress_lookup_sibling(cur):
+        cur["BENCH_io"]["point_lookup"][0]["lookups_per_sec"] = 1.0
+
+    _, regs, _ = run_case(regress_lookup_sibling)
+    if any("view point lookup" in r for r in regs):
+        failures.append("ungated cells=10000 lookup row was gated")
+
+    # Doctored: delta-chain compaction 40% down must be caught.
+    def regress_compaction(cur):
+        cur["BENCH_io"]["delta_compaction"]["cells_per_sec"] = 0.6e7
+
+    _, regs, _ = run_case(regress_compaction)
+    if not any("delta compaction" in r for r in regs):
+        failures.append("40% delta-compaction regression not flagged")
 
     # Within tolerance: 10% down passes at 15% tol.
     def dip_io(cur):

@@ -34,6 +34,27 @@ echo "=== bench smoke: bench_serve (REAPER_BENCH_QUICK=1) ==="
 echo "=== bench smoke: bench_io (full mode, round-trip gate) ==="
 (cd build && ./bench/bench_io > /dev/null)
 
+# Lazy-view gate: a cold point lookup against the 1M-cell profile
+# must decode at most 2 blocks (profiling.view_block_decodes) — the
+# property that keeps serve-side miss latency from scaling with
+# profile size. bench_io records the per-lookup decode count in its
+# point_lookup rows.
+if command -v python3 > /dev/null; then
+    python3 - <<'EOF'
+import json, sys
+doc = json.load(open("build/BENCH_io.json"))
+rows = [r for r in doc["point_lookup"] if r["cells"] >= 1000000]
+if not rows:
+    sys.exit("view laziness gate: no 1M-cell point_lookup row")
+bpl = rows[0]["blocks_per_lookup"]
+if bpl > 2:
+    sys.exit(f"view laziness gate: cold point lookup decoded "
+             f"{bpl} blocks (> 2) on {rows[0]['cells']} cells")
+print(f"view laziness gate: {bpl} block(s) decoded per cold lookup "
+      f"on {rows[0]['cells']} cells")
+EOF
+fi
+
 # bench_disturb exits nonzero when a repeated rowhammer-profiler run
 # is not bit-identical; its resolution=2048 rows/sec figure feeds the
 # trajectory gate below. Full mode so it compares like-for-like with

@@ -25,8 +25,18 @@
  *            delta(addr), which is ≥ 1 because cells are strictly
  *            increasing. Blocks decode independently: no state is
  *            carried across block boundaries.
+ *   index    footer-resident per-block key-range index: 4-byte magic
+ *            ("RPIX"), u32 block count, one fixed 36-byte entry per
+ *            block (first cell, last cell, absolute byte offset of
+ *            the block frame, cell count), u32 CRC32C over the whole
+ *            section. Fixed-size entries mean a reader that has only
+ *            the footer can locate the index without touching any
+ *            block — the foundation of ProfileView's lazy,
+ *            decode-only-what-a-query-touches reads (see
+ *            profiling/profile_view.h and DESIGN.md §15).
  *   footer   4-byte end magic ("RPND"), u32 block count, u32 CRC32C
- *            of every byte before the footer (header + all blocks).
+ *            of every byte before the footer (header + blocks +
+ *            index).
  *
  * Every byte outside the checksum fields themselves is covered by a
  * CRC32C, so truncation and bit flips surface as
@@ -60,11 +70,13 @@ enum class ProfileFormat : uint8_t
 {
     TextV1,   ///< line-oriented "REAPER-PROFILE v1" (diffable interop)
     BinaryV2, ///< delta-varint "REAPER-PROFILE v2" (default)
+    DeltaV2,  ///< delta record vs a base profile (profile_delta.h)
 };
 
 const char *toString(ProfileFormat f);
 
-/** Parse "v1"/"text" or "v2"/"binary"; InvalidConfig otherwise. */
+/** Parse "v1"/"text", "v2"/"binary", or "delta"; InvalidConfig
+ *  otherwise. */
 common::Expected<ProfileFormat>
 parseProfileFormat(const std::string &name);
 
@@ -82,17 +94,120 @@ uint32_t crc32c(uint32_t crc, const void *data, size_t len);
 constexpr uint8_t kBinaryMagicByte = 0x89;
 
 /** Default cells per block: small enough that a corrupt block loses
- *  little locality, large enough to amortize the 12-byte framing. */
-constexpr uint32_t kDefaultBlockCells = 4096;
+ *  little locality and a ProfileView point lookup decodes little
+ *  (one block is the lookup's cost floor), large enough to amortize
+ *  the 12-byte block framing and 36-byte index entry. */
+constexpr uint32_t kDefaultBlockCells = 1024;
 
 /**
  * Reader scratch buffers larger than this are released after the block
  * that needed them (and reacquired on demand), so one huge block in a
  * file read long ago cannot pin megabytes under a long-lived reader
  * owner such as serve::ProfileCache. Default-sized blocks stay well
- * under the cap and keep their scratch across blocks.
+ * under the cap and keep their scratch across blocks. The cap holds on
+ * every exit from readBlock, including the Corrupt/truncated error
+ * paths.
  */
 constexpr size_t kReaderScratchReleaseBytes = 256 * 1024;
+
+/** Fixed section sizes of the v2 layout (bytes). */
+constexpr size_t kBinaryHeaderBytes = 44;
+constexpr size_t kBinaryFooterBytes = 12;
+/** Per-block index entry: first cell (u32+u64), last cell (u32+u64),
+ *  u64 block byte offset, u32 cell count. */
+constexpr size_t kBinaryIndexEntryBytes = 36;
+/** Index magic + u32 block count + trailing u32 CRC32C. */
+constexpr size_t kBinaryIndexFixedBytes = 12;
+
+/** Total byte size of the index section for `blocks` blocks. */
+constexpr uint64_t indexSectionBytes(uint64_t blocks)
+{
+    return kBinaryIndexFixedBytes + blocks * kBinaryIndexEntryBytes;
+}
+
+/**
+ * One entry of the footer-resident block index: the key range a block
+ * covers plus where its frame lives, so a point or range query can be
+ * routed to (at most a couple of) blocks without decoding anything
+ * else. `offset` is absolute from the start of the file; blocks are
+ * contiguous, so entry i's frame spans [offset_i, offset_{i+1}) (the
+ * last block ends where the index section begins).
+ */
+struct BlockIndexEntry
+{
+    dram::ChipFailure first{};
+    dram::ChipFailure last{};
+    uint64_t offset = 0;
+    uint32_t cells = 0;
+
+    bool operator==(const BlockIndexEntry &o) const
+    {
+        return first == o.first && last == o.last &&
+               offset == o.offset && cells == o.cells;
+    }
+};
+
+/** Decoded v2 header fields. */
+struct BinaryHeader
+{
+    Conditions cond{};
+    uint64_t cellCount = 0;
+    uint32_t blockCells = 0;
+};
+
+/** Decoded v2 footer fields. */
+struct BinaryFooter
+{
+    uint32_t blockCount = 0;
+    uint32_t fileCrc = 0;
+};
+
+/**
+ * Validate + decode a 44-byte v2 header from memory (magic, version,
+ * header CRC, field sanity). Errors: Parse (bad magic/version) or
+ * Corrupt (checksum, nonsense fields).
+ */
+common::Expected<BinaryHeader> parseBinaryHeader(const uint8_t *h);
+
+/** Validate + decode a 12-byte v2 footer from memory. Errors:
+ *  Corrupt (bad end magic). The CRC itself is checked by the caller
+ *  against whatever bytes it actually covers. */
+common::Expected<BinaryFooter> parseBinaryFooter(const uint8_t *f);
+
+/**
+ * Validate + decode an index section from memory. `bytes` must equal
+ * indexSectionBytes(blockCount). Checks the section magic, the
+ * embedded block count, the section CRC, and structural invariants:
+ * entry key ranges are non-empty, strictly increasing, and disjoint;
+ * offsets start at kBinaryHeaderBytes and strictly increase; every
+ * entry holds at least one cell. Errors: Corrupt.
+ */
+common::Expected<std::vector<BlockIndexEntry>>
+parseBlockIndex(const uint8_t *p, size_t bytes, uint32_t blockCount);
+
+/** Result of decoding one block frame from contiguous memory. */
+struct BlockDecode
+{
+    uint32_t cells = 0;   ///< cells appended to the output vector
+    size_t bytes = 0;     ///< frame bytes consumed (8 + payload + 4)
+};
+
+/**
+ * Decode one self-contained block frame ([u32 cells][u32 payload
+ * len][payload][u32 crc]) from `avail` bytes at `p`, appending its
+ * cells to `out`. Shared decode core of the streaming
+ * BinaryProfileReader and the mmap-backed ProfileView. `prev` is the
+ * last cell decoded before this block (nullptr for the first block);
+ * ordering across the boundary and within the block is enforced.
+ * `varints` is reused scratch. On error `out` is restored to its
+ * original size. Errors: Corrupt (truncation, checksum, bad varints,
+ * ordering, cell count out of range).
+ */
+common::Expected<BlockDecode>
+decodeBlockFrame(const uint8_t *p, size_t avail, uint32_t blockCellCap,
+                 uint64_t cellsRemaining, const dram::ChipFailure *prev,
+                 std::vector<dram::ChipFailure> &out,
+                 std::vector<uint64_t> &varints);
 
 /**
  * Single-pass streaming writer. Cells must arrive in strictly
@@ -132,6 +247,12 @@ class BinaryProfileWriter
     bool finished_ = false;
     bool ordered_ = true;
     dram::ChipFailure prev_{};
+    /** First cell of the block being buffered. */
+    dram::ChipFailure blockFirst_{};
+    /** Absolute byte offset of the next block frame. */
+    uint64_t offset_ = kBinaryHeaderBytes;
+    /** Accumulated per-block index entries, emitted by finish(). */
+    std::vector<BlockIndexEntry> index_;
     /** Cells buffered for the current block. */
     uint32_t pending_ = 0;
     /** Reused varint scratch for the current block's payload, sized
@@ -174,7 +295,13 @@ class BinaryProfileReader
     common::Expected<uint64_t>
     readBlock(std::vector<dram::ChipFailure> &out);
 
-    /** Validate the footer (call once done()). */
+    /**
+     * Validate the index section and the footer (call once done()).
+     * The index's CRC is checked and every entry is cross-checked
+     * against what readBlock actually decoded, so a file whose index
+     * disagrees with its blocks is Corrupt even through the streaming
+     * reader that never routes queries through the index.
+     */
     common::Status readFooter();
 
     /** Current scratch footprint (payload + decoded-varint buffers),
@@ -202,6 +329,11 @@ class BinaryProfileReader
     bool haveHeader_ = false;
     bool havePrev_ = false;
     dram::ChipFailure prev_{};
+    /** Absolute byte offset of the next block frame. */
+    uint64_t offset_ = kBinaryHeaderBytes;
+    /** Index entries reconstructed from the decoded blocks, compared
+     *  against the file's index section by readFooter(). */
+    std::vector<BlockIndexEntry> seen_;
     /** Reused payload scratch across blocks. */
     std::vector<uint8_t> payload_;
     /** Reused bulk-decoded varint scratch (two per cell). */

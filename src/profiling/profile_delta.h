@@ -1,0 +1,126 @@
+/**
+ * @file
+ * REAPER-PROFILE delta records: small patches (cells added/removed vs
+ * a named base profile) so reprofiling rounds don't rewrite full
+ * files.
+ *
+ * Retention failure populations drift (VRT): a reprofiling round
+ * typically changes a fraction of a percent of the cell set, yet the
+ * v2 full format forces a complete rewrite. A delta record captures
+ * just the change, names its predecessor (file name + that file's
+ * trailing CRC, so a chain can be verified link by link), and embeds
+ * the added/removed cell sets as two standard v2 streams — reusing
+ * the delta-varint blocks, per-block CRCs, and the index section
+ * wholesale.
+ *
+ * Wire layout (all integers little-endian; see DESIGN.md §15):
+ *
+ *   header   8-byte magic (0x89 "RPD1" CR LF 0x1A), u32 version,
+ *            f64 refresh interval (s), f64 temperature (°C),
+ *            u64 added count, u64 removed count, u32 base file CRC,
+ *            u32 base-name length, the base name bytes, u32 CRC32C
+ *            of everything preceding
+ *   body     one complete v2 stream holding the added cells, then one
+ *            holding the removed cells (both under the delta's
+ *            conditions)
+ *   footer   4-byte end magic ("RPDN"), u32 CRC32C of every byte
+ *            before the footer
+ *
+ * Deltas are canonical: applyProfileDelta() requires removed ⊆ base
+ * and added ∩ base = ∅, so for any (base, target) pair there is
+ * exactly one valid delta — which is what makes ProfileStore chain
+ * compaction byte-identical to writing the full target directly.
+ *
+ * The first magic byte is the shared binary sentinel (0x89), so
+ * sniffing readers disambiguate full-vs-delta on the following bytes
+ * (sniffProfileFormat handles this).
+ */
+
+#ifndef REAPER_PROFILING_PROFILE_DELTA_H
+#define REAPER_PROFILING_PROFILE_DELTA_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/expected.h"
+#include "profiling/profile.h"
+
+namespace reaper {
+namespace profiling {
+
+/** 8-byte magic of a delta record ("RPD1" framed like the v2 magic). */
+constexpr uint8_t kDeltaMagic[8] = {0x89, 'R', 'P', 'D', '1',
+                                    0x0D, 0x0A, 0x1A};
+
+/** A parsed (or to-be-written) delta record. `added`/`removed` must
+ *  be sorted, strictly increasing, and disjoint. */
+struct ProfileDelta
+{
+    /** Conditions of the profile AFTER applying the delta. */
+    Conditions cond{};
+    /** File name of the predecessor record in the chain. */
+    std::string baseName;
+    /** Trailing file CRC of the predecessor (recordFileCrc). */
+    uint32_t baseCrc = 0;
+    std::vector<dram::ChipFailure> added;
+    std::vector<dram::ChipFailure> removed;
+
+    bool empty() const { return added.empty() && removed.empty(); }
+};
+
+/**
+ * Serialize a delta record. Returns the record's own trailing file
+ * CRC (what the NEXT delta in a chain stores as baseCrc). Errors: Io,
+ * or Internal when added/removed are unsorted or overlap.
+ */
+common::Expected<uint32_t> writeProfileDelta(const ProfileDelta &delta,
+                                             std::ostream &os);
+
+/** writeProfileDelta to a path. Errors add Io (cannot open). */
+common::Expected<uint32_t>
+writeProfileDeltaFile(const ProfileDelta &delta,
+                      const std::string &path);
+
+/**
+ * Parse a delta record. The whole stream is buffered (deltas are
+ * small by design) so the trailing file CRC is verified before any
+ * field is trusted. Errors: Parse (bad magic/version) or Corrupt
+ * (checksum, truncation, count mismatch, malformed embedded streams).
+ */
+common::Expected<ProfileDelta> readProfileDelta(std::istream &is);
+
+/** readProfileDelta from a path. Errors add Io (cannot open). */
+common::Expected<ProfileDelta>
+readProfileDeltaFile(const std::string &path);
+
+/**
+ * Apply a delta to its base. Enforces canonicity — every removed cell
+ * must be present in `base` and no added cell may already be there —
+ * so a delta applied to the wrong base surfaces as Corrupt instead of
+ * a silently wrong profile.
+ */
+common::Expected<RetentionProfile>
+applyProfileDelta(const RetentionProfile &base,
+                  const ProfileDelta &delta);
+
+/**
+ * The canonical delta turning `base` into `target` (added = target
+ * minus base, removed = base minus target, conditions = target's).
+ * baseName/baseCrc are left for the caller to fill.
+ */
+ProfileDelta diffProfiles(const RetentionProfile &base,
+                          const RetentionProfile &target);
+
+/**
+ * The trailing file CRC of the v2 full or delta record at `path` —
+ * the value a successor delta must carry as baseCrc. Errors: Io, or
+ * Corrupt when the tail is neither a v2 nor a delta footer.
+ */
+common::Expected<uint32_t> recordFileCrc(const std::string &path);
+
+} // namespace profiling
+} // namespace reaper
+
+#endif // REAPER_PROFILING_PROFILE_DELTA_H

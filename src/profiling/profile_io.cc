@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <vector>
 
 #include "common/logging.h"
 #include "obs/obs.h"
+#include "profiling/profile_delta.h"
+#include "profiling/profile_view.h"
 
 namespace reaper {
 namespace profiling {
@@ -132,8 +135,15 @@ readProfileText(std::istream &is)
 
 } // namespace
 
+namespace {
+
+/**
+ * Eager front-to-back decode from a stream — the only strategy an
+ * opaque stream permits. Backs the deprecated readProfile(istream&)
+ * overload and the Stream source kind.
+ */
 Expected<RetentionProfile>
-readProfile(std::istream &is)
+readProfileStream(std::istream &is)
 {
     int first = is.peek();
     if (first == std::char_traits<char>::eof())
@@ -143,25 +153,143 @@ readProfile(std::istream &is)
     return readProfileText(is);
 }
 
+/** Classify serialized profile bytes from their leading magic, the
+ *  way sniffProfileFormat does for files. `head`/`len` is a prefix of
+ *  at least the bytes available (8 suffice). */
+ProfileFormat
+classifyMagic(const uint8_t *head, size_t len)
+{
+    if (len == 0 || head[0] != kBinaryMagicByte)
+        return ProfileFormat::TextV1;
+    if (len >= sizeof(kDeltaMagic) &&
+        std::memcmp(head, kDeltaMagic, sizeof(kDeltaMagic)) == 0)
+        return ProfileFormat::DeltaV2;
+    return ProfileFormat::BinaryV2;
+}
+
+} // namespace
+
+ProfileSource
+ProfileSource::fromFile(std::string path)
+{
+    ProfileSource src;
+    src.kind_ = Kind::File;
+    src.payload_ = std::move(path);
+    return src;
+}
+
+ProfileSource
+ProfileSource::fromMemory(std::string bytes)
+{
+    ProfileSource src;
+    src.kind_ = Kind::Memory;
+    src.payload_ = std::move(bytes);
+    return src;
+}
+
+ProfileSource
+ProfileSource::fromStream(std::istream &is)
+{
+    ProfileSource src;
+    src.kind_ = Kind::Stream;
+    src.stream_ = &is;
+    return src;
+}
+
+Expected<RetentionProfile>
+readProfile(const ProfileSource &src)
+{
+    switch (src.kind_) {
+    case ProfileSource::Kind::File:
+        return readProfileFile(src.payload_);
+    case ProfileSource::Kind::Memory: {
+        ProfileFormat format = classifyMagic(
+            reinterpret_cast<const uint8_t *>(src.payload_.data()),
+            src.payload_.size());
+        if (format == ProfileFormat::DeltaV2)
+            return Error::invalidConfig(
+                "delta records are not standalone profiles; resolve "
+                "the chain through campaign::ProfileStore");
+        if (format == ProfileFormat::BinaryV2) {
+            Expected<ProfileView> view =
+                ProfileView::fromBuffer(src.payload_);
+            if (!view)
+                return view.error();
+            return view.value().materialize();
+        }
+        std::istringstream is(src.payload_, std::ios::binary);
+        return readProfileText(is);
+    }
+    case ProfileSource::Kind::Stream:
+        return readProfileStream(*src.stream_);
+    }
+    return Error::internal("unknown profile source kind");
+}
+
+Expected<RetentionProfile>
+readProfile(std::istream &is)
+{
+    return readProfileStream(is);
+}
+
 Expected<RetentionProfile>
 readProfileFile(const std::string &path)
 {
     auto start = std::chrono::steady_clock::now();
-    std::ifstream is(path, std::ios::binary);
-    if (!is)
-        return Error::io("cannot open '" + path + "'");
-    Expected<RetentionProfile> result = readProfile(is);
-    if (!result) {
-        // Keep the category; prefix the path for the diagnostic.
-        Error e = result.error();
-        e.message = "'" + path + "': " + e.message;
-        return e;
+    uint8_t head[8];
+    size_t headLen = 0;
+    {
+        std::ifstream is(path, std::ios::binary);
+        if (!is)
+            return Error::io("cannot open '" + path + "'");
+        is.read(reinterpret_cast<char *>(head), sizeof(head));
+        headLen = static_cast<size_t>(is.gcount());
     }
-    is.clear(); // the text parser may have tripped eofbit
-    std::streampos pos = is.tellg();
+    if (headLen == 0)
+        return Error::parse("'" + path + "': missing header");
+
+    Expected<RetentionProfile> result =
+        Error::internal("unreachable");
+    uint64_t bytes = 0;
+    switch (classifyMagic(head, headLen)) {
+    case ProfileFormat::DeltaV2:
+        return Error::invalidConfig(
+            "'" + path +
+            "' is a delta record, not a standalone profile; resolve "
+            "the chain through campaign::ProfileStore");
+    case ProfileFormat::BinaryV2: {
+        // The eager file read IS the lazy handle, fully drained: one
+        // validation story for both paths.
+        Expected<ProfileView> view = ProfileView::open(path);
+        if (!view)
+            return view.error();
+        bytes = view.value().sizeBytes();
+        result = view.value().materialize();
+        if (!result) {
+            Error e = result.error();
+            e.message = "'" + path + "': " + e.message;
+            return e;
+        }
+        break;
+    }
+    case ProfileFormat::TextV1: {
+        std::ifstream is(path, std::ios::binary);
+        if (!is)
+            return Error::io("cannot open '" + path + "'");
+        result = readProfileText(is);
+        if (!result) {
+            Error e = result.error();
+            e.message = "'" + path + "': " + e.message;
+            return e;
+        }
+        is.clear(); // the text parser may have tripped eofbit
+        std::streampos pos = is.tellg();
+        bytes = pos > 0 ? static_cast<uint64_t>(pos) : 0;
+        break;
+    }
+    }
     REAPER_OBS_COUNT("profiling.profile_loads");
-    REAPER_OBS_COUNT_N("profiling.profile_load_bytes",
-                       pos > 0 ? static_cast<uint64_t>(pos) : 0);
+    REAPER_OBS_COUNT_N("profiling.profile_load_bytes", bytes);
     REAPER_OBS_HIST("profiling.profile_load_seconds",
                     std::chrono::duration<double>(
                         std::chrono::steady_clock::now() - start)
@@ -175,12 +303,12 @@ sniffProfileFormat(const std::string &path)
     std::ifstream is(path, std::ios::binary);
     if (!is)
         return Error::io("cannot open '" + path + "'");
-    int first = is.get();
-    if (first == std::char_traits<char>::eof())
+    uint8_t head[8];
+    is.read(reinterpret_cast<char *>(head), sizeof(head));
+    size_t headLen = static_cast<size_t>(is.gcount());
+    if (headLen == 0)
         return Error::io("'" + path + "' is empty");
-    return static_cast<uint8_t>(first) == kBinaryMagicByte
-               ? ProfileFormat::BinaryV2
-               : ProfileFormat::TextV1;
+    return classifyMagic(head, headLen);
 }
 
 void
@@ -195,7 +323,7 @@ saveProfileFile(const RetentionProfile &profile, const std::string &path,
 RetentionProfile
 loadProfile(std::istream &is)
 {
-    Expected<RetentionProfile> result = readProfile(is);
+    Expected<RetentionProfile> result = readProfileStream(is);
     if (!result)
         fatal("loadProfile: %s", result.error().describe().c_str());
     return std::move(result).value();

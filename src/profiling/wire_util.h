@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Little-endian scalar packing shared by the profile wire formats
+ * (profile_binary.cc, profile_delta.cc, profile_view.cc). Byte-at-a-
+ * time so it works on any host endianness and alignment.
+ */
+
+#ifndef REAPER_PROFILING_WIRE_UTIL_H
+#define REAPER_PROFILING_WIRE_UTIL_H
+
+#include <cstdint>
+#include <cstring>
+
+namespace reaper {
+namespace profiling {
+namespace wire {
+
+inline void
+putU32(uint8_t *p, uint32_t v)
+{
+    p[0] = static_cast<uint8_t>(v);
+    p[1] = static_cast<uint8_t>(v >> 8);
+    p[2] = static_cast<uint8_t>(v >> 16);
+    p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+inline void
+putU64(uint8_t *p, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        p[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+inline void
+putF64(uint8_t *p, double v)
+{
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    putU64(p, bits);
+}
+
+inline uint32_t
+getU32(const uint8_t *p)
+{
+    return static_cast<uint32_t>(p[0]) |
+           static_cast<uint32_t>(p[1]) << 8 |
+           static_cast<uint32_t>(p[2]) << 16 |
+           static_cast<uint32_t>(p[3]) << 24;
+}
+
+inline uint64_t
+getU64(const uint8_t *p)
+{
+    uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = v << 8 | p[i];
+    return v;
+}
+
+inline double
+getF64(const uint8_t *p)
+{
+    uint64_t bits = getU64(p);
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+} // namespace wire
+} // namespace profiling
+} // namespace reaper
+
+#endif // REAPER_PROFILING_WIRE_UTIL_H

@@ -60,7 +60,9 @@
 #include "profiling/ecc_scrub.h"
 #include "profiling/profile.h"
 #include "profiling/profile_binary.h"
+#include "profiling/profile_delta.h"
 #include "profiling/profile_io.h"
+#include "profiling/profile_view.h"
 #include "profiling/profiler.h"
 #include "profiling/reach.h"
 #include "profiling/runtime_model.h"

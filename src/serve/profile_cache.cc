@@ -17,6 +17,15 @@ roundUpPow2(size_t n)
     return p;
 }
 
+/**
+ * Nominal accounted size of a retained ProfileView: the mapping is
+ * file-backed (reclaimable under memory pressure), so charging the
+ * file size would evict everything for bytes that are not resident.
+ * Only the decoded-block memo truly occupies memory, and point
+ * lookups keep that to a handful of blocks.
+ */
+constexpr size_t kViewEntryBytes = 4096;
+
 } // namespace
 
 ProfileCache::ProfileCache(const campaign::ProfileStore &store,
@@ -28,6 +37,8 @@ ProfileCache::ProfileCache(const campaign::ProfileStore &store,
       negativeHits_(registry_.counter("cache.negative_hits")),
       loads_(registry_.counter("cache.loads")),
       failedLoads_(registry_.counter("cache.failed_loads")),
+      viewHits_(registry_.counter("cache.view_hits")),
+      viewLoads_(registry_.counter("cache.view_loads")),
       evictions_(registry_.counter("cache.evictions")),
       bytes_(registry_.gauge("cache.bytes")),
       entries_(registry_.gauge("cache.entries"))
@@ -48,8 +59,30 @@ ProfileCache::shardFor(const std::string &key)
 }
 
 CacheResult
-ProfileCache::loadAndCompile(const std::string &key)
+ProfileCache::loadAndCompile(
+    const std::string &key,
+    std::shared_ptr<const profiling::ProfileView> *viewOut)
 {
+    common::Expected<profiling::ProfileView> opened =
+        store_.openView(key);
+    if (opened) {
+        auto view = std::make_shared<const profiling::ProfileView>(
+            std::move(opened).value());
+        common::Expected<RefreshDirectory> compiled =
+            RefreshDirectory::compileView(*view, cfg_.directory);
+        if (compiled) {
+            if (viewOut && cfg_.serveFromViews)
+                *viewOut = view;
+            return {std::make_shared<const RefreshDirectory>(
+                        std::move(compiled).value()),
+                    CacheOutcome::Miss};
+        }
+    } else if (opened.error().category ==
+               common::ErrorCategory::NotFound) {
+        return {nullptr, CacheOutcome::NotFound};
+    }
+    // v1 text base (no block index), or a view that would not open or
+    // decode: the eager sniffing reader is the robust path.
     common::Expected<profiling::RetentionProfile> profile =
         store_.load(key);
     if (!profile)
@@ -60,13 +93,33 @@ ProfileCache::loadAndCompile(const std::string &key)
 }
 
 void
-ProfileCache::insertLocked(Shard &shard, const std::string &key,
-                           std::shared_ptr<const RefreshDirectory> dir)
+ProfileCache::insertLocked(
+    Shard &shard, const std::string &key,
+    std::shared_ptr<const RefreshDirectory> dir,
+    std::shared_ptr<const profiling::ProfileView> view, bool negative)
 {
-    size_t bytes = key.size() +
-                   (dir ? dir->sizeBytes() : cfg_.negativeEntryBytes);
+    auto old = shard.map.find(key);
+    if (old != shard.map.end()) {
+        // Replacement (e.g. a compile upgrading a view-only entry):
+        // keep the old view rather than dropping its decoded blocks.
+        if (!view && !negative)
+            view = old->second.view;
+        shard.bytes -= old->second.bytes;
+        bytes_.add(-static_cast<int64_t>(old->second.bytes));
+        entries_.add(-1);
+        shard.lru.erase(old->second.lruPos);
+        shard.map.erase(old);
+    }
+    size_t bytes = key.size();
+    if (negative)
+        bytes += cfg_.negativeEntryBytes;
+    if (dir)
+        bytes += dir->sizeBytes();
+    if (view)
+        bytes += kViewEntryBytes;
     shard.lru.push_front(key);
-    Entry entry{std::move(dir), bytes, shard.lru.begin()};
+    Entry entry{std::move(dir), std::move(view), negative, bytes,
+                shard.lru.begin()};
     shard.map[key] = std::move(entry);
     shard.bytes += bytes;
     bytes_.add(static_cast<int64_t>(bytes));
@@ -101,8 +154,12 @@ ProfileCache::get(const std::string &key)
             hits_.add();
             return {it->second.dir, CacheOutcome::Hit};
         }
-        negativeHits_.add();
-        return {nullptr, CacheOutcome::NegativeHit};
+        if (it->second.negative) {
+            negativeHits_.add();
+            return {nullptr, CacheOutcome::NegativeHit};
+        }
+        // View-only entry: get() promised a compiled directory, so
+        // fall through to the load path (which keeps the view).
     }
 
     misses_.add();
@@ -118,22 +175,105 @@ ProfileCache::get(const std::string &key)
     shard.inflight.emplace(key, flight);
     lock.unlock();
 
-    CacheResult result = loadAndCompile(key);
+    std::shared_ptr<const profiling::ProfileView> view;
+    CacheResult result = loadAndCompile(key, &view);
 
     lock.lock();
     loads_.add();
     if (result.dir)
-        insertLocked(shard, key, result.dir);
+        insertLocked(shard, key, result.dir, std::move(view), false);
     else {
         failedLoads_.add();
         if (cfg_.negativeCache)
-            insertLocked(shard, key, nullptr);
+            insertLocked(shard, key, nullptr, nullptr, true);
     }
     flight->result = result;
     flight->finished = true;
     shard.inflight.erase(key);
     flight->done.notify_all();
     return result;
+}
+
+ViewAnswer
+ProfileCache::isRowWeakView(const std::string &key, uint32_t chip,
+                            uint64_t row)
+{
+    // Bloom directories give one-sided answers; the exact view answer
+    // would diverge, so the view path declines and get() decides.
+    if (!cfg_.serveFromViews || cfg_.directory.useBloomFilters)
+        return {ViewState::Unavailable, false, CacheOutcome::NotFound};
+
+    Shard &shard = shardFor(key);
+    std::shared_ptr<const profiling::ProfileView> view;
+    CacheOutcome source = CacheOutcome::Hit;
+    {
+        std::lock_guard<std::mutex> lock(shard.mtx);
+        auto it = shard.map.find(key);
+        if (it != shard.map.end()) {
+            shard.lru.splice(shard.lru.begin(), shard.lru,
+                             it->second.lruPos);
+            if (it->second.negative) {
+                negativeHits_.add();
+                return {ViewState::Unknown, false,
+                        CacheOutcome::NegativeHit};
+            }
+            view = it->second.view;
+            if (!view && it->second.dir) {
+                // Compiled-but-viewless entry (e.g. a v1 text base):
+                // the exact table answers just as well.
+                hits_.add();
+                return {ViewState::Answered,
+                        it->second.dir->isRowWeak(chip, row),
+                        CacheOutcome::Hit};
+            }
+        }
+        if (view)
+            viewHits_.add();
+    }
+
+    if (!view) {
+        // Cold key: open a lazy view — mmap + index parse, no decode,
+        // no compile. Opens are cheap, so no singleflight here; a
+        // racing opener just discards its view for the winner's.
+        common::Expected<profiling::ProfileView> opened =
+            store_.openView(key);
+        if (!opened) {
+            if (opened.error().category ==
+                common::ErrorCategory::NotFound) {
+                std::lock_guard<std::mutex> lock(shard.mtx);
+                failedLoads_.add();
+                if (cfg_.negativeCache &&
+                    shard.map.find(key) == shard.map.end())
+                    insertLocked(shard, key, nullptr, nullptr, true);
+                return {ViewState::Unknown, false,
+                        CacheOutcome::NotFound};
+            }
+            // v1 text base or unreadable file: let get() handle it.
+            return {ViewState::Unavailable, false,
+                    CacheOutcome::NotFound};
+        }
+        view = std::make_shared<const profiling::ProfileView>(
+            std::move(opened).value());
+        viewLoads_.add();
+        source = CacheOutcome::Miss;
+        std::lock_guard<std::mutex> lock(shard.mtx);
+        auto it = shard.map.find(key);
+        if (it != shard.map.end() && it->second.view)
+            view = it->second.view; // lost the race: use the winner's
+        else
+            insertLocked(shard, key,
+                         it != shard.map.end() ? it->second.dir
+                                               : nullptr,
+                         view, false);
+    }
+
+    uint64_t rowBits = cfg_.directory.rowBits;
+    dram::ChipFailure lo{chip, row * rowBits};
+    dram::ChipFailure hi{chip, (row + 1) * rowBits - 1};
+    common::Expected<bool> any = view->anyInRange(lo, hi);
+    if (!any) // damaged block: the eager path re-reads and reports
+        return {ViewState::Unavailable, false, source};
+    return {ViewState::Answered, any.value(), source};
 }
 
 void
@@ -160,6 +300,8 @@ ProfileCache::counters() const
     total.negativeHits = negativeHits_.value();
     total.loads = loads_.value();
     total.failedLoads = failedLoads_.value();
+    total.viewHits = viewHits_.value();
+    total.viewLoads = viewLoads_.value();
     total.evictions = evictions_.value();
     total.bytes = static_cast<uint64_t>(bytes_.value());
     total.entries = static_cast<uint64_t>(entries_.value());

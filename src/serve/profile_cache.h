@@ -20,11 +20,21 @@
  *    (with a small byte charge), so repeated lookups of unknown chips
  *    do not hammer the store index. Committing a new profile requires
  *    invalidate() to drop the negative entry.
+ *  - **View serving (opt-in).** With CacheConfig::serveFromViews, a
+ *    point lookup on a cold key goes through isRowWeakView(): the
+ *    cache opens a lazy profiling::ProfileView (mmap + index parse —
+ *    no full decode, no compile) and answers the row query from at
+ *    most one decoded block, so cold-miss latency stops scaling with
+ *    profile size. Views ride the same LRU entries as directories;
+ *    opens are cheap enough that cold view lookups skip the
+ *    singleflight machinery (racing openers discard the losing view).
  *
  * Eviction is byte-accounted: each shard holds capacityBytes/shards
  * and evicts least-recently-used entries when an insert overflows it.
  * Evicted directories stay alive for any reader still holding the
- * shared_ptr — eviction only drops the cache's reference.
+ * shared_ptr — eviction only drops the cache's reference. A view
+ * entry is charged a small nominal size: its mapping is file-backed
+ * and reclaimable, only the decoded-block memo is truly resident.
  */
 
 #ifndef REAPER_SERVE_PROFILE_CACHE_H
@@ -59,6 +69,15 @@ struct CacheConfig
     bool negativeCache = true;
     /** Accounted size of one negative entry. */
     size_t negativeEntryBytes = 256;
+    /**
+     * Serve point lookups from lazy ProfileViews (isRowWeakView)
+     * instead of requiring a compiled directory. Off by default:
+     * existing callers keep byte-identical behavior. Ignored (view
+     * lookups report Unavailable) when directory.useBloomFilters is
+     * set, because Bloom answers are one-sided and would diverge from
+     * the exact view answers.
+     */
+    bool serveFromViews = false;
 };
 
 /** How a get() was served. */
@@ -78,6 +97,24 @@ struct CacheResult
     CacheOutcome outcome = CacheOutcome::NotFound;
 };
 
+/** How a view-served point lookup resolved. */
+enum class ViewState
+{
+    Answered,    ///< `weak` is the exact answer
+    Unknown,     ///< key absent from the store
+    Unavailable, ///< no view possible (views off, Bloom directories,
+                 ///< v1 text base, corrupt block) — use get()
+};
+
+/** Result of one isRowWeakView() lookup. */
+struct ViewAnswer
+{
+    ViewState state = ViewState::Unavailable;
+    bool weak = false;
+    /** How it was served (view/dir hit, cold open, negative). */
+    CacheOutcome source = CacheOutcome::NotFound;
+};
+
 /**
  * Cache statistics snapshot. Counts live in cache-level relaxed
  * atomics (a private obs::MetricRegistry), not per-shard fields:
@@ -92,6 +129,8 @@ struct CacheCounters
     uint64_t negativeHits = 0;
     uint64_t loads = 0;        ///< actual store load + compile runs
     uint64_t failedLoads = 0;  ///< loads that found no/corrupt profile
+    uint64_t viewHits = 0;     ///< point lookups served from a view
+    uint64_t viewLoads = 0;    ///< lazy view opens (cold point lookups)
     uint64_t evictions = 0;
     uint64_t bytes = 0;        ///< currently accounted bytes
     uint64_t entries = 0;      ///< resident positive + negative entries
@@ -113,6 +152,19 @@ class ProfileCache
     CacheResult get(const std::string &key);
 
     /**
+     * Point lookup through a lazy view: is any profiled failing cell
+     * in row `row` of chip `chip`? On a cold key this opens a
+     * ProfileView (mmap + index parse) instead of loading and
+     * compiling the whole profile, and the query itself decodes at
+     * most one block. Returns Unavailable whenever the view path
+     * cannot give the exact answer (serveFromViews off, Bloom
+     * directories, v1 text base, corrupt block) — the caller then
+     * falls back to get(). Thread-safe.
+     */
+    ViewAnswer isRowWeakView(const std::string &key, uint32_t chip,
+                             uint64_t row);
+
+    /**
      * Drop any entry (positive or negative) for a key, e.g. after a
      * new profile was committed to the store.
      */
@@ -130,7 +182,12 @@ class ProfileCache
   private:
     struct Entry
     {
-        std::shared_ptr<const RefreshDirectory> dir; ///< null = negative
+        /** Compiled directory (may be null for view-only entries). */
+        std::shared_ptr<const RefreshDirectory> dir;
+        /** Lazy view for point lookups (serveFromViews only). */
+        std::shared_ptr<const profiling::ProfileView> view;
+        /** Key known absent from the store (dir and view are null). */
+        bool negative = false;
         size_t bytes = 0;
         std::list<std::string>::iterator lruPos;
     };
@@ -155,11 +212,25 @@ class ProfileCache
     };
 
     Shard &shardFor(const std::string &key);
-    /** Insert under the shard lock, evicting LRU entries to fit. */
+    /**
+     * Insert (or replace) under the shard lock, evicting LRU entries
+     * to fit. A replacement keeps the old entry's view when the new
+     * one has none, so a compile upgrade never drops a view.
+     */
     void insertLocked(Shard &shard, const std::string &key,
-                      std::shared_ptr<const RefreshDirectory> dir);
-    /** Load + compile (no locks held). */
-    CacheResult loadAndCompile(const std::string &key);
+                      std::shared_ptr<const RefreshDirectory> dir,
+                      std::shared_ptr<const profiling::ProfileView> view,
+                      bool negative);
+    /**
+     * Load + compile (no locks held). Prefers the store's lazy view
+     * (openView + compileView — one fewer full cell-list copy) and
+     * falls back to the eager load for v1 text bases; with
+     * serveFromViews the opened view is returned through `viewOut`
+     * for retention alongside the directory.
+     */
+    CacheResult loadAndCompile(
+        const std::string &key,
+        std::shared_ptr<const profiling::ProfileView> *viewOut);
 
     const campaign::ProfileStore &store_;
     CacheConfig cfg_;
@@ -173,6 +244,8 @@ class ProfileCache
     obs::Counter &negativeHits_;
     obs::Counter &loads_;
     obs::Counter &failedLoads_;
+    obs::Counter &viewHits_;
+    obs::Counter &viewLoads_;
     obs::Counter &evictions_;
     obs::Gauge &bytes_;
     obs::Gauge &entries_;

@@ -113,6 +113,38 @@ QueryEngine::answer(const Request &req)
 {
     Response resp;
     resp.id = req.id;
+    // View-first: a point lookup through the lazy ProfileView decodes
+    // at most one block instead of loading + compiling the whole
+    // profile, so a cold miss no longer scales with profile size. The
+    // answers are bit-identical to the compiled exact table: weak →
+    // bin 0, clean → default bin, exactly RefreshDirectory::compile's
+    // assignment — so determinism across worker counts is preserved.
+    // (isRowWeakView declines under Bloom directories, whose
+    // one-sided answers would diverge.)
+    if (cache_.config().serveFromViews) {
+        ViewAnswer va =
+            cache_.isRowWeakView(req.key, req.chip, req.row);
+        if (va.state == ViewState::Unknown) {
+            resp.source = va.source;
+            resp.status = ResponseStatus::UnknownProfile;
+            return resp;
+        }
+        if (va.state == ViewState::Answered) {
+            resp.source = va.source;
+            resp.status = ResponseStatus::Ok;
+            resp.weak = va.weak;
+            if (req.kind == QueryKind::RefreshBin) {
+                const std::vector<Seconds> &bins =
+                    cache_.config().directory.binIntervals;
+                resp.bin = va.weak
+                               ? 0
+                               : static_cast<uint32_t>(bins.size() - 1);
+                resp.interval = bins.at(resp.bin);
+            }
+            return resp;
+        }
+        // Unavailable: fall through to the compiled-directory path.
+    }
     CacheResult cached = cache_.get(req.key);
     resp.source = cached.outcome;
     if (!cached.dir) {

@@ -81,6 +81,31 @@ RefreshDirectory::compile(const profiling::RetentionProfile &profile,
     return dir;
 }
 
+common::Expected<RefreshDirectory>
+RefreshDirectory::compileView(const profiling::ProfileView &view,
+                              const DirectoryConfig &cfg)
+{
+    validate(cfg);
+    RefreshDirectory dir;
+    dir.cfg_ = cfg;
+    dir.cond_ = view.conditions();
+    // cellCount is cross-checked against the CRC-covered index at
+    // open, so reserving it is safe (no hostile-header preallocation).
+    dir.cells_.reserve(view.cellCount());
+    common::Status walked = view.forEachBlock(
+        [&](const dram::ChipFailure *cells, size_t n) {
+            dir.cells_.insert(dir.cells_.end(), cells, cells + n);
+        });
+    if (!walked)
+        return walked.error();
+    std::vector<std::pair<uint64_t, uint32_t>> rows;
+    rows.reserve(dir.cells_.size());
+    for (const auto &f : dir.cells_)
+        rows.emplace_back(rowKeyOf(f.chip, f.addr / cfg.rowBits), 0u);
+    dir.buildFrom(std::move(rows));
+    return dir;
+}
+
 RefreshDirectory
 RefreshDirectory::compileBinned(
     const std::vector<profiling::RetentionProfile> &profiles,

@@ -28,9 +28,11 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/expected.h"
 #include "common/units.h"
 #include "mitigation/bloom.h"
 #include "profiling/profile.h"
+#include "profiling/profile_view.h"
 
 namespace reaper {
 namespace serve {
@@ -64,6 +66,18 @@ class RefreshDirectory
      */
     static RefreshDirectory compile(
         const profiling::RetentionProfile &profile,
+        const DirectoryConfig &cfg = {});
+
+    /**
+     * Compile straight from a lazy profiling::ProfileView, streaming
+     * cells block by block instead of materializing an intermediate
+     * RetentionProfile (one fewer full copy of the cell list on the
+     * cold path). The result is identical to
+     * compile(view.materialize(), cfg). Errors: Corrupt (a damaged
+     * block aborted the walk).
+     */
+    static common::Expected<RefreshDirectory> compileView(
+        const profiling::ProfileView &view,
         const DirectoryConfig &cfg = {});
 
     /**

@@ -4,11 +4,14 @@
  * hardware dispatch.
  *
  * The dispatched crc32c() picks the SSE4.2 `crc32` instruction path
- * (8 bytes per instruction) or the ARMv8 CRC extension when the CPU
- * has it and REAPER_SIMD allows it, and otherwise the slicing-by-4
- * software implementation that has always backed the v2 profile
- * format. Both paths share the same seeding convention: pass 0 for a
- * fresh stream, or a previous return value to continue one
+ * (8 bytes per instruction; inputs of 3 KiB and up run three
+ * interleaved instruction streams recombined through precomputed
+ * GF(2) shift operators, hiding the instruction's ~3-cycle latency)
+ * or the ARMv8 CRC extension when the CPU has it and REAPER_SIMD
+ * allows it, and otherwise the slicing-by-4 software implementation
+ * that has always backed the v2 profile format. Both paths share the
+ * same seeding convention: pass 0 for a fresh stream, or a previous
+ * return value to continue one
  * (crc32c(crc32c(0, a, la), b, lb) == crc32c(0, a+b, la+lb)).
  *
  * The RFC 3720 "123456789" -> 0xE3069283 vector pins the polynomial;

@@ -14,6 +14,7 @@
 #include <sstream>
 
 #include "campaign/campaign.h"
+#include "common/rng.h"
 
 namespace fs = std::filesystem;
 
@@ -486,6 +487,279 @@ TEST(ProfileStore, MissingKeyReportsNotFound)
     ASSERT_FALSE(loaded.hasValue());
     EXPECT_EQ(loaded.error().category, common::ErrorCategory::NotFound);
     EXPECT_FALSE(loaded.error().message.empty());
+}
+
+namespace {
+
+profiling::RetentionProfile
+randomStoreProfile(uint64_t seed, size_t cells,
+                   profiling::Conditions cond = {1.024, 45.0})
+{
+    Rng rng(seed);
+    std::vector<dram::ChipFailure> v;
+    v.reserve(cells);
+    for (size_t i = 0; i < cells; ++i)
+        v.push_back({static_cast<uint32_t>(rng.uniformInt(4)),
+                     rng.uniformInt(1ull << 40)});
+    profiling::RetentionProfile p(cond);
+    p.add(v);
+    return p;
+}
+
+/** Random add/remove drift of a profile (a reprofiling round). */
+profiling::RetentionProfile
+driftProfile(const profiling::RetentionProfile &base, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<dram::ChipFailure> cells;
+    for (const dram::ChipFailure &f : base.cells())
+        if (rng.uniform() >= 0.15)
+            cells.push_back(f);
+    size_t adds = 1 + rng.uniformInt(20);
+    for (size_t i = 0; i < adds; ++i)
+        cells.push_back({static_cast<uint32_t>(rng.uniformInt(4)),
+                         rng.uniformInt(1ull << 40)});
+    profiling::RetentionProfile p(base.conditions());
+    p.add(cells);
+    return p;
+}
+
+} // namespace
+
+TEST(ProfileStoreDelta, CommitDeltaExtendsChainAndLoadResolves)
+{
+    ProfileStore store(scratchDir("store_delta_chain"));
+    profiling::RetentionProfile p = randomStoreProfile(1, 200);
+    std::string key =
+        ProfileStore::profileKey("D-000", p.conditions());
+    store.commit(key, p);
+
+    for (uint64_t round = 1; round <= 4; ++round) {
+        p = driftProfile(p, round);
+        store.commitDelta(key, p);
+        common::Expected<profiling::RetentionProfile> loaded =
+            store.load(key);
+        ASSERT_TRUE(loaded.hasValue()) << loaded.error().describe();
+        EXPECT_EQ(loaded.value().cells(), p.cells());
+    }
+    ASSERT_EQ(store.entries().size(), 1u);
+    EXPECT_EQ(store.entries()[0].deltas, 4u);
+    EXPECT_EQ(store.entries()[0].cells, p.size());
+    // The chain files exist on disk next to the base.
+    std::string base = store.entries()[0].file;
+    for (uint32_t k = 1; k <= 4; ++k)
+        EXPECT_TRUE(fs::exists(
+            fs::path(store.dir()) /
+            ProfileStore::deltaFileName(base, k)));
+}
+
+TEST(ProfileStoreDelta, UnchangedCommitDeltaIsANoOp)
+{
+    ProfileStore store(scratchDir("store_delta_noop"));
+    profiling::RetentionProfile p = randomStoreProfile(2, 50);
+    std::string key =
+        ProfileStore::profileKey("D-001", p.conditions());
+    store.commit(key, p);
+    store.commitDelta(key, p); // identical: must not grow the chain
+    EXPECT_EQ(store.entries()[0].deltas, 0u);
+}
+
+// The core property: resolving and compacting a delta chain yields a
+// base file BYTE-IDENTICAL to committing the final profile directly,
+// for randomized add/remove sequences of any length.
+TEST(ProfileStoreDelta, CompactionIsByteIdenticalToFullCommit)
+{
+    for (uint64_t seed = 1; seed <= 5; ++seed) {
+        std::string chainDir = scratchDir(
+            "store_delta_prop_chain" + std::to_string(seed));
+        std::string fullDir = scratchDir(
+            "store_delta_prop_full" + std::to_string(seed));
+        ProfileStore chained(chainDir);
+        profiling::RetentionProfile p =
+            randomStoreProfile(seed * 7, 150);
+        std::string key =
+            ProfileStore::profileKey("P-00" + std::to_string(seed),
+                                     p.conditions());
+        chained.commit(key, p);
+        Rng rng(seed);
+        size_t rounds = 1 + rng.uniformInt(6);
+        for (size_t r = 0; r < rounds; ++r) {
+            p = driftProfile(p, seed * 100 + r);
+            chained.commitDelta(key, p);
+        }
+        // openView compacts the chain in place...
+        common::Expected<profiling::ProfileView> view =
+            chained.openView(key);
+        ASSERT_TRUE(view.hasValue()) << view.error().describe();
+        EXPECT_EQ(view.value().cellCount(), p.size());
+        EXPECT_EQ(chained.entries()[0].deltas, 0u);
+
+        // ...and the compacted base equals a direct commit, byte for
+        // byte.
+        ProfileStore direct(fullDir);
+        direct.commit(key, p);
+        std::string file = chained.entries()[0].file;
+        std::ifstream a(fs::path(chainDir) / file,
+                        std::ios::binary);
+        std::ifstream b(fs::path(fullDir) / file, std::ios::binary);
+        std::ostringstream sa, sb;
+        sa << a.rdbuf();
+        sb << b.rdbuf();
+        ASSERT_FALSE(sa.str().empty());
+        EXPECT_EQ(sa.str(), sb.str())
+            << "seed " << seed << ": compacted chain differs from "
+            << "direct commit";
+        // No leftover delta files after compaction.
+        for (const auto &entry : fs::directory_iterator(chainDir))
+            EXPECT_EQ(
+                entry.path().string().find(".d"), std::string::npos)
+                << entry.path();
+    }
+}
+
+TEST(ProfileStoreDelta, ChainSurvivesReopenAndIndexLoss)
+{
+    std::string dir = scratchDir("store_delta_recover");
+    profiling::RetentionProfile p = randomStoreProfile(3, 120);
+    std::string key =
+        ProfileStore::profileKey("R-000", p.conditions());
+    {
+        ProfileStore store(dir);
+        store.commit(key, p);
+        for (uint64_t r = 1; r <= 3; ++r) {
+            p = driftProfile(p, 200 + r);
+            store.commitDelta(key, p);
+        }
+    }
+    // Plain reopen: the v3 index row restores the chain.
+    {
+        ProfileStore store(dir);
+        ASSERT_EQ(store.entries().size(), 1u);
+        EXPECT_EQ(store.entries()[0].deltas, 3u);
+        common::Expected<profiling::RetentionProfile> loaded =
+            store.load(key);
+        ASSERT_TRUE(loaded.hasValue()) << loaded.error().describe();
+        EXPECT_EQ(loaded.value().cells(), p.cells());
+    }
+    // Crash between renames: no index at all. The directory scan must
+    // rebuild the entry AND re-adopt the whole valid chain.
+    fs::remove(fs::path(dir) / "index.txt");
+    {
+        ProfileStore store(dir);
+        ASSERT_EQ(store.entries().size(), 1u);
+        EXPECT_EQ(store.entries()[0].deltas, 3u);
+        common::Expected<profiling::RetentionProfile> loaded =
+            store.load(key);
+        ASSERT_TRUE(loaded.hasValue()) << loaded.error().describe();
+        EXPECT_EQ(loaded.value().cells(), p.cells());
+    }
+}
+
+TEST(ProfileStoreDelta, StaleDeltaFromCrashedCompactionIsRemoved)
+{
+    std::string dir = scratchDir("store_delta_stale");
+    profiling::RetentionProfile p = randomStoreProfile(4, 100);
+    std::string key =
+        ProfileStore::profileKey("S-000", p.conditions());
+    std::string baseFile, staleName, staleBytes;
+    {
+        ProfileStore store(dir);
+        store.commit(key, p);
+        profiling::RetentionProfile next = driftProfile(p, 301);
+        store.commitDelta(key, next);
+        baseFile = store.entries()[0].file;
+        staleName = ProfileStore::deltaFileName(baseFile, 1);
+        std::ifstream is(fs::path(dir) / staleName,
+                         std::ios::binary);
+        std::ostringstream ss;
+        ss << is.rdbuf();
+        staleBytes = ss.str();
+        // Compact (via openView), then simulate a crash that renamed
+        // the new base but failed to unlink the old link file.
+        ASSERT_TRUE(store.openView(key).hasValue());
+        p = next;
+    }
+    {
+        std::ofstream os(fs::path(dir) / staleName,
+                         std::ios::binary);
+        os.write(staleBytes.data(),
+                 static_cast<std::streamsize>(staleBytes.size()));
+    }
+    ProfileStore recovered(dir);
+    // The stale link's baseCrc no longer matches the compacted base,
+    // so recovery discards it instead of resurrecting old cells.
+    EXPECT_EQ(recovered.entries()[0].deltas, 0u);
+    EXPECT_FALSE(fs::exists(fs::path(dir) / staleName));
+    common::Expected<profiling::RetentionProfile> loaded =
+        recovered.load(key);
+    ASSERT_TRUE(loaded.hasValue()) << loaded.error().describe();
+    EXPECT_EQ(loaded.value().cells(), p.cells());
+}
+
+TEST(ProfileStoreDelta, ChainAutoCompactsAtCap)
+{
+    ProfileStore store(scratchDir("store_delta_cap"));
+    profiling::RetentionProfile p = randomStoreProfile(5, 60);
+    std::string key =
+        ProfileStore::profileKey("C-000", p.conditions());
+    store.commit(key, p);
+    for (uint64_t r = 1; r <= ProfileStore::kMaxDeltaChain; ++r) {
+        p = driftProfile(p, 400 + r);
+        store.commitDelta(key, p);
+    }
+    // The cap-triggering commit compacted in place.
+    EXPECT_EQ(store.entries()[0].deltas, 0u);
+    common::Expected<profiling::RetentionProfile> loaded =
+        store.load(key);
+    ASSERT_TRUE(loaded.hasValue());
+    EXPECT_EQ(loaded.value().cells(), p.cells());
+}
+
+TEST(ProfileStoreDelta, CommitDeltaOnTextStoreFallsBackToFullCommit)
+{
+    ProfileStore store(scratchDir("store_delta_text"),
+                       profiling::ProfileFormat::TextV1);
+    profiling::RetentionProfile p = randomStoreProfile(6, 40);
+    std::string key =
+        ProfileStore::profileKey("T-000", p.conditions());
+    store.commit(key, p);
+    p = driftProfile(p, 500);
+    store.commitDelta(key, p);
+    EXPECT_EQ(store.entries()[0].deltas, 0u);
+    common::Expected<profiling::RetentionProfile> loaded =
+        store.load(key);
+    ASSERT_TRUE(loaded.hasValue());
+    EXPECT_EQ(loaded.value().cells(), p.cells());
+}
+
+TEST(ProfileStoreDelta, OpenViewAnswersPointLookups)
+{
+    ProfileStore store(scratchDir("store_openview"));
+    profiling::RetentionProfile p = randomStoreProfile(7, 300);
+    std::string key =
+        ProfileStore::profileKey("V-000", p.conditions());
+    store.commit(key, p);
+    common::Expected<profiling::ProfileView> view =
+        store.openView(key);
+    ASSERT_TRUE(view.hasValue()) << view.error().describe();
+    for (size_t i = 0; i < p.cells().size(); i += 17)
+        EXPECT_TRUE(view.value().contains(p.cells()[i]).value());
+    EXPECT_FALSE(store.openView("missing@x").hasValue());
+}
+
+TEST(ProfileStoreDelta, OpenViewOnTextProfileIsInvalidConfig)
+{
+    ProfileStore store(scratchDir("store_openview_text"),
+                       profiling::ProfileFormat::TextV1);
+    profiling::RetentionProfile p = randomStoreProfile(8, 10);
+    std::string key =
+        ProfileStore::profileKey("V-001", p.conditions());
+    store.commit(key, p);
+    common::Expected<profiling::ProfileView> view =
+        store.openView(key);
+    ASSERT_FALSE(view.hasValue());
+    EXPECT_EQ(view.error().category,
+              common::ErrorCategory::InvalidConfig);
 }
 
 TEST(Campaign, DefaultCampaignDirReadsEnv)

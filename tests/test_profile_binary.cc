@@ -80,11 +80,13 @@ TEST(ProfileBinary, TextV2TextRoundTripIsBitIdentical)
         std::string text1 = textOf(original);
 
         std::stringstream v1(text1);
-        Expected<RetentionProfile> fromText = readProfile(v1);
+        Expected<RetentionProfile> fromText =
+            readProfile(ProfileSource::fromStream(v1));
         ASSERT_TRUE(fromText.hasValue());
 
         std::stringstream v2(binaryOf(fromText.value()));
-        Expected<RetentionProfile> fromBinary = readProfile(v2);
+        Expected<RetentionProfile> fromBinary =
+            readProfile(ProfileSource::fromStream(v2));
         ASSERT_TRUE(fromBinary.hasValue())
             << fromBinary.error().describe();
 
@@ -142,8 +144,8 @@ TEST(ProfileBinary, EveryTruncationIsDetected)
     const std::string bytes = os.str();
 
     for (size_t len = 0; len < bytes.size(); ++len) {
-        std::stringstream truncated(bytes.substr(0, len));
-        Expected<RetentionProfile> r = readProfile(truncated);
+        Expected<RetentionProfile> r = readProfile(
+            ProfileSource::fromMemory(bytes.substr(0, len)));
         ASSERT_FALSE(r.hasValue())
             << "prefix of " << len << " bytes parsed successfully";
         EXPECT_TRUE(r.error().category == ErrorCategory::Corrupt ||
@@ -173,8 +175,8 @@ TEST(ProfileBinary, EverySingleBitFlipIsDetected)
             std::string mutated = bytes;
             mutated[i] = static_cast<char>(
                 static_cast<uint8_t>(mutated[i]) ^ (1u << bit));
-            std::stringstream is(mutated);
-            Expected<RetentionProfile> r = readProfile(is);
+            Expected<RetentionProfile> r = readProfile(
+                ProfileSource::fromMemory(mutated));
             if (r.hasValue()) {
                 // The only acceptable "success" would be decoding the
                 // exact original — and CRC coverage rules even that
@@ -229,13 +231,13 @@ TEST(ProfileBinary, SniffingReaderAcceptsBothFormats)
 {
     RetentionProfile p = randomProfile(11, 64);
 
-    std::stringstream text(textOf(p));
-    Expected<RetentionProfile> fromText = readProfile(text);
+    Expected<RetentionProfile> fromText =
+        readProfile(ProfileSource::fromMemory(textOf(p)));
     ASSERT_TRUE(fromText.hasValue());
     EXPECT_EQ(fromText.value().cells(), p.cells());
 
-    std::stringstream binary(binaryOf(p));
-    Expected<RetentionProfile> fromBinary = readProfile(binary);
+    Expected<RetentionProfile> fromBinary =
+        readProfile(ProfileSource::fromMemory(binaryOf(p)));
     ASSERT_TRUE(fromBinary.hasValue());
     EXPECT_EQ(fromBinary.value().cells(), p.cells());
 }
@@ -267,8 +269,11 @@ TEST(ProfileBinary, ParseProfileFormatNames)
     Expected<ProfileFormat> bad = parseProfileFormat("v3");
     ASSERT_FALSE(bad.hasValue());
     EXPECT_EQ(bad.error().category, ErrorCategory::InvalidConfig);
+    EXPECT_EQ(parseProfileFormat("delta").value(),
+              ProfileFormat::DeltaV2);
     EXPECT_STREQ(toString(ProfileFormat::TextV1), "v1");
     EXPECT_STREQ(toString(ProfileFormat::BinaryV2), "v2");
+    EXPECT_STREQ(toString(ProfileFormat::DeltaV2), "delta");
 }
 
 TEST(ProfileBinary, Crc32cMatchesKnownVector)
@@ -309,6 +314,39 @@ TEST(ProfileBinary, ReaderScratchIsCappedAfterOutsizedBlocks)
     EXPECT_EQ(out, p.cells());
 }
 
+// Regression: the scratch cap must hold on ERROR paths too. A corrupt
+// byte mid-way through an outsized block used to return early before
+// trimScratch(), stranding the megabyte-scale buffers on a reader the
+// caller might keep around (e.g. to surface the error).
+TEST(ProfileBinary, ReaderScratchIsCappedAfterCorruptBlock)
+{
+    const size_t cells = 60'000;
+    RetentionProfile p = randomProfile(31, cells);
+    std::stringstream os;
+    BinaryProfileWriter writer(os, p.conditions(), p.size(),
+                               /*blockCells=*/static_cast<uint32_t>(cells));
+    for (const dram::ChipFailure &f : p.cells())
+        writer.append(f);
+    ASSERT_TRUE(writer.finish().hasValue());
+    std::string bytes = os.str();
+
+    // Flip a payload byte well inside the single (huge) block.
+    size_t victim = kBinaryHeaderBytes + 8 + bytes.size() / 2;
+    ASSERT_LT(victim, bytes.size());
+    bytes[victim] = static_cast<char>(
+        static_cast<uint8_t>(bytes[victim]) ^ 0x40);
+
+    std::stringstream is(bytes);
+    BinaryProfileReader reader(is);
+    ASSERT_TRUE(reader.readHeader().hasValue());
+    std::vector<dram::ChipFailure> out;
+    Expected<uint64_t> n = reader.readBlock(out);
+    ASSERT_FALSE(n.hasValue());
+    EXPECT_EQ(n.error().category, ErrorCategory::Corrupt);
+    EXPECT_LE(reader.scratchBytes(), kReaderScratchReleaseBytes)
+        << "error path stranded the block scratch";
+}
+
 TEST(ProfileBinary, ReaderScratchIsRetainedForNormalBlocks)
 {
     // Default-sized blocks stay under the cap, so the scratch is
@@ -320,14 +358,16 @@ TEST(ProfileBinary, ReaderScratchIsRetainedForNormalBlocks)
     BinaryProfileReader reader(is);
     ASSERT_TRUE(reader.readHeader().hasValue());
     std::vector<dram::ChipFailure> out;
-    size_t scratchAfterFirst = 0;
+    size_t prevScratch = 0;
     while (!reader.done()) {
         ASSERT_TRUE(reader.readBlock(out).hasValue());
-        if (scratchAfterFirst == 0)
-            scratchAfterFirst = reader.scratchBytes();
+        // Under-cap scratch is kept across blocks (it may grow for a
+        // larger block, but is never released mid-file).
+        EXPECT_GE(reader.scratchBytes(), prevScratch);
+        EXPECT_LE(reader.scratchBytes(), kReaderScratchReleaseBytes);
+        prevScratch = reader.scratchBytes();
     }
-    EXPECT_GT(scratchAfterFirst, 0u);
-    EXPECT_EQ(reader.scratchBytes(), scratchAfterFirst);
+    EXPECT_GT(prevScratch, 0u);
     ASSERT_TRUE(reader.readFooter().hasValue());
     EXPECT_EQ(out, p.cells());
 }

@@ -76,7 +76,8 @@ TEST(ProfileIo, FileRoundTrip)
 TEST(ProfileIo, RejectsBadMagic)
 {
     std::stringstream ss("NOT-A-PROFILE v1\n");
-    common::Expected<RetentionProfile> r = readProfile(ss);
+    common::Expected<RetentionProfile> r =
+        readProfile(ProfileSource::fromMemory(ss.str()));
     ASSERT_FALSE(r.hasValue());
     EXPECT_EQ(r.error().category, ErrorCategory::Parse);
     EXPECT_NE(r.error().message.find("magic"), std::string::npos);
@@ -85,7 +86,8 @@ TEST(ProfileIo, RejectsBadMagic)
 TEST(ProfileIo, RejectsUnsupportedVersion)
 {
     std::stringstream ss("REAPER-PROFILE v9\n");
-    common::Expected<RetentionProfile> r = readProfile(ss);
+    common::Expected<RetentionProfile> r =
+        readProfile(ProfileSource::fromMemory(ss.str()));
     ASSERT_FALSE(r.hasValue());
     EXPECT_EQ(r.error().category, ErrorCategory::Parse);
     EXPECT_NE(r.error().message.find("version"), std::string::npos);
@@ -99,7 +101,8 @@ TEST(ProfileIo, RejectsTruncatedCellList)
                          "cells 3\n"
                          "0 1\n"
                          "0 2\n");
-    common::Expected<RetentionProfile> r = readProfile(ss);
+    common::Expected<RetentionProfile> r =
+        readProfile(ProfileSource::fromMemory(ss.str()));
     ASSERT_FALSE(r.hasValue());
     EXPECT_EQ(r.error().category, ErrorCategory::Corrupt);
     EXPECT_NE(r.error().message.find("truncated"), std::string::npos);
@@ -110,7 +113,8 @@ TEST(ProfileIo, RejectsIncompleteHeader)
     std::stringstream ss("REAPER-PROFILE v1\n"
                          "temperature_c 45\n"
                          "cells 0\n");
-    common::Expected<RetentionProfile> r = readProfile(ss);
+    common::Expected<RetentionProfile> r =
+        readProfile(ProfileSource::fromMemory(ss.str()));
     ASSERT_FALSE(r.hasValue());
     EXPECT_EQ(r.error().category, ErrorCategory::Parse);
     EXPECT_NE(r.error().message.find("incomplete"), std::string::npos);
@@ -120,7 +124,8 @@ TEST(ProfileIo, RejectsUnknownKey)
 {
     std::stringstream ss("REAPER-PROFILE v1\n"
                          "voltage_mv 1100\n");
-    common::Expected<RetentionProfile> r = readProfile(ss);
+    common::Expected<RetentionProfile> r =
+        readProfile(ProfileSource::fromMemory(ss.str()));
     ASSERT_FALSE(r.hasValue());
     EXPECT_EQ(r.error().category, ErrorCategory::Parse);
     EXPECT_NE(r.error().message.find("unknown key"), std::string::npos);
@@ -130,7 +135,8 @@ TEST(ProfileIo, RejectsNegativeInterval)
 {
     std::stringstream ss("REAPER-PROFILE v1\n"
                          "refresh_interval_ms -5\n");
-    common::Expected<RetentionProfile> r = readProfile(ss);
+    common::Expected<RetentionProfile> r =
+        readProfile(ProfileSource::fromMemory(ss.str()));
     ASSERT_FALSE(r.hasValue());
     EXPECT_EQ(r.error().category, ErrorCategory::Parse);
 }
@@ -179,7 +185,8 @@ TEST(ProfileIo, UnwritablePathIsFatalViaSaveProfileFile)
 TEST(ProfileIo, EmptyStreamFailsWithDiagnostic)
 {
     std::stringstream ss("");
-    common::Expected<RetentionProfile> r = readProfile(ss);
+    common::Expected<RetentionProfile> r =
+        readProfile(ProfileSource::fromStream(ss));
     ASSERT_FALSE(r.hasValue());
     EXPECT_FALSE(r.error().message.empty());
 }
@@ -202,7 +209,8 @@ TEST(ProfileIo, AllLineTruncationsFailWithDiagnostic)
     for (size_t keep = 0; keep + 1 < line_ends.size(); ++keep) {
         size_t len = keep == 0 ? 0 : line_ends[keep - 1];
         std::stringstream truncated(text.substr(0, len));
-        common::Expected<RetentionProfile> r = readProfile(truncated);
+        common::Expected<RetentionProfile> r =
+            readProfile(ProfileSource::fromMemory(truncated.str()));
         EXPECT_FALSE(r.hasValue())
             << "prefix of " << keep << " lines parsed successfully";
         if (!r.hasValue()) {
@@ -245,7 +253,8 @@ TEST(ProfileIo, TokenMutationsFailWithDiagnostic)
         text.replace(pos, std::string(m.from).size(), m.to);
 
         std::stringstream mutated(text);
-        common::Expected<RetentionProfile> r = readProfile(mutated);
+        common::Expected<RetentionProfile> r =
+            readProfile(ProfileSource::fromMemory(mutated.str()));
         EXPECT_FALSE(r.hasValue())
             << "mutation '" << m.to << "' parsed successfully";
         if (!r.hasValue())
@@ -283,10 +292,45 @@ TEST(ProfileIo, HostileCellCountDoesNotPreallocate)
                          "refresh_interval_ms 1024\n"
                          "temperature_c 45\n"
                          "cells 1000000000000\n");
-    common::Expected<RetentionProfile> r = readProfile(ss);
+    common::Expected<RetentionProfile> r =
+        readProfile(ProfileSource::fromMemory(ss.str()));
     ASSERT_FALSE(r.hasValue());
     EXPECT_EQ(r.error().category, ErrorCategory::Corrupt);
     EXPECT_NE(r.error().message.find("truncated"), std::string::npos);
+}
+
+// The source-based API: every source kind round-trips both wire
+// formats, so call sites migrating off the deprecated stream overload
+// lose nothing.
+TEST(ProfileIo, ProfileSourceKindsAllRoundTrip)
+{
+    RetentionProfile original = sampleProfile();
+    for (ProfileFormat fmt :
+         {ProfileFormat::TextV1, ProfileFormat::BinaryV2}) {
+        std::stringstream ss;
+        ASSERT_TRUE(writeProfile(original, ss, fmt).hasValue());
+        const std::string bytes = ss.str();
+
+        common::Expected<RetentionProfile> fromMem =
+            readProfile(ProfileSource::fromMemory(bytes));
+        ASSERT_TRUE(fromMem.hasValue()) << toString(fmt);
+        EXPECT_EQ(fromMem.value().cells(), original.cells());
+
+        std::stringstream is(bytes);
+        common::Expected<RetentionProfile> fromStream =
+            readProfile(ProfileSource::fromStream(is));
+        ASSERT_TRUE(fromStream.hasValue()) << toString(fmt);
+        EXPECT_EQ(fromStream.value().cells(), original.cells());
+
+        std::string path =
+            ::testing::TempDir() + "reaper_src_kind.profile";
+        ASSERT_TRUE(writeProfileFile(original, path, fmt).hasValue());
+        common::Expected<RetentionProfile> fromFile =
+            readProfile(ProfileSource::fromFile(path));
+        ASSERT_TRUE(fromFile.hasValue()) << toString(fmt);
+        EXPECT_EQ(fromFile.value().cells(), original.cells());
+        std::remove(path.c_str());
+    }
 }
 
 // Files written with the default format knob are v2 binary, and the

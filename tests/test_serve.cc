@@ -197,6 +197,55 @@ TEST(ProfileCache, SingleflightLoadsOnceUnderConcurrentMisses)
     }
 }
 
+// ---------------- View serving ----------------
+
+TEST(ProfileCache, ViewAnswersMatchCompiledDirectory)
+{
+    campaign::ProfileStore store(scratchDir("cache_view_agree"));
+    auto keys = populateStore(store, 2, 600);
+    CacheConfig cfg = testCacheConfig();
+    cfg.serveFromViews = true;
+    ProfileCache cache(store, cfg);
+
+    // The exact compiled table is the reference answer.
+    ProfileCache reference(store, testCacheConfig());
+    const RefreshDirectory &dir = *reference.get(keys[0]).dir;
+
+    for (uint64_t row = 0; row < kRows; ++row) {
+        ViewAnswer a = cache.isRowWeakView(keys[0], 0, row);
+        ASSERT_EQ(a.state, ViewState::Answered) << "row " << row;
+        EXPECT_EQ(a.weak, dir.isRowWeak(0, row)) << "row " << row;
+    }
+    CacheCounters c = cache.counters();
+    EXPECT_EQ(c.viewLoads, 1u);
+    EXPECT_EQ(c.viewHits, kRows - 1);
+
+    // Unknown keys are negatively cached on the view path too.
+    EXPECT_EQ(cache.isRowWeakView("ghost@x", 0, 0).state,
+              ViewState::Unknown);
+    EXPECT_EQ(cache.isRowWeakView("ghost@x", 0, 0).source,
+              CacheOutcome::NegativeHit);
+}
+
+TEST(ProfileCache, ViewServingDisabledOrBloomIsUnavailable)
+{
+    campaign::ProfileStore store(scratchDir("cache_view_gate"));
+    auto keys = populateStore(store, 1);
+
+    ProfileCache off(store, testCacheConfig());
+    EXPECT_EQ(off.isRowWeakView(keys[0], 0, 0).state,
+              ViewState::Unavailable);
+
+    // Bloom-filtered directories give one-sided answers, so the view
+    // path must decline rather than diverge from the compiled table.
+    CacheConfig cfg = testCacheConfig();
+    cfg.serveFromViews = true;
+    cfg.directory.useBloomFilters = true;
+    ProfileCache bloom(store, cfg);
+    EXPECT_EQ(bloom.isRowWeakView(keys[0], 0, 0).state,
+              ViewState::Unavailable);
+}
+
 // ---------------- QueryEngine ----------------
 
 EngineConfig
@@ -228,9 +277,11 @@ struct Deterministic
 std::vector<Deterministic>
 runStream(campaign::ProfileStore &store,
           const std::vector<std::string> &keys, unsigned workers,
-          size_t requests)
+          size_t requests, bool serveFromViews = false)
 {
-    ProfileCache cache(store, testCacheConfig());
+    CacheConfig cacheCfg = testCacheConfig();
+    cacheCfg.serveFromViews = serveFromViews;
+    ProfileCache cache(store, cacheCfg);
     QueryEngine engine(cache, engineConfig(workers));
     WorkloadConfig wc;
     wc.keys = keys;
@@ -270,6 +321,20 @@ TEST(QueryEngine, IdenticalResponsesAtAnyWorkerCount)
         ASSERT_EQ(one[i].id, i);
     EXPECT_TRUE(one == two);
     EXPECT_TRUE(one == eight);
+}
+
+// Serving from lazy views must be invisible in the answers: the same
+// request stream yields bit-identical responses with views on or off,
+// at any worker count.
+TEST(QueryEngine, ViewServingMatchesCompiledPath)
+{
+    campaign::ProfileStore store(scratchDir("engine_views"));
+    auto keys = populateStore(store, 6);
+    auto compiled = runStream(store, keys, 2, 2000, false);
+    auto viewsOne = runStream(store, keys, 1, 2000, true);
+    auto viewsEight = runStream(store, keys, 8, 2000, true);
+    EXPECT_TRUE(compiled == viewsOne);
+    EXPECT_TRUE(compiled == viewsEight);
 }
 
 TEST(QueryEngine, AnswersMatchDirectoryPointLookups)

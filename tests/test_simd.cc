@@ -136,6 +136,39 @@ TEST(SimdCrc32c, SoftwareHardwareEquivalenceAllLengthsAndAlignments)
     }
 }
 
+TEST(SimdCrc32c, EquivalenceAcrossInterleaveThreshold)
+{
+    if (!crc32cHardwareAvailable())
+        GTEST_SKIP() << "no CRC32C instruction on this host";
+    // The hardware path switches to 3-way interleaved streams for
+    // long inputs; sweep lengths bracketing every multiple of the
+    // 3-lane superblock up to 4 superblocks, plus misalignment, so
+    // the lane-recombination operators are proven against the
+    // software reference.
+    Rng rng(0x3AAE5ull);
+    std::vector<uint8_t> buf(8 + 4 * 3 * 1024 + 64);
+    for (uint8_t &b : buf)
+        b = static_cast<uint8_t>(rng.uniformInt(256));
+    for (size_t offset : {size_t(0), size_t(3)}) {
+        const uint8_t *p = buf.data() + offset;
+        for (size_t super = 1; super <= 4; ++super) {
+            for (int d = -9; d <= 9; ++d) {
+                size_t len =
+                    static_cast<size_t>(3 * 1024 * super) +
+                    static_cast<size_t>(d);
+                uint32_t sw = crc32cSoftware(0, p, len);
+                uint32_t hw = crc32cHardware(0, p, len);
+                ASSERT_EQ(sw, hw)
+                    << "offset=" << offset << " len=" << len;
+            }
+        }
+        // Nonzero seed through the interleaved path.
+        uint32_t seed = 0xDEADBEEFu;
+        ASSERT_EQ(crc32cSoftware(seed, p, 3 * 1024 + 17),
+                  crc32cHardware(seed, p, 3 * 1024 + 17));
+    }
+}
+
 TEST(SimdCrc32c, IncrementalChainingMatchesOneShot)
 {
     Rng rng(99);
